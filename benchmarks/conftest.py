@@ -1,0 +1,51 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+section.  Results (the same rows/series the paper plots) are printed and also
+written to ``benchmarks/results/`` so EXPERIMENTS.md can reference them.
+
+The run size is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``smoke`` - minutes-long sanity runs (reduced replica grid),
+* ``ci``    - the default; full replica grid with laptop-sized windows,
+* ``paper`` - the full windows reported in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Scale name used by all scenario benchmarks."""
+    return os.environ.get("REPRO_BENCH_SCALE", "ci")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory where benchmark tables are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_table(results_dir):
+    """Callable that persists and echoes a benchmark's output table."""
+
+    def _record(name: str, table: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(table + "\n", encoding="utf-8")
+        print(f"\n=== {name} ===\n{table}\n")
+
+    return _record
+
+
+def run_once(benchmark, func):
+    """Run a scenario exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,35 @@
+"""Figure 4: throughput and latency vs replica count in the LAN setting."""
+
+from conftest import run_once
+
+from repro.experiments.reporting import scalability_table
+from repro.experiments.scenarios import scalability_sweep
+
+
+def test_fig4ab_lan_no_straggler(benchmark, bench_scale, record_table):
+    points = run_once(
+        benchmark, lambda: scalability_sweep("lan", stragglers=0, scale=bench_scale)
+    )
+    record_table("fig4ab_lan_no_straggler", scalability_table(points))
+    by_key = {(p.protocol, p.num_replicas): p for p in points}
+    for replicas in {p.num_replicas for p in points}:
+        # LAN runs are faster than WAN runs for every protocol (the paper's
+        # "higher throughput and lower latency" observation).
+        assert by_key[("orthrus", replicas)].latency_s < 10.0
+        assert by_key[("orthrus", replicas)].throughput_ktps > 0
+
+
+def test_fig4cd_lan_one_straggler(benchmark, bench_scale, record_table):
+    points = run_once(
+        benchmark, lambda: scalability_sweep("lan", stragglers=1, scale=bench_scale)
+    )
+    record_table("fig4cd_lan_one_straggler", scalability_table(points))
+    by_key = {(p.protocol, p.num_replicas): p for p in points}
+    largest = max(p.num_replicas for p in points)
+    orthrus = by_key[("orthrus", largest)]
+    iss = by_key[("iss", largest)]
+    ladon = by_key[("ladon", largest)]
+    # Same trend as WAN: roughly 8x the throughput of the pre-determined
+    # protocols and latency at or below Ladon's.
+    assert orthrus.throughput_ktps > 3 * iss.throughput_ktps
+    assert orthrus.latency_s <= ladon.latency_s * 1.1

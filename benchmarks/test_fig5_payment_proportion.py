@@ -1,0 +1,30 @@
+"""Figure 5: Orthrus under varying payment-transaction proportions (WAN, 16 replicas)."""
+
+from conftest import run_once
+
+from repro.experiments.reporting import proportion_table
+from repro.experiments.scenarios import payment_proportion_sweep
+
+
+def test_fig5_no_straggler(benchmark, bench_scale, record_table):
+    points = run_once(
+        benchmark,
+        lambda: payment_proportion_sweep(stragglers=0, scale=bench_scale),
+    )
+    record_table("fig5_payment_proportion_no_straggler", proportion_table(points))
+    # Latency decreases as the payment share grows (more transactions take
+    # the partial-ordering fast path).
+    assert points[-1].latency_s < points[0].latency_s
+    assert points[-1].throughput_ktps >= 0.9 * points[0].throughput_ktps
+
+
+def test_fig5_one_straggler(benchmark, bench_scale, record_table):
+    points = run_once(
+        benchmark,
+        lambda: payment_proportion_sweep(stragglers=1, scale=bench_scale),
+    )
+    record_table("fig5_payment_proportion_one_straggler", proportion_table(points))
+    # The effect is much more pronounced with a straggler: payments dodge the
+    # straggler-gated global ordering entirely.
+    assert points[-1].latency_s < 0.7 * points[0].latency_s
+    assert points[-1].throughput_ktps >= points[0].throughput_ktps

@@ -1,0 +1,51 @@
+"""Figure 7: Orthrus throughput and latency over time under detectable faults.
+
+Setting: 16 replicas, WAN, f in {0, 1, 5} leaders crash at t = 9 s, PBFT
+view-change timeout of 10 s.  The paper observes a >50 % throughput drop
+while the faulty instances are down (contract transactions cannot be globally
+ordered), recovery shortly after the view change completes (~19 s), and a
+latency spike as the blocked transactions flush.
+"""
+
+from conftest import run_once
+
+from repro.experiments.reporting import fault_timeline_table
+from repro.experiments.scenarios import detectable_fault_timelines
+
+
+def _average_rate(points, start, end):
+    window = [p.throughput_ktps for p in points if start <= p.time < end]
+    return sum(window) / len(window) if window else 0.0
+
+
+def test_fig7_throughput_and_latency_over_time(benchmark, bench_scale, record_table):
+    timelines = run_once(
+        benchmark,
+        lambda: detectable_fault_timelines(
+            fault_counts=(0, 1, 5), fault_time=9.0, duration=35.0, scale=bench_scale
+        ),
+    )
+    record_table("fig7_detectable_faults_timeline", fault_timeline_table(timelines))
+    by_faults = {timeline.faulty_replicas: timeline.points for timeline in timelines}
+
+    # Fault-free run: no collapse after t = 9 s.
+    healthy_before = _average_rate(by_faults[0], 4.0, 9.0)
+    healthy_after = _average_rate(by_faults[0], 10.0, 18.0)
+    assert healthy_after > 0.5 * healthy_before
+
+    # One crash: throughput drops sharply during the outage window and
+    # recovers after the view change completes (9 s crash + 10 s timeout).
+    before = _average_rate(by_faults[1], 4.0, 9.0)
+    during = _average_rate(by_faults[1], 11.0, 19.0)
+    after = _average_rate(by_faults[1], 22.0, 30.0)
+    assert during < 0.6 * before
+    assert after > 1.5 * during
+
+    # Five crashes hurt at least as much as one during the outage.
+    during_five = _average_rate(by_faults[5], 11.0, 19.0)
+    assert during_five <= during * 1.25
+
+    # The post-recovery latency spike: blocked transactions confirm late.
+    latencies_one = [p.latency_s for p in by_faults[1] if 19.0 <= p.time <= 30.0]
+    latencies_before = [p.latency_s for p in by_faults[1] if 4.0 <= p.time < 9.0]
+    assert max(latencies_one, default=0.0) > max(latencies_before, default=0.0)

@@ -1,0 +1,29 @@
+"""Figure 8: Orthrus under undetectable Byzantine faults (16 replicas, WAN).
+
+Faulty replicas keep proposing in the instance they lead but abstain from
+every other instance, so no view change fires.  As the fault count grows the
+quorum must include ever slower honest replicas, which raises latency
+substantially and erodes throughput moderately.
+"""
+
+from conftest import run_once
+
+from repro.experiments.reporting import undetectable_table
+from repro.experiments.scenarios import undetectable_fault_sweep
+
+
+def test_fig8_undetectable_fault_sweep(benchmark, bench_scale, record_table):
+    points = run_once(
+        benchmark,
+        lambda: undetectable_fault_sweep(
+            fault_counts=(0, 1, 2, 3, 4, 5), scale=bench_scale
+        ),
+    )
+    record_table("fig8_undetectable_faults", undetectable_table(points))
+    by_faults = {point.faulty_replicas: point for point in points}
+    # Latency rises monotonically in tendency and is substantially higher at
+    # the maximum fault count; throughput declines moderately.
+    assert by_faults[5].latency_s > 1.5 * by_faults[0].latency_s
+    assert by_faults[3].latency_s > by_faults[0].latency_s
+    assert by_faults[5].throughput_ktps > 0.4 * by_faults[0].throughput_ktps
+    assert by_faults[5].throughput_ktps <= by_faults[0].throughput_ktps * 1.05

@@ -1,0 +1,71 @@
+"""Payment-network scenario: why partial ordering matters behind a straggler.
+
+Usage::
+
+    python examples/payment_network.py
+
+This is the motivating workload from the paper's introduction: a blockchain
+payment network where most transactions are independent transfers.  One of
+the consensus instances runs on a machine that is 10x slower than the rest
+(the straggler).  The script runs the same workload under Orthrus and under
+two baselines (ISS with pre-determined global ordering, Ladon with dynamic
+global ordering) and prints the throughput and latency each achieves.
+"""
+
+from __future__ import annotations
+
+from repro import FaultPlan, PipelineConfig, WorkloadConfig, run_pipeline_experiment
+from repro.experiments.reporting import format_table
+
+
+def run(protocol: str, straggler: bool):
+    config = PipelineConfig(
+        protocol=protocol,
+        num_replicas=16,
+        environment="wan",
+        samples_per_block=6,
+        duration=60.0,
+        warmup=10.0,
+        seed=7,
+        workload=WorkloadConfig(payment_fraction=0.8, seed=7),
+        faults=FaultPlan.with_straggler(instance=1) if straggler else FaultPlan.none(),
+    )
+    return run_pipeline_experiment(config)
+
+
+def main() -> None:
+    rows = []
+    for protocol in ("orthrus", "ladon", "iss"):
+        healthy = run(protocol, straggler=False)
+        degraded = run(protocol, straggler=True)
+        rows.append(
+            (
+                protocol,
+                f"{healthy.throughput_ktps:.1f}",
+                f"{healthy.latency.mean:.2f}",
+                f"{degraded.throughput_ktps:.1f}",
+                f"{degraded.latency.mean:.2f}",
+            )
+        )
+    print("Payment network, 16 replicas, WAN, 80% payments")
+    print(
+        format_table(
+            [
+                "protocol",
+                "ktps (healthy)",
+                "latency s (healthy)",
+                "ktps (straggler)",
+                "latency s (straggler)",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nOrthrus keeps confirming payments through its partial-ordering fast"
+        "\npath even while the straggler throttles global ordering; the"
+        "\npre-determined baseline stalls behind the gap in its global log."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Quickstart: run a small Orthrus deployment and print its metrics.
+
+Usage::
+
+    python examples/quickstart.py
+
+Builds a 16-replica WAN deployment under the quorum-fidelity driver, replays
+an Ethereum-style workload (46 % payments / 54 % contract calls), and prints
+throughput, latency and the five-stage latency breakdown.
+"""
+
+from __future__ import annotations
+
+from repro import FaultPlan, PipelineConfig, WorkloadConfig, run_pipeline_experiment
+
+
+def main() -> None:
+    config = PipelineConfig(
+        protocol="orthrus",
+        num_replicas=16,
+        environment="wan",
+        samples_per_block=8,
+        duration=30.0,
+        warmup=5.0,
+        seed=1,
+        workload=WorkloadConfig(seed=42),
+        faults=FaultPlan.none(),
+    )
+    metrics = run_pipeline_experiment(config)
+
+    print("Orthrus quickstart (16 replicas, WAN, no faults)")
+    print(f"  throughput        : {metrics.throughput_ktps:8.1f} ktps")
+    print(f"  mean latency      : {metrics.latency.mean:8.2f} s")
+    print(f"  p95 latency       : {metrics.latency.p95:8.2f} s")
+    print(f"  confirmed         : {metrics.confirmed:8d} sampled transactions")
+    print(f"  partial-path      : {metrics.partial_path:8d} (payments, no global ordering)")
+    print(f"  global-path       : {metrics.global_path:8d} (contract calls)")
+    print("  latency breakdown :")
+    for stage, seconds in metrics.stage_breakdown.items():
+        print(f"    {stage:<18} {seconds:6.3f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package can be installed editable in
+offline environments that lack the ``wheel`` package (legacy
+``setup.py develop`` path).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

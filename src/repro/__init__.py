@@ -1,0 +1,60 @@
+"""Orthrus reproduction: Multi-BFT consensus with concurrent partial ordering.
+
+This package reproduces "Orthrus: Accelerating Multi-BFT Consensus Through
+Concurrent Partial Ordering of Transactions" (ICDE 2025) as a pure-Python
+library on top of a deterministic discrete-event simulation substrate.
+
+Quickstart::
+
+    from repro import PipelineConfig, run_pipeline_experiment
+
+    metrics = run_pipeline_experiment(PipelineConfig(protocol="orthrus"))
+    print(metrics.throughput_ktps, metrics.latency.mean)
+"""
+
+from repro.cluster import (
+    FaultPlan,
+    MessageCluster,
+    MessageClusterConfig,
+    PipelineCluster,
+    PipelineConfig,
+    run_pipeline_experiment,
+)
+from repro.core import ConsensusCore, CoreConfig, OrthrusCore
+from repro.ledger import (
+    EscrowLog,
+    StateStore,
+    Transaction,
+    contract_call,
+    payment,
+    simple_transfer,
+)
+from repro.metrics import RunMetrics
+from repro.protocols import available_protocols, build_core
+from repro.workload import EthereumStyleWorkload, WorkloadConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConsensusCore",
+    "CoreConfig",
+    "EscrowLog",
+    "EthereumStyleWorkload",
+    "FaultPlan",
+    "MessageCluster",
+    "MessageClusterConfig",
+    "OrthrusCore",
+    "PipelineCluster",
+    "PipelineConfig",
+    "RunMetrics",
+    "StateStore",
+    "Transaction",
+    "WorkloadConfig",
+    "available_protocols",
+    "build_core",
+    "contract_call",
+    "payment",
+    "run_pipeline_experiment",
+    "simple_transfer",
+    "__version__",
+]

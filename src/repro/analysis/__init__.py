@@ -1,0 +1,27 @@
+"""Post-processing and comparison utilities for experiment results."""
+
+from repro.analysis.comparison import (
+    ProtocolComparison,
+    compare_latency,
+    export_csv,
+    latency_sparkline,
+    metrics_to_row,
+    partial_path_share,
+    sparkline,
+    straggler_sensitivity,
+    summarize,
+    throughput_sparkline,
+)
+
+__all__ = [
+    "ProtocolComparison",
+    "compare_latency",
+    "export_csv",
+    "latency_sparkline",
+    "metrics_to_row",
+    "partial_path_share",
+    "sparkline",
+    "straggler_sensitivity",
+    "summarize",
+    "throughput_sparkline",
+]

@@ -1,0 +1,170 @@
+"""Analysis helpers for comparing experiment runs.
+
+These utilities post-process :class:`~repro.metrics.summary.RunMetrics`
+objects into the derived quantities the paper reports (relative latency
+reductions, throughput ratios, straggler sensitivity) and export results for
+external tooling (CSV) or quick terminal inspection (ASCII sparklines).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.metrics.summary import RunMetrics
+
+#: Characters used for ASCII sparklines, from lowest to highest.
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class ProtocolComparison:
+    """Derived comparison of one protocol against a reference protocol."""
+
+    protocol: str
+    reference: str
+    throughput_ratio: float
+    latency_reduction: float
+
+    @property
+    def latency_reduction_percent(self) -> float:
+        """Latency reduction in percent (positive = protocol is faster)."""
+        return self.latency_reduction * 100.0
+
+
+def compare_latency(
+    results: Mapping[str, RunMetrics], protocol: str = "orthrus"
+) -> list[ProtocolComparison]:
+    """Compare ``protocol`` against every other protocol in ``results``.
+
+    ``latency_reduction`` follows the paper's convention: the fraction by
+    which ``protocol``'s mean latency is below the reference's.
+    """
+    if protocol not in results:
+        raise KeyError(f"{protocol!r} missing from results")
+    subject = results[protocol]
+    comparisons: list[ProtocolComparison] = []
+    for name, metrics in results.items():
+        if name == protocol:
+            continue
+        reference_latency = metrics.latency.mean or metrics.confirmation_latency.mean
+        subject_latency = subject.latency.mean or subject.confirmation_latency.mean
+        reduction = 0.0
+        if reference_latency > 0:
+            reduction = 1.0 - subject_latency / reference_latency
+        ratio = 0.0
+        if metrics.throughput_tps > 0:
+            ratio = subject.throughput_tps / metrics.throughput_tps
+        comparisons.append(
+            ProtocolComparison(
+                protocol=protocol,
+                reference=name,
+                throughput_ratio=ratio,
+                latency_reduction=reduction,
+            )
+        )
+    return comparisons
+
+
+def straggler_sensitivity(clean: RunMetrics, degraded: RunMetrics) -> float:
+    """Fractional throughput drop caused by the straggler (paper Sec. VII-B)."""
+    if clean.throughput_tps <= 0:
+        return 0.0
+    return max(0.0, 1.0 - degraded.throughput_tps / clean.throughput_tps)
+
+
+def partial_path_share(metrics: RunMetrics) -> float:
+    """Fraction of confirmations that bypassed global ordering."""
+    total = metrics.partial_path + metrics.global_path
+    return metrics.partial_path / total if total else 0.0
+
+
+# -- export -----------------------------------------------------------------------
+
+
+def metrics_to_row(label: str, metrics: RunMetrics) -> dict[str, float | str]:
+    """Flatten a :class:`RunMetrics` into a CSV-friendly row."""
+    row: dict[str, float | str] = {
+        "label": label,
+        "throughput_tps": metrics.throughput_tps,
+        "throughput_ktps": metrics.throughput_ktps,
+        "latency_mean_s": metrics.latency.mean,
+        "latency_p95_s": metrics.latency.p95,
+        "confirmation_latency_mean_s": metrics.confirmation_latency.mean,
+        "confirmed": metrics.confirmed,
+        "committed": metrics.committed,
+        "rejected": metrics.rejected,
+        "partial_path": metrics.partial_path,
+        "global_path": metrics.global_path,
+        "duration_s": metrics.duration,
+    }
+    for stage, seconds in metrics.stage_breakdown.items():
+        row[f"stage_{stage}_s"] = seconds
+    return row
+
+
+def export_csv(results: Mapping[str, RunMetrics]) -> str:
+    """Render a mapping of labelled runs as CSV text."""
+    rows = [metrics_to_row(label, metrics) for label, metrics in results.items()]
+    if not rows:
+        return ""
+    fieldnames = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+# -- terminal visualisation ----------------------------------------------------------
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """Render a sequence of values as an ASCII sparkline.
+
+    Used by the CLI and examples to show throughput-over-time series (Fig. 7)
+    without any plotting dependency.
+    """
+    if not values:
+        return ""
+    selected = list(values)
+    if width is not None and width > 0 and len(selected) > width:
+        stride = len(selected) / width
+        selected = [selected[int(i * stride)] for i in range(width)]
+    top = max(selected)
+    if top <= 0:
+        return _SPARK_LEVELS[0] * len(selected)
+    scale = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[min(scale, int(round(value / top * scale)))] for value in selected
+    )
+
+
+def throughput_sparkline(metrics: RunMetrics, width: int = 60) -> str:
+    """Sparkline of a run's windowed throughput series."""
+    return sparkline([point.rate for point in metrics.series], width=width)
+
+
+def latency_sparkline(metrics: RunMetrics, width: int = 60) -> str:
+    """Sparkline of a run's windowed confirmation-latency series."""
+    return sparkline([value for _, value in metrics.latency_series], width=width)
+
+
+def summarize(results: Mapping[str, RunMetrics]) -> str:
+    """Multi-line human-readable summary of labelled runs."""
+    lines = []
+    for label, metrics in results.items():
+        lines.append(
+            f"{label:<18} {metrics.throughput_ktps:8.1f} ktps  "
+            f"{metrics.latency.mean:7.2f} s mean  "
+            f"{metrics.latency.p95:7.2f} s p95  "
+            f"partial {partial_path_share(metrics) * 100:5.1f}%"
+        )
+    return "\n".join(lines)

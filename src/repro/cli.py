@@ -1,0 +1,190 @@
+"""Command-line interface for running experiments and regenerating figures.
+
+Examples::
+
+    python -m repro.cli run --protocol orthrus --replicas 16 --environment wan
+    python -m repro.cli compare --replicas 16 --straggler
+    python -m repro.cli figure fig3 --scale smoke
+    python -m repro.cli workload --transactions 1000 --payment-fraction 0.8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.comparison import (
+    compare_latency,
+    export_csv,
+    summarize,
+    throughput_sparkline,
+)
+from repro.cluster.faults import FaultPlan
+from repro.cluster.pipeline import PipelineConfig, run_pipeline_experiment
+from repro.experiments.reporting import (
+    breakdown_table,
+    fault_timeline_table,
+    proportion_table,
+    scalability_table,
+    undetectable_table,
+)
+from repro.experiments.scenarios import (
+    detectable_fault_timelines,
+    latency_breakdown,
+    payment_proportion_sweep,
+    scalability_sweep,
+    undetectable_fault_sweep,
+)
+from repro.protocols.registry import PROTOCOL_NAMES, available_protocols
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import EthereumStyleWorkload
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Orthrus reproduction: run experiments and regenerate figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one protocol once")
+    run_parser.add_argument("--protocol", default="orthrus", choices=available_protocols() + ["orthrus-blocking"])
+    run_parser.add_argument("--replicas", type=int, default=16)
+    run_parser.add_argument("--environment", default="wan", choices=["wan", "lan"])
+    run_parser.add_argument("--duration", type=float, default=40.0)
+    run_parser.add_argument("--warmup", type=float, default=8.0)
+    run_parser.add_argument("--straggler", action="store_true")
+    run_parser.add_argument("--payment-fraction", type=float, default=0.46)
+    run_parser.add_argument("--seed", type=int, default=1)
+    run_parser.add_argument("--csv", action="store_true", help="emit CSV instead of text")
+
+    compare_parser = subparsers.add_parser("compare", help="run every protocol once and compare")
+    compare_parser.add_argument("--replicas", type=int, default=16)
+    compare_parser.add_argument("--environment", default="wan", choices=["wan", "lan"])
+    compare_parser.add_argument("--duration", type=float, default=40.0)
+    compare_parser.add_argument("--warmup", type=float, default=8.0)
+    compare_parser.add_argument("--straggler", action="store_true")
+    compare_parser.add_argument("--seed", type=int, default=1)
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument(
+        "name",
+        choices=["fig3", "fig4", "fig5", "fig6", "fig7", "fig8"],
+        help="paper figure to regenerate",
+    )
+    figure_parser.add_argument("--scale", default="smoke", choices=["smoke", "ci", "paper"])
+
+    workload_parser = subparsers.add_parser("workload", help="inspect the synthetic trace")
+    workload_parser.add_argument("--transactions", type=int, default=1000)
+    workload_parser.add_argument("--accounts", type=int, default=18_000)
+    workload_parser.add_argument("--payment-fraction", type=float, default=0.46)
+    workload_parser.add_argument("--seed", type=int, default=42)
+
+    return parser
+
+
+def _pipeline_config(args: argparse.Namespace, protocol: str) -> PipelineConfig:
+    faults = FaultPlan.with_straggler(instance=1) if args.straggler else FaultPlan.none()
+    return PipelineConfig(
+        protocol=protocol,
+        num_replicas=args.replicas,
+        environment=args.environment,
+        duration=args.duration,
+        warmup=args.warmup,
+        samples_per_block=6,
+        seed=args.seed,
+        workload=WorkloadConfig(payment_fraction=args.payment_fraction)
+        if hasattr(args, "payment_fraction")
+        else WorkloadConfig(),
+        faults=faults,
+    )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    metrics = run_pipeline_experiment(_pipeline_config(args, args.protocol))
+    if args.csv:
+        print(export_csv({args.protocol: metrics}), end="")
+        return 0
+    print(summarize({args.protocol: metrics}))
+    print("stage breakdown:")
+    for stage, seconds in metrics.stage_breakdown.items():
+        print(f"  {stage:<18} {seconds:7.3f} s")
+    spark = throughput_sparkline(metrics)
+    if spark:
+        print(f"throughput over time: [{spark}]")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    args.payment_fraction = 0.46
+    results = {}
+    for protocol in PROTOCOL_NAMES:
+        results[protocol] = run_pipeline_experiment(_pipeline_config(args, protocol))
+    print(summarize(results))
+    print()
+    for comparison in compare_latency(results, "orthrus"):
+        print(
+            f"orthrus vs {comparison.reference:<8} "
+            f"latency reduction {comparison.latency_reduction_percent:6.1f} %   "
+            f"throughput ratio {comparison.throughput_ratio:5.2f}x"
+        )
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    if args.name == "fig3":
+        for stragglers in (0, 1):
+            points = scalability_sweep("wan", stragglers=stragglers, scale=args.scale)
+            print(scalability_table(points))
+            print()
+    elif args.name == "fig4":
+        for stragglers in (0, 1):
+            points = scalability_sweep("lan", stragglers=stragglers, scale=args.scale)
+            print(scalability_table(points))
+            print()
+    elif args.name == "fig5":
+        for stragglers in (0, 1):
+            print(proportion_table(payment_proportion_sweep(stragglers=stragglers, scale=args.scale)))
+            print()
+    elif args.name == "fig6":
+        print(breakdown_table(latency_breakdown(scale=args.scale)))
+    elif args.name == "fig7":
+        print(fault_timeline_table(detectable_fault_timelines(scale=args.scale)))
+    elif args.name == "fig8":
+        print(undetectable_table(undetectable_fault_sweep(scale=args.scale)))
+    return 0
+
+
+def _command_workload(args: argparse.Namespace) -> int:
+    config = WorkloadConfig(
+        num_accounts=args.accounts,
+        num_transactions=args.transactions,
+        payment_fraction=args.payment_fraction,
+        seed=args.seed,
+    )
+    trace = EthereumStyleWorkload(config).generate()
+    stats = trace.statistics
+    print(f"transactions            : {stats.total}")
+    print(f"payments                : {stats.payments} ({stats.payment_fraction * 100:.1f} %)")
+    print(f"contract calls          : {stats.contracts}")
+    print(f"multi-payer payments    : {stats.multi_payer_payments}")
+    print(f"multi-caller contracts  : {stats.multi_caller_contracts}")
+    print(f"distinct active accounts: {stats.unique_accounts}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "compare": _command_compare,
+        "figure": _command_figure,
+        "workload": _command_workload,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

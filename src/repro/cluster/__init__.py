@@ -1,0 +1,27 @@
+"""Cluster drivers: message-level deployment and pipeline (quorum) fidelity."""
+
+from repro.cluster.builder import MessageCluster, MessageClusterConfig
+from repro.cluster.client import ClientNode
+from repro.cluster.faults import (
+    PAPER_STRAGGLER_SLOWDOWN,
+    PAPER_VIEW_CHANGE_TIMEOUT,
+    FaultPlan,
+)
+from repro.cluster.messages import ClientReply, ClientRequest
+from repro.cluster.pipeline import PipelineCluster, PipelineConfig, run_pipeline_experiment
+from repro.cluster.replica import MultiBFTReplica
+
+__all__ = [
+    "ClientNode",
+    "ClientReply",
+    "ClientRequest",
+    "FaultPlan",
+    "MessageCluster",
+    "MessageClusterConfig",
+    "MultiBFTReplica",
+    "PAPER_STRAGGLER_SLOWDOWN",
+    "PAPER_VIEW_CHANGE_TIMEOUT",
+    "PipelineCluster",
+    "PipelineConfig",
+    "run_pipeline_experiment",
+]

@@ -1,0 +1,89 @@
+"""Fault plans: stragglers, detectable crashes, undetectable Byzantine replicas.
+
+The evaluation section exercises three degradation modes:
+
+* **Stragglers** (Fig. 3/4/5/6): one instance runs 10x slower than the rest.
+* **Detectable faults** (Fig. 7): leaders crash at a known time; the failure
+  detector (10 s view-change timeout) eventually replaces them.
+* **Undetectable faults** (Fig. 8): a Byzantine replica keeps proposing in
+  the instance it leads but silently abstains from every other instance, so
+  no timeout fires, yet quorums must be formed from the remaining replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Slowdown factor the paper uses for its straggler experiments.
+PAPER_STRAGGLER_SLOWDOWN = 10.0
+#: View-change timeout used in the fault experiments (Sec. VII-E).
+PAPER_VIEW_CHANGE_TIMEOUT = 10.0
+
+
+@dataclass
+class FaultPlan:
+    """Degradations applied to a cluster during an experiment.
+
+    Attributes:
+        stragglers: Mapping of replica/instance id to slowdown factor.
+        crashes: Mapping of replica id to the simulated time it crashes.
+        view_change_timeout: Seconds before a crashed leader is replaced.
+        recovery_delay: Extra seconds for the new leader to take over after
+            the timeout expires (view-change message exchange).
+        undetectable_faults: Number of replicas that abstain from instances
+            they do not lead without triggering the failure detector.
+        retransmit_penalty_per_fault: Extra per-round latency charged for each
+            abstaining replica (timeout-driven retransmissions to silent
+            peers); used by the quorum-fidelity model only.
+    """
+
+    stragglers: dict[int, float] = field(default_factory=dict)
+    crashes: dict[int, float] = field(default_factory=dict)
+    view_change_timeout: float = PAPER_VIEW_CHANGE_TIMEOUT
+    recovery_delay: float = 0.5
+    undetectable_faults: int = 0
+    retransmit_penalty_per_fault: float = 0.5
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """A plan with no degradations."""
+        return cls()
+
+    @classmethod
+    def with_straggler(
+        cls, instance: int = 0, slowdown: float = PAPER_STRAGGLER_SLOWDOWN
+    ) -> "FaultPlan":
+        """The paper's standard one-straggler plan."""
+        return cls(stragglers={instance: slowdown})
+
+    @classmethod
+    def with_crashes(
+        cls,
+        replicas: list[int],
+        at_time: float,
+        *,
+        view_change_timeout: float = PAPER_VIEW_CHANGE_TIMEOUT,
+    ) -> "FaultPlan":
+        """Crash ``replicas`` simultaneously at ``at_time`` (Fig. 7)."""
+        return cls(
+            crashes={replica: at_time for replica in replicas},
+            view_change_timeout=view_change_timeout,
+        )
+
+    @classmethod
+    def with_undetectable(cls, count: int) -> "FaultPlan":
+        """``count`` undetectable Byzantine replicas (Fig. 8)."""
+        return cls(undetectable_faults=count)
+
+    def slowdown_of(self, node_id: int) -> float:
+        """Slowdown factor of a node (1.0 when healthy)."""
+        return self.stragglers.get(node_id, 1.0)
+
+    def crash_time_of(self, node_id: int) -> float | None:
+        """When (if ever) the node crashes."""
+        return self.crashes.get(node_id)
+
+    @property
+    def straggler_count(self) -> int:
+        """Number of stragglers in the plan."""
+        return len(self.stragglers)

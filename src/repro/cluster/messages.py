@@ -1,0 +1,33 @@
+"""Client-facing messages used by the message-level cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ledger.transactions import Transaction
+from repro.net.message import MESSAGE_OVERHEAD_BYTES
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """A client's submission of one transaction to a replica."""
+
+    tx: Transaction
+    client_node: int
+
+    @property
+    def size_bytes(self) -> int:
+        return MESSAGE_OVERHEAD_BYTES + self.tx.payload_size
+
+
+@dataclass(frozen=True)
+class ClientReply:
+    """A replica's confirmation response to the submitting client."""
+
+    tx_id: str
+    replica: int
+    committed: bool
+
+    @property
+    def size_bytes(self) -> int:
+        return MESSAGE_OVERHEAD_BYTES

@@ -1,0 +1,242 @@
+"""Message-level Multi-BFT replica node.
+
+A :class:`MultiBFTReplica` is a full protocol participant in the simulated
+network: it hosts one PBFT endpoint per SB instance, a consensus core
+(Orthrus or a baseline), leader logic that cuts batches from its buckets, the
+epoch checkpoint exchange and the client reply path.  This is the
+highest-fidelity driver; the test suite and the small-scale examples use it,
+while the large sweeps use :mod:`repro.cluster.pipeline`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.messages import ClientReply, ClientRequest
+from repro.core.epochs import CheckpointQuorum
+from repro.core.interfaces import ConsensusCore
+from repro.core.outcomes import ConfirmationPath, TxOutcome
+from repro.ledger.blocks import Block
+from repro.metrics.summary import MetricsCollector
+from repro.sb.pbft.endpoint import PBFTConfig, PBFTEndpoint
+from repro.sb.pbft.messages import CheckpointMessage, PBFTMessage
+from repro.sim.process import Process
+
+
+class MultiBFTReplica(Process):
+    """One replica participating in every SB instance."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        num_replicas: int,
+        core: ConsensusCore,
+        *,
+        pbft_config: PBFTConfig | None = None,
+        batch_size: int | None = None,
+        batch_interval: float = 0.05,
+        metrics: MetricsCollector | None = None,
+    ) -> None:
+        super().__init__(replica_id)
+        self.num_replicas = num_replicas
+        self.core = core
+        self.metrics = metrics
+        self.batch_size = batch_size or core.config.batch_size
+        self.batch_interval = batch_interval
+        self.fault_tolerance = (num_replicas - 1) // 3
+        self._pbft_config = pbft_config or PBFTConfig()
+        self.endpoints: dict[int, PBFTEndpoint] = {}
+        self._next_sequence: dict[int, int] = {}
+        self._client_of_tx: dict[str, int] = {}
+        self._checkpoints = CheckpointQuorum(2 * self.fault_tolerance + 1)
+        self._last_proposal_at: dict[int, float] = {}
+        #: Minimum idle time before an empty (no-op) block is proposed to keep
+        #: the global ordering frontier advancing once client traffic stops.
+        self.noop_interval = 0.5
+        self._started = False
+        self._crashed = False
+        #: Confirmations produced by this replica (inspected by tests).
+        self.outcomes: list[TxOutcome] = []
+
+        for instance in range(core.config.num_instances):
+            endpoint = PBFTEndpoint(
+                instance_id=instance,
+                replica_id=replica_id,
+                num_replicas=num_replicas,
+                transport=self,
+                config=self._pbft_config,
+            )
+            endpoint.on_deliver(lambda block, inst=instance: self._on_deliver(block))
+            endpoint.on_leader_change(
+                lambda view, leader, inst=instance: self._on_leader_change(inst, leader)
+            )
+            self.endpoints[instance] = endpoint
+            self._next_sequence[instance] = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the proposal loop for the instances this replica leads."""
+        if self._started:
+            return
+        self._started = True
+        for endpoint in self.endpoints.values():
+            endpoint.start()
+        self.set_timer(self.batch_interval, self._proposal_tick)
+
+    def crash(self) -> None:
+        """Stop participating entirely (used by fault-injection tests)."""
+        self._crashed = True
+        self.cancel_timers()
+
+    # -- transport interface used by the PBFT endpoints ----------------------------
+
+    def now(self) -> float:
+        """Current simulated time (Transport protocol)."""
+        return self.sim.now
+
+    # Process.send / Process.broadcast / Process.set_timer already satisfy the
+    # remaining Transport requirements.
+
+    # -- message handling -------------------------------------------------------------
+
+    def receive(self, sender: int, message: Any) -> None:
+        if self._crashed:
+            return
+        if isinstance(message, ClientRequest):
+            self._handle_client_request(sender, message)
+        elif isinstance(message, CheckpointMessage):
+            self._checkpoints.add_vote(message.epoch, message.state_digest, message.sender)
+        elif isinstance(message, PBFTMessage):
+            endpoint = self.endpoints.get(message.instance)
+            if endpoint is not None:
+                endpoint.handle_message(sender, message)
+
+    def _handle_client_request(self, sender: int, request: ClientRequest) -> None:
+        tx = request.tx
+        self._client_of_tx[tx.tx_id] = request.client_node
+        if self.metrics is not None:
+            self.metrics.latency.record_received(tx.tx_id, self.sim.now)
+        try:
+            buckets = self.core.submit(tx)
+        except Exception:
+            return
+        # Censorship detection: expect progress on every instance this
+        # transaction was assigned to (Sec. V-B).
+        for instance in buckets:
+            self.endpoints[instance].notify_pending_work()
+
+    # -- leader logic ---------------------------------------------------------------------
+
+    def led_instances(self) -> list[int]:
+        """Instances currently led by this replica."""
+        return [
+            instance
+            for instance, endpoint in self.endpoints.items()
+            if endpoint.is_leader()
+        ]
+
+    def _proposal_tick(self) -> None:
+        if self._crashed:
+            return
+        for instance in self.led_instances():
+            self._propose_for(instance)
+        self.set_timer(self.batch_interval, self._proposal_tick)
+
+    def _propose_for(self, instance: int) -> None:
+        batch = self.core.select_batch(instance, self.batch_size)
+        if not batch and not self._should_propose_noop(instance):
+            return
+        rank = self.core.next_rank() if self.core.uses_ranks else None
+        block = Block.create(
+            instance=instance,
+            sequence_number=self._next_sequence[instance],
+            transactions=batch,
+            state=self.core.delivered_state(),
+            proposer=self.node_id,
+            epoch=self._next_sequence[instance] // self.core.config.epoch_length,
+            rank=rank,
+        )
+        self._next_sequence[instance] += 1
+        self._last_proposal_at[instance] = self.sim.now
+        if self.metrics is not None:
+            for tx in batch:
+                self.metrics.latency.record_proposed(tx.tx_id, self.sim.now)
+        self.endpoints[instance].broadcast_block(block)
+
+    def _should_propose_noop(self, instance: int) -> bool:
+        """Propose an empty block to unblock global ordering (ISS-style no-op).
+
+        Rank- and position-based global ordering both need every instance to
+        keep delivering for already-delivered blocks to become globally
+        ordered; once client traffic drains, idle leaders fill their slots
+        with no-ops so the remaining contract transactions confirm.
+        """
+        if self.core.global_orderer.pending_count() == 0:
+            return False
+        last = self._last_proposal_at.get(instance, 0.0)
+        return self.sim.now - last >= self.noop_interval
+
+    def _on_leader_change(self, instance: int, leader: int) -> None:
+        if leader != self.node_id:
+            return
+        # Resume sequence numbering after whatever the old leader delivered or
+        # left pre-prepared (re-proposed slots keep their original numbers, so
+        # fresh proposals must start above them to avoid conflicting slots).
+        delivered = self.core.delivered_state().sequence_numbers[instance]
+        highest_started = self.endpoints[instance].slots.highest_started()
+        self._next_sequence[instance] = max(
+            self._next_sequence[instance], delivered + 1, highest_started + 1
+        )
+
+    # -- delivery path --------------------------------------------------------------------
+
+    def _on_deliver(self, block: Block) -> None:
+        if self._crashed:
+            return
+        if self.metrics is not None:
+            for tx in block.transactions:
+                self.metrics.latency.record_delivered(tx.tx_id, self.sim.now)
+        outcomes = self.core.on_block_delivered(block)
+        self.outcomes.extend(outcomes)
+        for outcome in outcomes:
+            if self.metrics is not None:
+                self.metrics.record_outcome(
+                    outcome.tx.tx_id,
+                    self.sim.now,
+                    committed=outcome.committed,
+                    partial_path=outcome.path is ConfirmationPath.PARTIAL,
+                )
+            client_node = self._client_of_tx.get(outcome.tx.tx_id)
+            if client_node is not None:
+                self.send(
+                    client_node,
+                    ClientReply(
+                        tx_id=outcome.tx.tx_id,
+                        replica=self.node_id,
+                        committed=outcome.committed,
+                    ),
+                )
+        self._broadcast_checkpoints()
+
+    def _broadcast_checkpoints(self) -> None:
+        pending = getattr(self.core, "pending_checkpoints", None)
+        if not pending:
+            return
+        while pending:
+            checkpoint = pending.pop(0)
+            message = CheckpointMessage(
+                instance=0,
+                view=0,
+                sender=self.node_id,
+                epoch=checkpoint.epoch,
+                state_digest=checkpoint.digest,
+            )
+            self.broadcast(message)
+            self._checkpoints.add_vote(checkpoint.epoch, checkpoint.digest, self.node_id)
+
+    # -- introspection ------------------------------------------------------------------------
+
+    def stable_checkpoint(self, epoch: int) -> bool:
+        """Whether this replica holds a stable checkpoint for ``epoch``."""
+        return self._checkpoints.is_stable(epoch)

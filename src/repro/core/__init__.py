@@ -1,0 +1,37 @@
+"""Orthrus core: partitioning, buckets, logs, hybrid execution, epochs."""
+
+from repro.core.buckets import Bucket
+from repro.core.config import DEFAULT_BATCH_SIZE, CoreConfig
+from repro.core.epochs import Checkpoint, CheckpointQuorum, EpochTracker
+from repro.core.interfaces import ConsensusCore
+from repro.core.logs import PartialLog, ProcessedFrontier
+from repro.core.orthrus import OrthrusCore
+from repro.core.outcomes import ConfirmationPath, TxOutcome, TxStatus
+from repro.core.partition import (
+    LoadBalancedPartitioner,
+    Partitioner,
+    PayerPartitioner,
+    TransactionPartitioner,
+    stable_hash,
+)
+
+__all__ = [
+    "Bucket",
+    "Checkpoint",
+    "CheckpointQuorum",
+    "ConfirmationPath",
+    "ConsensusCore",
+    "CoreConfig",
+    "DEFAULT_BATCH_SIZE",
+    "EpochTracker",
+    "LoadBalancedPartitioner",
+    "OrthrusCore",
+    "PartialLog",
+    "Partitioner",
+    "PayerPartitioner",
+    "ProcessedFrontier",
+    "TransactionPartitioner",
+    "TxOutcome",
+    "TxStatus",
+    "stable_hash",
+]

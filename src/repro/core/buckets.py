@@ -1,0 +1,88 @@
+"""Transaction buckets feeding the SB instances (Sec. V-A).
+
+Each bucket is an append-only queue for backups; the instance's leader may
+additionally *pull* transactions when forming a block.  Duplicate submissions
+are ignored, and transactions that have already reached a terminal status can
+be purged during garbage collection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.ledger.transactions import Transaction
+
+
+class Bucket:
+    """Pending transactions assigned to one SB instance."""
+
+    def __init__(self, instance: int) -> None:
+        self.instance = instance
+        self._queue: deque[Transaction] = deque()
+        self._members: set[str] = set()
+        #: ids pulled by the leader but not yet confirmed (kept for requeue).
+        self._in_flight: dict[str, Transaction] = {}
+
+    def push(self, tx: Transaction) -> bool:
+        """Append a transaction; returns False for duplicates."""
+        if tx.tx_id in self._members or tx.tx_id in self._in_flight:
+            return False
+        self._queue.append(tx)
+        self._members.add(tx.tx_id)
+        return True
+
+    def pull(self, max_count: int) -> list[Transaction]:
+        """Leader-only: remove up to ``max_count`` oldest transactions."""
+        batch: list[Transaction] = []
+        while self._queue and len(batch) < max_count:
+            tx = self._queue.popleft()
+            self._members.discard(tx.tx_id)
+            self._in_flight[tx.tx_id] = tx
+            batch.append(tx)
+        return batch
+
+    def requeue(self, txs: Iterable[Transaction]) -> int:
+        """Return pulled-but-unordered transactions to the front of the queue.
+
+        Used after a view change when the old leader's proposals are lost.
+        """
+        returned = 0
+        for tx in reversed(list(txs)):
+            self._in_flight.pop(tx.tx_id, None)
+            if tx.tx_id in self._members:
+                continue
+            self._queue.appendleft(tx)
+            self._members.add(tx.tx_id)
+            returned += 1
+        return returned
+
+    def mark_confirmed(self, tx_ids: Iterable[str]) -> None:
+        """Drop confirmed transactions from the in-flight tracking set."""
+        for tx_id in tx_ids:
+            self._in_flight.pop(tx_id, None)
+
+    def purge(self, tx_ids: Iterable[str]) -> int:
+        """Remove queued transactions whose ids appear in ``tx_ids``.
+
+        Called by garbage collection for transactions that were confirmed via
+        another instance or will never execute (Sec. V-D).
+        """
+        drop = {tx_id for tx_id in tx_ids}
+        if not drop:
+            return 0
+        kept = [tx for tx in self._queue if tx.tx_id not in drop]
+        removed = len(self._queue) - len(kept)
+        self._queue = deque(kept)
+        self._members = {tx.tx_id for tx in kept}
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._members
+
+    def peek_all(self) -> list[Transaction]:
+        """Copy of the queued transactions (oldest first), for inspection."""
+        return list(self._queue)

@@ -1,0 +1,103 @@
+"""Epochs, checkpoints and garbage collection (Sec. V-D).
+
+Orthrus operates in epochs: each epoch assigns a fixed window of sequence
+numbers to every instance, and a replica only closes the epoch after every
+assigned sequence number has been delivered and processed.  On epoch
+completion replicas exchange signed checkpoint digests; a quorum of
+``2f + 1`` matching digests forms a *stable checkpoint* that authorises
+garbage-collecting the epoch's blocks and any transactions that will never
+execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.digest import combine_digests
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A replica's summary of one completed epoch."""
+
+    epoch: int
+    frontier: tuple[int, ...]
+    state_digest: str
+    block_digests: tuple[str, ...] = ()
+
+    @property
+    def digest(self) -> str:
+        """Digest replicas compare when forming a stable checkpoint."""
+        return combine_digests(
+            [self.state_digest, str(self.epoch), *map(str, self.frontier)]
+        )
+
+
+class EpochTracker:
+    """Tracks per-instance delivery progress against epoch boundaries."""
+
+    def __init__(self, num_instances: int, epoch_length: int) -> None:
+        if epoch_length <= 0:
+            raise ValueError("epoch_length must be positive")
+        self.num_instances = num_instances
+        self.epoch_length = epoch_length
+        self._processed: list[int] = [-1] * num_instances
+        self._completed_epochs = 0
+
+    def epoch_of(self, sequence_number: int) -> int:
+        """Epoch a sequence number belongs to."""
+        return sequence_number // self.epoch_length
+
+    def record_processed(self, instance: int, sequence_number: int) -> None:
+        """Note that a block has been fully processed by the execution engine."""
+        self._processed[instance] = max(self._processed[instance], sequence_number)
+
+    def epoch_complete(self, epoch: int) -> bool:
+        """Whether every instance has processed all of ``epoch``'s slots."""
+        last_required = (epoch + 1) * self.epoch_length - 1
+        return all(done >= last_required for done in self._processed)
+
+    def newly_completed(self) -> list[int]:
+        """Epochs that completed since the last call (in order)."""
+        completed: list[int] = []
+        while self.epoch_complete(self._completed_epochs):
+            completed.append(self._completed_epochs)
+            self._completed_epochs += 1
+        return completed
+
+    @property
+    def completed_count(self) -> int:
+        """Number of epochs fully completed so far."""
+        return self._completed_epochs
+
+    def first_sequence_of(self, epoch: int) -> int:
+        """First sequence number belonging to ``epoch``."""
+        return epoch * self.epoch_length
+
+
+class CheckpointQuorum:
+    """Collects checkpoint messages until a stable checkpoint forms."""
+
+    def __init__(self, quorum: int) -> None:
+        self.quorum = quorum
+        self._votes: dict[tuple[int, str], set[int]] = {}
+        self._stable: dict[int, str] = {}
+
+    def add_vote(self, epoch: int, digest: str, replica: int) -> bool:
+        """Record a checkpoint vote; returns True when it became stable."""
+        if epoch in self._stable:
+            return False
+        voters = self._votes.setdefault((epoch, digest), set())
+        voters.add(replica)
+        if len(voters) >= self.quorum:
+            self._stable[epoch] = digest
+            return True
+        return False
+
+    def is_stable(self, epoch: int) -> bool:
+        """Whether a stable checkpoint exists for ``epoch``."""
+        return epoch in self._stable
+
+    def stable_digest(self, epoch: int) -> str | None:
+        """Digest of the stable checkpoint, if any."""
+        return self._stable.get(epoch)

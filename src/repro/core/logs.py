@@ -1,0 +1,93 @@
+"""Partial logs (``plog``) and the processed-frontier bookkeeping.
+
+Every instance has one partial log per replica: the blocks that instance has
+delivered, indexed by sequence number.  The execution engine walks each
+partial log in order; a position may only be processed once the block's
+referenced system state ``b.S`` is covered by what the replica has already
+processed, which realises the cross-instance references of Sec. II-A.
+"""
+
+from __future__ import annotations
+
+from repro.ledger.blocks import Block, SystemState
+
+
+class PartialLog:
+    """Delivered blocks of one SB instance, processed in sequence order."""
+
+    def __init__(self, instance: int) -> None:
+        self.instance = instance
+        self._blocks: dict[int, Block] = {}
+        self._next_to_process = 0
+        self._highest_delivered = -1
+
+    def add(self, block: Block) -> bool:
+        """Record a delivered block; returns False for duplicates."""
+        if block.sequence_number in self._blocks:
+            return False
+        self._blocks[block.sequence_number] = block
+        self._highest_delivered = max(self._highest_delivered, block.sequence_number)
+        return True
+
+    def get(self, sequence_number: int) -> Block | None:
+        """Block at ``sequence_number`` if delivered."""
+        return self._blocks.get(sequence_number)
+
+    @property
+    def next_to_process(self) -> int:
+        """Lowest sequence number the execution engine has not settled."""
+        return self._next_to_process
+
+    @property
+    def highest_delivered(self) -> int:
+        """Highest delivered sequence number (-1 when empty)."""
+        return self._highest_delivered
+
+    def peek_next(self) -> Block | None:
+        """The next block awaiting processing, if it has been delivered."""
+        return self._blocks.get(self._next_to_process)
+
+    def advance(self) -> None:
+        """Mark the current head position as processed."""
+        self._next_to_process += 1
+
+    def prune_below(self, sequence_number: int) -> int:
+        """Garbage-collect processed blocks below ``sequence_number``."""
+        stale = [
+            sn
+            for sn in self._blocks
+            if sn < sequence_number and sn < self._next_to_process
+        ]
+        for sn in stale:
+            del self._blocks[sn]
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+
+class ProcessedFrontier:
+    """Tracks, per instance, the highest sequence number already processed."""
+
+    def __init__(self, num_instances: int) -> None:
+        self._frontier = [-1] * num_instances
+
+    def advance(self, instance: int, sequence_number: int) -> None:
+        """Record that ``(instance, sequence_number)`` has been processed."""
+        self._frontier[instance] = max(self._frontier[instance], sequence_number)
+
+    def covers(self, state: SystemState) -> bool:
+        """Whether every reference in ``state`` has been processed locally."""
+        if len(state) != len(self._frontier):
+            return False
+        return all(
+            have >= need
+            for have, need in zip(self._frontier, state.sequence_numbers)
+        )
+
+    def as_state(self) -> SystemState:
+        """Snapshot of the frontier as a :class:`SystemState`."""
+        return SystemState(tuple(self._frontier))
+
+    def __getitem__(self, instance: int) -> int:
+        return self._frontier[instance]

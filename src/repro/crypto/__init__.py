@@ -1,0 +1,25 @@
+"""Simulated cryptography: digests, PKI, signatures, quorum certificates."""
+
+from repro.crypto.digest import canonical_bytes, combine_digests, digest, sha256_hex
+from repro.crypto.keys import KeyPair, PublicKeyInfrastructure
+from repro.crypto.signatures import (
+    CryptoCostModel,
+    QuorumCertificate,
+    Signature,
+    sign,
+    verify,
+)
+
+__all__ = [
+    "CryptoCostModel",
+    "KeyPair",
+    "PublicKeyInfrastructure",
+    "QuorumCertificate",
+    "Signature",
+    "canonical_bytes",
+    "combine_digests",
+    "digest",
+    "sha256_hex",
+    "sign",
+    "verify",
+]

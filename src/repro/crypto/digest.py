@@ -1,0 +1,51 @@
+"""Deterministic content digests.
+
+Blocks, transactions and checkpoint summaries are identified by SHA-256
+digests of a canonical rendering of their fields.  Digests are hex strings so
+they remain hashable, comparable and readable in logs and test failures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Render ``value`` as canonical bytes for hashing.
+
+    Dataclass-like objects may expose ``digest_fields()`` returning a plain
+    structure; otherwise the object's ``repr`` is used.  Plain structures are
+    serialised as sorted-key JSON, which is stable across runs.
+    """
+    provider = getattr(value, "digest_fields", None)
+    if callable(provider):
+        value = provider()
+    try:
+        return json.dumps(value, sort_keys=True, default=_fallback).encode("utf-8")
+    except (TypeError, ValueError):
+        return repr(value).encode("utf-8")
+
+
+def _fallback(value: Any) -> Any:
+    provider = getattr(value, "digest_fields", None)
+    if callable(provider):
+        return provider()
+    return repr(value)
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex SHA-256 of raw bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def digest(value: Any) -> str:
+    """Hex SHA-256 digest of an arbitrary value's canonical rendering."""
+    return sha256_hex(canonical_bytes(value))
+
+
+def combine_digests(digests: list[str]) -> str:
+    """Digest of an ordered list of digests (used for checkpoint summaries)."""
+    joined = "|".join(digests).encode("utf-8")
+    return sha256_hex(joined)

@@ -1,0 +1,71 @@
+"""Simulated public-key infrastructure.
+
+The reproduction does not need real asymmetric cryptography: the adversary in
+the simulation is the code we write, not an external attacker.  What matters
+for the evaluation is (a) that signatures bind a message to a signer so honest
+replicas can reject forgeries injected by the fault machinery, and (b) that
+signing/verification charge a configurable CPU cost to the simulated clock.
+
+A :class:`KeyPair` therefore derives a deterministic "private" secret from the
+holder's identity, and a :class:`PublicKeyInfrastructure` registry lets any
+party look up public keys, mirroring the PKI assumed in Sec. III-A.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """Deterministic key pair for a named holder (replica or client)."""
+
+    holder: str
+    public_key: str
+    _secret: str
+
+    @classmethod
+    def generate(cls, holder: str, seed: int = 0) -> "KeyPair":
+        """Derive a key pair for ``holder`` from the experiment seed."""
+        secret = hashlib.sha256(f"secret|{holder}|{seed}".encode()).hexdigest()
+        public = hashlib.sha256(f"public|{secret}".encode()).hexdigest()
+        return cls(holder=holder, public_key=public, _secret=secret)
+
+    def secret(self) -> str:
+        """Return the private component (used only by the signer module)."""
+        return self._secret
+
+
+class PublicKeyInfrastructure:
+    """Registry mapping holder names to public keys."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._keys: dict[str, KeyPair] = {}
+
+    def enroll(self, holder: str) -> KeyPair:
+        """Create (or return the existing) key pair for ``holder``."""
+        if holder not in self._keys:
+            self._keys[holder] = KeyPair.generate(holder, self._seed)
+        return self._keys[holder]
+
+    def public_key_of(self, holder: str) -> str:
+        """Public key registered for ``holder``.
+
+        Raises:
+            ConfigurationError: If the holder has not been enrolled.
+        """
+        try:
+            return self._keys[holder].public_key
+        except KeyError as exc:
+            raise ConfigurationError(f"{holder!r} is not enrolled in the PKI") from exc
+
+    def holders(self) -> list[str]:
+        """All enrolled holder names."""
+        return sorted(self._keys)
+
+    def __contains__(self, holder: str) -> bool:
+        return holder in self._keys

@@ -1,0 +1,112 @@
+"""Simulated signatures and quorum certificates.
+
+A signature here is a keyed hash over the message digest and the signer's
+secret; verification recomputes it from the PKI-registered key pair.  This is
+not cryptographically secure (and does not need to be inside a simulation),
+but it has the property the protocol logic relies on: a signature only
+verifies if it was produced with the holder's secret over exactly that
+message, so tampering by the fault-injection machinery is detected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.digest import digest
+from repro.crypto.keys import KeyPair, PublicKeyInfrastructure
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signer's attestation over a message digest."""
+
+    signer: str
+    message_digest: str
+    value: str
+
+    @classmethod
+    def create(cls, keypair: KeyPair, message: Any) -> "Signature":
+        """Sign ``message`` with ``keypair``."""
+        message_digest = digest(message)
+        value = hashlib.sha256(
+            f"{keypair.secret()}|{message_digest}".encode()
+        ).hexdigest()
+        return cls(signer=keypair.holder, message_digest=message_digest, value=value)
+
+
+def sign(keypair: KeyPair, message: Any) -> Signature:
+    """Sign ``message`` with ``keypair`` (convenience wrapper)."""
+    return Signature.create(keypair, message)
+
+
+def verify(pki: PublicKeyInfrastructure, signature: Signature, message: Any) -> bool:
+    """Check that ``signature`` is a valid attestation of ``message``.
+
+    Verification recomputes the expected signature from the enrolled key pair;
+    an unenrolled signer or a mismatched digest fails verification.
+    """
+    if signature.signer not in pki:
+        return False
+    if signature.message_digest != digest(message):
+        return False
+    keypair = pki.enroll(signature.signer)
+    expected = hashlib.sha256(
+        f"{keypair.secret()}|{signature.message_digest}".encode()
+    ).hexdigest()
+    return expected == signature.value
+
+
+@dataclass
+class QuorumCertificate:
+    """A set of signatures over one digest, valid once a threshold is met."""
+
+    message_digest: str
+    threshold: int
+    signatures: dict[str, Signature] = field(default_factory=dict)
+
+    def add(self, signature: Signature) -> bool:
+        """Add a signature; returns True if it matches the digest and is new."""
+        if signature.message_digest != self.message_digest:
+            return False
+        if signature.signer in self.signatures:
+            return False
+        self.signatures[signature.signer] = signature
+        return True
+
+    @property
+    def count(self) -> int:
+        """Number of distinct signers collected so far."""
+        return len(self.signatures)
+
+    @property
+    def complete(self) -> bool:
+        """Whether the threshold has been reached."""
+        return self.count >= self.threshold
+
+    def signers(self) -> list[str]:
+        """Sorted list of signer identities."""
+        return sorted(self.signatures)
+
+
+@dataclass
+class CryptoCostModel:
+    """CPU cost (seconds) charged for cryptographic operations.
+
+    The Go prototype pays real ECDSA costs; the simulation charges equivalent
+    time to the clock so throughput is bounded by realistic per-transaction
+    verification work.  Defaults approximate a c5a.2xlarge core.
+    """
+
+    sign_cost: float = 40e-6
+    verify_cost: float = 80e-6
+    hash_cost_per_kb: float = 1e-6
+
+    def batch_verify_cost(self, count: int) -> float:
+        """Cost of verifying ``count`` independent signatures."""
+        return max(0, count) * self.verify_cost
+
+    def block_hash_cost(self, size_bytes: int) -> float:
+        """Cost of hashing a block of ``size_bytes``."""
+        return max(0, size_bytes) / 1024.0 * self.hash_cost_per_kb

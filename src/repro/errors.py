@@ -1,0 +1,76 @@
+"""Exception hierarchy for the Orthrus reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Sub-hierarchies mirror the package layout:
+simulation, networking, ledger/escrow, consensus, and configuration errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or with an invalid delay."""
+
+
+class NetworkError(ReproError):
+    """Base class for network-substrate errors."""
+
+
+class UnknownNodeError(NetworkError):
+    """A message was addressed to a node that is not registered."""
+
+
+class LedgerError(ReproError):
+    """Base class for ledger/data-model errors."""
+
+
+class ValidationError(LedgerError):
+    """A transaction or block failed structural or signature validation."""
+
+
+class InsufficientFundsError(LedgerError):
+    """An escrow or debit would violate the object's condition (``con``)."""
+
+
+class EscrowError(LedgerError):
+    """The escrow log was driven through an invalid state transition."""
+
+
+class UnknownObjectError(LedgerError):
+    """An operation referenced an object key absent from the state store."""
+
+
+class ConsensusError(ReproError):
+    """Base class for sequenced-broadcast / ordering errors."""
+
+
+class NotLeaderError(ConsensusError):
+    """A replica attempted a leader-only action while being a backup."""
+
+
+class OrderingError(ConsensusError):
+    """The global-ordering engine detected an inconsistency."""
+
+
+class ViewChangeError(ConsensusError):
+    """A view change could not be completed."""
+
+
+class WorkloadError(ReproError):
+    """The workload generator was given unusable parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration or run failed."""

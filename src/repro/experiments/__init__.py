@@ -1,0 +1,49 @@
+"""Experiment harness: figure scenarios, result rows and text reporting."""
+
+from repro.experiments.reporting import (
+    breakdown_table,
+    fault_timeline_table,
+    format_table,
+    proportion_table,
+    relative_change,
+    scalability_table,
+    undetectable_table,
+)
+from repro.experiments.results import (
+    BreakdownResult,
+    FaultTimeline,
+    ProportionPoint,
+    ScalabilityPoint,
+    TimelinePoint,
+    UndetectableFaultPoint,
+)
+from repro.experiments.scenarios import (
+    ScenarioScale,
+    detectable_fault_timelines,
+    latency_breakdown,
+    payment_proportion_sweep,
+    scalability_sweep,
+    undetectable_fault_sweep,
+)
+
+__all__ = [
+    "BreakdownResult",
+    "FaultTimeline",
+    "ProportionPoint",
+    "ScalabilityPoint",
+    "ScenarioScale",
+    "TimelinePoint",
+    "UndetectableFaultPoint",
+    "breakdown_table",
+    "detectable_fault_timelines",
+    "fault_timeline_table",
+    "format_table",
+    "latency_breakdown",
+    "payment_proportion_sweep",
+    "proportion_table",
+    "relative_change",
+    "scalability_sweep",
+    "scalability_table",
+    "undetectable_fault_sweep",
+    "undetectable_table",
+]

@@ -1,0 +1,120 @@
+"""Plain-text reporting helpers used by benchmarks and examples.
+
+The benchmark harness prints the same rows and series the paper's figures
+show; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.results import (
+    BreakdownResult,
+    FaultTimeline,
+    ProportionPoint,
+    ScalabilityPoint,
+    UndetectableFaultPoint,
+)
+from repro.metrics.latency import STAGE_NAMES
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [render(list(headers)), render(["-" * width for width in widths])]
+    lines.extend(render(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def scalability_table(points: list[ScalabilityPoint]) -> str:
+    """Fig. 3 / Fig. 4 style table: protocol x replicas -> throughput, latency."""
+    rows = [
+        (
+            point.protocol,
+            point.num_replicas,
+            point.stragglers,
+            f"{point.throughput_ktps:.1f}",
+            f"{point.latency_s:.2f}",
+        )
+        for point in points
+    ]
+    return format_table(
+        ["protocol", "replicas", "stragglers", "throughput (ktps)", "latency (s)"],
+        rows,
+    )
+
+
+def proportion_table(points: list[ProportionPoint]) -> str:
+    """Fig. 5 style table."""
+    rows = [
+        (
+            f"{point.payment_proportion * 100:.0f}%",
+            point.stragglers,
+            f"{point.throughput_ktps:.1f}",
+            f"{point.latency_s:.2f}",
+        )
+        for point in points
+    ]
+    return format_table(
+        ["payments", "stragglers", "throughput (ktps)", "latency (s)"], rows
+    )
+
+
+def breakdown_table(results: list[BreakdownResult]) -> str:
+    """Fig. 1b / Fig. 6 style table: per-stage seconds for each protocol."""
+    headers = ["protocol", *STAGE_NAMES, "total (s)"]
+    rows = []
+    for result in results:
+        rows.append(
+            (
+                result.protocol,
+                *(f"{result.stages.get(stage, 0.0):.3f}" for stage in STAGE_NAMES),
+                f"{result.total_latency_s:.2f}",
+            )
+        )
+    return format_table(headers, rows)
+
+
+def fault_timeline_table(timelines: list[FaultTimeline], *, stride: int = 4) -> str:
+    """Fig. 7 style table: throughput/latency samples over time."""
+    headers = ["time (s)"]
+    for timeline in timelines:
+        headers.append(f"f={timeline.faulty_replicas} ktps")
+        headers.append(f"f={timeline.faulty_replicas} lat(s)")
+    rows = []
+    if timelines:
+        length = len(timelines[0].points)
+        for index in range(0, length, stride):
+            row: list[object] = [f"{timelines[0].points[index].time:.1f}"]
+            for timeline in timelines:
+                point = timeline.points[index] if index < len(timeline.points) else None
+                row.append(f"{point.throughput_ktps:.1f}" if point else "-")
+                row.append(f"{point.latency_s:.2f}" if point else "-")
+            rows.append(row)
+    return format_table(headers, rows)
+
+
+def undetectable_table(points: list[UndetectableFaultPoint]) -> str:
+    """Fig. 8 style table."""
+    rows = [
+        (
+            point.faulty_replicas,
+            f"{point.throughput_ktps:.1f}",
+            f"{point.latency_s:.2f}",
+        )
+        for point in points
+    ]
+    return format_table(["faulty replicas", "throughput (ktps)", "latency (s)"], rows)
+
+
+def relative_change(baseline: float, value: float) -> float:
+    """Relative change of ``value`` with respect to ``baseline`` (fraction)."""
+    if baseline == 0:
+        return 0.0
+    return (value - baseline) / baseline

@@ -1,0 +1,75 @@
+"""Result row types shared by the experiment scenarios and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.summary import RunMetrics
+
+
+@dataclass
+class ScalabilityPoint:
+    """One point of the Fig. 3 / Fig. 4 sweeps."""
+
+    protocol: str
+    num_replicas: int
+    environment: str
+    stragglers: int
+    throughput_ktps: float
+    latency_s: float
+    metrics: RunMetrics | None = field(default=None, repr=False)
+
+
+@dataclass
+class ProportionPoint:
+    """One point of the Fig. 5 payment-proportion sweep."""
+
+    payment_proportion: float
+    stragglers: int
+    throughput_ktps: float
+    latency_s: float
+    metrics: RunMetrics | None = field(default=None, repr=False)
+
+
+@dataclass
+class BreakdownResult:
+    """Latency breakdown of one protocol (Fig. 1b / Fig. 6)."""
+
+    protocol: str
+    stages: dict[str, float]
+    total_latency_s: float
+
+    @property
+    def global_ordering_share(self) -> float:
+        """Fraction of the total spent in the global-ordering stage."""
+        total = sum(self.stages.values())
+        if total <= 0:
+            return 0.0
+        return self.stages.get("global_ordering", 0.0) / total
+
+
+@dataclass
+class TimelinePoint:
+    """One window of the Fig. 7 time series."""
+
+    time: float
+    throughput_ktps: float
+    latency_s: float
+
+
+@dataclass
+class FaultTimeline:
+    """Fig. 7 series for one fault count."""
+
+    faulty_replicas: int
+    points: list[TimelinePoint]
+
+
+@dataclass
+class UndetectableFaultPoint:
+    """One point of the Fig. 8 sweep."""
+
+    faulty_replicas: int
+    throughput_ktps: float
+    latency_s: float
+    metrics: RunMetrics | None = field(default=None, repr=False)

@@ -1,0 +1,50 @@
+"""Ledger data model: objects, transactions, blocks, state, escrow."""
+
+from repro.ledger.blocks import Block, SystemState
+from repro.ledger.escrow import EscrowEntry, EscrowLog, EscrowResult
+from repro.ledger.objects import (
+    LedgerObject,
+    ObjectOperation,
+    ObjectType,
+    OperationKind,
+    owned_account,
+    shared_record,
+)
+from repro.ledger.state import StateStore
+from repro.ledger.transactions import (
+    Transaction,
+    TransactionType,
+    classify,
+    contract_call,
+    next_transaction_id,
+    payment,
+    reset_transaction_counter,
+    simple_transfer,
+)
+from repro.ledger.validation import BlockValidator, TransactionValidator, ValidationReport
+
+__all__ = [
+    "Block",
+    "BlockValidator",
+    "EscrowEntry",
+    "EscrowLog",
+    "EscrowResult",
+    "LedgerObject",
+    "ObjectOperation",
+    "ObjectType",
+    "OperationKind",
+    "StateStore",
+    "SystemState",
+    "Transaction",
+    "TransactionType",
+    "TransactionValidator",
+    "ValidationReport",
+    "classify",
+    "contract_call",
+    "next_transaction_id",
+    "owned_account",
+    "payment",
+    "reset_transaction_counter",
+    "shared_record",
+    "simple_transfer",
+]

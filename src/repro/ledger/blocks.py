@@ -1,0 +1,150 @@
+"""Blocks: batches of transactions agreed by one SB instance (Sec. III-B).
+
+A block is ``b = (txs, ins, sn, S, sigma)``: the transaction batch, the
+instance that produced it, its sequence number within that instance, the
+system state the leader referenced when pulling the batch, and the leader's
+signature.  Protocols that use dynamic global ordering (Ladon, Orthrus)
+additionally carry the block's *rank*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from repro.crypto.digest import digest
+from repro.crypto.signatures import Signature
+from repro.ledger.transactions import Transaction
+
+#: Per-block header overhead charged by the bandwidth model (bytes).
+BLOCK_HEADER_BYTES = 512
+
+
+@dataclass(frozen=True)
+class SystemState:
+    """The Multi-BFT system state ``S = (sn_0, ..., sn_{m-1})``.
+
+    ``sequence_numbers[i]`` is the highest sequence number delivered by
+    instance ``i`` at the moment the state was captured, or ``-1`` when the
+    instance has not delivered anything yet (the paper's ``⊥``).
+    """
+
+    sequence_numbers: tuple[int, ...]
+
+    @classmethod
+    def initial(cls, instance_count: int) -> "SystemState":
+        """State before any block has been delivered."""
+        return cls(tuple([-1] * instance_count))
+
+    def advanced(self, instance: int, sequence_number: int) -> "SystemState":
+        """Return a copy with ``instance`` advanced to ``sequence_number``."""
+        values = list(self.sequence_numbers)
+        values[instance] = max(values[instance], sequence_number)
+        return SystemState(tuple(values))
+
+    def covers(self, other: "SystemState") -> bool:
+        """True when this state has delivered at least as much as ``other``."""
+        if len(self.sequence_numbers) != len(other.sequence_numbers):
+            return False
+        return all(
+            mine >= theirs
+            for mine, theirs in zip(self.sequence_numbers, other.sequence_numbers)
+        )
+
+    def digest_fields(self) -> list[int]:
+        """Canonical fields for hashing."""
+        return list(self.sequence_numbers)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.sequence_numbers)
+
+    def __len__(self) -> int:
+        return len(self.sequence_numbers)
+
+
+@dataclass
+class Block:
+    """A batch of transactions proposed by one SB instance.
+
+    Attributes:
+        instance: Index of the SB instance that produced the block.
+        sequence_number: Position of the block within that instance.
+        transactions: The batch.
+        state: System state the leader referenced (``b.S`` in the paper).
+        proposer: Node id of the leader that created the block.
+        epoch: Epoch the block belongs to.
+        rank: Dynamic-ordering rank (Ladon/Orthrus); ``None`` for protocols
+            that use pre-determined global ordering.
+        signature: Leader signature over the block digest.
+    """
+
+    instance: int
+    sequence_number: int
+    transactions: tuple[Transaction, ...]
+    state: SystemState
+    proposer: int
+    epoch: int = 0
+    rank: int | None = None
+    signature: Signature | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls,
+        instance: int,
+        sequence_number: int,
+        transactions: Sequence[Transaction],
+        state: SystemState,
+        proposer: int,
+        *,
+        epoch: int = 0,
+        rank: int | None = None,
+    ) -> "Block":
+        """Build a block from a transaction sequence."""
+        return cls(
+            instance=instance,
+            sequence_number=sequence_number,
+            transactions=tuple(transactions),
+            state=state,
+            proposer=proposer,
+            epoch=epoch,
+            rank=rank,
+        )
+
+    @property
+    def is_noop(self) -> bool:
+        """True for empty filler blocks (ISS-style no-ops)."""
+        return len(self.transactions) == 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size used by the bandwidth model."""
+        return BLOCK_HEADER_BYTES + sum(tx.payload_size for tx in self.transactions)
+
+    @property
+    def block_id(self) -> tuple[int, int]:
+        """(instance, sequence_number) pair identifying the block."""
+        return (self.instance, self.sequence_number)
+
+    def digest_fields(self) -> dict[str, Any]:
+        """Canonical fields for hashing (signature excluded)."""
+        return {
+            "instance": self.instance,
+            "sn": self.sequence_number,
+            "epoch": self.epoch,
+            "rank": self.rank,
+            "state": self.state.digest_fields(),
+            "proposer": self.proposer,
+            "txs": [tx.tx_id for tx in self.transactions],
+        }
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the block."""
+        return digest(self)
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self.transactions)

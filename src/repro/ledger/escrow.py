@@ -1,0 +1,162 @@
+"""Escrow mechanism (Algorithm 2 of the paper).
+
+The escrow log ``elog`` temporarily reserves the funds a transaction's
+decremental operations need.  The reservation is applied to the state store
+immediately (the balance drops), but the entry stays in the log until the
+transaction's fate is known:
+
+* ``commit_escrow`` makes every reservation of the transaction permanent by
+  simply dropping the log entries (the debit already happened).
+* ``abort_escrow`` undoes every reservation, refunding the payers.
+
+This gives Orthrus both of its escrow use cases: atomicity of multi-payer
+payments split across instances (Solution-I) and non-blocking interaction
+between pending contract transactions and subsequent payments (Solution-II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import EscrowError
+from repro.ledger.objects import ObjectOperation
+from repro.ledger.state import StateStore
+from repro.ledger.transactions import Transaction
+
+
+@dataclass(frozen=True)
+class EscrowEntry:
+    """One reservation: ``(object key, transaction)`` plus the amount held."""
+
+    key: str
+    tx_id: str
+    amount: int
+
+
+@dataclass
+class EscrowResult:
+    """Outcome of an escrow attempt."""
+
+    success: bool
+    entry: EscrowEntry | None = None
+    reason: str = ""
+
+
+class EscrowLog:
+    """The ``elog`` of Algorithm 2, bound to one replica's state store."""
+
+    def __init__(self, store: StateStore) -> None:
+        self._store = store
+        self._entries: dict[tuple[str, str], EscrowEntry] = {}
+        #: Counters used by metrics/ablation benches.
+        self.escrows_attempted = 0
+        self.escrows_failed = 0
+        self.commits = 0
+        self.aborts = 0
+
+    # -- Algorithm 2 primitives --------------------------------------------
+
+    def escrow(self, operation: ObjectOperation, tx: Transaction) -> EscrowResult:
+        """Attempt to escrow ``operation`` for ``tx`` (function ``escrow``).
+
+        Applies the decrement to the object when the post-operation value
+        satisfies the object's condition, and records the reservation.
+        A duplicate escrow of the same (object, transaction) pair is a no-op
+        success, which keeps redelivery idempotent.
+        """
+        self.escrows_attempted += 1
+        entry_key = (operation.key, tx.tx_id)
+        if entry_key in self._entries:
+            return EscrowResult(True, self._entries[entry_key], "already escrowed")
+        if not operation.is_owned_decrement:
+            raise EscrowError(
+                f"escrow only applies to owned decremental operations, got "
+                f"{operation.kind.value} on {operation.key!r}"
+            )
+        obj = self._store.get(operation.key)
+        candidate = obj.value - operation.amount
+        if not obj.satisfies_condition(candidate):
+            self.escrows_failed += 1
+            return EscrowResult(
+                False,
+                None,
+                f"insufficient funds on {operation.key!r}: balance {obj.value}, "
+                f"requested {operation.amount}",
+            )
+        self._store.debit(operation.key, operation.amount)
+        entry = EscrowEntry(key=operation.key, tx_id=tx.tx_id, amount=operation.amount)
+        self._entries[entry_key] = entry
+        return EscrowResult(True, entry)
+
+    def is_escrowed(self, key: str, tx: Transaction) -> bool:
+        """Whether ``(key, tx)`` currently holds a reservation."""
+        return (key, tx.tx_id) in self._entries
+
+    def all_escrowed(self, tx: Transaction) -> bool:
+        """Function ``allEscrowed``: every owned decrement of ``tx`` reserved."""
+        for operation in tx.operations:
+            if operation.is_owned_decrement and not self.is_escrowed(
+                operation.key, tx
+            ):
+                return False
+        return True
+
+    def commit_escrow(self, tx: Transaction) -> int:
+        """Function ``commitEscrow``: make ``tx``'s reservations permanent.
+
+        Returns the number of entries removed from the log.
+        """
+        removed = self._remove_entries(tx)
+        if removed:
+            self.commits += 1
+        return removed
+
+    def abort_escrow(self, tx: Transaction) -> int:
+        """Function ``abortEscrow``: undo and drop ``tx``'s reservations.
+
+        Returns the number of entries refunded.
+        """
+        refunded = 0
+        for entry_key in self._entry_keys_of(tx):
+            entry = self._entries.pop(entry_key)
+            self._store.credit(entry.key, entry.amount)
+            refunded += 1
+        if refunded:
+            self.aborts += 1
+        return refunded
+
+    # -- inspection ----------------------------------------------------------
+
+    def entries_for_transaction(self, tx: Transaction) -> list[EscrowEntry]:
+        """All reservations currently held for ``tx``."""
+        return [self._entries[k] for k in self._entry_keys_of(tx)]
+
+    def entries_for_key(self, key: str) -> list[EscrowEntry]:
+        """All reservations currently held against object ``key``."""
+        return [entry for entry in self._entries.values() if entry.key == key]
+
+    def pending_amount(self, key: str) -> int:
+        """Total amount currently reserved against object ``key``."""
+        return sum(entry.amount for entry in self.entries_for_key(key))
+
+    def total_reserved(self) -> int:
+        """Total amount reserved across all objects (for conservation checks)."""
+        return sum(entry.amount for entry in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[EscrowEntry]:
+        return iter(self._entries.values())
+
+    # -- internals -----------------------------------------------------------
+
+    def _entry_keys_of(self, tx: Transaction) -> list[tuple[str, str]]:
+        return [key for key in self._entries if key[1] == tx.tx_id]
+
+    def _remove_entries(self, tx: Transaction) -> int:
+        keys = self._entry_keys_of(tx)
+        for key in keys:
+            del self._entries[key]
+        return len(keys)

@@ -1,0 +1,150 @@
+"""Replicated state store holding ledger objects.
+
+Each replica owns one :class:`StateStore` mapping object keys to
+:class:`~repro.ledger.objects.LedgerObject` instances.  The store exposes the
+primitive mutations the execution engine needs (credit, debit, assign) and a
+content digest used by checkpoints and by the safety tests that compare
+replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.crypto.digest import combine_digests, digest
+from repro.errors import InsufficientFundsError, UnknownObjectError
+from repro.ledger.objects import LedgerObject, ObjectType, owned_account, shared_record
+
+
+class StateStore:
+    """Key-value store of ledger objects with condition-checked mutations."""
+
+    def __init__(self) -> None:
+        self._objects: dict[str, LedgerObject] = {}
+
+    # -- population --------------------------------------------------------
+
+    def create_account(self, key: str, balance: int = 0) -> LedgerObject:
+        """Create (or reset) an owned account with the given balance."""
+        obj = owned_account(key, balance)
+        self._objects[key] = obj
+        return obj
+
+    def create_shared(self, key: str, value: int = 0) -> LedgerObject:
+        """Create (or reset) a shared contract object."""
+        obj = shared_record(key, value)
+        self._objects[key] = obj
+        return obj
+
+    def load_accounts(self, balances: Mapping[str, int]) -> None:
+        """Bulk-create owned accounts from a mapping."""
+        for key, balance in balances.items():
+            self.create_account(key, balance)
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, key: str) -> LedgerObject:
+        """Return the object stored under ``key``.
+
+        Raises:
+            UnknownObjectError: If the key does not exist.
+        """
+        try:
+            return self._objects[key]
+        except KeyError as exc:
+            raise UnknownObjectError(f"object {key!r} does not exist") from exc
+
+    def get_or_create(self, key: str, object_type: ObjectType) -> LedgerObject:
+        """Return the object, creating a zero-valued one if absent."""
+        if key not in self._objects:
+            if object_type is ObjectType.SHARED:
+                return self.create_shared(key)
+            return self.create_account(key)
+        return self._objects[key]
+
+    def balance_of(self, key: str) -> int:
+        """Current value of the object under ``key``."""
+        return self.get(key).value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over all object keys."""
+        return iter(self._objects)
+
+    def total_owned_value(self) -> int:
+        """Sum of all owned-object values (token supply, for invariants)."""
+        return sum(
+            obj.value
+            for obj in self._objects.values()
+            if obj.object_type is ObjectType.OWNED
+        )
+
+    # -- mutation -----------------------------------------------------------
+
+    def credit(self, key: str, amount: int) -> int:
+        """Increase an object's value by ``amount`` and return the new value."""
+        obj = self.get(key)
+        obj.value += int(amount)
+        obj.version += 1
+        return obj.value
+
+    def debit(self, key: str, amount: int) -> int:
+        """Decrease an object's value, enforcing the object's condition.
+
+        Raises:
+            InsufficientFundsError: If the resulting value would violate the
+                object's ``con`` attribute.
+        """
+        obj = self.get(key)
+        candidate = obj.value - int(amount)
+        if not obj.satisfies_condition(candidate):
+            raise InsufficientFundsError(
+                f"debit of {amount} on {key!r} violates condition "
+                f"(balance {obj.value}, minimum {obj.condition})"
+            )
+        obj.value = candidate
+        obj.version += 1
+        return obj.value
+
+    def can_debit(self, key: str, amount: int) -> bool:
+        """Whether a debit of ``amount`` would respect the condition."""
+        obj = self.get(key)
+        return obj.satisfies_condition(obj.value - int(amount))
+
+    def assign(self, key: str, value: int) -> int:
+        """Assign ``value`` to the object (non-commutative contract write)."""
+        obj = self.get(key)
+        obj.value = int(value)
+        obj.version += 1
+        return obj.value
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self, keys: Iterable[str] | None = None) -> dict[str, int]:
+        """Return ``{key: value}`` for the requested keys (all by default)."""
+        selected = self._objects if keys is None else {k: self.get(k) for k in keys}
+        return {key: obj.value for key, obj in sorted(selected.items())}
+
+    def state_digest(self) -> str:
+        """Deterministic digest of the full store contents."""
+        digests = [digest(self._objects[key]) for key in sorted(self._objects)]
+        return combine_digests(digests)
+
+    def copy(self) -> "StateStore":
+        """Deep copy of the store (used by speculative validation)."""
+        clone = StateStore()
+        for key, obj in self._objects.items():
+            clone._objects[key] = LedgerObject(
+                key=obj.key,
+                value=obj.value,
+                object_type=obj.object_type,
+                condition=obj.condition,
+                version=obj.version,
+                metadata=dict(obj.metadata),
+            )
+        return clone

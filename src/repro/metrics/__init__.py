@@ -1,0 +1,21 @@
+"""Metrics: latency timelines, stage breakdowns, throughput series."""
+
+from repro.metrics.latency import (
+    STAGE_NAMES,
+    LatencySummary,
+    LatencyTracker,
+    TransactionTimeline,
+)
+from repro.metrics.summary import MetricsCollector, RunMetrics
+from repro.metrics.throughput import ThroughputPoint, ThroughputTracker
+
+__all__ = [
+    "LatencySummary",
+    "LatencyTracker",
+    "MetricsCollector",
+    "RunMetrics",
+    "STAGE_NAMES",
+    "ThroughputPoint",
+    "ThroughputTracker",
+    "TransactionTimeline",
+]

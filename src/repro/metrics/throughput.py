@@ -1,0 +1,70 @@
+"""Throughput measurement: overall rate and windowed time series (Fig. 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ThroughputPoint:
+    """One point of the throughput-over-time series."""
+
+    window_start: float
+    window_end: float
+    transactions: int
+
+    @property
+    def rate(self) -> float:
+        """Transactions per second within the window."""
+        duration = self.window_end - self.window_start
+        return self.transactions / duration if duration > 0 else 0.0
+
+
+class ThroughputTracker:
+    """Counts confirmations and derives rates over arbitrary windows."""
+
+    def __init__(self) -> None:
+        self._confirmations: list[float] = []
+
+    def record_confirmation(self, time: float) -> None:
+        """Record one confirmed transaction at ``time``."""
+        self._confirmations.append(time)
+
+    @property
+    def total_confirmed(self) -> int:
+        """Total confirmations recorded."""
+        return len(self._confirmations)
+
+    def rate_over(self, start: float, end: float) -> float:
+        """Average transactions/second confirmed in ``[start, end)``."""
+        if end <= start:
+            return 0.0
+        count = sum(1 for t in self._confirmations if start <= t < end)
+        return count / (end - start)
+
+    def series(
+        self, start: float, end: float, window: float = 0.5
+    ) -> list[ThroughputPoint]:
+        """Windowed throughput series (the paper uses 0.5 s windows)."""
+        if end <= start or window <= 0:
+            return []
+        points: list[ThroughputPoint] = []
+        sorted_times = sorted(self._confirmations)
+        index = 0
+        window_start = start
+        while window_start < end:
+            window_end = min(window_start + window, end)
+            count = 0
+            while index < len(sorted_times) and sorted_times[index] < window_end:
+                if sorted_times[index] >= window_start:
+                    count += 1
+                index += 1
+            points.append(
+                ThroughputPoint(
+                    window_start=window_start,
+                    window_end=window_end,
+                    transactions=count,
+                )
+            )
+            window_start = window_end
+        return points

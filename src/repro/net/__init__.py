@@ -1,0 +1,27 @@
+"""Network substrate: latency/bandwidth models, faults, message fabric."""
+
+from repro.net.faults import NodeCondition
+from repro.net.latency import (
+    BandwidthModel,
+    FixedLatencyModel,
+    LANLatencyModel,
+    LatencyModel,
+    WANLatencyModel,
+    latency_model_for,
+)
+from repro.net.message import Envelope, estimate_size
+from repro.net.network import Network, NetworkStats
+
+__all__ = [
+    "BandwidthModel",
+    "Envelope",
+    "FixedLatencyModel",
+    "LANLatencyModel",
+    "LatencyModel",
+    "Network",
+    "NetworkStats",
+    "NodeCondition",
+    "WANLatencyModel",
+    "estimate_size",
+    "latency_model_for",
+]

@@ -1,0 +1,44 @@
+"""Node-level fault and degradation state tracked by the network.
+
+The network substrate keeps one :class:`NodeCondition` per registered process
+recording whether the node is crashed, slowed down (a *straggler*), muted
+towards specific peers (used for undetectable Byzantine behaviour where a
+replica abstains from instances it does not lead), or partitioned away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NodeCondition:
+    """Mutable fault/degradation flags for one node."""
+
+    #: Multiplier applied to every delay involving this node (1.0 = healthy,
+    #: 10.0 = the paper's straggler).
+    slowdown: float = 1.0
+    #: Crashed nodes silently drop all traffic in both directions.
+    crashed: bool = False
+    #: Peers this node refuses to send to (undetectable Byzantine abstention).
+    muted_destinations: set[int] = field(default_factory=set)
+    #: Partition group id; nodes in different groups cannot communicate.
+    #: ``None`` means "not partitioned".
+    partition_group: int | None = None
+
+    def can_send_to(self, destination: int, other: "NodeCondition") -> bool:
+        """Whether a message from this node can reach ``destination``."""
+        if self.crashed or other.crashed:
+            return False
+        if destination in self.muted_destinations:
+            return False
+        if self.partition_group is not None and other.partition_group is not None:
+            return self.partition_group == other.partition_group
+        return True
+
+    def reset(self) -> None:
+        """Restore the node to a healthy, fully connected condition."""
+        self.slowdown = 1.0
+        self.crashed = False
+        self.muted_destinations.clear()
+        self.partition_group = None

@@ -1,0 +1,194 @@
+"""Simulated point-to-point network connecting processes.
+
+The :class:`Network` delivers messages between registered
+:class:`~repro.sim.process.Process` instances with a delay composed of:
+
+* serialisation delay (bandwidth model, charged at the sender),
+* propagation delay (latency model for the source/destination pair),
+* per-node slowdown factors (stragglers),
+
+and drops messages involving crashed, muted, or partitioned nodes.  Channels
+are authenticated and reliable after GST, matching the partial-synchrony model
+the paper assumes; message loss is only ever the result of injected faults.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import UnknownNodeError
+from repro.net.faults import NodeCondition
+from repro.net.latency import BandwidthModel, LatencyModel, LANLatencyModel
+from repro.net.message import Envelope, estimate_size
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+
+class NetworkStats:
+    """Aggregate counters describing network usage during a run."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "bytes_sent": self.bytes_sent,
+        }
+
+
+class Network:
+    """Authenticated point-to-point message fabric over the simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_model: LatencyModel | None = None,
+        bandwidth_model: BandwidthModel | None = None,
+    ) -> None:
+        self.sim = sim
+        self.latency_model = latency_model or LANLatencyModel()
+        self.bandwidth_model = bandwidth_model or BandwidthModel()
+        self.stats = NetworkStats()
+        self._processes: dict[int, Process] = {}
+        self._conditions: dict[int, NodeCondition] = {}
+        self._rng = sim.rng.fork("network")
+        self._delivery_hooks: list[Callable[[Envelope], None]] = []
+
+    # -- membership -------------------------------------------------------
+
+    def register(self, process: Process) -> None:
+        """Add a process to the network and attach it."""
+        self._processes[process.node_id] = process
+        self._conditions.setdefault(process.node_id, NodeCondition())
+        process.attach(self)
+
+    def node_ids(self) -> list[int]:
+        """All registered node ids in ascending order."""
+        return sorted(self._processes)
+
+    def process(self, node_id: int) -> Process:
+        """Look up a registered process."""
+        try:
+            return self._processes[node_id]
+        except KeyError as exc:
+            raise UnknownNodeError(f"node {node_id} is not registered") from exc
+
+    def condition(self, node_id: int) -> NodeCondition:
+        """Fault/degradation state for a node (created on demand)."""
+        return self._conditions.setdefault(node_id, NodeCondition())
+
+    # -- fault injection ---------------------------------------------------
+
+    def set_slowdown(self, node_id: int, factor: float) -> None:
+        """Make a node a straggler: all its delays are multiplied by ``factor``."""
+        self.condition(node_id).slowdown = max(1.0, float(factor))
+
+    def crash(self, node_id: int) -> None:
+        """Crash a node; it neither sends nor receives from now on."""
+        self.condition(node_id).crashed = True
+
+    def recover(self, node_id: int) -> None:
+        """Restore a crashed or degraded node to healthy operation."""
+        self.condition(node_id).reset()
+
+    def mute(self, node_id: int, destinations: Iterable[int]) -> None:
+        """Prevent ``node_id`` from sending to the given destinations."""
+        self.condition(node_id).muted_destinations.update(destinations)
+
+    def partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Split nodes into isolated groups (nodes absent stay reachable)."""
+        for group_index, members in enumerate(groups):
+            for node_id in members:
+                self.condition(node_id).partition_group = group_index
+
+    def heal_partition(self) -> None:
+        """Remove any partition grouping."""
+        for condition in self._conditions.values():
+            condition.partition_group = None
+
+    # -- observation -------------------------------------------------------
+
+    def add_delivery_hook(self, hook: Callable[[Envelope], None]) -> None:
+        """Register a callback invoked for every delivered envelope."""
+        self._delivery_hooks.append(hook)
+
+    # -- transmission ------------------------------------------------------
+
+    def send(
+        self,
+        source: int,
+        destination: int,
+        payload: Any,
+        *,
+        fanout: int = 1,
+    ) -> None:
+        """Send ``payload`` from ``source`` to ``destination``.
+
+        Local delivery (``source == destination``) is immediate and bypasses
+        the latency/bandwidth models, matching in-process hand-off.
+        """
+        if destination not in self._processes:
+            raise UnknownNodeError(f"destination {destination} is not registered")
+        size = estimate_size(payload)
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size
+
+        src_condition = self.condition(source)
+        dst_condition = self.condition(destination)
+        if not src_condition.can_send_to(destination, dst_condition):
+            self.stats.messages_dropped += 1
+            return
+
+        delay = self._transfer_delay(source, destination, size, fanout)
+        envelope = Envelope(
+            source=source,
+            destination=destination,
+            payload=payload,
+            size_bytes=size,
+            sent_at=self.sim.now,
+            deliver_at=self.sim.now + delay,
+        )
+        self.sim.schedule(delay, lambda: self._deliver(envelope))
+
+    def broadcast(
+        self, source: int, payload: Any, *, include_self: bool = False
+    ) -> None:
+        """Send ``payload`` from ``source`` to every registered process."""
+        destinations = [
+            node_id
+            for node_id in self.node_ids()
+            if include_self or node_id != source
+        ]
+        fanout = max(1, len(destinations))
+        for destination in destinations:
+            self.send(source, destination, payload, fanout=fanout)
+
+    def _transfer_delay(
+        self, source: int, destination: int, size: int, fanout: int
+    ) -> float:
+        if source == destination:
+            return 0.0
+        serialization = self.bandwidth_model.serialization_delay(size, fanout)
+        propagation = self.latency_model.delay(source, destination, self._rng)
+        slowdown = max(
+            self.condition(source).slowdown, self.condition(destination).slowdown
+        )
+        return (serialization + propagation) * slowdown
+
+    def _deliver(self, envelope: Envelope) -> None:
+        destination = self._processes.get(envelope.destination)
+        dst_condition = self.condition(envelope.destination)
+        if destination is None or dst_condition.crashed:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        for hook in self._delivery_hooks:
+            hook(envelope)
+        destination.receive(envelope.source, envelope.payload)

@@ -1,0 +1,16 @@
+"""Global-ordering engines: pre-determined, sequencer-based, and rank-based."""
+
+from repro.ordering.base import GlobalOrderer, OrderingIndex, OrderingStats, RankTracker
+from repro.ordering.dqbft import DQBFTGlobalOrderer
+from repro.ordering.ladon import LadonGlobalOrderer
+from repro.ordering.predetermined import PredeterminedGlobalOrderer
+
+__all__ = [
+    "DQBFTGlobalOrderer",
+    "GlobalOrderer",
+    "LadonGlobalOrderer",
+    "OrderingIndex",
+    "OrderingStats",
+    "PredeterminedGlobalOrderer",
+    "RankTracker",
+]

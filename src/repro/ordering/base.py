@@ -1,0 +1,116 @@
+"""Global-ordering engine interface.
+
+A global orderer consumes blocks as SB instances deliver them and decides
+when each block becomes *globally ordered*, i.e. takes its final position in
+the single global log shared by all instances.  The three families the paper
+compares are implemented behind this interface:
+
+* pre-determined positions (ISS, Mir-BFT, RCC),
+* a dedicated sequencer instance (DQBFT),
+* dynamic monotonic ranks (Ladon, reused by Orthrus).
+
+Orderers are pure, simulator-independent state machines: they receive blocks
+and return the blocks that just became globally ordered, in global order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.ledger.blocks import Block
+
+
+@dataclass
+class OrderingStats:
+    """Counters describing an orderer's behaviour during a run."""
+
+    blocks_received: int = 0
+    blocks_ordered: int = 0
+    max_waiting: int = 0
+    noop_blocks: int = 0
+
+
+class GlobalOrderer:
+    """Interface every global-ordering strategy implements."""
+
+    def __init__(self, num_instances: int) -> None:
+        if num_instances <= 0:
+            raise ValueError("num_instances must be positive")
+        self.num_instances = num_instances
+        self.stats = OrderingStats()
+        self._global_log: list[Block] = []
+
+    @property
+    def global_log(self) -> list[Block]:
+        """Blocks in their final global order (grows append-only)."""
+        return self._global_log
+
+    @property
+    def ordered_count(self) -> int:
+        """Number of blocks globally ordered so far."""
+        return len(self._global_log)
+
+    def pending_count(self) -> int:
+        """Blocks delivered but not yet globally ordered."""
+        raise NotImplementedError
+
+    def on_deliver(self, block: Block) -> list[Block]:
+        """Feed a delivered block; return blocks that just became ordered."""
+        raise NotImplementedError
+
+    def _commit(self, blocks: Iterable[Block]) -> list[Block]:
+        """Append newly ordered blocks to the global log and update stats."""
+        committed = list(blocks)
+        self._global_log.extend(committed)
+        self.stats.blocks_ordered += len(committed)
+        return committed
+
+
+@dataclass(order=True, frozen=True)
+class OrderingIndex:
+    """Total-order key ``(rank, instance)`` used by dynamic ordering.
+
+    The paper writes ``b ≺ b'`` when ``b.rank < b'.rank`` or ranks are equal
+    and ``b.index < b'.index``; this dataclass implements exactly that
+    comparison.
+    """
+
+    rank: int
+    instance: int
+
+    @classmethod
+    def of(cls, block: Block) -> "OrderingIndex":
+        """Ordering index of a block (rank defaults to 0 when absent)."""
+        return cls(rank=block.rank if block.rank is not None else 0, instance=block.instance)
+
+
+@dataclass
+class RankTracker:
+    """Tracks the highest observed rank and assigns ranks to new blocks.
+
+    The paper's leader collects the highest rank from ``2f + 1`` replicas and
+    increments it.  Inside the simulation every honest replica observes every
+    delivered block, so tracking the local maximum (and, in the pipeline
+    cluster, a cluster-wide maximum) reproduces the two properties the
+    algorithm needs: agreement (the rank travels with the block) and
+    monotonicity (a block created after a delivered block has a larger rank).
+    """
+
+    highest_seen: int = 0
+    _assigned: int = field(default=0, repr=False)
+
+    def observe(self, block: Block) -> None:
+        """Account for a delivered block's rank."""
+        if block.rank is not None:
+            self.highest_seen = max(self.highest_seen, block.rank)
+
+    def observe_rank(self, rank: int) -> None:
+        """Account for a rank learned out-of-band (e.g. rank collection)."""
+        self.highest_seen = max(self.highest_seen, rank)
+
+    def next_rank(self) -> int:
+        """Rank to assign to the next proposed block."""
+        rank = max(self.highest_seen, self._assigned) + 1
+        self._assigned = rank
+        return rank

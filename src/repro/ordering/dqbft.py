@@ -1,0 +1,59 @@
+"""DQBFT-style global ordering through a dedicated sequencer instance.
+
+DQBFT (Arun & Ravindran, VLDB 2022) decouples ordering from dissemination: a
+single designated BFT instance globally orders the identifiers of blocks
+delivered by all other instances.  A block therefore becomes globally ordered
+when (a) the block itself has been delivered and (b) the sequencer instance
+has delivered an ordering decision naming it.  The extra consensus round on
+the sequencer adds latency, but a straggler worker instance no longer stalls
+unrelated blocks: the sequencer simply orders whatever has been delivered.
+"""
+
+from __future__ import annotations
+
+from repro.ledger.blocks import Block
+from repro.ordering.base import GlobalOrderer
+
+
+class DQBFTGlobalOrderer(GlobalOrderer):
+    """Sequencer-decision global ordering."""
+
+    def __init__(self, num_instances: int, sequencer_instance: int = 0) -> None:
+        super().__init__(num_instances)
+        self.sequencer_instance = sequencer_instance
+        self._delivered: dict[tuple[int, int], Block] = {}
+        self._decision_queue: list[tuple[int, int]] = []
+        self._decided: set[tuple[int, int]] = set()
+
+    def pending_count(self) -> int:
+        return len(self._delivered) + len(self._decision_queue)
+
+    def on_deliver(self, block: Block) -> list[Block]:
+        """A worker instance delivered ``block``; hold it until decided."""
+        self.stats.blocks_received += 1
+        self._delivered[block.block_id] = block
+        return self._drain()
+
+    def on_order_decision(self, block_ids: list[tuple[int, int]]) -> list[Block]:
+        """The sequencer instance delivered an ordering decision.
+
+        Args:
+            block_ids: (instance, sequence number) pairs in decision order.
+
+        Returns:
+            Blocks that became globally ordered as a result.
+        """
+        for block_id in block_ids:
+            if block_id in self._decided:
+                continue
+            self._decided.add(block_id)
+            self._decision_queue.append(block_id)
+        return self._drain()
+
+    def _drain(self) -> list[Block]:
+        released: list[Block] = []
+        while self._decision_queue and self._decision_queue[0] in self._delivered:
+            block_id = self._decision_queue.pop(0)
+            released.append(self._delivered.pop(block_id))
+        self.stats.max_waiting = max(self.stats.max_waiting, len(self._delivered))
+        return self._commit(released)

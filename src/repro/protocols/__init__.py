@@ -1,0 +1,21 @@
+"""Baseline Multi-BFT protocol cores and the protocol registry."""
+
+from repro.protocols.base import GlobalExecutionCore
+from repro.protocols.dqbft import DQBFTCore
+from repro.protocols.iss import ISSCore
+from repro.protocols.ladon import LadonCore
+from repro.protocols.mirbft import MirBFTCore
+from repro.protocols.rcc import RCCCore
+from repro.protocols.registry import PROTOCOL_NAMES, available_protocols, build_core
+
+__all__ = [
+    "DQBFTCore",
+    "GlobalExecutionCore",
+    "ISSCore",
+    "LadonCore",
+    "MirBFTCore",
+    "PROTOCOL_NAMES",
+    "RCCCore",
+    "available_protocols",
+    "build_core",
+]

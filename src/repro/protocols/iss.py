@@ -1,0 +1,32 @@
+"""ISS (Stathakopoulou et al., EuroSys 2022) baseline core.
+
+ISS partitions the request space into buckets, runs one PBFT-style instance
+per leader and interleaves the delivered blocks into a pre-determined global
+sequence.  A leader that cannot fill its slots delivers no-op blocks so the
+global log keeps advancing across epochs; the trait flags below tell the
+cluster driver to emit those fillers after the failure-detection timeout
+instead of forcing a full epoch change.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import CoreConfig
+from repro.ledger.state import StateStore
+from repro.ordering.predetermined import PredeterminedGlobalOrderer
+from repro.protocols.base import GlobalExecutionCore
+
+
+class ISSCore(GlobalExecutionCore):
+    """ISS: pre-determined global ordering with no-op gap filling."""
+
+    name = "iss"
+    predetermined_ordering = True
+    epoch_change_on_fault = False
+    fills_gaps_with_noops = True
+
+    def __init__(self, config: CoreConfig, store: StateStore | None = None) -> None:
+        super().__init__(
+            config,
+            store,
+            global_orderer=PredeterminedGlobalOrderer(config.num_instances),
+        )

@@ -1,0 +1,30 @@
+"""Ladon (Lyu et al., EuroSys 2025) baseline core.
+
+Ladon replaces pre-determined global positions with monotonic ranks
+(Algorithm 3), which lets fast instances' blocks be globally ordered without
+waiting for a straggler's backlog.  Execution, however, still happens only in
+global-log order — the difference Orthrus exploits with its partial path.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import CoreConfig
+from repro.ledger.state import StateStore
+from repro.ordering.ladon import LadonGlobalOrderer
+from repro.protocols.base import GlobalExecutionCore
+
+
+class LadonCore(GlobalExecutionCore):
+    """Ladon: dynamic rank-based global ordering, sequential execution."""
+
+    name = "ladon"
+    predetermined_ordering = False
+    epoch_change_on_fault = False
+    uses_ranks = True
+
+    def __init__(self, config: CoreConfig, store: StateStore | None = None) -> None:
+        super().__init__(
+            config,
+            store,
+            global_orderer=LadonGlobalOrderer(config.num_instances),
+        )

@@ -1,0 +1,31 @@
+"""Mir-BFT (Stathakopoulou et al., JSys 2022) baseline core.
+
+Mir-BFT introduced the bucket-rotation Multi-BFT design ISS later refined.
+Its global ordering is pre-determined like ISS's, but a faulty or slow leader
+triggers a full epoch change (leader-set reconfiguration), which is the reason
+the paper's experiments show Mir suffering the largest latency penalty when a
+straggler is present.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import CoreConfig
+from repro.ledger.state import StateStore
+from repro.ordering.predetermined import PredeterminedGlobalOrderer
+from repro.protocols.base import GlobalExecutionCore
+
+
+class MirBFTCore(GlobalExecutionCore):
+    """Mir-BFT: pre-determined ordering, epoch change on detected faults."""
+
+    name = "mir"
+    predetermined_ordering = True
+    epoch_change_on_fault = True
+    fills_gaps_with_noops = False
+
+    def __init__(self, config: CoreConfig, store: StateStore | None = None) -> None:
+        super().__init__(
+            config,
+            store,
+            global_orderer=PredeterminedGlobalOrderer(config.num_instances),
+        )

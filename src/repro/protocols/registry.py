@@ -1,0 +1,55 @@
+"""Protocol registry: build any of the six evaluated cores by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.blocking import BlockingOrthrusCore
+from repro.core.config import CoreConfig
+from repro.core.interfaces import ConsensusCore
+from repro.core.orthrus import OrthrusCore
+from repro.errors import ConfigurationError
+from repro.ledger.state import StateStore
+from repro.protocols.dqbft import DQBFTCore
+from repro.protocols.iss import ISSCore
+from repro.protocols.ladon import LadonCore
+from repro.protocols.mirbft import MirBFTCore
+from repro.protocols.rcc import RCCCore
+
+#: Factories keyed by the protocol names used throughout the paper's figures.
+_FACTORIES: dict[str, Callable[[CoreConfig, StateStore | None], ConsensusCore]] = {
+    "orthrus": lambda config, store: OrthrusCore(config, store),
+    "iss": lambda config, store: ISSCore(config, store),
+    "rcc": lambda config, store: RCCCore(config, store),
+    "mir": lambda config, store: MirBFTCore(config, store),
+    "dqbft": lambda config, store: DQBFTCore(config, store),
+    "ladon": lambda config, store: LadonCore(config, store),
+    # Ablation variant (not a paper baseline): Orthrus without the
+    # non-blocking escrow interaction between contracts and payments.
+    "orthrus-blocking": lambda config, store: BlockingOrthrusCore(config, store),
+}
+
+#: Canonical listing order used by figures and reports (paper protocols only).
+PROTOCOL_NAMES: tuple[str, ...] = ("orthrus", "iss", "rcc", "mir", "dqbft", "ladon")
+
+
+def available_protocols() -> list[str]:
+    """Names accepted by :func:`build_core`."""
+    return list(PROTOCOL_NAMES)
+
+
+def build_core(
+    name: str, config: CoreConfig, store: StateStore | None = None
+) -> ConsensusCore:
+    """Instantiate the consensus core for ``name``.
+
+    Raises:
+        ConfigurationError: For unknown protocol names.
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; available: {', '.join(PROTOCOL_NAMES)}"
+        ) from exc
+    return factory(config, store)

@@ -1,0 +1,15 @@
+"""Sequenced Broadcast: interface plus PBFT and quorum-model back-ends."""
+
+from repro.sb.interface import Delivery, SequencedBroadcastEndpoint, Transport
+from repro.sb.pbft import PBFTConfig, PBFTEndpoint
+from repro.sb.quorum import QuorumLatencyConfig, QuorumLatencyModel
+
+__all__ = [
+    "Delivery",
+    "PBFTConfig",
+    "PBFTEndpoint",
+    "QuorumLatencyConfig",
+    "QuorumLatencyModel",
+    "SequencedBroadcastEndpoint",
+    "Transport",
+]

@@ -1,0 +1,92 @@
+"""Sequenced Broadcast (SB) abstraction (Sec. III-C).
+
+An SB instance takes blocks from its leader (``broadcast``) and eventually
+*delivers* each sequence number exactly once, with agreement across honest
+replicas.  Orthrus and the baseline Multi-BFT protocols treat SB as a black
+box; this module defines that boundary so the PBFT message-level back-end and
+the quorum-latency back-end are interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from repro.ledger.blocks import Block
+
+#: Callback signature invoked when an SB instance delivers a block.
+DeliverCallback = Callable[[Block], None]
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Record of one SB delivery (used by logs and tests)."""
+
+    instance: int
+    sequence_number: int
+    block: Block
+    delivered_at: float
+
+
+class Transport(Protocol):
+    """What an SB endpoint needs from its hosting replica.
+
+    The hosting replica supplies message transmission, timer scheduling and a
+    clock; the endpoint never touches the network or simulator directly, which
+    keeps the consensus state machine independently testable.
+    """
+
+    def send(self, destination: int, message: Any) -> None:
+        """Send a protocol message to one replica."""
+        ...
+
+    def broadcast(self, message: Any, include_self: bool = False) -> None:
+        """Send a protocol message to all replicas."""
+        ...
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> Any:
+        """Schedule a callback; returns a cancellable handle."""
+        ...
+
+    def now(self) -> float:
+        """Current simulated time."""
+        ...
+
+
+class SequencedBroadcastEndpoint:
+    """Per-replica, per-instance SB endpoint interface."""
+
+    def __init__(self, instance_id: int, replica_id: int) -> None:
+        self.instance_id = instance_id
+        self.replica_id = replica_id
+        self._deliver_callback: DeliverCallback | None = None
+
+    def on_deliver(self, callback: DeliverCallback) -> None:
+        """Register the delivery callback (one per endpoint)."""
+        self._deliver_callback = callback
+
+    def _emit_delivery(self, block: Block) -> None:
+        if self._deliver_callback is not None:
+            self._deliver_callback(block)
+
+    # -- protocol surface --------------------------------------------------
+
+    def leader(self) -> int:
+        """Replica id currently acting as this instance's leader."""
+        raise NotImplementedError
+
+    def is_leader(self) -> bool:
+        """Whether the local replica leads this instance."""
+        return self.leader() == self.replica_id
+
+    def broadcast_block(self, block: Block) -> None:
+        """Leader-only: start agreement on ``block``."""
+        raise NotImplementedError
+
+    def handle_message(self, sender: int, message: Any) -> None:
+        """Feed a protocol message addressed to this instance."""
+        raise NotImplementedError
+
+    def start(self) -> None:
+        """Begin operation (arms failure-detector timers)."""
+        raise NotImplementedError

@@ -1,0 +1,29 @@
+"""Message-level PBFT back-end for Sequenced Broadcast."""
+
+from repro.sb.pbft.endpoint import PBFTConfig, PBFTEndpoint
+from repro.sb.pbft.messages import (
+    CheckpointMessage,
+    Commit,
+    NewView,
+    PBFTMessage,
+    PrePrepare,
+    Prepare,
+    ViewChange,
+    is_pbft_message,
+)
+from repro.sb.pbft.slots import Slot, SlotTable
+
+__all__ = [
+    "CheckpointMessage",
+    "Commit",
+    "NewView",
+    "PBFTConfig",
+    "PBFTEndpoint",
+    "PBFTMessage",
+    "PrePrepare",
+    "Prepare",
+    "Slot",
+    "SlotTable",
+    "ViewChange",
+    "is_pbft_message",
+]

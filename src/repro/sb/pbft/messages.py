@@ -1,0 +1,107 @@
+"""PBFT protocol messages.
+
+All messages carry the SB ``instance`` they belong to so a replica hosting
+many instances (m = n in the paper's deployments) can route them, plus the
+sender's replica id.  Sizes are small compared to blocks; only the
+pre-prepare, which embeds the block, is charged the block's size by the
+bandwidth model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.ledger.blocks import Block
+from repro.net.message import MESSAGE_OVERHEAD_BYTES
+
+
+@dataclass(frozen=True)
+class PBFTMessage:
+    """Base class: identifies the instance, view and sender."""
+
+    instance: int
+    view: int
+    sender: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size charged by the bandwidth model."""
+        return MESSAGE_OVERHEAD_BYTES
+
+
+@dataclass(frozen=True)
+class PrePrepare(PBFTMessage):
+    """Leader's proposal of ``block`` at ``sequence_number``."""
+
+    sequence_number: int = 0
+    block: Block | None = None
+    digest: str = ""
+
+    @property
+    def size_bytes(self) -> int:
+        block_size = self.block.size_bytes if self.block is not None else 0
+        return MESSAGE_OVERHEAD_BYTES + block_size
+
+
+@dataclass(frozen=True)
+class Prepare(PBFTMessage):
+    """Backup's echo that it received the leader's proposal."""
+
+    sequence_number: int = 0
+    digest: str = ""
+
+
+@dataclass(frozen=True)
+class Commit(PBFTMessage):
+    """Replica's vote that the proposal is prepared."""
+
+    sequence_number: int = 0
+    digest: str = ""
+
+
+@dataclass(frozen=True)
+class ViewChange(PBFTMessage):
+    """Vote to move the instance to ``view`` (the new view number).
+
+    ``last_delivered`` tells the new leader where to resume, and
+    ``pending`` carries the sender's pre-prepared-but-undelivered blocks so
+    they can be re-proposed.
+    """
+
+    last_delivered: int = -1
+    pending: tuple[tuple[int, Block], ...] = ()
+
+    @property
+    def size_bytes(self) -> int:
+        pending_size = sum(block.size_bytes for _, block in self.pending)
+        return MESSAGE_OVERHEAD_BYTES + pending_size
+
+
+@dataclass(frozen=True)
+class NewView(PBFTMessage):
+    """New leader's announcement that ``view`` is active.
+
+    ``reproposals`` are (sequence number, block) pairs the new leader
+    re-proposes to fill slots left open by the previous leader.
+    """
+
+    reproposals: tuple[tuple[int, Block], ...] = ()
+
+    @property
+    def size_bytes(self) -> int:
+        size = sum(block.size_bytes for _, block in self.reproposals)
+        return MESSAGE_OVERHEAD_BYTES + size
+
+
+@dataclass(frozen=True)
+class CheckpointMessage(PBFTMessage):
+    """Signed digest summarising an epoch's delivered blocks (Sec. V-D)."""
+
+    epoch: int = 0
+    state_digest: str = ""
+
+
+def is_pbft_message(message: Any) -> bool:
+    """Whether ``message`` belongs to the PBFT protocol family."""
+    return isinstance(message, PBFTMessage)

@@ -1,0 +1,93 @@
+"""Per-sequence-number bookkeeping for a PBFT instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ledger.blocks import Block
+
+
+@dataclass
+class Slot:
+    """Agreement state for one (view, sequence number) slot."""
+
+    sequence_number: int
+    view: int = 0
+    block: Block | None = None
+    digest: str = ""
+    pre_prepared: bool = False
+    prepares: set[int] = field(default_factory=set)
+    commits: set[int] = field(default_factory=set)
+    prepared: bool = False
+    committed: bool = False
+    delivered: bool = False
+    started_at: float = 0.0
+
+    def record_prepare(self, sender: int) -> int:
+        """Record a prepare vote; returns the current count."""
+        self.prepares.add(sender)
+        return len(self.prepares)
+
+    def record_commit(self, sender: int) -> int:
+        """Record a commit vote; returns the current count."""
+        self.commits.add(sender)
+        return len(self.commits)
+
+
+class SlotTable:
+    """All slots of one PBFT instance, indexed by sequence number."""
+
+    def __init__(self) -> None:
+        self._slots: dict[int, Slot] = {}
+        self._next_to_deliver = 0
+
+    def slot(self, sequence_number: int) -> Slot:
+        """Get or create the slot for ``sequence_number``."""
+        if sequence_number not in self._slots:
+            self._slots[sequence_number] = Slot(sequence_number=sequence_number)
+        return self._slots[sequence_number]
+
+    def __contains__(self, sequence_number: int) -> bool:
+        return sequence_number in self._slots
+
+    @property
+    def next_to_deliver(self) -> int:
+        """Lowest sequence number that has not been delivered yet."""
+        return self._next_to_deliver
+
+    def deliverable(self) -> list[Slot]:
+        """Committed slots that can now be delivered in order.
+
+        Advances the delivery pointer over every contiguous committed slot and
+        returns them; the caller emits the delivery events.
+        """
+        ready: list[Slot] = []
+        while True:
+            slot = self._slots.get(self._next_to_deliver)
+            if slot is None or not slot.committed or slot.delivered:
+                break
+            slot.delivered = True
+            ready.append(slot)
+            self._next_to_deliver += 1
+        return ready
+
+    def undelivered_proposals(self) -> list[tuple[int, Block]]:
+        """Pre-prepared blocks that were never delivered (for view changes)."""
+        pending: list[tuple[int, Block]] = []
+        for sn in sorted(self._slots):
+            slot = self._slots[sn]
+            if slot.pre_prepared and not slot.delivered and slot.block is not None:
+                pending.append((sn, slot.block))
+        return pending
+
+    def highest_started(self) -> int:
+        """Highest sequence number with any activity, or -1."""
+        return max(self._slots, default=-1)
+
+    def prune_below(self, sequence_number: int) -> int:
+        """Garbage-collect delivered slots below ``sequence_number``."""
+        stale = [sn for sn, slot in self._slots.items()
+                 if sn < sequence_number and slot.delivered]
+        for sn in stale:
+            del self._slots[sn]
+        return len(stale)

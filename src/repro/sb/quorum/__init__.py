@@ -1,0 +1,5 @@
+"""Quorum-latency (instance fidelity) consensus back-end."""
+
+from repro.sb.quorum.model import QuorumLatencyConfig, QuorumLatencyModel
+
+__all__ = ["QuorumLatencyConfig", "QuorumLatencyModel"]

@@ -1,0 +1,8 @@
+"""Discrete-event simulation substrate (clock, events, processes, RNG)."""
+
+from repro.sim.events import Event, EventHandle
+from repro.sim.process import Process
+from repro.sim.rng import DeterministicRNG
+from repro.sim.simulator import Simulator
+
+__all__ = ["Event", "EventHandle", "Process", "DeterministicRNG", "Simulator"]

@@ -1,0 +1,71 @@
+"""Event primitives for the discrete-event simulator.
+
+An :class:`Event` couples a firing time with a callback.  Events are totally
+ordered by ``(time, priority, sequence)`` so that simultaneous events fire in
+a deterministic order: first by explicit priority, then by scheduling order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Monotonic counter used to break ties between events scheduled for the same
+#: simulated instant.  Deterministic because scheduling order is deterministic.
+_sequence_counter = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback in the simulation.
+
+    Attributes:
+        time: Absolute simulated time (seconds) at which the event fires.
+        priority: Lower values fire first among events with equal ``time``.
+        sequence: Tie-breaker assigned at scheduling time.
+        callback: Zero-argument callable invoked when the event fires.
+        cancelled: Set by :meth:`cancel`; cancelled events are skipped.
+    """
+
+    time: float
+    priority: int = 0
+    sequence: int = field(default_factory=lambda: next(_sequence_counter))
+    callback: Callable[[], Any] | None = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """Whether the event is still scheduled to run."""
+        return not self.cancelled
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule`.
+
+    Holding a handle allows the caller to cancel the event or inspect the
+    time at which it is due to fire.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the underlying event fires."""
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        """Whether the underlying event is still pending."""
+        return self._event.active
+
+    def cancel(self) -> None:
+        """Cancel the underlying event if it has not fired yet."""
+        self._event.cancel()

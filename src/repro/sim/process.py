@@ -1,0 +1,81 @@
+"""Process abstraction: an addressable actor living inside the simulation.
+
+A :class:`Process` owns a node identifier, can send messages through the
+:class:`~repro.net.network.Network` it is registered with, and can set timers
+on the shared :class:`~repro.sim.simulator.Simulator`.  Replicas, clients and
+fault injectors are all processes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import EventHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.net.network import Network
+    from repro.sim.simulator import Simulator
+
+
+class Process:
+    """Base class for simulated actors (replicas, clients, injectors)."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = int(node_id)
+        self._network: "Network | None" = None
+        self._timers: list[EventHandle] = []
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, network: "Network") -> None:
+        """Called by the network when the process is registered."""
+        self._network = network
+
+    @property
+    def network(self) -> "Network":
+        """The network this process is attached to."""
+        if self._network is None:
+            raise SimulationError(
+                f"process {self.node_id} is not attached to a network"
+            )
+        return self._network
+
+    @property
+    def sim(self) -> "Simulator":
+        """The simulator driving this process."""
+        return self.network.sim
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+    # -- messaging --------------------------------------------------------
+
+    def send(self, destination: int, message: Any) -> None:
+        """Send ``message`` to another process over the network."""
+        self.network.send(self.node_id, destination, message)
+
+    def broadcast(self, message: Any, include_self: bool = False) -> None:
+        """Send ``message`` to every registered process."""
+        self.network.broadcast(self.node_id, message, include_self=include_self)
+
+    def receive(self, sender: int, message: Any) -> None:
+        """Handle a delivered message.  Subclasses override this."""
+        raise NotImplementedError
+
+    # -- timers -----------------------------------------------------------
+
+    def set_timer(self, delay: float, callback: Callable[[], Any]) -> EventHandle:
+        """Schedule a local callback ``delay`` seconds from now."""
+        handle = self.sim.schedule(delay, callback)
+        self._timers.append(handle)
+        return handle
+
+    def cancel_timers(self) -> None:
+        """Cancel every timer this process has set and not yet fired."""
+        for handle in self._timers:
+            if handle.active:
+                handle.cancel()
+        self._timers.clear()

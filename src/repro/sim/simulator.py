@@ -1,0 +1,147 @@
+"""Deterministic discrete-event simulator.
+
+The :class:`Simulator` is the heart of the reproduction substrate.  It keeps a
+priority queue of :class:`~repro.sim.events.Event` objects and advances a
+virtual clock from event to event.  Replica processes, the network, clients
+and fault injectors all schedule callbacks on one shared simulator instance,
+which gives every experiment a single consistent notion of time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import Event, EventHandle
+from repro.sim.rng import DeterministicRNG
+
+
+class Simulator:
+    """Single-threaded discrete-event simulation engine.
+
+    Args:
+        seed: Root seed for the simulation's random streams.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule(1.5, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [1.5]
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._queue: list[Event] = []
+        self._processed = 0
+        self._running = False
+        self.rng = DeterministicRNG(seed)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events that have fired so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Args:
+            delay: Non-negative offset from the current simulated time.
+            callback: Zero-argument callable to invoke.
+            priority: Lower priorities fire first among simultaneous events.
+
+        Returns:
+            A handle that can cancel the event.
+
+        Raises:
+            SchedulingError: If ``delay`` is negative or not finite.
+        """
+        if delay < 0 or delay != delay or delay == float("inf"):
+            raise SchedulingError(f"invalid delay: {delay!r}")
+        event = Event(time=self._now + delay, priority=priority, callback=callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulated time (>= now)."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time:.6f}, current time is {self._now:.6f}"
+            )
+        return self.schedule(time - self._now, callback, priority=priority)
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> float:
+        """Run the simulation.
+
+        Args:
+            until: Stop once the clock would pass this time (the clock is left
+                at ``until``).  ``None`` runs until the queue drains.
+            max_events: Safety cap on the number of events processed.
+
+        Returns:
+            The simulated time when the run stopped.
+
+        Raises:
+            SimulationError: If called re-entrantly from an event callback.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        try:
+            processed_this_run = 0
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and processed_this_run >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = max(self._now, event.time)
+                if event.callback is not None:
+                    event.callback()
+                self._processed += 1
+                processed_this_run += 1
+            if until is not None and self._now < until:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Run until the event queue is empty (bounded by ``max_events``)."""
+        return self.run(max_events=max_events)
+
+    def clear(self) -> None:
+        """Drop all pending events (used between experiment phases)."""
+        self._queue.clear()

@@ -1,0 +1,33 @@
+"""Workload generation: Ethereum-style traces, accounts, arrival processes."""
+
+from repro.workload.accounts import AccountUniverse, account_key, shared_key
+from repro.workload.arrivals import (
+    ArrivalSchedule,
+    burst_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from repro.workload.config import (
+    PAPER_NUM_ACCOUNTS,
+    PAPER_NUM_TRANSACTIONS,
+    PAPER_PAYMENT_FRACTION,
+    WorkloadConfig,
+)
+from repro.workload.generator import EthereumStyleWorkload, Trace, TraceStatistics
+
+__all__ = [
+    "AccountUniverse",
+    "ArrivalSchedule",
+    "EthereumStyleWorkload",
+    "PAPER_NUM_ACCOUNTS",
+    "PAPER_NUM_TRANSACTIONS",
+    "PAPER_PAYMENT_FRACTION",
+    "Trace",
+    "TraceStatistics",
+    "WorkloadConfig",
+    "account_key",
+    "burst_arrivals",
+    "poisson_arrivals",
+    "shared_key",
+    "uniform_arrivals",
+]

@@ -1,0 +1,76 @@
+"""Account universe used by the workload generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ledger.state import StateStore
+from repro.sim.rng import DeterministicRNG
+
+
+def account_key(index: int) -> str:
+    """Deterministic account address for the ``index``-th account."""
+    return f"acct-{index:06d}"
+
+
+def shared_key(index: int) -> str:
+    """Deterministic key for the ``index``-th shared contract record."""
+    return f"contract-{index:05d}"
+
+
+@dataclass
+class AccountUniverse:
+    """The set of accounts and shared objects a workload draws from."""
+
+    num_accounts: int
+    num_shared_objects: int
+    initial_balance: int
+    zipf_exponent: float
+
+    def account_keys(self) -> list[str]:
+        """All account addresses."""
+        return [account_key(i) for i in range(self.num_accounts)]
+
+    def shared_keys(self) -> list[str]:
+        """All shared contract record keys."""
+        return [shared_key(i) for i in range(self.num_shared_objects)]
+
+    def initial_balances(self) -> dict[str, int]:
+        """Initial balance mapping for populating state stores."""
+        return {key: self.initial_balance for key in self.account_keys()}
+
+    def populate(self, store: StateStore) -> None:
+        """Create every account and shared record in ``store``."""
+        store.load_accounts(self.initial_balances())
+        for key in self.shared_keys():
+            store.create_shared(key, 0)
+
+    def sample_account(self, rng: DeterministicRNG) -> str:
+        """Draw an account with Zipf-skewed popularity."""
+        index = rng.zipf_index(self.num_accounts, self.zipf_exponent)
+        return account_key(index)
+
+    def sample_distinct_accounts(self, rng: DeterministicRNG, count: int) -> list[str]:
+        """Draw ``count`` distinct accounts (skewed, with rejection)."""
+        chosen: list[str] = []
+        seen: set[str] = set()
+        attempts = 0
+        while len(chosen) < count and attempts < count * 50:
+            candidate = self.sample_account(rng)
+            attempts += 1
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            chosen.append(candidate)
+        while len(chosen) < count:
+            # Extremely skewed configurations can exhaust rejection sampling;
+            # fall back to uniform draws to keep the generator total.
+            candidate = account_key(rng.randint(0, self.num_accounts - 1))
+            if candidate not in seen:
+                seen.add(candidate)
+                chosen.append(candidate)
+        return chosen
+
+    def sample_shared(self, rng: DeterministicRNG) -> str:
+        """Draw a shared contract record uniformly."""
+        return shared_key(rng.randint(0, self.num_shared_objects - 1))

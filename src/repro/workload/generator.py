@@ -1,0 +1,156 @@
+"""Ethereum-style synthetic workload generator.
+
+Generates a transaction trace with the statistical properties of the paper's
+dataset: a payment/contract mix (46 % payments by default), Zipf-skewed
+account activity over 18,000 accounts, occasional multi-payer payments and
+two-caller contract invocations, and 500-byte payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.ledger.transactions import Transaction, contract_call, payment
+from repro.sim.rng import DeterministicRNG
+from repro.workload.accounts import AccountUniverse
+from repro.workload.config import WorkloadConfig
+
+
+@dataclass
+class TraceStatistics:
+    """Summary statistics of a generated trace."""
+
+    total: int = 0
+    payments: int = 0
+    contracts: int = 0
+    multi_payer_payments: int = 0
+    multi_caller_contracts: int = 0
+    unique_accounts: int = 0
+
+    @property
+    def payment_fraction(self) -> float:
+        """Observed payment fraction."""
+        return self.payments / self.total if self.total else 0.0
+
+
+@dataclass
+class Trace:
+    """A generated transaction trace plus its statistics."""
+
+    transactions: list[Transaction]
+    statistics: TraceStatistics
+    config: WorkloadConfig
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self.transactions)
+
+
+class EthereumStyleWorkload:
+    """Deterministic generator for Ethereum-like transaction traces."""
+
+    def __init__(self, config: WorkloadConfig | None = None) -> None:
+        self.config = config or WorkloadConfig()
+        self.universe = AccountUniverse(
+            num_accounts=self.config.num_accounts,
+            num_shared_objects=self.config.num_shared_objects,
+            initial_balance=self.config.initial_balance,
+            zipf_exponent=self.config.zipf_exponent,
+        )
+        self._rng = DeterministicRNG(self.config.seed)
+        self._counter = 0
+
+    # -- single transactions ----------------------------------------------------
+
+    def next_transaction(self, primary_payer: str | None = None) -> Transaction:
+        """Generate the next transaction in the trace.
+
+        Args:
+            primary_payer: Optional account to use as the first payer (or the
+                first contract caller).  The closed-loop load generator uses
+                this to keep a specific instance's bucket saturated; when
+                omitted the payer is drawn from the Zipf-skewed universe.
+        """
+        self._counter += 1
+        if self._rng.random() < self.config.payment_fraction:
+            return self._payment_transaction(primary_payer)
+        return self._contract_transaction(primary_payer)
+
+    def _amount(self) -> int:
+        return self._rng.randint(self.config.min_amount, self.config.max_amount)
+
+    def _payment_transaction(self, primary_payer: str | None = None) -> Transaction:
+        multi_payer = self._rng.random() < self.config.multi_payer_fraction
+        payer_count = 2 if multi_payer else 1
+        participants = self.universe.sample_distinct_accounts(
+            self._rng, payer_count + 1
+        )
+        payers, payee = participants[:payer_count], participants[-1]
+        if primary_payer is not None:
+            if primary_payer in participants:
+                participants.remove(primary_payer)
+            payers = [primary_payer, *participants[: payer_count - 1]]
+            payee = participants[payer_count - 1]
+        debits = {payer: self._amount() for payer in payers}
+        credits = {payee: sum(debits.values())}
+        return payment(
+            debits,
+            credits,
+            tx_id=f"pay-{self.config.seed}-{self._counter:09d}",
+            client_id=payers[0],
+            payload_size=self.config.payload_size,
+        )
+
+    def _contract_transaction(self, primary_payer: str | None = None) -> Transaction:
+        multi_caller = (
+            self._rng.random() < self.config.contract_multi_caller_fraction
+        )
+        caller_count = 2 if multi_caller else 1
+        callers = self.universe.sample_distinct_accounts(self._rng, caller_count)
+        if primary_payer is not None:
+            if primary_payer in callers:
+                callers.remove(primary_payer)
+            callers = [primary_payer, *callers][:caller_count]
+        debits = {caller: self._amount() for caller in callers}
+        shared = {self.universe.sample_shared(self._rng): self._amount()}
+        return contract_call(
+            debits,
+            shared,
+            tx_id=f"con-{self.config.seed}-{self._counter:09d}",
+            client_id=callers[0],
+            payload_size=self.config.payload_size,
+        )
+
+    # -- full traces -------------------------------------------------------------
+
+    def generate(self, count: int | None = None) -> Trace:
+        """Generate a complete trace of ``count`` transactions."""
+        total = count if count is not None else self.config.num_transactions
+        transactions: list[Transaction] = []
+        stats = TraceStatistics()
+        accounts: set[str] = set()
+        for _ in range(total):
+            tx = self.next_transaction()
+            transactions.append(tx)
+            stats.total += 1
+            if tx.is_payment:
+                stats.payments += 1
+                if tx.is_multi_payer:
+                    stats.multi_payer_payments += 1
+            else:
+                stats.contracts += 1
+                if len(tx.payers()) > 1:
+                    stats.multi_caller_contracts += 1
+            accounts.update(tx.payers())
+            accounts.update(tx.payees())
+        stats.unique_accounts = len(accounts)
+        return Trace(transactions=transactions, statistics=stats, config=self.config)
+
+    def stream(self, count: int | None = None) -> Iterator[Transaction]:
+        """Yield transactions one at a time (open-loop clients use this)."""
+        total = count if count is not None else self.config.num_transactions
+        for _ in range(total):
+            yield self.next_transaction()

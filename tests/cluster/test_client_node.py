@@ -1,0 +1,112 @@
+"""Unit tests for the client node used by the message-level cluster."""
+
+from repro.cluster.client import ClientNode
+from repro.cluster.messages import ClientReply, ClientRequest
+from repro.ledger.transactions import simple_transfer
+from repro.metrics.summary import MetricsCollector
+from repro.net.latency import FixedLatencyModel
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+
+class RecordingReplica(Process):
+    """Stand-in replica that records requests and can send replies."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.requests = []
+
+    def receive(self, sender, message):
+        if isinstance(message, ClientRequest):
+            self.requests.append(message)
+
+    def reply(self, tx_id, committed=True):
+        self.send_reply_to = None
+        self.send(
+            self.requests[-1].client_node,
+            ClientReply(tx_id=tx_id, replica=self.node_id, committed=committed),
+        )
+
+
+def build(num_replicas=4, fanout=None):
+    sim = Simulator()
+    network = Network(sim, latency_model=FixedLatencyModel(0.001))
+    replicas = [RecordingReplica(i) for i in range(num_replicas)]
+    for replica in replicas:
+        network.register(replica)
+    metrics = MetricsCollector()
+    client = ClientNode(
+        node_id=num_replicas,
+        replica_ids=[r.node_id for r in replicas],
+        metrics=metrics,
+        fanout=fanout,
+    )
+    network.register(client)
+    return sim, replicas, client, metrics
+
+
+class TestClientSubmission:
+    def test_submit_broadcasts_to_all_replicas_by_default(self):
+        sim, replicas, client, metrics = build()
+        tx = simple_transfer("a", "b", 1, tx_id="t1")
+        client.submit(tx)
+        sim.run()
+        assert all(len(r.requests) == 1 for r in replicas)
+        assert metrics.latency.timeline("t1").submitted_at == 0.0
+        assert client.submitted == 1
+        assert client.pending_count() == 1
+
+    def test_fanout_limits_targets(self):
+        sim, replicas, client, _ = build(fanout=2)
+        client.submit(simple_transfer("a", "b", 1, tx_id="t1"))
+        sim.run()
+        assert sum(len(r.requests) for r in replicas) == 2
+
+    def test_submit_schedule_spreads_submissions(self):
+        sim, replicas, client, metrics = build()
+        txs = [simple_transfer("a", "b", 1, tx_id=f"t{i}") for i in range(3)]
+        client.submit_schedule(txs, [0.1, 0.2, 0.3])
+        sim.run()
+        assert client.submitted == 3
+        assert metrics.latency.timeline("t2").submitted_at == 0.3
+
+
+class TestClientReplies:
+    def test_reply_quorum_is_f_plus_one(self):
+        sim, replicas, client, metrics = build()
+        assert client.reply_quorum == 2
+        tx = simple_transfer("a", "b", 1, tx_id="t1")
+        client.submit(tx)
+        sim.run()
+        replicas[0].reply("t1")
+        sim.run()
+        assert client.completed == 0
+        replicas[1].reply("t1")
+        sim.run()
+        assert client.completed == 1
+        assert metrics.latency.timeline("t1").replied_at is not None
+
+    def test_duplicate_replies_from_same_replica_do_not_count(self):
+        sim, replicas, client, _ = build()
+        client.submit(simple_transfer("a", "b", 1, tx_id="t1"))
+        sim.run()
+        replicas[0].reply("t1")
+        replicas[0].reply("t1")
+        sim.run()
+        assert client.completed == 0
+
+    def test_extra_replies_after_completion_are_ignored(self):
+        sim, replicas, client, _ = build()
+        client.submit(simple_transfer("a", "b", 1, tx_id="t1"))
+        sim.run()
+        for replica in replicas[:3]:
+            replica.reply("t1")
+        sim.run()
+        assert client.completed == 1
+        assert client.pending_count() == 0
+
+    def test_non_reply_messages_ignored(self):
+        sim, replicas, client, _ = build()
+        client.receive(0, "not a reply")
+        assert client.completed == 0

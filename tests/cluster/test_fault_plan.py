@@ -1,0 +1,32 @@
+"""Tests for fault plans."""
+
+from repro.cluster.faults import (
+    PAPER_STRAGGLER_SLOWDOWN,
+    PAPER_VIEW_CHANGE_TIMEOUT,
+    FaultPlan,
+)
+
+
+class TestFaultPlan:
+    def test_none_plan_is_healthy(self):
+        plan = FaultPlan.none()
+        assert plan.slowdown_of(0) == 1.0
+        assert plan.crash_time_of(0) is None
+        assert plan.undetectable_faults == 0
+        assert plan.straggler_count == 0
+
+    def test_straggler_plan_uses_paper_slowdown(self):
+        plan = FaultPlan.with_straggler(instance=2)
+        assert plan.slowdown_of(2) == PAPER_STRAGGLER_SLOWDOWN == 10.0
+        assert plan.slowdown_of(0) == 1.0
+        assert plan.straggler_count == 1
+
+    def test_crash_plan(self):
+        plan = FaultPlan.with_crashes([0, 1, 2], at_time=9.0)
+        assert plan.crash_time_of(1) == 9.0
+        assert plan.crash_time_of(5) is None
+        assert plan.view_change_timeout == PAPER_VIEW_CHANGE_TIMEOUT == 10.0
+
+    def test_undetectable_plan(self):
+        plan = FaultPlan.with_undetectable(3)
+        assert plan.undetectable_faults == 3

@@ -1,0 +1,118 @@
+"""Tests for the message-level cluster (full PBFT replicas + clients)."""
+
+import pytest
+
+from repro.cluster.builder import MessageCluster, MessageClusterConfig
+from repro.cluster.faults import FaultPlan
+from repro.errors import ExperimentError
+from repro.ledger.transactions import contract_call, simple_transfer
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import EthereumStyleWorkload
+
+
+def small_cluster(**overrides):
+    params = dict(
+        protocol="orthrus",
+        num_replicas=4,
+        batch_size=8,
+        seed=3,
+        workload=WorkloadConfig(num_accounts=64, num_shared_objects=8, seed=3),
+    )
+    params.update(overrides)
+    return MessageCluster(MessageClusterConfig(**params))
+
+
+class TestConfig:
+    def test_requires_bft_minimum(self):
+        with pytest.raises(ExperimentError):
+            MessageClusterConfig(num_replicas=3)
+
+    def test_instances_default_to_replica_count(self):
+        assert MessageClusterConfig(num_replicas=5).instances == 5
+        assert MessageClusterConfig(num_replicas=5, num_instances=2).instances == 2
+
+
+class TestHappyPath:
+    def test_all_transactions_confirmed_and_replied(self):
+        cluster = small_cluster()
+        trace = EthereumStyleWorkload(cluster.config.workload).generate(80)
+        cluster.submit_transactions(trace.transactions, rate_tps=200)
+        metrics = cluster.run(12.0)
+        assert metrics.confirmed == 80
+        assert cluster.client.completed == 80
+        assert metrics.latency.count == 80
+        assert metrics.latency.mean > 0
+
+    def test_all_replicas_agree_on_state(self):
+        cluster = small_cluster()
+        trace = EthereumStyleWorkload(cluster.config.workload).generate(60)
+        cluster.submit_transactions(trace.transactions, rate_tps=300)
+        cluster.run(12.0)
+        digests = {replica.core.store.state_digest() for replica in cluster.replicas}
+        assert len(digests) == 1
+
+    def test_specific_transfer_applied_exactly_once_everywhere(self):
+        cluster = small_cluster()
+        tx = simple_transfer("acct-000001", "acct-000002", 7, tx_id="x-transfer")
+        cluster.submit_transactions([tx])
+        cluster.run(5.0)
+        for replica in cluster.replicas:
+            assert replica.core.store.balance_of("acct-000002") == (
+                cluster.config.workload.initial_balance + 7
+            )
+
+    def test_contract_transaction_executes_on_all_replicas(self):
+        cluster = small_cluster()
+        ctx = contract_call({"acct-000003": 5}, {"contract-00001": 99}, tx_id="x-contract")
+        cluster.submit_transactions([ctx])
+        cluster.run(8.0)
+        for replica in cluster.replicas:
+            assert replica.core.store.balance_of("contract-00001") == 99
+
+    def test_network_stats_exposed(self):
+        cluster = small_cluster()
+        trace = EthereumStyleWorkload(cluster.config.workload).generate(10)
+        cluster.submit_transactions(trace.transactions)
+        metrics = cluster.run(5.0)
+        assert metrics.extra["messages_sent"] > 0
+        assert metrics.extra["bytes_sent"] > 0
+
+    def test_baseline_protocol_also_converges(self):
+        cluster = small_cluster(protocol="iss")
+        trace = EthereumStyleWorkload(cluster.config.workload).generate(40)
+        cluster.submit_transactions(trace.transactions, rate_tps=200)
+        metrics = cluster.run(12.0)
+        assert metrics.confirmed == 40
+        digests = {replica.core.store.state_digest() for replica in cluster.replicas}
+        assert len(digests) == 1
+
+
+class TestFaultTolerance:
+    def test_leader_crash_triggers_view_change_and_recovery(self):
+        cluster = small_cluster(
+            view_change_timeout=2.0,
+            faults=FaultPlan(crashes={1: 1.0}, view_change_timeout=2.0),
+        )
+        trace = EthereumStyleWorkload(cluster.config.workload).generate(100)
+        cluster.submit_transactions(trace.transactions, rate_tps=50)
+        metrics = cluster.run(25.0)
+        assert metrics.confirmed == 100
+        honest = [replica for replica in cluster.replicas if replica.node_id != 1]
+        assert any(replica.endpoints[1].view > 0 for replica in honest)
+        digests = {replica.core.store.state_digest() for replica in honest}
+        assert len(digests) == 1
+
+    def test_straggler_replica_slows_but_does_not_block_orthrus(self):
+        cluster = small_cluster(faults=FaultPlan(stragglers={2: 10.0}))
+        trace = EthereumStyleWorkload(cluster.config.workload).generate(60)
+        cluster.submit_transactions(trace.transactions, rate_tps=200)
+        metrics = cluster.run(20.0)
+        assert metrics.confirmed >= 55
+
+    def test_run_until_confirmed_helper(self):
+        cluster = small_cluster()
+        trace = EthereumStyleWorkload(cluster.config.workload).generate(20)
+        cluster.submit_transactions(trace.transactions)
+        elapsed = cluster.run_until_confirmed(20, timeout=30.0)
+        assert cluster.metrics.committed + cluster.metrics.rejected >= 20
+        assert elapsed <= 30.0

@@ -1,0 +1,89 @@
+"""Tests for the blocking (no Solution-II) ablation core."""
+
+from repro.core.blocking import BlockingOrthrusCore
+from repro.core.config import CoreConfig
+from repro.core.outcomes import TxStatus
+from repro.core.partition import LoadBalancedPartitioner
+from repro.ledger.blocks import Block, SystemState
+from repro.ledger.state import StateStore
+from repro.ledger.transactions import contract_call, simple_transfer
+from repro.protocols.registry import build_core
+
+
+def build(balances):
+    config = CoreConfig(num_instances=2, batch_size=8, epoch_length=1000)
+    store = StateStore()
+    store.load_accounts(balances)
+    store.create_shared("slot", 0)
+    core = BlockingOrthrusCore(config, store)
+    core.partitioner = LoadBalancedPartitioner(2, {"alice": 0, "carol": 0, "bob": 1})
+    return core
+
+
+def deliver(core, instance, sn, txs):
+    block = Block.create(
+        instance=instance,
+        sequence_number=sn,
+        transactions=txs,
+        state=SystemState.initial(2),
+        proposer=instance,
+        rank=core.next_rank(),
+    )
+    return core.on_block_delivered(block)
+
+
+class TestBlockingAblation:
+    def test_registry_exposes_ablation_core(self):
+        core = build_core("orthrus-blocking", CoreConfig(num_instances=2))
+        assert isinstance(core, BlockingOrthrusCore)
+        assert core.name == "orthrus-blocking"
+
+    def test_pending_contract_blocks_subsequent_payment(self):
+        core = build({"alice": 0, "bob": 30, "carol": 0})
+        ctx = contract_call({"bob": 10}, {"slot": 1}, tx_id="c1")
+        pay = simple_transfer("bob", "carol", 15, tx_id="p1")
+        outcomes = deliver(core, 1, 0, [ctx, pay])
+        # Unlike OrthrusCore, the payment does NOT confirm while the contract
+        # is pending: it waits behind the payer lock.
+        assert outcomes == []
+        assert core.status_of("p1") is TxStatus.PENDING
+        assert core.store.balance_of("carol") == 0
+        # Once the contract is globally ordered the lock is released and the
+        # blocked payment confirms.
+        outcomes = deliver(core, 0, 0, [])
+        statuses = {o.tx.tx_id: o.status for o in outcomes}
+        assert statuses["c1"] is TxStatus.COMMITTED
+        assert statuses["p1"] is TxStatus.COMMITTED
+        assert core.store.balance_of("carol") == 15
+
+    def test_unrelated_payments_are_not_blocked(self):
+        core = build({"alice": 20, "bob": 30, "carol": 0})
+        ctx = contract_call({"bob": 10}, {"slot": 1}, tx_id="c1")
+        unrelated = simple_transfer("alice", "carol", 5, tx_id="p-alice")
+        deliver(core, 1, 0, [ctx])
+        outcomes = deliver(core, 0, 0, [unrelated])
+        assert any(
+            o.tx.tx_id == "p-alice" and o.status is TxStatus.COMMITTED for o in outcomes
+        )
+
+    def test_blocking_core_matches_orthrus_final_state(self):
+        # The ablation changes *when* payments confirm, not the final values.
+        from repro.core.orthrus import OrthrusCore
+
+        balances = {"alice": 0, "bob": 30, "carol": 0}
+        blocking = build(balances)
+        config = CoreConfig(num_instances=2, batch_size=8, epoch_length=1000)
+        store = StateStore()
+        store.load_accounts(balances)
+        store.create_shared("slot", 0)
+        plain = OrthrusCore(config, store)
+        plain.partitioner = LoadBalancedPartitioner(2, {"alice": 0, "carol": 0, "bob": 1})
+
+        ctx = contract_call({"bob": 10}, {"slot": 7}, tx_id="c1")
+        pay = simple_transfer("bob", "carol", 15, tx_id="p1")
+        for core in (blocking, plain):
+            deliver(core, 1, 0, [ctx, pay])
+            deliver(core, 0, 0, [])
+            deliver(core, 1, 1, [])
+            deliver(core, 0, 1, [])
+        assert blocking.store.state_digest() == plain.store.state_digest()

@@ -1,0 +1,363 @@
+"""Tests for the Orthrus consensus core (Algorithm 1).
+
+The tests drive the core directly with hand-built blocks so every branch of
+the hybrid execution path is exercised: partial-path payments, multi-payer
+atomicity via escrow, contract execution at global-ordering time, the
+non-blocking interaction between pending contracts and later payments, and
+the Appendix B running example.
+"""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.orthrus import OrthrusCore
+from repro.core.outcomes import ConfirmationPath, TxStatus
+from repro.core.partition import LoadBalancedPartitioner
+from repro.ledger.blocks import Block, SystemState
+from repro.ledger.state import StateStore
+from repro.ledger.transactions import contract_call, payment, simple_transfer
+
+
+class Harness:
+    """Drives one OrthrusCore with two instances and explicit account pinning."""
+
+    def __init__(self, balances, placement, num_instances=2, epoch_length=1_000):
+        config = CoreConfig(
+            num_instances=num_instances,
+            batch_size=8,
+            epoch_length=epoch_length,
+        )
+        store = StateStore()
+        store.load_accounts(balances)
+        for key in ("slot", "slot-a", "slot-b"):
+            store.create_shared(key, 0)
+        self.core = OrthrusCore(config, store)
+        self.core.partitioner = LoadBalancedPartitioner(num_instances, placement)
+        self._next_sn = [0] * num_instances
+
+    def submit(self, *txs):
+        for tx in txs:
+            self.core.submit(tx)
+
+    def deliver(self, instance, txs, state=None):
+        """Build and deliver the next block of ``instance`` containing ``txs``."""
+        block = Block.create(
+            instance=instance,
+            sequence_number=self._next_sn[instance],
+            transactions=txs,
+            state=state or SystemState.initial(len(self._next_sn)),
+            proposer=instance,
+            rank=self.core.next_rank(),
+        )
+        self._next_sn[instance] += 1
+        return self.core.on_block_delivered(block)
+
+    def deliver_noop(self, instance):
+        """Deliver an empty block (advances the Ladon bar)."""
+        return self.deliver(instance, [])
+
+    def settle(self, rounds=2):
+        """Deliver no-op blocks on every instance to flush global ordering.
+
+        Mirrors the ISS-style no-op filling / epoch closing that gives the
+        rank-based global log liveness once client traffic stops.
+        """
+        outcomes = []
+        for _ in range(rounds):
+            for instance in range(len(self._next_sn)):
+                outcomes.extend(self.deliver_noop(instance))
+        return outcomes
+
+    def balance(self, key):
+        return self.core.store.balance_of(key)
+
+    def status(self, tx):
+        return self.core.status_of(tx.tx_id)
+
+
+def default_harness(balances=None):
+    return Harness(
+        balances or {"alice": 100, "bob": 50, "carol": 0, "dave": 0},
+        {"alice": 0, "carol": 0, "bob": 1, "dave": 1},
+    )
+
+
+class TestPartialPathPayments:
+    def test_single_payer_payment_confirms_at_delivery(self):
+        harness = default_harness()
+        tx = simple_transfer("alice", "carol", 10, tx_id="p1")
+        harness.submit(tx)
+        outcomes = harness.deliver(0, [tx])
+        assert len(outcomes) == 1
+        assert outcomes[0].status is TxStatus.COMMITTED
+        assert outcomes[0].path is ConfirmationPath.PARTIAL
+        assert harness.balance("alice") == 90
+        assert harness.balance("carol") == 10
+
+    def test_insufficient_funds_payment_rejected(self):
+        harness = default_harness({"alice": 5, "bob": 0, "carol": 0, "dave": 0})
+        tx = simple_transfer("alice", "carol", 10, tx_id="p1")
+        outcomes = harness.deliver(0, [tx])
+        assert outcomes[0].status is TxStatus.REJECTED
+        assert harness.balance("alice") == 5
+        assert harness.balance("carol") == 0
+
+    def test_sequential_payments_same_payer_respect_balance(self):
+        harness = default_harness({"alice": 15, "bob": 0, "carol": 0, "dave": 0})
+        tx1 = simple_transfer("alice", "carol", 10, tx_id="p1")
+        tx2 = simple_transfer("alice", "bob", 10, tx_id="p2")
+        outcomes = harness.deliver(0, [tx1, tx2])
+        statuses = {o.tx.tx_id: o.status for o in outcomes}
+        assert statuses["p1"] is TxStatus.COMMITTED
+        assert statuses["p2"] is TxStatus.REJECTED
+        assert harness.balance("alice") == 5
+
+    def test_payments_in_different_instances_are_independent(self):
+        harness = default_harness()
+        tx_a = simple_transfer("alice", "carol", 10, tx_id="pa")
+        tx_b = simple_transfer("bob", "dave", 10, tx_id="pb")
+        outcomes_a = harness.deliver(0, [tx_a])
+        outcomes_b = harness.deliver(1, [tx_b])
+        assert outcomes_a[0].status is TxStatus.COMMITTED
+        assert outcomes_b[0].status is TxStatus.COMMITTED
+
+    def test_duplicate_block_delivery_is_ignored(self):
+        harness = default_harness()
+        tx = simple_transfer("alice", "carol", 10, tx_id="p1")
+        block = Block.create(
+            instance=0,
+            sequence_number=0,
+            transactions=[tx],
+            state=SystemState.initial(2),
+            proposer=0,
+            rank=harness.core.next_rank(),
+        )
+        first = harness.core.on_block_delivered(block)
+        second = harness.core.on_block_delivered(block)
+        assert len(first) == 1
+        assert second == []
+        assert harness.balance("alice") == 90
+
+
+class TestMultiPayerAtomicity:
+    def test_confirmation_waits_for_all_payers(self):
+        harness = default_harness()
+        tx = payment({"alice": 10, "bob": 5}, {"carol": 15}, tx_id="mp")
+        harness.submit(tx)
+        first = harness.deliver(0, [tx])
+        assert first == []  # only Alice's escrow so far
+        assert harness.balance("alice") == 90
+        assert harness.balance("carol") == 0
+        assert harness.status(tx) is TxStatus.PENDING
+        second = harness.deliver(1, [tx])
+        assert len(second) == 1
+        assert second[0].status is TxStatus.COMMITTED
+        assert harness.balance("bob") == 45
+        assert harness.balance("carol") == 15
+
+    def test_failed_payer_aborts_and_refunds_the_other(self):
+        harness = default_harness({"alice": 100, "bob": 1, "carol": 0, "dave": 0})
+        tx = payment({"alice": 10, "bob": 5}, {"carol": 15}, tx_id="mp")
+        harness.deliver(0, [tx])
+        assert harness.balance("alice") == 90  # escrowed
+        outcomes = harness.deliver(1, [tx])
+        assert outcomes[0].status is TxStatus.REJECTED
+        assert harness.balance("alice") == 100  # refunded
+        assert harness.balance("bob") == 1
+        assert harness.balance("carol") == 0
+        assert len(harness.core.escrow) == 0
+
+    def test_abort_prevents_later_escrow_from_other_instance(self):
+        harness = default_harness({"alice": 5, "bob": 50, "carol": 0, "dave": 0})
+        tx = payment({"alice": 10, "bob": 5}, {"carol": 15}, tx_id="mp")
+        # Alice's instance processes first and fails the escrow outright.
+        outcomes = harness.deliver(0, [tx])
+        assert outcomes[0].status is TxStatus.REJECTED
+        # Bob's instance later includes the same transaction; it must not
+        # re-escrow or produce another outcome.
+        later = harness.deliver(1, [tx])
+        assert later == []
+        assert harness.balance("bob") == 50
+
+
+class TestContractTransactions:
+    def test_contract_requires_global_ordering(self):
+        harness = default_harness()
+        # Bob is assigned to instance 1, so the contract block's ordering
+        # index (rank, 1) cannot be confirmed until instance 0 delivers a
+        # higher-ranked block (the tie-break favours lower instance indices).
+        ctx = contract_call({"bob": 10}, {"slot": 7}, tx_id="c1")
+        outcomes = harness.deliver(1, [ctx])
+        assert outcomes == []
+        assert harness.balance("bob") == 40  # escrowed, not yet committed
+        assert harness.core.store.balance_of("slot") == 0
+        # Once instance 0 delivers, the block is globally ordered and the
+        # contract executes.
+        outcomes = harness.deliver_noop(0)
+        assert len(outcomes) == 1
+        assert outcomes[0].status is TxStatus.COMMITTED
+        assert outcomes[0].path is ConfirmationPath.GLOBAL
+        assert harness.core.store.balance_of("slot") == 7
+
+    def test_contract_with_insufficient_funds_rejected_at_partial_path(self):
+        harness = default_harness({"alice": 5, "bob": 0, "carol": 0, "dave": 0})
+        ctx = contract_call({"alice": 10}, {"slot": 7}, tx_id="c1")
+        outcomes = harness.deliver(0, [ctx])
+        assert outcomes[0].status is TxStatus.REJECTED
+        harness.settle()
+        assert harness.core.store.balance_of("slot") == 0
+        assert harness.balance("alice") == 5
+
+    def test_pending_contract_does_not_block_later_payment(self):
+        # Solution-II: the contract's decrement is escrowed, so the payment
+        # right behind it is evaluated against the reduced balance and
+        # confirms immediately, before the contract is globally ordered.
+        harness = default_harness({"alice": 0, "bob": 30, "carol": 0, "dave": 0})
+        ctx = contract_call({"bob": 10}, {"slot": 1}, tx_id="c1")
+        pay = simple_transfer("bob", "carol", 15, tx_id="p1")
+        outcomes = harness.deliver(1, [ctx, pay])
+        statuses = {o.tx.tx_id: o.status for o in outcomes}
+        assert statuses == {"p1": TxStatus.COMMITTED}
+        assert harness.balance("bob") == 5
+        assert harness.balance("carol") == 15
+        assert harness.status(ctx) is TxStatus.PENDING
+        # The contract later confirms through the global path.
+        outcomes = harness.settle()
+        assert {o.tx.tx_id for o in outcomes} == {"c1"}
+
+    def test_two_caller_contract_executes_once_at_last_occurrence(self):
+        harness = default_harness()
+        ctx = contract_call({"alice": 10, "bob": 5}, {"slot": 3}, tx_id="c2")
+        harness.deliver(0, [ctx])
+        outcomes = harness.deliver(1, [ctx])
+        outcomes += harness.settle()
+        # The contract executes exactly once, at its last occurrence in the
+        # global log, and both callers are debited.
+        committed = [o for o in outcomes if o.tx.tx_id == "c2"]
+        assert len(committed) == 1
+        assert committed[0].status is TxStatus.COMMITTED
+        assert harness.balance("alice") == 90
+        assert harness.balance("bob") == 45
+        assert harness.core.store.balance_of("slot") == 3
+
+    def test_contract_ordering_is_sequential(self):
+        harness = default_harness()
+        ctx1 = contract_call({"alice": 1}, {"slot": 111}, tx_id="c1")
+        ctx2 = contract_call({"bob": 1}, {"slot": 222}, tx_id="c2")
+        harness.deliver(0, [ctx1])
+        harness.deliver(1, [ctx2])
+        harness.settle()
+        # Both executed; the final value is whichever was globally later.
+        assert harness.core.store.balance_of("slot") == 222
+        assert harness.status(ctx1) is TxStatus.COMMITTED
+        assert harness.status(ctx2) is TxStatus.COMMITTED
+
+
+class TestStateReferences:
+    def test_block_waits_for_referenced_state(self):
+        harness = default_harness()
+        fund = simple_transfer("alice", "dave", 20, tx_id="fund")
+        spend = simple_transfer("dave", "carol", 15, tx_id="spend")
+        # Instance 1's block references instance 0's block 0 (the funding tx),
+        # exactly like Appendix B's tx1 referencing S = {0, ⊥}.
+        dependent_state = SystemState((-1, -1)).advanced(0, 0)
+        outcomes = harness.deliver(1, [spend], state=dependent_state)
+        assert outcomes == []  # waits: the funding block has not arrived
+        assert harness.status(spend) is TxStatus.PENDING
+        outcomes = harness.deliver(0, [fund])
+        statuses = {o.tx.tx_id: o.status for o in outcomes}
+        assert statuses["fund"] is TxStatus.COMMITTED
+        assert statuses["spend"] is TxStatus.COMMITTED
+        assert harness.balance("carol") == 15
+        assert harness.balance("dave") == 5
+
+
+class TestAppendixBExample:
+    """The running example of Appendix B: two instances, Alice/Bob/Carol."""
+
+    def build(self):
+        return Harness(
+            {"alice": 4, "bob": 0, "carol": 0},
+            {"alice": 0, "bob": 1, "carol": 0},
+        )
+
+    def test_running_example(self):
+        harness = self.build()
+        # tx0: Alice -> Bob $2, single payer, instance 0, block (0, 0).
+        tx0 = simple_transfer("alice", "bob", 2, tx_id="tx0")
+        outcomes = harness.deliver(0, [tx0])
+        assert outcomes[0].status is TxStatus.COMMITTED
+        assert harness.balance("alice") == 2
+        assert harness.balance("bob") == 2
+
+        # tx1: Alice and Bob each send $1 to Carol.  It appears in block (0,1)
+        # and block (1,0); the latter references block (0,0) so Bob's transfer
+        # builds on the funds received from tx0.
+        tx1 = payment({"alice": 1, "bob": 1}, {"carol": 2}, tx_id="tx1")
+        first = harness.deliver(0, [tx1])
+        assert first == []
+        assert harness.balance("alice") == 1  # escrowed
+        second = harness.deliver(
+            1, [tx1], state=SystemState((-1, -1)).advanced(0, 0)
+        )
+        assert second[0].status is TxStatus.COMMITTED
+        assert harness.balance("carol") == 2
+        assert harness.balance("bob") == 1
+
+        # tx2: Alice and Bob jointly call a contract costing $1 each.
+        tx2 = contract_call({"alice": 1, "bob": 1}, {"slot": 9}, tx_id="tx2")
+        harness.deliver(0, [tx2])
+        outcomes = harness.deliver(1, [tx2])
+        outcomes += harness.settle()
+        assert {o.tx.tx_id for o in outcomes} == {"tx2"}
+        assert outcomes[0].status is TxStatus.COMMITTED
+        assert harness.balance("alice") == 0
+        assert harness.balance("bob") == 0
+        assert harness.core.store.balance_of("slot") == 9
+
+
+class TestEpochs:
+    def test_checkpoint_created_when_epoch_completes(self):
+        harness = Harness(
+            {"alice": 100, "bob": 100, "carol": 0, "dave": 0},
+            {"alice": 0, "carol": 0, "bob": 1, "dave": 1},
+            epoch_length=1,
+        )
+        tx_a = simple_transfer("alice", "carol", 1, tx_id="a")
+        tx_b = simple_transfer("bob", "dave", 1, tx_id="b")
+        harness.deliver(0, [tx_a])
+        assert harness.core.pending_checkpoints == []
+        harness.deliver(1, [tx_b])
+        assert len(harness.core.pending_checkpoints) == 1
+        checkpoint = harness.core.pending_checkpoints[0]
+        assert checkpoint.epoch == 0
+        assert checkpoint.state_digest == harness.core.store.state_digest()
+
+
+class TestCounters:
+    def test_path_counters_track_confirmations(self):
+        harness = default_harness()
+        pay = simple_transfer("alice", "carol", 1, tx_id="p")
+        ctx = contract_call({"bob": 1}, {"slot": 5}, tx_id="c")
+        harness.deliver(0, [pay])
+        harness.deliver(1, [ctx])
+        harness.deliver_noop(0)
+        harness.deliver_noop(1)
+        assert harness.core.partial_confirmations == 1
+        assert harness.core.global_confirmations == 1
+
+    def test_submit_validates_and_routes_to_buckets(self):
+        harness = default_harness()
+        tx = payment({"alice": 2, "bob": 2}, {"carol": 4}, tx_id="mp")
+        buckets = harness.core.submit(tx)
+        assert sorted(buckets) == [0, 1]
+        assert harness.core.bucket_size(0) == 1
+        assert harness.core.bucket_size(1) == 1
+        assert harness.core.total_pending() == 2
+
+    def test_submit_rejects_invalid_transaction(self):
+        from repro.errors import ValidationError
+
+        harness = default_harness()
+        with pytest.raises(ValidationError):
+            harness.core.submit(payment({"alice": 5}, {"carol": 3}, tx_id="bad"))

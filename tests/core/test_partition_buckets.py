@@ -1,0 +1,149 @@
+"""Tests for bucket partitioning and the bucket queue."""
+
+import pytest
+
+from repro.core.buckets import Bucket
+from repro.core.partition import (
+    LoadBalancedPartitioner,
+    PayerPartitioner,
+    TransactionPartitioner,
+    stable_hash,
+)
+from repro.ledger.transactions import contract_call, payment, simple_transfer
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("alice") == stable_hash("alice")
+
+    def test_distinguishes_keys(self):
+        assert stable_hash("alice") != stable_hash("bob")
+
+
+class TestPayerPartitioner:
+    def test_same_payer_always_same_bucket(self):
+        partitioner = PayerPartitioner(8)
+        tx1 = simple_transfer("alice", "bob", 1)
+        tx2 = simple_transfer("alice", "carol", 2)
+        assert partitioner.buckets_for(tx1) == partitioner.buckets_for(tx2)
+
+    def test_multi_payer_transaction_spans_buckets(self):
+        partitioner = PayerPartitioner(1000)
+        tx = payment({"alice": 1, "bob": 1}, {"carol": 2})
+        buckets = partitioner.buckets_for(tx)
+        assert len(buckets) == 2
+        assert buckets == sorted(buckets)
+
+    def test_payee_does_not_influence_assignment(self):
+        partitioner = PayerPartitioner(16)
+        tx = simple_transfer("alice", "bob", 1)
+        assert partitioner.buckets_for(tx) == [partitioner.assign_object("alice")]
+
+    def test_contract_callers_determine_buckets(self):
+        partitioner = PayerPartitioner(1000)
+        tx = contract_call({"alice": 1, "bob": 1}, {"slot": 5})
+        assert set(partitioner.buckets_for(tx)) == {
+            partitioner.assign_object("alice"),
+            partitioner.assign_object("bob"),
+        }
+
+    def test_transaction_without_decrements_falls_back_to_id_hash(self):
+        partitioner = PayerPartitioner(4)
+        mint = payment({}, {"carol": 5}, tx_id="mint-1")
+        buckets = partitioner.buckets_for(mint)
+        assert len(buckets) == 1
+        assert 0 <= buckets[0] < 4
+
+    def test_invalid_instance_count_rejected(self):
+        with pytest.raises(ValueError):
+            PayerPartitioner(0)
+
+
+class TestTransactionPartitioner:
+    def test_single_bucket_by_id(self):
+        partitioner = TransactionPartitioner(8)
+        tx = payment({"alice": 1, "bob": 1}, {"carol": 2}, tx_id="fixed")
+        assert len(partitioner.buckets_for(tx)) == 1
+
+    def test_roughly_uniform_distribution(self):
+        partitioner = TransactionPartitioner(4)
+        counts = [0, 0, 0, 0]
+        for i in range(2000):
+            tx = simple_transfer("a", "b", 1, tx_id=f"tx-{i}")
+            counts[partitioner.buckets_for(tx)[0]] += 1
+        assert min(counts) > 350
+
+
+class TestLoadBalancedPartitioner:
+    def test_pinned_accounts_override_hash(self):
+        partitioner = LoadBalancedPartitioner(8, {"whale": 3})
+        assert partitioner.assign_object("whale") == 3
+        tx = simple_transfer("whale", "bob", 1)
+        assert partitioner.buckets_for(tx) == [3]
+
+    def test_pin_validates_range(self):
+        partitioner = LoadBalancedPartitioner(4)
+        with pytest.raises(ValueError):
+            partitioner.pin("whale", 9)
+
+    def test_unpinned_accounts_use_hash(self):
+        plain = PayerPartitioner(8)
+        balanced = LoadBalancedPartitioner(8)
+        assert balanced.assign_object("alice") == plain.assign_object("alice")
+
+
+class TestBucket:
+    def test_push_and_pull_fifo(self):
+        bucket = Bucket(0)
+        txs = [simple_transfer("a", "b", 1, tx_id=f"t{i}") for i in range(5)]
+        for tx in txs:
+            assert bucket.push(tx)
+        assert len(bucket) == 5
+        pulled = bucket.pull(3)
+        assert [tx.tx_id for tx in pulled] == ["t0", "t1", "t2"]
+        assert len(bucket) == 2
+
+    def test_duplicate_push_rejected(self):
+        bucket = Bucket(0)
+        tx = simple_transfer("a", "b", 1, tx_id="dup")
+        assert bucket.push(tx)
+        assert not bucket.push(tx)
+        assert len(bucket) == 1
+
+    def test_pulled_transactions_cannot_be_repushed(self):
+        bucket = Bucket(0)
+        tx = simple_transfer("a", "b", 1, tx_id="t0")
+        bucket.push(tx)
+        bucket.pull(1)
+        assert not bucket.push(tx)
+
+    def test_requeue_restores_front_order(self):
+        bucket = Bucket(0)
+        txs = [simple_transfer("a", "b", 1, tx_id=f"t{i}") for i in range(4)]
+        for tx in txs:
+            bucket.push(tx)
+        pulled = bucket.pull(2)
+        bucket.requeue(pulled)
+        assert [tx.tx_id for tx in bucket.peek_all()] == ["t0", "t1", "t2", "t3"]
+
+    def test_mark_confirmed_allows_forgetting_in_flight(self):
+        bucket = Bucket(0)
+        tx = simple_transfer("a", "b", 1, tx_id="t0")
+        bucket.push(tx)
+        bucket.pull(1)
+        bucket.mark_confirmed(["t0"])
+        assert bucket.push(tx)  # a brand-new submission of the same id is allowed
+
+    def test_purge_removes_listed_transactions(self):
+        bucket = Bucket(0)
+        for i in range(4):
+            bucket.push(simple_transfer("a", "b", 1, tx_id=f"t{i}"))
+        removed = bucket.purge(["t1", "t3", "missing"])
+        assert removed == 2
+        assert [tx.tx_id for tx in bucket.peek_all()] == ["t0", "t2"]
+
+    def test_contains_by_id(self):
+        bucket = Bucket(0)
+        bucket.push(simple_transfer("a", "b", 1, tx_id="present"))
+        assert "present" in bucket
+        assert "absent" not in bucket

@@ -1,0 +1,142 @@
+"""Tests for digests, the PKI and simulated signatures."""
+
+import pytest
+
+from repro.crypto.digest import canonical_bytes, combine_digests, digest, sha256_hex
+from repro.crypto.keys import KeyPair, PublicKeyInfrastructure
+from repro.crypto.signatures import (
+    CryptoCostModel,
+    QuorumCertificate,
+    Signature,
+    sign,
+    verify,
+)
+from repro.errors import ConfigurationError
+from repro.ledger.transactions import simple_transfer
+
+
+class TestDigest:
+    def test_digest_is_deterministic(self):
+        assert digest({"a": 1, "b": [2, 3]}) == digest({"b": [2, 3], "a": 1})
+
+    def test_digest_distinguishes_values(self):
+        assert digest({"a": 1}) != digest({"a": 2})
+
+    def test_digest_uses_digest_fields_when_available(self):
+        tx1 = simple_transfer("alice", "bob", 5, tx_id="t1")
+        tx2 = simple_transfer("alice", "bob", 5, tx_id="t1")
+        assert digest(tx1) == digest(tx2)
+        tx3 = simple_transfer("alice", "bob", 6, tx_id="t1")
+        assert digest(tx1) != digest(tx3)
+
+    def test_canonical_bytes_handles_unserialisable_objects(self):
+        class Weird:
+            pass
+
+        assert isinstance(canonical_bytes(Weird()), bytes)
+
+    def test_combine_digests_order_sensitive(self):
+        assert combine_digests(["a", "b"]) != combine_digests(["b", "a"])
+
+    def test_sha256_hex_known_value(self):
+        assert sha256_hex(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+
+class TestPKI:
+    def test_enroll_is_idempotent(self):
+        pki = PublicKeyInfrastructure(seed=1)
+        first = pki.enroll("replica-0")
+        second = pki.enroll("replica-0")
+        assert first.public_key == second.public_key
+
+    def test_key_derivation_depends_on_seed_and_holder(self):
+        a = KeyPair.generate("r0", seed=1)
+        b = KeyPair.generate("r0", seed=2)
+        c = KeyPair.generate("r1", seed=1)
+        assert a.public_key != b.public_key
+        assert a.public_key != c.public_key
+
+    def test_lookup_unknown_holder_raises(self):
+        pki = PublicKeyInfrastructure()
+        with pytest.raises(ConfigurationError):
+            pki.public_key_of("ghost")
+
+    def test_holders_listing_and_contains(self):
+        pki = PublicKeyInfrastructure()
+        pki.enroll("b")
+        pki.enroll("a")
+        assert pki.holders() == ["a", "b"]
+        assert "a" in pki
+        assert "zzz" not in pki
+
+
+class TestSignatures:
+    def test_sign_and_verify_roundtrip(self):
+        pki = PublicKeyInfrastructure(seed=5)
+        keypair = pki.enroll("alice")
+        message = {"transfer": 10}
+        signature = sign(keypair, message)
+        assert verify(pki, signature, message)
+
+    def test_verification_fails_for_tampered_message(self):
+        pki = PublicKeyInfrastructure(seed=5)
+        keypair = pki.enroll("alice")
+        signature = sign(keypair, {"transfer": 10})
+        assert not verify(pki, signature, {"transfer": 11})
+
+    def test_verification_fails_for_unenrolled_signer(self):
+        pki = PublicKeyInfrastructure(seed=5)
+        rogue = KeyPair.generate("mallory", seed=99)
+        signature = sign(rogue, "msg")
+        assert not verify(pki, signature, "msg")
+
+    def test_verification_fails_for_forged_value(self):
+        pki = PublicKeyInfrastructure(seed=5)
+        keypair = pki.enroll("alice")
+        signature = sign(keypair, "msg")
+        forged = Signature(
+            signer="alice", message_digest=signature.message_digest, value="0" * 64
+        )
+        assert not verify(pki, forged, "msg")
+
+
+class TestQuorumCertificate:
+    def _sig(self, pki, holder, message):
+        return sign(pki.enroll(holder), message)
+
+    def test_certificate_completes_at_threshold(self):
+        pki = PublicKeyInfrastructure()
+        message = "block-1"
+        cert = QuorumCertificate(message_digest=digest(message), threshold=3)
+        for holder in ("r0", "r1"):
+            assert cert.add(self._sig(pki, holder, message))
+        assert not cert.complete
+        assert cert.add(self._sig(pki, "r2", message))
+        assert cert.complete
+        assert cert.signers() == ["r0", "r1", "r2"]
+
+    def test_duplicate_signers_rejected(self):
+        pki = PublicKeyInfrastructure()
+        message = "block-1"
+        cert = QuorumCertificate(message_digest=digest(message), threshold=2)
+        assert cert.add(self._sig(pki, "r0", message))
+        assert not cert.add(self._sig(pki, "r0", message))
+        assert cert.count == 1
+
+    def test_mismatched_digest_rejected(self):
+        pki = PublicKeyInfrastructure()
+        cert = QuorumCertificate(message_digest=digest("block-1"), threshold=2)
+        assert not cert.add(self._sig(pki, "r0", "other-block"))
+
+
+class TestCryptoCostModel:
+    def test_batch_verify_cost_scales(self):
+        model = CryptoCostModel(verify_cost=1e-4)
+        assert model.batch_verify_cost(10) == pytest.approx(1e-3)
+        assert model.batch_verify_cost(-5) == 0.0
+
+    def test_block_hash_cost(self):
+        model = CryptoCostModel(hash_cost_per_kb=1e-6)
+        assert model.block_hash_cost(2048) == pytest.approx(2e-6)

@@ -1,0 +1,108 @@
+"""Tests for the analysis/comparison utilities."""
+
+import pytest
+
+from repro.analysis.comparison import (
+    compare_latency,
+    export_csv,
+    latency_sparkline,
+    metrics_to_row,
+    partial_path_share,
+    sparkline,
+    straggler_sensitivity,
+    summarize,
+    throughput_sparkline,
+)
+from repro.metrics.latency import LatencySummary
+from repro.metrics.summary import RunMetrics
+from repro.metrics.throughput import ThroughputPoint
+
+
+def make_metrics(throughput=1000.0, latency=2.0, partial=30, global_=70):
+    summary = LatencySummary(count=100, mean=latency, median=latency, p95=latency * 2, maximum=latency * 3)
+    return RunMetrics(
+        duration=10.0,
+        throughput_tps=throughput,
+        latency=summary,
+        confirmation_latency=summary,
+        stage_breakdown={
+            "send": 0.01,
+            "preprocessing": 0.5,
+            "partial_ordering": 0.5,
+            "global_ordering": latency - 1.1,
+            "reply": 0.09,
+        },
+        confirmed=partial + global_,
+        committed=partial + global_,
+        rejected=0,
+        partial_path=partial,
+        global_path=global_,
+        series=[ThroughputPoint(i * 0.5, (i + 1) * 0.5, 10 + i) for i in range(8)],
+        latency_series=[(i * 0.5, 1.0 + i * 0.1) for i in range(8)],
+    )
+
+
+class TestComparisons:
+    def test_compare_latency_against_reference(self):
+        results = {
+            "orthrus": make_metrics(throughput=1000.0, latency=2.0),
+            "iss": make_metrics(throughput=900.0, latency=6.0),
+        }
+        comparisons = compare_latency(results, "orthrus")
+        assert len(comparisons) == 1
+        comparison = comparisons[0]
+        assert comparison.reference == "iss"
+        assert comparison.latency_reduction == pytest.approx(2.0 / 3.0)
+        assert comparison.latency_reduction_percent == pytest.approx(66.67, rel=1e-3)
+        assert comparison.throughput_ratio == pytest.approx(1000.0 / 900.0)
+
+    def test_compare_latency_requires_reference(self):
+        with pytest.raises(KeyError):
+            compare_latency({"iss": make_metrics()}, "orthrus")
+
+    def test_straggler_sensitivity(self):
+        clean = make_metrics(throughput=1000.0)
+        degraded = make_metrics(throughput=100.0)
+        assert straggler_sensitivity(clean, degraded) == pytest.approx(0.9)
+        assert straggler_sensitivity(make_metrics(throughput=0.0), degraded) == 0.0
+
+    def test_partial_path_share(self):
+        assert partial_path_share(make_metrics(partial=30, global_=70)) == pytest.approx(0.3)
+        empty = make_metrics(partial=0, global_=0)
+        assert partial_path_share(empty) == 0.0
+
+
+class TestExportAndDisplay:
+    def test_metrics_to_row_and_csv(self):
+        results = {"orthrus": make_metrics(), "iss": make_metrics(latency=5.0)}
+        row = metrics_to_row("orthrus", results["orthrus"])
+        assert row["label"] == "orthrus"
+        assert "stage_global_ordering_s" in row
+        csv_text = export_csv(results)
+        lines = csv_text.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("label,")
+        assert export_csv({}) == ""
+
+    def test_sparkline_scaling(self):
+        line = sparkline([0.0, 1.0, 2.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == " "
+        assert line[-1] == "@"
+        assert sparkline([]) == ""
+        assert sparkline([0.0, 0.0]) == "  "
+
+    def test_sparkline_width_downsampling(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+    def test_metric_sparklines(self):
+        metrics = make_metrics()
+        assert len(throughput_sparkline(metrics, width=8)) == 8
+        assert len(latency_sparkline(metrics, width=8)) == 8
+
+    def test_summarize_lists_every_run(self):
+        text = summarize({"orthrus": make_metrics(), "iss": make_metrics()})
+        assert "orthrus" in text
+        assert "iss" in text
+        assert "ktps" in text

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_run_command_outputs_summary(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--protocol",
+                "orthrus",
+                "--replicas",
+                "8",
+                "--duration",
+                "12",
+                "--warmup",
+                "3",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "ktps" in captured
+        assert "stage breakdown" in captured
+        assert "global_ordering" in captured
+
+    def test_run_command_csv_output(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--protocol",
+                "iss",
+                "--replicas",
+                "8",
+                "--duration",
+                "10",
+                "--warmup",
+                "2",
+                "--csv",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        header = captured.splitlines()[0]
+        assert header.startswith("label,")
+        assert "iss" in captured
+
+    def test_workload_command_reports_mix(self, capsys):
+        exit_code = main(
+            [
+                "workload",
+                "--transactions",
+                "400",
+                "--accounts",
+                "500",
+                "--payment-fraction",
+                "0.5",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "payments" in captured
+        assert "contract calls" in captured
+
+    def test_figure_command_smoke_scale(self, capsys):
+        exit_code = main(["figure", "fig8", "--scale", "smoke"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "faulty replicas" in captured
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--protocol", "nonsense"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,146 @@
+"""Tests for the experiment scenario library and text reporting."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    breakdown_table,
+    fault_timeline_table,
+    format_table,
+    proportion_table,
+    relative_change,
+    scalability_table,
+    undetectable_table,
+)
+from repro.experiments.results import (
+    BreakdownResult,
+    FaultTimeline,
+    ProportionPoint,
+    ScalabilityPoint,
+    TimelinePoint,
+    UndetectableFaultPoint,
+)
+from repro.experiments.scenarios import (
+    ScenarioScale,
+    latency_breakdown,
+    payment_proportion_sweep,
+    scalability_sweep,
+    undetectable_fault_sweep,
+)
+
+
+class TestScenarioScale:
+    def test_named_scales(self):
+        assert ScenarioScale.named("paper").replica_counts[-1] == 128
+        assert ScenarioScale.named("ci").replica_counts == (8, 16, 32, 64, 128)
+        assert ScenarioScale.named("smoke").replica_counts == (8, 16)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioScale.named("galactic")
+
+    def test_straggler_window_is_longer(self):
+        scale = ScenarioScale.named("ci")
+        duration, warmup = scale.window_for(1)
+        assert duration > scale.duration
+        assert warmup > scale.warmup
+        assert scale.window_for(0) == (scale.duration, scale.warmup)
+
+
+class TestScenariosSmoke:
+    """Smoke-scale runs of the figure scenarios (fast, reduced grids)."""
+
+    def test_scalability_sweep_rows(self):
+        points = scalability_sweep(
+            "wan", stragglers=0, protocols=("orthrus", "iss"), scale="smoke"
+        )
+        assert len(points) == 4  # 2 replica counts x 2 protocols
+        assert {p.protocol for p in points} == {"orthrus", "iss"}
+        assert all(p.throughput_ktps > 0 for p in points)
+        assert all(p.latency_s > 0 for p in points)
+
+    def test_payment_proportion_sweep(self):
+        points = payment_proportion_sweep(
+            stragglers=0, proportions=(0.0, 1.0), num_replicas=8, scale="smoke"
+        )
+        assert len(points) == 2
+        # All-payment workloads confirm faster than all-contract workloads.
+        assert points[1].latency_s < points[0].latency_s
+
+    def test_latency_breakdown_shapes(self):
+        results = latency_breakdown(
+            protocols=("orthrus", "iss"), num_replicas=8, scale="smoke"
+        )
+        by_protocol = {r.protocol: r for r in results}
+        assert set(by_protocol) == {"orthrus", "iss"}
+        iss = by_protocol["iss"]
+        orthrus = by_protocol["orthrus"]
+        # With a straggler, ISS spends far more of its latency in global
+        # ordering than Orthrus (the paper's Fig. 6 observation).
+        assert iss.stages["global_ordering"] > orthrus.stages["global_ordering"]
+        assert 0 <= orthrus.global_ordering_share <= 1
+
+    def test_undetectable_sweep_latency_monotone_tendency(self):
+        points = undetectable_fault_sweep(
+            fault_counts=(0, 2), num_replicas=8, scale="smoke"
+        )
+        assert points[1].latency_s > points[0].latency_s
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbbb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "----" in lines[1]
+
+    def test_scalability_table_contains_rows(self):
+        table = scalability_table(
+            [
+                ScalabilityPoint("orthrus", 16, "wan", 0, 55.2, 3.4),
+                ScalabilityPoint("iss", 16, "wan", 0, 51.0, 4.2),
+            ]
+        )
+        assert "orthrus" in table
+        assert "55.2" in table
+
+    def test_proportion_table(self):
+        table = proportion_table([ProportionPoint(0.5, 1, 60.0, 5.0)])
+        assert "50%" in table
+
+    def test_breakdown_table_lists_stages(self):
+        table = breakdown_table(
+            [
+                BreakdownResult(
+                    protocol="iss",
+                    stages={
+                        "send": 0.1,
+                        "preprocessing": 0.2,
+                        "partial_ordering": 0.3,
+                        "global_ordering": 5.0,
+                        "reply": 0.1,
+                    },
+                    total_latency_s=5.7,
+                )
+            ]
+        )
+        assert "global_ordering" in table
+        assert "5.000" in table
+
+    def test_fault_timeline_table(self):
+        timeline = FaultTimeline(
+            faulty_replicas=1,
+            points=[TimelinePoint(t * 0.5, 50.0, 1.0) for t in range(8)],
+        )
+        table = fault_timeline_table([timeline], stride=2)
+        assert "f=1 ktps" in table
+        assert table.count("\n") >= 4
+
+    def test_undetectable_table(self):
+        table = undetectable_table([UndetectableFaultPoint(3, 40.0, 6.5)])
+        assert "3" in table
+        assert "40.0" in table
+
+    def test_relative_change(self):
+        assert relative_change(10.0, 5.0) == pytest.approx(-0.5)
+        assert relative_change(0.0, 5.0) == 0.0

@@ -1,0 +1,140 @@
+"""Integration tests spanning workload -> cluster -> consensus -> metrics."""
+
+import pytest
+
+from repro.cluster.builder import MessageCluster, MessageClusterConfig
+from repro.cluster.faults import FaultPlan
+from repro.cluster.pipeline import PipelineConfig, run_pipeline_experiment
+from repro.protocols.registry import PROTOCOL_NAMES
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import EthereumStyleWorkload
+
+
+class TestMessageClusterAcrossProtocols:
+    @pytest.mark.parametrize("protocol", ["orthrus", "iss", "ladon"])
+    def test_full_stack_confirms_everything_and_agrees(self, protocol):
+        config = MessageClusterConfig(
+            protocol=protocol,
+            num_replicas=4,
+            batch_size=8,
+            seed=21,
+            workload=WorkloadConfig(num_accounts=96, num_shared_objects=8, seed=21),
+        )
+        cluster = MessageCluster(config)
+        trace = EthereumStyleWorkload(config.workload).generate(90)
+        cluster.submit_transactions(trace.transactions, rate_tps=150)
+        metrics = cluster.run(15.0)
+        assert metrics.confirmed == 90
+        assert cluster.client.completed == 90
+        digests = {replica.core.store.state_digest() for replica in cluster.replicas}
+        assert len(digests) == 1
+
+    def test_orthrus_confirms_payments_before_contracts(self):
+        config = MessageClusterConfig(
+            protocol="orthrus",
+            num_replicas=4,
+            batch_size=8,
+            seed=9,
+            workload=WorkloadConfig(num_accounts=96, num_shared_objects=8, seed=9),
+        )
+        cluster = MessageCluster(config)
+        trace = EthereumStyleWorkload(config.workload).generate(80)
+        cluster.submit_transactions(trace.transactions, rate_tps=400)
+        metrics = cluster.run(15.0)
+        observer = cluster.replicas[0]
+        payment_latencies = []
+        contract_latencies = []
+        for timeline in metrics_timelines(cluster):
+            tx = next((t for t in trace.transactions if t.tx_id == timeline.tx_id), None)
+            if tx is None or timeline.confirmed_at is None or timeline.submitted_at is None:
+                continue
+            latency = timeline.confirmed_at - timeline.submitted_at
+            (payment_latencies if tx.is_payment else contract_latencies).append(latency)
+        assert payment_latencies and contract_latencies
+        assert (
+            sum(payment_latencies) / len(payment_latencies)
+            <= sum(contract_latencies) / len(contract_latencies)
+        )
+        assert observer.core.partial_confirmations > 0
+
+
+def metrics_timelines(cluster):
+    return cluster.metrics.latency.confirmed_timelines()
+
+
+class TestPipelineHeadlineClaims:
+    """Small-scale checks of the paper's qualitative claims (Sec. VII-B)."""
+
+    def _run(self, protocol, straggler, duration=30.0, warmup=6.0):
+        faults = FaultPlan.with_straggler(instance=1) if straggler else FaultPlan.none()
+        return run_pipeline_experiment(
+            PipelineConfig(
+                protocol=protocol,
+                num_replicas=8,
+                environment="wan",
+                samples_per_block=4,
+                duration=duration,
+                warmup=warmup,
+                seed=2,
+                workload=WorkloadConfig(num_accounts=3000, seed=33),
+                faults=faults,
+            )
+        )
+
+    def test_straggler_collapses_predetermined_but_not_orthrus(self):
+        orthrus_clean = self._run("orthrus", straggler=False)
+        orthrus_straggler = self._run("orthrus", straggler=True, duration=60.0, warmup=12.0)
+        iss_clean = self._run("iss", straggler=False)
+        iss_straggler = self._run("iss", straggler=True, duration=60.0, warmup=12.0)
+        iss_drop = 1 - iss_straggler.throughput_tps / iss_clean.throughput_tps
+        orthrus_drop = 1 - orthrus_straggler.throughput_tps / orthrus_clean.throughput_tps
+        assert iss_drop > 0.5
+        assert orthrus_drop < 0.35
+        assert orthrus_straggler.latency.mean < iss_straggler.latency.mean
+
+    def test_orthrus_latency_not_worse_than_predetermined_without_straggler(self):
+        orthrus = self._run("orthrus", straggler=False)
+        iss = self._run("iss", straggler=False)
+        assert orthrus.latency.mean <= iss.latency.mean * 1.1
+
+    def test_all_protocols_have_comparable_clean_throughput(self):
+        rates = {
+            protocol: self._run(protocol, straggler=False).throughput_tps
+            for protocol in PROTOCOL_NAMES
+        }
+        fastest = max(rates.values())
+        slowest = min(rates.values())
+        assert slowest > 0.5 * fastest
+
+
+class TestCrossFidelityConsistency:
+    def test_both_drivers_confirm_transactions_for_orthrus(self):
+        pipeline_metrics = run_pipeline_experiment(
+            PipelineConfig(
+                protocol="orthrus",
+                num_replicas=4,
+                environment="lan",
+                samples_per_block=4,
+                duration=10.0,
+                warmup=2.0,
+                seed=4,
+                workload=WorkloadConfig(num_accounts=500, seed=5),
+            )
+        )
+        config = MessageClusterConfig(
+            protocol="orthrus",
+            num_replicas=4,
+            batch_size=8,
+            environment="lan",
+            seed=4,
+            workload=WorkloadConfig(num_accounts=500, num_shared_objects=16, seed=5),
+        )
+        cluster = MessageCluster(config)
+        trace = EthereumStyleWorkload(config.workload).generate(60)
+        cluster.submit_transactions(trace.transactions, rate_tps=300)
+        message_metrics = cluster.run(10.0)
+        assert pipeline_metrics.confirmed > 0
+        assert message_metrics.confirmed == 60
+        # Both fidelities exercise the same partial/global split for Orthrus.
+        assert pipeline_metrics.partial_path > 0
+        assert message_metrics.partial_path > 0

@@ -1,0 +1,71 @@
+"""Tests for blocks and the system state tuple."""
+
+from repro.ledger.blocks import BLOCK_HEADER_BYTES, Block, SystemState
+from repro.ledger.transactions import simple_transfer
+
+
+class TestSystemState:
+    def test_initial_state_is_bottom(self):
+        state = SystemState.initial(3)
+        assert list(state) == [-1, -1, -1]
+        assert len(state) == 3
+
+    def test_advanced_is_monotone(self):
+        state = SystemState.initial(2).advanced(0, 5)
+        assert state.sequence_numbers == (5, -1)
+        assert state.advanced(0, 3).sequence_numbers == (5, -1)
+
+    def test_covers(self):
+        low = SystemState((1, 2, 3))
+        high = SystemState((2, 2, 4))
+        assert high.covers(low)
+        assert not low.covers(high)
+        assert high.covers(high)
+
+    def test_covers_requires_same_arity(self):
+        assert not SystemState((1, 2)).covers(SystemState((1, 2, 3)))
+
+    def test_digest_fields(self):
+        assert SystemState((0, 1)).digest_fields() == [0, 1]
+
+
+class TestBlock:
+    def _block(self, txs=None, sn=0, instance=1, rank=None):
+        txs = txs if txs is not None else [simple_transfer("a", "b", 1)]
+        return Block.create(
+            instance=instance,
+            sequence_number=sn,
+            transactions=txs,
+            state=SystemState.initial(2),
+            proposer=instance,
+            rank=rank,
+        )
+
+    def test_block_identity_and_iteration(self):
+        tx = simple_transfer("a", "b", 1)
+        block = self._block([tx], sn=3, instance=2)
+        assert block.block_id == (2, 3)
+        assert list(block) == [tx]
+        assert len(block) == 1
+
+    def test_noop_detection(self):
+        assert self._block([]).is_noop
+        assert not self._block().is_noop
+
+    def test_size_includes_header_and_payloads(self):
+        txs = [simple_transfer("a", "b", 1) for _ in range(3)]
+        block = self._block(txs)
+        assert block.size_bytes == BLOCK_HEADER_BYTES + sum(t.payload_size for t in txs)
+
+    def test_digest_changes_with_contents(self):
+        block_a = self._block([simple_transfer("a", "b", 1, tx_id="t1")])
+        block_b = self._block([simple_transfer("a", "b", 1, tx_id="t2")])
+        assert block_a.digest != block_b.digest
+
+    def test_digest_stable_for_same_contents(self):
+        tx = simple_transfer("a", "b", 1, tx_id="t1")
+        assert self._block([tx]).digest == self._block([tx]).digest
+
+    def test_rank_carried(self):
+        assert self._block(rank=17).rank == 17
+        assert self._block().rank is None

@@ -1,0 +1,174 @@
+"""Tests for the escrow mechanism (Algorithm 2)."""
+
+import pytest
+
+from repro.errors import EscrowError
+from repro.ledger.escrow import EscrowLog
+from repro.ledger.objects import ObjectOperation, ObjectType, OperationKind
+from repro.ledger.state import StateStore
+from repro.ledger.transactions import contract_call, payment, simple_transfer
+
+
+def build_store(balances=None):
+    store = StateStore()
+    store.load_accounts(balances or {"alice": 10, "bob": 5, "carol": 0})
+    return store
+
+
+def op_of(tx, key):
+    return next(op for op in tx.decrement_operations() if op.key == key)
+
+
+class TestEscrowPrimitive:
+    def test_successful_escrow_reserves_funds(self):
+        store = build_store()
+        elog = EscrowLog(store)
+        tx = simple_transfer("alice", "carol", 4)
+        result = elog.escrow(op_of(tx, "alice"), tx)
+        assert result.success
+        assert store.balance_of("alice") == 6
+        assert elog.is_escrowed("alice", tx)
+        assert elog.pending_amount("alice") == 4
+
+    def test_escrow_fails_when_condition_violated(self):
+        store = build_store()
+        elog = EscrowLog(store)
+        tx = simple_transfer("alice", "carol", 11)
+        result = elog.escrow(op_of(tx, "alice"), tx)
+        assert not result.success
+        assert store.balance_of("alice") == 10
+        assert len(elog) == 0
+        assert elog.escrows_failed == 1
+
+    def test_duplicate_escrow_is_idempotent(self):
+        store = build_store()
+        elog = EscrowLog(store)
+        tx = simple_transfer("alice", "carol", 4)
+        elog.escrow(op_of(tx, "alice"), tx)
+        again = elog.escrow(op_of(tx, "alice"), tx)
+        assert again.success
+        assert store.balance_of("alice") == 6
+        assert len(elog) == 1
+
+    def test_escrow_rejects_non_decrement_operations(self):
+        store = build_store()
+        elog = EscrowLog(store)
+        tx = simple_transfer("alice", "carol", 4)
+        credit = next(op for op in tx.increment_operations())
+        with pytest.raises(EscrowError):
+            elog.escrow(credit, tx)
+
+    def test_escrow_rejects_shared_decrement(self):
+        store = build_store()
+        store.create_shared("pool", 100)
+        elog = EscrowLog(store)
+        op = ObjectOperation("pool", OperationKind.DECREMENT, 1, ObjectType.SHARED)
+        tx = contract_call({"alice": 1}, {"pool": 0})
+        with pytest.raises(EscrowError):
+            elog.escrow(op, tx)
+
+
+class TestAllEscrowed:
+    def test_all_escrowed_for_single_payer(self):
+        store = build_store()
+        elog = EscrowLog(store)
+        tx = simple_transfer("alice", "carol", 4)
+        assert not elog.all_escrowed(tx)
+        elog.escrow(op_of(tx, "alice"), tx)
+        assert elog.all_escrowed(tx)
+
+    def test_all_escrowed_for_multi_payer(self):
+        store = build_store()
+        elog = EscrowLog(store)
+        tx = payment({"alice": 2, "bob": 3}, {"carol": 5})
+        elog.escrow(op_of(tx, "alice"), tx)
+        assert not elog.all_escrowed(tx)
+        elog.escrow(op_of(tx, "bob"), tx)
+        assert elog.all_escrowed(tx)
+
+    def test_transaction_without_decrements_is_trivially_escrowed(self):
+        store = build_store()
+        elog = EscrowLog(store)
+        mint = payment({}, {"carol": 5})
+        assert elog.all_escrowed(mint)
+
+
+class TestCommitAndAbort:
+    def test_commit_makes_reservation_permanent(self):
+        store = build_store()
+        elog = EscrowLog(store)
+        tx = simple_transfer("alice", "carol", 4)
+        elog.escrow(op_of(tx, "alice"), tx)
+        removed = elog.commit_escrow(tx)
+        assert removed == 1
+        assert store.balance_of("alice") == 6
+        assert len(elog) == 0
+
+    def test_abort_refunds_all_payers(self):
+        store = build_store()
+        elog = EscrowLog(store)
+        tx = payment({"alice": 2, "bob": 3}, {"carol": 5})
+        elog.escrow(op_of(tx, "alice"), tx)
+        elog.escrow(op_of(tx, "bob"), tx)
+        refunded = elog.abort_escrow(tx)
+        assert refunded == 2
+        assert store.balance_of("alice") == 10
+        assert store.balance_of("bob") == 5
+        assert len(elog) == 0
+
+    def test_abort_without_entries_is_noop(self):
+        store = build_store()
+        elog = EscrowLog(store)
+        tx = simple_transfer("alice", "carol", 4)
+        assert elog.abort_escrow(tx) == 0
+
+    def test_commit_only_affects_target_transaction(self):
+        store = build_store()
+        elog = EscrowLog(store)
+        tx1 = simple_transfer("alice", "carol", 2, tx_id="t1")
+        tx2 = simple_transfer("alice", "carol", 3, tx_id="t2")
+        elog.escrow(op_of(tx1, "alice"), tx1)
+        elog.escrow(op_of(tx2, "alice"), tx2)
+        elog.commit_escrow(tx1)
+        assert not elog.is_escrowed("alice", tx1)
+        assert elog.is_escrowed("alice", tx2)
+        assert store.balance_of("alice") == 5
+
+    def test_total_reserved_tracks_outstanding_amounts(self):
+        store = build_store()
+        elog = EscrowLog(store)
+        tx1 = simple_transfer("alice", "carol", 2, tx_id="t1")
+        tx2 = simple_transfer("bob", "carol", 3, tx_id="t2")
+        elog.escrow(op_of(tx1, "alice"), tx1)
+        elog.escrow(op_of(tx2, "bob"), tx2)
+        assert elog.total_reserved() == 5
+        elog.abort_escrow(tx1)
+        assert elog.total_reserved() == 3
+
+
+class TestPaperScenarios:
+    """The escrow-mechanism scenarios described in Sec. II-A and Appendix B."""
+
+    def test_concurrent_escrows_on_same_account_respect_balance(self):
+        # Alice has 4; tx1 escrows 2, tx3 escrows 2 -> both fit; a third fails.
+        store = build_store({"alice": 4, "bob": 0, "carol": 0})
+        elog = EscrowLog(store)
+        tx1 = simple_transfer("alice", "carol", 2, tx_id="tx1")
+        tx3 = simple_transfer("alice", "bob", 2, tx_id="tx3")
+        tx4 = simple_transfer("alice", "bob", 1, tx_id="tx4")
+        assert elog.escrow(op_of(tx1, "alice"), tx1).success
+        assert elog.escrow(op_of(tx3, "alice"), tx3).success
+        assert not elog.escrow(op_of(tx4, "alice"), tx4).success
+
+    def test_contract_escrow_does_not_block_subsequent_payment(self):
+        # Solution-II: a pending contract call escrows funds so later payments
+        # are evaluated as if the contract had already executed.
+        store = build_store({"alice": 5, "bob": 0, "carol": 0})
+        elog = EscrowLog(store)
+        contract = contract_call({"alice": 3}, {"slot": 1}, tx_id="ctx")
+        elog.escrow(op_of(contract, "alice"), contract)
+        payment_tx = simple_transfer("alice", "bob", 2, tx_id="pay")
+        assert elog.escrow(op_of(payment_tx, "alice"), payment_tx).success
+        # Contract later fails -> refund restores exactly the escrowed amount.
+        elog.abort_escrow(contract)
+        assert store.balance_of("alice") == 3

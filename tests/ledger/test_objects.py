@@ -1,0 +1,65 @@
+"""Tests for the object-centric data model."""
+
+from repro.ledger.objects import (
+    ObjectOperation,
+    ObjectType,
+    OperationKind,
+    owned_account,
+    shared_record,
+)
+
+
+class TestObjectOperation:
+    def test_owned_decrement_flags(self):
+        op = ObjectOperation("alice", OperationKind.DECREMENT, 5, ObjectType.OWNED)
+        assert op.is_decrement
+        assert op.is_owned_decrement
+        assert op.is_commutative
+        assert not op.is_increment
+
+    def test_shared_decrement_is_not_owned_decrement(self):
+        op = ObjectOperation("pool", OperationKind.DECREMENT, 5, ObjectType.SHARED)
+        assert op.is_decrement
+        assert not op.is_owned_decrement
+
+    def test_assign_is_not_commutative(self):
+        op = ObjectOperation("slot", OperationKind.ASSIGN, 7, ObjectType.SHARED)
+        assert not op.is_commutative
+
+    def test_increment_flags(self):
+        op = ObjectOperation("bob", OperationKind.INCREMENT, 3)
+        assert op.is_increment
+        assert not op.is_decrement
+        assert op.is_commutative
+
+    def test_digest_fields_round_trip(self):
+        op = ObjectOperation("bob", OperationKind.INCREMENT, 3)
+        fields = op.digest_fields()
+        assert fields["key"] == "bob"
+        assert fields["kind"] == "increment"
+        assert fields["amount"] == 3
+
+    def test_operations_are_hashable_and_frozen(self):
+        op1 = ObjectOperation("a", OperationKind.INCREMENT, 1)
+        op2 = ObjectOperation("a", OperationKind.INCREMENT, 1)
+        assert op1 == op2
+        assert len({op1, op2}) == 1
+
+
+class TestLedgerObject:
+    def test_owned_account_condition(self):
+        account = owned_account("alice", 10)
+        assert account.satisfies_condition(0)
+        assert not account.satisfies_condition(-1)
+        assert account.object_type is ObjectType.OWNED
+
+    def test_shared_record_allows_negative_values(self):
+        record = shared_record("slot", 0)
+        assert record.satisfies_condition(-1000)
+        assert record.object_type is ObjectType.SHARED
+
+    def test_digest_fields_include_value_and_condition(self):
+        account = owned_account("alice", 10)
+        fields = account.digest_fields()
+        assert fields["value"] == 10
+        assert fields["condition"] == 0

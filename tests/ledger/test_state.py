@@ -1,0 +1,107 @@
+"""Tests for the replicated state store."""
+
+import pytest
+
+from repro.errors import InsufficientFundsError, UnknownObjectError
+from repro.ledger.objects import ObjectType
+from repro.ledger.state import StateStore
+
+
+class TestPopulation:
+    def test_create_account_and_lookup(self):
+        store = StateStore()
+        store.create_account("alice", 10)
+        assert store.balance_of("alice") == 10
+        assert "alice" in store
+        assert len(store) == 1
+
+    def test_load_accounts_bulk(self):
+        store = StateStore()
+        store.load_accounts({"a": 1, "b": 2})
+        assert store.balance_of("a") == 1
+        assert store.balance_of("b") == 2
+
+    def test_get_or_create_owned_and_shared(self):
+        store = StateStore()
+        owned = store.get_or_create("acct", ObjectType.OWNED)
+        shared = store.get_or_create("slot", ObjectType.SHARED)
+        assert owned.object_type is ObjectType.OWNED
+        assert shared.object_type is ObjectType.SHARED
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownObjectError):
+            StateStore().get("ghost")
+
+    def test_total_owned_value_excludes_shared(self):
+        store = StateStore()
+        store.create_account("a", 5)
+        store.create_shared("s", 100)
+        assert store.total_owned_value() == 5
+
+
+class TestMutation:
+    def test_credit_and_debit(self):
+        store = StateStore()
+        store.create_account("alice", 10)
+        assert store.credit("alice", 5) == 15
+        assert store.debit("alice", 7) == 8
+
+    def test_debit_below_condition_raises(self):
+        store = StateStore()
+        store.create_account("alice", 3)
+        with pytest.raises(InsufficientFundsError):
+            store.debit("alice", 4)
+        assert store.balance_of("alice") == 3
+
+    def test_can_debit_checks_without_mutation(self):
+        store = StateStore()
+        store.create_account("alice", 3)
+        assert store.can_debit("alice", 3)
+        assert not store.can_debit("alice", 4)
+        assert store.balance_of("alice") == 3
+
+    def test_assign_overwrites_value(self):
+        store = StateStore()
+        store.create_shared("slot", 1)
+        assert store.assign("slot", 99) == 99
+
+    def test_version_increments_on_mutation(self):
+        store = StateStore()
+        store.create_account("alice", 10)
+        store.credit("alice", 1)
+        store.debit("alice", 1)
+        assert store.get("alice").version == 2
+
+    def test_shared_objects_can_go_negative(self):
+        store = StateStore()
+        store.create_shared("pool", 5)
+        assert store.debit("pool", 100) == -95
+
+
+class TestSnapshots:
+    def test_snapshot_selected_keys(self):
+        store = StateStore()
+        store.load_accounts({"a": 1, "b": 2, "c": 3})
+        assert store.snapshot(["a", "c"]) == {"a": 1, "c": 3}
+
+    def test_state_digest_reflects_contents(self):
+        store_a = StateStore()
+        store_b = StateStore()
+        for store in (store_a, store_b):
+            store.load_accounts({"a": 1, "b": 2})
+        assert store_a.state_digest() == store_b.state_digest()
+        store_b.credit("a", 1)
+        assert store_a.state_digest() != store_b.state_digest()
+
+    def test_copy_is_independent(self):
+        store = StateStore()
+        store.create_account("alice", 10)
+        clone = store.copy()
+        clone.credit("alice", 5)
+        assert store.balance_of("alice") == 10
+        assert clone.balance_of("alice") == 15
+
+    def test_keys_iteration(self):
+        store = StateStore()
+        store.load_accounts({"a": 1, "b": 2})
+        assert sorted(store.keys()) == ["a", "b"]

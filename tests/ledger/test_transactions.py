@@ -1,0 +1,110 @@
+"""Tests for transaction construction and classification."""
+
+import pytest
+
+from repro.ledger.objects import ObjectOperation, ObjectType, OperationKind
+from repro.ledger.transactions import (
+    Transaction,
+    TransactionType,
+    classify,
+    contract_call,
+    next_transaction_id,
+    payment,
+    reset_transaction_counter,
+    simple_transfer,
+)
+
+
+class TestFactories:
+    def test_simple_transfer_structure(self):
+        tx = simple_transfer("alice", "bob", 7)
+        assert tx.is_payment
+        assert tx.payers() == ["alice"]
+        assert tx.payees() == ["bob"]
+        assert tx.total_debit() == 7
+        assert tx.total_credit() == 7
+        assert not tx.is_multi_payer
+
+    def test_multi_payer_payment(self):
+        tx = payment({"alice": 3, "bob": 4}, {"carol": 7})
+        assert tx.is_multi_payer
+        assert tx.payers() == ["alice", "bob"]
+        assert tx.total_debit() == tx.total_credit() == 7
+
+    def test_contract_call_structure(self):
+        tx = contract_call({"alice": 2}, {"slot-1": 42}, credits={"bob": 1})
+        assert tx.is_contract
+        assert tx.payers() == ["alice"]
+        assert tx.shared_keys() == ["slot-1"]
+        assert tx.payees() == ["bob"]
+
+    def test_payment_accepts_pair_sequences(self):
+        tx = payment([("alice", 5)], [("bob", 5)])
+        assert tx.payers() == ["alice"]
+
+    def test_generated_ids_are_unique(self):
+        reset_transaction_counter()
+        ids = {next_transaction_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_explicit_tx_id_respected(self):
+        tx = simple_transfer("a", "b", 1, tx_id="custom-1")
+        assert tx.tx_id == "custom-1"
+
+    def test_payload_size_drives_wire_size(self):
+        tx = payment({"a": 1}, {"b": 1}, payload_size=900)
+        assert tx.size_bytes == 900
+
+
+class TestClassification:
+    def test_owned_commutative_ops_are_payment(self):
+        ops = [
+            ObjectOperation("a", OperationKind.DECREMENT, 1),
+            ObjectOperation("b", OperationKind.INCREMENT, 1),
+        ]
+        assert classify(ops) is TransactionType.PAYMENT
+
+    def test_shared_object_forces_contract(self):
+        ops = [
+            ObjectOperation("a", OperationKind.DECREMENT, 1),
+            ObjectOperation("s", OperationKind.INCREMENT, 1, ObjectType.SHARED),
+        ]
+        assert classify(ops) is TransactionType.CONTRACT
+
+    def test_assign_forces_contract(self):
+        ops = [ObjectOperation("a", OperationKind.ASSIGN, 1)]
+        assert classify(ops) is TransactionType.CONTRACT
+
+
+class TestTransactionSemantics:
+    def test_equality_and_hash_by_id(self):
+        a = simple_transfer("x", "y", 1, tx_id="same")
+        b = simple_transfer("x", "y", 2, tx_id="same")
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_digest_differs_across_content(self):
+        a = simple_transfer("x", "y", 1, tx_id="t1")
+        b = simple_transfer("x", "y", 2, tx_id="t2")
+        assert a.digest != b.digest
+
+    def test_decrement_and_increment_operation_selectors(self):
+        tx = payment({"alice": 3, "bob": 4}, {"carol": 7})
+        assert {op.key for op in tx.decrement_operations()} == {"alice", "bob"}
+        assert {op.key for op in tx.increment_operations()} == {"carol"}
+
+    def test_contract_with_two_callers_lists_both_payers(self):
+        tx = contract_call({"alice": 1, "bob": 1}, {"slot": 9})
+        assert tx.payers() == ["alice", "bob"]
+
+    def test_transaction_requires_operations_tuple(self):
+        tx = Transaction(
+            tx_id="t",
+            operations=(ObjectOperation("a", OperationKind.DECREMENT, 1),),
+            tx_type=TransactionType.PAYMENT,
+        )
+        assert isinstance(tx.operations, tuple)
+
+    def test_unbalanced_payment_detectable(self):
+        tx = payment({"alice": 5}, {"bob": 4})
+        assert tx.total_debit() != tx.total_credit()

@@ -1,0 +1,123 @@
+"""Tests for transaction and block validation."""
+
+import pytest
+
+from repro.crypto.keys import PublicKeyInfrastructure
+from repro.crypto.signatures import sign
+from repro.errors import ValidationError
+from repro.ledger.blocks import Block, SystemState
+from repro.ledger.objects import ObjectOperation, ObjectType, OperationKind
+from repro.ledger.transactions import (
+    Transaction,
+    TransactionType,
+    contract_call,
+    payment,
+    simple_transfer,
+)
+from repro.ledger.validation import BlockValidator, TransactionValidator
+
+
+class TestTransactionValidator:
+    def test_valid_payment_passes(self):
+        report = TransactionValidator().validate(simple_transfer("a", "b", 5))
+        assert report.valid
+        assert report.errors == []
+
+    def test_valid_contract_passes(self):
+        report = TransactionValidator().validate(contract_call({"a": 1}, {"s": 2}))
+        assert report.valid
+
+    def test_empty_operations_rejected(self):
+        tx = Transaction(tx_id="t", operations=(), tx_type=TransactionType.PAYMENT)
+        report = TransactionValidator().validate(tx)
+        assert not report.valid
+
+    def test_missing_owned_object_rejected(self):
+        tx = Transaction(
+            tx_id="t",
+            operations=(
+                ObjectOperation("s", OperationKind.ASSIGN, 1, ObjectType.SHARED),
+            ),
+            tx_type=TransactionType.CONTRACT,
+        )
+        report = TransactionValidator().validate(tx)
+        assert not report.valid
+
+    def test_negative_amount_rejected(self):
+        tx = payment({"a": -5}, {"b": -5})
+        report = TransactionValidator().validate(tx)
+        assert not report.valid
+
+    def test_unbalanced_payment_rejected_by_default(self):
+        report = TransactionValidator().validate(payment({"a": 5}, {"b": 3}))
+        assert not report.valid
+
+    def test_unbalanced_payment_allowed_when_disabled(self):
+        validator = TransactionValidator(require_balanced_payments=False)
+        assert validator.validate(payment({"a": 5}, {"b": 3})).valid
+
+    def test_payment_touching_shared_object_rejected(self):
+        tx = Transaction(
+            tx_id="t",
+            operations=(
+                ObjectOperation("a", OperationKind.DECREMENT, 1),
+                ObjectOperation("s", OperationKind.INCREMENT, 1, ObjectType.SHARED),
+            ),
+            tx_type=TransactionType.PAYMENT,
+        )
+        assert not TransactionValidator().validate(tx).valid
+
+    def test_report_require_raises(self):
+        report = TransactionValidator().validate(payment({"a": 5}, {"b": 3}))
+        with pytest.raises(ValidationError):
+            report.require()
+
+    def test_signature_checking(self):
+        pki = PublicKeyInfrastructure(seed=1)
+        keypair = pki.enroll("alice")
+        tx = simple_transfer("alice", "bob", 5)
+        unsigned_report = TransactionValidator(pki, require_signatures=True).validate(tx)
+        assert not unsigned_report.valid
+        signed = Transaction(
+            tx_id=tx.tx_id,
+            operations=tx.operations,
+            tx_type=tx.tx_type,
+            signatures={"alice": sign(keypair, tx)},
+        )
+        signed_report = TransactionValidator(pki, require_signatures=True).validate(signed)
+        assert signed_report.valid
+
+
+class TestBlockValidator:
+    def _block(self, txs, instance=0, sn=0):
+        return Block.create(
+            instance=instance,
+            sequence_number=sn,
+            transactions=txs,
+            state=SystemState.initial(2),
+            proposer=0,
+        )
+
+    def test_valid_block_passes(self):
+        block = self._block([simple_transfer("a", "b", 1)])
+        assert BlockValidator().validate(block).valid
+
+    def test_duplicate_transactions_rejected(self):
+        tx = simple_transfer("a", "b", 1, tx_id="dup")
+        block = self._block([tx, tx])
+        assert not BlockValidator().validate(block).valid
+
+    def test_negative_sequence_number_rejected(self):
+        block = self._block([simple_transfer("a", "b", 1)], sn=-1)
+        assert not BlockValidator().validate(block).valid
+
+    def test_instance_mismatch_detected(self):
+        block = self._block([simple_transfer("a", "b", 1)], instance=2)
+        report = BlockValidator().validate(block, expected_instance=1)
+        assert not report.valid
+
+    def test_invalid_transaction_inside_block_detected(self):
+        block = self._block([payment({"a": 5}, {"b": 3})])
+        report = BlockValidator().validate(block)
+        assert not report.valid
+        assert any("unbalanced" in message for message in report.errors)

@@ -1,0 +1,152 @@
+"""Tests for latency tracking, throughput series and run metrics."""
+
+import pytest
+
+from repro.metrics.latency import (
+    STAGE_NAMES,
+    LatencySummary,
+    LatencyTracker,
+    TransactionTimeline,
+)
+from repro.metrics.summary import MetricsCollector
+from repro.metrics.throughput import ThroughputTracker
+
+
+class TestTimeline:
+    def complete_timeline(self):
+        timeline = TransactionTimeline("tx")
+        timeline.submitted_at = 0.0
+        timeline.received_at = 0.1
+        timeline.proposed_at = 0.3
+        timeline.delivered_at = 0.8
+        timeline.confirmed_at = 1.5
+        timeline.replied_at = 1.6
+        return timeline
+
+    def test_stage_durations(self):
+        durations = self.complete_timeline().stage_durations()
+        assert durations["send"] == pytest.approx(0.1)
+        assert durations["preprocessing"] == pytest.approx(0.2)
+        assert durations["partial_ordering"] == pytest.approx(0.5)
+        assert durations["global_ordering"] == pytest.approx(0.7)
+        assert durations["reply"] == pytest.approx(0.1)
+        assert sum(durations.values()) == pytest.approx(1.6)
+
+    def test_incomplete_timeline_has_no_breakdown(self):
+        timeline = TransactionTimeline("tx", submitted_at=0.0)
+        assert timeline.stage_durations() is None
+        assert not timeline.complete
+
+    def test_end_to_end(self):
+        assert self.complete_timeline().end_to_end == pytest.approx(1.6)
+        assert TransactionTimeline("x").end_to_end is None
+
+
+class TestLatencySummary:
+    def test_from_samples(self):
+        summary = LatencySummary.from_samples([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(22.0)
+        assert summary.median == 3.0
+        assert summary.maximum == 100.0
+        assert summary.p95 == 100.0
+
+    def test_empty_samples(self):
+        summary = LatencySummary.from_samples([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+
+class TestLatencyTracker:
+    def test_first_receipt_wins(self):
+        tracker = LatencyTracker()
+        tracker.record_received("tx", 1.0)
+        tracker.record_received("tx", 0.5)
+        tracker.record_received("tx", 2.0)
+        assert tracker.timeline("tx").received_at == 0.5
+
+    def test_confirmation_recorded_once(self):
+        tracker = LatencyTracker()
+        tracker.record_confirmed("tx", 1.0, committed=True)
+        tracker.record_confirmed("tx", 5.0, committed=False)
+        timeline = tracker.timeline("tx")
+        assert timeline.confirmed_at == 1.0
+        assert timeline.committed
+
+    def test_stage_breakdown_averages_complete_timelines(self):
+        tracker = LatencyTracker()
+        for index, tx_id in enumerate(("a", "b")):
+            tracker.record_submitted(tx_id, 0.0)
+            tracker.record_received(tx_id, 0.1)
+            tracker.record_proposed(tx_id, 0.2)
+            tracker.record_delivered(tx_id, 0.4)
+            tracker.record_confirmed(tx_id, 0.5 + index, committed=True)
+            tracker.record_replied(tx_id, 0.6 + index)
+        breakdown = tracker.stage_breakdown()
+        assert set(breakdown) == set(STAGE_NAMES)
+        assert breakdown["global_ordering"] == pytest.approx(0.6)
+
+    def test_breakdown_empty_when_no_complete_timelines(self):
+        tracker = LatencyTracker()
+        tracker.record_submitted("x", 0.0)
+        assert all(value == 0.0 for value in tracker.stage_breakdown().values())
+
+    def test_latency_series_windows(self):
+        tracker = LatencyTracker()
+        for tx_id, submit, confirm in (("a", 0.0, 0.4), ("b", 0.0, 0.6), ("c", 0.5, 0.9)):
+            tracker.record_submitted(tx_id, submit)
+            tracker.record_confirmed(tx_id, confirm, committed=True)
+        series = tracker.latency_series(0.0, 1.0, window=0.5)
+        assert len(series) == 2
+        assert series[0][1] == pytest.approx(0.4)
+        assert series[1][1] == pytest.approx((0.6 + 0.4) / 2)
+
+    def test_confirmation_latency_summary(self):
+        tracker = LatencyTracker()
+        tracker.record_submitted("a", 1.0)
+        tracker.record_confirmed("a", 3.0, committed=True)
+        summary = tracker.confirmation_latency_summary()
+        assert summary.count == 1
+        assert summary.mean == pytest.approx(2.0)
+
+
+class TestThroughputTracker:
+    def test_rate_over_interval(self):
+        tracker = ThroughputTracker()
+        for time in (0.1, 0.2, 0.9, 1.5):
+            tracker.record_confirmation(time)
+        assert tracker.total_confirmed == 4
+        assert tracker.rate_over(0.0, 1.0) == pytest.approx(3.0)
+        assert tracker.rate_over(1.0, 2.0) == pytest.approx(1.0)
+        assert tracker.rate_over(2.0, 2.0) == 0.0
+
+    def test_series_windows(self):
+        tracker = ThroughputTracker()
+        for time in (0.1, 0.2, 0.6, 1.4):
+            tracker.record_confirmation(time)
+        series = tracker.series(0.0, 1.5, window=0.5)
+        assert [point.transactions for point in series] == [2, 1, 1]
+        assert series[0].rate == pytest.approx(4.0)
+
+    def test_empty_series_for_bad_bounds(self):
+        assert ThroughputTracker().series(1.0, 0.5) == []
+
+
+class TestMetricsCollector:
+    def test_record_outcome_and_finalize(self):
+        collector = MetricsCollector()
+        collector.latency.record_submitted("a", 0.0)
+        collector.record_outcome("a", 1.0, committed=True, partial_path=True)
+        collector.latency.record_submitted("b", 0.5)
+        collector.record_outcome("b", 1.9, committed=False, partial_path=False)
+        metrics = collector.finalize(start=0.0, end=2.0, extra={"custom": 7.0})
+        assert metrics.confirmed == 2
+        assert metrics.committed == 1
+        assert metrics.rejected == 1
+        assert metrics.partial_path == 1
+        assert metrics.global_path == 1
+        assert metrics.throughput_tps == pytest.approx(1.0)
+        assert metrics.throughput_ktps == pytest.approx(0.001)
+        assert metrics.extra["custom"] == 7.0
+        assert metrics.duration == pytest.approx(2.0)
+        assert len(metrics.series) == 4

@@ -1,0 +1,44 @@
+"""Tests for node fault/degradation conditions."""
+
+from repro.net.faults import NodeCondition
+
+
+class TestNodeCondition:
+    def test_defaults_are_healthy(self):
+        condition = NodeCondition()
+        assert condition.slowdown == 1.0
+        assert not condition.crashed
+        assert condition.can_send_to(1, NodeCondition())
+
+    def test_crash_blocks_both_directions(self):
+        crashed = NodeCondition(crashed=True)
+        healthy = NodeCondition()
+        assert not crashed.can_send_to(1, healthy)
+        assert not healthy.can_send_to(0, crashed)
+
+    def test_muted_destination_blocked(self):
+        condition = NodeCondition(muted_destinations={2})
+        assert not condition.can_send_to(2, NodeCondition())
+        assert condition.can_send_to(3, NodeCondition())
+
+    def test_partition_groups(self):
+        a = NodeCondition(partition_group=0)
+        b = NodeCondition(partition_group=1)
+        c = NodeCondition(partition_group=0)
+        assert not a.can_send_to(1, b)
+        assert a.can_send_to(2, c)
+
+    def test_unpartitioned_node_reaches_partitioned(self):
+        a = NodeCondition(partition_group=None)
+        b = NodeCondition(partition_group=1)
+        assert a.can_send_to(1, b)
+
+    def test_reset_restores_health(self):
+        condition = NodeCondition(
+            slowdown=10.0, crashed=True, muted_destinations={1}, partition_group=2
+        )
+        condition.reset()
+        assert condition.slowdown == 1.0
+        assert not condition.crashed
+        assert condition.muted_destinations == set()
+        assert condition.partition_group is None

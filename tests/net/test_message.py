@@ -1,0 +1,38 @@
+"""Tests for message envelopes and size estimation."""
+
+from dataclasses import dataclass
+
+from repro.net.message import MESSAGE_OVERHEAD_BYTES, Envelope, estimate_size
+
+
+@dataclass
+class Payload:
+    size_bytes: int = 1000
+
+
+class TestSizeEstimation:
+    def test_payload_with_declared_size(self):
+        assert estimate_size(Payload(2048)) == 2048 + MESSAGE_OVERHEAD_BYTES
+
+    def test_plain_object_charged_overhead_only(self):
+        assert estimate_size("small") == MESSAGE_OVERHEAD_BYTES
+        assert estimate_size(12345) == MESSAGE_OVERHEAD_BYTES
+
+    def test_negative_declared_size_ignored(self):
+        assert estimate_size(Payload(-5)) == MESSAGE_OVERHEAD_BYTES
+
+
+class TestEnvelope:
+    def test_envelope_computes_size_when_missing(self):
+        envelope = Envelope(source=0, destination=1, payload=Payload(500))
+        assert envelope.size_bytes == 500 + MESSAGE_OVERHEAD_BYTES
+
+    def test_envelope_preserves_explicit_size(self):
+        envelope = Envelope(source=0, destination=1, payload="x", size_bytes=999)
+        assert envelope.size_bytes == 999
+
+    def test_envelope_records_routing(self):
+        envelope = Envelope(source=3, destination=7, payload="p", sent_at=1.0, deliver_at=1.5)
+        assert envelope.source == 3
+        assert envelope.destination == 7
+        assert envelope.deliver_at > envelope.sent_at

@@ -1,0 +1,140 @@
+"""Tests for the simulated network fabric and fault injection."""
+
+import pytest
+
+from repro.errors import UnknownNodeError
+from repro.net.latency import FixedLatencyModel
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+
+class Sink(Process):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.inbox = []
+
+    def receive(self, sender, message):
+        self.inbox.append((sender, message, self.now))
+
+
+def build(num_nodes=3, latency=0.01):
+    sim = Simulator()
+    network = Network(sim, latency_model=FixedLatencyModel(latency))
+    nodes = [Sink(i) for i in range(num_nodes)]
+    for node in nodes:
+        network.register(node)
+    return sim, network, nodes
+
+
+class TestDelivery:
+    def test_point_to_point_delivery(self):
+        sim, network, nodes = build()
+        network.send(0, 1, "msg")
+        sim.run()
+        sender, payload, delivered_at = nodes[1].inbox[0]
+        assert (sender, payload) == (0, "msg")
+        # Propagation delay plus the (tiny) serialisation delay of the header.
+        assert delivered_at == pytest.approx(0.01, rel=1e-3)
+
+    def test_local_delivery_is_immediate(self):
+        sim, network, nodes = build()
+        network.send(2, 2, "self")
+        sim.run()
+        assert nodes[2].inbox == [(2, "self", 0.0)]
+
+    def test_broadcast_reaches_everyone_else(self):
+        sim, network, nodes = build(4)
+        network.broadcast(0, "hello")
+        sim.run()
+        assert all(len(n.inbox) == 1 for n in nodes[1:])
+        assert nodes[0].inbox == []
+
+    def test_unknown_destination_raises(self):
+        _, network, _ = build()
+        with pytest.raises(UnknownNodeError):
+            network.send(0, 99, "x")
+
+    def test_stats_count_messages_and_bytes(self):
+        sim, network, _ = build()
+        network.send(0, 1, "msg")
+        network.send(0, 2, "msg")
+        sim.run()
+        stats = network.stats.as_dict()
+        assert stats["messages_sent"] == 2
+        assert stats["messages_delivered"] == 2
+        assert stats["bytes_sent"] > 0
+
+    def test_delivery_hook_invoked(self):
+        sim, network, _ = build()
+        seen = []
+        network.add_delivery_hook(lambda env: seen.append(env.payload))
+        network.send(0, 1, "observed")
+        sim.run()
+        assert seen == ["observed"]
+
+
+class TestFaults:
+    def test_crashed_destination_drops_messages(self):
+        sim, network, nodes = build()
+        network.crash(1)
+        network.send(0, 1, "lost")
+        sim.run()
+        assert nodes[1].inbox == []
+        assert network.stats.messages_dropped == 1
+
+    def test_crashed_source_cannot_send(self):
+        sim, network, nodes = build()
+        network.crash(0)
+        network.send(0, 1, "lost")
+        sim.run()
+        assert nodes[1].inbox == []
+
+    def test_recover_restores_connectivity(self):
+        sim, network, nodes = build()
+        network.crash(1)
+        network.recover(1)
+        network.send(0, 1, "back")
+        sim.run()
+        assert len(nodes[1].inbox) == 1
+
+    def test_mute_blocks_specific_destinations(self):
+        sim, network, nodes = build()
+        network.mute(0, [1])
+        network.send(0, 1, "blocked")
+        network.send(0, 2, "allowed")
+        sim.run()
+        assert nodes[1].inbox == []
+        assert len(nodes[2].inbox) == 1
+
+    def test_partition_separates_groups(self):
+        sim, network, nodes = build(4)
+        network.partition([[0, 1], [2, 3]])
+        network.send(0, 2, "cross")
+        network.send(0, 1, "within")
+        sim.run()
+        assert nodes[2].inbox == []
+        assert len(nodes[1].inbox) == 1
+
+    def test_heal_partition(self):
+        sim, network, nodes = build(4)
+        network.partition([[0, 1], [2, 3]])
+        network.heal_partition()
+        network.send(0, 2, "cross")
+        sim.run()
+        assert len(nodes[2].inbox) == 1
+
+    def test_straggler_slowdown_delays_messages(self):
+        sim, network, nodes = build(3, latency=0.1)
+        network.set_slowdown(1, 10.0)
+        network.send(0, 1, "slow")
+        network.send(0, 2, "fast")
+        sim.run()
+        slow_time = nodes[1].inbox[0][2]
+        fast_time = nodes[2].inbox[0][2]
+        assert slow_time == pytest.approx(fast_time * 10.0)
+
+    def test_slowdown_never_below_one(self):
+        _, network, _ = build()
+        network.set_slowdown(0, 0.1)
+        assert network.condition(0).slowdown == 1.0

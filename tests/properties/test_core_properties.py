@@ -1,0 +1,243 @@
+"""Property-based tests of the Orthrus core's safety argument.
+
+Theorem 1 (Safety) says replicas that reach the same state hold identical
+object values.  Here two independently constructed OrthrusCore "replicas"
+consume the same blocks under different cross-instance interleavings and must
+end with identical state digests, identical transaction statuses, and no
+violated balance condition — the paper's Lemmas 1-3 in executable form.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import CoreConfig
+from repro.core.orthrus import OrthrusCore
+from repro.core.partition import LoadBalancedPartitioner
+from repro.ledger.blocks import Block, SystemState
+from repro.ledger.state import StateStore
+from repro.ledger.transactions import contract_call, payment, simple_transfer
+
+NUM_INSTANCES = 2
+ACCOUNTS = ["alice", "bob", "carol", "dave"]
+#: Accounts pinned so instance assignment is stable across runs.
+PLACEMENT = {"alice": 0, "carol": 0, "bob": 1, "dave": 1}
+SHARED = ["slot-a", "slot-b"]
+
+
+@st.composite
+def workloads(draw):
+    """Random balances plus a random mix of payments and contract calls."""
+    balances = {
+        account: draw(st.integers(min_value=0, max_value=40)) for account in ACCOUNTS
+    }
+    count = draw(st.integers(min_value=1, max_value=10))
+    transactions = []
+    for index in range(count):
+        kind = draw(st.sampled_from(["payment", "multi", "contract"]))
+        if kind == "payment":
+            payer, payee = draw(
+                st.lists(st.sampled_from(ACCOUNTS), min_size=2, max_size=2, unique=True)
+            )
+            amount = draw(st.integers(min_value=1, max_value=25))
+            transactions.append(
+                simple_transfer(payer, payee, amount, tx_id=f"tx-{index}")
+            )
+        elif kind == "multi":
+            payers = draw(
+                st.lists(st.sampled_from(ACCOUNTS), min_size=2, max_size=2, unique=True)
+            )
+            payee = draw(st.sampled_from(ACCOUNTS))
+            amounts = {p: draw(st.integers(min_value=1, max_value=15)) for p in payers}
+            transactions.append(
+                payment(amounts, {payee: sum(amounts.values())}, tx_id=f"tx-{index}")
+            )
+        else:
+            caller = draw(st.sampled_from(ACCOUNTS))
+            slot = draw(st.sampled_from(SHARED))
+            transactions.append(
+                contract_call(
+                    {caller: draw(st.integers(min_value=1, max_value=15))},
+                    {slot: draw(st.integers(min_value=0, max_value=100))},
+                    tx_id=f"tx-{index}",
+                )
+            )
+    return balances, transactions
+
+
+def build_core(balances):
+    config = CoreConfig(num_instances=NUM_INSTANCES, batch_size=4, epoch_length=1000)
+    store = StateStore()
+    store.load_accounts(balances)
+    for key in SHARED:
+        store.create_shared(key, 0)
+    core = OrthrusCore(config, store)
+    core.partitioner = LoadBalancedPartitioner(NUM_INSTANCES, PLACEMENT)
+    return core
+
+
+def build_blocks(balances, transactions, batch_size=2):
+    """Build the blocks an honest deployment would produce.
+
+    A scratch "leader" core selects valid batches (``pullValidTx``), creates
+    blocks referencing its delivered frontier, and immediately consumes them,
+    exactly like the single-leader-per-instance deployment the paper assumes.
+    The recorded blocks are then replayed into independent replica cores.
+    Transactions that never become valid (payer permanently underfunded) are
+    simply never included, as in the real protocol.
+    """
+    leader = build_core(balances)
+    for tx in transactions:
+        leader.submit(tx)
+    blocks = []
+    sns = {i: 0 for i in range(NUM_INSTANCES)}
+    stalled_rounds = 0
+    while stalled_rounds < 2:
+        progressed = False
+        for instance in range(NUM_INSTANCES):
+            batch = leader.select_batch(instance, batch_size)
+            if not batch:
+                continue
+            block = Block.create(
+                instance=instance,
+                sequence_number=sns[instance],
+                transactions=batch,
+                state=leader.delivered_state(),
+                proposer=instance,
+                rank=leader.next_rank(),
+            )
+            sns[instance] += 1
+            blocks.append(block)
+            leader.on_block_delivered(block)
+            progressed = True
+        stalled_rounds = 0 if progressed else stalled_rounds + 1
+    # Closing no-ops so the rank bar passes every real block (epoch closing).
+    for _ in range(2):
+        for instance in range(NUM_INSTANCES):
+            block = Block.create(
+                instance=instance,
+                sequence_number=sns[instance],
+                transactions=[],
+                state=leader.delivered_state(),
+                proposer=instance,
+                rank=leader.next_rank(),
+            )
+            sns[instance] += 1
+            blocks.append(block)
+            leader.on_block_delivered(block)
+    included = {
+        tx.tx_id for block in blocks for tx in block.transactions
+    }
+    return blocks, included
+
+
+def interleavings(blocks, flip):
+    """Two per-instance-ordered interleavings of the same block set."""
+    instance_queues = {i: [b for b in blocks if b.instance == i] for i in range(NUM_INSTANCES)}
+    order_a = []
+    queues = {i: list(q) for i, q in instance_queues.items()}
+    toggle = 0
+    while any(queues.values()):
+        instance = toggle % NUM_INSTANCES if not flip else (toggle + 1) % NUM_INSTANCES
+        toggle += 1
+        if queues[instance]:
+            order_a.append(queues[instance].pop(0))
+        else:
+            other = 1 - instance
+            if queues[other]:
+                order_a.append(queues[other].pop(0))
+    return order_a
+
+
+class TestOrthrusSafetyProperties:
+    @given(workloads())
+    @settings(max_examples=80, deadline=None)
+    def test_replicas_converge_to_identical_state(self, workload):
+        balances, transactions = workload
+        blocks, included = build_blocks(balances, transactions)
+        replica_a = build_core(balances)
+        replica_b = build_core(balances)
+        for block in interleavings(blocks, flip=False):
+            replica_a.on_block_delivered(block)
+        for block in interleavings(blocks, flip=True):
+            replica_b.on_block_delivered(block)
+        assert replica_a.store.state_digest() == replica_b.store.state_digest()
+        for tx_id in included:
+            assert replica_a.status_of(tx_id) == replica_b.status_of(tx_id)
+
+    @given(workloads())
+    @settings(max_examples=80, deadline=None)
+    def test_no_owned_balance_goes_negative(self, workload):
+        balances, transactions = workload
+        blocks, _ = build_blocks(balances, transactions)
+        core = build_core(balances)
+        for block in blocks:
+            core.on_block_delivered(block)
+        for account in ACCOUNTS:
+            assert core.store.balance_of(account) >= 0
+
+    @given(workloads())
+    @settings(max_examples=80, deadline=None)
+    def test_every_included_transaction_is_confirmed(self, workload):
+        balances, transactions = workload
+        blocks, included = build_blocks(balances, transactions)
+        core = build_core(balances)
+        for block in blocks:
+            core.on_block_delivered(block)
+        by_id = {tx.tx_id: tx for tx in transactions}
+        for tx_id in included:
+            # Single-instance transactions are always confirmed; transactions
+            # split across instances may stay pending when one side's payer
+            # was never able to fund its part (that side is never included).
+            tx = by_id[tx_id]
+            all_parts_included = all(
+                part in included for part in [tx_id]
+            ) and len(core.partitioner.buckets_for(tx)) == 1
+            if all_parts_included:
+                assert core.status_of(tx_id).terminal
+
+    @given(workloads())
+    @settings(max_examples=80, deadline=None)
+    def test_value_conservation_modulo_contract_burn(self, workload):
+        balances, transactions = workload
+        blocks, _ = build_blocks(balances, transactions)
+        core = build_core(balances)
+        outcomes = []
+        for block in blocks:
+            outcomes.extend(core.on_block_delivered(block))
+        committed = {o.tx.tx_id for o in outcomes if o.committed}
+        burn = sum(
+            tx.total_debit() - sum(
+                op.amount for op in tx.increment_operations()
+                if op.object_type.value == "owned"
+            )
+            for tx in transactions
+            if tx.is_contract and tx.tx_id in committed
+        )
+        initial_supply = sum(balances.values())
+        assert core.store.total_owned_value() + core.escrow.total_reserved() + burn == (
+            initial_supply
+        )
+
+    @given(workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_each_transaction_confirmed_at_most_once(self, workload):
+        balances, transactions = workload
+        blocks, _ = build_blocks(balances, transactions)
+        core = build_core(balances)
+        outcomes = []
+        for block in blocks:
+            outcomes.extend(core.on_block_delivered(block))
+        confirmed_ids = [o.tx.tx_id for o in outcomes]
+        assert len(confirmed_ids) == len(set(confirmed_ids))
+
+    @given(workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_honest_leader_blocks_never_produce_rejections(self, workload):
+        # pullValidTx only proposes transactions whose payers can cover them,
+        # so partial-path escrows always succeed (Lemma 1's guarantee).
+        balances, transactions = workload
+        blocks, _ = build_blocks(balances, transactions)
+        core = build_core(balances)
+        outcomes = []
+        for block in blocks:
+            outcomes.extend(core.on_block_delivered(block))
+        assert all(outcome.committed for outcome in outcomes)

@@ -1,0 +1,134 @@
+"""Property-based tests for the escrow mechanism (Algorithm 2).
+
+These properties are the backbone of the paper's atomicity argument
+(Lemma 5): no matter which interleaving of escrow / commit / abort operations
+occurs, funds are conserved, balances never violate their conditions, and a
+transaction's reservations are either all committed or all refunded.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ledger.escrow import EscrowLog
+from repro.ledger.state import StateStore
+from repro.ledger.transactions import payment
+
+ACCOUNTS = [f"acct-{i}" for i in range(6)]
+
+
+@st.composite
+def transfer_batches(draw):
+    """A starting balance sheet plus a batch of payment transactions."""
+    balances = {
+        account: draw(st.integers(min_value=0, max_value=50)) for account in ACCOUNTS
+    }
+    count = draw(st.integers(min_value=1, max_value=12))
+    transfers = []
+    for index in range(count):
+        payers = draw(
+            st.lists(st.sampled_from(ACCOUNTS), min_size=1, max_size=2, unique=True)
+        )
+        payee = draw(st.sampled_from([a for a in ACCOUNTS if a not in payers]))
+        amounts = {payer: draw(st.integers(min_value=1, max_value=30)) for payer in payers}
+        transfers.append(
+            payment(amounts, {payee: sum(amounts.values())}, tx_id=f"tx-{index}")
+        )
+    return balances, transfers
+
+
+@st.composite
+def escrow_scripts(draw):
+    """A batch plus a per-transaction decision: commit, abort, or leave open."""
+    balances, transfers = draw(transfer_batches())
+    decisions = [
+        draw(st.sampled_from(["commit", "abort", "open"])) for _ in transfers
+    ]
+    return balances, transfers, decisions
+
+
+def run_script(balances, transfers, decisions):
+    store = StateStore()
+    store.load_accounts(balances)
+    elog = EscrowLog(store)
+    fully_escrowed = []
+    for tx, decision in zip(transfers, decisions):
+        results = [elog.escrow(op, tx) for op in tx.decrement_operations()]
+        if not all(result.success for result in results):
+            elog.abort_escrow(tx)
+            continue
+        if decision == "commit":
+            elog.commit_escrow(tx)
+            for op in tx.increment_operations():
+                store.credit(op.key, op.amount)
+            fully_escrowed.append(tx)
+        elif decision == "abort":
+            elog.abort_escrow(tx)
+        else:
+            fully_escrowed.append(tx)
+    return store, elog
+
+
+class TestEscrowProperties:
+    @given(escrow_scripts())
+    @settings(max_examples=150, deadline=None)
+    def test_no_balance_ever_violates_its_condition(self, script):
+        balances, transfers, decisions = script
+        store, _ = run_script(balances, transfers, decisions)
+        for account in ACCOUNTS:
+            assert store.balance_of(account) >= 0
+
+    @given(escrow_scripts())
+    @settings(max_examples=150, deadline=None)
+    def test_value_is_conserved_including_reservations(self, script):
+        balances, transfers, decisions = script
+        store, elog = run_script(balances, transfers, decisions)
+        initial_supply = sum(balances.values())
+        # Committed transfers move value between accounts; open reservations
+        # hold it in the escrow log; aborted ones refund it.  Nothing is lost.
+        # Committed payments also credit their payees, so the total owned
+        # value plus outstanding reservations must equal the initial supply.
+        assert store.total_owned_value() + elog.total_reserved() == initial_supply
+
+    @given(escrow_scripts())
+    @settings(max_examples=150, deadline=None)
+    def test_atomicity_reservations_all_or_nothing(self, script):
+        balances, transfers, decisions = script
+        store, elog = run_script(balances, transfers, decisions)
+        for tx, decision in zip(transfers, decisions):
+            entries = elog.entries_for_transaction(tx)
+            payer_count = len(tx.payers())
+            # Either every payer still holds a reservation (transaction open)
+            # or none does (committed, aborted, or never fully escrowed).
+            assert len(entries) in (0, payer_count)
+
+    @given(escrow_scripts())
+    @settings(max_examples=100, deadline=None)
+    def test_abort_everything_restores_initial_balances(self, script):
+        balances, transfers, _ = script
+        store = StateStore()
+        store.load_accounts(balances)
+        elog = EscrowLog(store)
+        for tx in transfers:
+            for op in tx.decrement_operations():
+                elog.escrow(op, tx)
+        for tx in transfers:
+            elog.abort_escrow(tx)
+        for account in ACCOUNTS:
+            assert store.balance_of(account) == balances[account]
+        assert len(elog) == 0
+
+    @given(escrow_scripts())
+    @settings(max_examples=100, deadline=None)
+    def test_escrow_log_internal_consistency(self, script):
+        balances, transfers, decisions = script
+        store, elog = run_script(balances, transfers, decisions)
+        # Per-key views, per-transaction views and the aggregate reserve must
+        # describe the same set of entries.
+        per_key_total = sum(elog.pending_amount(account) for account in ACCOUNTS)
+        per_tx_total = sum(
+            entry.amount
+            for tx in transfers
+            for entry in elog.entries_for_transaction(tx)
+        )
+        assert per_key_total == elog.total_reserved()
+        assert per_tx_total == elog.total_reserved()
+        assert len(elog) == sum(len(elog.entries_for_key(account)) for account in ACCOUNTS)

@@ -1,0 +1,163 @@
+"""Property-based tests for the global-ordering engines.
+
+The key invariants are the ones the paper's safety argument leans on:
+every honest replica computes the same global order from the same set of
+delivered blocks regardless of delivery interleaving (agreement), the order
+respects each engine's ordering key (consistency), and no block is ordered
+twice or dropped (integrity).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ledger.blocks import Block, SystemState
+from repro.ordering.base import OrderingIndex
+from repro.ordering.dqbft import DQBFTGlobalOrderer
+from repro.ordering.ladon import LadonGlobalOrderer
+from repro.ordering.predetermined import PredeterminedGlobalOrderer
+
+NUM_INSTANCES = 3
+
+
+def make_block(instance, sn, rank=None):
+    return Block.create(
+        instance=instance,
+        sequence_number=sn,
+        transactions=[],
+        state=SystemState.initial(NUM_INSTANCES),
+        proposer=instance,
+        rank=rank,
+    )
+
+
+@st.composite
+def delivered_block_sets(draw):
+    """Per-instance contiguous block prefixes with globally increasing ranks."""
+    lengths = [
+        draw(st.integers(min_value=0, max_value=6)) for _ in range(NUM_INSTANCES)
+    ]
+    blocks = []
+    rank = 0
+    remaining = {i: 0 for i in range(NUM_INSTANCES)}
+    # Interleave the instances' next sequence numbers in a random but
+    # rank-monotone creation order, as the protocol guarantees.
+    work = [(i, sn) for i in range(NUM_INSTANCES) for sn in range(lengths[i])]
+    order = draw(st.permutations(work))
+    for instance, _ in order:
+        sn = remaining[instance]
+        remaining[instance] += 1
+        rank += draw(st.integers(min_value=1, max_value=3))
+        blocks.append(make_block(instance, sn, rank=rank))
+    return blocks
+
+
+@st.composite
+def deliveries_with_permutation(draw):
+    blocks = draw(delivered_block_sets())
+    permutation = draw(st.permutations(blocks))
+    return blocks, permutation
+
+
+def per_instance_in_order(sequence):
+    """Deliver blocks to an orderer respecting per-instance sequence order."""
+    seen = {i: -1 for i in range(NUM_INSTANCES)}
+    ready = []
+    pending = list(sequence)
+    while pending:
+        progressed = False
+        for block in list(pending):
+            if block.sequence_number == seen[block.instance] + 1:
+                ready.append(block)
+                seen[block.instance] = block.sequence_number
+                pending.remove(block)
+                progressed = True
+        if not progressed:
+            break
+    return ready
+
+
+class TestLadonProperties:
+    @given(deliveries_with_permutation())
+    @settings(max_examples=120, deadline=None)
+    def test_agreement_across_delivery_interleavings(self, data):
+        blocks, permutation = data
+        # SB delivers each instance's blocks in sequence order; across
+        # instances the interleaving is arbitrary.
+        first_order = per_instance_in_order(blocks)
+        second_order = per_instance_in_order(permutation)
+        orderer_a = LadonGlobalOrderer(NUM_INSTANCES)
+        orderer_b = LadonGlobalOrderer(NUM_INSTANCES)
+        for block in first_order:
+            orderer_a.on_deliver(block)
+        for block in second_order:
+            orderer_b.on_deliver(block)
+        ids_a = [b.block_id for b in orderer_a.global_log]
+        ids_b = [b.block_id for b in orderer_b.global_log]
+        # Both replicas ordered the same prefix in the same order (one may
+        # have ordered more if its interleaving advanced the bar further, but
+        # the common prefix must agree).
+        common = min(len(ids_a), len(ids_b))
+        assert ids_a[:common] == ids_b[:common]
+
+    @given(delivered_block_sets())
+    @settings(max_examples=120, deadline=None)
+    def test_global_log_sorted_by_ordering_index_without_duplicates(self, blocks):
+        orderer = LadonGlobalOrderer(NUM_INSTANCES)
+        for block in per_instance_in_order(blocks):
+            orderer.on_deliver(block)
+        indices = [OrderingIndex.of(b) for b in orderer.global_log]
+        assert indices == sorted(indices)
+        ids = [b.block_id for b in orderer.global_log]
+        assert len(ids) == len(set(ids))
+
+    @given(delivered_block_sets())
+    @settings(max_examples=120, deadline=None)
+    def test_ordered_plus_pending_equals_delivered(self, blocks):
+        orderer = LadonGlobalOrderer(NUM_INSTANCES)
+        delivered = per_instance_in_order(blocks)
+        for block in delivered:
+            orderer.on_deliver(block)
+        assert orderer.ordered_count + orderer.pending_count() == len(delivered)
+
+
+class TestPredeterminedProperties:
+    @given(deliveries_with_permutation())
+    @settings(max_examples=120, deadline=None)
+    def test_order_is_position_sorted_and_agreement_holds(self, data):
+        blocks, permutation = data
+        orderer_a = PredeterminedGlobalOrderer(NUM_INSTANCES)
+        orderer_b = PredeterminedGlobalOrderer(NUM_INSTANCES)
+        for block in per_instance_in_order(blocks):
+            orderer_a.on_deliver(block)
+        for block in per_instance_in_order(permutation):
+            orderer_b.on_deliver(block)
+        positions_a = [orderer_a.global_position(b) for b in orderer_a.global_log]
+        assert positions_a == sorted(positions_a)
+        ids_a = [b.block_id for b in orderer_a.global_log]
+        ids_b = [b.block_id for b in orderer_b.global_log]
+        common = min(len(ids_a), len(ids_b))
+        assert ids_a[:common] == ids_b[:common]
+
+    @given(delivered_block_sets())
+    @settings(max_examples=120, deadline=None)
+    def test_log_is_gapless_prefix(self, blocks):
+        orderer = PredeterminedGlobalOrderer(NUM_INSTANCES)
+        for block in per_instance_in_order(blocks):
+            orderer.on_deliver(block)
+        positions = [orderer.global_position(b) for b in orderer.global_log]
+        assert positions == list(range(len(positions)))
+
+
+class TestDQBFTProperties:
+    @given(delivered_block_sets(), st.randoms(use_true_random=False))
+    @settings(max_examples=120, deadline=None)
+    def test_execution_order_matches_decision_order(self, blocks, rng):
+        orderer = DQBFTGlobalOrderer(NUM_INSTANCES)
+        delivered = per_instance_in_order(blocks)
+        decision_order = list(delivered)
+        rng.shuffle(decision_order)
+        for block in delivered:
+            orderer.on_deliver(block)
+        released = []
+        for block in decision_order:
+            released.extend(orderer.on_order_decision([block.block_id]))
+        assert [b.block_id for b in released] == [b.block_id for b in decision_order]

@@ -1,0 +1,87 @@
+"""Property-based tests for bucket partitioning and the workload generator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition import PayerPartitioner, TransactionPartitioner
+from repro.ledger.transactions import payment
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import EthereumStyleWorkload
+
+account_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=12
+)
+
+
+class TestPartitionerProperties:
+    @given(account_names, st.integers(min_value=1, max_value=256))
+    @settings(max_examples=200, deadline=None)
+    def test_object_assignment_in_range_and_stable(self, key, num_instances):
+        partitioner = PayerPartitioner(num_instances)
+        bucket = partitioner.assign_object(key)
+        assert 0 <= bucket < num_instances
+        assert bucket == PayerPartitioner(num_instances).assign_object(key)
+
+    @given(
+        st.lists(account_names, min_size=1, max_size=3, unique=True),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_buckets_cover_exactly_the_payers(self, payers, num_instances):
+        partitioner = PayerPartitioner(num_instances)
+        tx = payment({payer: 1 for payer in payers}, {"sink": len(payers)})
+        buckets = partitioner.buckets_for(tx)
+        expected = {partitioner.assign_object(payer) for payer in payers}
+        assert set(buckets) == expected
+        assert buckets == sorted(buckets)
+
+    @given(account_names, account_names, st.integers(min_value=1, max_value=64))
+    @settings(max_examples=200, deadline=None)
+    def test_same_payer_transactions_colocate(self, payer, payee, num_instances):
+        partitioner = PayerPartitioner(num_instances)
+        tx1 = payment({payer: 1}, {payee: 1}, tx_id="a")
+        tx2 = payment({payer: 2}, {"other": 2}, tx_id="b")
+        assert partitioner.buckets_for(tx1) == partitioner.buckets_for(tx2)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=200, deadline=None)
+    def test_transaction_partitioner_single_bucket(self, num_instances, index):
+        partitioner = TransactionPartitioner(num_instances)
+        tx = payment({"a": 1, "b": 1}, {"c": 2}, tx_id=f"tx-{index}")
+        buckets = partitioner.buckets_for(tx)
+        assert len(buckets) == 1
+        assert 0 <= buckets[0] < num_instances
+
+
+class TestWorkloadProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_generated_transactions_are_well_formed(self, fraction, seed):
+        config = WorkloadConfig(
+            num_accounts=50,
+            num_transactions=40,
+            payment_fraction=fraction,
+            num_shared_objects=4,
+            seed=seed,
+        )
+        trace = EthereumStyleWorkload(config).generate()
+        assert len(trace) == 40
+        for tx in trace:
+            assert tx.payers(), "every transaction must have at least one payer"
+            if tx.is_payment:
+                assert tx.total_debit() == tx.total_credit()
+                assert not tx.shared_keys()
+            else:
+                assert tx.shared_keys()
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_trace_ids_unique(self, seed):
+        config = WorkloadConfig(
+            num_accounts=50, num_transactions=60, num_shared_objects=4, seed=seed
+        )
+        trace = EthereumStyleWorkload(config).generate()
+        ids = [tx.tx_id for tx in trace]
+        assert len(ids) == len(set(ids))

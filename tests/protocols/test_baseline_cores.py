@@ -1,0 +1,196 @@
+"""Tests for the baseline protocol cores and the registry."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.orthrus import OrthrusCore
+from repro.core.outcomes import ConfirmationPath, TxStatus
+from repro.errors import ConfigurationError
+from repro.ledger.blocks import Block, SystemState
+from repro.ledger.state import StateStore
+from repro.ledger.transactions import contract_call, simple_transfer
+from repro.protocols.dqbft import DQBFTCore
+from repro.protocols.iss import ISSCore
+from repro.protocols.ladon import LadonCore
+from repro.protocols.mirbft import MirBFTCore
+from repro.protocols.rcc import RCCCore
+from repro.protocols.registry import PROTOCOL_NAMES, available_protocols, build_core
+
+
+def make_core(cls, num_instances=2, balances=None):
+    config = CoreConfig(num_instances=num_instances, batch_size=8, epoch_length=1000)
+    store = StateStore()
+    store.load_accounts(balances or {"alice": 100, "bob": 50, "carol": 0})
+    store.create_shared("slot", 0)
+    return cls(config, store)
+
+
+def deliver(core, instance, sn, txs, rank=None):
+    block = Block.create(
+        instance=instance,
+        sequence_number=sn,
+        transactions=txs,
+        state=SystemState.initial(core.config.num_instances),
+        proposer=instance,
+        rank=rank,
+    )
+    return core.on_block_delivered(block)
+
+
+class TestRegistry:
+    def test_all_paper_protocols_available(self):
+        assert set(available_protocols()) == {
+            "orthrus",
+            "iss",
+            "rcc",
+            "mir",
+            "dqbft",
+            "ladon",
+        }
+
+    def test_build_core_returns_expected_types(self):
+        config = CoreConfig(num_instances=4)
+        expected = {
+            "orthrus": OrthrusCore,
+            "iss": ISSCore,
+            "rcc": RCCCore,
+            "mir": MirBFTCore,
+            "dqbft": DQBFTCore,
+            "ladon": LadonCore,
+        }
+        for name, cls in expected.items():
+            assert isinstance(build_core(name, config), cls)
+
+    def test_build_core_is_case_insensitive(self):
+        assert isinstance(build_core("ISS", CoreConfig(num_instances=2)), ISSCore)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_core("pbft-classic", CoreConfig(num_instances=2))
+
+    def test_names_are_unique(self):
+        names = [build_core(n, CoreConfig(num_instances=2)).name for n in PROTOCOL_NAMES]
+        assert len(set(names)) == len(names)
+
+
+class TestPredeterminedCores:
+    def test_iss_executes_only_in_global_order(self):
+        core = make_core(ISSCore)
+        tx = simple_transfer("bob", "carol", 10, tx_id="p")
+        # Instance 1 delivers first, but global position (0*2+1) waits for
+        # instance 0's block at position 0.
+        outcomes = deliver(core, 1, 0, [tx])
+        assert outcomes == []
+        assert core.store.balance_of("bob") == 50
+        outcomes = deliver(core, 0, 0, [])
+        assert len(outcomes) == 1
+        assert outcomes[0].status is TxStatus.COMMITTED
+        assert outcomes[0].path is ConfirmationPath.GLOBAL
+        assert core.store.balance_of("carol") == 10
+
+    def test_traits_match_paper_descriptions(self):
+        assert ISSCore(CoreConfig(num_instances=2)).predetermined_ordering
+        assert ISSCore(CoreConfig(num_instances=2)).fills_gaps_with_noops
+        assert MirBFTCore(CoreConfig(num_instances=2)).epoch_change_on_fault
+        assert not LadonCore(CoreConfig(num_instances=2)).predetermined_ordering
+        assert RCCCore(CoreConfig(num_instances=2)).fast_recovery
+        assert DQBFTCore(CoreConfig(num_instances=2)).uses_sequencer
+
+    def test_insufficient_funds_rejected_without_partial_effects(self):
+        core = make_core(ISSCore, balances={"alice": 5, "bob": 0, "carol": 0})
+        tx = simple_transfer("alice", "carol", 10, tx_id="p")
+        deliver(core, 1, 0, [tx]) if core.partitioner.buckets_for(tx) == [1] else None
+        outcomes = deliver(core, 0, 0, [tx]) + deliver(core, 1, 0, [])
+        rejected = [o for o in outcomes if o.tx.tx_id == "p"]
+        assert rejected and rejected[0].status is TxStatus.REJECTED
+        assert core.store.balance_of("alice") == 5
+        assert core.store.balance_of("carol") == 0
+
+    def test_contract_execution_applies_shared_effects(self):
+        core = make_core(RCCCore)
+        ctx = contract_call({"alice": 10}, {"slot": 42}, tx_id="c")
+        deliver(core, 0, 0, [ctx])
+        deliver(core, 1, 0, [])
+        assert core.store.balance_of("slot") == 42
+        assert core.store.balance_of("alice") == 90
+
+
+class TestLadonCore:
+    def test_execution_follows_rank_order(self):
+        core = make_core(LadonCore)
+        tx_late = simple_transfer("alice", "carol", 1, tx_id="late")
+        tx_early = simple_transfer("bob", "carol", 1, tx_id="early")
+        # Higher-rank block delivered first: it must wait for the lower rank.
+        assert deliver(core, 1, 0, [tx_late], rank=5) == []
+        outcomes = deliver(core, 0, 0, [tx_early], rank=1)
+        confirmed_ids = [o.tx.tx_id for o in outcomes]
+        assert confirmed_ids == ["early"]
+        # Once every instance advances past rank 5 the late block executes.
+        outcomes = deliver(core, 0, 1, [], rank=6)
+        assert [o.tx.tx_id for o in outcomes] == ["late"]
+
+    def test_uses_ranks_flag(self):
+        assert LadonCore(CoreConfig(num_instances=2)).uses_ranks
+        assert not ISSCore(CoreConfig(num_instances=2)).uses_ranks
+
+
+class TestDQBFTCore:
+    def test_execution_waits_for_sequencer_decision(self):
+        core = make_core(DQBFTCore)
+        tx = simple_transfer("alice", "carol", 5, tx_id="p")
+        assert deliver(core, 0, 0, [tx]) == []
+        outcomes = core.on_sequencer_decision([(0, 0)])
+        assert [o.tx.tx_id for o in outcomes] == ["p"]
+        assert core.store.balance_of("carol") == 5
+
+    def test_decision_before_delivery_is_buffered(self):
+        core = make_core(DQBFTCore)
+        tx = simple_transfer("alice", "carol", 5, tx_id="p")
+        assert core.on_sequencer_decision([(0, 0)]) == []
+        outcomes = deliver(core, 0, 0, [tx])
+        assert [o.tx.tx_id for o in outcomes] == ["p"]
+
+
+class TestCommonCoreBehaviour:
+    @pytest.mark.parametrize("name", PROTOCOL_NAMES)
+    def test_submit_and_pull_round_trip(self, name):
+        config = CoreConfig(num_instances=4, batch_size=8)
+        core = build_core(name, config)
+        core.store.create_account("alice", 100)
+        core.store.create_account("bob", 0)
+        tx = simple_transfer("alice", "bob", 1, tx_id=f"{name}-tx")
+        buckets = core.submit(tx)
+        assert buckets
+        pulled = core.pull_batch(buckets[0])
+        assert tx in pulled
+
+    @pytest.mark.parametrize("name", PROTOCOL_NAMES)
+    def test_duplicate_submit_not_requeued(self, name):
+        config = CoreConfig(num_instances=4, batch_size=8)
+        core = build_core(name, config)
+        core.store.create_account("alice", 100)
+        core.store.create_account("bob", 0)
+        tx = simple_transfer("alice", "bob", 1, tx_id=f"{name}-dup")
+        first = core.submit(tx)
+        second = core.submit(tx)
+        assert first
+        assert second == []
+
+    def test_requeue_restores_transactions(self):
+        core = make_core(ISSCore)
+        core.store.create_account("dave", 10)
+        tx = simple_transfer("dave", "carol", 1, tx_id="rq")
+        buckets = core.submit(tx)
+        instance = buckets[0]
+        pulled = core.pull_batch(instance)
+        assert core.bucket_size(instance) == 0
+        core.requeue(instance, pulled)
+        assert core.bucket_size(instance) == 1
+
+    def test_delivered_state_tracks_frontier(self):
+        core = make_core(ISSCore)
+        assert core.delivered_state().sequence_numbers == (-1, -1)
+        deliver(core, 0, 0, [])
+        deliver(core, 1, 0, [])
+        deliver(core, 1, 1, [])
+        assert core.delivered_state().sequence_numbers == (0, 1)

@@ -1,0 +1,100 @@
+"""Tests for the quorum-latency (instance fidelity) consensus model."""
+
+import pytest
+
+from repro.net.latency import BandwidthModel, LANLatencyModel, WANLatencyModel
+from repro.sb.quorum.model import QuorumLatencyConfig, QuorumLatencyModel
+from repro.sim.rng import DeterministicRNG
+
+
+def build(num_replicas=16, environment="wan", **kwargs):
+    latency = WANLatencyModel() if environment == "wan" else LANLatencyModel()
+    return QuorumLatencyModel(
+        num_replicas=num_replicas,
+        latency_model=latency,
+        bandwidth_model=BandwidthModel(),
+        rng=DeterministicRNG(1),
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_rejects_tiny_clusters(self):
+        with pytest.raises(ValueError):
+            build(num_replicas=3)
+
+    def test_quorum_is_two_thirds(self):
+        model = build(num_replicas=16)
+        assert model.fault_tolerance == 5
+        assert model.quorum == 11
+
+
+class TestComponents:
+    def test_dissemination_scales_with_size_and_slowdown(self):
+        model = build()
+        small = model.dissemination_delay(0, 100_000)
+        large = model.dissemination_delay(0, 1_000_000)
+        slow = model.dissemination_delay(0, 100_000, slowdown=10.0)
+        assert large > small
+        assert slow == pytest.approx(small * 10.0)
+
+    def test_quorum_round_positive_in_wan(self):
+        model = build()
+        delay = model.quorum_round_delay(0)
+        assert delay > 0.01
+
+    def test_lan_quorum_round_much_faster_than_wan(self):
+        wan = build(environment="wan").quorum_round_delay(0)
+        lan = build(environment="lan").quorum_round_delay(0)
+        assert lan < wan / 10
+
+    def test_abstention_pushes_quorum_to_slower_replicas(self):
+        model = build(num_replicas=16)
+        baseline = sum(model.quorum_round_delay(0) for _ in range(50)) / 50
+        degraded_model = build(num_replicas=16)
+        degraded = sum(
+            degraded_model.quorum_round_delay(0, abstaining=5) for _ in range(50)
+        ) / 50
+        assert degraded >= baseline
+
+    def test_processing_delay_scales_with_batch(self):
+        model = build()
+        assert model.processing_delay(4096) > model.processing_delay(64)
+        assert model.processing_delay(0) == pytest.approx(
+            model.config.per_block_cpu
+        )
+
+
+class TestHeadlineLatency:
+    def test_delivery_latency_combines_components(self):
+        model = build()
+        latency = model.delivery_latency(0, 2_000_000, 4096)
+        assert latency > model.dissemination_delay(0, 2_000_000)
+        assert latency > model.processing_delay(4096)
+
+    def test_straggler_slowdown_dominates(self):
+        model = build()
+        healthy = model.delivery_latency(0, 2_000_000, 4096)
+        degraded = model.delivery_latency(0, 2_000_000, 4096, slowdown=10.0)
+        assert degraded > healthy * 5
+
+    def test_leader_occupancy_bounds_block_rate(self):
+        model = build(num_replicas=128)
+        occupancy = model.leader_occupancy(2_000_000, 4096)
+        # 2 MB to 127 peers at 1 Gbps is ~2 s of uplink time.
+        assert occupancy == pytest.approx(2.0, rel=0.2)
+
+    def test_occupancy_cpu_bound_for_small_clusters(self):
+        model = build(num_replicas=8)
+        occupancy = model.leader_occupancy(2_000_000, 4096)
+        assert occupancy == pytest.approx(model.processing_delay(4096), rel=0.3)
+
+    def test_custom_config_round_count(self):
+        model = QuorumLatencyModel(
+            num_replicas=8,
+            latency_model=WANLatencyModel(),
+            config=QuorumLatencyConfig(voting_phases=0, per_tx_cpu=0.0, per_block_cpu=0.0),
+            rng=DeterministicRNG(0),
+        )
+        latency = model.delivery_latency(0, 0, 0)
+        assert latency == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,92 @@
+"""Tests for the Process actor abstraction."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.latency import FixedLatencyModel
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+
+class Recorder(Process):
+    """Collects every message delivered to it."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.inbox = []
+
+    def receive(self, sender, message):
+        self.inbox.append((sender, message, self.now))
+
+
+def build_pair():
+    sim = Simulator()
+    network = Network(sim, latency_model=FixedLatencyModel(0.01))
+    a, b = Recorder(0), Recorder(1)
+    network.register(a)
+    network.register(b)
+    return sim, network, a, b
+
+
+class TestProcessWiring:
+    def test_unattached_process_has_no_network(self):
+        lonely = Recorder(9)
+        with pytest.raises(SimulationError):
+            _ = lonely.network
+
+    def test_send_delivers_message(self):
+        sim, _, a, b = build_pair()
+        a.send(1, "hello")
+        sim.run()
+        sender, payload, delivered_at = b.inbox[0]
+        assert (sender, payload) == (0, "hello")
+        assert delivered_at == pytest.approx(0.01, rel=1e-3)
+
+    def test_broadcast_excludes_self_by_default(self):
+        sim, _, a, b = build_pair()
+        a.broadcast("ping")
+        sim.run()
+        assert len(b.inbox) == 1
+        assert a.inbox == []
+
+    def test_broadcast_can_include_self(self):
+        sim, _, a, b = build_pair()
+        a.broadcast("ping", include_self=True)
+        sim.run()
+        assert len(a.inbox) == 1
+        assert len(b.inbox) == 1
+
+    def test_receive_must_be_overridden(self):
+        sim = Simulator()
+        network = Network(sim)
+        plain = Process(5)
+        network.register(plain)
+        with pytest.raises(NotImplementedError):
+            plain.receive(0, "x")
+
+
+class TestTimers:
+    def test_set_timer_fires_after_delay(self):
+        sim, _, a, _ = build_pair()
+        fired = []
+        a.set_timer(0.5, lambda: fired.append(a.now))
+        sim.run()
+        assert fired == [0.5]
+
+    def test_cancel_timers_stops_pending_callbacks(self):
+        sim, _, a, _ = build_pair()
+        fired = []
+        a.set_timer(0.5, lambda: fired.append(1))
+        a.set_timer(0.7, lambda: fired.append(2))
+        a.cancel_timers()
+        sim.run()
+        assert fired == []
+
+    def test_now_tracks_simulator_clock(self):
+        sim, _, a, _ = build_pair()
+        observed = []
+        a.set_timer(1.25, lambda: observed.append(a.now))
+        sim.run()
+        assert observed == [1.25]
+        assert a.now == sim.now

@@ -1,0 +1,115 @@
+"""Tests for the deterministic random-number utilities."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRNG
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(7)
+        b = DeterministicRNG(7)
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_seeds_diverge(self):
+        a = DeterministicRNG(7)
+        b = DeterministicRNG(8)
+        assert [a.random() for _ in range(20)] != [b.random() for _ in range(20)]
+
+    def test_fork_is_deterministic_and_independent(self):
+        root_a = DeterministicRNG(3)
+        root_b = DeterministicRNG(3)
+        fork_a = root_a.fork("network")
+        fork_b = root_b.fork("network")
+        assert [fork_a.random() for _ in range(5)] == [fork_b.random() for _ in range(5)]
+        other = DeterministicRNG(3).fork("workload")
+        assert other.random() != DeterministicRNG(3).fork("network").random()
+
+
+class TestDistributions:
+    def test_uniform_bounds(self):
+        rng = DeterministicRNG(1)
+        for _ in range(100):
+            value = rng.uniform(2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_randint_bounds_inclusive(self):
+        rng = DeterministicRNG(1)
+        values = {rng.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_exponential_mean_is_positive(self):
+        rng = DeterministicRNG(2)
+        samples = [rng.exponential(0.5) for _ in range(2000)]
+        assert all(s >= 0 for s in samples)
+        assert 0.4 < sum(samples) / len(samples) < 0.6
+
+    def test_exponential_zero_mean_returns_zero(self):
+        rng = DeterministicRNG(2)
+        assert rng.exponential(0.0) == 0.0
+
+    def test_lognormal_jitter_positive_and_centered(self):
+        rng = DeterministicRNG(3)
+        samples = [rng.lognormal_jitter(1.0, 0.2) for _ in range(2000)]
+        assert all(s > 0 for s in samples)
+        mean = sum(samples) / len(samples)
+        assert 0.9 < mean < 1.15
+
+    def test_lognormal_jitter_zero_scale(self):
+        assert DeterministicRNG(0).lognormal_jitter(0.0) == 0.0
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRNG(4)
+        items = ["a", "b", "c", "d"]
+        assert rng.choice(items) in items
+        sampled = rng.sample(items, 2)
+        assert len(sampled) == 2
+        assert len(set(sampled)) == 2
+
+    def test_shuffle_preserves_elements(self):
+        rng = DeterministicRNG(5)
+        items = list(range(10))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(10))
+
+
+class TestZipf:
+    def test_zipf_index_within_population(self):
+        rng = DeterministicRNG(6)
+        for _ in range(500):
+            assert 0 <= rng.zipf_index(100, 1.0) < 100
+
+    def test_zipf_skews_towards_low_indices(self):
+        rng = DeterministicRNG(6)
+        samples = [rng.zipf_index(1000, 1.0) for _ in range(5000)]
+        low = sum(1 for s in samples if s < 10)
+        high = sum(1 for s in samples if s >= 990)
+        assert low > high * 5
+
+    def test_zipf_uniform_when_exponent_zero(self):
+        rng = DeterministicRNG(7)
+        samples = [rng.zipf_index(10, 0.0) for _ in range(5000)]
+        counts = [samples.count(i) for i in range(10)]
+        assert min(counts) > 300
+
+    def test_zipf_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(0).zipf_index(0)
+
+
+class TestOrderStatistic:
+    def test_order_statistic_selects_kth_smallest(self):
+        rng = DeterministicRNG(0)
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert rng.order_statistic(samples, 0) == 1.0
+        assert rng.order_statistic(samples, 2) == 3.0
+        assert rng.order_statistic(samples, 4) == 5.0
+
+    def test_order_statistic_clamps_out_of_range(self):
+        rng = DeterministicRNG(0)
+        assert rng.order_statistic([1.0, 2.0], 10) == 2.0
+        assert rng.order_statistic([1.0, 2.0], -3) == 1.0
+
+    def test_order_statistic_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(0).order_statistic([], 0)

@@ -1,0 +1,170 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.simulator import Simulator
+
+
+class TestScheduling:
+    def test_schedule_runs_callback_at_requested_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.5]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.schedule(2.0, lambda: order.append("middle"))
+        sim.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for label in ("a", "b", "c"):
+            sim.schedule(1.0, lambda label=label: order.append(label))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_breaks_ties_before_sequence(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("normal"), priority=1)
+        sim.schedule(1.0, lambda: order.append("urgent"), priority=0)
+        sim.run()
+        assert order == ["urgent", "normal"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_infinite_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(float("inf"), lambda: None)
+
+    def test_nan_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.5]
+
+    def test_schedule_at_past_time_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_from_callbacks(self):
+        sim = Simulator()
+        times = []
+
+        def chain(depth):
+            times.append(sim.now)
+            if depth:
+                sim.schedule(1.0, lambda: chain(depth - 1))
+
+        sim.schedule(0.0, lambda: chain(3))
+        sim.run()
+        assert times == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("late"))
+        stopped_at = sim.run(until=2.0)
+        assert stopped_at == 2.0
+        assert fired == []
+        assert sim.pending_events == 1
+
+    def test_run_resumes_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == [5.0]
+
+    def test_max_events_bounds_processing(self):
+        sim = Simulator()
+        count = []
+        for i in range(10):
+            sim.schedule(float(i), lambda: count.append(1))
+        sim.run(max_events=3)
+        assert len(count) == 3
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(0.0, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_clear_drops_pending_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.clear()
+        assert sim.pending_events == 0
+
+    def test_processed_event_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.processed_events == 4
+
+    def test_clock_never_goes_backwards(self):
+        sim = Simulator()
+        observed = []
+        sim.schedule(2.0, lambda: observed.append(sim.now))
+        sim.schedule(2.0, lambda: observed.append(sim.now))
+        sim.schedule(4.0, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_handle_reports_time_and_activity(self):
+        sim = Simulator()
+        handle = sim.schedule(3.0, lambda: None)
+        assert handle.time == 3.0
+        assert handle.active
+        handle.cancel()
+        assert not handle.active
+
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()
+        assert sim.pending_events == 0

@@ -1,0 +1,77 @@
+"""Tests for the error hierarchy and the package's public exports."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_every_library_error_derives_from_repro_error(self):
+        subclasses = [
+            errors.ConfigurationError,
+            errors.SimulationError,
+            errors.SchedulingError,
+            errors.NetworkError,
+            errors.UnknownNodeError,
+            errors.LedgerError,
+            errors.ValidationError,
+            errors.InsufficientFundsError,
+            errors.EscrowError,
+            errors.UnknownObjectError,
+            errors.ConsensusError,
+            errors.NotLeaderError,
+            errors.OrderingError,
+            errors.ViewChangeError,
+            errors.WorkloadError,
+            errors.ExperimentError,
+        ]
+        for cls in subclasses:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_specific_parents(self):
+        assert issubclass(errors.SchedulingError, errors.SimulationError)
+        assert issubclass(errors.UnknownNodeError, errors.NetworkError)
+        assert issubclass(errors.InsufficientFundsError, errors.LedgerError)
+        assert issubclass(errors.NotLeaderError, errors.ConsensusError)
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.EscrowError("boom")
+
+
+class TestPublicAPI:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_entry_points_importable(self):
+        from repro import (
+            CoreConfig,
+            EthereumStyleWorkload,
+            OrthrusCore,
+            PipelineConfig,
+            StateStore,
+            build_core,
+            run_pipeline_experiment,
+        )
+
+        assert callable(run_pipeline_experiment)
+        assert callable(build_core)
+        core = OrthrusCore(CoreConfig(num_instances=2), StateStore())
+        assert core.name == "orthrus"
+        assert EthereumStyleWorkload is not None
+        assert PipelineConfig is not None
+
+    def test_protocol_registry_matches_paper_baselines(self):
+        assert set(repro.available_protocols()) == {
+            "orthrus",
+            "iss",
+            "rcc",
+            "mir",
+            "dqbft",
+            "ladon",
+        }

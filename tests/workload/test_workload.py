@@ -1,0 +1,167 @@
+"""Tests for the Ethereum-style workload generator and arrival processes."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ledger.state import StateStore
+from repro.sim.rng import DeterministicRNG
+from repro.workload.accounts import AccountUniverse, account_key, shared_key
+from repro.workload.arrivals import burst_arrivals, poisson_arrivals, uniform_arrivals
+from repro.workload.config import (
+    PAPER_NUM_ACCOUNTS,
+    PAPER_NUM_TRANSACTIONS,
+    PAPER_PAYMENT_FRACTION,
+    WorkloadConfig,
+)
+from repro.workload.generator import EthereumStyleWorkload
+
+
+class TestWorkloadConfig:
+    def test_paper_defaults(self):
+        config = WorkloadConfig()
+        assert config.num_accounts == PAPER_NUM_ACCOUNTS == 18_000
+        assert config.num_transactions == PAPER_NUM_TRANSACTIONS == 200_000
+        assert config.payment_fraction == PAPER_PAYMENT_FRACTION == 0.46
+        assert config.payload_size == 500
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(payment_fraction=1.2)
+
+    def test_invalid_accounts_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(num_accounts=1)
+
+    def test_invalid_amount_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(min_amount=10, max_amount=5)
+
+    def test_scaled_preserves_mix(self):
+        config = WorkloadConfig().scaled(0.01)
+        assert config.num_transactions == 2000
+        assert config.payment_fraction == PAPER_PAYMENT_FRACTION
+        assert config.num_accounts == PAPER_NUM_ACCOUNTS
+
+
+class TestAccountUniverse:
+    def build(self):
+        return AccountUniverse(
+            num_accounts=100, num_shared_objects=10, initial_balance=1000, zipf_exponent=0.8
+        )
+
+    def test_key_formats(self):
+        assert account_key(3) == "acct-000003"
+        assert shared_key(2) == "contract-00002"
+
+    def test_populate_creates_all_objects(self):
+        store = StateStore()
+        self.build().populate(store)
+        assert len(store) == 110
+        assert store.balance_of("acct-000000") == 1000
+
+    def test_sample_distinct_accounts(self):
+        universe = self.build()
+        rng = DeterministicRNG(1)
+        accounts = universe.sample_distinct_accounts(rng, 5)
+        assert len(accounts) == len(set(accounts)) == 5
+
+    def test_zipf_skew_in_samples(self):
+        universe = self.build()
+        rng = DeterministicRNG(2)
+        samples = [universe.sample_account(rng) for _ in range(3000)]
+        top = sum(1 for s in samples if s == account_key(0))
+        bottom = sum(1 for s in samples if s == account_key(99))
+        assert top > bottom
+
+
+class TestGenerator:
+    def small_config(self, **overrides):
+        params = dict(
+            num_accounts=200,
+            num_transactions=500,
+            num_shared_objects=16,
+            seed=7,
+        )
+        params.update(overrides)
+        return WorkloadConfig(**params)
+
+    def test_trace_is_deterministic_for_a_seed(self):
+        a = EthereumStyleWorkload(self.small_config()).generate()
+        b = EthereumStyleWorkload(self.small_config()).generate()
+        assert [tx.tx_id for tx in a] == [tx.tx_id for tx in b]
+        assert [tx.digest for tx in a] == [tx.digest for tx in b]
+
+    def test_different_seeds_differ(self):
+        a = EthereumStyleWorkload(self.small_config(seed=1)).generate()
+        b = EthereumStyleWorkload(self.small_config(seed=2)).generate()
+        assert [tx.tx_id for tx in a] != [tx.tx_id for tx in b]
+
+    def test_payment_fraction_approximated(self):
+        trace = EthereumStyleWorkload(self.small_config(num_transactions=2000)).generate()
+        assert abs(trace.statistics.payment_fraction - 0.46) < 0.05
+
+    def test_extreme_fractions(self):
+        all_pay = EthereumStyleWorkload(
+            self.small_config(payment_fraction=1.0)
+        ).generate(200)
+        assert all_pay.statistics.payments == 200
+        no_pay = EthereumStyleWorkload(
+            self.small_config(payment_fraction=0.0)
+        ).generate(200)
+        assert no_pay.statistics.contracts == 200
+
+    def test_payments_are_balanced(self):
+        trace = EthereumStyleWorkload(self.small_config()).generate()
+        for tx in trace:
+            if tx.is_payment:
+                assert tx.total_debit() == tx.total_credit()
+
+    def test_contracts_touch_shared_objects(self):
+        trace = EthereumStyleWorkload(self.small_config(payment_fraction=0.0)).generate(50)
+        assert all(tx.shared_keys() for tx in trace)
+
+    def test_primary_payer_override(self):
+        workload = EthereumStyleWorkload(self.small_config())
+        tx = workload.next_transaction(primary_payer="acct-000042")
+        assert "acct-000042" in tx.payers()
+
+    def test_trace_statistics_consistency(self):
+        trace = EthereumStyleWorkload(self.small_config()).generate(300)
+        stats = trace.statistics
+        assert stats.total == 300 == len(trace)
+        assert stats.payments + stats.contracts == stats.total
+        assert 0 < stats.unique_accounts <= 200
+
+    def test_stream_yields_requested_count(self):
+        workload = EthereumStyleWorkload(self.small_config())
+        assert len(list(workload.stream(25))) == 25
+
+    def test_payload_size_propagates(self):
+        config = self.small_config(payload_size=900)
+        trace = EthereumStyleWorkload(config).generate(10)
+        assert all(tx.payload_size == 900 for tx in trace)
+
+
+class TestArrivals:
+    def test_poisson_rate_approximation(self):
+        schedule = poisson_arrivals(5000, 1000.0, DeterministicRNG(1))
+        assert len(schedule) == 5000
+        assert schedule.horizon == pytest.approx(5.0, rel=0.15)
+        assert list(schedule) == sorted(schedule.times)
+
+    def test_uniform_arrivals_evenly_spaced(self):
+        schedule = uniform_arrivals(5, 10.0, start=1.0)
+        assert schedule.times == [1.0, 1.1, 1.2, 1.3, 1.4]
+
+    def test_burst_arrivals_all_at_start(self):
+        schedule = burst_arrivals(3, start=2.0)
+        assert schedule.times == [2.0, 2.0, 2.0]
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, 0.0, DeterministicRNG(0))
+        with pytest.raises(ValueError):
+            uniform_arrivals(10, -1.0)
+
+    def test_empty_schedule_horizon(self):
+        assert burst_arrivals(0).horizon == 0.0
