@@ -11,9 +11,9 @@ from repro.experiments.reporting import scalability_table
 from repro.experiments.scenarios import scalability_sweep
 
 
-def test_fig3ab_wan_no_straggler(benchmark, bench_scale, record_table):
+def test_fig3ab_wan_no_straggler(benchmark, bench_scale, record_table, engine):
     points = run_once(
-        benchmark, lambda: scalability_sweep("wan", stragglers=0, scale=bench_scale)
+        benchmark, lambda: scalability_sweep("wan", stragglers=0, scale=bench_scale, engine=engine)
     )
     record_table("fig3ab_wan_no_straggler", scalability_table(points))
     assert all(point.throughput_ktps > 0 for point in points)
@@ -28,9 +28,9 @@ def test_fig3ab_wan_no_straggler(benchmark, bench_scale, record_table):
         assert orthrus.latency_s <= iss.latency_s * 1.15
 
 
-def test_fig3cd_wan_one_straggler(benchmark, bench_scale, record_table):
+def test_fig3cd_wan_one_straggler(benchmark, bench_scale, record_table, engine):
     points = run_once(
-        benchmark, lambda: scalability_sweep("wan", stragglers=1, scale=bench_scale)
+        benchmark, lambda: scalability_sweep("wan", stragglers=1, scale=bench_scale, engine=engine)
     )
     record_table("fig3cd_wan_one_straggler", scalability_table(points))
     by_protocol = {(p.protocol, p.num_replicas): p for p in points}

@@ -6,9 +6,9 @@ from repro.experiments.reporting import scalability_table
 from repro.experiments.scenarios import scalability_sweep
 
 
-def test_fig4ab_lan_no_straggler(benchmark, bench_scale, record_table):
+def test_fig4ab_lan_no_straggler(benchmark, bench_scale, record_table, engine):
     points = run_once(
-        benchmark, lambda: scalability_sweep("lan", stragglers=0, scale=bench_scale)
+        benchmark, lambda: scalability_sweep("lan", stragglers=0, scale=bench_scale, engine=engine)
     )
     record_table("fig4ab_lan_no_straggler", scalability_table(points))
     by_key = {(p.protocol, p.num_replicas): p for p in points}
@@ -19,9 +19,9 @@ def test_fig4ab_lan_no_straggler(benchmark, bench_scale, record_table):
         assert by_key[("orthrus", replicas)].throughput_ktps > 0
 
 
-def test_fig4cd_lan_one_straggler(benchmark, bench_scale, record_table):
+def test_fig4cd_lan_one_straggler(benchmark, bench_scale, record_table, engine):
     points = run_once(
-        benchmark, lambda: scalability_sweep("lan", stragglers=1, scale=bench_scale)
+        benchmark, lambda: scalability_sweep("lan", stragglers=1, scale=bench_scale, engine=engine)
     )
     record_table("fig4cd_lan_one_straggler", scalability_table(points))
     by_key = {(p.protocol, p.num_replicas): p for p in points}

@@ -11,10 +11,10 @@ from repro.experiments.reporting import breakdown_table
 from repro.experiments.scenarios import latency_breakdown
 
 
-def test_fig6_breakdown_orthrus_vs_iss(benchmark, bench_scale, record_table):
+def test_fig6_breakdown_orthrus_vs_iss(benchmark, bench_scale, record_table, engine):
     results = run_once(
         benchmark,
-        lambda: latency_breakdown(protocols=("orthrus", "iss"), scale=bench_scale),
+        lambda: latency_breakdown(protocols=("orthrus", "iss"), scale=bench_scale, engine=engine),
     )
     record_table("fig6_latency_breakdown", breakdown_table(results))
     by_protocol = {result.protocol: result for result in results}
@@ -27,10 +27,10 @@ def test_fig6_breakdown_orthrus_vs_iss(benchmark, bench_scale, record_table):
     assert orthrus.global_ordering_share < iss.global_ordering_share
 
 
-def test_fig1b_iss_motivation_breakdown(benchmark, bench_scale, record_table):
+def test_fig1b_iss_motivation_breakdown(benchmark, bench_scale, record_table, engine):
     results = run_once(
         benchmark,
-        lambda: latency_breakdown(protocols=("iss",), scale=bench_scale),
+        lambda: latency_breakdown(protocols=("iss",), scale=bench_scale, engine=engine),
     )
     record_table("fig1b_iss_breakdown", breakdown_table(results))
     iss = results[0]

@@ -18,11 +18,12 @@ def _average_rate(points, start, end):
     return sum(window) / len(window) if window else 0.0
 
 
-def test_fig7_throughput_and_latency_over_time(benchmark, bench_scale, record_table):
+def test_fig7_throughput_and_latency_over_time(benchmark, bench_scale, record_table, engine):
     timelines = run_once(
         benchmark,
         lambda: detectable_fault_timelines(
-            fault_counts=(0, 1, 5), fault_time=9.0, duration=35.0, scale=bench_scale
+            fault_counts=(0, 1, 5), fault_time=9.0, duration=35.0, scale=bench_scale,
+            engine=engine,
         ),
     )
     record_table("fig7_detectable_faults_timeline", fault_timeline_table(timelines))

@@ -12,11 +12,11 @@ from repro.experiments.reporting import undetectable_table
 from repro.experiments.scenarios import undetectable_fault_sweep
 
 
-def test_fig8_undetectable_fault_sweep(benchmark, bench_scale, record_table):
+def test_fig8_undetectable_fault_sweep(benchmark, bench_scale, record_table, engine):
     points = run_once(
         benchmark,
         lambda: undetectable_fault_sweep(
-            fault_counts=(0, 1, 2, 3, 4, 5), scale=bench_scale
+            fault_counts=(0, 1, 2, 3, 4, 5), scale=bench_scale, engine=engine
         ),
     )
     record_table("fig8_undetectable_faults", undetectable_table(points))

@@ -13,15 +13,15 @@ from repro.experiments.reporting import format_table, relative_change
 from repro.experiments.scenarios import scalability_sweep
 
 
-def test_headline_claims_wan_straggler(benchmark, bench_scale, record_table):
+def test_headline_claims_wan_straggler(benchmark, bench_scale, record_table, engine):
     def run():
         clean = scalability_sweep(
             "wan", stragglers=0, protocols=("orthrus", "iss", "mir", "ladon"),
-            scale=bench_scale,
+            scale=bench_scale, engine=engine,
         )
         degraded = scalability_sweep(
             "wan", stragglers=1, protocols=("orthrus", "iss", "mir", "ladon"),
-            scale=bench_scale,
+            scale=bench_scale, engine=engine,
         )
         return clean, degraded
 

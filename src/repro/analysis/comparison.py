@@ -11,9 +11,12 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.metrics.summary import RunMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.experiments.engine import RunResult
 
 #: Characters used for ASCII sparklines, from lowest to highest.
 _SPARK_LEVELS = " .:-=+*#%@"
@@ -105,9 +108,7 @@ def metrics_to_row(label: str, metrics: RunMetrics) -> dict[str, float | str]:
     return row
 
 
-def export_csv(results: Mapping[str, RunMetrics]) -> str:
-    """Render a mapping of labelled runs as CSV text."""
-    rows = [metrics_to_row(label, metrics) for label, metrics in results.items()]
+def _rows_to_csv(rows: list[dict[str, float | str]]) -> str:
     if not rows:
         return ""
     fieldnames = list(rows[0].keys())
@@ -121,6 +122,56 @@ def export_csv(results: Mapping[str, RunMetrics]) -> str:
     for row in rows:
         writer.writerow(row)
     return buffer.getvalue()
+
+
+def export_csv(results: Mapping[str, RunMetrics]) -> str:
+    """Render a mapping of labelled runs as CSV text."""
+    return _rows_to_csv(
+        [metrics_to_row(label, metrics) for label, metrics in results.items()]
+    )
+
+
+def result_to_row(result: "RunResult") -> dict[str, float | str]:
+    """Flatten one engine result record: spec coordinates plus metrics."""
+    spec = result.spec
+    row: dict[str, float | str] = {
+        "spec_hash": spec.spec_hash[:12],
+        "protocol": spec.protocol,
+        "num_replicas": spec.num_replicas,
+        "environment": spec.environment,
+        "stragglers": spec.faults.straggler_count,
+        "crashes": spec.faults.crash_count,
+        "undetectable_faults": spec.faults.undetectable_faults,
+        "payment_fraction": spec.payment_fraction,
+        "seed": spec.seed,
+        "cached": int(result.cached),
+    }
+    metrics_row = metrics_to_row(spec.label(), result.metrics)
+    metrics_row.pop("label")
+    row.update(metrics_row)
+    return row
+
+
+def export_results_csv(results: "Sequence[RunResult]") -> str:
+    """Render engine result records as CSV text (one row per grid cell)."""
+    return _rows_to_csv([result_to_row(result) for result in results])
+
+
+def results_by_protocol(results: "Sequence[RunResult]") -> dict[str, RunMetrics]:
+    """Index engine result records by protocol (one cell per protocol).
+
+    Raises:
+        ValueError: If two cells share a protocol — the comparison would be
+            ambiguous.
+    """
+    indexed: dict[str, RunMetrics] = {}
+    for result in results:
+        if result.spec.protocol in indexed:
+            raise ValueError(
+                f"duplicate protocol {result.spec.protocol!r} in results"
+            )
+        indexed[result.spec.protocol] = result.metrics
+    return indexed
 
 
 # -- terminal visualisation ----------------------------------------------------------

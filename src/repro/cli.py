@@ -3,9 +3,16 @@
 Examples::
 
     python -m repro.cli run --protocol orthrus --replicas 16 --environment wan
-    python -m repro.cli compare --replicas 16 --straggler
-    python -m repro.cli figure fig3 --scale smoke
+    python -m repro.cli compare --replicas 16 --straggler --jobs 6
+    python -m repro.cli figure fig3 --scale smoke --jobs 4 --cache-dir .cache
+    python -m repro.cli grid fig5 --scale ci --jobs 8 --cache-dir .cache
+    python -m repro.cli grid --list
     python -m repro.cli workload --transactions 1000 --payment-fraction 0.8
+
+All experiment commands accept ``--jobs N`` (parallel execution across a
+process pool; results are identical to serial runs) and ``--cache-dir PATH``
+(completed cells are stored as JSON keyed by spec hash, so re-runs and
+overlapping grids are free).
 """
 
 from __future__ import annotations
@@ -17,18 +24,24 @@ from typing import Sequence
 from repro.analysis.comparison import (
     compare_latency,
     export_csv,
+    export_results_csv,
+    results_by_protocol,
     summarize,
     throughput_sparkline,
 )
-from repro.cluster.faults import FaultPlan
-from repro.cluster.pipeline import PipelineConfig, run_pipeline_experiment
+from repro.errors import ConfigurationError
+from repro.experiments.engine import ExperimentEngine, FaultSpec, ScenarioSpec
+from repro.experiments.registry import expand_grid, grid, grid_names
 from repro.experiments.reporting import (
     breakdown_table,
+    engine_summary,
     fault_timeline_table,
+    grid_table,
     proportion_table,
     scalability_table,
     undetectable_table,
 )
+from repro.experiments.scale import SCALE_NAMES
 from repro.experiments.scenarios import (
     detectable_fault_timelines,
     latency_breakdown,
@@ -39,6 +52,31 @@ from repro.experiments.scenarios import (
 from repro.protocols.registry import PROTOCOL_NAMES, available_protocols
 from repro.workload.config import WorkloadConfig
 from repro.workload.generator import EthereumStyleWorkload
+
+#: Default workload seed of ad-hoc ``run``/``compare`` invocations (the
+#: figure grids derive their own seeds; see ``ScenarioSpec``).
+_CLI_WORKLOAD_SEED = 42
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for grid cells (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for cached per-spec results (default: no cache)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -58,6 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--payment-fraction", type=float, default=0.46)
     run_parser.add_argument("--seed", type=int, default=1)
     run_parser.add_argument("--csv", action="store_true", help="emit CSV instead of text")
+    _add_engine_arguments(run_parser)
 
     compare_parser = subparsers.add_parser("compare", help="run every protocol once and compare")
     compare_parser.add_argument("--replicas", type=int, default=16)
@@ -66,6 +105,7 @@ def _build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--warmup", type=float, default=8.0)
     compare_parser.add_argument("--straggler", action="store_true")
     compare_parser.add_argument("--seed", type=int, default=1)
+    _add_engine_arguments(compare_parser)
 
     figure_parser = subparsers.add_parser("figure", help="regenerate a paper figure")
     figure_parser.add_argument(
@@ -73,7 +113,24 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["fig3", "fig4", "fig5", "fig6", "fig7", "fig8"],
         help="paper figure to regenerate",
     )
-    figure_parser.add_argument("--scale", default="smoke", choices=["smoke", "ci", "paper"])
+    figure_parser.add_argument("--scale", default="smoke", choices=list(SCALE_NAMES))
+    _add_engine_arguments(figure_parser)
+
+    grid_parser = subparsers.add_parser(
+        "grid", help="expand and run a named scenario grid"
+    )
+    grid_parser.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="registered grid name (see --list)",
+    )
+    grid_parser.add_argument("--scale", default="smoke", choices=list(SCALE_NAMES))
+    grid_parser.add_argument(
+        "--list", action="store_true", help="list registered grids and exit"
+    )
+    grid_parser.add_argument("--csv", action="store_true", help="emit CSV instead of text")
+    _add_engine_arguments(grid_parser)
 
     workload_parser = subparsers.add_parser("workload", help="inspect the synthetic trace")
     workload_parser.add_argument("--transactions", type=int, default=1000)
@@ -84,9 +141,18 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _pipeline_config(args: argparse.Namespace, protocol: str) -> PipelineConfig:
-    faults = FaultPlan.with_straggler(instance=1) if args.straggler else FaultPlan.none()
-    return PipelineConfig(
+def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
+    try:
+        return ExperimentEngine(cache_dir=args.cache_dir, jobs=args.jobs)
+    except OSError as error:
+        raise SystemExit(
+            f"error: cannot use cache directory {args.cache_dir!r}: {error}"
+        ) from None
+
+
+def _spec_from_args(args: argparse.Namespace, protocol: str) -> ScenarioSpec:
+    faults = FaultSpec.with_straggler(instance=1) if args.straggler else FaultSpec.none()
+    return ScenarioSpec(
         protocol=protocol,
         num_replicas=args.replicas,
         environment=args.environment,
@@ -94,15 +160,16 @@ def _pipeline_config(args: argparse.Namespace, protocol: str) -> PipelineConfig:
         warmup=args.warmup,
         samples_per_block=6,
         seed=args.seed,
-        workload=WorkloadConfig(payment_fraction=args.payment_fraction)
-        if hasattr(args, "payment_fraction")
-        else WorkloadConfig(),
+        workload_seed=_CLI_WORKLOAD_SEED,
+        payment_fraction=getattr(args, "payment_fraction", None),
         faults=faults,
     )
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    metrics = run_pipeline_experiment(_pipeline_config(args, args.protocol))
+    engine = _engine_from_args(args)
+    result = engine.run_one(_spec_from_args(args, args.protocol))
+    metrics = result.metrics
     if args.csv:
         print(export_csv({args.protocol: metrics}), end="")
         return 0
@@ -118,9 +185,9 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_compare(args: argparse.Namespace) -> int:
     args.payment_fraction = 0.46
-    results = {}
-    for protocol in PROTOCOL_NAMES:
-        results[protocol] = run_pipeline_experiment(_pipeline_config(args, protocol))
+    engine = _engine_from_args(args)
+    specs = [_spec_from_args(args, protocol) for protocol in PROTOCOL_NAMES]
+    results = results_by_protocol(engine.run(specs))
     print(summarize(results))
     print()
     for comparison in compare_latency(results, "orthrus"):
@@ -133,26 +200,66 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 
 def _command_figure(args: argparse.Namespace) -> int:
+    engine = _engine_from_args(args)
     if args.name == "fig3":
         for stragglers in (0, 1):
-            points = scalability_sweep("wan", stragglers=stragglers, scale=args.scale)
+            points = scalability_sweep(
+                "wan", stragglers=stragglers, scale=args.scale, engine=engine
+            )
             print(scalability_table(points))
             print()
     elif args.name == "fig4":
         for stragglers in (0, 1):
-            points = scalability_sweep("lan", stragglers=stragglers, scale=args.scale)
+            points = scalability_sweep(
+                "lan", stragglers=stragglers, scale=args.scale, engine=engine
+            )
             print(scalability_table(points))
             print()
     elif args.name == "fig5":
         for stragglers in (0, 1):
-            print(proportion_table(payment_proportion_sweep(stragglers=stragglers, scale=args.scale)))
+            print(
+                proportion_table(
+                    payment_proportion_sweep(
+                        stragglers=stragglers, scale=args.scale, engine=engine
+                    )
+                )
+            )
             print()
     elif args.name == "fig6":
-        print(breakdown_table(latency_breakdown(scale=args.scale)))
+        print(breakdown_table(latency_breakdown(scale=args.scale, engine=engine)))
     elif args.name == "fig7":
-        print(fault_timeline_table(detectable_fault_timelines(scale=args.scale)))
+        print(
+            fault_timeline_table(
+                detectable_fault_timelines(scale=args.scale, engine=engine)
+            )
+        )
     elif args.name == "fig8":
-        print(undetectable_table(undetectable_fault_sweep(scale=args.scale)))
+        print(undetectable_table(undetectable_fault_sweep(scale=args.scale, engine=engine)))
+    return 0
+
+
+def _command_grid(args: argparse.Namespace) -> int:
+    if args.list or args.name is None:
+        for name in grid_names():
+            print(f"{name:<10} {grid(name).description}")
+        if args.name is None and not args.list:
+            print("\nerror: grid name required (or use --list)", file=sys.stderr)
+            return 2
+        return 0
+    engine = _engine_from_args(args)
+    try:
+        specs = expand_grid(args.name, scale=args.scale)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    results = engine.run(specs)
+    summary = f"# grid {args.name} [{args.scale}] — {engine_summary(engine)}"
+    if args.csv:
+        print(export_results_csv(results), end="")
+        print(summary, file=sys.stderr)
+    else:
+        print(grid_table(results))
+        print(summary)
     return 0
 
 
@@ -181,6 +288,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _command_run,
         "compare": _command_compare,
         "figure": _command_figure,
+        "grid": _command_grid,
         "workload": _command_workload,
     }
     return handlers[args.command](args)

@@ -1,0 +1,519 @@
+"""Unified experiment engine: declarative specs, parallel execution, caching.
+
+The paper's evaluation is a large grid of simulation runs (protocol x
+replicas x environment x fault plan x workload).  This module gives that grid
+a substrate:
+
+* :class:`ScenarioSpec` — one run described declaratively.  Specs are frozen,
+  hashable and serialise to canonical JSON, so a run is identified by the
+  SHA-256 of its parameters rather than by the code path that produced it.
+* :class:`ExperimentEngine` — executes batches of specs, optionally across a
+  ``multiprocessing`` worker pool (``jobs=N``) and optionally backed by a
+  JSON result cache (``cache_dir=...``).  Each spec embeds its own seeds, so
+  parallel execution produces results identical to serial execution, and
+  overlapping grids (e.g. the Fig. 3 sweep and the headline-claims table)
+  share cells instead of re-simulating them.
+
+The figure scenarios in :mod:`repro.experiments.scenarios` and the named
+grids in :mod:`repro.experiments.registry` are thin layers over this engine.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import multiprocessing
+import os
+import pathlib
+import sys
+import tempfile
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Sequence
+
+from repro.cluster.faults import (
+    PAPER_STRAGGLER_SLOWDOWN,
+    PAPER_VIEW_CHANGE_TIMEOUT,
+    FaultPlan,
+)
+from repro.cluster.pipeline import PipelineConfig, run_pipeline_experiment
+from repro.metrics.latency import LatencySummary
+from repro.metrics.summary import RunMetrics
+from repro.metrics.throughput import ThroughputPoint
+from repro.workload.config import PAPER_PAYMENT_FRACTION, WorkloadConfig
+
+#: Bumped whenever the cache file format changes.
+ENGINE_VERSION = 1
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of the ``repro`` package's source files.
+
+    Stored with every cached result and checked on load, so editing any
+    simulation code automatically invalidates stale cells — a spec hash alone
+    only identifies the *inputs* of a run, not the code that produced it.
+    (Conservative by design: comment-only edits also invalidate.)
+    """
+    package_root = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(path.relative_to(package_root).as_posix().encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Hashable, declarative counterpart of :class:`FaultPlan`.
+
+    ``FaultPlan`` holds mutable dicts; a spec must be hashable and serialise
+    canonically, so degradations are stored as sorted tuples instead.
+    """
+
+    stragglers: tuple[tuple[int, float], ...] = ()
+    crashes: tuple[tuple[int, float], ...] = ()
+    view_change_timeout: float = PAPER_VIEW_CHANGE_TIMEOUT
+    recovery_delay: float = 0.5
+    undetectable_faults: int = 0
+    retransmit_penalty_per_fault: float = 0.5
+
+    @classmethod
+    def none(cls) -> "FaultSpec":
+        """A spec with no degradations."""
+        return cls()
+
+    @classmethod
+    def with_straggler(
+        cls, instance: int = 0, slowdown: float = PAPER_STRAGGLER_SLOWDOWN
+    ) -> "FaultSpec":
+        """The paper's standard one-straggler plan."""
+        return cls(stragglers=((instance, slowdown),))
+
+    @classmethod
+    def with_crashes(
+        cls,
+        replicas: Sequence[int],
+        at_time: float,
+        *,
+        view_change_timeout: float = PAPER_VIEW_CHANGE_TIMEOUT,
+    ) -> "FaultSpec":
+        """Crash ``replicas`` simultaneously at ``at_time`` (Fig. 7)."""
+        return cls(
+            crashes=tuple(sorted((replica, at_time) for replica in replicas)),
+            view_change_timeout=view_change_timeout,
+        )
+
+    @classmethod
+    def with_undetectable(cls, count: int) -> "FaultSpec":
+        """``count`` undetectable Byzantine replicas (Fig. 8)."""
+        return cls(undetectable_faults=count)
+
+    @classmethod
+    def from_plan(cls, plan: FaultPlan) -> "FaultSpec":
+        """Convert a runtime :class:`FaultPlan` into a declarative spec."""
+        return cls(
+            stragglers=tuple(sorted(plan.stragglers.items())),
+            crashes=tuple(sorted(plan.crashes.items())),
+            view_change_timeout=plan.view_change_timeout,
+            recovery_delay=plan.recovery_delay,
+            undetectable_faults=plan.undetectable_faults,
+            retransmit_penalty_per_fault=plan.retransmit_penalty_per_fault,
+        )
+
+    def to_plan(self) -> FaultPlan:
+        """Materialise the runtime :class:`FaultPlan` the cluster consumes."""
+        return FaultPlan(
+            stragglers=dict(self.stragglers),
+            crashes=dict(self.crashes),
+            view_change_timeout=self.view_change_timeout,
+            recovery_delay=self.recovery_delay,
+            undetectable_faults=self.undetectable_faults,
+            retransmit_penalty_per_fault=self.retransmit_penalty_per_fault,
+        )
+
+    @property
+    def straggler_count(self) -> int:
+        """Number of stragglers in the spec."""
+        return len(self.stragglers)
+
+    @property
+    def crash_count(self) -> int:
+        """Number of crashing replicas in the spec."""
+        return len(self.crashes)
+
+    def summary(self) -> str:
+        """Short human-readable description used in tables."""
+        parts = []
+        if self.stragglers:
+            parts.append(f"straggler x{len(self.stragglers)}")
+        if self.crashes:
+            parts.append(f"crash x{len(self.crashes)}")
+        if self.undetectable_faults:
+            parts.append(f"byzantine x{self.undetectable_faults}")
+        return "+".join(parts) if parts else "none"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of one experiment run.
+
+    A spec captures everything that determines a run's outcome — protocol,
+    cluster size, environment, measurement window, fault plan, workload knobs
+    and seeds — and nothing else.  Two equal specs are guaranteed to produce
+    equal :class:`RunMetrics` (the simulator is deterministic), which is what
+    makes spec-hash caching sound.
+
+    Attributes:
+        workload_seed: Seed of the synthetic workload.  ``None`` derives the
+            scenario library's convention of ``seed + 41``.
+        payment_fraction: The workload's payment share (Fig. 5); ``None``
+            resolves to the trace default of 0.46.
+    """
+
+    protocol: str = "orthrus"
+    num_replicas: int = 16
+    environment: str = "wan"
+    duration: float = 40.0
+    warmup: float = 5.0
+    samples_per_block: int = 8
+    seed: int = 1
+    workload_seed: int | None = None
+    payment_fraction: float | None = None
+    epoch_blocks: int | None = None
+    faults: FaultSpec = FaultSpec()
+
+    def __post_init__(self) -> None:
+        # Canonicalise derived defaults at construction, so semantically
+        # identical runs compare, hash, deduplicate and cache identically
+        # (e.g. ``workload_seed=None`` vs the explicit ``seed + 41`` it
+        # resolves to).
+        if self.workload_seed is None:
+            object.__setattr__(self, "workload_seed", self.seed + 41)
+        if self.payment_fraction is None:
+            object.__setattr__(self, "payment_fraction", PAPER_PAYMENT_FRACTION)
+
+    # -- derived views ---------------------------------------------------------
+
+    @property
+    def resolved_workload_seed(self) -> int:
+        """The workload seed actually used (always resolved post-init)."""
+        return self.workload_seed
+
+    def workload_config(self) -> WorkloadConfig:
+        """The workload configuration this spec describes."""
+        return WorkloadConfig(
+            seed=self.workload_seed, payment_fraction=self.payment_fraction
+        )
+
+    def pipeline_config(self) -> PipelineConfig:
+        """Materialise the :class:`PipelineConfig` the cluster driver runs."""
+        return PipelineConfig(
+            protocol=self.protocol,
+            num_replicas=self.num_replicas,
+            environment=self.environment,
+            samples_per_block=self.samples_per_block,
+            duration=self.duration,
+            warmup=self.warmup,
+            epoch_blocks=self.epoch_blocks,
+            seed=self.seed,
+            workload=self.workload_config(),
+            faults=self.faults.to_plan(),
+        )
+
+    def label(self) -> str:
+        """Short human-readable identifier used in tables and logs."""
+        parts = [self.protocol, f"n{self.num_replicas}", self.environment]
+        if self.payment_fraction != PAPER_PAYMENT_FRACTION:
+            parts.append(f"pay{self.payment_fraction:.0%}")
+        faults = self.faults.summary()
+        if faults != "none":
+            parts.append(faults)
+        parts.append(f"s{self.seed}")
+        return "/".join(parts)
+
+    # -- canonical serialisation ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-compatible representation."""
+        data = asdict(self)
+        data["faults"] = {
+            "stragglers": [list(pair) for pair in self.faults.stragglers],
+            "crashes": [list(pair) for pair in self.faults.crashes],
+            "view_change_timeout": self.faults.view_change_timeout,
+            "recovery_delay": self.faults.recovery_delay,
+            "undetectable_faults": self.faults.undetectable_faults,
+            "retransmit_penalty_per_fault": self.faults.retransmit_penalty_per_fault,
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(data)
+        faults = payload.pop("faults", {})
+        return cls(
+            faults=FaultSpec(
+                stragglers=tuple(
+                    (int(i), float(s)) for i, s in faults.get("stragglers", [])
+                ),
+                crashes=tuple(
+                    (int(i), float(t)) for i, t in faults.get("crashes", [])
+                ),
+                view_change_timeout=float(
+                    faults.get("view_change_timeout", PAPER_VIEW_CHANGE_TIMEOUT)
+                ),
+                recovery_delay=float(faults.get("recovery_delay", 0.5)),
+                undetectable_faults=int(faults.get("undetectable_faults", 0)),
+                retransmit_penalty_per_fault=float(
+                    faults.get("retransmit_penalty_per_fault", 0.5)
+                ),
+            ),
+            **payload,
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON text (sorted keys, no whitespace variance)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    @property
+    def spec_hash(self) -> str:
+        """Stable identity of the run: SHA-256 of the canonical JSON."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+
+@dataclass
+class RunResult:
+    """One executed (or cache-loaded) cell of an experiment grid."""
+
+    spec: ScenarioSpec
+    metrics: RunMetrics
+    cached: bool = field(default=False, compare=False)
+
+
+# -- metrics serialisation ---------------------------------------------------------
+
+
+def metrics_to_dict(metrics: RunMetrics) -> dict:
+    """Flatten a :class:`RunMetrics` into JSON-compatible data."""
+    return {
+        "duration": metrics.duration,
+        "throughput_tps": metrics.throughput_tps,
+        "latency": asdict(metrics.latency),
+        "confirmation_latency": asdict(metrics.confirmation_latency),
+        "stage_breakdown": dict(metrics.stage_breakdown),
+        "confirmed": metrics.confirmed,
+        "committed": metrics.committed,
+        "rejected": metrics.rejected,
+        "partial_path": metrics.partial_path,
+        "global_path": metrics.global_path,
+        "series": [asdict(point) for point in metrics.series],
+        "latency_series": [list(entry) for entry in metrics.latency_series],
+        "extra": dict(metrics.extra),
+    }
+
+
+def metrics_from_dict(data: dict) -> RunMetrics:
+    """Inverse of :func:`metrics_to_dict` (exact float round-trip)."""
+    return RunMetrics(
+        duration=data["duration"],
+        throughput_tps=data["throughput_tps"],
+        latency=LatencySummary(**data["latency"]),
+        confirmation_latency=LatencySummary(**data["confirmation_latency"]),
+        stage_breakdown=dict(data["stage_breakdown"]),
+        confirmed=data["confirmed"],
+        committed=data["committed"],
+        rejected=data["rejected"],
+        partial_path=data["partial_path"],
+        global_path=data["global_path"],
+        series=[ThroughputPoint(**point) for point in data["series"]],
+        latency_series=[
+            (entry[0], entry[1]) for entry in data["latency_series"]
+        ],
+        extra=dict(data["extra"]),
+    )
+
+
+# -- execution ----------------------------------------------------------------------
+
+
+def run_spec(spec: ScenarioSpec) -> RunMetrics:
+    """Execute one spec synchronously in the current process."""
+    return run_pipeline_experiment(spec.pipeline_config())
+
+
+def _worker_run(spec_json: str) -> tuple[str, RunMetrics]:
+    """Worker-pool entry point: execute one spec identified by its JSON."""
+    spec = ScenarioSpec.from_json(spec_json)
+    return spec.spec_hash, run_spec(spec)
+
+
+@dataclass
+class EngineStats:
+    """Execution counters of one :class:`ExperimentEngine` instance."""
+
+    executed: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+
+    @property
+    def total(self) -> int:
+        """Cells served (executed + cache hits + duplicates)."""
+        return self.executed + self.cache_hits + self.deduplicated
+
+
+class ExperimentEngine:
+    """Executes batches of :class:`ScenarioSpec`, with caching and fan-out.
+
+    Args:
+        cache_dir: Directory for per-spec JSON result files (``None``
+            disables caching).  Files are keyed by ``spec_hash``, so any mix
+            of grids may share one cache.
+        jobs: Worker processes for cache misses.  ``1`` runs serially in the
+            current process; higher values fan out with ``multiprocessing``.
+            Results are identical either way — every spec carries its own
+            seeds and runs on a private simulator.
+    """
+
+    def __init__(
+        self, cache_dir: str | os.PathLike | None = None, jobs: int = 1
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            # Fail fast on an unusable cache directory, before any (possibly
+            # hours-long) simulation work is invested.
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.jobs = jobs
+        self.stats = EngineStats()
+        self._cache_write_warned = False
+
+    # -- cache ------------------------------------------------------------------
+
+    def _cache_path(self, spec: ScenarioSpec) -> pathlib.Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{spec.spec_hash}.json"
+
+    def _load_cached(self, spec: ScenarioSpec) -> RunMetrics | None:
+        path = self._cache_path(spec)
+        if path is None or not path.is_file():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("engine_version") != ENGINE_VERSION:
+            return None
+        if payload.get("code_fingerprint") != code_fingerprint():
+            return None
+        # Guard against hash collisions and stale formats: the stored spec
+        # must round-trip to the one being requested.
+        try:
+            if ScenarioSpec.from_dict(payload["spec"]) != spec:
+                return None
+            return metrics_from_dict(payload["metrics"])
+        except (KeyError, TypeError, ValueError, IndexError):
+            # Any malformed payload is a cache miss, never a crash.
+            return None
+
+    def _store_cached(self, spec: ScenarioSpec, metrics: RunMetrics) -> None:
+        path = self._cache_path(spec)
+        if path is None:
+            return
+        payload = json.dumps(
+            {
+                "engine_version": ENGINE_VERSION,
+                "code_fingerprint": code_fingerprint(),
+                "spec": spec.to_dict(),
+                "metrics": metrics_to_dict(metrics),
+            },
+            sort_keys=True,
+        )
+        # A failed cache write must never discard the simulated result, but
+        # it should not pass silently either (the user believes re-runs will
+        # be free); warn once per engine and carry on uncached.
+        tmp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic write: concurrent engines may share a cache directory.
+            handle, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=path.stem, suffix=".tmp"
+            )
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                tmp.write(payload)
+            os.replace(tmp_name, path)
+        except OSError as error:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            if not self._cache_write_warned:
+                self._cache_write_warned = True
+                print(
+                    f"warning: result cache write failed ({error}); "
+                    "continuing without caching",
+                    file=sys.stderr,
+                )
+
+    # -- running ------------------------------------------------------------------
+
+    def run_one(self, spec: ScenarioSpec) -> RunResult:
+        """Execute (or load) a single spec."""
+        return self.run([spec])[0]
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> list[RunResult]:
+        """Execute a batch of specs, preserving input order.
+
+        Duplicate specs within the batch are simulated once.  Cached cells
+        are loaded instead of executed; fresh results are written back to the
+        cache before returning.
+        """
+        unique: dict[str, ScenarioSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.spec_hash, spec)
+        self.stats.deduplicated += len(specs) - len(unique)
+
+        resolved: dict[str, RunMetrics] = {}
+        misses: list[ScenarioSpec] = []
+        for key, spec in unique.items():
+            cached = self._load_cached(spec)
+            if cached is not None:
+                resolved[key] = cached
+                self.stats.cache_hits += 1
+            else:
+                misses.append(spec)
+
+        fresh: set[str] = set()
+        for key, metrics in self._execute(misses):
+            resolved[key] = metrics
+            fresh.add(key)
+            self.stats.executed += 1
+            self._store_cached(unique[key], metrics)
+
+        return [
+            RunResult(
+                spec=spec,
+                metrics=resolved[spec.spec_hash],
+                cached=spec.spec_hash not in fresh,
+            )
+            for spec in specs
+        ]
+
+    def _execute(
+        self, specs: list[ScenarioSpec]
+    ) -> Iterable[tuple[str, RunMetrics]]:
+        if not specs:
+            return []
+        if self.jobs == 1 or len(specs) == 1:
+            return [(spec.spec_hash, run_spec(spec)) for spec in specs]
+        workers = min(self.jobs, len(specs))
+        with multiprocessing.Pool(processes=workers) as pool:
+            return pool.map(_worker_run, [spec.to_json() for spec in specs])

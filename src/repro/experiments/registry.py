@@ -1,0 +1,293 @@
+"""Declarative scenario registry: named grids over the experiment engine.
+
+Each of the paper's figures is a *grid* — a cartesian family of
+:class:`~repro.experiments.engine.ScenarioSpec` cells.  This module keeps the
+grid definitions in one declarative place so the CLI (``repro grid``), the
+scenario library and the benchmark suite all expand the exact same specs, and
+overlapping grids (e.g. Fig. 3 and the headline-claims table) hit the same
+cache entries.
+
+Grids are expanded for a named :class:`ScenarioScale` (``smoke``, ``ci`` or
+``paper``); custom grids can be registered with :func:`register_grid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.engine import FaultSpec, ScenarioSpec
+from repro.experiments.scale import ScenarioScale
+from repro.protocols.registry import PROTOCOL_NAMES
+
+# -- spec builders (shared by the scenario library and the named grids) -----------
+
+
+def scalability_specs(
+    environment: str,
+    *,
+    stragglers: int = 0,
+    protocols: Sequence[str] = PROTOCOL_NAMES,
+    scale: str = "ci",
+    seed: int = 1,
+) -> list[ScenarioSpec]:
+    """Fig. 3 / Fig. 4 cells: protocol x replica count for one environment."""
+    scale_params = ScenarioScale.named(scale)
+    faults = FaultSpec.with_straggler(instance=1) if stragglers else FaultSpec.none()
+    duration, warmup = scale_params.window_for(faults.straggler_count)
+    return [
+        ScenarioSpec(
+            protocol=protocol,
+            num_replicas=num_replicas,
+            environment=environment,
+            duration=duration,
+            warmup=warmup,
+            samples_per_block=scale_params.samples_per_block,
+            seed=seed,
+            faults=faults,
+        )
+        for num_replicas in scale_params.replica_counts
+        for protocol in protocols
+    ]
+
+
+def proportion_specs(
+    *,
+    stragglers: int = 0,
+    proportions: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    num_replicas: int = 16,
+    scale: str = "ci",
+    seed: int = 3,
+) -> list[ScenarioSpec]:
+    """Fig. 5 cells: Orthrus under varying payment proportions (WAN)."""
+    scale_params = ScenarioScale.named(scale)
+    faults = FaultSpec.with_straggler(instance=1) if stragglers else FaultSpec.none()
+    duration, warmup = scale_params.window_for(faults.straggler_count)
+    return [
+        ScenarioSpec(
+            protocol="orthrus",
+            num_replicas=num_replicas,
+            environment="wan",
+            duration=duration,
+            warmup=warmup,
+            samples_per_block=scale_params.samples_per_block,
+            seed=seed,
+            payment_fraction=proportion,
+            faults=faults,
+        )
+        for proportion in proportions
+    ]
+
+
+def breakdown_specs(
+    *,
+    protocols: Sequence[str] = ("orthrus", "iss"),
+    num_replicas: int = 16,
+    scale: str = "ci",
+    seed: int = 5,
+) -> list[ScenarioSpec]:
+    """Fig. 1b / Fig. 6 cells: latency breakdown under one straggler."""
+    scale_params = ScenarioScale.named(scale)
+    faults = FaultSpec.with_straggler(instance=1)
+    duration, warmup = scale_params.window_for(faults.straggler_count)
+    return [
+        ScenarioSpec(
+            protocol=protocol,
+            num_replicas=num_replicas,
+            environment="wan",
+            duration=duration,
+            warmup=warmup,
+            samples_per_block=scale_params.samples_per_block,
+            seed=seed,
+            faults=faults,
+        )
+        for protocol in protocols
+    ]
+
+
+def detectable_fault_specs(
+    *,
+    fault_counts: Sequence[int] = (0, 1, 5),
+    num_replicas: int = 16,
+    fault_time: float = 9.0,
+    duration: float = 35.0,
+    scale: str = "ci",
+    seed: int = 11,
+) -> list[ScenarioSpec]:
+    """Fig. 7 cells: throughput/latency over time under leader crashes."""
+    scale_params = ScenarioScale.named(scale)
+    return [
+        ScenarioSpec(
+            protocol="orthrus",
+            num_replicas=num_replicas,
+            environment="wan",
+            duration=duration,
+            warmup=0.0,
+            samples_per_block=scale_params.samples_per_block,
+            epoch_blocks=8,
+            seed=seed,
+            workload_seed=seed + 17,
+            faults=(
+                FaultSpec.with_crashes(list(range(count)), fault_time)
+                if count
+                else FaultSpec.none()
+            ),
+        )
+        for count in fault_counts
+    ]
+
+
+def undetectable_fault_specs(
+    *,
+    fault_counts: Sequence[int] = (0, 1, 2, 3, 4, 5),
+    num_replicas: int = 16,
+    scale: str = "ci",
+    seed: int = 13,
+) -> list[ScenarioSpec]:
+    """Fig. 8 cells: Orthrus under undetectable Byzantine abstention."""
+    scale_params = ScenarioScale.named(scale)
+    duration, warmup = scale_params.window_for(0)
+    return [
+        ScenarioSpec(
+            protocol="orthrus",
+            num_replicas=num_replicas,
+            environment="wan",
+            duration=duration,
+            warmup=warmup,
+            samples_per_block=scale_params.samples_per_block,
+            seed=seed,
+            faults=FaultSpec.with_undetectable(count),
+        )
+        for count in fault_counts
+    ]
+
+
+def comparison_specs(
+    *,
+    num_replicas: int = 16,
+    environment: str = "wan",
+    stragglers: int = 0,
+    protocols: Sequence[str] = PROTOCOL_NAMES,
+    scale: str = "ci",
+    seed: int = 1,
+) -> list[ScenarioSpec]:
+    """One cell per protocol at a fixed cluster size (``repro compare``)."""
+    scale_params = ScenarioScale.named(scale)
+    faults = FaultSpec.with_straggler(instance=1) if stragglers else FaultSpec.none()
+    duration, warmup = scale_params.window_for(faults.straggler_count)
+    return [
+        ScenarioSpec(
+            protocol=protocol,
+            num_replicas=num_replicas,
+            environment=environment,
+            duration=duration,
+            warmup=warmup,
+            samples_per_block=scale_params.samples_per_block,
+            seed=seed,
+            faults=faults,
+        )
+        for protocol in protocols
+    ]
+
+
+# -- the registry -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GridDefinition:
+    """A named, scale-parameterised family of scenario specs."""
+
+    name: str
+    description: str
+    build: Callable[[str], list[ScenarioSpec]]
+
+    def expand(self, scale: str = "ci") -> list[ScenarioSpec]:
+        """Expand the grid into concrete specs at the given scale."""
+        return self.build(scale)
+
+
+_GRIDS: dict[str, GridDefinition] = {}
+
+
+def register_grid(
+    name: str,
+    description: str,
+    build: Callable[[str], list[ScenarioSpec]],
+) -> GridDefinition:
+    """Register (or replace) a named grid and return its definition."""
+    definition = GridDefinition(name=name, description=description, build=build)
+    _GRIDS[name] = definition
+    return definition
+
+
+def grid_names() -> list[str]:
+    """Registered grid names, in registration order."""
+    return list(_GRIDS)
+
+
+def grid(name: str) -> GridDefinition:
+    """Look up a registered grid.
+
+    Raises:
+        ConfigurationError: For unknown grid names.
+    """
+    try:
+        return _GRIDS[name]
+    except KeyError:
+        known = ", ".join(sorted(_GRIDS)) or "none"
+        raise ConfigurationError(
+            f"unknown grid {name!r} (registered: {known})"
+        ) from None
+
+
+def expand_grid(name: str, scale: str = "ci") -> list[ScenarioSpec]:
+    """Expand a registered grid into concrete specs."""
+    return grid(name).expand(scale)
+
+
+def _both_straggler_panels(build: Callable[..., list[ScenarioSpec]], *args):
+    def expand(scale: str) -> list[ScenarioSpec]:
+        specs: list[ScenarioSpec] = []
+        for stragglers in (0, 1):
+            specs.extend(build(*args, stragglers=stragglers, scale=scale))
+        return specs
+
+    return expand
+
+
+register_grid(
+    "fig3",
+    "WAN scalability: protocol x replicas, with and without a straggler",
+    _both_straggler_panels(scalability_specs, "wan"),
+)
+register_grid(
+    "fig4",
+    "LAN scalability: protocol x replicas, with and without a straggler",
+    _both_straggler_panels(scalability_specs, "lan"),
+)
+register_grid(
+    "fig5",
+    "Payment-proportion sweep (Orthrus, WAN, 16 replicas), both panels",
+    _both_straggler_panels(proportion_specs),
+)
+register_grid(
+    "fig6",
+    "Five-stage latency breakdown, Orthrus vs ISS under a straggler",
+    lambda scale: breakdown_specs(scale=scale),
+)
+register_grid(
+    "fig7",
+    "Detectable faults over time: 0/1/5 leader crashes at t=9s",
+    lambda scale: detectable_fault_specs(scale=scale),
+)
+register_grid(
+    "fig8",
+    "Undetectable Byzantine abstention: 0-5 faulty replicas",
+    lambda scale: undetectable_fault_specs(scale=scale),
+)
+register_grid(
+    "compare",
+    "All six protocols once at 16 replicas (WAN)",
+    lambda scale: comparison_specs(scale=scale),
+)

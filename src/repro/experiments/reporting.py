@@ -8,12 +8,14 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.experiments.engine import ExperimentEngine, RunResult
 from repro.experiments.results import (
     BreakdownResult,
     FaultTimeline,
     ProportionPoint,
     ScalabilityPoint,
     UndetectableFaultPoint,
+    figure_latency,
 )
 from repro.metrics.latency import STAGE_NAMES
 
@@ -111,6 +113,52 @@ def undetectable_table(points: list[UndetectableFaultPoint]) -> str:
         for point in points
     ]
     return format_table(["faulty replicas", "throughput (ktps)", "latency (s)"], rows)
+
+
+def grid_table(results: Sequence[RunResult]) -> str:
+    """Generic table over engine result records (``repro grid``).
+
+    One row per grid cell: the spec's coordinates plus the headline metrics.
+    """
+    rows = []
+    for result in results:
+        spec = result.spec
+        rows.append(
+            (
+                spec.protocol,
+                spec.num_replicas,
+                spec.environment,
+                spec.faults.summary(),
+                f"{spec.payment_fraction * 100:.0f}%",
+                spec.seed,
+                f"{result.metrics.throughput_ktps:.1f}",
+                f"{figure_latency(result.metrics):.2f}",
+                "cached" if result.cached else "run",
+            )
+        )
+    return format_table(
+        [
+            "protocol",
+            "replicas",
+            "env",
+            "faults",
+            "payments",
+            "seed",
+            "throughput (ktps)",
+            "latency (s)",
+            "source",
+        ],
+        rows,
+    )
+
+
+def engine_summary(engine: ExperimentEngine) -> str:
+    """One-line account of what an engine actually executed vs reused."""
+    stats = engine.stats
+    return (
+        f"{stats.total} cells: {stats.executed} executed, "
+        f"{stats.cache_hits} cached, {stats.deduplicated} deduplicated"
+    )
 
 
 def relative_change(baseline: float, value: float) -> float:

@@ -1,10 +1,24 @@
-"""Result row types shared by the experiment scenarios and benchmarks."""
+"""Result row types shared by the experiment scenarios and benchmarks.
+
+Each row type corresponds to one figure of the paper and is constructed from
+the engine's :class:`~repro.experiments.engine.RunResult` records via its
+``from_result`` classmethod — the spec supplies the grid coordinates and the
+metrics supply the measured values.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.experiments.engine import RunResult
 from repro.metrics.summary import RunMetrics
+
+
+def figure_latency(metrics: RunMetrics) -> float:
+    """Latency statistic reported in the figures (mean end-to-end)."""
+    if metrics.latency.count:
+        return metrics.latency.mean
+    return metrics.confirmation_latency.mean
 
 
 @dataclass
@@ -19,6 +33,19 @@ class ScalabilityPoint:
     latency_s: float
     metrics: RunMetrics | None = field(default=None, repr=False)
 
+    @classmethod
+    def from_result(cls, result: RunResult) -> "ScalabilityPoint":
+        """Build the figure row from one engine result record."""
+        return cls(
+            protocol=result.spec.protocol,
+            num_replicas=result.spec.num_replicas,
+            environment=result.spec.environment,
+            stragglers=result.spec.faults.straggler_count,
+            throughput_ktps=result.metrics.throughput_ktps,
+            latency_s=figure_latency(result.metrics),
+            metrics=result.metrics,
+        )
+
 
 @dataclass
 class ProportionPoint:
@@ -30,6 +57,17 @@ class ProportionPoint:
     latency_s: float
     metrics: RunMetrics | None = field(default=None, repr=False)
 
+    @classmethod
+    def from_result(cls, result: RunResult) -> "ProportionPoint":
+        """Build the figure row from one engine result record."""
+        return cls(
+            payment_proportion=result.spec.payment_fraction,
+            stragglers=result.spec.faults.straggler_count,
+            throughput_ktps=result.metrics.throughput_ktps,
+            latency_s=figure_latency(result.metrics),
+            metrics=result.metrics,
+        )
+
 
 @dataclass
 class BreakdownResult:
@@ -38,6 +76,15 @@ class BreakdownResult:
     protocol: str
     stages: dict[str, float]
     total_latency_s: float
+
+    @classmethod
+    def from_result(cls, result: RunResult) -> "BreakdownResult":
+        """Build the figure row from one engine result record."""
+        return cls(
+            protocol=result.spec.protocol,
+            stages=result.metrics.stage_breakdown,
+            total_latency_s=figure_latency(result.metrics),
+        )
 
     @property
     def global_ordering_share(self) -> float:
@@ -64,6 +111,24 @@ class FaultTimeline:
     faulty_replicas: int
     points: list[TimelinePoint]
 
+    @classmethod
+    def from_result(cls, result: RunResult) -> "FaultTimeline":
+        """Build the time series from one engine result record."""
+        metrics = result.metrics
+        latency_by_window = {
+            round(window_start, 3): value
+            for window_start, value in metrics.latency_series
+        }
+        points = [
+            TimelinePoint(
+                time=point.window_start,
+                throughput_ktps=point.rate / 1000.0,
+                latency_s=latency_by_window.get(round(point.window_start, 3), 0.0),
+            )
+            for point in metrics.series
+        ]
+        return cls(faulty_replicas=result.spec.faults.crash_count, points=points)
+
 
 @dataclass
 class UndetectableFaultPoint:
@@ -73,3 +138,13 @@ class UndetectableFaultPoint:
     throughput_ktps: float
     latency_s: float
     metrics: RunMetrics | None = field(default=None, repr=False)
+
+    @classmethod
+    def from_result(cls, result: RunResult) -> "UndetectableFaultPoint":
+        """Build the figure row from one engine result record."""
+        return cls(
+            faulty_replicas=result.spec.faults.undetectable_faults,
+            throughput_ktps=result.metrics.throughput_ktps,
+            latency_s=figure_latency(result.metrics),
+            metrics=result.metrics,
+        )

@@ -1,0 +1,72 @@
+"""Named run-size presets shared by every scenario grid.
+
+* ``"ci"`` (default) — laptop-sized runs: shorter measurement windows and a
+  reduced replica grid, suitable for the benchmark suite.
+* ``"paper"`` — the full grid the paper reports (8-128 replicas, longer
+  windows); identical code, just more simulated time.
+* ``"smoke"`` — minutes-long sanity runs (reduced replica grid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Scale names accepted by :meth:`ScenarioScale.named` (and the CLI).
+SCALE_NAMES: tuple[str, ...] = ("smoke", "ci", "paper")
+
+
+@dataclass(frozen=True)
+class ScenarioScale:
+    """Run-size parameters shared by all scenarios.
+
+    Straggler runs use longer measurement windows: confirmation of globally
+    ordered transactions is gated by the straggler's (10x slower) block
+    interval, so the window must span several of those intervals for the
+    steady-state throughput to be visible.
+    """
+
+    replica_counts: tuple[int, ...]
+    duration: float
+    warmup: float
+    samples_per_block: int
+    straggler_duration: float
+    straggler_warmup: float
+    breakdown_replicas: int = 16
+
+    @classmethod
+    def named(cls, scale: str) -> "ScenarioScale":
+        """Resolve a scale name to concrete parameters."""
+        if scale == "paper":
+            return cls(
+                replica_counts=(8, 16, 32, 64, 128),
+                duration=120.0,
+                warmup=20.0,
+                samples_per_block=16,
+                straggler_duration=300.0,
+                straggler_warmup=60.0,
+            )
+        if scale == "ci":
+            return cls(
+                replica_counts=(8, 16, 32, 64, 128),
+                duration=60.0,
+                warmup=10.0,
+                samples_per_block=4,
+                straggler_duration=120.0,
+                straggler_warmup=25.0,
+            )
+        if scale == "smoke":
+            return cls(
+                replica_counts=(8, 16),
+                duration=20.0,
+                warmup=4.0,
+                samples_per_block=4,
+                straggler_duration=40.0,
+                straggler_warmup=8.0,
+            )
+        raise ValueError(f"unknown scale {scale!r}")
+
+    def window_for(self, stragglers: int) -> tuple[float, float]:
+        """(duration, warmup) appropriate for the given straggler count."""
+        if stragglers:
+            return self.straggler_duration, self.straggler_warmup
+        return self.duration, self.warmup

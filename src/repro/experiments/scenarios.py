@@ -1,127 +1,53 @@
 """Scenario library: one function per figure of the paper's evaluation.
 
-Every scenario builds :class:`~repro.cluster.pipeline.PipelineConfig` runs,
-executes them and returns structured rows that the benchmarks print and that
-EXPERIMENTS.md records.  Scenarios accept a ``scale`` knob:
+Every scenario is now a thin grid definition over the unified experiment
+engine: it expands declarative :class:`~repro.experiments.engine.ScenarioSpec`
+cells (shared with :mod:`repro.experiments.registry`), executes them through
+an :class:`~repro.experiments.engine.ExperimentEngine` and adapts the result
+records into the figure row types.  Pass an engine to parallelise the grid
+(``jobs=N``) or to reuse cached cells across overlapping figures; without one
+each call runs serially and uncached, exactly as before.
 
-* ``"ci"`` (default) — laptop-sized runs: shorter measurement windows and a
-  reduced replica grid, suitable for the benchmark suite.
-* ``"paper"`` — the full grid the paper reports (8-128 replicas, longer
-  windows); identical code, just more simulated time.
+Scenarios accept a ``scale`` knob (see :class:`ScenarioScale`): ``"ci"`` for
+laptop-sized runs, ``"paper"`` for the full grid the paper reports and
+``"smoke"`` for quick sanity runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-
-from repro.cluster.faults import FaultPlan
-from repro.cluster.pipeline import PipelineConfig, run_pipeline_experiment
+from repro.experiments.engine import ExperimentEngine, ScenarioSpec
+from repro.experiments.registry import (
+    breakdown_specs,
+    detectable_fault_specs,
+    proportion_specs,
+    scalability_specs,
+    undetectable_fault_specs,
+)
 from repro.experiments.results import (
     BreakdownResult,
     FaultTimeline,
     ProportionPoint,
     ScalabilityPoint,
-    TimelinePoint,
     UndetectableFaultPoint,
 )
-from repro.metrics.summary import RunMetrics
+from repro.experiments.scale import ScenarioScale
 from repro.protocols.registry import PROTOCOL_NAMES
-from repro.workload.config import WorkloadConfig
+
+__all__ = [
+    "ScenarioScale",
+    "detectable_fault_timelines",
+    "latency_breakdown",
+    "payment_proportion_sweep",
+    "scalability_sweep",
+    "undetectable_fault_sweep",
+]
 
 
-@dataclass(frozen=True)
-class ScenarioScale:
-    """Run-size parameters shared by all scenarios.
-
-    Straggler runs use longer measurement windows: confirmation of globally
-    ordered transactions is gated by the straggler's (10x slower) block
-    interval, so the window must span several of those intervals for the
-    steady-state throughput to be visible.
-    """
-
-    replica_counts: tuple[int, ...]
-    duration: float
-    warmup: float
-    samples_per_block: int
-    straggler_duration: float
-    straggler_warmup: float
-    breakdown_replicas: int = 16
-
-    @classmethod
-    def named(cls, scale: str) -> "ScenarioScale":
-        """Resolve a scale name to concrete parameters."""
-        if scale == "paper":
-            return cls(
-                replica_counts=(8, 16, 32, 64, 128),
-                duration=120.0,
-                warmup=20.0,
-                samples_per_block=16,
-                straggler_duration=300.0,
-                straggler_warmup=60.0,
-            )
-        if scale == "ci":
-            return cls(
-                replica_counts=(8, 16, 32, 64, 128),
-                duration=60.0,
-                warmup=10.0,
-                samples_per_block=4,
-                straggler_duration=120.0,
-                straggler_warmup=25.0,
-            )
-        if scale == "smoke":
-            return cls(
-                replica_counts=(8, 16),
-                duration=20.0,
-                warmup=4.0,
-                samples_per_block=4,
-                straggler_duration=40.0,
-                straggler_warmup=8.0,
-            )
-        raise ValueError(f"unknown scale {scale!r}")
-
-    def window_for(self, stragglers: int) -> tuple[float, float]:
-        """(duration, warmup) appropriate for the given straggler count."""
-        if stragglers:
-            return self.straggler_duration, self.straggler_warmup
-        return self.duration, self.warmup
-
-
-def _workload(payment_fraction: float | None = None, seed: int = 42) -> WorkloadConfig:
-    config = WorkloadConfig(seed=seed)
-    if payment_fraction is not None:
-        config = replace(config, payment_fraction=payment_fraction)
-    return config
-
-
-def _base_config(
-    protocol: str,
-    num_replicas: int,
-    environment: str,
-    scale: ScenarioScale,
-    faults: FaultPlan,
-    *,
-    payment_fraction: float | None = None,
-    seed: int = 1,
-) -> PipelineConfig:
-    duration, warmup = scale.window_for(faults.straggler_count)
-    return PipelineConfig(
-        protocol=protocol,
-        num_replicas=num_replicas,
-        environment=environment,
-        samples_per_block=scale.samples_per_block,
-        duration=duration,
-        warmup=warmup,
-        seed=seed,
-        workload=_workload(payment_fraction, seed=seed + 41),
-        faults=faults,
-    )
-
-
-def _latency_of(metrics: RunMetrics) -> float:
-    """Latency statistic reported in the figures (mean end-to-end)."""
-    if metrics.latency.count:
-        return metrics.latency.mean
-    return metrics.confirmation_latency.mean
+def _run(
+    specs: list[ScenarioSpec], engine: ExperimentEngine | None
+) -> list:
+    """Execute specs through the given engine (serial/uncached by default)."""
+    return (engine or ExperimentEngine()).run(specs)
 
 
 # -- Fig. 3 / Fig. 4: throughput and latency vs replica count ---------------------
@@ -134,31 +60,17 @@ def scalability_sweep(
     protocols: tuple[str, ...] = PROTOCOL_NAMES,
     scale: str = "ci",
     seed: int = 1,
+    engine: ExperimentEngine | None = None,
 ) -> list[ScalabilityPoint]:
     """Reproduce one panel of Fig. 3 (WAN) or Fig. 4 (LAN)."""
-    scale_params = ScenarioScale.named(scale)
-    fault_plan = (
-        FaultPlan.with_straggler(instance=1) if stragglers else FaultPlan.none()
+    specs = scalability_specs(
+        environment,
+        stragglers=stragglers,
+        protocols=protocols,
+        scale=scale,
+        seed=seed,
     )
-    points: list[ScalabilityPoint] = []
-    for num_replicas in scale_params.replica_counts:
-        for protocol in protocols:
-            config = _base_config(
-                protocol, num_replicas, environment, scale_params, fault_plan, seed=seed
-            )
-            metrics = run_pipeline_experiment(config)
-            points.append(
-                ScalabilityPoint(
-                    protocol=protocol,
-                    num_replicas=num_replicas,
-                    environment=environment,
-                    stragglers=stragglers,
-                    throughput_ktps=metrics.throughput_ktps,
-                    latency_s=_latency_of(metrics),
-                    metrics=metrics,
-                )
-            )
-    return points
+    return [ScalabilityPoint.from_result(r) for r in _run(specs, engine)]
 
 
 # -- Fig. 5: payment-proportion sweep -----------------------------------------------
@@ -171,34 +83,17 @@ def payment_proportion_sweep(
     num_replicas: int = 16,
     scale: str = "ci",
     seed: int = 3,
+    engine: ExperimentEngine | None = None,
 ) -> list[ProportionPoint]:
     """Reproduce Fig. 5: Orthrus under varying payment proportions (WAN)."""
-    scale_params = ScenarioScale.named(scale)
-    fault_plan = (
-        FaultPlan.with_straggler(instance=1) if stragglers else FaultPlan.none()
+    specs = proportion_specs(
+        stragglers=stragglers,
+        proportions=proportions,
+        num_replicas=num_replicas,
+        scale=scale,
+        seed=seed,
     )
-    points: list[ProportionPoint] = []
-    for proportion in proportions:
-        config = _base_config(
-            "orthrus",
-            num_replicas,
-            "wan",
-            scale_params,
-            fault_plan,
-            payment_fraction=proportion,
-            seed=seed,
-        )
-        metrics = run_pipeline_experiment(config)
-        points.append(
-            ProportionPoint(
-                payment_proportion=proportion,
-                stragglers=stragglers,
-                throughput_ktps=metrics.throughput_ktps,
-                latency_s=_latency_of(metrics),
-                metrics=metrics,
-            )
-        )
-    return points
+    return [ProportionPoint.from_result(r) for r in _run(specs, engine)]
 
 
 # -- Fig. 1b / Fig. 6: latency breakdown ----------------------------------------------
@@ -210,24 +105,13 @@ def latency_breakdown(
     num_replicas: int = 16,
     scale: str = "ci",
     seed: int = 5,
+    engine: ExperimentEngine | None = None,
 ) -> list[BreakdownResult]:
     """Reproduce Fig. 6 (and Fig. 1b for ISS): five-stage latency breakdown."""
-    scale_params = ScenarioScale.named(scale)
-    fault_plan = FaultPlan.with_straggler(instance=1)
-    results: list[BreakdownResult] = []
-    for protocol in protocols:
-        config = _base_config(
-            protocol, num_replicas, "wan", scale_params, fault_plan, seed=seed
-        )
-        metrics = run_pipeline_experiment(config)
-        results.append(
-            BreakdownResult(
-                protocol=protocol,
-                stages=metrics.stage_breakdown,
-                total_latency_s=_latency_of(metrics),
-            )
-        )
-    return results
+    specs = breakdown_specs(
+        protocols=protocols, num_replicas=num_replicas, scale=scale, seed=seed
+    )
+    return [BreakdownResult.from_result(r) for r in _run(specs, engine)]
 
 
 # -- Fig. 7: detectable faults over time -----------------------------------------------
@@ -241,43 +125,18 @@ def detectable_fault_timelines(
     duration: float = 35.0,
     scale: str = "ci",
     seed: int = 11,
+    engine: ExperimentEngine | None = None,
 ) -> list[FaultTimeline]:
     """Reproduce Fig. 7: Orthrus throughput/latency over time under crashes."""
-    scale_params = ScenarioScale.named(scale)
-    timelines: list[FaultTimeline] = []
-    for count in fault_counts:
-        faults = (
-            FaultPlan.with_crashes(list(range(count)), fault_time)
-            if count
-            else FaultPlan.none()
-        )
-        config = PipelineConfig(
-            protocol="orthrus",
-            num_replicas=num_replicas,
-            environment="wan",
-            samples_per_block=scale_params.samples_per_block,
-            duration=duration,
-            warmup=0.0,
-            epoch_blocks=8,
-            seed=seed,
-            workload=_workload(seed=seed + 17),
-            faults=faults,
-        )
-        metrics = run_pipeline_experiment(config)
-        latency_by_window = {
-            round(window_start, 3): value
-            for window_start, value in metrics.latency_series
-        }
-        points = [
-            TimelinePoint(
-                time=point.window_start,
-                throughput_ktps=point.rate / 1000.0,
-                latency_s=latency_by_window.get(round(point.window_start, 3), 0.0),
-            )
-            for point in metrics.series
-        ]
-        timelines.append(FaultTimeline(faulty_replicas=count, points=points))
-    return timelines
+    specs = detectable_fault_specs(
+        fault_counts=fault_counts,
+        num_replicas=num_replicas,
+        fault_time=fault_time,
+        duration=duration,
+        scale=scale,
+        seed=seed,
+    )
+    return [FaultTimeline.from_result(r) for r in _run(specs, engine)]
 
 
 # -- Fig. 8: undetectable faults ------------------------------------------------------------
@@ -289,26 +148,10 @@ def undetectable_fault_sweep(
     num_replicas: int = 16,
     scale: str = "ci",
     seed: int = 13,
+    engine: ExperimentEngine | None = None,
 ) -> list[UndetectableFaultPoint]:
     """Reproduce Fig. 8: Orthrus under undetectable Byzantine abstention."""
-    scale_params = ScenarioScale.named(scale)
-    points: list[UndetectableFaultPoint] = []
-    for count in fault_counts:
-        config = _base_config(
-            "orthrus",
-            num_replicas,
-            "wan",
-            scale_params,
-            FaultPlan.with_undetectable(count),
-            seed=seed,
-        )
-        metrics = run_pipeline_experiment(config)
-        points.append(
-            UndetectableFaultPoint(
-                faulty_replicas=count,
-                throughput_ktps=metrics.throughput_ktps,
-                latency_s=_latency_of(metrics),
-                metrics=metrics,
-            )
-        )
-    return points
+    specs = undetectable_fault_specs(
+        fault_counts=fault_counts, num_replicas=num_replicas, scale=scale, seed=seed
+    )
+    return [UndetectableFaultPoint.from_result(r) for r in _run(specs, engine)]

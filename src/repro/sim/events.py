@@ -26,6 +26,11 @@ class Event:
         sequence: Tie-breaker assigned at scheduling time.
         callback: Zero-argument callable invoked when the event fires.
         cancelled: Set by :meth:`cancel`; cancelled events are skipped.
+        finished: Set by the owning simulator once the event has left its
+            queue (fired or discarded), so late cancellations are no-ops for
+            the simulator's pending-event accounting.
+        owner: The simulator (or any object with ``_note_cancelled``) to
+            notify when a still-queued event is cancelled.
     """
 
     time: float
@@ -33,10 +38,16 @@ class Event:
     sequence: int = field(default_factory=lambda: next(_sequence_counter))
     callback: Callable[[], Any] | None = field(compare=False, default=None)
     cancelled: bool = field(compare=False, default=False)
+    finished: bool = field(compare=False, default=False)
+    owner: Any = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None and not self.finished:
+            self.owner._note_cancelled()
 
     @property
     def active(self) -> bool:

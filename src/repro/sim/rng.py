@@ -8,6 +8,7 @@ network model and workload generator need (jitter, Zipf, order statistics).
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from typing import Iterable, Sequence, TypeVar
@@ -32,8 +33,14 @@ class DeterministicRNG:
 
         Forking lets separate subsystems (network, workload, faults) draw from
         independent streams while remaining reproducible from one root seed.
+
+        The derivation uses a stable digest rather than Python's built-in
+        ``hash()``: string hashing is randomised per interpreter process
+        (``PYTHONHASHSEED``), which would make runs irreproducible across
+        invocations — and result caching keyed by scenario spec unsound.
         """
-        derived = hash((self._seed, label)) & 0x7FFFFFFF
+        digest = hashlib.sha256(f"{self._seed}:{label}".encode("utf-8")).digest()
+        derived = int.from_bytes(digest[:8], "big") & 0x7FFFFFFF
         return DeterministicRNG(derived)
 
     def uniform(self, low: float, high: float) -> float:

@@ -32,10 +32,18 @@ class Simulator:
         [1.5]
     """
 
+    #: Lazy-deletion compaction thresholds: once more than ``_COMPACT_MIN``
+    #: cancelled events sit in the heap AND they outnumber the live ones, the
+    #: heap is rebuilt without them.  Cancellation-heavy workloads (timer
+    #: churn: view-change timers armed per slot and cancelled on delivery)
+    #: otherwise pay ``log n`` per push for a heap dominated by dead entries.
+    _COMPACT_MIN = 1024
+
     def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
         self._queue: list[Event] = []
         self._processed = 0
+        self._cancelled_pending = 0
         self._running = False
         self.rng = DeterministicRNG(seed)
 
@@ -51,8 +59,31 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live events still scheduled (cancelled ones excluded)."""
+        return len(self._queue) - self._cancelled_pending
+
+    @property
+    def cancelled_pending_events(self) -> int:
+        """Cancelled events still occupying the heap (lazy deletion)."""
+        return self._cancelled_pending
+
+    def _note_cancelled(self) -> None:
+        """Called by a queued :class:`Event` when it is cancelled."""
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending > self._COMPACT_MIN
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled events."""
+        for event in self._queue:
+            if event.cancelled:
+                event.finished = True
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
 
     def schedule(
         self,
@@ -76,7 +107,9 @@ class Simulator:
         """
         if delay < 0 or delay != delay or delay == float("inf"):
             raise SchedulingError(f"invalid delay: {delay!r}")
-        event = Event(time=self._now + delay, priority=priority, callback=callback)
+        event = Event(
+            time=self._now + delay, priority=priority, callback=callback, owner=self
+        )
         heapq.heappush(self._queue, event)
         return EventHandle(event)
 
@@ -121,12 +154,16 @@ class Simulator:
                 event = self._queue[0]
                 if event.cancelled:
                     heapq.heappop(self._queue)
+                    if not event.finished:
+                        event.finished = True
+                        self._cancelled_pending -= 1
                     continue
                 if until is not None and event.time > until:
                     break
                 if max_events is not None and processed_this_run >= max_events:
                     break
                 heapq.heappop(self._queue)
+                event.finished = True
                 self._now = max(self._now, event.time)
                 if event.callback is not None:
                     event.callback()
@@ -144,4 +181,7 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop all pending events (used between experiment phases)."""
+        for event in self._queue:
+            event.finished = True
         self._queue.clear()
+        self._cancelled_pending = 0

@@ -1,0 +1,146 @@
+"""Tests for the epoch checkpoint exchange path in the message-level replica.
+
+Covers the replica-side :class:`~repro.core.epochs.CheckpointQuorum` wiring:
+vote collection from ``CheckpointMessage``s, duplicate- and conflicting-vote
+handling, the broadcast path that drains ``core.pending_checkpoints``, and an
+end-to-end run in which a stable checkpoint forms from real epoch completion.
+"""
+
+import pytest
+
+from repro.cluster.builder import MessageCluster, MessageClusterConfig
+from repro.cluster.replica import MultiBFTReplica
+from repro.core.config import CoreConfig
+from repro.core.epochs import Checkpoint
+from repro.net.latency import latency_model_for
+from repro.net.network import Network
+from repro.protocols.registry import build_core
+from repro.sb.pbft.messages import CheckpointMessage
+from repro.sim.simulator import Simulator
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import EthereumStyleWorkload
+
+NUM_REPLICAS = 4
+#: For n=4, f=1, so a stable checkpoint needs 2f+1 = 3 matching votes.
+QUORUM = 3
+
+
+def checkpoint_vote(sender: int, epoch: int = 0, digest: str = "digest-a") -> CheckpointMessage:
+    return CheckpointMessage(
+        instance=0, view=0, sender=sender, epoch=epoch, state_digest=digest
+    )
+
+
+def build_replicas(count: int = NUM_REPLICAS) -> tuple[Simulator, list[MultiBFTReplica]]:
+    """Wire ``count`` replicas with real cores onto one simulated network."""
+    sim = Simulator(seed=5)
+    network = Network(sim, latency_model=latency_model_for("lan"))
+    replicas = []
+    for replica_id in range(count):
+        core = build_core(
+            "orthrus",
+            CoreConfig(num_instances=count, batch_size=4, epoch_length=4),
+        )
+        replica = MultiBFTReplica(
+            replica_id=replica_id, num_replicas=count, core=core
+        )
+        network.register(replica)
+        replicas.append(replica)
+    return sim, replicas
+
+
+class TestCheckpointVoting:
+    def test_quorum_of_distinct_votes_forms_stable_checkpoint(self):
+        _, replicas = build_replicas()
+        replica = replicas[0]
+        for sender in range(1, QUORUM + 1):
+            assert not replica.stable_checkpoint(0)
+            replica.receive(sender, checkpoint_vote(sender))
+        assert replica.stable_checkpoint(0)
+
+    def test_duplicate_votes_from_one_replica_do_not_count_twice(self):
+        _, replicas = build_replicas()
+        replica = replicas[0]
+        # Two distinct voters, one of them voting three times: still 2 < 2f+1.
+        replica.receive(1, checkpoint_vote(1))
+        replica.receive(1, checkpoint_vote(1))
+        replica.receive(1, checkpoint_vote(1))
+        replica.receive(2, checkpoint_vote(2))
+        assert not replica.stable_checkpoint(0)
+        replica.receive(3, checkpoint_vote(3))
+        assert replica.stable_checkpoint(0)
+
+    def test_conflicting_digests_do_not_combine_into_a_quorum(self):
+        _, replicas = build_replicas()
+        replica = replicas[0]
+        replica.receive(1, checkpoint_vote(1, digest="digest-a"))
+        replica.receive(2, checkpoint_vote(2, digest="digest-b"))
+        replica.receive(3, checkpoint_vote(3, digest="digest-b"))
+        assert not replica.stable_checkpoint(0)
+        # A third matching vote for one digest closes the epoch.
+        replica.receive(0, checkpoint_vote(0, digest="digest-b"))
+        assert replica.stable_checkpoint(0)
+
+    def test_epochs_are_tracked_independently(self):
+        _, replicas = build_replicas()
+        replica = replicas[0]
+        for sender in range(1, QUORUM + 1):
+            replica.receive(sender, checkpoint_vote(sender, epoch=2))
+        assert replica.stable_checkpoint(2)
+        assert not replica.stable_checkpoint(0)
+        assert not replica.stable_checkpoint(1)
+
+    def test_crashed_replica_ignores_votes(self):
+        _, replicas = build_replicas()
+        replica = replicas[0]
+        replica.crash()
+        for sender in range(1, QUORUM + 1):
+            replica.receive(sender, checkpoint_vote(sender))
+        assert not replica.stable_checkpoint(0)
+
+
+class TestCheckpointBroadcast:
+    def test_broadcast_drains_pending_and_self_votes(self):
+        sim, replicas = build_replicas()
+        checkpoint = Checkpoint(
+            epoch=0, frontier=(3, 3, 3, 3), state_digest="state-1"
+        )
+        replicas[0].core.pending_checkpoints.append(checkpoint)
+        replicas[0]._broadcast_checkpoints()
+        assert replicas[0].core.pending_checkpoints == []
+        # One vote (its own) is not a quorum.
+        assert not replicas[0].stable_checkpoint(0)
+        sim.run(until=2.0)
+        # Receivers hold a single vote each; no quorum anywhere yet.
+        assert all(not replica.stable_checkpoint(0) for replica in replicas)
+
+    def test_quorum_of_broadcasters_stabilises_every_replica(self):
+        sim, replicas = build_replicas()
+        checkpoint = Checkpoint(
+            epoch=0, frontier=(3, 3, 3, 3), state_digest="state-1"
+        )
+        for replica in replicas[:QUORUM]:
+            replica.core.pending_checkpoints.append(checkpoint)
+            replica._broadcast_checkpoints()
+        sim.run(until=2.0)
+        # Every replica (including the non-broadcaster) collected 2f+1
+        # matching digests, so the checkpoint is stable cluster-wide.
+        assert all(replica.stable_checkpoint(0) for replica in replicas)
+
+
+class TestCheckpointEndToEnd:
+    def test_stable_checkpoint_forms_from_real_epoch_completion(self):
+        config = MessageClusterConfig(
+            protocol="orthrus",
+            num_replicas=NUM_REPLICAS,
+            batch_size=4,
+            epoch_length=2,
+            seed=3,
+            workload=WorkloadConfig(num_accounts=64, num_shared_objects=8, seed=3),
+        )
+        cluster = MessageCluster(config)
+        trace = EthereumStyleWorkload(config.workload).generate(120)
+        cluster.submit_transactions(trace.transactions, rate_tps=300)
+        cluster.run(20.0)
+        stable = [replica.stable_checkpoint(0) for replica in cluster.replicas]
+        assert all(stable), f"epoch 0 not stable on all replicas: {stable}"

@@ -1,0 +1,342 @@
+"""Tests for the unified experiment engine, scenario registry and grid CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cluster.faults import FaultPlan
+from repro.cluster.pipeline import PipelineConfig
+from repro.errors import ConfigurationError
+from repro.experiments.engine import (
+    ENGINE_VERSION,
+    ExperimentEngine,
+    FaultSpec,
+    ScenarioSpec,
+    metrics_from_dict,
+    metrics_to_dict,
+    run_spec,
+)
+from repro.experiments import registry
+from repro.experiments.registry import (
+    expand_grid,
+    grid,
+    grid_names,
+    register_grid,
+    scalability_specs,
+)
+
+#: A deliberately tiny spec so engine tests stay fast.
+TINY = ScenarioSpec(
+    protocol="orthrus",
+    num_replicas=8,
+    environment="wan",
+    duration=6.0,
+    warmup=1.0,
+    samples_per_block=4,
+    seed=2,
+)
+TINY_ISS = ScenarioSpec(
+    protocol="iss",
+    num_replicas=8,
+    environment="wan",
+    duration=6.0,
+    warmup=1.0,
+    samples_per_block=4,
+    seed=2,
+)
+
+
+class TestFaultSpec:
+    def test_round_trip_with_fault_plan(self):
+        plan = FaultPlan(
+            stragglers={1: 10.0},
+            crashes={0: 9.0, 2: 9.0},
+            undetectable_faults=2,
+        )
+        spec = FaultSpec.from_plan(plan)
+        assert spec.to_plan() == plan
+        assert spec.straggler_count == 1
+        assert spec.crash_count == 2
+
+    def test_constructors_match_fault_plan_constructors(self):
+        assert FaultSpec.none().to_plan() == FaultPlan.none()
+        assert (
+            FaultSpec.with_straggler(instance=1).to_plan()
+            == FaultPlan.with_straggler(instance=1)
+        )
+        assert (
+            FaultSpec.with_crashes([0, 1], 9.0).to_plan()
+            == FaultPlan.with_crashes([0, 1], 9.0)
+        )
+        assert (
+            FaultSpec.with_undetectable(3).to_plan() == FaultPlan.with_undetectable(3)
+        )
+
+    def test_summary(self):
+        assert FaultSpec.none().summary() == "none"
+        assert "straggler" in FaultSpec.with_straggler().summary()
+        assert "crash" in FaultSpec.with_crashes([0], 1.0).summary()
+        assert "byzantine" in FaultSpec.with_undetectable(1).summary()
+
+    def test_hashable(self):
+        assert hash(FaultSpec.with_straggler()) == hash(FaultSpec.with_straggler())
+
+
+class TestScenarioSpec:
+    def test_json_round_trip(self):
+        spec = ScenarioSpec(
+            protocol="ladon",
+            num_replicas=16,
+            environment="lan",
+            duration=12.0,
+            warmup=3.0,
+            samples_per_block=4,
+            seed=7,
+            workload_seed=99,
+            payment_fraction=0.8,
+            epoch_blocks=8,
+            faults=FaultSpec.with_crashes([0, 3], 5.0),
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_spec_hash_is_stable_and_discriminating(self):
+        assert TINY.spec_hash == ScenarioSpec.from_json(TINY.to_json()).spec_hash
+        assert TINY.spec_hash != TINY_ISS.spec_hash
+
+    def test_default_workload_seed_convention(self):
+        assert ScenarioSpec(seed=5).resolved_workload_seed == 46
+        assert ScenarioSpec(seed=5, workload_seed=3).resolved_workload_seed == 3
+
+    def test_semantically_identical_specs_share_identity(self):
+        # Derived defaults are canonicalised at construction: a spec written
+        # with explicit values equals (and hashes like) one using defaults,
+        # so overlapping grids from different call sites share cache cells.
+        assert ScenarioSpec(seed=1, workload_seed=42) == ScenarioSpec(seed=1)
+        assert (
+            ScenarioSpec(seed=1, workload_seed=42).spec_hash
+            == ScenarioSpec(seed=1).spec_hash
+        )
+        assert (
+            ScenarioSpec(payment_fraction=0.46).spec_hash
+            == ScenarioSpec().spec_hash
+        )
+
+    def test_pipeline_config_materialisation(self):
+        config = TINY.pipeline_config()
+        assert isinstance(config, PipelineConfig)
+        assert config.protocol == "orthrus"
+        assert config.num_replicas == 8
+        assert config.workload.seed == TINY.resolved_workload_seed
+        assert config.faults == FaultPlan.none()
+
+    def test_label_mentions_coordinates(self):
+        label = ScenarioSpec(payment_fraction=0.5, faults=FaultSpec.with_straggler()).label()
+        assert "orthrus" in label
+        assert "n16" in label
+        assert "straggler" in label
+
+
+class TestMetricsSerialisation:
+    def test_exact_round_trip(self):
+        metrics = run_spec(TINY)
+        restored = metrics_from_dict(
+            json.loads(json.dumps(metrics_to_dict(metrics)))
+        )
+        assert restored == metrics
+
+
+class TestEngineExecution:
+    def test_parallel_results_identical_to_serial(self):
+        serial = ExperimentEngine(jobs=1).run([TINY, TINY_ISS])
+        parallel = ExperimentEngine(jobs=2).run([TINY, TINY_ISS])
+        assert [r.spec for r in serial] == [r.spec for r in parallel]
+        assert [r.metrics for r in serial] == [r.metrics for r in parallel]
+
+    def test_cache_round_trip_and_zero_reexecution(self, tmp_path):
+        first = ExperimentEngine(cache_dir=tmp_path, jobs=1)
+        results = first.run([TINY, TINY_ISS])
+        assert first.stats.executed == 2
+        assert all(not r.cached for r in results)
+
+        second = ExperimentEngine(cache_dir=tmp_path, jobs=1)
+        reloaded = second.run([TINY, TINY_ISS])
+        assert second.stats.executed == 0
+        assert second.stats.cache_hits == 2
+        assert all(r.cached for r in reloaded)
+        assert [r.metrics for r in results] == [r.metrics for r in reloaded]
+
+    def test_duplicate_specs_run_once(self):
+        engine = ExperimentEngine()
+        results = engine.run([TINY, TINY, TINY])
+        assert engine.stats.executed == 1
+        assert engine.stats.deduplicated == 2
+        assert results[0].metrics == results[1].metrics == results[2].metrics
+
+    def test_stale_code_fingerprint_invalidates_cache(self, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        engine.run([TINY])
+        cache_file = tmp_path / f"{TINY.spec_hash}.json"
+        payload = json.loads(cache_file.read_text())
+        payload["code_fingerprint"] = "0" * 64  # simulate edited source code
+        cache_file.write_text(json.dumps(payload))
+        fresh = ExperimentEngine(cache_dir=tmp_path)
+        fresh.run([TINY])
+        assert fresh.stats.executed == 1
+
+    def test_stale_engine_version_invalidates_cache(self, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        engine.run([TINY])
+        cache_file = tmp_path / f"{TINY.spec_hash}.json"
+        payload = json.loads(cache_file.read_text())
+        assert payload["engine_version"] == ENGINE_VERSION
+        payload["engine_version"] = ENGINE_VERSION - 1
+        cache_file.write_text(json.dumps(payload))
+        fresh = ExperimentEngine(cache_dir=tmp_path)
+        fresh.run([TINY])
+        assert fresh.stats.executed == 1
+
+    def test_corrupt_cache_entry_is_ignored(self, tmp_path):
+        (tmp_path / f"{TINY.spec_hash}.json").write_text("not json{")
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        engine.run([TINY])
+        assert engine.stats.executed == 1
+
+    def test_malformed_cache_payload_is_a_miss_not_a_crash(self, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        engine.run([TINY])
+        cache_file = tmp_path / f"{TINY.spec_hash}.json"
+        payload = json.loads(cache_file.read_text())
+        # Valid JSON, valid version/fingerprint, corrupted fields: a
+        # non-numeric fault timeout and a truncated latency_series entry.
+        payload["spec"]["faults"]["view_change_timeout"] = "abc"
+        payload["metrics"]["latency_series"] = [[1.0]]
+        cache_file.write_text(json.dumps(payload))
+        fresh = ExperimentEngine(cache_dir=tmp_path)
+        fresh.run([TINY])
+        assert fresh.stats.executed == 1
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            ExperimentEngine(jobs=0)
+
+    def test_unusable_cache_dir_fails_fast(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")  # a file where a directory is needed
+        with pytest.raises(OSError):
+            ExperimentEngine(cache_dir=blocker / "cache")
+
+    def test_cache_write_failure_keeps_results_and_warns_once(
+        self, tmp_path, capsys
+    ):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        # The directory vanishes (or loses permissions) mid-run: results must
+        # still come back, with a single warning instead of a crash.
+        engine.cache_dir = blocker / "cache"
+        results = engine.run([TINY, TINY_ISS])
+        assert len(results) == 2
+        assert all(r.metrics.confirmed > 0 for r in results)
+        err = capsys.readouterr().err
+        assert err.count("cache write failed") == 1
+
+
+class TestRegistry:
+    def test_paper_figures_are_registered(self):
+        names = grid_names()
+        for figure in ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8"):
+            assert figure in names
+
+    def test_expand_known_grid(self):
+        specs = expand_grid("fig8", scale="smoke")
+        assert len(specs) == 6
+        assert {spec.faults.undetectable_faults for spec in specs} == {0, 1, 2, 3, 4, 5}
+        assert all(spec.protocol == "orthrus" for spec in specs)
+
+    def test_fig3_covers_both_straggler_panels(self):
+        specs = expand_grid("fig3", scale="smoke")
+        assert {spec.faults.straggler_count for spec in specs} == {0, 1}
+        assert all(spec.environment == "wan" for spec in specs)
+
+    def test_unknown_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid("fig99")
+
+    def test_builders_match_scenario_seeds(self):
+        # Guards the cache-sharing property: the registry and the scenario
+        # library must expand identical specs for identical grids.
+        specs = scalability_specs("wan", stragglers=0, protocols=("orthrus",), scale="smoke")
+        assert all(spec.seed == 1 for spec in specs)
+        assert [spec.num_replicas for spec in specs] == [8, 16]
+
+
+class TestGridCLI:
+    @pytest.fixture()
+    def tiny_grid(self):
+        register_grid(
+            "tiny-test-grid",
+            "two fast cells for CLI tests",
+            lambda scale: [TINY, TINY_ISS],
+        )
+        yield "tiny-test-grid"
+        registry._GRIDS.pop("tiny-test-grid", None)
+
+    def test_grid_list(self, capsys):
+        assert main(["grid", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "scalability" in out.lower()
+
+    def test_grid_requires_name(self, capsys):
+        assert main(["grid"]) == 2
+
+    def test_grid_unknown_name_reports_clean_error(self, capsys):
+        assert main(["grid", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown grid" in err
+        assert "fig3" in err  # lists what is registered
+
+    def test_grid_runs_and_caches(self, tiny_grid, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["grid", tiny_grid, "--jobs", "4", "--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        assert "orthrus" in first and "iss" in first
+        assert "2 executed" in first
+
+        # Acceptance: the second invocation with the same cache directory
+        # executes zero new simulations and reports identical values.
+        assert main(["grid", tiny_grid, "--jobs", "4", "--cache-dir", cache]) == 0
+        second = capsys.readouterr().out
+        assert "0 executed" in second
+        assert "2 cached" in second
+
+        def table_rows(text):
+            return [
+                line.replace("cached", "").replace("run", "").strip()
+                for line in text.splitlines()
+                if line.startswith(("orthrus", "iss"))
+            ]
+
+        assert table_rows(first) == table_rows(second)
+
+    def test_grid_parallel_matches_serial(self, tiny_grid, capsys):
+        assert main(["grid", tiny_grid, "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["grid", tiny_grid, "--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        rows = lambda text: [
+            line for line in text.splitlines() if line.startswith(("orthrus", "iss"))
+        ]
+        assert rows(serial) == rows(parallel)
+
+    def test_grid_csv_output(self, tiny_grid, tmp_path, capsys):
+        assert main(
+            ["grid", tiny_grid, "--csv", "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[0]
+        assert header.startswith("spec_hash,protocol,")
+        assert "throughput_tps" in header
+        assert len(out.strip().splitlines()) == 3

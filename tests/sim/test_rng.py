@@ -1,7 +1,13 @@
 """Tests for the deterministic random-number utilities."""
 
+import os
+import pathlib
+import subprocess
+import sys
+
 import pytest
 
+import repro
 from repro.sim.rng import DeterministicRNG
 
 
@@ -24,6 +30,31 @@ class TestDeterminism:
         assert [fork_a.random() for _ in range(5)] == [fork_b.random() for _ in range(5)]
         other = DeterministicRNG(3).fork("workload")
         assert other.random() != DeterministicRNG(3).fork("network").random()
+
+    def test_fork_is_stable_across_interpreter_processes(self):
+        """Forked seeds must not depend on ``PYTHONHASHSEED``.
+
+        Built-in ``hash()`` of strings is randomised per process; deriving
+        stream seeds from it would make experiment results (and the engine's
+        spec-hash cache) irreproducible across invocations.
+        """
+        code = (
+            "from repro.sim.rng import DeterministicRNG;"
+            "print(DeterministicRNG(3).fork('network').seed)"
+        )
+        src_dir = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        seeds = set()
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=src_dir)
+            result = subprocess.run(
+                [sys.executable, "-c", code],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            seeds.add(result.stdout.strip())
+        assert len(seeds) == 1
 
 
 class TestDistributions:

@@ -168,3 +168,65 @@ class TestCancellation:
         sim.run()
         handle.cancel()
         assert sim.pending_events == 0
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        cancel = sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        cancel.cancel()
+        assert sim.pending_events == 1
+        assert sim.cancelled_pending_events == 1
+        # Double-cancel is not double-counted.
+        cancel.cancel()
+        assert sim.pending_events == 1
+        assert keep.active
+
+    def test_cancelled_count_drains_as_events_are_skipped(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        for handle in handles[1:]:
+            handle.cancel()
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.cancelled_pending_events == 0
+        assert sim.processed_events == 1
+
+    def test_clear_resets_cancelled_accounting(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        sim.clear()
+        assert sim.pending_events == 0
+        assert sim.cancelled_pending_events == 0
+
+    def test_compaction_removes_dominating_cancelled_events(self):
+        sim = Simulator()
+        doomed = [sim.schedule(float(i + 10), lambda: None) for i in range(2000)]
+        survivors = [sim.schedule(float(i + 1), lambda: None) for i in range(3)]
+        for handle in doomed:
+            handle.cancel()
+        # Lazy deletion compacted the heap once cancellations dominated.
+        assert sim.cancelled_pending_events < 2000
+        assert sim.pending_events == 3
+        fired = []
+        sim.schedule(0.5, lambda: fired.append(sim.now))
+        sim.run(until=5.0)
+        assert fired == [0.5]
+        assert sim.processed_events == 4
+        assert all(not handle.active for handle in doomed)
+        assert all(handle.active for handle in survivors)  # cancel-wise still live
+
+    def test_compaction_preserves_event_order(self):
+        sim = Simulator()
+        order = []
+        doomed = [
+            sim.schedule(float(i) / 10.0, lambda: order.append("doomed"))
+            for i in range(3000)
+        ]
+        for i in range(20):
+            sim.schedule(float(i), lambda i=i: order.append(i))
+        for handle in doomed:
+            handle.cancel()
+        sim.run()
+        assert order == list(range(20))
