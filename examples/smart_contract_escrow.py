@@ -22,7 +22,7 @@ from __future__ import annotations
 from repro.core import CoreConfig, OrthrusCore
 from repro.core.partition import LoadBalancedPartitioner
 from repro.ledger import StateStore, contract_call, payment, simple_transfer
-from repro.ledger.blocks import Block, SystemState
+from repro.ledger.blocks import Block
 
 
 class Walkthrough:

@@ -33,19 +33,49 @@ from repro.metrics import RunMetrics
 from repro.protocols import available_protocols, build_core
 from repro.workload import EthereumStyleWorkload, WorkloadConfig
 
-__version__ = "1.0.0"
+#: Live-runtime names exported lazily (PEP 562): simulator-only workflows —
+#: the experiment grids, figure benchmarks, `repro run` — never pay the
+#: asyncio/runtime import.
+_RUNTIME_EXPORTS = frozenset(
+    {
+        "ClusterSpec",
+        "LoadGenConfig",
+        "LoadGenerator",
+        "LocalCluster",
+        "OrthrusClient",
+        "ReplicaRuntimeConfig",
+        "ReplicaServer",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _RUNTIME_EXPORTS:
+        import repro.runtime as runtime
+
+        return getattr(runtime, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__version__ = "0.3.0"
 
 __all__ = [
+    "ClusterSpec",
     "ConsensusCore",
     "CoreConfig",
     "EscrowLog",
     "EthereumStyleWorkload",
     "FaultPlan",
+    "LoadGenConfig",
+    "LoadGenerator",
+    "LocalCluster",
     "MessageCluster",
     "MessageClusterConfig",
+    "OrthrusClient",
     "OrthrusCore",
     "PipelineCluster",
     "PipelineConfig",
+    "ReplicaRuntimeConfig",
+    "ReplicaServer",
     "RunMetrics",
     "StateStore",
     "Transaction",

@@ -9,6 +9,12 @@ Examples::
     python -m repro.cli grid --list
     python -m repro.cli workload --transactions 1000 --payment-fraction 0.8
 
+Live cluster (real asyncio TCP processes, not the simulator)::
+
+    python -m repro.cli cluster --replicas 4 --instances 2 --duration 10
+    python -m repro.cli serve --replica-id 0 --peers 127.0.0.1:7000,...
+    python -m repro.cli loadgen --peers 127.0.0.1:7000,... --transactions 1000
+
 All experiment commands accept ``--jobs N`` (parallel execution across a
 process pool; results are identical to serial runs) and ``--cache-dir PATH``
 (completed cells are stored as JSON keyed by spec hash, so re-runs and
@@ -18,6 +24,7 @@ overlapping grids are free).
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import Sequence
 
@@ -29,7 +36,7 @@ from repro.analysis.comparison import (
     summarize,
     throughput_sparkline,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.engine import ExperimentEngine, FaultSpec, ScenarioSpec
 from repro.experiments.registry import expand_grid, grid, grid_names
 from repro.experiments.reporting import (
@@ -80,9 +87,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Orthrus reproduction: run experiments and regenerate figures.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -137,6 +149,62 @@ def _build_parser() -> argparse.ArgumentParser:
     workload_parser.add_argument("--accounts", type=int, default=18_000)
     workload_parser.add_argument("--payment-fraction", type=float, default=0.46)
     workload_parser.add_argument("--seed", type=int, default=42)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run one live replica server (asyncio TCP)"
+    )
+    serve_parser.add_argument("--replica-id", type=int, required=True)
+    serve_parser.add_argument(
+        "--peers",
+        required=True,
+        help="comma-separated host:port listen endpoints, one per replica, in id order",
+    )
+    serve_parser.add_argument(
+        "--protocol", default="orthrus", choices=available_protocols()
+    )
+    serve_parser.add_argument("--instances", type=int, default=None)
+    serve_parser.add_argument("--batch-size", type=int, default=64)
+    serve_parser.add_argument("--batch-interval", type=float, default=0.05)
+    serve_parser.add_argument("--view-change-timeout", type=float, default=10.0)
+    serve_parser.add_argument("--accounts", type=int, default=1024)
+    serve_parser.add_argument("--workload-seed", type=int, default=42)
+
+    cluster_parser = subparsers.add_parser(
+        "cluster", help="spawn and supervise a local live cluster"
+    )
+    cluster_parser.add_argument("--replicas", type=_positive_int, default=4)
+    cluster_parser.add_argument("--instances", type=int, default=None)
+    cluster_parser.add_argument(
+        "--protocol", default="orthrus", choices=available_protocols()
+    )
+    cluster_parser.add_argument("--base-port", type=int, default=None)
+    cluster_parser.add_argument("--batch-size", type=int, default=64)
+    cluster_parser.add_argument("--batch-interval", type=float, default=0.05)
+    cluster_parser.add_argument("--view-change-timeout", type=float, default=10.0)
+    cluster_parser.add_argument("--accounts", type=int, default=1024)
+    cluster_parser.add_argument("--workload-seed", type=int, default=42)
+    cluster_parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="seconds to run before shutting down (default: until Ctrl-C)",
+    )
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen", help="drive a live cluster with synthetic load"
+    )
+    loadgen_parser.add_argument(
+        "--peers", required=True, help="comma-separated replica host:port endpoints"
+    )
+    loadgen_parser.add_argument("--transactions", type=_positive_int, default=1000)
+    loadgen_parser.add_argument("--mode", choices=["closed", "open"], default="closed")
+    loadgen_parser.add_argument("--concurrency", type=_positive_int, default=32)
+    loadgen_parser.add_argument("--rate", type=float, default=500.0)
+    loadgen_parser.add_argument("--payment-fraction", type=float, default=1.0)
+    loadgen_parser.add_argument("--accounts", type=int, default=1024)
+    loadgen_parser.add_argument("--workload-seed", type=int, default=42)
+    loadgen_parser.add_argument("--client-id", type=int, default=1000)
+    loadgen_parser.add_argument("--timeout", type=float, default=5.0)
 
     return parser
 
@@ -263,6 +331,124 @@ def _command_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_peers(text: str) -> list[tuple[str, int]]:
+    from repro.runtime.config import parse_endpoint
+
+    # ConfigurationError propagates to main()'s ReproError handler (exit 2),
+    # the same path every other bad-configuration error takes.
+    return [parse_endpoint(entry.strip()) for entry in text.split(",") if entry.strip()]
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.runtime.config import ReplicaRuntimeConfig
+    from repro.runtime.server import run_server
+
+    peers = _parse_peers(args.peers)
+    config = ReplicaRuntimeConfig(
+        replica_id=args.replica_id,
+        peers=tuple(peers),
+        protocol=args.protocol,
+        num_instances=args.instances,
+        batch_size=args.batch_size,
+        batch_interval=args.batch_interval,
+        view_change_timeout=args.view_change_timeout,
+        workload=WorkloadConfig(num_accounts=args.accounts, seed=args.workload_seed),
+    )
+    asyncio.run(run_server(config))
+    return 0
+
+
+def _print_cluster_statuses(statuses) -> None:
+    digests = {status.state_digest for status in statuses}
+    for status in sorted(statuses, key=lambda s: s.replica):
+        print(
+            f"replica {status.replica}: committed={status.committed} "
+            f"rejected={status.rejected} view_changes={status.view_changes} "
+            f"digest={status.state_digest[:16]}..."
+        )
+    agreement = "yes" if len(digests) <= 1 else "NO — replicas diverged!"
+    print(f"state digests agree: {agreement}")
+
+
+def _command_cluster(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.runtime.client import ClientConfig, OrthrusClient
+    from repro.runtime.cluster import ClusterSpec, LocalCluster
+    from repro.runtime.config import format_endpoint
+
+    spec = ClusterSpec(
+        num_replicas=args.replicas,
+        num_instances=args.instances,
+        protocol=args.protocol,
+        base_port=args.base_port,
+        batch_size=args.batch_size,
+        batch_interval=args.batch_interval,
+        view_change_timeout=args.view_change_timeout,
+        workload=WorkloadConfig(num_accounts=args.accounts, seed=args.workload_seed),
+    )
+    cluster = LocalCluster(spec)
+    cluster.start()
+    peers = ",".join(format_endpoint(endpoint) for endpoint in cluster.endpoints)
+    print(f"cluster up: {args.replicas} replicas, {spec.num_instances or args.replicas} instances")
+    print(f"peers: {peers}")
+    print(f"loadgen: repro loadgen --peers {peers} --transactions 1000")
+
+    async def final_status():
+        client = OrthrusClient(list(cluster.endpoints), ClientConfig(client_id=999))
+        await client.connect()
+        try:
+            statuses = await client.cluster_status()
+            await client.shutdown_cluster("cluster supervisor shutdown")
+            return statuses
+        finally:
+            await client.close()
+
+    exit_code = 0
+    try:
+        deadline = None if args.duration is None else _time.monotonic() + args.duration
+        while deadline is None or _time.monotonic() < deadline:
+            _time.sleep(0.25)
+            dead = cluster.check()
+            if dead:
+                print(f"error: replicas exited unexpectedly: {dead}", file=sys.stderr)
+                exit_code = 1
+                break
+    except KeyboardInterrupt:
+        print("\ninterrupted — shutting down cluster")
+    if exit_code == 0:
+        try:
+            _print_cluster_statuses(asyncio.run(final_status()))
+        except Exception as error:  # noqa: BLE001 - shutdown is best-effort
+            print(f"warning: could not collect final statuses: {error}", file=sys.stderr)
+    cluster.stop()
+    return exit_code
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    from repro.runtime.client import ClientConfig
+    from repro.runtime.loadgen import LoadGenConfig, run_loadgen
+
+    peers = _parse_peers(args.peers)
+    config = LoadGenConfig(
+        transactions=args.transactions,
+        mode=args.mode,
+        concurrency=args.concurrency,
+        rate_tps=args.rate,
+        workload=WorkloadConfig(
+            num_accounts=args.accounts,
+            seed=args.workload_seed,
+            payment_fraction=args.payment_fraction,
+        ),
+        client=ClientConfig(client_id=args.client_id, timeout=args.timeout),
+    )
+    report = asyncio.run(run_loadgen(peers, config))
+    print(f"# loadgen [{args.mode}] against {len(peers)} replicas")
+    for line in report.lines():
+        print(line)
+    return 0 if report.failed == 0 and report.digests_agree else 1
+
+
 def _command_workload(args: argparse.Namespace) -> int:
     config = WorkloadConfig(
         num_accounts=args.accounts,
@@ -290,8 +476,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figure": _command_figure,
         "grid": _command_grid,
         "workload": _command_workload,
+        "serve": _command_serve,
+        "cluster": _command_cluster,
+        "loadgen": _command_loadgen,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        # Long grid/loadgen/serve runs are routinely cut short; exit quietly
+        # with the conventional SIGINT code instead of spewing a traceback.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
+    except ReproError as error:
+        # Library-level configuration/runtime errors (bad peer lists, replica
+        # counts, workload ranges, ...) are user errors, not tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

@@ -22,11 +22,18 @@ class ClientRequest:
 
 @dataclass(frozen=True)
 class ClientReply:
-    """A replica's confirmation response to the submitting client."""
+    """A replica's confirmation response to the submitting client.
+
+    ``confirmed_at`` is the replica-clock time the transaction was executed;
+    the live load generator uses it (with the shared monotonic clock on one
+    host) to measure the reply stage of the latency breakdown.  Simulated
+    clients ignore it.
+    """
 
     tx_id: str
     replica: int
     committed: bool
+    confirmed_at: float | None = None
 
     @property
     def size_bytes(self) -> int:

@@ -1,11 +1,19 @@
 """Message-level Multi-BFT replica node.
 
-A :class:`MultiBFTReplica` is a full protocol participant in the simulated
-network: it hosts one PBFT endpoint per SB instance, a consensus core
-(Orthrus or a baseline), leader logic that cuts batches from its buckets, the
-epoch checkpoint exchange and the client reply path.  This is the
-highest-fidelity driver; the test suite and the small-scale examples use it,
-while the large sweeps use :mod:`repro.cluster.pipeline`.
+A :class:`MultiBFTReplica` is a full protocol participant: it hosts one PBFT
+endpoint per SB instance, a consensus core (Orthrus or a baseline), leader
+logic that cuts batches from its buckets, the epoch checkpoint exchange and
+the client reply path.
+
+The replica performs all I/O — message sends, broadcasts, timers and clock
+reads — through a :class:`~repro.net.transport.NodeTransport`.  Inside the
+simulation the replica is its own transport (it is a
+:class:`~repro.sim.process.Process` wired to the modelled network); in the
+live runtime an :class:`~repro.runtime.transport.AsyncioTransport` is injected
+instead and the identical consensus code runs over real TCP sockets (see
+:mod:`repro.runtime.server`).  This is the highest-fidelity driver; the test
+suite and the small-scale examples use it, while the large simulated sweeps
+use :mod:`repro.cluster.pipeline`.
 """
 
 from __future__ import annotations
@@ -18,9 +26,17 @@ from repro.core.interfaces import ConsensusCore
 from repro.core.outcomes import ConfirmationPath, TxOutcome
 from repro.ledger.blocks import Block
 from repro.metrics.summary import MetricsCollector
+from repro.net.transport import NodeTransport
 from repro.sb.pbft.endpoint import PBFTConfig, PBFTEndpoint
 from repro.sb.pbft.messages import CheckpointMessage, PBFTMessage
 from repro.sim.process import Process
+
+
+#: Executed-transaction replies kept for answering retransmissions.  Bounds
+#: replica memory on long-lived live servers; evicting the oldest half keeps
+#: amortised cost O(1) and the retransmit window (seconds) far inside the
+#: retained range at any realistic throughput.
+REPLY_CACHE_LIMIT = 50_000
 
 
 class MultiBFTReplica(Process):
@@ -36,8 +52,12 @@ class MultiBFTReplica(Process):
         batch_size: int | None = None,
         batch_interval: float = 0.05,
         metrics: MetricsCollector | None = None,
+        transport: NodeTransport | None = None,
     ) -> None:
         super().__init__(replica_id)
+        #: Host transport for all I/O.  Defaults to the replica itself, which
+        #: as a ``Process`` satisfies ``NodeTransport`` via the simulator.
+        self.transport: NodeTransport = transport if transport is not None else self
         self.num_replicas = num_replicas
         self.core = core
         self.metrics = metrics
@@ -48,6 +68,10 @@ class MultiBFTReplica(Process):
         self.endpoints: dict[int, PBFTEndpoint] = {}
         self._next_sequence: dict[int, int] = {}
         self._client_of_tx: dict[str, int] = {}
+        #: Reply cache: lets a retransmitted request for an already-executed
+        #: transaction be answered immediately (the live client's retry path;
+        #: simulated clients never retransmit).
+        self._reply_of_tx: dict[str, ClientReply] = {}
         self._checkpoints = CheckpointQuorum(2 * self.fault_tolerance + 1)
         self._last_proposal_at: dict[int, float] = {}
         #: Minimum idle time before an empty (no-op) block is proposed to keep
@@ -63,7 +87,7 @@ class MultiBFTReplica(Process):
                 instance_id=instance,
                 replica_id=replica_id,
                 num_replicas=num_replicas,
-                transport=self,
+                transport=self.transport,
                 config=self._pbft_config,
             )
             endpoint.on_deliver(lambda block, inst=instance: self._on_deliver(block))
@@ -82,21 +106,22 @@ class MultiBFTReplica(Process):
         self._started = True
         for endpoint in self.endpoints.values():
             endpoint.start()
-        self.set_timer(self.batch_interval, self._proposal_tick)
+        self.transport.set_timer(self.batch_interval, self._proposal_tick)
 
     def crash(self) -> None:
         """Stop participating entirely (used by fault-injection tests)."""
         self._crashed = True
-        self.cancel_timers()
+        self.transport.cancel_timers()
 
-    # -- transport interface used by the PBFT endpoints ----------------------------
+    # -- transport interface (simulator hosting) ----------------------------
 
     def now(self) -> float:
-        """Current simulated time (Transport protocol)."""
+        """Current simulated time (NodeTransport protocol, sim hosting)."""
         return self.sim.now
 
-    # Process.send / Process.broadcast / Process.set_timer already satisfy the
-    # remaining Transport requirements.
+    # Process.send / Process.broadcast / Process.set_timer / Process.cancel_timers
+    # satisfy the remaining NodeTransport requirements when the replica hosts
+    # itself inside the simulator.
 
     # -- message handling -------------------------------------------------------------
 
@@ -114,9 +139,15 @@ class MultiBFTReplica(Process):
 
     def _handle_client_request(self, sender: int, request: ClientRequest) -> None:
         tx = request.tx
+        cached_reply = self._reply_of_tx.get(tx.tx_id)
+        if cached_reply is not None:
+            # Already executed: the original reply may have been lost in
+            # transit, so answer the retransmission from the cache.
+            self.transport.send(request.client_node, cached_reply)
+            return
         self._client_of_tx[tx.tx_id] = request.client_node
         if self.metrics is not None:
-            self.metrics.latency.record_received(tx.tx_id, self.sim.now)
+            self.metrics.latency.record_received(tx.tx_id, self.transport.now())
         try:
             buckets = self.core.submit(tx)
         except Exception:
@@ -141,7 +172,7 @@ class MultiBFTReplica(Process):
             return
         for instance in self.led_instances():
             self._propose_for(instance)
-        self.set_timer(self.batch_interval, self._proposal_tick)
+        self.transport.set_timer(self.batch_interval, self._proposal_tick)
 
     def _propose_for(self, instance: int) -> None:
         batch = self.core.select_batch(instance, self.batch_size)
@@ -158,10 +189,10 @@ class MultiBFTReplica(Process):
             rank=rank,
         )
         self._next_sequence[instance] += 1
-        self._last_proposal_at[instance] = self.sim.now
+        self._last_proposal_at[instance] = self.transport.now()
         if self.metrics is not None:
             for tx in batch:
-                self.metrics.latency.record_proposed(tx.tx_id, self.sim.now)
+                self.metrics.latency.record_proposed(tx.tx_id, self.transport.now())
         self.endpoints[instance].broadcast_block(block)
 
     def _should_propose_noop(self, instance: int) -> bool:
@@ -175,7 +206,7 @@ class MultiBFTReplica(Process):
         if self.core.global_orderer.pending_count() == 0:
             return False
         last = self._last_proposal_at.get(instance, 0.0)
-        return self.sim.now - last >= self.noop_interval
+        return self.transport.now() - last >= self.noop_interval
 
     def _on_leader_change(self, instance: int, leader: int) -> None:
         if leader != self.node_id:
@@ -196,27 +227,30 @@ class MultiBFTReplica(Process):
             return
         if self.metrics is not None:
             for tx in block.transactions:
-                self.metrics.latency.record_delivered(tx.tx_id, self.sim.now)
+                self.metrics.latency.record_delivered(tx.tx_id, self.transport.now())
         outcomes = self.core.on_block_delivered(block)
         self.outcomes.extend(outcomes)
         for outcome in outcomes:
             if self.metrics is not None:
                 self.metrics.record_outcome(
                     outcome.tx.tx_id,
-                    self.sim.now,
+                    self.transport.now(),
                     committed=outcome.committed,
                     partial_path=outcome.path is ConfirmationPath.PARTIAL,
                 )
             client_node = self._client_of_tx.get(outcome.tx.tx_id)
             if client_node is not None:
-                self.send(
-                    client_node,
-                    ClientReply(
-                        tx_id=outcome.tx.tx_id,
-                        replica=self.node_id,
-                        committed=outcome.committed,
-                    ),
+                reply = ClientReply(
+                    tx_id=outcome.tx.tx_id,
+                    replica=self.node_id,
+                    committed=outcome.committed,
+                    confirmed_at=self.transport.now(),
                 )
+                self._reply_of_tx[outcome.tx.tx_id] = reply
+                if len(self._reply_of_tx) > REPLY_CACHE_LIMIT:
+                    for stale in list(self._reply_of_tx)[: REPLY_CACHE_LIMIT // 2]:
+                        del self._reply_of_tx[stale]
+                self.transport.send(client_node, reply)
         self._broadcast_checkpoints()
 
     def _broadcast_checkpoints(self) -> None:
@@ -232,7 +266,7 @@ class MultiBFTReplica(Process):
                 epoch=checkpoint.epoch,
                 state_digest=checkpoint.digest,
             )
-            self.broadcast(message)
+            self.transport.broadcast(message)
             self._checkpoints.add_vote(checkpoint.epoch, checkpoint.digest, self.node_id)
 
     # -- introspection ------------------------------------------------------------------------

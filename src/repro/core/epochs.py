@@ -11,7 +11,7 @@ execute.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.digest import combine_digests
 

@@ -16,7 +16,7 @@ between pending contract transactions and subsequent payments (Solution-II).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import EscrowError
@@ -71,7 +71,7 @@ class EscrowLog:
             return EscrowResult(True, self._entries[entry_key], "already escrowed")
         if not operation.is_owned_decrement:
             raise EscrowError(
-                f"escrow only applies to owned decremental operations, got "
+                "escrow only applies to owned decremental operations, got "
                 f"{operation.kind.value} on {operation.key!r}"
             )
         obj = self._store.get(operation.key)

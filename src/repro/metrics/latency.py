@@ -15,7 +15,7 @@ transaction; :class:`LatencyTracker` aggregates them across a run.
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Stage names in pipeline order (used for reports and plots).
 STAGE_NAMES: tuple[str, ...] = (
@@ -24,6 +24,15 @@ STAGE_NAMES: tuple[str, ...] = (
     "partial_ordering",
     "global_ordering",
     "reply",
+)
+
+#: Each stage's (start, end) timeline attributes, in pipeline order.
+STAGE_BOUNDARIES: tuple[tuple[str, str, str], ...] = (
+    ("send", "submitted_at", "received_at"),
+    ("preprocessing", "received_at", "proposed_at"),
+    ("partial_ordering", "proposed_at", "delivered_at"),
+    ("global_ordering", "delivered_at", "confirmed_at"),
+    ("reply", "confirmed_at", "replied_at"),
 )
 
 
@@ -64,11 +73,8 @@ class TransactionTimeline:
         if not self.complete:
             return None
         return {
-            "send": self.received_at - self.submitted_at,
-            "preprocessing": self.proposed_at - self.received_at,
-            "partial_ordering": self.delivered_at - self.proposed_at,
-            "global_ordering": self.confirmed_at - self.delivered_at,
-            "reply": self.replied_at - self.confirmed_at,
+            name: getattr(self, end) - getattr(self, start)
+            for name, start, end in STAGE_BOUNDARIES
         }
 
 
@@ -197,6 +203,32 @@ class LatencyTracker:
             mean = sum(samples) / len(samples) if samples else 0.0
             series.append((start + index * window, mean))
         return series
+
+    def stage_breakdown_partial(self) -> dict[str, float]:
+        """Average each stage independently over timelines that recorded it.
+
+        Unlike :meth:`stage_breakdown`, which only counts timelines with every
+        boundary present, this averages each stage over whichever timelines
+        hold *that stage's* two boundaries.  The live runtime uses it: a
+        replica records submitted/received/proposed/delivered/confirmed but
+        never observes the client's reply receipt, so its timelines are never
+        complete; the load generator measures the reply stage itself and
+        merges it in.
+        """
+        totals = {name: 0.0 for name in STAGE_NAMES}
+        counts = {name: 0 for name in STAGE_NAMES}
+        for timeline in self._timelines.values():
+            for name, start_attr, end_attr in STAGE_BOUNDARIES:
+                start = getattr(timeline, start_attr)
+                end = getattr(timeline, end_attr)
+                if start is None or end is None:
+                    continue
+                totals[name] += end - start
+                counts[name] += 1
+        return {
+            name: (totals[name] / counts[name] if counts[name] else 0.0)
+            for name in STAGE_NAMES
+        }
 
     def stage_breakdown(self) -> dict[str, float]:
         """Average duration of each stage over complete timelines."""

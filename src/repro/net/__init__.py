@@ -11,9 +11,11 @@ from repro.net.latency import (
 )
 from repro.net.message import Envelope, estimate_size
 from repro.net.network import Network, NetworkStats
+from repro.net.transport import Clock, NodeTransport, TimerHandle
 
 __all__ = [
     "BandwidthModel",
+    "Clock",
     "Envelope",
     "FixedLatencyModel",
     "LANLatencyModel",
@@ -21,6 +23,8 @@ __all__ = [
     "Network",
     "NetworkStats",
     "NodeCondition",
+    "NodeTransport",
+    "TimerHandle",
     "WANLatencyModel",
     "estimate_size",
     "latency_model_for",

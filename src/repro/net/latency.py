@@ -14,7 +14,7 @@ four data centres.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.sim.rng import DeterministicRNG

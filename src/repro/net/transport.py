@@ -1,0 +1,78 @@
+"""Host-transport abstraction shared by the simulator and the live runtime.
+
+The consensus logic (:class:`~repro.cluster.replica.MultiBFTReplica` and the
+:class:`~repro.sb.pbft.endpoint.PBFTEndpoint` state machines it hosts) never
+talks to a network or an event loop directly.  It talks to a
+:class:`NodeTransport`: something that can send and broadcast messages, read a
+clock and arm cancellable timers.  Two implementations exist:
+
+* the simulator: :class:`~repro.sim.process.Process` satisfies the protocol
+  through the discrete-event :class:`~repro.sim.simulator.Simulator` and the
+  modelled :class:`~repro.net.network.Network` (deterministic virtual time);
+* the live runtime: :class:`~repro.runtime.transport.AsyncioTransport`
+  satisfies it over real TCP connections and ``loop.call_later`` timers
+  (wall-clock time, no determinism guarantees).
+
+Because both present the same interface, the identical replica code runs in a
+simulation and as a real server process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """A source of the current time in seconds.
+
+    Simulated clocks return virtual time; live clocks return monotonic
+    wall-clock seconds measured from transport start.  Consensus code must
+    only ever compare or subtract these values, never interpret them as
+    absolute dates.
+    """
+
+    def now(self) -> float:
+        """Current time in seconds."""
+        ...
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """A cancellable timer returned by :meth:`NodeTransport.set_timer`."""
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is armed and has not fired or been cancelled."""
+        ...
+
+    def cancel(self) -> None:
+        """Cancel the timer; a no-op once it has fired."""
+        ...
+
+
+@runtime_checkable
+class NodeTransport(Clock, Protocol):
+    """Everything a replica needs from its host environment.
+
+    This is a superset of the per-endpoint
+    :class:`~repro.sb.interface.Transport` protocol: it adds
+    :meth:`cancel_timers`, which the replica uses when it crashes or shuts
+    down.
+    """
+
+    def send(self, destination: int, message: Any) -> None:
+        """Send ``message`` to the node identified by ``destination``."""
+        ...
+
+    def broadcast(self, message: Any, include_self: bool = False) -> None:
+        """Send ``message`` to every other participant."""
+        ...
+
+    def set_timer(self, delay: float, callback: Callable[[], Any]) -> TimerHandle:
+        """Schedule ``callback`` after ``delay`` seconds; returns a handle."""
+        ...
+
+    def cancel_timers(self) -> None:
+        """Cancel every timer set through this transport and still pending."""
+        ...

@@ -1,0 +1,65 @@
+"""Live cluster runtime: asyncio TCP transport, replica servers, clients.
+
+This package hosts the same consensus code the simulator runs — the
+:class:`~repro.cluster.replica.MultiBFTReplica` and its PBFT endpoints —
+behind a real asyncio TCP transport, turning the reproduction into a system
+that serves actual network traffic:
+
+* :mod:`repro.runtime.codec` — versioned, canonical-JSON wire codec for every
+  cluster and PBFT message type;
+* :mod:`repro.runtime.framing` — length-prefixed frame I/O;
+* :mod:`repro.runtime.transport` — :class:`AsyncioTransport`, the live
+  implementation of :class:`~repro.net.transport.NodeTransport`;
+* :mod:`repro.runtime.server` — :class:`ReplicaServer`, one OS process per
+  replica;
+* :mod:`repro.runtime.client` — :class:`OrthrusClient`, an async client with
+  pipelining, ``f + 1`` reply matching and timeout/retry;
+* :mod:`repro.runtime.loadgen` — closed- and open-loop load generation;
+* :mod:`repro.runtime.cluster` — :class:`LocalCluster`, spawn-and-supervise a
+  localhost deployment.
+
+The simulator remains the deterministic reference; the live runtime trades
+determinism for real sockets, real processes and wall-clock time (see
+``docs/live_runtime.md``).
+"""
+
+from repro.runtime.client import ClientConfig, OrthrusClient, TxResult
+from repro.runtime.cluster import ClusterSpec, LocalCluster
+from repro.runtime.codec import (
+    WIRE_VERSION,
+    WireCodecError,
+    decode_envelope,
+    decode_payload,
+    encode_envelope,
+    encode_payload,
+    wire_tags,
+)
+from repro.runtime.config import ReplicaRuntimeConfig
+from repro.runtime.framing import FrameError, read_frame, write_frame
+from repro.runtime.loadgen import LoadGenConfig, LoadGenerator, LoadReport
+from repro.runtime.server import ReplicaServer
+from repro.runtime.transport import AsyncioTransport
+
+__all__ = [
+    "AsyncioTransport",
+    "ClientConfig",
+    "ClusterSpec",
+    "FrameError",
+    "LoadGenConfig",
+    "LoadGenerator",
+    "LoadReport",
+    "LocalCluster",
+    "OrthrusClient",
+    "ReplicaRuntimeConfig",
+    "ReplicaServer",
+    "TxResult",
+    "WIRE_VERSION",
+    "WireCodecError",
+    "decode_envelope",
+    "decode_payload",
+    "encode_envelope",
+    "encode_payload",
+    "read_frame",
+    "wire_tags",
+    "write_frame",
+]

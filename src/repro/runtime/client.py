@@ -1,0 +1,328 @@
+"""Async client library for live Orthrus clusters.
+
+:class:`OrthrusClient` mirrors the paper's measurement methodology: a
+transaction is submitted to ``fanout`` replicas and counts as finished when
+``f + 1`` replicas have replied with the *same* result — matching replies,
+not just any replies.  Requests are pipelined (any number may be in flight),
+and unanswered submissions are retransmitted after a timeout, up to a retry
+budget.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import logging
+from dataclasses import dataclass
+
+from repro.cluster.messages import ClientRequest
+from repro.errors import NetworkError
+from repro.ledger.transactions import Transaction
+from repro.runtime.codec import WireCodecError, decode_envelope, encode_envelope
+from repro.runtime.config import parse_endpoint
+from repro.runtime.control import Hello, ShutdownRequest, StatusReply, StatusRequest
+from repro.runtime.framing import FrameError, encode_frame, read_frame, write_frame
+
+logger = logging.getLogger(__name__)
+
+
+class ClientError(NetworkError):
+    """The client could not complete a request."""
+
+
+@dataclass(frozen=True)
+class TxResult:
+    """Outcome of one submission once ``f + 1`` matching replies arrived."""
+
+    tx_id: str
+    committed: bool
+    replicas: tuple[int, ...]
+    latency: float
+    retries: int = 0
+    #: Earliest replica-clock execution time seen in the matching replies
+    #: (comparable to client time on a single host; see AsyncioTransport.now).
+    confirmed_at: float | None = None
+
+
+@dataclass
+class ClientConfig:
+    """Tunables for :class:`OrthrusClient`.
+
+    Attributes:
+        client_id: Node id this client identifies as (must not collide with a
+            replica id or another client's id).
+        fanout: Replicas each transaction is submitted to (default: all).
+        timeout: Seconds to wait for a reply quorum before retransmitting.
+        retries: Retransmissions before a submission fails.
+    """
+
+    client_id: int = 1000
+    fanout: int | None = None
+    timeout: float = 5.0
+    retries: int = 2
+
+
+class _PendingTx:
+    """Reply-matching state for one in-flight transaction."""
+
+    __slots__ = (
+        "future",
+        "replies",
+        "confirmed_at",
+        "submitted_at",
+        "retries",
+        "watcher",
+    )
+
+    def __init__(self, future: asyncio.Future, submitted_at: float) -> None:
+        self.future = future
+        self.replies: dict[int, bool] = {}
+        self.confirmed_at: dict[int, float | None] = {}
+        self.submitted_at = submitted_at
+        self.retries = 0
+        self.watcher: asyncio.Task[None] | None = None
+
+
+class OrthrusClient:
+    """Pipelined async client with ``f + 1`` reply matching and retry."""
+
+    def __init__(
+        self,
+        replicas: list[tuple[str, int] | str],
+        config: ClientConfig | None = None,
+    ) -> None:
+        self.replicas = [
+            parse_endpoint(entry) if isinstance(entry, str) else entry
+            for entry in replicas
+        ]
+        self.config = config or ClientConfig()
+        self.fault_tolerance = (len(self.replicas) - 1) // 3
+        self.reply_quorum = self.fault_tolerance + 1
+        self.fanout = self.config.fanout or len(self.replicas)
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._readers: list[asyncio.Task[None]] = []
+        self._pending: dict[str, _PendingTx] = {}
+        self._status_waiters: dict[int, asyncio.Future[StatusReply]] = {}
+        self._nonces = itertools.count(1)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._closed = False
+        #: Counters for reports and tests.
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.retransmissions = 0
+
+    # -- connection management ---------------------------------------------
+
+    async def connect(self) -> None:
+        """Open a connection to every replica and start reader tasks."""
+        self._loop = asyncio.get_running_loop()
+        hello = encode_envelope(
+            self.config.client_id, Hello(self.config.client_id, role="client")
+        )
+        for replica_id, (host, port) in enumerate(self.replicas):
+            reader, writer = await asyncio.open_connection(host, port)
+            await write_frame(writer, hello)
+            self._writers[replica_id] = writer
+            self._readers.append(
+                self._loop.create_task(self._read_replies(replica_id, reader))
+            )
+
+    async def close(self) -> None:
+        """Stop readers and watchdogs, fail in-flight futures, close sockets."""
+        self._closed = True
+        for task in self._readers:
+            task.cancel()
+        await asyncio.gather(*self._readers, return_exceptions=True)
+        self._readers.clear()
+        for pending in list(self._pending.values()):
+            if pending.watcher is not None:
+                pending.watcher.cancel()
+            if not pending.future.done():
+                pending.future.set_exception(ClientError("client closed"))
+        self._pending.clear()
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+
+    async def flush(self) -> None:
+        """Drain every connection's send buffer (flow control for bursts)."""
+        for writer in list(self._writers.values()):
+            if not writer.is_closing():
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+
+    async def __aenter__(self) -> "OrthrusClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, tx: Transaction) -> TxResult:
+        """Submit ``tx`` and wait for ``f + 1`` matching replies."""
+        return await self.submit_nowait(tx)
+
+    def submit_nowait(self, tx: Transaction) -> "asyncio.Future[TxResult]":
+        """Submit ``tx`` and return a future (pipelined submission)."""
+        assert self._loop is not None, "connect() first"
+        if tx.tx_id in self._pending:
+            raise ClientError(f"transaction {tx.tx_id} is already in flight")
+        future: asyncio.Future[TxResult] = self._loop.create_future()
+        tx.submitted_at = self._loop.time()
+        pending = _PendingTx(future, tx.submitted_at)
+        self._pending[tx.tx_id] = pending
+        self.submitted += 1
+        self._transmit(tx)
+        pending.watcher = self._loop.create_task(self._watch_timeout(tx))
+        return future
+
+    def _transmit(self, tx: Transaction) -> None:
+        request = ClientRequest(tx=tx, client_node=self.config.client_id)
+        frame = encode_envelope(self.config.client_id, request)
+        targets = list(self._writers.items())[: self.fanout]
+        for _, writer in targets:
+            if not writer.is_closing():
+                writer.write(encode_frame(frame))
+
+    async def _watch_timeout(self, tx: Transaction) -> None:
+        """Retransmit on timeout; fail the future once retries are exhausted.
+
+        Cancelled by :meth:`_record_reply` as soon as the quorum resolves, so
+        finished submissions leave no sleeping task behind.
+        """
+        while True:
+            await asyncio.sleep(self.config.timeout)
+            pending = self._pending.get(tx.tx_id)
+            if pending is None or pending.future.done():
+                return
+            if pending.retries >= self.config.retries:
+                self._pending.pop(tx.tx_id, None)
+                self.failed += 1
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        ClientError(
+                            f"no reply quorum for {tx.tx_id} after "
+                            f"{pending.retries} retries"
+                        )
+                    )
+                return
+            pending.retries += 1
+            self.retransmissions += 1
+            self._transmit(tx)
+
+    # -- replies --------------------------------------------------------------
+
+    async def _read_replies(self, replica_id: int, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                try:
+                    _, message = decode_envelope(frame)
+                except WireCodecError as exc:
+                    logger.warning("client dropping frame from %d: %s", replica_id, exc)
+                    continue
+                if isinstance(message, StatusReply):
+                    waiter = self._status_waiters.pop(message.nonce, None)
+                    if waiter is not None and not waiter.done():
+                        waiter.set_result(message)
+                    continue
+                tx_id = getattr(message, "tx_id", None)
+                if tx_id is None:
+                    continue
+                self._record_reply(
+                    tx_id,
+                    message.replica,
+                    message.committed,
+                    getattr(message, "confirmed_at", None),
+                )
+        except (FrameError, ConnectionError, OSError, asyncio.CancelledError) as exc:
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+            if not self._closed:
+                logger.debug("client lost replica %d: %s", replica_id, exc)
+
+    def _record_reply(
+        self,
+        tx_id: str,
+        replica: int,
+        committed: bool,
+        confirmed_at: float | None = None,
+    ) -> None:
+        pending = self._pending.get(tx_id)
+        if pending is None or pending.future.done():
+            return
+        pending.replies[replica] = committed
+        pending.confirmed_at[replica] = confirmed_at
+        # f + 1 *matching* replies: count agreement on the result value.
+        for verdict in (True, False):
+            matching = [r for r, c in pending.replies.items() if c is verdict]
+            if len(matching) >= self.reply_quorum:
+                assert self._loop is not None
+                del self._pending[tx_id]
+                self.completed += 1
+                if pending.watcher is not None:
+                    pending.watcher.cancel()
+                stamps = [
+                    pending.confirmed_at[r]
+                    for r in matching
+                    if pending.confirmed_at.get(r) is not None
+                ]
+                pending.future.set_result(
+                    TxResult(
+                        tx_id=tx_id,
+                        committed=verdict,
+                        replicas=tuple(sorted(matching)),
+                        latency=self._loop.time() - pending.submitted_at,
+                        retries=pending.retries,
+                        confirmed_at=min(stamps) if stamps else None,
+                    )
+                )
+                return
+
+    # -- control plane --------------------------------------------------------
+
+    async def status(self, replica_id: int, *, timeout: float = 5.0) -> StatusReply:
+        """Query one replica's progress snapshot."""
+        assert self._loop is not None, "connect() first"
+        writer = self._writers.get(replica_id)
+        if writer is None or writer.is_closing():
+            raise ClientError(f"no connection to replica {replica_id}")
+        nonce = next(self._nonces)
+        waiter: asyncio.Future[StatusReply] = self._loop.create_future()
+        self._status_waiters[nonce] = waiter
+        await write_frame(
+            writer,
+            encode_envelope(self.config.client_id, StatusRequest(nonce=nonce)),
+        )
+        try:
+            return await asyncio.wait_for(waiter, timeout)
+        except asyncio.TimeoutError:
+            self._status_waiters.pop(nonce, None)
+            raise ClientError(f"status request to replica {replica_id} timed out")
+
+    async def cluster_status(self) -> list[StatusReply]:
+        """Query every connected replica."""
+        return list(
+            await asyncio.gather(
+                *(self.status(replica_id) for replica_id in self._writers)
+            )
+        )
+
+    async def shutdown_cluster(self, reason: str = "client request") -> None:
+        """Ask every replica to stop serving (used by the supervisor)."""
+        message = encode_envelope(self.config.client_id, ShutdownRequest(reason))
+        for writer in self._writers.values():
+            if not writer.is_closing():
+                await write_frame(writer, message)
+
+    @property
+    def pending_count(self) -> int:
+        """Submissions still waiting for a reply quorum."""
+        return len(self._pending)

@@ -1,0 +1,231 @@
+"""Spawn and supervise a local live cluster as real OS processes.
+
+:class:`LocalCluster` launches one ``repro serve`` subprocess per replica on
+localhost (free ports picked automatically), waits for every listen socket to
+accept, and supervises the fleet: a replica that exits unexpectedly is
+reported.  Shutdown is graceful-first (a control-plane shutdown frame), then
+SIGTERM, then SIGKILL.
+
+Configured with explicit hosts, the same ``repro serve`` flags deploy the
+cluster across machines; this class only automates the localhost case.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.runtime.config import ReplicaRuntimeConfig, format_endpoint
+from repro.workload.config import WorkloadConfig
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """Ask the OS for an ephemeral port that is currently free."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+@dataclass
+class ClusterSpec:
+    """Shape of a locally spawned cluster."""
+
+    num_replicas: int = 4
+    num_instances: int | None = None
+    protocol: str = "orthrus"
+    host: str = "127.0.0.1"
+    base_port: int | None = None  # None: pick free ports automatically
+    batch_size: int = 64
+    batch_interval: float = 0.05
+    view_change_timeout: float = 10.0
+    workload: WorkloadConfig = field(
+        default_factory=lambda: WorkloadConfig(num_accounts=1024)
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_replicas < 4:
+            raise ExperimentError("live clusters need at least 4 replicas")
+
+    def endpoints(self) -> tuple[tuple[str, int], ...]:
+        if self.base_port is not None:
+            return tuple(
+                (self.host, self.base_port + index)
+                for index in range(self.num_replicas)
+            )
+        return tuple((self.host, free_port(self.host)) for _ in range(self.num_replicas))
+
+
+class LocalCluster:
+    """A supervised fleet of ``repro serve`` subprocesses on localhost."""
+
+    def __init__(self, spec: ClusterSpec | None = None) -> None:
+        self.spec = spec or ClusterSpec()
+        self.endpoints: tuple[tuple[str, int], ...] = self.spec.endpoints()
+        self.processes: list[subprocess.Popen] = []
+        self._stderr_logs: list[Path] = []
+
+    # -- configuration ------------------------------------------------------
+
+    def runtime_config(self, replica_id: int) -> ReplicaRuntimeConfig:
+        """The :class:`ReplicaRuntimeConfig` replica ``replica_id`` runs with."""
+        return ReplicaRuntimeConfig(
+            replica_id=replica_id,
+            peers=self.endpoints,
+            protocol=self.spec.protocol,
+            num_instances=self.spec.num_instances,
+            batch_size=self.spec.batch_size,
+            batch_interval=self.spec.batch_interval,
+            view_change_timeout=self.spec.view_change_timeout,
+            workload=self.spec.workload,
+        )
+
+    def serve_command(self, replica_id: int) -> list[str]:
+        """The ``repro serve`` argv for one replica."""
+        spec = self.spec
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--replica-id",
+            str(replica_id),
+            "--peers",
+            ",".join(format_endpoint(endpoint) for endpoint in self.endpoints),
+            "--protocol",
+            spec.protocol,
+            "--batch-size",
+            str(spec.batch_size),
+            "--batch-interval",
+            str(spec.batch_interval),
+            "--view-change-timeout",
+            str(spec.view_change_timeout),
+            "--accounts",
+            str(spec.workload.num_accounts),
+            "--workload-seed",
+            str(spec.workload.seed),
+        ]
+        if spec.num_instances is not None:
+            command += ["--instances", str(spec.num_instances)]
+        return command
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, *, ready_timeout: float = 20.0, attempts: int = 3) -> None:
+        """Spawn every replica and wait until all listen sockets accept.
+
+        Automatically chosen ports are inherently racy (the probe socket is
+        closed before the child binds), so startup failures are retried with
+        freshly picked ports up to ``attempts`` times.
+        """
+        if self.processes:
+            raise ExperimentError("cluster is already running")
+        last_error: Exception | None = None
+        for attempt in range(max(1, attempts)):
+            if attempt > 0 and self.spec.base_port is None:
+                self.endpoints = self.spec.endpoints()
+            try:
+                self._spawn()
+                self._wait_ready(ready_timeout)
+                return
+            except ExperimentError as error:
+                last_error = error
+                self.stop()
+        raise ExperimentError(
+            f"cluster failed to start after {attempts} attempts: {last_error}"
+        )
+
+    def _spawn(self) -> None:
+        # Children must import the same ``repro`` this supervisor runs,
+        # whether it came from an installed package or a PYTHONPATH checkout.
+        import repro
+
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+        for replica_id in range(self.spec.num_replicas):
+            # stderr goes to a file, not a pipe: nobody reads a pipe during
+            # the run, so a chatty replica would fill it and block inside a
+            # logging write.  The file is read back for diagnostics.
+            log = Path(tempfile.mkstemp(prefix=f"repro-replica-{replica_id}-")[1])
+            self._stderr_logs.append(log)
+            with log.open("wb") as stderr_sink:
+                self.processes.append(
+                    subprocess.Popen(
+                        self.serve_command(replica_id),
+                        stdout=subprocess.DEVNULL,
+                        stderr=stderr_sink,
+                        env=env,
+                    )
+                )
+
+    def _wait_ready(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        for index, (host, port) in enumerate(self.endpoints):
+            while True:
+                process = self.processes[index]
+                if process.poll() is not None:
+                    raise ExperimentError(
+                        f"replica {index} exited during startup "
+                        f"(code {process.returncode}): "
+                        f"{self.replica_stderr(index).strip()[-2000:]}"
+                    )
+                try:
+                    with socket.create_connection((host, port), timeout=0.25):
+                        break
+                except OSError:
+                    if time.monotonic() > deadline:
+                        raise ExperimentError(
+                            f"replica {index} did not open {host}:{port} "
+                            f"within {timeout}s"
+                        ) from None
+                    time.sleep(0.05)
+
+    def check(self) -> list[int]:
+        """Ids of replicas whose processes have exited (healthy: empty)."""
+        return [
+            index
+            for index, process in enumerate(self.processes)
+            if process.poll() is not None
+        ]
+
+    def replica_stderr(self, replica_id: int) -> str:
+        """Contents of one replica's stderr log (diagnostics)."""
+        try:
+            return self._stderr_logs[replica_id].read_text(errors="replace")
+        except (IndexError, OSError):
+            return ""
+
+    def stop(self, *, grace: float = 5.0) -> None:
+        """Terminate every replica (SIGTERM, then SIGKILL after ``grace``)."""
+        for process in self.processes:
+            if process.poll() is None:
+                process.terminate()
+        deadline = time.monotonic() + grace
+        for process in self.processes:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=5.0)
+        self.processes.clear()
+        for log in self._stderr_logs:
+            try:
+                log.unlink()
+            except OSError:
+                pass
+        self._stderr_logs.clear()
+
+    def __enter__(self) -> "LocalCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

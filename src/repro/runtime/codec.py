@@ -1,0 +1,391 @@
+"""Versioned canonical-JSON wire codec for all cluster and PBFT messages.
+
+Every message exchanged by the live runtime is serialised as a canonical JSON
+envelope::
+
+    {"v": 1, "t": "<type tag>", "s": <sender node id>, "p": {...payload...}}
+
+``v`` is the wire protocol version, ``t`` identifies the payload type, ``s``
+is the sending node and ``p`` carries the message fields.  Canonical means
+sorted keys and compact separators, so the byte rendering of a message is
+stable across processes and Python versions (the same property the digest
+layer relies on).
+
+Forward compatibility: decoders read the fields they know and **ignore
+unknown fields** at every level (envelope and payload), so a newer peer can
+add fields without breaking older ones.  An unknown type tag or a different
+wire version is an error — those are protocol-level incompatibilities the
+caller must surface, not skate over silently.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from repro.cluster.messages import ClientReply, ClientRequest
+from repro.errors import NetworkError
+from repro.ledger.blocks import Block, SystemState
+from repro.ledger.objects import ObjectOperation, ObjectType, OperationKind
+from repro.ledger.transactions import Transaction, TransactionType
+from repro.crypto.signatures import Signature
+from repro.sb.pbft.messages import (
+    CheckpointMessage,
+    Commit,
+    NewView,
+    PrePrepare,
+    Prepare,
+    ViewChange,
+)
+
+#: Current wire protocol version.  Bump on incompatible envelope changes.
+WIRE_VERSION = 1
+
+
+class WireCodecError(NetworkError):
+    """A frame could not be encoded or decoded."""
+
+
+# -- leaf encoders/decoders -------------------------------------------------
+
+
+def _encode_operation(op: ObjectOperation) -> dict[str, Any]:
+    return {
+        "key": op.key,
+        "kind": op.kind.value,
+        "amount": op.amount,
+        "object_type": op.object_type.value,
+    }
+
+
+def _decode_operation(data: dict[str, Any]) -> ObjectOperation:
+    return ObjectOperation(
+        key=data["key"],
+        kind=OperationKind(data["kind"]),
+        amount=int(data["amount"]),
+        object_type=ObjectType(data["object_type"]),
+    )
+
+
+def _encode_signature(signature: Signature) -> dict[str, Any]:
+    return {
+        "signer": signature.signer,
+        "message_digest": signature.message_digest,
+        "value": signature.value,
+    }
+
+
+def _decode_signature(data: dict[str, Any]) -> Signature:
+    return Signature(
+        signer=data["signer"],
+        message_digest=data["message_digest"],
+        value=data["value"],
+    )
+
+
+def _encode_transaction(tx: Transaction) -> dict[str, Any]:
+    return {
+        "tx_id": tx.tx_id,
+        "operations": [_encode_operation(op) for op in tx.operations],
+        "tx_type": tx.tx_type.value,
+        "payload_size": tx.payload_size,
+        "client_id": tx.client_id,
+        "signatures": {
+            holder: _encode_signature(sig) for holder, sig in tx.signatures.items()
+        },
+        "submitted_at": tx.submitted_at,
+        "metadata": tx.metadata,
+    }
+
+
+def _decode_transaction(data: dict[str, Any]) -> Transaction:
+    return Transaction(
+        tx_id=data["tx_id"],
+        operations=tuple(_decode_operation(op) for op in data["operations"]),
+        tx_type=TransactionType(data["tx_type"]),
+        payload_size=int(data.get("payload_size", 0)),
+        client_id=data.get("client_id"),
+        signatures={
+            holder: _decode_signature(sig)
+            for holder, sig in data.get("signatures", {}).items()
+        },
+        submitted_at=data.get("submitted_at"),
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def _encode_block(block: Block) -> dict[str, Any]:
+    return {
+        "instance": block.instance,
+        "sequence_number": block.sequence_number,
+        "transactions": [_encode_transaction(tx) for tx in block.transactions],
+        "state": list(block.state.sequence_numbers),
+        "proposer": block.proposer,
+        "epoch": block.epoch,
+        "rank": block.rank,
+        "signature": (
+            _encode_signature(block.signature) if block.signature is not None else None
+        ),
+        "metadata": block.metadata,
+    }
+
+
+def _decode_block(data: dict[str, Any]) -> Block:
+    signature = data.get("signature")
+    return Block(
+        instance=int(data["instance"]),
+        sequence_number=int(data["sequence_number"]),
+        transactions=tuple(_decode_transaction(tx) for tx in data["transactions"]),
+        state=SystemState(tuple(int(v) for v in data["state"])),
+        proposer=int(data["proposer"]),
+        epoch=int(data.get("epoch", 0)),
+        rank=data.get("rank"),
+        signature=_decode_signature(signature) if signature is not None else None,
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def _encode_block_pairs(pairs: tuple[tuple[int, Block], ...]) -> list[list[Any]]:
+    return [[sn, _encode_block(block)] for sn, block in pairs]
+
+
+def _decode_block_pairs(data: list[Any]) -> tuple[tuple[int, Block], ...]:
+    return tuple((int(sn), _decode_block(block)) for sn, block in data)
+
+
+# -- message payloads -------------------------------------------------------
+
+
+def _encode_client_request(msg: ClientRequest) -> dict[str, Any]:
+    return {"tx": _encode_transaction(msg.tx), "client_node": msg.client_node}
+
+
+def _decode_client_request(data: dict[str, Any]) -> ClientRequest:
+    return ClientRequest(
+        tx=_decode_transaction(data["tx"]), client_node=int(data["client_node"])
+    )
+
+
+def _encode_client_reply(msg: ClientReply) -> dict[str, Any]:
+    return {
+        "tx_id": msg.tx_id,
+        "replica": msg.replica,
+        "committed": msg.committed,
+        "confirmed_at": msg.confirmed_at,
+    }
+
+
+def _decode_client_reply(data: dict[str, Any]) -> ClientReply:
+    return ClientReply(
+        tx_id=data["tx_id"],
+        replica=int(data["replica"]),
+        committed=bool(data["committed"]),
+        confirmed_at=data.get("confirmed_at"),
+    )
+
+
+def _pbft_header(msg: Any) -> dict[str, Any]:
+    return {"instance": msg.instance, "view": msg.view, "sender": msg.sender}
+
+
+def _encode_pre_prepare(msg: PrePrepare) -> dict[str, Any]:
+    return {
+        **_pbft_header(msg),
+        "sequence_number": msg.sequence_number,
+        "block": _encode_block(msg.block) if msg.block is not None else None,
+        "digest": msg.digest,
+    }
+
+
+def _decode_pre_prepare(data: dict[str, Any]) -> PrePrepare:
+    block = data.get("block")
+    return PrePrepare(
+        instance=int(data["instance"]),
+        view=int(data["view"]),
+        sender=int(data["sender"]),
+        sequence_number=int(data["sequence_number"]),
+        block=_decode_block(block) if block is not None else None,
+        digest=data.get("digest", ""),
+    )
+
+
+def _encode_prepare(msg: Prepare) -> dict[str, Any]:
+    return {
+        **_pbft_header(msg),
+        "sequence_number": msg.sequence_number,
+        "digest": msg.digest,
+    }
+
+
+def _decode_prepare(data: dict[str, Any]) -> Prepare:
+    return Prepare(
+        instance=int(data["instance"]),
+        view=int(data["view"]),
+        sender=int(data["sender"]),
+        sequence_number=int(data["sequence_number"]),
+        digest=data.get("digest", ""),
+    )
+
+
+def _encode_commit(msg: Commit) -> dict[str, Any]:
+    return {
+        **_pbft_header(msg),
+        "sequence_number": msg.sequence_number,
+        "digest": msg.digest,
+    }
+
+
+def _decode_commit(data: dict[str, Any]) -> Commit:
+    return Commit(
+        instance=int(data["instance"]),
+        view=int(data["view"]),
+        sender=int(data["sender"]),
+        sequence_number=int(data["sequence_number"]),
+        digest=data.get("digest", ""),
+    )
+
+
+def _encode_view_change(msg: ViewChange) -> dict[str, Any]:
+    return {
+        **_pbft_header(msg),
+        "last_delivered": msg.last_delivered,
+        "pending": _encode_block_pairs(msg.pending),
+    }
+
+
+def _decode_view_change(data: dict[str, Any]) -> ViewChange:
+    return ViewChange(
+        instance=int(data["instance"]),
+        view=int(data["view"]),
+        sender=int(data["sender"]),
+        last_delivered=int(data.get("last_delivered", -1)),
+        pending=_decode_block_pairs(data.get("pending", [])),
+    )
+
+
+def _encode_new_view(msg: NewView) -> dict[str, Any]:
+    return {**_pbft_header(msg), "reproposals": _encode_block_pairs(msg.reproposals)}
+
+
+def _decode_new_view(data: dict[str, Any]) -> NewView:
+    return NewView(
+        instance=int(data["instance"]),
+        view=int(data["view"]),
+        sender=int(data["sender"]),
+        reproposals=_decode_block_pairs(data.get("reproposals", [])),
+    )
+
+
+def _encode_checkpoint(msg: CheckpointMessage) -> dict[str, Any]:
+    return {
+        **_pbft_header(msg),
+        "epoch": msg.epoch,
+        "state_digest": msg.state_digest,
+    }
+
+
+def _decode_checkpoint(data: dict[str, Any]) -> CheckpointMessage:
+    return CheckpointMessage(
+        instance=int(data["instance"]),
+        view=int(data["view"]),
+        sender=int(data["sender"]),
+        epoch=int(data.get("epoch", 0)),
+        state_digest=data.get("state_digest", ""),
+    )
+
+
+#: Type registry: message class -> (tag, encoder) and tag -> decoder.
+_ENCODERS: dict[type, tuple[str, Callable[[Any], dict[str, Any]]]] = {
+    ClientRequest: ("client_request", _encode_client_request),
+    ClientReply: ("client_reply", _encode_client_reply),
+    PrePrepare: ("pre_prepare", _encode_pre_prepare),
+    Prepare: ("prepare", _encode_prepare),
+    Commit: ("commit", _encode_commit),
+    ViewChange: ("view_change", _encode_view_change),
+    NewView: ("new_view", _encode_new_view),
+    CheckpointMessage: ("checkpoint", _encode_checkpoint),
+}
+
+_DECODERS: dict[str, Callable[[dict[str, Any]], Any]] = {
+    "client_request": _decode_client_request,
+    "client_reply": _decode_client_reply,
+    "pre_prepare": _decode_pre_prepare,
+    "prepare": _decode_prepare,
+    "commit": _decode_commit,
+    "view_change": _decode_view_change,
+    "new_view": _decode_new_view,
+    "checkpoint": _decode_checkpoint,
+}
+
+
+def register_wire_type(
+    cls: type,
+    tag: str,
+    encoder: Callable[[Any], dict[str, Any]],
+    decoder: Callable[[dict[str, Any]], Any],
+) -> None:
+    """Register an additional message type (used by the control plane)."""
+    _ENCODERS[cls] = (tag, encoder)
+    _DECODERS[tag] = decoder
+
+
+def wire_tags() -> list[str]:
+    """All registered type tags (sorted, for introspection and tests)."""
+    return sorted(_DECODERS)
+
+
+# -- envelope ----------------------------------------------------------------
+
+
+def encode_payload(message: Any) -> tuple[str, dict[str, Any]]:
+    """Encode ``message`` to its (tag, payload dict) pair."""
+    try:
+        tag, encoder = _ENCODERS[type(message)]
+    except KeyError:
+        raise WireCodecError(
+            f"no wire encoding registered for {type(message).__name__}"
+        ) from None
+    return tag, encoder(message)
+
+
+def decode_payload(tag: str, payload: dict[str, Any]) -> Any:
+    """Decode a payload dict back into its message object."""
+    try:
+        decoder = _DECODERS[tag]
+    except KeyError:
+        raise WireCodecError(f"unknown wire type tag {tag!r}") from None
+    try:
+        return decoder(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireCodecError(f"malformed {tag} payload: {exc}") from exc
+
+
+def encode_envelope(sender: int, message: Any) -> bytes:
+    """Serialise ``message`` from ``sender`` as canonical JSON bytes."""
+    tag, payload = encode_payload(message)
+    envelope = {"v": WIRE_VERSION, "t": tag, "s": sender, "p": payload}
+    return json.dumps(
+        envelope, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def decode_envelope(data: bytes) -> tuple[int, Any]:
+    """Deserialise one envelope, returning ``(sender, message)``."""
+    try:
+        envelope = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireCodecError(f"undecodable frame: {exc}") from exc
+    if not isinstance(envelope, dict):
+        raise WireCodecError("frame is not a JSON object")
+    version = envelope.get("v")
+    if version != WIRE_VERSION:
+        raise WireCodecError(
+            f"unsupported wire version {version!r} (this node speaks {WIRE_VERSION})"
+        )
+    try:
+        tag = envelope["t"]
+        sender = int(envelope["s"])
+        payload = envelope["p"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireCodecError(f"malformed envelope: {exc}") from exc
+    return sender, decode_payload(tag, payload)

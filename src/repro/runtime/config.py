@@ -1,0 +1,128 @@
+"""Configuration shared by live replica servers, clients and supervisors.
+
+Every replica process must build *exactly* the same consensus core (protocol,
+instance count, batch policy) over *exactly* the same genesis state (the
+account universe), or the replicas would diverge before the first block.
+:class:`ReplicaRuntimeConfig` is the single source of those parameters; the
+CLI turns it into ``repro serve`` flags and back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.config import CoreConfig
+from repro.errors import ConfigurationError
+from repro.ledger.state import StateStore
+from repro.protocols.registry import build_core
+from repro.workload.accounts import AccountUniverse
+from repro.workload.config import WorkloadConfig
+
+
+def parse_endpoint(text: str) -> tuple[str, int]:
+    """Parse ``host:port`` into a ``(host, port)`` pair."""
+    host, separator, port_text = text.rpartition(":")
+    if not separator or not host:
+        raise ConfigurationError(f"endpoint {text!r} is not host:port")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigurationError(f"endpoint {text!r} has a non-numeric port") from None
+    if not 0 < port < 65536:
+        raise ConfigurationError(f"endpoint {text!r} has an out-of-range port")
+    return host, port
+
+
+def format_endpoint(endpoint: tuple[str, int]) -> str:
+    """Render a ``(host, port)`` pair back to ``host:port``."""
+    host, port = endpoint
+    return f"{host}:{port}"
+
+
+@dataclass
+class ReplicaRuntimeConfig:
+    """Everything one live replica process needs to participate.
+
+    Attributes:
+        replica_id: This replica's index into ``peers``.
+        peers: One ``(host, port)`` listen endpoint per replica, in id order.
+        protocol: Consensus core to build (``orthrus`` or a baseline).
+        num_instances: SB instances (defaults to one per replica).
+        batch_size: Leader batch cut size.
+        batch_interval: Seconds between leader proposal ticks.
+        epoch_length: Blocks per epoch (checkpoint cadence).
+        view_change_timeout: Failure-detector timeout in wall-clock seconds.
+        workload: Account-universe parameters; the genesis state every
+            replica populates before serving.  Clients must generate traffic
+            from the same universe.
+    """
+
+    replica_id: int
+    peers: tuple[tuple[str, int], ...]
+    protocol: str = "orthrus"
+    num_instances: int | None = None
+    batch_size: int = 64
+    batch_interval: float = 0.05
+    epoch_length: int = 1_000_000
+    view_change_timeout: float = 10.0
+    workload: WorkloadConfig = field(
+        default_factory=lambda: WorkloadConfig(num_accounts=1024)
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.peers) < 4:
+            raise ConfigurationError("live clusters need at least 4 replicas")
+        if not 0 <= self.replica_id < len(self.peers):
+            raise ConfigurationError(
+                f"replica id {self.replica_id} out of range for {len(self.peers)} peers"
+            )
+        if self.batch_interval <= 0:
+            raise ConfigurationError("batch_interval must be positive")
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.peers)
+
+    @property
+    def instances(self) -> int:
+        """Number of SB instances (defaults to one per replica)."""
+        return self.num_instances or self.num_replicas
+
+    @property
+    def listen_endpoint(self) -> tuple[str, int]:
+        """This replica's own listen address."""
+        return self.peers[self.replica_id]
+
+    def for_replica(self, replica_id: int) -> "ReplicaRuntimeConfig":
+        """The same cluster configuration seen from another replica."""
+        return replace(self, replica_id=replica_id)
+
+    # -- deterministic genesis ---------------------------------------------
+
+    def core_config(self) -> CoreConfig:
+        return CoreConfig(
+            num_instances=self.instances,
+            batch_size=self.batch_size,
+            epoch_length=self.epoch_length,
+        )
+
+    def universe(self) -> AccountUniverse:
+        """The shared genesis account universe."""
+        return AccountUniverse(
+            num_accounts=self.workload.num_accounts,
+            num_shared_objects=self.workload.num_shared_objects,
+            initial_balance=self.workload.initial_balance,
+            zipf_exponent=self.workload.zipf_exponent,
+        )
+
+    def build_core(self):
+        """Build this replica's consensus core over the genesis state."""
+        core = build_core(self.protocol, self.core_config())
+        self.universe().populate(core.store)
+        return core
+
+    def genesis_digest(self) -> str:
+        """State digest every replica starts from (sanity checks)."""
+        store = StateStore()
+        self.universe().populate(store)
+        return store.state_digest()

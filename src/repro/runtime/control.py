@@ -1,0 +1,112 @@
+"""Control-plane messages used only by the live runtime.
+
+These never appear in the simulator: connection handshakes, status probes
+(used by the load generator and the cluster supervisor to read committed
+counts, state digests and the latency-stage breakdown) and graceful shutdown.
+They ride the same versioned wire codec as the consensus messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.runtime.codec import register_wire_type
+
+
+@dataclass(frozen=True)
+class Hello:
+    """First frame on every connection: who is calling and in what role."""
+
+    node_id: int
+    role: str = "replica"  # "replica" | "client"
+
+
+@dataclass(frozen=True)
+class StatusRequest:
+    """Probe a replica for its current progress (``nonce`` pairs the reply)."""
+
+    nonce: int = 0
+
+
+@dataclass(frozen=True)
+class StatusReply:
+    """A replica's answer to a :class:`StatusRequest`."""
+
+    nonce: int
+    replica: int
+    committed: int
+    rejected: int
+    state_digest: str
+    delivered_frontier: tuple[int, ...] = ()
+    view_changes: int = 0
+    stage_breakdown: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ShutdownRequest:
+    """Ask a replica server to stop serving and exit cleanly."""
+
+    reason: str = ""
+
+
+def _decode_hello(data: dict[str, Any]) -> Hello:
+    return Hello(node_id=int(data["node_id"]), role=data.get("role", "replica"))
+
+
+def _decode_status_request(data: dict[str, Any]) -> StatusRequest:
+    return StatusRequest(nonce=int(data.get("nonce", 0)))
+
+
+def _decode_status_reply(data: dict[str, Any]) -> StatusReply:
+    return StatusReply(
+        nonce=int(data.get("nonce", 0)),
+        replica=int(data["replica"]),
+        committed=int(data["committed"]),
+        rejected=int(data.get("rejected", 0)),
+        state_digest=data["state_digest"],
+        delivered_frontier=tuple(int(v) for v in data.get("delivered_frontier", [])),
+        view_changes=int(data.get("view_changes", 0)),
+        stage_breakdown={
+            str(k): float(v) for k, v in data.get("stage_breakdown", {}).items()
+        },
+    )
+
+
+def _decode_shutdown(data: dict[str, Any]) -> ShutdownRequest:
+    return ShutdownRequest(reason=data.get("reason", ""))
+
+
+register_wire_type(
+    Hello,
+    "hello",
+    lambda m: {"node_id": m.node_id, "role": m.role},
+    _decode_hello,
+)
+register_wire_type(
+    StatusRequest,
+    "status_request",
+    lambda m: {"nonce": m.nonce},
+    _decode_status_request,
+)
+register_wire_type(
+    StatusReply,
+    "status_reply",
+    lambda m: {
+        "nonce": m.nonce,
+        "replica": m.replica,
+        "committed": m.committed,
+        "rejected": m.rejected,
+        "state_digest": m.state_digest,
+        "delivered_frontier": list(m.delivered_frontier),
+        "view_changes": m.view_changes,
+        "stage_breakdown": m.stage_breakdown,
+    },
+    _decode_status_reply,
+)
+register_wire_type(
+    ShutdownRequest,
+    "shutdown",
+    lambda m: {"reason": m.reason},
+    _decode_shutdown,
+)

@@ -1,0 +1,53 @@
+"""Length-prefixed frame I/O for the live transport.
+
+Frames are ``<4-byte big-endian length><payload bytes>``.  The length covers
+the payload only.  A hard ceiling protects peers from hostile or corrupted
+length prefixes; at 500-byte transactions even a 4096-transaction block stays
+far below it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+from repro.errors import NetworkError
+
+#: Maximum accepted frame payload (bytes).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class FrameError(NetworkError):
+    """A frame violated the length-prefix protocol."""
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Prefix ``payload`` with its length."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """Read one frame; returns ``None`` on clean EOF before a frame starts."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed mid-frame") from exc
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"peer announced a {length}-byte frame (max {MAX_FRAME_BYTES})")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid-frame") from exc
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    """Write one frame and drain the transport buffer."""
+    writer.write(encode_frame(payload))
+    await writer.drain()

@@ -1,0 +1,263 @@
+"""Closed- and open-loop load generation against a live cluster.
+
+The generator replays the same Ethereum-style synthetic workload the
+simulator uses (:mod:`repro.workload`) and reports through the same
+:mod:`repro.metrics` collectors: client-side timestamps feed the end-to-end
+latency and throughput trackers, and the five-stage latency breakdown is
+pulled from replica 0's collector over the control plane — the live
+equivalent of the simulator wiring, where replica 0 carries the
+instrumentation.
+
+* **closed loop**: ``concurrency`` logical clients, each submitting one
+  transaction, awaiting its reply quorum, and immediately submitting the
+  next — measures sustainable throughput.
+* **open loop**: submissions arrive at a fixed rate regardless of replies —
+  measures behavior under a target offered load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.metrics.latency import STAGE_NAMES
+from repro.metrics.summary import MetricsCollector, RunMetrics
+from repro.runtime.client import ClientConfig, ClientError, OrthrusClient
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import EthereumStyleWorkload
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class LoadGenConfig:
+    """Parameters of one load-generation run.
+
+    Attributes:
+        transactions: Total transactions to submit.
+        mode: ``"closed"`` or ``"open"``.
+        concurrency: In-flight submissions per closed-loop run.
+        rate_tps: Target submission rate for open-loop runs.
+        workload: Trace parameters (must match the cluster's genesis universe).
+        client: Client tunables (id, fanout, timeout, retries).
+    """
+
+    transactions: int = 1000
+    mode: str = "closed"
+    concurrency: int = 32
+    rate_tps: float = 500.0
+    workload: WorkloadConfig = field(
+        default_factory=lambda: WorkloadConfig(num_accounts=1024)
+    )
+    client: ClientConfig = field(default_factory=ClientConfig)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ConfigurationError(f"unknown loadgen mode {self.mode!r}")
+        if self.transactions < 1:
+            raise ConfigurationError("transactions must be at least 1")
+        if self.concurrency < 1:
+            raise ConfigurationError("concurrency must be at least 1")
+        if self.rate_tps <= 0:
+            raise ConfigurationError("rate_tps must be positive")
+
+
+@dataclass
+class LoadReport:
+    """Result of a load-generation run."""
+
+    metrics: RunMetrics
+    submitted: int
+    completed: int
+    failed: int
+    retransmissions: int
+    wall_seconds: float
+    stage_breakdown: dict[str, float] = field(default_factory=dict)
+    state_digests: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def digests_agree(self) -> bool:
+        """Whether every probed replica reported the same state digest."""
+        return len(set(self.state_digests.values())) <= 1
+
+    def lines(self) -> list[str]:
+        """Human-readable summary."""
+        m = self.metrics
+        out = [
+            f"submitted            : {self.submitted}",
+            f"completed (f+1 match): {self.completed}",
+            f"failed               : {self.failed}",
+            f"retransmissions      : {self.retransmissions}",
+            f"wall time            : {self.wall_seconds:8.2f} s",
+            f"throughput           : {m.throughput_tps:8.1f} tx/s",
+            f"mean latency         : {m.latency.mean * 1000:8.1f} ms",
+            f"p95 latency          : {m.latency.p95 * 1000:8.1f} ms",
+            f"committed / rejected : {m.committed} / {m.rejected}",
+        ]
+        if self.stage_breakdown:
+            out.append("stage breakdown (replica 0):")
+            ordered = [name for name in STAGE_NAMES if name in self.stage_breakdown]
+            ordered += [n for n in self.stage_breakdown if n not in STAGE_NAMES]
+            for stage in ordered:
+                out.append(f"  {stage:<18} {self.stage_breakdown[stage] * 1000:8.2f} ms")
+        if self.state_digests:
+            agree = "yes" if self.digests_agree else "NO — replicas diverged!"
+            out.append(f"replica digests agree: {agree}")
+        return out
+
+
+class LoadGenerator:
+    """Drive a live cluster with a synthetic workload and measure it."""
+
+    def __init__(
+        self,
+        replicas: list[tuple[str, int] | str],
+        config: LoadGenConfig | None = None,
+    ) -> None:
+        self.replicas = replicas
+        self.config = config or LoadGenConfig()
+        self.collector = MetricsCollector()
+        self._client: OrthrusClient | None = None
+
+    async def run(self, *, settle: bool = True) -> LoadReport:
+        """Execute the configured run and return its report."""
+        config = self.config
+        workload = EthereumStyleWorkload(config.workload)
+        client = OrthrusClient(self.replicas, config.client)
+        self._client = client
+        loop = asyncio.get_running_loop()
+        await client.connect()
+        start = loop.time()
+        reply_stage_samples: list[float] = []
+
+        async def submit_one(tx) -> None:
+            # The client stamps tx.submitted_at with the shared monotonic
+            # clock; replicas read it, so all timestamps live on one axis.
+            try:
+                result = await client.submit(tx)
+            except ClientError:
+                return
+            now = loop.time()
+            latency = self.collector.latency
+            latency.record_submitted(tx.tx_id, tx.submitted_at)
+            latency.record_replied(tx.tx_id, now)
+            confirmed = result.confirmed_at if result.confirmed_at is not None else now
+            latency.record_confirmed(tx.tx_id, confirmed, committed=result.committed)
+            if result.confirmed_at is not None:
+                reply_stage_samples.append(now - result.confirmed_at)
+            self.collector.throughput.record_confirmation(now)
+            if result.committed:
+                self.collector.committed += 1
+            else:
+                self.collector.rejected += 1
+
+        try:
+            if config.mode == "closed":
+                await self._run_closed(workload, submit_one)
+            else:
+                await self._run_open(workload, submit_one)
+            end = loop.time()
+            breakdown: dict[str, float] = {}
+            digests: dict[int, str] = {}
+            if settle:
+                try:
+                    breakdown, digests = await self._settle(client)
+                except ClientError as exc:
+                    # A replica died after the run finished; the measured
+                    # results are still valid, so report them without the
+                    # control-plane extras rather than discarding everything.
+                    logger.warning("settlement probe failed: %s", exc)
+            if reply_stage_samples:
+                # Replica timelines never see the client's reply receipt;
+                # the reply stage is measured here and merged in.
+                breakdown["reply"] = sum(reply_stage_samples) / len(reply_stage_samples)
+            metrics = self.collector.finalize(start=start, end=max(end, start + 1e-9))
+            return LoadReport(
+                metrics=metrics,
+                submitted=client.submitted,
+                completed=client.completed,
+                failed=client.failed,
+                retransmissions=client.retransmissions,
+                wall_seconds=end - start,
+                stage_breakdown=breakdown,
+                state_digests=digests,
+            )
+        finally:
+            self._client = None
+            await client.close()
+
+    # -- loop shapes ---------------------------------------------------------
+
+    async def _run_closed(self, workload, submit_one) -> None:
+        # next() is synchronous and the loop is single-threaded, so workers
+        # can share the iterator without coordination.
+        remaining = iter(workload.stream(self.config.transactions))
+
+        async def worker() -> None:
+            while True:
+                tx = next(remaining, None)
+                if tx is None:
+                    return
+                await submit_one(tx)
+
+        workers = min(self.config.concurrency, self.config.transactions)
+        await asyncio.gather(*(worker() for _ in range(workers)))
+
+    async def _run_open(self, workload, submit_one) -> None:
+        loop = asyncio.get_running_loop()
+        interval = 1.0 / self.config.rate_tps
+        start = loop.time()
+        tasks: list[asyncio.Task] = []
+        for index, tx in enumerate(workload.stream(self.config.transactions)):
+            target = start + index * interval
+            delay = target - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(loop.create_task(submit_one(tx)))
+            if index % 64 == 63:
+                # Flow control: block on the kernel send buffers so an
+                # overdriven open-loop run backpressures instead of buffering
+                # every unsent frame in client memory.
+                await self._flush_client()
+        await asyncio.gather(*tasks)
+        await self._flush_client()
+
+    async def _flush_client(self) -> None:
+        if self._client is not None:
+            await self._client.flush()
+
+    # -- post-run settlement --------------------------------------------------
+
+    async def _settle(
+        self, client: OrthrusClient, *, timeout: float = 15.0, poll: float = 0.2
+    ) -> tuple[dict[str, float], dict[int, str]]:
+        """Wait until all replicas report one identical frontier and digest.
+
+        Replies only need ``f + 1`` replicas, so at the moment the last reply
+        arrives the slowest replicas may still be executing.  Poll the control
+        plane until the cluster quiesces (bounded by ``timeout``), then return
+        replica 0's stage breakdown and everyone's digests.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        statuses = await client.cluster_status()
+        while loop.time() < deadline:
+            frontiers = {status.delivered_frontier for status in statuses}
+            digests = {status.state_digest for status in statuses}
+            if len(frontiers) == 1 and len(digests) == 1:
+                break
+            await asyncio.sleep(poll)
+            statuses = await client.cluster_status()
+        breakdown = next(
+            (s.stage_breakdown for s in statuses if s.replica == 0), {}
+        )
+        return breakdown, {status.replica: status.state_digest for status in statuses}
+
+
+async def run_loadgen(
+    replicas: list[tuple[str, int] | str], config: LoadGenConfig | None = None
+) -> LoadReport:
+    """Convenience wrapper used by the CLI and tests."""
+    return await LoadGenerator(replicas, config).run()

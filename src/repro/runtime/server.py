@@ -1,0 +1,175 @@
+"""Live replica server: one OS process hosting one Multi-BFT replica.
+
+The server builds the exact consensus stack the simulator uses — a
+:class:`~repro.cluster.replica.MultiBFTReplica` wrapping an Orthrus (or
+baseline) core — and hosts it behind an
+:class:`~repro.runtime.transport.AsyncioTransport`.  Inbound TCP frames are
+decoded and fed to ``replica.receive``; the replica's own proposal loop and
+failure-detector timers run on the event loop through the transport's timer
+interface.  No consensus code is duplicated or forked for live operation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+
+from repro.cluster.messages import ClientRequest
+from repro.cluster.replica import MultiBFTReplica
+from repro.metrics.summary import MetricsCollector
+from repro.runtime.codec import WireCodecError, decode_envelope, encode_envelope
+from repro.runtime.config import ReplicaRuntimeConfig
+from repro.runtime.control import Hello, ShutdownRequest, StatusReply, StatusRequest
+from repro.runtime.framing import FrameError, read_frame, write_frame
+from repro.runtime.transport import AsyncioTransport
+from repro.sb.pbft.endpoint import PBFTConfig
+
+logger = logging.getLogger(__name__)
+
+
+class ReplicaServer:
+    """Host one replica of a live Multi-BFT cluster over asyncio TCP."""
+
+    def __init__(self, config: ReplicaRuntimeConfig) -> None:
+        self.config = config
+        self.metrics = MetricsCollector()
+        self.transport: AsyncioTransport | None = None
+        self.replica: MultiBFTReplica | None = None
+        self._server: asyncio.Server | None = None
+        self._stopped = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Build the replica, open the listen socket, start proposing."""
+        peers = {index: endpoint for index, endpoint in enumerate(self.config.peers)}
+        self.transport = AsyncioTransport(self.config.replica_id, peers)
+        self.replica = MultiBFTReplica(
+            replica_id=self.config.replica_id,
+            num_replicas=self.config.num_replicas,
+            core=self.config.build_core(),
+            pbft_config=PBFTConfig(view_change_timeout=self.config.view_change_timeout),
+            batch_size=self.config.batch_size,
+            batch_interval=self.config.batch_interval,
+            metrics=self.metrics,
+            transport=self.transport,
+        )
+        host, port = self.config.listen_endpoint
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        self.replica.start()
+        logger.info(
+            "replica %d serving on %s:%d (%s, %d instances)",
+            self.config.replica_id,
+            host,
+            port,
+            self.config.protocol,
+            self.config.instances,
+        )
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` is called (or a shutdown frame arrives)."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+        await self._shutdown()
+
+    def stop(self) -> None:
+        """Request a graceful stop (safe to call from any loop callback)."""
+        self._stopped.set()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.transport is not None:
+            await self.transport.close()
+
+    # -- inbound path -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Read frames from one peer/client connection until EOF."""
+        assert self.transport is not None and self.replica is not None
+        registered: int | None = None
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                try:
+                    sender, message = decode_envelope(frame)
+                except WireCodecError as exc:
+                    logger.warning(
+                        "replica %d dropping frame: %s", self.config.replica_id, exc
+                    )
+                    continue
+                if isinstance(message, Hello):
+                    if message.role == "client":
+                        registered = message.node_id
+                        self.transport.register_stream(registered, writer)
+                    continue
+                if isinstance(message, StatusRequest):
+                    await self._send_status(writer, message.nonce)
+                    continue
+                if isinstance(message, ShutdownRequest):
+                    logger.info(
+                        "replica %d shutting down: %s",
+                        self.config.replica_id,
+                        message.reason or "requested",
+                    )
+                    self.stop()
+                    break
+                # Route replies to clients over their inbound connection even
+                # without an explicit Hello (robustness for simple clients).
+                if registered is None and sender not in self.transport.peers:
+                    registered = sender
+                    self.transport.register_stream(sender, writer)
+                if (
+                    isinstance(message, ClientRequest)
+                    and message.tx.submitted_at is not None
+                ):
+                    # Client-stamped submission time (shared monotonic clock
+                    # on one host) opens the "send" stage of the breakdown.
+                    self.metrics.latency.record_submitted(
+                        message.tx.tx_id, message.tx.submitted_at
+                    )
+                self.replica.receive(sender, message)
+        except (FrameError, ConnectionError, OSError) as exc:
+            logger.debug("replica %d connection error: %s", self.config.replica_id, exc)
+        finally:
+            if registered is not None:
+                self.transport.unregister_stream(registered)
+            writer.close()
+
+    async def _send_status(self, writer: asyncio.StreamWriter, nonce: int) -> None:
+        reply = self.status(nonce)
+        await write_frame(writer, encode_envelope(self.config.replica_id, reply))
+
+    # -- introspection ------------------------------------------------------
+
+    def status(self, nonce: int = 0) -> StatusReply:
+        """Snapshot of this replica's progress (control plane)."""
+        assert self.replica is not None
+        core = self.replica.core
+        return StatusReply(
+            nonce=nonce,
+            replica=self.config.replica_id,
+            committed=self.metrics.committed,
+            rejected=self.metrics.rejected,
+            state_digest=core.store.state_digest(),
+            delivered_frontier=tuple(core.delivered_state().sequence_numbers),
+            view_changes=sum(
+                endpoint.view_changes_completed
+                for endpoint in self.replica.endpoints.values()
+            ),
+            stage_breakdown=self.metrics.latency.stage_breakdown_partial(),
+        )
+
+
+async def run_server(config: ReplicaRuntimeConfig) -> None:
+    """Entry point used by ``repro serve``."""
+    server = ReplicaServer(config)
+    await server.start()
+    await server.serve_forever()

@@ -1,0 +1,230 @@
+"""Asyncio TCP implementation of the :class:`~repro.net.transport.NodeTransport`.
+
+One :class:`AsyncioTransport` lives inside each replica server (and inside
+each client).  It maintains one outbound connection per replica peer — opened
+lazily, re-opened with backoff on failure — and a routing table of inbound
+client connections registered by the hosting server.  ``send`` and
+``broadcast`` are synchronous (the consensus state machine calls them from
+message handlers); frames are queued and written by per-peer writer tasks.
+
+Everything runs on a single event loop, so consensus callbacks are serialised
+exactly as they are under the discrete-event simulator — the state machine
+needs no locks in either world.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Any, Callable
+
+from repro.runtime.codec import encode_envelope
+from repro.runtime.control import Hello
+from repro.runtime.framing import encode_frame, write_frame
+
+logger = logging.getLogger(__name__)
+
+#: Frames queued per peer before the oldest are dropped (backpressure cap).
+OUTBOUND_QUEUE_LIMIT = 10_000
+
+#: User-space bytes buffered towards one registered (client) stream before
+#: further frames to it are dropped — a stalled client must not balloon the
+#: replica's memory with unsent replies.
+STREAM_BUFFER_LIMIT = 4 * 1024 * 1024
+
+#: Reconnect backoff bounds (seconds).
+RECONNECT_INITIAL = 0.05
+RECONNECT_MAX = 1.0
+
+
+class LiveTimer:
+    """Cancellable timer over ``loop.call_later`` (TimerHandle protocol)."""
+
+    __slots__ = ("_handle", "active")
+
+    def __init__(self) -> None:
+        self._handle: asyncio.TimerHandle | None = None
+        self.active = True
+
+    def _arm(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+
+    def _fired(self) -> None:
+        self.active = False
+
+    def cancel(self) -> None:
+        if self.active and self._handle is not None:
+            self._handle.cancel()
+        self.active = False
+
+
+class AsyncioTransport:
+    """Live NodeTransport: length-prefixed canonical-JSON frames over TCP."""
+
+    def __init__(
+        self,
+        node_id: int,
+        peers: dict[int, tuple[str, int]],
+        *,
+        role: str = "replica",
+    ) -> None:
+        self.node_id = node_id
+        self.peers = dict(peers)
+        self.role = role
+        self._loop = asyncio.get_running_loop()
+        self._queues: dict[int, asyncio.Queue[bytes]] = {}
+        self._writer_tasks: dict[int, asyncio.Task[None]] = {}
+        self._streams: dict[int, asyncio.StreamWriter] = {}
+        self._timers: list[LiveTimer] = []
+        self._closed = False
+        #: Counters for observability.
+        self.frames_sent = 0
+        self.frames_dropped = 0
+
+    # -- clock --------------------------------------------------------------
+
+    def now(self) -> float:
+        """Raw monotonic clock (``loop.time()``).
+
+        Deliberately *not* normalised to transport start: on a single host
+        every process reads the same CLOCK_MONOTONIC, so client- and
+        replica-side timestamps are directly comparable and the five-stage
+        latency breakdown can span processes.  Across hosts the breakdown's
+        cross-machine stages (send, reply) are only as good as the hosts'
+        clock synchronisation.
+        """
+        return self._loop.time()
+
+    # -- timers -------------------------------------------------------------
+
+    def set_timer(self, delay: float, callback: Callable[[], Any]) -> LiveTimer:
+        """Schedule ``callback`` on the event loop after ``delay`` seconds."""
+        timer = LiveTimer()
+
+        def fire() -> None:
+            timer._fired()
+            if not self._closed:
+                callback()
+
+        timer._arm(self._loop.call_later(max(0.0, delay), fire))
+        self._timers.append(timer)
+        if len(self._timers) > 256:
+            self._timers = [t for t in self._timers if t.active]
+        return timer
+
+    def cancel_timers(self) -> None:
+        """Cancel every timer set through this transport and still pending."""
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, destination: int, message: Any) -> None:
+        """Queue ``message`` for ``destination`` (peer or registered stream)."""
+        if self._closed:
+            return
+        frame = encode_envelope(self.node_id, message)
+        if destination in self.peers:
+            queue = self._ensure_peer(destination)
+            if queue.full():
+                # Drop-oldest keeps the writer from wedging the state machine
+                # when a peer is down; PBFT tolerates message loss (retransmit
+                # comes from view change / re-proposal).
+                queue.get_nowait()
+                self.frames_dropped += 1
+            queue.put_nowait(frame)
+        elif destination in self._streams:
+            self._write_to_stream(destination, frame)
+        else:
+            self.frames_dropped += 1
+
+    def broadcast(self, message: Any, include_self: bool = False) -> None:
+        """Send ``message`` to every replica peer (not to client streams)."""
+        if self._closed:
+            return
+        frame = encode_envelope(self.node_id, message)
+        for peer_id in self.peers:
+            if peer_id == self.node_id and not include_self:
+                continue
+            queue = self._ensure_peer(peer_id)
+            if queue.full():
+                queue.get_nowait()
+                self.frames_dropped += 1
+            queue.put_nowait(frame)
+
+    def _write_to_stream(self, destination: int, frame: bytes) -> None:
+        writer = self._streams.get(destination)
+        if writer is None or writer.is_closing():
+            self._streams.pop(destination, None)
+            self.frames_dropped += 1
+            return
+        if writer.transport.get_write_buffer_size() > STREAM_BUFFER_LIMIT:
+            # The client stopped reading; drop rather than buffer without
+            # bound (it can recover the result by retransmitting).
+            self.frames_dropped += 1
+            return
+        writer.write(encode_frame(frame))
+        self.frames_sent += 1
+
+    # -- inbound stream registry (clients replying over their own socket) ----
+
+    def register_stream(self, node_id: int, writer: asyncio.StreamWriter) -> None:
+        """Route future sends to ``node_id`` over an inbound connection."""
+        self._streams[node_id] = writer
+
+    def unregister_stream(self, node_id: int) -> None:
+        if node_id in self._streams:
+            del self._streams[node_id]
+
+    # -- outbound connections ------------------------------------------------
+
+    def _ensure_peer(self, peer_id: int) -> asyncio.Queue[bytes]:
+        queue = self._queues.get(peer_id)
+        if queue is None:
+            queue = asyncio.Queue(maxsize=OUTBOUND_QUEUE_LIMIT)
+            self._queues[peer_id] = queue
+            self._writer_tasks[peer_id] = self._loop.create_task(
+                self._peer_writer(peer_id, queue)
+            )
+        return queue
+
+    async def _peer_writer(self, peer_id: int, queue: asyncio.Queue[bytes]) -> None:
+        """Connect to one peer (with backoff) and drain its frame queue."""
+        host, port = self.peers[peer_id]
+        backoff = RECONNECT_INITIAL
+        while not self._closed:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, RECONNECT_MAX)
+                continue
+            backoff = RECONNECT_INITIAL
+            try:
+                await write_frame(
+                    writer, encode_envelope(self.node_id, Hello(self.node_id, self.role))
+                )
+                while not self._closed:
+                    frame = await queue.get()
+                    await write_frame(writer, frame)
+                    self.frames_sent += 1
+            except (OSError, ConnectionError, asyncio.CancelledError) as exc:
+                if isinstance(exc, asyncio.CancelledError):
+                    raise
+                logger.debug("node %d lost connection to peer %d", self.node_id, peer_id)
+            finally:
+                writer.close()
+
+    # -- shutdown -------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Cancel timers and writer tasks, close all outbound connections."""
+        self._closed = True
+        self.cancel_timers()
+        for task in self._writer_tasks.values():
+            task.cancel()
+        await asyncio.gather(*self._writer_tasks.values(), return_exceptions=True)
+        self._writer_tasks.clear()
+        self._queues.clear()
+        self._streams.clear()

@@ -4,6 +4,14 @@ A :class:`Process` owns a node identifier, can send messages through the
 :class:`~repro.net.network.Network` it is registered with, and can set timers
 on the shared :class:`~repro.sim.simulator.Simulator`.  Replicas, clients and
 fault injectors are all processes.
+
+``Process`` is the simulator-side implementation of the
+:class:`~repro.net.transport.NodeTransport` host interface (``send`` /
+``broadcast`` / ``set_timer`` / ``cancel_timers``; subclasses that act as
+transports expose the clock as a ``now()`` method).  The live runtime provides
+the same interface over asyncio TCP in
+:class:`~repro.runtime.transport.AsyncioTransport`, so consensus code written
+against the interface runs unchanged in either world.
 """
 
 from __future__ import annotations

@@ -8,7 +8,7 @@ two-caller contract invocations, and 500-byte payloads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.ledger.transactions import Transaction, contract_call, payment

@@ -6,7 +6,6 @@ handling, the broadcast path that drains ``core.pending_checkpoints``, and an
 end-to-end run in which a stable checkpoint forms from real epoch completion.
 """
 
-import pytest
 
 from repro.cluster.builder import MessageCluster, MessageClusterConfig
 from repro.cluster.replica import MultiBFTReplica

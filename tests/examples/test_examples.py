@@ -1,0 +1,56 @@
+"""Smoke tests for every example script.
+
+The examples are the repository's front door and previously ran under no
+test, so an API change could rot them silently.  Each one is executed as a
+real subprocess — exactly how a reader would run it — and must exit cleanly
+with its expected headline output.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO_ROOT / "examples"
+
+#: script name -> substring its output must contain.
+EXPECTED_OUTPUT = {
+    "quickstart.py": "Orthrus quickstart",
+    "smart_contract_escrow.py": "tx0",
+    "fault_tolerant_cluster.py": "honest replicas agree on state: True",
+    "payment_network.py": "Payment network",
+}
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+        env=env,
+    )
+
+
+def test_every_example_is_covered():
+    """A new example script must be added to this smoke suite."""
+    scripts = {path.name for path in EXAMPLES.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_OUTPUT))
+def test_example_runs_cleanly(name):
+    result = run_example(name)
+    assert result.returncode == 0, (
+        f"{name} exited with {result.returncode}\n"
+        f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    assert EXPECTED_OUTPUT[name] in result.stdout
+    assert "Traceback" not in result.stderr

@@ -77,3 +77,57 @@ class TestCLI:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_version_matches_package_metadata(self):
+        """pyproject.toml and repro.__version__ must not drift apart."""
+        import re
+        from pathlib import Path
+
+        import repro
+
+        pyproject = (
+            Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+        ).read_text()
+        declared = re.search(r'^version = "([^"]+)"', pyproject, re.MULTILINE)
+        assert declared is not None
+        assert declared.group(1) == repro.__version__
+
+    def test_serve_rejects_bad_peers(self, capsys):
+        exit_code = main(["serve", "--replica-id", "0", "--peers", "not-an-endpoint"])
+        assert exit_code == 2
+        assert "host:port" in capsys.readouterr().err
+
+    def test_loadgen_rejects_bad_peers(self, capsys):
+        exit_code = main(["loadgen", "--peers", "nope"])
+        assert exit_code == 2
+        assert "host:port" in capsys.readouterr().err
+
+    def test_live_config_errors_exit_cleanly(self, capsys):
+        """Bad live-cluster configuration is a message, not a traceback."""
+        exit_code = main(["cluster", "--replicas", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "at least 4 replicas" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_keyboard_interrupt_exits_quietly(self, capsys, monkeypatch):
+        """Ctrl-C during a long run must not spew a traceback."""
+        import repro.cli as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_command_workload", interrupted)
+        exit_code = main(["workload", "--transactions", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 130
+        assert "interrupted" in captured.err
+        assert "Traceback" not in captured.err

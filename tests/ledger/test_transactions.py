@@ -1,6 +1,5 @@
 """Tests for transaction construction and classification."""
 
-import pytest
 
 from repro.ledger.objects import ObjectOperation, ObjectType, OperationKind
 from repro.ledger.transactions import (

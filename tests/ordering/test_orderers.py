@@ -1,6 +1,5 @@
 """Tests for the three global-ordering engines and the rank tracker."""
 
-import pytest
 
 from repro.ledger.blocks import Block, SystemState
 from repro.ledger.transactions import simple_transfer

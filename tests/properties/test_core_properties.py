@@ -12,7 +12,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.config import CoreConfig
 from repro.core.orthrus import OrthrusCore
 from repro.core.partition import LoadBalancedPartitioner
-from repro.ledger.blocks import Block, SystemState
+from repro.ledger.blocks import Block
 from repro.ledger.state import StateStore
 from repro.ledger.transactions import contract_call, payment, simple_transfer
 

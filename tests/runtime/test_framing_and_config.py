@@ -1,0 +1,117 @@
+"""Unit tests for frame encoding and runtime configuration."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.config import (
+    ReplicaRuntimeConfig,
+    format_endpoint,
+    parse_endpoint,
+)
+from repro.runtime.framing import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    encode_frame,
+    read_frame,
+)
+from repro.workload.config import WorkloadConfig
+
+PEERS = tuple(("127.0.0.1", 7000 + i) for i in range(4))
+
+
+def drain_frames(data: bytes) -> list[bytes | None]:
+    """Feed raw bytes through an asyncio StreamReader and read frames."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        frames: list[bytes | None] = []
+        while True:
+            frame = await read_frame(reader)
+            frames.append(frame)
+            if frame is None:
+                break
+        return frames
+
+    return asyncio.run(run())
+
+
+class TestFraming:
+    def test_round_trip_multiple_frames(self):
+        payloads = [b"", b"x", b"hello world" * 100]
+        stream = b"".join(encode_frame(p) for p in payloads)
+        assert drain_frames(stream) == payloads + [None]
+
+    def test_clean_eof_returns_none(self):
+        assert drain_frames(b"") == [None]
+
+    def test_truncated_frame_raises(self):
+        stream = encode_frame(b"full")[:-2]
+        with pytest.raises(FrameError, match="mid-frame"):
+            drain_frames(stream)
+
+    def test_oversized_announcement_raises(self):
+        header = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(FrameError, match="max"):
+            drain_frames(header + b"x")
+
+    def test_oversized_payload_refused_at_encode(self):
+        with pytest.raises(FrameError):
+            encode_frame(b"\0" * (MAX_FRAME_BYTES + 1))
+
+
+class TestEndpoints:
+    def test_parse_and_format(self):
+        assert parse_endpoint("10.0.0.1:7001") == ("10.0.0.1", 7001)
+        assert format_endpoint(("10.0.0.1", 7001)) == "10.0.0.1:7001"
+
+    @pytest.mark.parametrize("bad", ["nohost", ":7000", "host:", "host:abc", "host:0"])
+    def test_invalid_endpoints(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_endpoint(bad)
+
+
+class TestReplicaRuntimeConfig:
+    def test_defaults(self):
+        config = ReplicaRuntimeConfig(replica_id=1, peers=PEERS)
+        assert config.num_replicas == 4
+        assert config.instances == 4
+        assert config.listen_endpoint == ("127.0.0.1", 7001)
+
+    def test_too_few_replicas(self):
+        with pytest.raises(ConfigurationError, match="at least 4"):
+            ReplicaRuntimeConfig(replica_id=0, peers=PEERS[:3])
+
+    def test_replica_id_out_of_range(self):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            ReplicaRuntimeConfig(replica_id=4, peers=PEERS)
+
+    def test_for_replica_views_same_cluster(self):
+        config = ReplicaRuntimeConfig(replica_id=0, peers=PEERS)
+        sibling = config.for_replica(2)
+        assert sibling.peers == config.peers
+        assert sibling.listen_endpoint == ("127.0.0.1", 7002)
+
+    def test_genesis_is_identical_across_replicas(self):
+        """Every replica must boot from the same state or diverge instantly."""
+        workload = WorkloadConfig(num_accounts=64, seed=9)
+        digests = {
+            ReplicaRuntimeConfig(
+                replica_id=i, peers=PEERS, workload=workload
+            ).genesis_digest()
+            for i in range(4)
+        }
+        assert len(digests) == 1
+
+    def test_build_core_populates_genesis(self):
+        config = ReplicaRuntimeConfig(
+            replica_id=0, peers=PEERS, workload=WorkloadConfig(num_accounts=64)
+        )
+        core = config.build_core()
+        assert len(core.store) >= 64
+        assert core.store.state_digest() == config.genesis_digest()

@@ -1,0 +1,220 @@
+"""In-process integration tests for the live runtime.
+
+Four :class:`ReplicaServer` instances share one event loop and real localhost
+TCP sockets — the same code paths as separate OS processes, minus the
+process boundary, which keeps these tests fast and debuggable.  The
+process-level path is exercised by ``benchmarks/test_live_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.ledger.transactions import reset_transaction_counter
+from repro.runtime.client import ClientConfig, OrthrusClient
+from repro.runtime.cluster import free_port
+from repro.runtime.config import ReplicaRuntimeConfig
+from repro.runtime.loadgen import LoadGenConfig, LoadGenerator
+from repro.runtime.server import ReplicaServer
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import EthereumStyleWorkload
+
+NUM_REPLICAS = 4
+WORKLOAD = WorkloadConfig(num_accounts=128, seed=5)
+
+
+async def start_cluster(num_instances: int = 2) -> tuple[list[ReplicaServer], tuple]:
+    peers = tuple(("127.0.0.1", free_port()) for _ in range(NUM_REPLICAS))
+    servers = []
+    for replica_id in range(NUM_REPLICAS):
+        server = ReplicaServer(
+            ReplicaRuntimeConfig(
+                replica_id=replica_id,
+                peers=peers,
+                num_instances=num_instances,
+                batch_size=32,
+                batch_interval=0.02,
+                workload=WORKLOAD,
+            )
+        )
+        await server.start()
+        servers.append(server)
+    return servers, peers
+
+
+async def stop_cluster(servers: list[ReplicaServer]) -> None:
+    for server in servers:
+        server.stop()
+        await server._shutdown()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_tx_ids():
+    reset_transaction_counter()
+
+
+def test_client_submissions_reach_quorum_and_replicas_agree():
+    async def scenario():
+        servers, peers = await start_cluster()
+        workload = EthereumStyleWorkload(WORKLOAD)
+        try:
+            async with OrthrusClient(list(peers), ClientConfig(timeout=3.0)) as client:
+                futures = [
+                    client.submit_nowait(workload.next_transaction())
+                    for _ in range(60)
+                ]
+                results = await asyncio.gather(*futures)
+                assert all(result.committed for result in results)
+                # f + 1 = 2 matching replies for n = 4.
+                assert all(len(result.replicas) >= 2 for result in results)
+                assert client.pending_count == 0
+
+                # After settling, every replica holds the same state.
+                for _ in range(50):
+                    statuses = await client.cluster_status()
+                    if len({s.state_digest for s in statuses}) == 1 and all(
+                        s.committed >= 60 for s in statuses
+                    ):
+                        break
+                    await asyncio.sleep(0.1)
+                assert len({s.state_digest for s in statuses}) == 1
+                assert all(s.committed >= 60 for s in statuses)
+        finally:
+            await stop_cluster(servers)
+
+    asyncio.run(scenario())
+
+
+def test_closed_loop_loadgen_reports_metrics():
+    async def scenario():
+        servers, peers = await start_cluster()
+        try:
+            generator = LoadGenerator(
+                list(peers),
+                LoadGenConfig(
+                    transactions=80,
+                    mode="closed",
+                    concurrency=8,
+                    workload=WorkloadConfig(
+                        num_accounts=128, seed=5, payment_fraction=1.0
+                    ),
+                    client=ClientConfig(timeout=3.0),
+                ),
+            )
+            report = await generator.run()
+            assert report.completed == 80
+            assert report.failed == 0
+            assert report.metrics.committed == 80
+            assert report.metrics.throughput_tps > 0
+            assert report.digests_agree
+            # The five-stage breakdown spans client and replica clocks.
+            assert report.stage_breakdown["partial_ordering"] > 0
+            assert report.stage_breakdown["reply"] > 0
+        finally:
+            await stop_cluster(servers)
+
+    asyncio.run(scenario())
+
+
+def test_open_loop_loadgen():
+    async def scenario():
+        servers, peers = await start_cluster()
+        try:
+            generator = LoadGenerator(
+                list(peers),
+                LoadGenConfig(
+                    transactions=40,
+                    mode="open",
+                    rate_tps=200.0,
+                    workload=WorkloadConfig(
+                        num_accounts=128, seed=5, payment_fraction=1.0
+                    ),
+                    client=ClientConfig(timeout=3.0),
+                ),
+            )
+            report = await generator.run()
+            assert report.completed == 40
+            # Open loop paces submissions: 40 tx at 200 tps is >= 0.2 s.
+            assert report.wall_seconds >= 0.15
+        finally:
+            await stop_cluster(servers)
+
+    asyncio.run(scenario())
+
+
+def test_client_retransmits_after_timeout():
+    """A request lost before reaching any replica is retried and completes."""
+
+    async def scenario():
+        servers, peers = await start_cluster()
+        workload = EthereumStyleWorkload(WORKLOAD)
+        try:
+            client = OrthrusClient(
+                list(peers), ClientConfig(timeout=0.3, retries=3)
+            )
+            await client.connect()
+            try:
+                tx = workload.next_transaction()
+                original_transmit = client._transmit
+                calls = {"n": 0}
+
+                def flaky_transmit(tx):
+                    calls["n"] += 1
+                    if calls["n"] == 1:
+                        return  # swallow the first attempt entirely
+                    original_transmit(tx)
+
+                client._transmit = flaky_transmit
+                result = await client.submit(tx)
+                assert result.committed
+                assert result.retries >= 1
+                assert client.retransmissions >= 1
+            finally:
+                await client.close()
+        finally:
+            await stop_cluster(servers)
+
+    asyncio.run(scenario())
+
+
+def test_retransmitted_request_is_answered_from_reply_cache():
+    """A duplicate request for an executed tx gets a reply, not re-execution."""
+
+    async def scenario():
+        servers, peers = await start_cluster()
+        workload = EthereumStyleWorkload(WORKLOAD)
+        try:
+            async with OrthrusClient(list(peers), ClientConfig(timeout=3.0)) as client:
+                tx = workload.next_transaction()
+                first = await client.submit(tx)
+                assert first.committed
+                # Let every replica finish executing before re-submitting.
+                await asyncio.sleep(0.3)
+                committed_before = [s.committed for s in await client.cluster_status()]
+
+                second = await client.submit(tx)
+                assert second.committed == first.committed
+
+                committed_after = [s.committed for s in await client.cluster_status()]
+                assert committed_after == committed_before  # no double execution
+        finally:
+            await stop_cluster(servers)
+
+    asyncio.run(scenario())
+
+
+def test_shutdown_request_stops_server():
+    async def scenario():
+        servers, peers = await start_cluster()
+        try:
+            async with OrthrusClient(list(peers)) as client:
+                await client.shutdown_cluster("test shutdown")
+            await asyncio.wait_for(
+                asyncio.gather(*(s._stopped.wait() for s in servers)), timeout=5.0
+            )
+        finally:
+            await stop_cluster(servers)
+
+    asyncio.run(scenario())
