@@ -1,0 +1,84 @@
+"""End-to-end chaos smoke: crash a live leader mid-run, survive it.
+
+Spawns a 4-replica / 2-instance Orthrus cluster as real ``repro serve``
+OS processes, drives it with the closed-loop load generator, and SIGKILLs
+replica 0 — the leader of instance 0 — two seconds into the run.  The
+acceptance properties from the fault-injection issue:
+
+* the survivors perform a view change (failure detector fires, leadership
+  rotates) instead of stalling the global log,
+* transactions keep completing with ``f + 1`` matching replies,
+* the surviving replicas report identical ``StateStore`` digests.
+
+Every await is bounded (``asyncio.wait_for``) so a stalled view change
+fails the test quickly instead of hanging the CI workflow.
+
+Scale via ``REPRO_LIVE_CHAOS_TXS`` (CI uses 800; the default keeps local
+``pytest`` runs quick).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from repro.cluster.faults import FaultPlan
+from repro.runtime.chaos import run_chaos
+from repro.runtime.client import ClientConfig
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.loadgen import LoadGenConfig
+from repro.workload.config import WorkloadConfig
+
+CHAOS_TRANSACTIONS = int(os.environ.get("REPRO_LIVE_CHAOS_TXS", "300"))
+
+WORKLOAD = WorkloadConfig(num_accounts=512, seed=42, payment_fraction=1.0)
+
+#: Wall-clock budget for the whole chaos run; generous against CI jitter but
+#: far below the workflow timeout, so a wedged view change fails fast here.
+RUN_TIMEOUT = 180.0
+
+
+#: Open-loop submission rate: paces the run so the crash lands mid-run
+#: (a closed loop on localhost would finish before the crash timer fires).
+SUBMIT_RATE_TPS = 150.0
+
+
+def test_leader_crash_view_change_and_recovery_across_processes():
+    plan = FaultPlan(crashes={0: 1.0}, view_change_timeout=1.5)
+    spec = ClusterSpec(
+        num_replicas=4,
+        num_instances=2,
+        batch_size=64,
+        batch_interval=0.02,
+        view_change_timeout=plan.view_change_timeout,
+        workload=WORKLOAD,
+        faults=plan,
+    )
+    load = LoadGenConfig(
+        transactions=CHAOS_TRANSACTIONS,
+        mode="open",
+        rate_tps=SUBMIT_RATE_TPS,
+        workload=WORKLOAD,
+        client=ClientConfig(client_id=1000, timeout=5.0, retries=3),
+    )
+
+    result = asyncio.run(asyncio.wait_for(run_chaos(spec, load), timeout=RUN_TIMEOUT))
+    report = result.report
+
+    # The only process exit is the scheduled SIGKILL of replica 0.
+    assert [(e.action, e.replica) for e in result.events] == [("crash", 0)]
+    assert result.unexpected_exits == []
+
+    # Liveness through the crash: every submission still completed with
+    # f + 1 matching replies, and most committed.
+    assert report.failed == 0
+    assert report.completed == CHAOS_TRANSACTIONS
+    assert report.metrics.committed >= CHAOS_TRANSACTIONS * 0.99
+
+    # The crashed leader's instance was recovered by a view change.
+    assert set(report.view_changes) == {1, 2, 3}
+    assert result.view_changes >= 1
+
+    # Safety: the three survivors converged to one state.
+    assert set(report.state_digests) == {1, 2, 3}
+    assert report.digests_agree, f"survivors diverged: {report.state_digests}"

@@ -15,6 +15,14 @@ Live cluster (real asyncio TCP processes, not the simulator)::
     python -m repro.cli serve --replica-id 0 --peers 127.0.0.1:7000,...
     python -m repro.cli loadgen --peers 127.0.0.1:7000,... --transactions 1000
 
+Live fault injection (the paper's degradation modes on real sockets)::
+
+    python -m repro.cli chaos --crash 0:2 --view-change-timeout 2
+    python -m repro.cli chaos --straggle 1:10
+    python -m repro.cli chaos --byzantine 1
+    python -m repro.cli cluster --fault-plan '{"crashes": {"0": 5}}'
+    python -m repro.cli run --backend live --replicas 4 --straggler
+
 All experiment commands accept ``--jobs N`` (parallel execution across a
 process pool; results are identical to serial runs) and ``--cache-dir PATH``
 (completed cells are stored as JSON keyed by spec hash, so re-runs and
@@ -100,6 +108,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run one protocol once")
     run_parser.add_argument("--protocol", default="orthrus", choices=available_protocols() + ["orthrus-blocking"])
+    run_parser.add_argument(
+        "--backend",
+        default="sim",
+        choices=["sim", "live"],
+        help="sim: deterministic simulator; live: real asyncio cluster on localhost",
+    )
     run_parser.add_argument("--replicas", type=int, default=16)
     run_parser.add_argument("--environment", default="wan", choices=["wan", "lan"])
     run_parser.add_argument("--duration", type=float, default=40.0)
@@ -168,6 +182,17 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--view-change-timeout", type=float, default=10.0)
     serve_parser.add_argument("--accounts", type=int, default=1024)
     serve_parser.add_argument("--workload-seed", type=int, default=42)
+    serve_parser.add_argument(
+        "--send-delay",
+        type=float,
+        default=0.0,
+        help="chaos: delay every outbound replica frame by SECONDS (straggler)",
+    )
+    serve_parser.add_argument(
+        "--byzantine-abstain",
+        action="store_true",
+        help="chaos: drop consensus messages for instances this replica does not lead",
+    )
 
     cluster_parser = subparsers.add_parser(
         "cluster", help="spawn and supervise a local live cluster"
@@ -188,6 +213,70 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="seconds to run before shutting down (default: until Ctrl-C)",
+    )
+    cluster_parser.add_argument(
+        "--fault-plan",
+        default=None,
+        help=(
+            "JSON fault plan or @file: "
+            '{"stragglers": {"1": 10}, "crashes": {"0": 5}, '
+            '"restarts": {"0": 15}, "undetectable_faults": 1}'
+        ),
+    )
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="run a fault-injected load experiment against a fresh live cluster",
+    )
+    chaos_parser.add_argument("--replicas", type=_positive_int, default=4)
+    chaos_parser.add_argument("--instances", type=int, default=None)
+    chaos_parser.add_argument(
+        "--protocol", default="orthrus", choices=available_protocols()
+    )
+    chaos_parser.add_argument("--base-port", type=int, default=None)
+    chaos_parser.add_argument("--batch-size", type=int, default=64)
+    chaos_parser.add_argument("--batch-interval", type=float, default=0.02)
+    chaos_parser.add_argument("--view-change-timeout", type=float, default=2.0)
+    chaos_parser.add_argument("--accounts", type=int, default=1024)
+    chaos_parser.add_argument("--workload-seed", type=int, default=42)
+    chaos_parser.add_argument("--transactions", type=_positive_int, default=1000)
+    chaos_parser.add_argument("--mode", choices=["closed", "open"], default="closed")
+    chaos_parser.add_argument("--concurrency", type=_positive_int, default=32)
+    chaos_parser.add_argument("--rate", type=float, default=500.0)
+    chaos_parser.add_argument("--payment-fraction", type=float, default=1.0)
+    chaos_parser.add_argument("--client-timeout", type=float, default=None)
+    chaos_parser.add_argument(
+        "--straggle",
+        action="append",
+        default=[],
+        metavar="REPLICA:FACTOR",
+        help="slow one replica down (paper straggler: 0:10); repeatable",
+    )
+    chaos_parser.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="REPLICA:SECONDS",
+        help="SIGKILL one replica at a time offset; repeatable",
+    )
+    chaos_parser.add_argument(
+        "--restart",
+        action="append",
+        default=[],
+        metavar="REPLICA:SECONDS",
+        help="restart a crashed replica at a time offset; repeatable",
+    )
+    chaos_parser.add_argument(
+        "--byzantine",
+        type=int,
+        default=0,
+        metavar="COUNT",
+        help="replicas that abstain from instances they do not lead (Fig. 8)",
+    )
+    chaos_parser.add_argument(
+        "--fault-plan",
+        default=None,
+        help="JSON fault plan or @file (overrides the individual fault flags)",
     )
 
     loadgen_parser = subparsers.add_parser(
@@ -231,6 +320,7 @@ def _spec_from_args(args: argparse.Namespace, protocol: str) -> ScenarioSpec:
         workload_seed=_CLI_WORKLOAD_SEED,
         payment_fraction=getattr(args, "payment_fraction", None),
         faults=faults,
+        backend=getattr(args, "backend", "sim"),
     )
 
 
@@ -353,6 +443,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         batch_interval=args.batch_interval,
         view_change_timeout=args.view_change_timeout,
         workload=WorkloadConfig(num_accounts=args.accounts, seed=args.workload_seed),
+        send_delay=args.send_delay,
+        byzantine_abstain=args.byzantine_abstain,
     )
     asyncio.run(run_server(config))
     return 0
@@ -373,10 +465,19 @@ def _print_cluster_statuses(statuses) -> None:
 def _command_cluster(args: argparse.Namespace) -> int:
     import time as _time
 
+    from repro.cluster.faults import FaultPlan
+    from repro.runtime.chaos import ChaosController, fault_plan_from_json
     from repro.runtime.client import ClientConfig, OrthrusClient
     from repro.runtime.cluster import ClusterSpec, LocalCluster
     from repro.runtime.config import format_endpoint
 
+    if args.fault_plan is not None:
+        faults = fault_plan_from_json(
+            args.fault_plan, default_view_change_timeout=args.view_change_timeout
+        )
+    else:
+        faults = FaultPlan.none()
+        faults.view_change_timeout = args.view_change_timeout
     spec = ClusterSpec(
         num_replicas=args.replicas,
         num_instances=args.instances,
@@ -384,11 +485,13 @@ def _command_cluster(args: argparse.Namespace) -> int:
         base_port=args.base_port,
         batch_size=args.batch_size,
         batch_interval=args.batch_interval,
-        view_change_timeout=args.view_change_timeout,
+        view_change_timeout=faults.view_change_timeout,
         workload=WorkloadConfig(num_accounts=args.accounts, seed=args.workload_seed),
+        faults=faults,
     )
     cluster = LocalCluster(spec)
     cluster.start()
+    controller = ChaosController(cluster, faults)
     peers = ",".join(format_endpoint(endpoint) for endpoint in cluster.endpoints)
     print(f"cluster up: {args.replicas} replicas, {spec.num_instances or args.replicas} instances")
     print(f"peers: {peers}")
@@ -396,7 +499,8 @@ def _command_cluster(args: argparse.Namespace) -> int:
 
     async def final_status():
         client = OrthrusClient(list(cluster.endpoints), ClientConfig(client_id=999))
-        await client.connect()
+        # Chaos-crashed replicas may be unreachable; probe the survivors.
+        await client.connect(require_all=not controller.down)
         try:
             statuses = await client.cluster_status()
             await client.shutdown_cluster("cluster supervisor shutdown")
@@ -405,11 +509,14 @@ def _command_cluster(args: argparse.Namespace) -> int:
             await client.close()
 
     exit_code = 0
+    started = _time.monotonic()
     try:
-        deadline = None if args.duration is None else _time.monotonic() + args.duration
+        deadline = None if args.duration is None else started + args.duration
         while deadline is None or _time.monotonic() < deadline:
             _time.sleep(0.25)
-            dead = cluster.check()
+            for event in controller.poll(_time.monotonic() - started):
+                print(f"chaos: {event.action} replica {event.replica} @ {event.at:.2f}s")
+            dead = controller.unexpected_exits()
             if dead:
                 print(f"error: replicas exited unexpectedly: {dead}", file=sys.stderr)
                 exit_code = 1
@@ -423,6 +530,108 @@ def _command_cluster(args: argparse.Namespace) -> int:
             print(f"warning: could not collect final statuses: {error}", file=sys.stderr)
     cluster.stop()
     return exit_code
+
+
+def _parse_fault_pairs(entries: list[str], flag: str) -> dict[int, float]:
+    pairs: dict[int, float] = {}
+    for entry in entries:
+        replica_text, separator, value_text = entry.partition(":")
+        if not separator:
+            raise ConfigurationError(
+                f"--{flag} expects REPLICA:VALUE, got {entry!r}"
+            )
+        try:
+            pairs[int(replica_text)] = float(value_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"--{flag} expects numeric REPLICA:VALUE, got {entry!r}"
+            ) from None
+    return pairs
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    from repro.cluster.faults import FaultPlan
+    from repro.runtime.chaos import (
+        fault_plan_from_json,
+        run_chaos,
+        validate_fault_plan,
+    )
+    from repro.runtime.client import ClientConfig
+    from repro.runtime.cluster import ClusterSpec
+    from repro.runtime.loadgen import LoadGenConfig
+
+    if args.fault_plan is not None:
+        plan = fault_plan_from_json(
+            args.fault_plan, default_view_change_timeout=args.view_change_timeout
+        )
+    else:
+        plan = FaultPlan(
+            stragglers=_parse_fault_pairs(args.straggle, "straggle"),
+            crashes=_parse_fault_pairs(args.crash, "crash"),
+            restarts=_parse_fault_pairs(args.restart, "restart"),
+            view_change_timeout=args.view_change_timeout,
+            undetectable_faults=args.byzantine,
+        )
+    validate_fault_plan(plan, args.replicas)
+    spec = ClusterSpec(
+        num_replicas=args.replicas,
+        num_instances=args.instances,
+        protocol=args.protocol,
+        base_port=args.base_port,
+        batch_size=args.batch_size,
+        batch_interval=args.batch_interval,
+        view_change_timeout=plan.view_change_timeout,
+        workload=WorkloadConfig(num_accounts=args.accounts, seed=args.workload_seed),
+        faults=plan,
+    )
+    # Submissions routed through a crashed leader's instance must outlive the
+    # view change, so the client's patience scales with the detector timeout.
+    timeout = (
+        args.client_timeout
+        if args.client_timeout is not None
+        else max(5.0, plan.view_change_timeout + 3.0)
+    )
+    load = LoadGenConfig(
+        transactions=args.transactions,
+        mode=args.mode,
+        concurrency=args.concurrency,
+        rate_tps=args.rate,
+        workload=WorkloadConfig(
+            num_accounts=args.accounts,
+            seed=args.workload_seed,
+            payment_fraction=args.payment_fraction,
+        ),
+        client=ClientConfig(client_id=1000, timeout=timeout, retries=3),
+    )
+    print(
+        f"# chaos [{plan_summary(plan)}] — {args.replicas} replicas, "
+        f"{spec.num_instances or args.replicas} instances, "
+        f"{args.transactions} tx ({args.mode})"
+    )
+    result = asyncio.run(run_chaos(spec, load))
+    for line in result.lines():
+        print(line)
+    return 0 if result.ok else 1
+
+
+def plan_summary(plan) -> str:
+    """One-line description of a fault plan for headers and logs."""
+    parts = []
+    if plan.stragglers:
+        parts.append(
+            "straggle " + ",".join(f"{r}x{s:g}" for r, s in sorted(plan.stragglers.items()))
+        )
+    if plan.crashes:
+        parts.append(
+            "crash " + ",".join(f"{r}@{t:g}s" for r, t in sorted(plan.crashes.items()))
+        )
+    if plan.restarts:
+        parts.append(
+            "restart " + ",".join(f"{r}@{t:g}s" for r, t in sorted(plan.restarts.items()))
+        )
+    if plan.undetectable_faults:
+        parts.append(f"byzantine x{plan.undetectable_faults}")
+    return "; ".join(parts) if parts else "no faults"
 
 
 def _command_loadgen(args: argparse.Namespace) -> int:
@@ -478,6 +687,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "workload": _command_workload,
         "serve": _command_serve,
         "cluster": _command_cluster,
+        "chaos": _command_chaos,
         "loadgen": _command_loadgen,
     }
     try:

@@ -27,6 +27,10 @@ class FaultPlan:
     Attributes:
         stragglers: Mapping of replica/instance id to slowdown factor.
         crashes: Mapping of replica id to the simulated time it crashes.
+        restarts: Mapping of replica id to the time its process is restarted
+            after a crash (live runtime only: the restarted replica rejoins
+            from genesis and can only passively observe; the simulator
+            ignores restarts).
         view_change_timeout: Seconds before a crashed leader is replaced.
         recovery_delay: Extra seconds for the new leader to take over after
             the timeout expires (view-change message exchange).
@@ -39,6 +43,7 @@ class FaultPlan:
 
     stragglers: dict[int, float] = field(default_factory=dict)
     crashes: dict[int, float] = field(default_factory=dict)
+    restarts: dict[int, float] = field(default_factory=dict)
     view_change_timeout: float = PAPER_VIEW_CHANGE_TIMEOUT
     recovery_delay: float = 0.5
     undetectable_faults: int = 0
@@ -82,6 +87,10 @@ class FaultPlan:
     def crash_time_of(self, node_id: int) -> float | None:
         """When (if ever) the node crashes."""
         return self.crashes.get(node_id)
+
+    def restart_time_of(self, node_id: int) -> float | None:
+        """When (if ever) the node's process is restarted after its crash."""
+        return self.restarts.get(node_id)
 
     @property
     def straggler_count(self) -> int:

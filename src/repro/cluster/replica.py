@@ -23,7 +23,7 @@ from typing import Any
 from repro.cluster.messages import ClientReply, ClientRequest
 from repro.core.epochs import CheckpointQuorum
 from repro.core.interfaces import ConsensusCore
-from repro.core.outcomes import ConfirmationPath, TxOutcome
+from repro.core.outcomes import ConfirmationPath, TxOutcome, TxStatus
 from repro.ledger.blocks import Block
 from repro.metrics.summary import MetricsCollector
 from repro.net.transport import NodeTransport
@@ -53,6 +53,7 @@ class MultiBFTReplica(Process):
         batch_interval: float = 0.05,
         metrics: MetricsCollector | None = None,
         transport: NodeTransport | None = None,
+        reply_cache_limit: int = REPLY_CACHE_LIMIT,
     ) -> None:
         super().__init__(replica_id)
         #: Host transport for all I/O.  Defaults to the replica itself, which
@@ -70,8 +71,15 @@ class MultiBFTReplica(Process):
         self._client_of_tx: dict[str, int] = {}
         #: Reply cache: lets a retransmitted request for an already-executed
         #: transaction be answered immediately (the live client's retry path;
-        #: simulated clients never retransmit).
+        #: simulated clients never retransmit).  Bounded: the oldest half is
+        #: evicted past ``reply_cache_limit``; requests for evicted entries
+        #: are rebuilt from the core's terminal status (see
+        #: :meth:`_handle_client_request`).
+        self.reply_cache_limit = reply_cache_limit
         self._reply_of_tx: dict[str, ClientReply] = {}
+        #: Instances this replica currently leads (tracked across views so a
+        #: demotion can requeue the old leader's in-flight transactions).
+        self._led: set[int] = set()
         self._checkpoints = CheckpointQuorum(2 * self.fault_tolerance + 1)
         self._last_proposal_at: dict[int, float] = {}
         #: Minimum idle time before an empty (no-op) block is proposed to keep
@@ -94,6 +102,9 @@ class MultiBFTReplica(Process):
             endpoint.on_leader_change(
                 lambda view, leader, inst=instance: self._on_leader_change(inst, leader)
             )
+            endpoint.pending_work_probe = (
+                lambda inst=instance: self._has_pending_work(inst)
+            )
             self.endpoints[instance] = endpoint
             self._next_sequence[instance] = 0
 
@@ -104,8 +115,10 @@ class MultiBFTReplica(Process):
         if self._started:
             return
         self._started = True
-        for endpoint in self.endpoints.values():
+        for instance, endpoint in self.endpoints.items():
             endpoint.start()
+            if endpoint.is_leader():
+                self._led.add(instance)
         self.transport.set_timer(self.batch_interval, self._proposal_tick)
 
     def crash(self) -> None:
@@ -145,6 +158,22 @@ class MultiBFTReplica(Process):
             # transit, so answer the retransmission from the cache.
             self.transport.send(request.client_node, cached_reply)
             return
+        status = self.core.status_of(tx.tx_id)
+        if status.terminal:
+            # Executed, but the cached reply was evicted: fail safe by
+            # rebuilding the answer from the core's terminal status instead
+            # of silently dropping the retransmission (re-submitting is not
+            # an option — the bucket dedupe would swallow it and the client
+            # would starve).
+            reply = ClientReply(
+                tx_id=tx.tx_id,
+                replica=self.node_id,
+                committed=status is TxStatus.COMMITTED,
+                confirmed_at=None,
+            )
+            self._cache_reply(reply)
+            self.transport.send(request.client_node, reply)
+            return
         self._client_of_tx[tx.tx_id] = request.client_node
         if self.metrics is not None:
             self.metrics.latency.record_received(tx.tx_id, self.transport.now())
@@ -170,9 +199,33 @@ class MultiBFTReplica(Process):
     def _proposal_tick(self) -> None:
         if self._crashed:
             return
-        for instance in self.led_instances():
-            self._propose_for(instance)
+        for instance, endpoint in self.endpoints.items():
+            if endpoint.is_leader():
+                self._propose_for(instance)
+            elif self._has_pending_work(instance):
+                # Not our instance to lead, but work is waiting on it: keep
+                # the failure detector armed so a crashed leader is detected
+                # even when no further client request arrives (arming is
+                # idempotent while the timer is active).
+                endpoint.notify_pending_work()
         self.transport.set_timer(self.batch_interval, self._proposal_tick)
+
+    def _has_pending_work(self, instance: int) -> bool:
+        """Whether this instance owes progress (failure-detector predicate).
+
+        True while non-terminal transactions are assigned to the instance
+        (queued or pulled-but-unconfirmed), or globally delivered blocks are
+        waiting for *some* instance to advance — a stalled instance must keep
+        rotating leaders until the global log drains, or the whole cluster
+        wedges on its frontier.  Deliberately *not* raw bucket length:
+        executed transactions stay physically queued on backups until epoch
+        GC, and counting them would fire spurious view changes on every
+        healthy-but-idle cluster.
+        """
+        return (
+            self.core.pending_work(instance) > 0
+            or self.core.global_orderer.pending_count() > 0
+        )
 
     def _propose_for(self, instance: int) -> None:
         batch = self.core.select_batch(instance, self.batch_size)
@@ -209,13 +262,31 @@ class MultiBFTReplica(Process):
         return self.transport.now() - last >= self.noop_interval
 
     def _on_leader_change(self, instance: int, leader: int) -> None:
+        endpoint = self.endpoints[instance]
+        # Rank monotonicity across the view change: blocks the old leader
+        # left pre-prepared keep their original ranks when re-proposed, so
+        # every replica — above all the next leader — must account for those
+        # ranks *before* assigning new ones.  A fresh rank below a re-proposed
+        # block's rank would violate the strictly-increasing-per-instance
+        # precondition Ladon's bar relies on and diverge the global log
+        # across replicas.
+        for _, block in endpoint.slots.undelivered_proposals():
+            self.core.rank_tracker.observe(block)
+        was_leader = instance in self._led
         if leader != self.node_id:
+            self._led.discard(instance)
+            if was_leader:
+                # Demoted: return pulled-but-undelivered transactions to the
+                # bucket and release the leader-side escrow reservations so
+                # they neither vanish nor leak affordability.
+                self.core.on_leadership_lost(instance)
             return
+        self._led.add(instance)
         # Resume sequence numbering after whatever the old leader delivered or
         # left pre-prepared (re-proposed slots keep their original numbers, so
         # fresh proposals must start above them to avoid conflicting slots).
         delivered = self.core.delivered_state().sequence_numbers[instance]
-        highest_started = self.endpoints[instance].slots.highest_started()
+        highest_started = endpoint.slots.highest_started()
         self._next_sequence[instance] = max(
             self._next_sequence[instance], delivered + 1, highest_started + 1
         )
@@ -246,12 +317,23 @@ class MultiBFTReplica(Process):
                     committed=outcome.committed,
                     confirmed_at=self.transport.now(),
                 )
-                self._reply_of_tx[outcome.tx.tx_id] = reply
-                if len(self._reply_of_tx) > REPLY_CACHE_LIMIT:
-                    for stale in list(self._reply_of_tx)[: REPLY_CACHE_LIMIT // 2]:
-                        del self._reply_of_tx[stale]
+                self._cache_reply(reply)
                 self.transport.send(client_node, reply)
         self._broadcast_checkpoints()
+
+    def _cache_reply(self, reply: ClientReply) -> None:
+        """Insert a reply into the bounded retransmission cache.
+
+        Dict insertion order is the eviction order: entries are only ever
+        inserted on first execution (cache hits answer without re-inserting,
+        which would not reorder the dict anyway), so the first half of the
+        keys really is the oldest half.  Overwriting an existing key keeps
+        its original position, preserving that invariant.
+        """
+        self._reply_of_tx[reply.tx_id] = reply
+        if len(self._reply_of_tx) > self.reply_cache_limit:
+            for stale in list(self._reply_of_tx)[: self.reply_cache_limit // 2]:
+                del self._reply_of_tx[stale]
 
     def _broadcast_checkpoints(self) -> None:
         pending = getattr(self.core, "pending_checkpoints", None)

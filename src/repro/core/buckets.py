@@ -57,6 +57,30 @@ class Bucket:
             returned += 1
         return returned
 
+    def defer(self, txs: Iterable[Transaction]) -> int:
+        """Return pulled transactions to the *back* of the queue.
+
+        Used by leader batch selection for transactions that are currently
+        unaffordable: requeueing them at the front would make the bounded scan
+        window re-examine the same unaffordable prefix forever and starve
+        affordable transactions deeper in the bucket.  Deferred transactions
+        cycle behind everything already queued and are re-considered once the
+        scan reaches them again (or garbage-collected at the epoch boundary).
+        """
+        deferred = 0
+        for tx in txs:
+            self._in_flight.pop(tx.tx_id, None)
+            if tx.tx_id in self._members:
+                continue
+            self._queue.append(tx)
+            self._members.add(tx.tx_id)
+            deferred += 1
+        return deferred
+
+    def in_flight_txs(self) -> list[Transaction]:
+        """Transactions pulled by the leader and not yet confirmed."""
+        return list(self._in_flight.values())
+
     def mark_confirmed(self, tx_ids: Iterable[str]) -> None:
         """Drop confirmed transactions from the in-flight tracking set."""
         for tx_id in tx_ids:

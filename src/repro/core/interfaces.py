@@ -54,6 +54,13 @@ class ConsensusCore:
             require_balanced_payments=config.require_balanced_payments
         )
         self._status: dict[str, TxStatus] = {}
+        #: Bucket indices each non-terminal transaction is assigned to, and
+        #: the per-instance count of such transactions.  This is the O(1)
+        #: "work owed" signal the failure detector needs: raw bucket length
+        #: would overcount, because executed transactions stay physically
+        #: queued on backups until epoch garbage collection.
+        self._pending_assignments: dict[str, tuple[int, ...]] = {}
+        self._pending_per_instance: list[int] = [0] * config.num_instances
         self._delivered_frontier = [-1] * config.num_instances
         #: Counters used by metrics and tests.
         self.submitted_count = 0
@@ -81,6 +88,13 @@ class ConsensusCore:
         if added:
             self.submitted_count += 1
             self._status.setdefault(tx.tx_id, TxStatus.PENDING)
+            if (
+                tx.tx_id not in self._pending_assignments
+                and not self.status_of(tx.tx_id).terminal
+            ):
+                self._pending_assignments[tx.tx_id] = tuple(added)
+                for index in added:
+                    self._pending_per_instance[index] += 1
         return added
 
     # -- leader-facing ------------------------------------------------------
@@ -103,9 +117,32 @@ class ConsensusCore:
         """Return unordered transactions to the bucket (after view change)."""
         return self.buckets[instance].requeue(txs)
 
+    def on_leadership_lost(self, instance: int) -> int:
+        """React to this replica losing leadership of ``instance``.
+
+        Transactions the demoted leader pulled but never saw delivered go
+        back to the front of the bucket, so they survive into the new view
+        (either the new leader's re-proposals deliver them — they then turn
+        terminal and are skipped — or this replica re-proposes them when it
+        regains leadership).  Returns the number of requeued transactions.
+        """
+        bucket = self.buckets[instance]
+        pending = [
+            tx
+            for tx in bucket.in_flight_txs()
+            if not self.status_of(tx.tx_id).terminal
+        ]
+        return bucket.requeue(pending)
+
     def bucket_size(self, instance: int) -> int:
         """Number of pending transactions in an instance's bucket."""
         return len(self.buckets[instance])
+
+    def pending_work(self, instance: int) -> int:
+        """Non-terminal transactions assigned to ``instance`` (queued or
+        pulled-but-unconfirmed).  The failure detector's progress predicate:
+        while this is positive the instance owes a delivery."""
+        return self._pending_per_instance[instance]
 
     def total_pending(self) -> int:
         """Pending transactions summed over all buckets."""
@@ -145,6 +182,8 @@ class ConsensusCore:
         self._status[tx.tx_id] = status
         if status.terminal:
             self.confirmed_count += 1
+            for index in self._pending_assignments.pop(tx.tx_id, ()):
+                self._pending_per_instance[index] -= 1
 
     # -- epochs / checkpoints ------------------------------------------------
 

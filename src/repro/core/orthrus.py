@@ -80,16 +80,26 @@ class OrthrusCore(ConsensusCore):
         collected at the end of the epoch otherwise.  This is what guarantees
         that partial-path execution succeeds identically on every honest
         replica (Lemma 1).
+
+        Only a bounded window at the head of the bucket is scanned per call.
+        Transactions the scan skipped because the batch was already full go
+        back to the *front* (their turn is next); transactions skipped because
+        they are currently unaffordable are deferred to the *back* of the
+        bucket.  Re-queueing unaffordable transactions at the front would pin
+        the scan window on a persistently unaffordable prefix (payer drained
+        through another instance) and starve affordable transactions queued
+        behind it until epoch garbage collection.
         """
         limit = max_count if max_count is not None else self.config.batch_size
         bucket = self.buckets[instance]
         scan_limit = max(limit * 4, 16)
         candidates = bucket.pull(min(scan_limit, len(bucket)))
         batch: list[Transaction] = []
-        deferred: list[Transaction] = []
+        overflow: list[Transaction] = []
+        unaffordable: list[Transaction] = []
         for tx in candidates:
             if len(batch) >= limit:
-                deferred.append(tx)
+                overflow.append(tx)
                 continue
             if self.status_of(tx.tx_id).terminal:
                 continue
@@ -97,8 +107,9 @@ class OrthrusCore(ConsensusCore):
                 self._reserve_inflight(tx, instance)
                 batch.append(tx)
             else:
-                deferred.append(tx)
-        bucket.requeue(deferred)
+                unaffordable.append(tx)
+        bucket.requeue(overflow)
+        bucket.defer(unaffordable)
         return batch
 
     def _affordable(self, tx: Transaction, instance: int) -> bool:
@@ -127,6 +138,17 @@ class OrthrusCore(ConsensusCore):
             existing = self._leader_reserved.setdefault((tx.tx_id, instance), {})
             for key, amount in reserved.items():
                 existing[key] = existing.get(key, 0) + amount
+
+    def on_leadership_lost(self, instance: int) -> int:
+        """Release leader-side reservations before requeueing in-flight txs.
+
+        A demoted leader's in-flight debit reservations would otherwise leak
+        forever (their blocks may never be delivered), making payers look
+        poorer than they are if this replica later leads again.
+        """
+        for tx in self.buckets[instance].in_flight_txs():
+            self._release_inflight(tx.tx_id, instance)
+        return super().on_leadership_lost(instance)
 
     def _release_inflight(self, tx_id: str, instance: int) -> None:
         reserved = self._leader_reserved.pop((tx_id, instance), None)

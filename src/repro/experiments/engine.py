@@ -73,6 +73,7 @@ class FaultSpec:
 
     stragglers: tuple[tuple[int, float], ...] = ()
     crashes: tuple[tuple[int, float], ...] = ()
+    restarts: tuple[tuple[int, float], ...] = ()
     view_change_timeout: float = PAPER_VIEW_CHANGE_TIMEOUT
     recovery_delay: float = 0.5
     undetectable_faults: int = 0
@@ -115,6 +116,7 @@ class FaultSpec:
         return cls(
             stragglers=tuple(sorted(plan.stragglers.items())),
             crashes=tuple(sorted(plan.crashes.items())),
+            restarts=tuple(sorted(plan.restarts.items())),
             view_change_timeout=plan.view_change_timeout,
             recovery_delay=plan.recovery_delay,
             undetectable_faults=plan.undetectable_faults,
@@ -126,6 +128,7 @@ class FaultSpec:
         return FaultPlan(
             stragglers=dict(self.stragglers),
             crashes=dict(self.crashes),
+            restarts=dict(self.restarts),
             view_change_timeout=self.view_change_timeout,
             recovery_delay=self.recovery_delay,
             undetectable_faults=self.undetectable_faults,
@@ -149,6 +152,8 @@ class FaultSpec:
             parts.append(f"straggler x{len(self.stragglers)}")
         if self.crashes:
             parts.append(f"crash x{len(self.crashes)}")
+        if self.restarts:
+            parts.append(f"restart x{len(self.restarts)}")
         if self.undetectable_faults:
             parts.append(f"byzantine x{self.undetectable_faults}")
         return "+".join(parts) if parts else "none"
@@ -169,6 +174,12 @@ class ScenarioSpec:
             scenario library's convention of ``seed + 41``.
         payment_fraction: The workload's payment share (Fig. 5); ``None``
             resolves to the trace default of 0.46.
+        backend: ``"sim"`` runs the deterministic simulator (the default and
+            the reference semantics); ``"live"`` spawns a real asyncio TCP
+            cluster on localhost and drives it with the load generator, with
+            the same :class:`FaultSpec` applied through
+            :mod:`repro.runtime.chaos`.  Live results are nondeterministic
+            and therefore never cached.
     """
 
     protocol: str = "orthrus"
@@ -182,6 +193,7 @@ class ScenarioSpec:
     payment_fraction: float | None = None
     epoch_blocks: int | None = None
     faults: FaultSpec = FaultSpec()
+    backend: str = "sim"
 
     def __post_init__(self) -> None:
         # Canonicalise derived defaults at construction, so semantically
@@ -192,6 +204,8 @@ class ScenarioSpec:
             object.__setattr__(self, "workload_seed", self.seed + 41)
         if self.payment_fraction is None:
             object.__setattr__(self, "payment_fraction", PAPER_PAYMENT_FRACTION)
+        if self.backend not in ("sim", "live"):
+            raise ValueError(f"unknown backend {self.backend!r} (sim or live)")
 
     # -- derived views ---------------------------------------------------------
 
@@ -224,6 +238,8 @@ class ScenarioSpec:
     def label(self) -> str:
         """Short human-readable identifier used in tables and logs."""
         parts = [self.protocol, f"n{self.num_replicas}", self.environment]
+        if self.backend != "sim":
+            parts.append(self.backend)
         if self.payment_fraction != PAPER_PAYMENT_FRACTION:
             parts.append(f"pay{self.payment_fraction:.0%}")
         faults = self.faults.summary()
@@ -240,6 +256,7 @@ class ScenarioSpec:
         data["faults"] = {
             "stragglers": [list(pair) for pair in self.faults.stragglers],
             "crashes": [list(pair) for pair in self.faults.crashes],
+            "restarts": [list(pair) for pair in self.faults.restarts],
             "view_change_timeout": self.faults.view_change_timeout,
             "recovery_delay": self.faults.recovery_delay,
             "undetectable_faults": self.faults.undetectable_faults,
@@ -259,6 +276,9 @@ class ScenarioSpec:
                 ),
                 crashes=tuple(
                     (int(i), float(t)) for i, t in faults.get("crashes", [])
+                ),
+                restarts=tuple(
+                    (int(i), float(t)) for i, t in faults.get("restarts", [])
                 ),
                 view_change_timeout=float(
                     faults.get("view_change_timeout", PAPER_VIEW_CHANGE_TIMEOUT)
@@ -344,6 +364,12 @@ def metrics_from_dict(data: dict) -> RunMetrics:
 
 def run_spec(spec: ScenarioSpec) -> RunMetrics:
     """Execute one spec synchronously in the current process."""
+    if spec.backend == "live":
+        # Imported lazily: sim-only workflows must not pull in asyncio or
+        # the runtime stack (and the import is cyclic at module level).
+        from repro.experiments.live import run_live_spec
+
+        return run_live_spec(spec)
     return run_pipeline_experiment(spec.pipeline_config())
 
 
@@ -381,7 +407,10 @@ class ExperimentEngine:
     """
 
     def __init__(
-        self, cache_dir: str | os.PathLike | None = None, jobs: int = 1
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        jobs: int = 1,
+        live_runner=None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -391,13 +420,20 @@ class ExperimentEngine:
             # hours-long) simulation work is invested.
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.jobs = jobs
+        #: Callable executing one ``backend="live"`` spec; defaults to
+        #: :func:`repro.experiments.live.run_live_spec` (resolved lazily) and
+        #: is injectable so tests can exercise the dispatch without sockets.
+        self.live_runner = live_runner
         self.stats = EngineStats()
         self._cache_write_warned = False
 
     # -- cache ------------------------------------------------------------------
 
     def _cache_path(self, spec: ScenarioSpec) -> pathlib.Path | None:
-        if self.cache_dir is None:
+        if self.cache_dir is None or spec.backend != "sim":
+            # Live runs are nondeterministic: serving yesterday's wall-clock
+            # measurement as today's result would be silently wrong, so only
+            # simulator cells are ever cached.
             return None
         return self.cache_dir / f"{spec.spec_hash}.json"
 
@@ -507,13 +543,31 @@ class ExperimentEngine:
             for spec in specs
         ]
 
+    def _run_live(self, spec: ScenarioSpec) -> RunMetrics:
+        runner = self.live_runner
+        if runner is None:
+            from repro.experiments.live import run_live_spec
+
+            runner = run_live_spec
+        return runner(spec)
+
     def _execute(
         self, specs: list[ScenarioSpec]
     ) -> Iterable[tuple[str, RunMetrics]]:
         if not specs:
             return []
-        if self.jobs == 1 or len(specs) == 1:
-            return [(spec.spec_hash, run_spec(spec)) for spec in specs]
-        workers = min(self.jobs, len(specs))
+        # Live specs run serially in this process: each one already spawns a
+        # whole cluster of OS processes, and concurrent clusters on one host
+        # would contend for CPU and corrupt each other's measurements.
+        live = [spec for spec in specs if spec.backend == "live"]
+        sims = [spec for spec in specs if spec.backend != "live"]
+        results = [(spec.spec_hash, self._run_live(spec)) for spec in live]
+        if not sims:
+            return results
+        if self.jobs == 1 or len(sims) == 1:
+            return results + [(spec.spec_hash, run_spec(spec)) for spec in sims]
+        workers = min(self.jobs, len(sims))
         with multiprocessing.Pool(processes=workers) as pool:
-            return pool.map(_worker_run, [spec.to_json() for spec in specs])
+            return results + pool.map(
+                _worker_run, [spec.to_json() for spec in sims]
+            )

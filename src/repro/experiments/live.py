@@ -1,0 +1,108 @@
+"""Live backend for the experiment engine.
+
+Translates a declarative :class:`~repro.experiments.engine.ScenarioSpec`
+(``backend="live"``) into a real localhost cluster run: the spec's
+:class:`~repro.experiments.engine.FaultSpec` becomes the cluster's
+:class:`~repro.cluster.faults.FaultPlan` (applied through
+:mod:`repro.runtime.chaos`), the workload knobs configure the load
+generator, and the resulting :class:`~repro.metrics.summary.RunMetrics`
+flows back through the same tables and figures as a simulator cell.
+
+Semantics that differ from the simulator, by necessity:
+
+* ``environment`` is ignored — the network is the loopback device.
+* ``duration`` selects the *offered load*: the open-loop generator submits
+  ``duration * LIVE_OPEN_LOOP_TPS`` transactions at that rate, so a fault
+  scheduled at ``t`` seconds hits mid-run just like in the simulator.
+* Results are wall-clock measurements: nondeterministic, never cached.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.experiments.engine import ScenarioSpec
+from repro.metrics.summary import RunMetrics
+from repro.runtime.chaos import run_chaos
+from repro.runtime.client import ClientConfig
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.loadgen import LoadGenConfig
+from repro.workload.config import WorkloadConfig
+
+#: Open-loop submission rate used to translate a spec's duration into a
+#: transaction budget.  Modest on purpose: the live backend's job is fault
+#: behaviour at paper-shaped load, not peak localhost throughput.
+LIVE_OPEN_LOOP_TPS = 200.0
+
+#: Accounts in the live genesis universe (kept small so per-run genesis
+#: population does not dominate short runs).
+LIVE_NUM_ACCOUNTS = 1024
+
+#: Leader batch cadence for live runs (20 ms keeps commit latency well under
+#: any realistic crash/view-change timescale).
+LIVE_BATCH_INTERVAL = 0.02
+
+
+def live_cluster_spec(spec: ScenarioSpec) -> ClusterSpec:
+    """The :class:`ClusterSpec` a scenario deploys as."""
+    plan = spec.faults.to_plan()
+    return ClusterSpec(
+        num_replicas=spec.num_replicas,
+        protocol=spec.protocol,
+        batch_interval=LIVE_BATCH_INTERVAL,
+        view_change_timeout=plan.view_change_timeout,
+        workload=WorkloadConfig(
+            num_accounts=LIVE_NUM_ACCOUNTS,
+            seed=spec.resolved_workload_seed,
+            payment_fraction=spec.payment_fraction,
+        ),
+        faults=plan,
+    )
+
+
+def live_load_config(spec: ScenarioSpec) -> LoadGenConfig:
+    """The load-generation run a scenario translates to."""
+    transactions = max(50, int(spec.duration * LIVE_OPEN_LOOP_TPS))
+    return LoadGenConfig(
+        transactions=transactions,
+        mode="open",
+        rate_tps=LIVE_OPEN_LOOP_TPS,
+        workload=WorkloadConfig(
+            num_accounts=LIVE_NUM_ACCOUNTS,
+            seed=spec.resolved_workload_seed,
+            payment_fraction=spec.payment_fraction,
+        ),
+        client=ClientConfig(
+            client_id=1000,
+            # Submissions caught in a crashed leader's instance must survive
+            # the view-change window, so each attempt outlasts the plan's
+            # failure-detector timeout with margin for the NewView exchange
+            # and re-proposal (same policy as ``repro chaos``).
+            timeout=max(5.0, spec.faults.view_change_timeout + 3.0),
+            retries=3,
+        ),
+    )
+
+
+def run_live_spec(spec: ScenarioSpec) -> RunMetrics:
+    """Execute one live-backend spec and return simulator-shaped metrics."""
+    result = asyncio.run(run_chaos(live_cluster_spec(spec), live_load_config(spec)))
+    report = result.report
+    metrics = report.metrics
+    metrics.extra.update(
+        {
+            "live_backend": 1.0,
+            "live_submitted": float(report.submitted),
+            "live_completed": float(report.completed),
+            "live_failed": float(report.failed),
+            "live_retransmissions": float(report.retransmissions),
+            "live_view_changes": float(result.view_changes),
+            "live_digests_agree": 1.0 if report.digests_agree else 0.0,
+            "live_unexpected_exits": float(len(result.unexpected_exits)),
+            # Non-zero means the run finished before the plan's schedule and
+            # the cell does NOT measure the requested faults.
+            "live_unfired_actions": float(len(result.unfired_actions)),
+        }
+    )
+    metrics.stage_breakdown.update(report.stage_breakdown)
+    return metrics

@@ -29,6 +29,12 @@ class OrderingStats:
     blocks_ordered: int = 0
     max_waiting: int = 0
     noop_blocks: int = 0
+    #: Deliveries whose ordering index did not exceed the instance frontier.
+    #: Rank-based ordering is only safe when each instance's delivered ranks
+    #: are strictly increasing; a regression (e.g. a post-view-change leader
+    #: assigning ranks below a re-proposed block's rank) can diverge the
+    #: global log across replicas, so it is counted for detection.
+    rank_regressions: int = 0
 
 
 class GlobalOrderer:

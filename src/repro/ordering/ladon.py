@@ -43,7 +43,23 @@ class LadonGlobalOrderer(GlobalOrderer):
         return len(self._waiting)
 
     def current_bar(self) -> OrderingIndex:
-        """The lowest ordering index a future block could still receive."""
+        """The lowest ordering index a future block could still receive.
+
+        A future block from instance ``i`` carries a rank strictly above
+        ``frontier[i].rank`` (per-instance ranks are strictly increasing), so
+        the smallest index instance ``i`` can still produce is
+        ``(frontier[i].rank + 1, i)`` and the bar is the minimum over all
+        instances.  Because ``(r, i) -> (r + 1, i)`` is strictly monotone
+        under the lexicographic ``(rank, instance)`` order, taking
+        ``min(frontier)`` first and adding one afterwards computes exactly
+        that minimum — including the case where two instance frontiers tie on
+        rank, where the tie breaks towards the lower instance index on both
+        sides.  A waiting block can never *equal* the bar (delivering the
+        ``(rank + 1, i_min)`` block would have advanced ``frontier[i_min]``
+        past it), so releasing strictly below the bar is exact; this boundary
+        is property-tested against a brute-force reference orderer in
+        ``tests/properties/test_ordering_properties.py``.
+        """
         lowest = min(self._frontier)
         return OrderingIndex(rank=lowest.rank + 1, instance=lowest.instance)
 
@@ -54,6 +70,14 @@ class LadonGlobalOrderer(GlobalOrderer):
         if block.block_id in self._waiting_ids or block.block_id in self._ordered_ids:
             return []
         index = OrderingIndex.of(block)
+        if index <= self._frontier[block.instance]:
+            # Rank regression: the safety precondition (strictly increasing
+            # per-instance ranks) was violated upstream.  Count it so fault
+            # tests and operators can detect the protocol violation — the
+            # block is still ordered deterministically from this replica's
+            # point of view, but cross-replica agreement is no longer
+            # guaranteed for it.
+            self.stats.rank_regressions += 1
         heapq.heappush(
             self._waiting,
             (index, block.sequence_number, next(self._tiebreak), block),

@@ -16,13 +16,24 @@ that serves actual network traffic:
   pipelining, ``f + 1`` reply matching and timeout/retry;
 * :mod:`repro.runtime.loadgen` — closed- and open-loop load generation;
 * :mod:`repro.runtime.cluster` — :class:`LocalCluster`, spawn-and-supervise a
-  localhost deployment.
+  localhost deployment;
+* :mod:`repro.runtime.chaos` — live fault injection: apply a
+  :class:`~repro.cluster.faults.FaultPlan` (stragglers, scheduled crashes and
+  restarts, Byzantine abstention) to a real cluster.
 
 The simulator remains the deterministic reference; the live runtime trades
 determinism for real sockets, real processes and wall-clock time (see
 ``docs/live_runtime.md``).
 """
 
+from repro.runtime.chaos import (
+    ChaosController,
+    ChaosEvent,
+    ChaosRunResult,
+    fault_plan_from_json,
+    fault_plan_to_json,
+    run_chaos,
+)
 from repro.runtime.client import ClientConfig, OrthrusClient, TxResult
 from repro.runtime.cluster import ClusterSpec, LocalCluster
 from repro.runtime.codec import (
@@ -42,8 +53,14 @@ from repro.runtime.transport import AsyncioTransport
 
 __all__ = [
     "AsyncioTransport",
+    "ChaosController",
+    "ChaosEvent",
+    "ChaosRunResult",
     "ClientConfig",
     "ClusterSpec",
+    "fault_plan_from_json",
+    "fault_plan_to_json",
+    "run_chaos",
     "FrameError",
     "LoadGenConfig",
     "LoadGenerator",

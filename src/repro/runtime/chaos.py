@@ -1,0 +1,387 @@
+"""Live fault injection: apply a :class:`FaultPlan` to a real cluster.
+
+The simulator has injected the paper's three degradation modes since the
+first PR; this module brings them to the asyncio runtime so the same
+:class:`~repro.cluster.faults.FaultPlan` drives real processes over real
+sockets:
+
+* **Stragglers** — a slowdown factor becomes a per-frame outbound delay
+  inside the straggler's :class:`~repro.runtime.transport.AsyncioTransport`
+  (:func:`send_delay_for`), so everything the slow replica says arrives late,
+  exactly like a CPU- or link-degraded node.
+* **Detectable crashes** — the :class:`ChaosController` SIGKILLs the
+  replica's OS process at its scheduled time (and optionally restarts it);
+  survivors detect the silence through the PBFT failure detector and rotate
+  the crashed leader out via a view change.
+* **Undetectable Byzantine abstention** — the abstaining replica keeps
+  proposing and voting in the instances it *leads* but silently drops its
+  consensus messages for every other instance
+  (:func:`make_abstention_filter`), so no timeout ever fires yet every other
+  instance must form quorums from the remaining ``2f + 1`` replicas.
+
+Unlike the simulator, none of this is deterministic: crash times are wall
+clock, view changes race real traffic, and two runs of the same plan will
+not produce identical logs.  What must still hold — and what the chaos tests
+assert — is the *distributed-systems* contract: surviving replicas converge
+to identical state digests and clients keep completing with ``f + 1``
+matching replies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.cluster.faults import FaultPlan
+from repro.errors import ConfigurationError
+from repro.sb.pbft.messages import PBFTMessage
+
+#: Outbound per-frame delay corresponding to slowdown factor 2.0 (seconds).
+#: A slowdown of ``s`` maps to ``(s - 1) * STRAGGLER_UNIT_DELAY``; the
+#: paper's 10x straggler therefore holds every frame for 45 ms — enough to
+#: dominate localhost round trips without freezing the run.
+STRAGGLER_UNIT_DELAY = 0.005
+
+
+def send_delay_for(
+    plan: FaultPlan, replica_id: int, *, unit: float = STRAGGLER_UNIT_DELAY
+) -> float:
+    """Outbound frame delay (seconds) for one replica under ``plan``."""
+    slowdown = plan.slowdown_of(replica_id)
+    return max(0.0, (slowdown - 1.0) * unit)
+
+
+def abstaining_replicas(plan: FaultPlan, num_replicas: int) -> set[int]:
+    """Replica ids that abstain under ``plan`` (the last ``k`` replicas).
+
+    The paper deploys one SB instance per replica, so every replica leads
+    somewhere and "abstain from instances you do not lead" is meaningful for
+    any of them.  With fewer instances than replicas the low ids hold the
+    initial leaderships, so the *highest* ids are picked — they abstain
+    everywhere while the protocol-critical leaders stay honest, matching the
+    Fig. 8 setup where quorums shrink but no failure detector fires.
+    """
+    count = plan.undetectable_faults
+    if count <= 0:
+        return set()
+    if count > (num_replicas - 1) // 3:
+        raise ConfigurationError(
+            f"{count} abstaining replicas exceed f = {(num_replicas - 1) // 3} "
+            f"for n = {num_replicas}; quorums would be unreachable"
+        )
+    return set(range(num_replicas - count, num_replicas))
+
+
+def make_abstention_filter(replica: Any) -> Callable[[Any], bool]:
+    """Outbound-message predicate implementing Byzantine abstention.
+
+    Keeps every non-consensus message (client replies, control plane) and
+    consensus messages for instances ``replica`` currently leads; drops
+    consensus messages for all other instances.  Leadership is evaluated per
+    message so the behaviour follows view changes.
+    """
+
+    def keep(message: Any) -> bool:
+        if not isinstance(message, PBFTMessage):
+            return True
+        return message.instance in replica.led_instances()
+
+    return keep
+
+
+# -- fault plan (de)serialisation --------------------------------------------
+
+
+def fault_plan_to_json(plan: FaultPlan) -> str:
+    """Serialise a plan to the JSON shape ``fault_plan_from_json`` reads."""
+    return json.dumps(
+        {
+            "stragglers": {str(k): v for k, v in sorted(plan.stragglers.items())},
+            "crashes": {str(k): v for k, v in sorted(plan.crashes.items())},
+            "restarts": {str(k): v for k, v in sorted(plan.restarts.items())},
+            "view_change_timeout": plan.view_change_timeout,
+            "undetectable_faults": plan.undetectable_faults,
+        },
+        sort_keys=True,
+    )
+
+
+def fault_plan_from_json(
+    text: str, *, default_view_change_timeout: float | None = None
+) -> FaultPlan:
+    """Parse a :class:`FaultPlan` from JSON text or an ``@file`` reference.
+
+    Accepted keys (all optional): ``stragglers`` (replica -> slowdown),
+    ``crashes`` (replica -> seconds), ``restarts`` (replica -> seconds),
+    ``view_change_timeout``, ``undetectable_faults``.  Unknown keys are an
+    error — a typo silently producing a fault-free plan would invalidate an
+    entire experiment.  ``default_view_change_timeout`` applies when the JSON
+    does not set one (the CLI threads its own flag through here).
+    """
+    text = text.strip()
+    if text.startswith("@"):
+        try:
+            text = Path(text[1:]).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read fault plan file: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"fault plan is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigurationError("fault plan must be a JSON object")
+    known = {
+        "stragglers",
+        "crashes",
+        "restarts",
+        "view_change_timeout",
+        "undetectable_faults",
+    }
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown fault plan keys: {', '.join(sorted(unknown))}"
+        )
+
+    def id_map(key: str) -> dict[int, float]:
+        raw = data.get(key, {})
+        if not isinstance(raw, dict):
+            raise ConfigurationError(f"fault plan {key!r} must be an object")
+        try:
+            return {int(k): float(v) for k, v in raw.items()}
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed fault plan {key!r}: {exc}") from exc
+
+    fallback_timeout = (
+        default_view_change_timeout
+        if default_view_change_timeout is not None
+        else FaultPlan().view_change_timeout
+    )
+    plan = FaultPlan(
+        stragglers=id_map("stragglers"),
+        crashes=id_map("crashes"),
+        restarts=id_map("restarts"),
+        view_change_timeout=float(data.get("view_change_timeout", fallback_timeout)),
+        undetectable_faults=int(data.get("undetectable_faults", 0)),
+    )
+    validate_fault_plan(plan)
+    return plan
+
+
+def validate_fault_plan(plan: FaultPlan, num_replicas: int | None = None) -> None:
+    """Reject plans the live runtime cannot execute coherently."""
+    for replica, slowdown in plan.stragglers.items():
+        if slowdown < 1.0:
+            raise ConfigurationError(
+                f"straggler slowdown for replica {replica} must be >= 1.0"
+            )
+    for replica, at_time in plan.crashes.items():
+        if at_time < 0:
+            raise ConfigurationError(f"crash time for replica {replica} is negative")
+    for replica, at_time in plan.restarts.items():
+        crash_at = plan.crash_time_of(replica)
+        if crash_at is None:
+            raise ConfigurationError(
+                f"restart scheduled for replica {replica} which never crashes"
+            )
+        if at_time <= crash_at:
+            raise ConfigurationError(
+                f"replica {replica} restarts at {at_time}s, "
+                f"before its crash at {crash_at}s"
+            )
+    if num_replicas is not None:
+        faulty = set(plan.crashes) | abstaining_replicas(plan, num_replicas)
+        limit = (num_replicas - 1) // 3
+        if len(faulty) > limit:
+            raise ConfigurationError(
+                f"plan makes {len(faulty)} replicas faulty but n = {num_replicas} "
+                f"only tolerates f = {limit}"
+            )
+        for replica in list(plan.stragglers) + list(plan.crashes):
+            if not 0 <= replica < num_replicas:
+                raise ConfigurationError(
+                    f"fault plan names replica {replica} but the cluster has "
+                    f"{num_replicas} replicas"
+                )
+
+
+# -- scheduled process faults -------------------------------------------------
+
+
+@dataclass
+class ChaosEvent:
+    """One executed fault action (for reports and assertions)."""
+
+    at: float
+    action: str  # "crash" | "restart"
+    replica: int
+
+
+class ChaosController:
+    """Execute a plan's scheduled crash/restart actions against a cluster.
+
+    The controller is deliberately poll-driven (:meth:`poll` executes every
+    action whose time has come), so the CLI supervisor loop, asyncio chaos
+    runs (:meth:`run`) and unit tests with a fake cluster can all drive it.
+    Times are seconds relative to whenever the caller starts polling.
+    """
+
+    def __init__(self, cluster: Any, plan: FaultPlan) -> None:
+        validate_fault_plan(plan)
+        self.cluster = cluster
+        self.plan = plan
+        self.events: list[ChaosEvent] = []
+        #: Replicas intentionally down right now (``cluster.check()`` hygiene:
+        #: a chaos-killed process is not an unexpected exit).
+        self.down: set[int] = set()
+        actions = [(at, "crash", replica) for replica, at in plan.crashes.items()]
+        actions += [(at, "restart", replica) for replica, at in plan.restarts.items()]
+        # Sort by time; at equal times crashes execute before restarts only
+        # if scheduled earlier, which validate_fault_plan already guarantees.
+        self._pending = sorted(actions)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every scheduled action has been executed."""
+        return not self._pending
+
+    def _execute_action(self, elapsed: float, action: str, replica: int) -> ChaosEvent:
+        """Execute one due action (shared by the sync and async drivers).
+
+        For crashes the replica joins :attr:`down` *before* the SIGKILL:
+        anyone observing ``cluster.check()`` concurrently (the async driver
+        runs kills in a worker thread) must already see the exit as
+        intentional, or a planned crash would be misreported as unexpected.
+        """
+        if action == "crash":
+            self.down.add(replica)
+            self.cluster.kill_replica(replica)
+        else:
+            self.cluster.restart_replica(replica)
+            self.down.discard(replica)
+        event = ChaosEvent(at=elapsed, action=action, replica=replica)
+        self.events.append(event)
+        return event
+
+    def poll(self, elapsed: float) -> list[ChaosEvent]:
+        """Execute every action due at or before ``elapsed`` seconds."""
+        fired: list[ChaosEvent] = []
+        while self._pending and self._pending[0][0] <= elapsed:
+            _, action, replica = self._pending.pop(0)
+            fired.append(self._execute_action(elapsed, action, replica))
+        return fired
+
+    def unexpected_exits(self) -> list[int]:
+        """Replicas that died without the plan asking them to."""
+        return [replica for replica in self.cluster.check() if replica not in self.down]
+
+    def unfired_actions(self) -> list[tuple[float, str, int]]:
+        """Scheduled ``(at, action, replica)`` actions that never executed."""
+        return list(self._pending)
+
+    async def run(self, *, poll_interval: float = 0.05) -> None:
+        """Poll on the event loop until every scheduled action has run.
+
+        Process kills are executed in a worker thread — SIGKILL plus the
+        reaping ``wait()`` would otherwise stall the loop driving the load
+        generator.
+        """
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        while self._pending:
+            await asyncio.sleep(poll_interval)
+            elapsed = loop.time() - started
+            while self._pending and self._pending[0][0] <= elapsed:
+                _, action, replica = self._pending.pop(0)
+                await asyncio.to_thread(self._execute_action, elapsed, action, replica)
+
+
+# -- one-shot chaos experiment ------------------------------------------------
+
+
+@dataclass
+class ChaosRunResult:
+    """Everything a chaos run produced."""
+
+    report: Any  # LoadReport (kept Any to avoid importing loadgen eagerly)
+    events: list[ChaosEvent] = field(default_factory=list)
+    unexpected_exits: list[int] = field(default_factory=list)
+    #: Scheduled actions the run ended before reaching.  Non-empty means the
+    #: measurement does NOT cover the requested fault plan (e.g. a crash at
+    #: t=10s against a load that finished at t=3s) — treated as a failure,
+    #: because "survived the fault" must never be reported for a fault that
+    #: was never injected.
+    unfired_actions: list[tuple[float, str, int]] = field(default_factory=list)
+
+    @property
+    def view_changes(self) -> int:
+        """View changes observed across the surviving replicas."""
+        return sum(self.report.view_changes.values())
+
+    @property
+    def ok(self) -> bool:
+        """Liveness and safety summary: progress, agreement, no surprises."""
+        return (
+            self.report.metrics.committed > 0
+            and self.report.digests_agree
+            and not self.unexpected_exits
+            and not self.unfired_actions
+        )
+
+    def lines(self) -> list[str]:
+        out = []
+        for event in self.events:
+            out.append(f"chaos: {event.action} replica {event.replica} @ {event.at:.2f}s")
+        for at, action, replica in self.unfired_actions:
+            out.append(
+                f"chaos: WARNING {action} replica {replica} scheduled at "
+                f"{at:.2f}s never fired — the run ended first; extend the "
+                f"load (more transactions / lower rate) to cover the plan"
+            )
+        out.extend(self.report.lines())
+        if self.report.view_changes:
+            total = self.view_changes
+            detail = ", ".join(
+                f"r{replica}={count}"
+                for replica, count in sorted(self.report.view_changes.items())
+            )
+            out.append(f"view changes         : {total} ({detail})")
+        if self.unexpected_exits:
+            out.append(f"UNEXPECTED replica exits: {self.unexpected_exits}")
+        return out
+
+
+async def run_chaos(cluster_spec, load_config) -> ChaosRunResult:
+    """Run one fault-injected load experiment against a fresh local cluster.
+
+    Starts the cluster described by ``cluster_spec`` (whose ``faults`` plan
+    configures stragglers and abstainers inside the replica processes),
+    executes scheduled crashes/restarts concurrently with the load generator,
+    and returns the combined result.  The cluster is always torn down.
+    """
+    from repro.runtime.cluster import LocalCluster
+    from repro.runtime.loadgen import LoadGenerator
+
+    cluster = LocalCluster(cluster_spec)
+    await asyncio.to_thread(cluster.start)
+    controller = ChaosController(cluster, cluster_spec.faults)
+    chaos_task = asyncio.create_task(controller.run())
+    try:
+        generator = LoadGenerator(list(cluster.endpoints), load_config)
+        report = await generator.run()
+        return ChaosRunResult(
+            report=report,
+            events=list(controller.events),
+            unexpected_exits=controller.unexpected_exits(),
+            unfired_actions=controller.unfired_actions(),
+        )
+    finally:
+        chaos_task.cancel()
+        try:
+            await chaos_task
+        except asyncio.CancelledError:
+            pass
+        await asyncio.to_thread(cluster.stop)

@@ -114,18 +114,37 @@ class OrthrusClient:
 
     # -- connection management ---------------------------------------------
 
-    async def connect(self) -> None:
-        """Open a connection to every replica and start reader tasks."""
+    async def connect(self, *, require_all: bool = True) -> None:
+        """Open a connection to every replica and start reader tasks.
+
+        With ``require_all=False``, replicas that refuse the connection (for
+        example crashed by a fault plan before the client arrived) are
+        skipped as long as a reply quorum of ``f + 1`` remains reachable.
+        """
         self._loop = asyncio.get_running_loop()
         hello = encode_envelope(
             self.config.client_id, Hello(self.config.client_id, role="client")
         )
+        unreachable: list[int] = []
         for replica_id, (host, port) in enumerate(self.replicas):
-            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                if require_all:
+                    raise
+                unreachable.append(replica_id)
+                continue
             await write_frame(writer, hello)
             self._writers[replica_id] = writer
             self._readers.append(
                 self._loop.create_task(self._read_replies(replica_id, reader))
+            )
+        if unreachable:
+            logger.warning("client could not reach replicas %s", unreachable)
+        if len(self._writers) < self.reply_quorum:
+            raise ClientError(
+                f"only {len(self._writers)} of {len(self.replicas)} replicas "
+                f"reachable; a reply quorum needs {self.reply_quorum}"
             )
 
     async def close(self) -> None:
@@ -307,13 +326,25 @@ class OrthrusClient:
             self._status_waiters.pop(nonce, None)
             raise ClientError(f"status request to replica {replica_id} timed out")
 
-    async def cluster_status(self) -> list[StatusReply]:
-        """Query every connected replica."""
-        return list(
-            await asyncio.gather(
-                *(self.status(replica_id) for replica_id in self._writers)
-            )
+    async def cluster_status(self, *, require_all: bool = False) -> list[StatusReply]:
+        """Query every connected replica.
+
+        By default replicas that died since connecting are skipped — during
+        fault injection the interesting answer is the *survivors'* state.
+        ``require_all=True`` restores the strict behaviour and raises on the
+        first unreachable replica.
+        """
+        results = await asyncio.gather(
+            *(self.status(replica_id) for replica_id in list(self._writers)),
+            return_exceptions=True,
         )
+        statuses = [reply for reply in results if isinstance(reply, StatusReply)]
+        if require_all and len(statuses) < len(results):
+            errors = [r for r in results if not isinstance(r, StatusReply)]
+            raise ClientError(f"status probe failed: {errors[0]}")
+        if not statuses:
+            raise ClientError("no replica answered a status probe")
+        return statuses
 
     async def shutdown_cluster(self, reason: str = "client request") -> None:
         """Ask every replica to stop serving (used by the supervisor)."""

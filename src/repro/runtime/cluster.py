@@ -21,7 +21,13 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.cluster.faults import FaultPlan
 from repro.errors import ExperimentError
+from repro.runtime.chaos import (
+    abstaining_replicas,
+    send_delay_for,
+    validate_fault_plan,
+)
 from repro.runtime.config import ReplicaRuntimeConfig, format_endpoint
 from repro.workload.config import WorkloadConfig
 
@@ -48,10 +54,15 @@ class ClusterSpec:
     workload: WorkloadConfig = field(
         default_factory=lambda: WorkloadConfig(num_accounts=1024)
     )
+    #: Degradations applied to the cluster: stragglers and Byzantine
+    #: abstention configure the replica processes at spawn; crashes and
+    #: restarts are executed by a :class:`~repro.runtime.chaos.ChaosController`.
+    faults: FaultPlan = field(default_factory=FaultPlan.none)
 
     def __post_init__(self) -> None:
         if self.num_replicas < 4:
             raise ExperimentError("live clusters need at least 4 replicas")
+        validate_fault_plan(self.faults, self.num_replicas)
 
     def endpoints(self) -> tuple[tuple[str, int], ...]:
         if self.base_port is not None:
@@ -70,6 +81,7 @@ class LocalCluster:
         self.endpoints: tuple[tuple[str, int], ...] = self.spec.endpoints()
         self.processes: list[subprocess.Popen] = []
         self._stderr_logs: list[Path] = []
+        self._retired_logs: list[Path] = []
 
     # -- configuration ------------------------------------------------------
 
@@ -84,6 +96,9 @@ class LocalCluster:
             batch_interval=self.spec.batch_interval,
             view_change_timeout=self.spec.view_change_timeout,
             workload=self.spec.workload,
+            send_delay=send_delay_for(self.spec.faults, replica_id),
+            byzantine_abstain=replica_id
+            in abstaining_replicas(self.spec.faults, self.spec.num_replicas),
         )
 
     def serve_command(self, replica_id: int) -> list[str]:
@@ -113,6 +128,11 @@ class LocalCluster:
         ]
         if spec.num_instances is not None:
             command += ["--instances", str(spec.num_instances)]
+        runtime = self.runtime_config(replica_id)
+        if runtime.send_delay > 0:
+            command += ["--send-delay", str(runtime.send_delay)]
+        if runtime.byzantine_abstain:
+            command += ["--byzantine-abstain"]
         return command
 
     # -- lifecycle -----------------------------------------------------------
@@ -142,6 +162,12 @@ class LocalCluster:
         )
 
     def _spawn(self) -> None:
+        for replica_id in range(self.spec.num_replicas):
+            process, log = self._spawn_replica(replica_id)
+            self.processes.append(process)
+            self._stderr_logs.append(log)
+
+    def _spawn_replica(self, replica_id: int) -> tuple[subprocess.Popen, Path]:
         # Children must import the same ``repro`` this supervisor runs,
         # whether it came from an installed package or a PYTHONPATH checkout.
         import repro
@@ -149,21 +175,18 @@ class LocalCluster:
         env = dict(os.environ)
         package_root = str(Path(repro.__file__).resolve().parents[1])
         env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
-        for replica_id in range(self.spec.num_replicas):
-            # stderr goes to a file, not a pipe: nobody reads a pipe during
-            # the run, so a chatty replica would fill it and block inside a
-            # logging write.  The file is read back for diagnostics.
-            log = Path(tempfile.mkstemp(prefix=f"repro-replica-{replica_id}-")[1])
-            self._stderr_logs.append(log)
-            with log.open("wb") as stderr_sink:
-                self.processes.append(
-                    subprocess.Popen(
-                        self.serve_command(replica_id),
-                        stdout=subprocess.DEVNULL,
-                        stderr=stderr_sink,
-                        env=env,
-                    )
-                )
+        # stderr goes to a file, not a pipe: nobody reads a pipe during
+        # the run, so a chatty replica would fill it and block inside a
+        # logging write.  The file is read back for diagnostics.
+        log = Path(tempfile.mkstemp(prefix=f"repro-replica-{replica_id}-")[1])
+        with log.open("wb") as stderr_sink:
+            process = subprocess.Popen(
+                self.serve_command(replica_id),
+                stdout=subprocess.DEVNULL,
+                stderr=stderr_sink,
+                env=env,
+            )
+        return process, log
 
     def _wait_ready(self, timeout: float) -> None:
         deadline = time.monotonic() + timeout
@@ -195,6 +218,42 @@ class LocalCluster:
             if process.poll() is not None
         ]
 
+    # -- fault injection -----------------------------------------------------
+
+    def kill_replica(self, replica_id: int) -> None:
+        """Crash one replica process (SIGKILL: a crash, not a clean exit).
+
+        Used by :class:`~repro.runtime.chaos.ChaosController` to execute a
+        :class:`FaultPlan` crash.  The process slot is kept so the replica
+        can later be restarted on the same endpoint.
+        """
+        if not 0 <= replica_id < len(self.processes):
+            raise ExperimentError(f"no replica {replica_id} to kill")
+        process = self.processes[replica_id]
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10.0)
+
+    def restart_replica(self, replica_id: int) -> None:
+        """Respawn a previously killed replica on its original endpoint.
+
+        The restarted process rebuilds from genesis — there is no state
+        transfer yet — so it rejoins as a passive participant: it serves its
+        listen socket and answers the control plane but cannot catch up with
+        slots delivered while it was down.  Quorums must still come from the
+        replicas that stayed up.
+        """
+        if not 0 <= replica_id < len(self.processes):
+            raise ExperimentError(f"no replica {replica_id} to restart")
+        if self.processes[replica_id].poll() is None:
+            raise ExperimentError(f"replica {replica_id} is still running")
+        process, log = self._spawn_replica(replica_id)
+        self.processes[replica_id] = process
+        # Retire (but keep for cleanup) the pre-crash log; diagnostics now
+        # read the restarted process's log at the replica's index.
+        self._retired_logs.append(self._stderr_logs[replica_id])
+        self._stderr_logs[replica_id] = log
+
     def replica_stderr(self, replica_id: int) -> str:
         """Contents of one replica's stderr log (diagnostics)."""
         try:
@@ -216,12 +275,13 @@ class LocalCluster:
                 process.kill()
                 process.wait(timeout=5.0)
         self.processes.clear()
-        for log in self._stderr_logs:
+        for log in self._stderr_logs + self._retired_logs:
             try:
                 log.unlink()
             except OSError:
                 pass
         self._stderr_logs.clear()
+        self._retired_logs.clear()
 
     def __enter__(self) -> "LocalCluster":
         self.start()

@@ -55,6 +55,12 @@ class ReplicaRuntimeConfig:
         workload: Account-universe parameters; the genesis state every
             replica populates before serving.  Clients must generate traffic
             from the same universe.
+        send_delay: Chaos: seconds every outbound replica-to-replica frame is
+            held before sending (straggler injection; 0.0 = healthy).
+        byzantine_abstain: Chaos: this replica proposes and votes only in
+            instances it currently leads and silently drops its consensus
+            messages for every other instance (the paper's undetectable
+            Byzantine abstention, Fig. 8).
     """
 
     replica_id: int
@@ -68,6 +74,8 @@ class ReplicaRuntimeConfig:
     workload: WorkloadConfig = field(
         default_factory=lambda: WorkloadConfig(num_accounts=1024)
     )
+    send_delay: float = 0.0
+    byzantine_abstain: bool = False
 
     def __post_init__(self) -> None:
         if len(self.peers) < 4:
@@ -78,6 +86,8 @@ class ReplicaRuntimeConfig:
             )
         if self.batch_interval <= 0:
             raise ConfigurationError("batch_interval must be positive")
+        if self.send_delay < 0:
+            raise ConfigurationError("send_delay cannot be negative")
 
     @property
     def num_replicas(self) -> int:

@@ -76,6 +76,10 @@ class LoadReport:
     wall_seconds: float
     stage_breakdown: dict[str, float] = field(default_factory=dict)
     state_digests: dict[int, str] = field(default_factory=dict)
+    #: View changes each probed replica observed (summed over instances);
+    #: only replicas that answered the settlement probe appear, so during
+    #: fault injection this covers exactly the survivors.
+    view_changes: dict[int, int] = field(default_factory=dict)
 
     @property
     def digests_agree(self) -> bool:
@@ -97,7 +101,7 @@ class LoadReport:
             f"committed / rejected : {m.committed} / {m.rejected}",
         ]
         if self.stage_breakdown:
-            out.append("stage breakdown (replica 0):")
+            out.append("stage breakdown (instrumented replica):")
             ordered = [name for name in STAGE_NAMES if name in self.stage_breakdown]
             ordered += [n for n in self.stage_breakdown if n not in STAGE_NAMES]
             for stage in ordered:
@@ -161,9 +165,10 @@ class LoadGenerator:
             end = loop.time()
             breakdown: dict[str, float] = {}
             digests: dict[int, str] = {}
+            view_changes: dict[int, int] = {}
             if settle:
                 try:
-                    breakdown, digests = await self._settle(client)
+                    breakdown, digests, view_changes = await self._settle(client)
                 except ClientError as exc:
                     # A replica died after the run finished; the measured
                     # results are still valid, so report them without the
@@ -183,6 +188,7 @@ class LoadGenerator:
                 wall_seconds=end - start,
                 stage_breakdown=breakdown,
                 state_digests=digests,
+                view_changes=view_changes,
             )
         finally:
             self._client = None
@@ -232,13 +238,15 @@ class LoadGenerator:
 
     async def _settle(
         self, client: OrthrusClient, *, timeout: float = 15.0, poll: float = 0.2
-    ) -> tuple[dict[str, float], dict[int, str]]:
-        """Wait until all replicas report one identical frontier and digest.
+    ) -> tuple[dict[str, float], dict[int, str], dict[int, int]]:
+        """Wait until the reachable replicas report one frontier and digest.
 
         Replies only need ``f + 1`` replicas, so at the moment the last reply
         arrives the slowest replicas may still be executing.  Poll the control
         plane until the cluster quiesces (bounded by ``timeout``), then return
-        replica 0's stage breakdown and everyone's digests.
+        a stage breakdown, the replicas' digests and their view-change counts.
+        Replicas crashed by fault injection drop out of the probe; the
+        settlement condition then covers exactly the survivors.
         """
         loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
@@ -250,10 +258,17 @@ class LoadGenerator:
                 break
             await asyncio.sleep(poll)
             statuses = await client.cluster_status()
+        # Replica 0 carries the instrumentation, but it may be a crash
+        # victim; fall back to any survivor's breakdown.
         breakdown = next(
-            (s.stage_breakdown for s in statuses if s.replica == 0), {}
+            (s.stage_breakdown for s in statuses if s.replica == 0),
+            statuses[0].stage_breakdown if statuses else {},
         )
-        return breakdown, {status.replica: status.state_digest for status in statuses}
+        return (
+            breakdown,
+            {status.replica: status.state_digest for status in statuses},
+            {status.replica: status.view_changes for status in statuses},
+        )
 
 
 async def run_loadgen(

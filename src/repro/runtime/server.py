@@ -17,6 +17,7 @@ import logging
 from repro.cluster.messages import ClientRequest
 from repro.cluster.replica import MultiBFTReplica
 from repro.metrics.summary import MetricsCollector
+from repro.runtime.chaos import make_abstention_filter
 from repro.runtime.codec import WireCodecError, decode_envelope, encode_envelope
 from repro.runtime.config import ReplicaRuntimeConfig
 from repro.runtime.control import Hello, ShutdownRequest, StatusReply, StatusRequest
@@ -36,6 +37,7 @@ class ReplicaServer:
         self.transport: AsyncioTransport | None = None
         self.replica: MultiBFTReplica | None = None
         self._server: asyncio.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
         self._stopped = asyncio.Event()
 
     # -- lifecycle ----------------------------------------------------------
@@ -43,7 +45,9 @@ class ReplicaServer:
     async def start(self) -> None:
         """Build the replica, open the listen socket, start proposing."""
         peers = {index: endpoint for index, endpoint in enumerate(self.config.peers)}
-        self.transport = AsyncioTransport(self.config.replica_id, peers)
+        self.transport = AsyncioTransport(
+            self.config.replica_id, peers, send_delay=self.config.send_delay
+        )
         self.replica = MultiBFTReplica(
             replica_id=self.config.replica_id,
             num_replicas=self.config.num_replicas,
@@ -54,6 +58,11 @@ class ReplicaServer:
             metrics=self.metrics,
             transport=self.transport,
         )
+        if self.config.byzantine_abstain:
+            # Undetectable Byzantine abstention (Fig. 8): this replica keeps
+            # proposing/voting in the instances it leads but silently drops
+            # consensus messages for every other instance.
+            self.transport.outbound_filter = make_abstention_filter(self.replica)
         host, port = self.config.listen_endpoint
         self._server = await asyncio.start_server(self._handle_connection, host, port)
         self.replica.start()
@@ -82,6 +91,12 @@ class ReplicaServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Closing the listen socket only stops *new* connections; peers and
+        # clients already connected must see their sockets die too (that is
+        # what a crash looks like from outside).
+        for writer in list(self._connections):
+            writer.close()
+        self._connections.clear()
         if self.transport is not None:
             await self.transport.close()
 
@@ -93,6 +108,7 @@ class ReplicaServer:
         """Read frames from one peer/client connection until EOF."""
         assert self.transport is not None and self.replica is not None
         registered: int | None = None
+        self._connections.add(writer)
         try:
             while True:
                 frame = await read_frame(reader)
@@ -139,6 +155,7 @@ class ReplicaServer:
         except (FrameError, ConnectionError, OSError) as exc:
             logger.debug("replica %d connection error: %s", self.config.replica_id, exc)
         finally:
+            self._connections.discard(writer)
             if registered is not None:
                 self.transport.unregister_stream(registered)
             writer.close()

@@ -59,7 +59,15 @@ class LiveTimer:
 
 
 class AsyncioTransport:
-    """Live NodeTransport: length-prefixed canonical-JSON frames over TCP."""
+    """Live NodeTransport: length-prefixed canonical-JSON frames over TCP.
+
+    With ``send_delay`` set (straggler injection), every outbound
+    replica-to-replica frame becomes *due* ``send_delay`` seconds after it is
+    queued and is written no earlier than that.  Frames are therefore
+    uniformly late but still pipelined — added latency, not a throughput
+    cap — which is how a slow-but-correct replica degrades in the paper's
+    straggler experiments.
+    """
 
     def __init__(
         self,
@@ -67,12 +75,23 @@ class AsyncioTransport:
         peers: dict[int, tuple[str, int]],
         *,
         role: str = "replica",
+        send_delay: float = 0.0,
     ) -> None:
         self.node_id = node_id
         self.peers = dict(peers)
         self.role = role
+        #: Chaos knob: seconds each outbound replica-to-replica frame is held
+        #: before hitting the socket (straggler injection; 0.0 = healthy).
+        self.send_delay = max(0.0, send_delay)
+        #: Chaos knob: optional predicate deciding whether an outbound
+        #: message may leave this node at all (Byzantine abstention drops
+        #: consensus messages for instances the replica does not lead).
+        #: Returning False silently discards the message.
+        self.outbound_filter: Callable[[Any], bool] | None = None
         self._loop = asyncio.get_running_loop()
-        self._queues: dict[int, asyncio.Queue[bytes]] = {}
+        #: Per-peer frame queues; entries are ``(due_time, frame)`` where
+        #: ``due_time`` is 0.0 on the healthy fast path.
+        self._queues: dict[int, asyncio.Queue[tuple[float, bytes]]] = {}
         self._writer_tasks: dict[int, asyncio.Task[None]] = {}
         self._streams: dict[int, asyncio.StreamWriter] = {}
         self._timers: list[LiveTimer] = []
@@ -80,6 +99,7 @@ class AsyncioTransport:
         #: Counters for observability.
         self.frames_sent = 0
         self.frames_dropped = 0
+        self.frames_filtered = 0
 
     # -- clock --------------------------------------------------------------
 
@@ -124,6 +144,9 @@ class AsyncioTransport:
         """Queue ``message`` for ``destination`` (peer or registered stream)."""
         if self._closed:
             return
+        if self.outbound_filter is not None and not self.outbound_filter(message):
+            self.frames_filtered += 1
+            return
         frame = encode_envelope(self.node_id, message)
         if destination in self.peers:
             queue = self._ensure_peer(destination)
@@ -133,17 +156,27 @@ class AsyncioTransport:
                 # comes from view change / re-proposal).
                 queue.get_nowait()
                 self.frames_dropped += 1
-            queue.put_nowait(frame)
+            queue.put_nowait((self._due_time(), frame))
         elif destination in self._streams:
             self._write_to_stream(destination, frame)
         else:
             self.frames_dropped += 1
 
+    def _due_time(self) -> float:
+        """Earliest write time for a frame queued now (0.0 = immediately)."""
+        if self.send_delay <= 0.0:
+            return 0.0
+        return self._loop.time() + self.send_delay
+
     def broadcast(self, message: Any, include_self: bool = False) -> None:
         """Send ``message`` to every replica peer (not to client streams)."""
         if self._closed:
             return
+        if self.outbound_filter is not None and not self.outbound_filter(message):
+            self.frames_filtered += 1
+            return
         frame = encode_envelope(self.node_id, message)
+        due = self._due_time()
         for peer_id in self.peers:
             if peer_id == self.node_id and not include_self:
                 continue
@@ -151,7 +184,7 @@ class AsyncioTransport:
             if queue.full():
                 queue.get_nowait()
                 self.frames_dropped += 1
-            queue.put_nowait(frame)
+            queue.put_nowait((due, frame))
 
     def _write_to_stream(self, destination: int, frame: bytes) -> None:
         writer = self._streams.get(destination)
@@ -179,7 +212,7 @@ class AsyncioTransport:
 
     # -- outbound connections ------------------------------------------------
 
-    def _ensure_peer(self, peer_id: int) -> asyncio.Queue[bytes]:
+    def _ensure_peer(self, peer_id: int) -> "asyncio.Queue[tuple[float, bytes]]":
         queue = self._queues.get(peer_id)
         if queue is None:
             queue = asyncio.Queue(maxsize=OUTBOUND_QUEUE_LIMIT)
@@ -189,7 +222,9 @@ class AsyncioTransport:
             )
         return queue
 
-    async def _peer_writer(self, peer_id: int, queue: asyncio.Queue[bytes]) -> None:
+    async def _peer_writer(
+        self, peer_id: int, queue: "asyncio.Queue[tuple[float, bytes]]"
+    ) -> None:
         """Connect to one peer (with backoff) and drain its frame queue."""
         host, port = self.peers[peer_id]
         backoff = RECONNECT_INITIAL
@@ -206,7 +241,15 @@ class AsyncioTransport:
                     writer, encode_envelope(self.node_id, Hello(self.node_id, self.role))
                 )
                 while not self._closed:
-                    frame = await queue.get()
+                    due, frame = await queue.get()
+                    if due > 0.0:
+                        # Straggler injection: honour the frame's due time.
+                        # Frames queued while this one waited share the same
+                        # wait, so the delay pipelines (uniform added
+                        # latency) instead of capping throughput.
+                        remaining = due - self._loop.time()
+                        if remaining > 0:
+                            await asyncio.sleep(remaining)
                     await write_frame(writer, frame)
                     self.frames_sent += 1
             except (OSError, ConnectionError, asyncio.CancelledError) as exc:

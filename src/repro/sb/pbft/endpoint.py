@@ -67,8 +67,20 @@ class PBFTEndpoint(SequencedBroadcastEndpoint):
         self.slots = SlotTable()
         self._view_change_votes: dict[int, dict[int, ViewChange]] = {}
         self._progress_timer: Any = None
+        #: Escalation timer armed while a view change is in flight: if the
+        #: prospective leader never announces the new view (it crashed too,
+        #: or the NewView was lost), the vote moves on to the next view.
+        self._view_change_timer: Any = None
         self._view_changing = False
+        #: Highest view this replica has broadcast a ViewChange vote for.
+        self._voted_view = 0
         self._leader_change_callback: Callable[[int, int], None] | None = None
+        #: Optional host-supplied probe: returns True while this instance has
+        #: pending work (bucketed transactions, or globally ordered blocks
+        #: waiting on this instance's frontier).  Used to re-arm the failure
+        #: detector after each delivery, so a leader that crashes *mid-run*
+        #: is still detected even if no further client request arrives.
+        self.pending_work_probe: Callable[[], bool] | None = None
         #: Counters exposed for tests and metrics.
         self.view_changes_completed = 0
         self.blocks_delivered = 0
@@ -224,15 +236,29 @@ class PBFTEndpoint(SequencedBroadcastEndpoint):
         ):
             self._progress_timer.cancel()
         self._progress_timer = None
+        # Progress consumed the timer; if the host says more work is still
+        # pending, immediately re-arm so the detector keeps watching.  This is
+        # what lets a mid-run leader crash be detected without relying on a
+        # fresh client request to re-arm the timer.
+        if self.pending_work_probe is not None and self.pending_work_probe():
+            self.notify_pending_work()
 
     def _on_progress_timeout(self) -> None:
         self._progress_timer = None
         if self._view_changing:
             return
+        if self.pending_work_probe is not None and not self.pending_work_probe():
+            # The work that armed this timer was finished after the last
+            # delivery's progress bookkeeping ran (execution happens above
+            # the endpoint).  Nothing is owed, so a view change would be
+            # spurious churn; stay disarmed until new work arrives.
+            return
         self._start_view_change(self.view + 1)
 
     def _start_view_change(self, new_view: int) -> None:
+        new_view = max(new_view, self._voted_view + 1, self.view + 1)
         self._view_changing = True
+        self._voted_view = new_view
         vote = ViewChange(
             instance=self.instance_id,
             view=new_view,
@@ -240,21 +266,50 @@ class PBFTEndpoint(SequencedBroadcastEndpoint):
             last_delivered=self.slots.next_to_deliver - 1,
             pending=tuple(self.slots.undelivered_proposals()),
         )
+        # Arm the escalation timer before broadcasting: if this view change
+        # stalls (the prospective leader is also faulty or its NewView is
+        # lost), the vote advances to the next view instead of wedging.
+        self._cancel_view_change_timer()
+        self._view_change_timer = self.transport.set_timer(
+            self.config.view_change_timeout, self._on_view_change_timeout
+        )
         self.transport.broadcast(vote)
         self._handle_view_change(self.replica_id, vote)
+
+    def _cancel_view_change_timer(self) -> None:
+        if self._view_change_timer is not None and getattr(
+            self._view_change_timer, "active", False
+        ):
+            self._view_change_timer.cancel()
+        self._view_change_timer = None
+
+    def _on_view_change_timeout(self) -> None:
+        self._view_change_timer = None
+        if self._view_changing:
+            self._start_view_change(self._voted_view + 1)
 
     def _handle_view_change(self, sender: int, message: ViewChange) -> None:
         if message.view <= self.view:
             return
         votes = self._view_change_votes.setdefault(message.view, {})
         votes[sender] = message
+        if (
+            message.view > self._voted_view
+            and len(votes) > self.fault_tolerance
+        ):
+            # f + 1 replicas already voted for this (higher) view, so at
+            # least one honest replica detected a failure: join the view
+            # change without waiting for the local timeout.
+            self._start_view_change(message.view)
+            if message.view <= self.view:
+                return  # joining completed the quorum and installed the view
         if len(votes) < self.quorum:
             return
         new_leader = self.leader_for_view(message.view)
         if new_leader == self.replica_id:
             self._install_new_view(message.view, votes)
         # Non-leaders wait for the NewView announcement; if the new leader is
-        # also faulty the timer fires again and the view advances once more.
+        # also faulty the escalation timer fires and the view advances again.
 
     def _install_new_view(self, view: int, votes: dict[int, ViewChange]) -> None:
         reproposals: dict[int, Block] = {}
@@ -278,6 +333,8 @@ class PBFTEndpoint(SequencedBroadcastEndpoint):
             return
         self.view = message.view
         self._view_changing = False
+        self._voted_view = max(self._voted_view, message.view)
+        self._cancel_view_change_timer()
         self._view_change_votes = {
             view: votes
             for view, votes in self._view_change_votes.items()
@@ -285,10 +342,20 @@ class PBFTEndpoint(SequencedBroadcastEndpoint):
         }
         self.view_changes_completed += 1
         self._record_progress()
-        if self._leader_change_callback is not None:
-            self._leader_change_callback(self.view, self.leader())
         # Re-run agreement for the blocks the old leader left unfinished.
+        # Votes recorded for these slots in the old view must not count
+        # towards the new view's quorums, so undelivered re-proposed slots
+        # are reset before the new pre-prepare is processed.
         for sequence_number, block in message.reproposals:
+            slot = self.slots.slot(sequence_number)
+            if not slot.delivered:
+                slot.block = None
+                slot.digest = ""
+                slot.pre_prepared = False
+                slot.prepared = False
+                slot.committed = False
+                slot.prepares.clear()
+                slot.commits.clear()
             pre_prepare = PrePrepare(
                 instance=self.instance_id,
                 view=self.view,
@@ -300,3 +367,10 @@ class PBFTEndpoint(SequencedBroadcastEndpoint):
             self._handle_pre_prepare(self.leader(), pre_prepare)
             if self.is_leader():
                 self.transport.broadcast(pre_prepare)
+        # Announce the leader change only after the re-proposals occupy their
+        # slots: a new leader derives its next sequence number from
+        # ``slots.highest_started()`` inside this callback, and announcing
+        # earlier would let fresh proposals collide with re-proposed slots
+        # this replica had not seen pre-prepared before the view change.
+        if self._leader_change_callback is not None:
+            self._leader_change_callback(self.view, self.leader())

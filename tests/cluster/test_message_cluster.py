@@ -116,3 +116,52 @@ class TestFaultTolerance:
         elapsed = cluster.run_until_confirmed(20, timeout=30.0)
         assert cluster.metrics.committed + cluster.metrics.rejected >= 20
         assert elapsed <= 30.0
+
+
+class TestViewChangeOrderingSafety:
+    def test_no_rank_regression_across_leader_crash(self):
+        """The new leader must rank above the crashed leader's re-proposals.
+
+        A fresh post-view-change block with a rank below a re-proposed
+        block's rank would break Ladon's strictly-increasing-per-instance
+        precondition and diverge the global log across replicas; the orderer
+        counts such regressions, and a crashed-leader run must produce none.
+        """
+        cluster = small_cluster(
+            view_change_timeout=2.0,
+            faults=FaultPlan(crashes={1: 1.0}, view_change_timeout=2.0),
+        )
+        trace = EthereumStyleWorkload(cluster.config.workload).generate(100)
+        cluster.submit_transactions(trace.transactions, rate_tps=50)
+        metrics = cluster.run(25.0)
+        assert metrics.confirmed == 100
+        honest = [replica for replica in cluster.replicas if replica.node_id != 1]
+        assert any(replica.endpoints[1].view > 0 for replica in honest)
+        for replica in honest:
+            assert replica.core.global_orderer.stats.rank_regressions == 0
+
+    def test_demoted_leader_requeues_and_releases_reservations(self):
+        """A demoted (but alive) leader keeps no leaked in-flight state."""
+        cluster = small_cluster(view_change_timeout=1.0)
+        cluster.start()
+        replica = cluster.replicas[1]  # leader of instance 1 in view 0
+        trace = EthereumStyleWorkload(cluster.config.workload).generate(30)
+        for tx in trace.transactions:
+            for peer in cluster.replicas:
+                peer.core.submit(tx)
+        pulled = replica.core.select_batch(1, 8)
+        assert pulled
+        assert replica.core._inflight_debits  # reservations held
+        in_flight_ids = {tx.tx_id for tx in pulled}
+
+        # Force a leader change away from replica 1 on instance 1.
+        endpoint = replica.endpoints[1]
+        endpoint.view = 1
+        replica._on_leader_change(1, endpoint.leader())
+
+        assert replica.core._inflight_debits == {}
+        bucket = replica.core.buckets[1]
+        assert not bucket.in_flight_txs()
+        # The pulled transactions are back at the front of the bucket.
+        queued = [tx.tx_id for tx in bucket.peek_all()]
+        assert set(queued[: len(in_flight_ids)]) == in_flight_ids

@@ -361,3 +361,75 @@ class TestCounters:
         harness = default_harness()
         with pytest.raises(ValidationError):
             harness.core.submit(payment({"alice": 5}, {"carol": 3}, tx_id="bad"))
+
+
+class TestBatchSelectionStarvation:
+    """Regression: an unaffordable prefix must not starve valid transactions.
+
+    ``select_batch`` scans a bounded window (``max(limit * 4, 16)``) at the
+    head of the bucket.  Before the fix, unaffordable transactions were
+    requeued at the *front*, so a persistent prefix of them (payer drained
+    through another instance) was re-scanned forever and an affordable
+    transaction queued behind the window could never be proposed.
+    """
+
+    def make_harness(self):
+        # "poor" holds nothing; "alice" can pay.  Everything pins to
+        # instance 0 so a single bucket carries the whole queue.
+        return Harness(
+            {"alice": 100, "poor": 0, "bob": 0},
+            {"alice": 0, "poor": 0, "bob": 0},
+            num_instances=1,
+        )
+
+    def submit_starved_workload(self, harness):
+        blockers = [
+            simple_transfer("poor", "bob", 5, tx_id=f"blocked-{i}")
+            for i in range(20)  # > the scan window of 16
+        ]
+        starved = simple_transfer("alice", "bob", 10, tx_id="starved")
+        harness.submit(*blockers, starved)
+        return starved
+
+    def test_affordable_tx_behind_unaffordable_prefix_is_selected(self):
+        harness = self.make_harness()
+        starved = self.submit_starved_workload(harness)
+        selected: list[str] = []
+        for _ in range(10):
+            batch = harness.core.select_batch(0, 4)
+            selected.extend(tx.tx_id for tx in batch)
+            if starved.tx_id in selected:
+                break
+        assert starved.tx_id in selected, (
+            "affordable transaction starved behind an unaffordable prefix"
+        )
+
+    def test_starved_tx_commits_end_to_end(self):
+        harness = self.make_harness()
+        starved = self.submit_starved_workload(harness)
+        for _ in range(10):
+            batch = harness.core.select_batch(0, 4)
+            harness.deliver(0, batch)
+            if harness.status(starved).terminal:
+                break
+        assert harness.status(starved) is TxStatus.COMMITTED
+        assert harness.balance("bob") == 10
+
+    def test_unaffordable_txs_stay_queued_for_later_funding(self):
+        harness = self.make_harness()
+        self.submit_starved_workload(harness)
+        for _ in range(5):
+            harness.deliver(0, harness.core.select_batch(0, 4))
+        # The blocked transactions were deferred, not dropped.
+        assert harness.core.bucket_size(0) == 20
+        # Fund the drained payer: the deferred transactions become valid.
+        harness.deliver(0, [simple_transfer("alice", "poor", 90, tx_id="refill")])
+        committed = 0
+        for _ in range(20):
+            batch = harness.core.select_batch(0, 4)
+            if not batch:
+                break
+            for outcome in harness.deliver(0, batch):
+                committed += outcome.status is TxStatus.COMMITTED
+        # 90 funds 18 of the 20 blocked 5-unit transfers.
+        assert committed == 18

@@ -147,3 +147,32 @@ class TestBucket:
         bucket.push(simple_transfer("a", "b", 1, tx_id="present"))
         assert "present" in bucket
         assert "absent" not in bucket
+
+    def test_defer_moves_pulled_txs_to_the_back(self):
+        bucket = Bucket(0)
+        txs = [simple_transfer("a", "b", 1, tx_id=f"t{i}") for i in range(4)]
+        for tx in txs:
+            bucket.push(tx)
+        pulled = bucket.pull(2)
+        assert bucket.defer(pulled) == 2
+        assert [tx.tx_id for tx in bucket.peek_all()] == ["t2", "t3", "t0", "t1"]
+        assert not bucket.in_flight_txs()
+
+    def test_defer_skips_duplicates_already_queued(self):
+        bucket = Bucket(0)
+        tx = simple_transfer("a", "b", 1, tx_id="t0")
+        bucket.push(tx)
+        pulled = bucket.pull(1)
+        bucket.requeue(pulled)  # already back in the queue
+        assert bucket.defer(pulled) == 0
+        assert len(bucket) == 1
+
+    def test_in_flight_txs_reflect_pull_and_confirm(self):
+        bucket = Bucket(0)
+        txs = [simple_transfer("a", "b", 1, tx_id=f"t{i}") for i in range(3)]
+        for tx in txs:
+            bucket.push(tx)
+        bucket.pull(2)
+        assert {tx.tx_id for tx in bucket.in_flight_txs()} == {"t0", "t1"}
+        bucket.mark_confirmed(["t0"])
+        assert {tx.tx_id for tx in bucket.in_flight_txs()} == {"t1"}

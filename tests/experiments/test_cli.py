@@ -131,3 +131,36 @@ class TestCLI:
         assert exit_code == 130
         assert "interrupted" in captured.err
         assert "Traceback" not in captured.err
+
+
+class TestChaosCLI:
+    def test_chaos_rejects_malformed_fault_plan(self, capsys):
+        exit_code = main(["chaos", "--fault-plan", "{not json"])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_chaos_rejects_unknown_plan_keys(self, capsys):
+        exit_code = main(["chaos", "--fault-plan", '{"crashs": {"0": 1}}'])
+        assert exit_code == 2
+        assert "unknown fault plan keys" in capsys.readouterr().err
+
+    def test_chaos_rejects_bad_pair_syntax(self, capsys):
+        exit_code = main(["chaos", "--crash", "zero:1"])
+        assert exit_code == 2
+        assert "REPLICA:VALUE" in capsys.readouterr().err
+
+    def test_chaos_rejects_too_many_faults(self, capsys):
+        exit_code = main(
+            ["chaos", "--replicas", "4", "--crash", "0:1", "--byzantine", "1"]
+        )
+        assert exit_code == 2
+        assert "tolerates" in capsys.readouterr().err
+
+    def test_cluster_rejects_malformed_fault_plan(self, capsys):
+        exit_code = main(["cluster", "--fault-plan", '{"restarts": {"0": 5}}'])
+        assert exit_code == 2
+        assert "never crashes" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--backend", "quantum"])

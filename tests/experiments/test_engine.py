@@ -340,3 +340,97 @@ class TestGridCLI:
         assert header.startswith("spec_hash,protocol,")
         assert "throughput_tps" in header
         assert len(out.strip().splitlines()) == 3
+
+
+def _fake_metrics(spec):
+    """Simulator-shaped metrics without touching sockets (live-runner stub)."""
+    from repro.cluster.pipeline import run_pipeline_experiment
+
+    tiny = ScenarioSpec(
+        protocol=spec.protocol,
+        num_replicas=8,
+        duration=4.0,
+        warmup=1.0,
+        samples_per_block=4,
+        seed=spec.seed,
+    )
+    metrics = run_pipeline_experiment(tiny.pipeline_config())
+    metrics.extra["live_backend"] = 1.0
+    return metrics
+
+
+class TestLiveBackendDispatch:
+    def test_backend_field_validates(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(backend="quantum")
+
+    def test_backend_round_trips_and_changes_identity(self):
+        live = ScenarioSpec(backend="live", faults=FaultSpec.with_crashes([0], 2.0))
+        assert ScenarioSpec.from_json(live.to_json()) == live
+        sim = ScenarioSpec(faults=FaultSpec.with_crashes([0], 2.0))
+        assert live.spec_hash != sim.spec_hash
+        assert "live" in live.label()
+
+    def test_restarts_survive_spec_round_trip(self):
+        faults = FaultSpec(crashes=((0, 2.0),), restarts=((0, 5.0),))
+        spec = ScenarioSpec(backend="live", faults=faults)
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored.faults.restarts == ((0, 5.0),)
+        plan = restored.faults.to_plan()
+        assert plan.restarts == {0: 5.0}
+        assert FaultSpec.from_plan(plan) == faults
+
+    def test_live_specs_dispatch_to_the_injected_runner(self):
+        calls = []
+
+        def runner(spec):
+            calls.append(spec)
+            return _fake_metrics(spec)
+
+        engine = ExperimentEngine(live_runner=runner)
+        live = ScenarioSpec(backend="live", duration=6.0, seed=2)
+        results = engine.run([live, TINY])
+        assert calls == [live]
+        assert engine.stats.executed == 2
+        by_spec = {result.spec: result for result in results}
+        assert by_spec[live].metrics.extra["live_backend"] == 1.0
+        assert "live_backend" not in by_spec[TINY].metrics.extra
+
+    def test_live_results_are_never_cached(self, tmp_path):
+        runs = []
+
+        def runner(spec):
+            runs.append(spec)
+            return _fake_metrics(spec)
+
+        live = ScenarioSpec(backend="live", duration=6.0, seed=2)
+        first = ExperimentEngine(cache_dir=tmp_path, live_runner=runner)
+        first.run([live])
+        second = ExperimentEngine(cache_dir=tmp_path, live_runner=runner)
+        second.run([live])
+        assert len(runs) == 2  # re-executed, not served from cache
+        assert second.stats.cache_hits == 0
+        assert not list(tmp_path.glob(f"{live.spec_hash}*"))
+
+    def test_same_fault_spec_drives_both_backends(self):
+        # The acceptance property: one FaultSpec, two backends, no morphing.
+        faults = FaultSpec.with_crashes([0], 2.0, view_change_timeout=2.0)
+        seen = {}
+
+        def runner(spec):
+            seen["live_faults"] = spec.faults
+            return _fake_metrics(spec)
+
+        engine = ExperimentEngine(live_runner=runner)
+        live = ScenarioSpec(backend="live", faults=faults, duration=6.0, seed=2)
+        sim = ScenarioSpec(
+            num_replicas=8,
+            duration=6.0,
+            warmup=1.0,
+            samples_per_block=4,
+            seed=2,
+            faults=faults,
+        )
+        engine.run([live, sim])
+        assert seen["live_faults"] == faults
+        assert sim.pipeline_config().faults.crashes == {0: 2.0}

@@ -150,3 +150,89 @@ class TestMetricsCollector:
         assert metrics.extra["custom"] == 7.0
         assert metrics.duration == pytest.approx(2.0)
         assert len(metrics.series) == 4
+
+
+class TestStageBreakdownPartial:
+    """Edge cases of the live runtime's per-stage averaging.
+
+    Live replica timelines are never complete (the replica cannot observe
+    the client's reply receipt), so each stage averages over whichever
+    timelines hold *that stage's* two boundaries.
+    """
+
+    def test_empty_tracker_reports_all_zero_stages(self):
+        tracker = LatencyTracker()
+        breakdown = tracker.stage_breakdown_partial()
+        assert set(breakdown) == set(STAGE_NAMES)
+        assert all(value == 0.0 for value in breakdown.values())
+
+    def test_zero_confirmed_transactions(self):
+        # Submissions that never execute contribute only their early stages.
+        tracker = LatencyTracker()
+        tracker.record_submitted("t1", 1.0)
+        tracker.record_received("t1", 1.5)
+        breakdown = tracker.stage_breakdown_partial()
+        assert breakdown["send"] == pytest.approx(0.5)
+        for stage in ("preprocessing", "partial_ordering", "global_ordering", "reply"):
+            assert breakdown[stage] == 0.0
+        assert tracker.confirmed_timelines() == []
+
+    def test_missing_interior_stage_does_not_poison_neighbours(self):
+        # A timeline missing proposed_at (e.g. the tx rode a block proposed
+        # by an uninstrumented replica) contributes send and global_ordering
+        # but neither preprocessing nor partial_ordering.
+        tracker = LatencyTracker()
+        tracker.record_submitted("t1", 1.0)
+        tracker.record_received("t1", 1.2)
+        tracker.record_delivered("t1", 2.0)
+        tracker.record_confirmed("t1", 2.5, committed=True)
+        breakdown = tracker.stage_breakdown_partial()
+        assert breakdown["send"] == pytest.approx(0.2)
+        assert breakdown["preprocessing"] == 0.0
+        assert breakdown["partial_ordering"] == 0.0
+        assert breakdown["global_ordering"] == pytest.approx(0.5)
+
+    def test_stages_average_over_different_timeline_subsets(self):
+        tracker = LatencyTracker()
+        # t1: full replica-side path.
+        tracker.record_submitted("t1", 0.0)
+        tracker.record_received("t1", 1.0)
+        tracker.record_proposed("t1", 2.0)
+        tracker.record_delivered("t1", 3.0)
+        tracker.record_confirmed("t1", 4.0, committed=True)
+        # t2: only the send stage recorded.
+        tracker.record_submitted("t2", 0.0)
+        tracker.record_received("t2", 3.0)
+        breakdown = tracker.stage_breakdown_partial()
+        assert breakdown["send"] == pytest.approx(2.0)  # mean of 1.0 and 3.0
+        assert breakdown["preprocessing"] == pytest.approx(1.0)  # t1 only
+        assert breakdown["partial_ordering"] == pytest.approx(1.0)
+        assert breakdown["global_ordering"] == pytest.approx(1.0)
+        assert breakdown["reply"] == 0.0  # replicas never see it
+
+    def test_client_replica_clock_composition(self):
+        # The live loadgen composes client-side stamps (submitted, replied)
+        # with replica-side stamps on one shared monotonic clock; the partial
+        # breakdown must bridge both without requiring complete timelines.
+        tracker = LatencyTracker()
+        tracker.record_submitted("t1", 10.0)   # client clock
+        tracker.record_received("t1", 10.3)    # replica clock
+        tracker.record_confirmed("t1", 11.0, committed=True)  # replica clock
+        tracker.record_replied("t1", 11.4)     # client clock
+        breakdown = tracker.stage_breakdown_partial()
+        assert breakdown["send"] == pytest.approx(0.3)
+        assert breakdown["reply"] == pytest.approx(0.4)
+
+    def test_partial_and_complete_breakdowns_agree_on_complete_timelines(self):
+        tracker = LatencyTracker()
+        for index, base in enumerate((0.0, 10.0)):
+            tx = f"t{index}"
+            tracker.record_submitted(tx, base)
+            tracker.record_received(tx, base + 0.1)
+            tracker.record_proposed(tx, base + 0.3)
+            tracker.record_delivered(tx, base + 0.6)
+            tracker.record_confirmed(tx, base + 1.0, committed=True)
+            tracker.record_replied(tx, base + 1.5)
+        assert tracker.stage_breakdown_partial() == pytest.approx(
+            tracker.stage_breakdown()
+        )

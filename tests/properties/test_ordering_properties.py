@@ -161,3 +161,117 @@ class TestDQBFTProperties:
         for block in decision_order:
             released.extend(orderer.on_order_decision([block.block_id]))
         assert [b.block_id for b in released] == [b.block_id for b in decision_order]
+
+
+@st.composite
+def tied_rank_block_sets(draw):
+    """Per-instance strictly increasing ranks, cross-instance ties allowed.
+
+    ``delivered_block_sets`` assigns globally unique ranks, which can never
+    exercise the bar's ``(rank, instance)`` tie-break.  Here each instance
+    advances its own rank counter independently with small steps, so two
+    instances frequently sit on the same rank — the regime the Ladon bar
+    boundary audit is about.
+    """
+    blocks = []
+    for instance in range(NUM_INSTANCES):
+        rank = 0
+        for sn in range(draw(st.integers(min_value=0, max_value=6))):
+            rank += draw(st.integers(min_value=1, max_value=2))
+            blocks.append(make_block(instance, sn, rank=rank))
+    return blocks
+
+
+def straggler_interleaving(blocks, straggler):
+    """Deliver the straggler instance's blocks only after everyone else's."""
+    fast = [b for b in blocks if b.instance != straggler]
+    slow = [b for b in blocks if b.instance == straggler]
+    key = lambda b: (b.sequence_number, b.instance)  # noqa: E731
+    return sorted(fast, key=key) + sorted(slow, key=key)
+
+
+def reference_released(delivered, frontier_ranks):
+    """Brute-force reference for the safely releasable prefix.
+
+    A delivered block is safely ordered iff its index precedes the smallest
+    index any *future* block could still take: per-instance ranks are
+    strictly increasing, so instance ``i`` can still produce at best
+    ``(frontier_ranks[i] + 1, i)``.  Recomputed from scratch on every
+    delivery — structurally independent of the heap implementation.
+    """
+    bar = min(
+        OrderingIndex(rank=frontier_ranks[i] + 1, instance=i)
+        for i in range(NUM_INSTANCES)
+    )
+    ready = [b for b in delivered if OrderingIndex.of(b) < bar]
+    ready.sort(key=lambda b: (OrderingIndex.of(b), b.sequence_number))
+    return [b.block_id for b in ready]
+
+
+class TestLadonBarBoundary:
+    """Audit of the ``index == bar`` boundary (issue: off-by-one suspicion).
+
+    The released prefix after *every* delivery must equal the brute-force
+    reference, in particular when instance frontiers tie on rank and under
+    straggler-shaped interleavings.  These tests pin the audited conclusion:
+    the boundary is exact (no block releasable by the reference is held back,
+    none is released early).
+    """
+
+    def _check_against_reference(self, delivery_order):
+        orderer = LadonGlobalOrderer(NUM_INSTANCES)
+        delivered = []
+        frontier_ranks = [0] * NUM_INSTANCES
+        for block in delivery_order:
+            orderer.on_deliver(block)
+            delivered.append(block)
+            frontier_ranks[block.instance] = max(
+                frontier_ranks[block.instance], block.rank
+            )
+            got = [b.block_id for b in orderer.global_log]
+            assert got == reference_released(delivered, frontier_ranks)
+        assert orderer.stats.rank_regressions == 0
+
+    @given(tied_rank_block_sets(), st.randoms(use_true_random=False))
+    @settings(max_examples=150, deadline=None)
+    def test_release_matches_brute_force_reference(self, blocks, rng):
+        queues = {
+            i: sorted(
+                (b for b in blocks if b.instance == i),
+                key=lambda b: b.sequence_number,
+            )
+            for i in range(NUM_INSTANCES)
+        }
+        order = []
+        while any(queues.values()):
+            instance = rng.choice([i for i in range(NUM_INSTANCES) if queues[i]])
+            order.append(queues[instance].pop(0))
+        self._check_against_reference(order)
+
+    @given(tied_rank_block_sets(), st.integers(min_value=0, max_value=NUM_INSTANCES - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_straggler_shaped_interleavings_match_reference(self, blocks, straggler):
+        self._check_against_reference(straggler_interleaving(blocks, straggler))
+
+    @given(tied_rank_block_sets(), st.integers(min_value=0, max_value=NUM_INSTANCES - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_straggler_vs_uniform_interleaving_agree(self, blocks, straggler):
+        orderer_a = LadonGlobalOrderer(NUM_INSTANCES)
+        orderer_b = LadonGlobalOrderer(NUM_INSTANCES)
+        for block in per_instance_in_order(blocks):
+            orderer_a.on_deliver(block)
+        for block in straggler_interleaving(blocks, straggler):
+            orderer_b.on_deliver(block)
+        ids_a = [b.block_id for b in orderer_a.global_log]
+        ids_b = [b.block_id for b in orderer_b.global_log]
+        common = min(len(ids_a), len(ids_b))
+        assert ids_a[:common] == ids_b[:common]
+
+    def test_rank_regression_is_detected(self):
+        # A post-view-change leader assigning a rank below a re-proposed
+        # block's rank violates the monotonicity precondition; the orderer
+        # counts it so fault tests can assert it never happens.
+        orderer = LadonGlobalOrderer(NUM_INSTANCES)
+        orderer.on_deliver(make_block(0, 0, rank=10))
+        orderer.on_deliver(make_block(0, 1, rank=3))
+        assert orderer.stats.rank_regressions == 1

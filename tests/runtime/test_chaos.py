@@ -1,0 +1,353 @@
+"""Fault-injection units plus in-process live degradation scenarios.
+
+The scenario tests run four :class:`ReplicaServer` instances on one event
+loop over real localhost TCP — the same code paths as separate OS processes
+(that path is exercised by ``benchmarks/test_live_chaos_smoke.py``) — and
+drive the paper's three degradation modes against them: a crashed leader
+(view change must fire and the cluster must keep committing), a straggler,
+and an undetectably abstaining Byzantine replica.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.cluster.faults import FaultPlan
+from repro.errors import ConfigurationError
+from repro.ledger.transactions import reset_transaction_counter
+from repro.runtime.chaos import (
+    STRAGGLER_UNIT_DELAY,
+    ChaosController,
+    abstaining_replicas,
+    fault_plan_from_json,
+    fault_plan_to_json,
+    send_delay_for,
+    validate_fault_plan,
+)
+from repro.runtime.client import ClientConfig, ClientError, OrthrusClient
+from repro.runtime.cluster import free_port
+from repro.runtime.config import ReplicaRuntimeConfig
+from repro.runtime.server import ReplicaServer
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import EthereumStyleWorkload
+
+NUM_REPLICAS = 4
+WORKLOAD = WorkloadConfig(num_accounts=128, seed=5, payment_fraction=1.0)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_tx_ids():
+    reset_transaction_counter()
+
+
+# -- plan translation ---------------------------------------------------------
+
+
+class TestPlanTranslation:
+    def test_straggler_slowdown_maps_to_send_delay(self):
+        plan = FaultPlan.with_straggler(instance=1, slowdown=10.0)
+        assert send_delay_for(plan, 1) == pytest.approx(9 * STRAGGLER_UNIT_DELAY)
+        assert send_delay_for(plan, 0) == 0.0
+
+    def test_abstainers_are_the_highest_replicas(self):
+        plan = FaultPlan.with_undetectable(2)
+        assert abstaining_replicas(plan, 8) == {6, 7}
+        assert abstaining_replicas(FaultPlan.none(), 8) == set()
+
+    def test_abstainers_beyond_f_rejected(self):
+        with pytest.raises(ConfigurationError):
+            abstaining_replicas(FaultPlan.with_undetectable(2), 4)
+
+    def test_fault_plan_json_round_trip(self):
+        plan = FaultPlan(
+            stragglers={1: 10.0},
+            crashes={0: 5.0},
+            restarts={0: 15.0},
+            view_change_timeout=2.0,
+            undetectable_faults=1,
+        )
+        parsed = fault_plan_from_json(fault_plan_to_json(plan))
+        assert parsed.stragglers == plan.stragglers
+        assert parsed.crashes == plan.crashes
+        assert parsed.restarts == plan.restarts
+        assert parsed.view_change_timeout == plan.view_change_timeout
+        assert parsed.undetectable_faults == plan.undetectable_faults
+
+    def test_fault_plan_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"crashes": {"0": 5}}))
+        plan = fault_plan_from_json(f"@{path}", default_view_change_timeout=3.0)
+        assert plan.crashes == {0: 5.0}
+        assert plan.view_change_timeout == 3.0
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not json",
+            "[1, 2]",
+            '{"crashs": {"0": 5}}',  # typo must not silently mean "no faults"
+            '{"stragglers": {"1": 0.5}}',  # slowdown below 1.0
+            '{"restarts": {"0": 5}}',  # restart without a crash
+            '{"crashes": {"0": 5}, "restarts": {"0": 4}}',  # restart before crash
+        ],
+    )
+    def test_malformed_plans_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            fault_plan_from_json(text)
+
+    def test_validate_rejects_too_many_faulty(self):
+        plan = FaultPlan(crashes={0: 1.0}, undetectable_faults=1)
+        with pytest.raises(ConfigurationError):
+            validate_fault_plan(plan, num_replicas=4)
+
+    def test_validate_rejects_out_of_range_replica(self):
+        with pytest.raises(ConfigurationError):
+            validate_fault_plan(FaultPlan(crashes={9: 1.0}), num_replicas=4)
+
+
+class FakeCluster:
+    def __init__(self):
+        self.killed = []
+        self.restarted = []
+        self.dead = set()
+
+    def kill_replica(self, replica_id):
+        self.killed.append(replica_id)
+        self.dead.add(replica_id)
+
+    def restart_replica(self, replica_id):
+        self.restarted.append(replica_id)
+        self.dead.discard(replica_id)
+
+    def check(self):
+        return sorted(self.dead)
+
+
+class TestChaosController:
+    def test_poll_executes_due_actions_in_order(self):
+        cluster = FakeCluster()
+        plan = FaultPlan(crashes={0: 1.0, 2: 3.0}, restarts={0: 2.0})
+        controller = ChaosController(cluster, plan)
+        assert controller.poll(0.5) == []
+        events = controller.poll(2.5)
+        assert [(e.action, e.replica) for e in events] == [
+            ("crash", 0),
+            ("restart", 0),
+        ]
+        assert cluster.killed == [0] and cluster.restarted == [0]
+        assert not controller.exhausted
+        controller.poll(10.0)
+        assert controller.exhausted
+        assert controller.down == {2}
+
+    def test_unexpected_exits_excludes_chaos_kills(self):
+        cluster = FakeCluster()
+        controller = ChaosController(cluster, FaultPlan(crashes={1: 0.0}))
+        controller.poll(0.1)
+        cluster.dead.add(3)  # died on its own
+        assert controller.unexpected_exits() == [3]
+
+
+# -- in-process degradation scenarios ----------------------------------------
+
+
+async def start_servers(
+    num_instances: int = 2,
+    *,
+    view_change_timeout: float = 1.0,
+    config_for=None,
+) -> tuple[list[ReplicaServer], tuple]:
+    peers = tuple(("127.0.0.1", free_port()) for _ in range(NUM_REPLICAS))
+    servers = []
+    for replica_id in range(NUM_REPLICAS):
+        config = ReplicaRuntimeConfig(
+            replica_id=replica_id,
+            peers=peers,
+            num_instances=num_instances,
+            batch_size=32,
+            batch_interval=0.02,
+            view_change_timeout=view_change_timeout,
+            workload=WORKLOAD,
+        )
+        if config_for is not None:
+            config = config_for(config)
+        server = ReplicaServer(config)
+        await server.start()
+        servers.append(server)
+    return servers, peers
+
+
+async def stop_servers(servers: list[ReplicaServer]) -> None:
+    for server in servers:
+        server.stop()
+        await server._shutdown()
+
+
+async def crash_server(server: ReplicaServer) -> None:
+    """Abrupt in-process crash: no goodbye, sockets just go away."""
+    server.replica.crash()
+    await server._shutdown()
+
+
+async def submit_all(client, workload, count):
+    futures = [client.submit_nowait(workload.next_transaction()) for _ in range(count)]
+    return await asyncio.gather(*futures, return_exceptions=True)
+
+
+async def settled_statuses(client, *, minimum_committed: int, attempts: int = 80):
+    statuses = await client.cluster_status()
+    for _ in range(attempts):
+        statuses = await client.cluster_status()
+        digests = {s.state_digest for s in statuses}
+        if len(digests) == 1 and all(
+            s.committed >= minimum_committed for s in statuses
+        ):
+            break
+        await asyncio.sleep(0.1)
+    return statuses
+
+
+def test_leader_crash_triggers_view_change_and_cluster_recovers():
+    async def scenario():
+        servers, peers = await start_servers(view_change_timeout=1.0)
+        workload = EthereumStyleWorkload(WORKLOAD)
+        try:
+            async with OrthrusClient(
+                list(peers), ClientConfig(timeout=2.0, retries=5)
+            ) as client:
+                first = await submit_all(client, workload, 40)
+                assert all(r.committed for r in first)
+
+                # Replica 0 leads instance 0 in view 0: kill it mid-run.
+                await crash_server(servers[0])
+
+                second = await submit_all(client, workload, 60)
+                failures = [r for r in second if isinstance(r, ClientError)]
+                assert not failures, f"submissions failed after crash: {failures[:3]}"
+                assert all(r.committed for r in second)
+
+                statuses = await settled_statuses(client, minimum_committed=100)
+                survivors = {s.replica for s in statuses}
+                assert survivors == {1, 2, 3}
+                # The crashed leader's instance was recovered by a view change.
+                assert all(s.view_changes >= 1 for s in statuses)
+                assert len({s.state_digest for s in statuses}) == 1
+                assert all(s.committed >= 100 for s in statuses)
+        finally:
+            await stop_servers(servers[1:])
+
+    asyncio.run(asyncio.wait_for(scenario(), timeout=120))
+
+
+def test_straggler_replica_slows_but_does_not_stall():
+    async def scenario():
+        def config_for(config):
+            if config.replica_id == 1:
+                from dataclasses import replace
+
+                return replace(config, send_delay=0.03)
+            return config
+
+        servers, peers = await start_servers(config_for=config_for)
+        workload = EthereumStyleWorkload(WORKLOAD)
+        try:
+            async with OrthrusClient(
+                list(peers), ClientConfig(timeout=3.0, retries=3)
+            ) as client:
+                results = await submit_all(client, workload, 60)
+                assert all(r.committed for r in results)
+                statuses = await settled_statuses(client, minimum_committed=60)
+                assert len({s.state_digest for s in statuses}) == 1
+                # The straggler is slow, not faulty: no failure detection.
+                assert all(s.view_changes == 0 for s in statuses)
+        finally:
+            await stop_servers(servers)
+
+    asyncio.run(asyncio.wait_for(scenario(), timeout=120))
+
+
+def test_byzantine_abstention_is_undetected_but_quorums_still_form():
+    async def scenario():
+        def config_for(config):
+            if config.replica_id == NUM_REPLICAS - 1:
+                from dataclasses import replace
+
+                return replace(config, byzantine_abstain=True)
+            return config
+
+        servers, peers = await start_servers(config_for=config_for)
+        workload = EthereumStyleWorkload(WORKLOAD)
+        try:
+            async with OrthrusClient(
+                list(peers), ClientConfig(timeout=3.0, retries=3)
+            ) as client:
+                results = await submit_all(client, workload, 60)
+                assert all(r.committed for r in results)
+                # The abstainer never proposes outside its instances and never
+                # votes elsewhere, yet no timeout fires: undetectable.
+                statuses = await settled_statuses(client, minimum_committed=60)
+                assert all(s.view_changes == 0 for s in statuses)
+                honest = [s for s in statuses if s.replica != NUM_REPLICAS - 1]
+                assert len({s.state_digest for s in honest}) == 1
+                assert all(s.committed >= 60 for s in honest)
+                # The abstainer really filtered consensus traffic.
+                abstainer = servers[NUM_REPLICAS - 1]
+                assert abstainer.transport.frames_filtered > 0
+        finally:
+            await stop_servers(servers)
+
+    asyncio.run(asyncio.wait_for(scenario(), timeout=120))
+
+
+class TestUnfiredActions:
+    def test_unfired_actions_reported_and_fail_the_run(self):
+        from repro.runtime.chaos import ChaosRunResult
+
+        cluster = FakeCluster()
+        controller = ChaosController(cluster, FaultPlan(crashes={0: 100.0}))
+        controller.poll(1.0)  # run ended long before the scheduled crash
+
+        class _Metrics:
+            committed = 10
+
+        class _Report:
+            metrics = _Metrics()
+            digests_agree = True
+            view_changes = {1: 0}
+
+            def lines(self):
+                return []
+
+        result = ChaosRunResult(
+            report=_Report(),
+            events=list(controller.events),
+            unexpected_exits=controller.unexpected_exits(),
+            unfired_actions=controller.unfired_actions(),
+        )
+        assert result.unfired_actions == [(100.0, "crash", 0)]
+        assert not result.ok  # "survived a fault that never happened" is a lie
+        assert any("never fired" in line for line in result.lines())
+
+    def test_crash_joins_down_set_before_the_kill(self):
+        # The async driver kills in a worker thread; a concurrent
+        # unexpected_exits() reader must already see the exit as intentional.
+        class OrderSensitiveCluster(FakeCluster):
+            def __init__(self, controller_ref):
+                super().__init__()
+                self.controller_ref = controller_ref
+                self.observed = []
+
+            def kill_replica(self, replica_id):
+                self.observed.append(replica_id in self.controller_ref[0].down)
+                super().kill_replica(replica_id)
+
+        ref = []
+        cluster = OrderSensitiveCluster(ref)
+        controller = ChaosController(cluster, FaultPlan(crashes={1: 0.0}))
+        ref.append(controller)
+        controller.poll(0.1)
+        assert cluster.observed == [True]
+        assert controller.unexpected_exits() == []

@@ -241,3 +241,106 @@ class TestFailureDetectorAndViewChange:
         fabric, _ = build_group(num_replicas=7)
         assert fabric.endpoints[0].fault_tolerance == 2
         assert fabric.endpoints[0].quorum == 5
+
+
+class TestViewChangeHardening:
+    def test_replica_without_armed_timer_joins_on_f_plus_one_votes(self):
+        # Leader 0 is silent.  Only replicas 2 and 3 armed their failure
+        # detectors (no client request reached replica 1), so without vote
+        # joining the quorum of 3 could never form and the instance would
+        # stall.  Seeing f + 1 = 2 votes, replica 1 must join — and it is
+        # the view-1 leader, so it installs the new view.
+        fabric, _ = build_group(instance=0, drop_from=[0])
+        for replica in (2, 3):
+            fabric.endpoints[replica].notify_pending_work()
+        fabric.fire_timers()
+        for replica in (1, 2, 3):
+            assert fabric.endpoints[replica].view == 1
+            assert fabric.endpoints[replica].view_changes_completed == 1
+
+    def test_view_change_escalates_past_a_crashed_new_leader(self):
+        # n = 7 (f = 2): replicas 0 and 1 are silent.  The first view change
+        # targets view 1 whose leader (replica 1) is also dead, so no NewView
+        # ever arrives; the escalation timer must push the vote to view 2,
+        # whose leader (replica 2) is alive.
+        fabric, _ = build_group(num_replicas=7, instance=0, drop_from=[0, 1])
+        for replica in range(2, 7):
+            fabric.endpoints[replica].notify_pending_work()
+        fabric.fire_timers()  # progress timeouts: everyone votes view 1
+        for replica in range(2, 7):
+            assert fabric.endpoints[replica].view == 0  # stuck: leader 1 dead
+        fabric.fire_timers()  # escalation timers: votes move to view 2
+        for replica in range(2, 7):
+            assert fabric.endpoints[replica].view == 2
+            assert fabric.endpoints[replica].leader() == 2
+
+    def test_new_view_resets_stale_votes_on_reproposed_slots(self):
+        from repro.sb.pbft.messages import NewView
+
+        fabric, _ = build_group(instance=0)
+        endpoint = fabric.endpoints[2]
+        old_block = make_block(0, tx_id="old")
+        endpoint.handle_message(
+            0,
+            PrePrepare(
+                instance=0, view=0, sender=0, sequence_number=0,
+                block=old_block, digest=old_block.digest,
+            ),
+        )
+        # Forge extra old-view prepares that never reached quorum.
+        endpoint.slots.slot(0).record_prepare(9)
+        assert 9 in endpoint.slots.slot(0).prepares
+
+        new_block = make_block(0, tx_id="new")
+        endpoint._handle_new_view(
+            1,
+            NewView(
+                instance=0, view=1, sender=1,
+                reproposals=((0, new_block),),
+            ),
+        )
+        slot = endpoint.slots.slot(0)
+        assert slot.digest == new_block.digest
+        assert 9 not in slot.prepares  # old-view votes cannot count again
+
+    def test_leader_callback_fires_after_reproposals_occupy_slots(self):
+        # The new leader derives its next sequence number from
+        # ``slots.highest_started()`` inside the callback; re-proposed slots
+        # it never saw pre-prepared must already be present by then, or its
+        # fresh proposals would collide with them.
+        from repro.sb.pbft.messages import NewView
+
+        fabric, _ = build_group(instance=0)
+        endpoint = fabric.endpoints[1]  # leader of view 1
+        observed = []
+        endpoint.on_leader_change(
+            lambda view, leader: observed.append(endpoint.slots.highest_started())
+        )
+        block = make_block(5, tx_id="unseen")
+        endpoint._handle_new_view(
+            1,
+            NewView(instance=0, view=1, sender=1, reproposals=((5, block),)),
+        )
+        assert observed == [5]
+
+    def test_timeout_with_no_remaining_work_does_not_change_view(self):
+        # Execution happens above the endpoint, so the last delivery's
+        # progress bookkeeping can run *before* its transactions turn
+        # terminal — leaving a timer armed with nothing actually owed.  The
+        # timeout must re-check the probe and disarm instead of spuriously
+        # rotating the leader of a healthy idle instance.
+        fabric, _ = build_group(instance=0)
+        backup = fabric.endpoints[2]
+        pending = {"value": True}
+        backup.pending_work_probe = lambda: pending["value"]
+        backup.notify_pending_work()
+        pending["value"] = False  # work finished after the timer was armed
+        fabric.fire_timers()
+        assert backup.view == 0
+        assert backup._voted_view == 0
+
+        # With work genuinely owed, the same timer does start a view change.
+        pending["value"] = True
+        backup.notify_pending_work()
+        fabric.fire_timers()
+        assert backup._voted_view == 1
