@@ -8,6 +8,11 @@ checks the deployment-level acceptance properties:
 * at least :data:`SMOKE_TRANSACTIONS` payment transactions commit,
 * every replica reports the identical ``StateStore`` digest at shutdown.
 
+The whole suite runs twice: once under the default struct-packed binary
+wire codec (v2) and once with the cluster and client pinned to the
+canonical-JSON fallback (v1), so both codec paths carry the same
+deployment-level guarantees.
+
 Scale via ``REPRO_LIVE_SMOKE_TXS`` (the CI live-smoke job and the acceptance
 run use 1000; the default keeps local ``pytest`` runs quick).
 """
@@ -29,14 +34,19 @@ SMOKE_TRANSACTIONS = int(os.environ.get("REPRO_LIVE_SMOKE_TXS", "300"))
 WORKLOAD = WorkloadConfig(num_accounts=512, seed=42, payment_fraction=1.0)
 
 
-@pytest.fixture(scope="module")
-def live_cluster():
+@pytest.fixture(
+    scope="module",
+    params=[None, 1],
+    ids=["wire-binary", "wire-json-fallback"],
+)
+def live_cluster(request):
     spec = ClusterSpec(
         num_replicas=4,
         num_instances=2,
         batch_size=64,
         batch_interval=0.02,
         workload=WorkloadConfig(num_accounts=512, seed=42),
+        wire_version=request.param,
     )
     cluster = LocalCluster(spec)
     cluster.start()
@@ -54,7 +64,12 @@ def test_live_cluster_commits_payments_with_matching_digests(live_cluster):
             mode="closed",
             concurrency=32,
             workload=WORKLOAD,
-            client=ClientConfig(client_id=1000, timeout=5.0, retries=2),
+            client=ClientConfig(
+                client_id=1000,
+                timeout=5.0,
+                retries=2,
+                wire_version=live_cluster.spec.wire_version,
+            ),
         ),
     )
     report = asyncio.run(generator.run())
@@ -75,7 +90,8 @@ def test_live_cluster_commits_payments_with_matching_digests(live_cluster):
 def test_live_cluster_serves_status_probes(live_cluster):
     async def probe():
         async with OrthrusClient(
-            list(live_cluster.endpoints), ClientConfig(client_id=1001)
+            list(live_cluster.endpoints),
+            ClientConfig(client_id=1001, wire_version=live_cluster.spec.wire_version),
         ) as client:
             return await client.cluster_status()
 

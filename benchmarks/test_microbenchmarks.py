@@ -5,6 +5,8 @@ the operations every simulated second exercises millions of times, so
 performance regressions in the library itself are visible.
 """
 
+import repro.runtime.control  # noqa: F401  (registers control-plane wire types)
+from repro.bench.suites import _straggler_blocks
 from repro.core.config import CoreConfig
 from repro.core.orthrus import OrthrusCore
 from repro.core.partition import PayerPartitioner
@@ -13,6 +15,12 @@ from repro.ledger.state import StateStore
 from repro.ledger.transactions import simple_transfer
 from repro.ordering.ladon import LadonGlobalOrderer
 from repro.ordering.predetermined import PredeterminedGlobalOrderer
+from repro.runtime.codec import (
+    WIRE_VERSION,
+    WIRE_VERSION_BINARY,
+    decode_envelope,
+    encode_envelope,
+)
 from repro.sim.simulator import Simulator
 from repro.workload.config import WorkloadConfig
 from repro.workload.generator import EthereumStyleWorkload
@@ -89,6 +97,111 @@ def test_predetermined_orderer_throughput(benchmark):
         return orderer.ordered_count
 
     assert benchmark(run) == len(blocks)
+
+
+def _sample_block(num_txs=64, instances=4):
+    txs = [
+        simple_transfer(
+            f"acct-{i:04d}",
+            f"acct-{i + 1:04d}",
+            1,
+            tx_id=f"tx-{i:06d}",
+            client_id="bench",
+        )
+        for i in range(num_txs)
+    ]
+    return Block.create(
+        instance=0,
+        sequence_number=5,
+        transactions=txs,
+        state=SystemState.initial(instances),
+        proposer=0,
+        rank=17,
+    )
+
+
+def test_digest_memoization_second_access_is_free(benchmark):
+    """After the first access, ``Block.digest`` must be a plain memo read.
+
+    The benchmark times 1000 repeat accesses on an already-hashed block; if
+    memoization regressed to recomputation this would be ~1000x slower and
+    trip the pytest-benchmark history comparison immediately.
+    """
+    block = _sample_block()
+    first = block.digest  # prime the memo (and every transaction's)
+
+    def run():
+        total = 0
+        for _ in range(1000):
+            total += len(block.digest)
+        return total
+
+    assert benchmark(run) == 1000 * len(first)
+
+
+def test_digest_fresh_block_rate(benchmark):
+    """Cold digests: hash a fresh 64-transaction block and all its txs."""
+
+    def run():
+        block = _sample_block()
+        for tx in block.transactions:
+            _ = tx.digest
+        return len(block.digest)
+
+    assert benchmark(run) == 64
+
+
+def test_codec_binary_vs_json_round_trip(benchmark):
+    """Binary envelope round trip of a 64-tx pre-prepare (the hot frame).
+
+    Asserts the structural contract inline — the binary frame decodes to the
+    same message the JSON codec produces and is smaller — while the timing
+    tracks the v2 path that live clusters actually run.
+    """
+    from repro.sb.pbft.messages import PrePrepare
+
+    block = _sample_block()
+    message = PrePrepare(
+        instance=0,
+        view=0,
+        sender=0,
+        sequence_number=5,
+        block=block,
+        digest=block.digest,
+    )
+    json_frame = encode_envelope(1, message, version=WIRE_VERSION)
+    binary_frame = encode_envelope(1, message, version=WIRE_VERSION_BINARY)
+    assert len(binary_frame) < len(json_frame)
+    from repro.runtime.codec import encode_payload
+
+    assert encode_payload(decode_envelope(binary_frame)[1]) == encode_payload(
+        decode_envelope(json_frame)[1]
+    )
+
+    def run():
+        sender, decoded = decode_envelope(
+            encode_envelope(1, message, version=WIRE_VERSION_BINARY)
+        )
+        return sender
+
+    assert benchmark(run) == 1
+
+
+def test_ladon_release_below_bar_at_10k_pending(benchmark):
+    """The straggler shape at scale: 10k waiting blocks, then release."""
+    waiting, releasers = _straggler_blocks(num_instances=16, pending=10_000)
+
+    def run():
+        orderer = LadonGlobalOrderer(16)
+        for block in waiting:
+            orderer.on_deliver(block)
+        assert orderer.ordered_count == 0  # the bar has not moved yet
+        for block in releasers:
+            orderer.on_deliver(block)
+        return orderer.ordered_count
+
+    # All but the final round's own high-rank tail must have been released.
+    assert benchmark(run) >= len(waiting) * 0.99
 
 
 def test_orthrus_core_block_processing_rate(benchmark):

@@ -1,0 +1,25 @@
+"""Machine-readable performance benchmarks (the ``repro bench`` CLI).
+
+This package is the repo's performance trajectory: each PR that claims a
+speedup runs ``repro bench`` and commits the resulting ``BENCH_<n>.json`` at
+the repository root, so later PRs (and CI) can compare like-for-like numbers.
+See ``docs/performance.md`` for the schema and methodology.
+"""
+
+from repro.bench.report import (
+    BENCH_SCHEMA_VERSION,
+    check_regressions,
+    load_report,
+    write_report,
+)
+from repro.bench.suites import SUITE_NAMES, BenchResult, run_suite
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchResult",
+    "SUITE_NAMES",
+    "check_regressions",
+    "load_report",
+    "run_suite",
+    "write_report",
+]

@@ -1,0 +1,181 @@
+"""``BENCH_<n>.json`` reading, writing and regression checking.
+
+The report format is the repo's performance trajectory (schema documented in
+``docs/performance.md``):
+
+* ``value`` — the number measured when the file was written (this PR).
+* ``baseline_pre_pr`` — the same benchmark measured with the same harness on
+  the tree *before* the PR's changes, when the PR claims a speedup.
+* ``speedup`` — improvement factor derived from the two, oriented so > 1.0
+  is always better.
+
+``check_regressions`` compares a fresh run against a committed report and is
+what the CI ``bench-smoke`` job gates on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.bench.suites import BenchResult
+
+#: Bump when the report layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+
+def host_speed_score() -> float:
+    """A coarse single-thread speed score for the current host (ops/s).
+
+    A fixed pure-Python workload (hashing + dict/list churn — the same kind
+    of work the benchmarks measure) that does not touch ``repro`` code, so
+    it is constant across PRs.  Regression checks scale a committed report's
+    values by the ratio of the two hosts' scores before applying tolerance;
+    without that, a gate recorded on a fast workstation fails spuriously on
+    a slower CI runner with no code change at all.  Best of three rounds.
+    """
+    payload = b"host-speed-calibration" * 8
+
+    def round_score() -> float:
+        start = time.perf_counter()
+        accumulator: dict[int, int] = {}
+        digest = payload
+        for index in range(8_000):
+            digest = hashlib.sha256(digest).digest()
+            accumulator[index & 255] = accumulator.get(index & 255, 0) + digest[0]
+            if index & 7 == 0:
+                sorted(accumulator.values())
+        elapsed = time.perf_counter() - start
+        return 8_000 / elapsed
+
+    return max(round_score() for _ in range(3))
+
+
+def _speedup(value: float, baseline: float, higher_is_better: bool) -> float:
+    if baseline <= 0 or value <= 0:
+        return 1.0
+    return value / baseline if higher_is_better else baseline / value
+
+
+def build_report(
+    results: list[BenchResult],
+    *,
+    pr: int,
+    suite: str,
+    baselines: Mapping[str, float] | None = None,
+) -> dict[str, Any]:
+    """Assemble the JSON document for a benchmark run."""
+    benchmarks: dict[str, Any] = {}
+    for result in results:
+        entry: dict[str, Any] = {
+            "unit": result.unit,
+            "higher_is_better": result.higher_is_better,
+            "value": round(result.value, 3),
+        }
+        if result.meta:
+            entry["meta"] = result.meta
+        baseline = (baselines or {}).get(result.name)
+        if baseline is not None:
+            entry["baseline_pre_pr"] = round(float(baseline), 3)
+            entry["speedup"] = round(
+                _speedup(result.value, float(baseline), result.higher_is_better), 2
+            )
+        benchmarks[result.name] = entry
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "pr": pr,
+        "suite": suite,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": sys.implementation.name,
+            "platform": platform.platform(),
+            "speed_score": round(host_speed_score(), 1),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def write_report(report: dict[str, Any], path: str | Path) -> None:
+    """Write a report as stable, diff-friendly JSON."""
+    Path(path).write_text(
+        json.dumps(report, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Load a committed ``BENCH_<n>.json``."""
+    report = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = report.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported bench schema {version!r} "
+            f"(this tool reads {BENCH_SCHEMA_VERSION})"
+        )
+    return report
+
+
+def check_regressions(
+    results: list[BenchResult],
+    committed: Mapping[str, Any],
+    *,
+    tolerance: float = 0.30,
+    current_speed_score: float | None = None,
+) -> list[str]:
+    """Compare a fresh run against a committed report.
+
+    Returns one human-readable line per benchmark that regressed more than
+    ``tolerance`` (fractional; 0.30 means "more than 30 % worse than the
+    committed value").  Benchmarks absent from the committed report are
+    ignored — new benchmarks must not fail the gate that predates them.
+
+    When the committed report carries a host ``speed_score``, the committed
+    values are first scaled by ``current host score / committed host score``
+    so the gate compares like with like across machines (a CI runner at
+    half the committing workstation's speed is expected to measure roughly
+    half the ops/s, not to fail the gate).  Pass ``current_speed_score`` to
+    reuse an already-measured score; otherwise it is measured on the spot.
+    """
+    failures: list[str] = []
+    committed_benchmarks = committed.get("benchmarks", {})
+    committed_score = committed.get("host", {}).get("speed_score")
+    scale = 1.0
+    if committed_score:
+        score = (
+            current_speed_score
+            if current_speed_score is not None
+            else host_speed_score()
+        )
+        scale = score / float(committed_score)
+    for result in results:
+        entry = committed_benchmarks.get(result.name)
+        if entry is None:
+            continue
+        reference = float(entry["value"])
+        if reference <= 0:
+            continue
+        if result.higher_is_better:
+            # ops/s scale linearly with host speed; wall-clock inversely.
+            ratio = result.value / (reference * scale)
+        else:
+            ratio = (reference / scale) / max(result.value, 1e-12)
+        if ratio < 1.0 - tolerance:
+            failures.append(
+                f"{result.name}: {result.value:.3f} {result.unit} is "
+                f"{(1.0 - ratio) * 100:.0f}% worse than the committed "
+                f"{reference:.3f} (host-speed scale {scale:.2f}, "
+                f"tolerance {tolerance * 100:.0f}%)"
+            )
+    return failures
+
+
+def format_results(results: list[BenchResult]) -> str:
+    """Fixed-width table of results for terminal output."""
+    lines = [f"{'benchmark':<24} {'value':>14} {'unit':<14}"]
+    for result in results:
+        lines.append(f"{result.name:<24} {result.value:>14,.1f} {result.unit:<14}")
+    return "\n".join(lines)

@@ -1,0 +1,449 @@
+"""The named benchmark suites behind ``repro bench``.
+
+Each benchmark is a plain function returning a :class:`BenchResult`.  Micro
+benchmarks auto-calibrate an inner loop until one timed repeat exceeds a
+minimum wall-clock budget and report the *best* repeat (the standard
+minimum-of-k estimator: the fastest observation has the least scheduler
+noise).  The two end-to-end benchmarks (fig3-small simulation wall-clock and
+the live localhost cluster) run once — they are long enough that a single
+observation is meaningful, and the live one is nondeterministic anyway.
+
+The functions deliberately measure through the same public entry points the
+system uses (``Block.digest``, ``encode_envelope``/``decode_envelope``,
+``LadonGlobalOrderer.on_deliver``, ``Simulator.run``, ``ExperimentEngine``),
+so a regression anywhere on those paths is visible here.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.ledger.blocks import Block, SystemState
+from repro.ledger.transactions import Transaction, TransactionType
+from repro.ledger.objects import ObjectOperation, ObjectType, OperationKind
+
+#: Suite names accepted by ``repro bench --suite``.
+SUITE_NAMES: tuple[str, ...] = ("quick", "full")
+
+#: Minimum seconds one calibrated repeat of a micro benchmark must take.
+_MIN_REPEAT_SECONDS = 0.1
+
+#: Timed repeats per micro benchmark (best one is reported).
+_REPEATS = 5
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's outcome.
+
+    ``value`` is in ``unit``; ``higher_is_better`` orients regression checks
+    (ops/s benchmarks regress when they drop, wall-clock benchmarks regress
+    when they grow).
+    """
+
+    name: str
+    unit: str
+    value: float
+    higher_is_better: bool
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+def _best_seconds_per_op(fn: Callable[[], Any]) -> float:
+    """Best-of-``_REPEATS`` seconds per call of ``fn`` (auto-calibrated)."""
+    loops = 1
+    while True:
+        start = time.perf_counter()
+        for _ in range(loops):
+            fn()
+        elapsed = time.perf_counter() - start
+        if elapsed >= _MIN_REPEAT_SECONDS:
+            break
+        # Grow geometrically towards the budget (x1.3 headroom for noise).
+        scale = _MIN_REPEAT_SECONDS / max(elapsed, 1e-9)
+        loops = max(loops + 1, int(loops * scale * 1.3))
+    best = elapsed
+    for _ in range(_REPEATS - 1):
+        start = time.perf_counter()
+        for _ in range(loops):
+            fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best / loops
+
+
+# -- fixtures -----------------------------------------------------------------
+
+
+def _operations(index: int) -> tuple[ObjectOperation, ...]:
+    return (
+        ObjectOperation(
+            key=f"acct-{index % 512:04d}",
+            kind=OperationKind.DECREMENT,
+            amount=1,
+            object_type=ObjectType.OWNED,
+        ),
+        ObjectOperation(
+            key=f"acct-{(index + 7) % 512:04d}",
+            kind=OperationKind.INCREMENT,
+            amount=1,
+            object_type=ObjectType.OWNED,
+        ),
+    )
+
+
+def _fresh_transactions(count: int, ops: Iterable[tuple[ObjectOperation, ...]]) -> list[Transaction]:
+    ops = list(ops)
+    return [
+        Transaction(
+            tx_id=f"tx-{i:06d}",
+            operations=ops[i % len(ops)],
+            tx_type=TransactionType.PAYMENT,
+            client_id="bench-client",
+        )
+        for i in range(count)
+    ]
+
+
+def _fresh_block(txs: list[Transaction], instances: int = 4) -> Block:
+    return Block.create(
+        instance=0,
+        sequence_number=5,
+        transactions=txs,
+        state=SystemState.initial(instances),
+        proposer=0,
+        rank=17,
+    )
+
+
+# -- micro benchmarks ---------------------------------------------------------
+
+
+def bench_digest() -> BenchResult:
+    """Content digests of fresh transactions and blocks, accessed twice.
+
+    One unit of work mirrors what every replica does per proposed block: hash
+    each transaction and the block itself, then read each digest again (PBFT
+    computes the block digest at proposal and re-checks it at pre-prepare and
+    commit).  Objects are constructed fresh inside the timed region so
+    memoization cannot carry over between iterations — the second access per
+    object is exactly the in-protocol reuse it speeds up.
+    """
+    op_pool = [_operations(i) for i in range(64)]
+
+    def work() -> int:
+        txs = _fresh_transactions(64, op_pool)
+        block = _fresh_block(txs)
+        total = 0
+        for tx in txs:
+            total += len(tx.digest)
+            total += len(tx.digest)
+        total += len(block.digest)
+        total += len(block.digest)
+        return total
+
+    seconds = _best_seconds_per_op(work)
+    digests = 2 * (64 + 1)
+    return BenchResult(
+        name="digest_block_64tx",
+        unit="digests/s",
+        value=digests / seconds,
+        higher_is_better=True,
+        meta={"transactions": 64, "accesses_per_object": 2},
+    )
+
+
+def _codec_messages() -> list[Any]:
+    from repro.cluster.messages import ClientRequest
+    from repro.sb.pbft.messages import Commit, PrePrepare, Prepare
+
+    txs = _fresh_transactions(64, [_operations(i) for i in range(64)])
+    block = _fresh_block(txs)
+    digest = block.digest
+    return [
+        Prepare(instance=0, view=0, sender=1, sequence_number=5, digest=digest),
+        Commit(instance=0, view=0, sender=1, sequence_number=5, digest=digest),
+        ClientRequest(tx=txs[0], client_node=1000),
+        PrePrepare(
+            instance=0, view=0, sender=0, sequence_number=5, block=block, digest=digest
+        ),
+    ]
+
+
+def bench_codec_roundtrip() -> BenchResult:
+    """Wire-codec round trip of a representative consensus message mix.
+
+    The mix is one of each hot frame: the tiny quadratic-traffic messages
+    (prepare/commit), a client request, and a 64-transaction pre-prepare —
+    encoded and decoded at the transport's default wire version.
+    """
+    import repro.runtime.control  # noqa: F401  (registers control-plane types)
+    from repro.runtime import codec
+
+    messages = _codec_messages()
+    version = getattr(codec, "DEFAULT_WIRE_VERSION", codec.WIRE_VERSION)
+
+    def encode(message: Any) -> bytes:
+        try:
+            return codec.encode_envelope(1, message, version=version)
+        except TypeError:  # pre-binary codec: no version parameter
+            return codec.encode_envelope(1, message)
+
+    frames = [encode(message) for message in messages]
+    total_bytes = sum(len(frame) for frame in frames)
+
+    def work() -> None:
+        for message in messages:
+            codec.decode_envelope(encode(message))
+
+    seconds = _best_seconds_per_op(work)
+    return BenchResult(
+        name="codec_roundtrip_mix",
+        unit="roundtrips/s",
+        value=len(messages) / seconds,
+        higher_is_better=True,
+        meta={"wire_version": version, "frame_bytes_total": total_bytes},
+    )
+
+
+def _straggler_blocks(
+    num_instances: int, pending: int
+) -> tuple[list[Block], list[Block]]:
+    """Blocks for the straggler release scenario.
+
+    Instances ``1..m-1`` deliver ``pending`` blocks that all wait (instance 0
+    has delivered nothing, so the bar never moves), then instance 0 catches up
+    with high-rank blocks that release the entire backlog — the paper's
+    straggler shape, at the scale where release-path complexity dominates.
+    """
+    state = SystemState.initial(num_instances)
+    waiting: list[Block] = []
+    rank = 0
+    per_instance = pending // (num_instances - 1)
+    for sn in range(per_instance):
+        for instance in range(1, num_instances):
+            rank += 1
+            waiting.append(
+                Block.create(
+                    instance=instance,
+                    sequence_number=sn,
+                    transactions=[],
+                    state=state,
+                    proposer=instance,
+                    rank=rank,
+                )
+            )
+    releasers = [
+        Block.create(
+            instance=0,
+            sequence_number=sn,
+            transactions=[],
+            state=state,
+            proposer=0,
+            rank=rank + sn + 1,
+        )
+        for sn in range(4)
+    ]
+    return waiting, releasers
+
+
+def bench_ladon_release() -> BenchResult:
+    """Ladon global ordering under a 10k-block straggler backlog."""
+    from repro.ordering.ladon import LadonGlobalOrderer
+
+    num_instances = 16
+    waiting, releasers = _straggler_blocks(num_instances, pending=10_000)
+    delivered = len(waiting) + len(releasers)
+
+    def deliver_all() -> int:
+        orderer = LadonGlobalOrderer(num_instances)
+        for block in waiting:
+            orderer.on_deliver(block)
+        for block in releasers:
+            orderer.on_deliver(block)
+        return orderer.ordered_count
+
+    # The scenario is deterministic: the release count observed in one
+    # untimed run pins the behaviour every timed run must reproduce (the
+    # last round's own high ranks stay above the bar, so it is slightly
+    # below the delivered count).
+    expected = deliver_all()
+    assert expected > len(waiting) * 0.99, expected
+
+    def work() -> None:
+        assert deliver_all() == expected
+
+    seconds = _best_seconds_per_op(work)
+    return BenchResult(
+        name="ladon_release_10k",
+        unit="blocks/s",
+        value=delivered / seconds,
+        higher_is_better=True,
+        meta={
+            "instances": num_instances,
+            "pending_blocks": len(waiting),
+            "released_blocks": expected,
+        },
+    )
+
+
+def bench_sim_events() -> BenchResult:
+    """Raw simulator event dispatch, including timer-churn cancellations."""
+    from repro.sim.simulator import Simulator
+
+    events = 50_000
+
+    def work() -> None:
+        sim = Simulator()
+        sink: list[float] = []
+        append = sink.append
+        handles = []
+        for i in range(events):
+            handle = sim.schedule(i * 1e-5, lambda: append(1.0))
+            if i % 4 == 0:
+                handles.append(handle)
+        # A quarter of the events are cancelled before firing — the
+        # view-change-timer churn shape the lazy-deletion heap compaction
+        # exists for.
+        for handle in handles:
+            handle.cancel()
+        sim.run()
+        assert sim.processed_events == events - len(handles)
+
+    seconds = _best_seconds_per_op(work)
+    return BenchResult(
+        name="sim_event_throughput",
+        unit="events/s",
+        value=events / seconds,
+        higher_is_better=True,
+        meta={"events": events, "cancelled_fraction": 0.25},
+    )
+
+
+# -- end-to-end benchmarks ----------------------------------------------------
+
+
+def bench_fig3_small() -> BenchResult:
+    """Wall-clock of one uncached fig3-shaped simulation cell.
+
+    The cell is the ``repro run`` default (16 replicas, WAN, 40 simulated
+    seconds) — the same shape every fig3 grid point simulates.  Best of three
+    runs, each on a fresh engine with caching disabled.
+    """
+    from repro.experiments.engine import ExperimentEngine, ScenarioSpec
+
+    spec = ScenarioSpec(
+        protocol="orthrus",
+        num_replicas=16,
+        environment="wan",
+        duration=40.0,
+        warmup=8.0,
+        samples_per_block=6,
+        seed=1,
+    )
+    best = float("inf")
+    throughput = 0.0
+    for _ in range(3):
+        engine = ExperimentEngine(cache_dir=None, jobs=1)
+        start = time.perf_counter()
+        result = engine.run_one(spec)
+        best = min(best, time.perf_counter() - start)
+        throughput = result.metrics.throughput_tps
+    return BenchResult(
+        name="fig3_small_wallclock",
+        unit="seconds",
+        value=best,
+        higher_is_better=False,
+        meta={
+            "replicas": 16,
+            "simulated_seconds": 40.0,
+            "throughput_tps": round(throughput, 1),
+        },
+    )
+
+
+def bench_live_smoke(transactions: int = 600) -> BenchResult:
+    """Committed tx/s of a real 4-replica / 2-instance localhost cluster."""
+    import asyncio
+
+    from repro.runtime.client import ClientConfig
+    from repro.runtime.cluster import ClusterSpec, LocalCluster
+    from repro.runtime.loadgen import LoadGenConfig, run_loadgen
+    from repro.workload.config import WorkloadConfig
+
+    spec = ClusterSpec(
+        num_replicas=4,
+        num_instances=2,
+        protocol="orthrus",
+        batch_size=64,
+        batch_interval=0.02,
+        workload=WorkloadConfig(num_accounts=1024, seed=42),
+    )
+    load = LoadGenConfig(
+        transactions=transactions,
+        mode="closed",
+        concurrency=32,
+        workload=WorkloadConfig(
+            num_accounts=1024, seed=42, payment_fraction=1.0
+        ),
+        client=ClientConfig(client_id=1000, timeout=10.0, retries=3),
+    )
+    cluster = LocalCluster(spec)
+    cluster.start()
+    try:
+        report = asyncio.run(run_loadgen(list(cluster.endpoints), load))
+    finally:
+        cluster.stop()
+    if report.failed or not report.digests_agree:
+        raise RuntimeError(
+            f"live smoke failed: {report.failed} failures, "
+            f"digests_agree={report.digests_agree}"
+        )
+    return BenchResult(
+        name="live_smoke_tps",
+        unit="tx/s",
+        value=report.metrics.throughput_tps,
+        higher_is_better=True,
+        meta={
+            "replicas": 4,
+            "instances": 2,
+            "transactions": transactions,
+            "digests_agree": report.digests_agree,
+        },
+    )
+
+
+# -- suites -------------------------------------------------------------------
+
+#: The fast, deterministic-ish suite CI runs on every push.
+_QUICK: tuple[Callable[[], BenchResult], ...] = (
+    bench_digest,
+    bench_codec_roundtrip,
+    bench_ladon_release,
+    bench_sim_events,
+)
+
+#: Everything, including the end-to-end simulation and live-cluster runs.
+_FULL: tuple[Callable[[], BenchResult], ...] = _QUICK + (
+    bench_fig3_small,
+    bench_live_smoke,
+)
+
+
+def run_suite(
+    suite: str, *, progress: Callable[[str], None] | None = None
+) -> list[BenchResult]:
+    """Run a named suite and return its results in execution order."""
+    if suite == "quick":
+        benchmarks = _QUICK
+    elif suite == "full":
+        benchmarks = _FULL
+    else:
+        raise ValueError(f"unknown benchmark suite {suite!r}")
+    results: list[BenchResult] = []
+    for benchmark in benchmarks:
+        if progress is not None:
+            progress(benchmark.__name__)
+        results.append(benchmark())
+    return results

@@ -23,6 +23,12 @@ Live fault injection (the paper's degradation modes on real sockets)::
     python -m repro.cli cluster --fault-plan '{"crashes": {"0": 5}}'
     python -m repro.cli run --backend live --replicas 4 --straggler
 
+Performance benchmarks (the BENCH_<n>.json trajectory, docs/performance.md)::
+
+    python -m repro.cli bench --suite quick
+    python -m repro.cli bench --suite full --output BENCH_5.json
+    python -m repro.cli bench --suite quick --check BENCH_5.json
+
 All experiment commands accept ``--jobs N`` (parallel execution across a
 process pool; results are identical to serial runs) and ``--cache-dir PATH``
 (completed cells are stored as JSON keyed by spec hash, so re-runs and
@@ -33,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import sys
 from typing import Sequence
 
@@ -78,6 +85,20 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError("must be at least 1")
     return value
+
+
+def _add_wire_version_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--wire-version",
+        type=int,
+        default=None,
+        choices=[1, 2],
+        help=(
+            "highest wire version to speak (default: 2, struct-packed binary; "
+            "1 pins canonical JSON); per-connection encoding is negotiated "
+            "down via the hello handshake"
+        ),
+    )
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -193,6 +214,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="chaos: drop consensus messages for instances this replica does not lead",
     )
+    _add_wire_version_argument(serve_parser)
 
     cluster_parser = subparsers.add_parser(
         "cluster", help="spawn and supervise a local live cluster"
@@ -223,6 +245,7 @@ def _build_parser() -> argparse.ArgumentParser:
             '"restarts": {"0": 15}, "undetectable_faults": 1}'
         ),
     )
+    _add_wire_version_argument(cluster_parser)
 
     chaos_parser = subparsers.add_parser(
         "chaos",
@@ -278,6 +301,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON fault plan or @file (overrides the individual fault flags)",
     )
+    _add_wire_version_argument(chaos_parser)
 
     loadgen_parser = subparsers.add_parser(
         "loadgen", help="drive a live cluster with synthetic load"
@@ -294,6 +318,53 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen_parser.add_argument("--workload-seed", type=int, default=42)
     loadgen_parser.add_argument("--client-id", type=int, default=1000)
     loadgen_parser.add_argument("--timeout", type=float, default=5.0)
+    _add_wire_version_argument(loadgen_parser)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the performance benchmark suite and emit BENCH_<n>.json",
+    )
+    from repro.bench import SUITE_NAMES
+
+    bench_parser.add_argument(
+        "--suite",
+        default="quick",
+        choices=list(SUITE_NAMES),
+        help="quick: micro benchmarks only; full: + fig3-small sim and live cluster",
+    )
+    bench_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the results as a BENCH_<n>.json report to PATH",
+    )
+    bench_parser.add_argument(
+        "--pr",
+        type=int,
+        default=5,
+        help="PR number recorded in the report (default: 5)",
+    )
+    bench_parser.add_argument(
+        "--baselines",
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON mapping of benchmark name -> pre-PR value, merged into the "
+            "report as baseline_pre_pr (speedups are derived)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--check",
+        default=None,
+        metavar="PATH",
+        help="compare against a committed BENCH_<n>.json; exit 1 on regression",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="fractional regression tolerated by --check (default: 0.30)",
+    )
 
     return parser
 
@@ -445,6 +516,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         workload=WorkloadConfig(num_accounts=args.accounts, seed=args.workload_seed),
         send_delay=args.send_delay,
         byzantine_abstain=args.byzantine_abstain,
+        wire_version=args.wire_version,
     )
     asyncio.run(run_server(config))
     return 0
@@ -488,6 +560,7 @@ def _command_cluster(args: argparse.Namespace) -> int:
         view_change_timeout=faults.view_change_timeout,
         workload=WorkloadConfig(num_accounts=args.accounts, seed=args.workload_seed),
         faults=faults,
+        wire_version=args.wire_version,
     )
     cluster = LocalCluster(spec)
     cluster.start()
@@ -583,6 +656,7 @@ def _command_chaos(args: argparse.Namespace) -> int:
         view_change_timeout=plan.view_change_timeout,
         workload=WorkloadConfig(num_accounts=args.accounts, seed=args.workload_seed),
         faults=plan,
+        wire_version=args.wire_version,
     )
     # Submissions routed through a crashed leader's instance must outlive the
     # view change, so the client's patience scales with the detector timeout.
@@ -601,7 +675,12 @@ def _command_chaos(args: argparse.Namespace) -> int:
             seed=args.workload_seed,
             payment_fraction=args.payment_fraction,
         ),
-        client=ClientConfig(client_id=1000, timeout=timeout, retries=3),
+        client=ClientConfig(
+            client_id=1000,
+            timeout=timeout,
+            retries=3,
+            wire_version=args.wire_version,
+        ),
     )
     print(
         f"# chaos [{plan_summary(plan)}] — {args.replicas} replicas, "
@@ -649,13 +728,58 @@ def _command_loadgen(args: argparse.Namespace) -> int:
             seed=args.workload_seed,
             payment_fraction=args.payment_fraction,
         ),
-        client=ClientConfig(client_id=args.client_id, timeout=args.timeout),
+        client=ClientConfig(
+            client_id=args.client_id,
+            timeout=args.timeout,
+            wire_version=args.wire_version,
+        ),
     )
     report = asyncio.run(run_loadgen(peers, config))
     print(f"# loadgen [{args.mode}] against {len(peers)} replicas")
     for line in report.lines():
         print(line)
     return 0 if report.failed == 0 and report.digests_agree else 1
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.bench import check_regressions, load_report, run_suite, write_report
+    from repro.bench.report import build_report, format_results
+
+    # Validate every input file before running the suite: benchmarks take
+    # minutes (the full suite spawns a live cluster), and a typo'd path must
+    # not discard that work with a traceback at the end.
+    baselines = None
+    committed = None
+    try:
+        if args.baselines is not None:
+            with open(args.baselines, "r", encoding="utf-8") as handle:
+                baselines = _json.load(handle)
+        if args.check is not None:
+            committed = load_report(args.check)
+        if args.output is not None:
+            directory = os.path.dirname(os.path.abspath(args.output))
+            if not os.path.isdir(directory):
+                raise OSError(f"output directory {directory!r} does not exist")
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    results = run_suite(args.suite, progress=lambda name: print(f"# {name} ..."))
+    print(format_results(results))
+    if args.output is not None:
+        report = build_report(results, pr=args.pr, suite=args.suite, baselines=baselines)
+        write_report(report, args.output)
+        print(f"# wrote {args.output}")
+    if committed is not None:
+        failures = check_regressions(results, committed, tolerance=args.tolerance)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(f"# no regressions vs {args.check} (tolerance {args.tolerance:.0%})")
+    return 0
 
 
 def _command_workload(args: argparse.Namespace) -> int:
@@ -685,6 +809,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figure": _command_figure,
         "grid": _command_grid,
         "workload": _command_workload,
+        "bench": _command_bench,
         "serve": _command_serve,
         "cluster": _command_cluster,
         "chaos": _command_chaos,

@@ -4,6 +4,13 @@ Each bucket is an append-only queue for backups; the instance's leader may
 additionally *pull* transactions when forming a block.  Duplicate submissions
 are ignored, and transactions that have already reached a terminal status can
 be purged during garbage collection.
+
+Purging is lazy: garbage collection only moves the purged ids into a ghost
+set (O(ids), not O(queue)), and the stale queue entries are skipped when the
+scan reaches them (or dropped wholesale once ghosts outnumber live entries).
+An id can occupy at most one queue slot at any time — ``push``/``requeue``/
+``defer`` all dedupe against the live-member set — which is what makes the
+ghost set sufficient to identify stale entries.
 """
 
 from __future__ import annotations
@@ -12,6 +19,9 @@ from collections import deque
 from typing import Iterable
 
 from repro.ledger.transactions import Transaction
+
+#: Ghost entries tolerated before the queue is physically compacted.
+_COMPACT_MIN = 64
 
 
 class Bucket:
@@ -23,22 +33,54 @@ class Bucket:
         self._members: set[str] = set()
         #: ids pulled by the leader but not yet confirmed (kept for requeue).
         self._in_flight: dict[str, Transaction] = {}
+        #: ids purged while queued; their single stale entry is still in
+        #: ``_queue`` and is skipped (and forgotten) when encountered.
+        self._ghosts: set[str] = set()
+
+    def _evict_ghost(self, tx_id: str) -> None:
+        """Physically drop the stale entry for ``tx_id`` (rare: the id is
+        being re-added before its ghost was scanned past)."""
+        self._ghosts.discard(tx_id)
+        self._queue = deque(tx for tx in self._queue if tx.tx_id != tx_id)
+
+    def _maybe_compact(self) -> None:
+        if len(self._ghosts) > _COMPACT_MIN and len(self._ghosts) > len(self._members):
+            self._queue = deque(
+                tx for tx in self._queue if tx.tx_id not in self._ghosts
+            )
+            self._ghosts.clear()
 
     def push(self, tx: Transaction) -> bool:
         """Append a transaction; returns False for duplicates."""
         if tx.tx_id in self._members or tx.tx_id in self._in_flight:
             return False
+        if tx.tx_id in self._ghosts:
+            self._evict_ghost(tx.tx_id)
         self._queue.append(tx)
         self._members.add(tx.tx_id)
         return True
 
+    def pull_one(self) -> Transaction | None:
+        """Leader-only: remove and return the oldest pending transaction."""
+        queue = self._queue
+        ghosts = self._ghosts
+        while queue:
+            tx = queue.popleft()
+            if ghosts and tx.tx_id in ghosts:
+                ghosts.discard(tx.tx_id)
+                continue
+            self._members.discard(tx.tx_id)
+            self._in_flight[tx.tx_id] = tx
+            return tx
+        return None
+
     def pull(self, max_count: int) -> list[Transaction]:
         """Leader-only: remove up to ``max_count`` oldest transactions."""
         batch: list[Transaction] = []
-        while self._queue and len(batch) < max_count:
-            tx = self._queue.popleft()
-            self._members.discard(tx.tx_id)
-            self._in_flight[tx.tx_id] = tx
+        while len(batch) < max_count:
+            tx = self.pull_one()
+            if tx is None:
+                break
             batch.append(tx)
         return batch
 
@@ -52,6 +94,8 @@ class Bucket:
             self._in_flight.pop(tx.tx_id, None)
             if tx.tx_id in self._members:
                 continue
+            if tx.tx_id in self._ghosts:
+                self._evict_ghost(tx.tx_id)
             self._queue.appendleft(tx)
             self._members.add(tx.tx_id)
             returned += 1
@@ -72,6 +116,8 @@ class Bucket:
             self._in_flight.pop(tx.tx_id, None)
             if tx.tx_id in self._members:
                 continue
+            if tx.tx_id in self._ghosts:
+                self._evict_ghost(tx.tx_id)
             self._queue.append(tx)
             self._members.add(tx.tx_id)
             deferred += 1
@@ -90,23 +136,26 @@ class Bucket:
         """Remove queued transactions whose ids appear in ``tx_ids``.
 
         Called by garbage collection for transactions that were confirmed via
-        another instance or will never execute (Sec. V-D).
+        another instance or will never execute (Sec. V-D).  O(len(tx_ids)):
+        the queue entries become ghosts and are skipped lazily.
         """
-        drop = {tx_id for tx_id in tx_ids}
+        members = self._members
+        drop = {tx_id for tx_id in tx_ids if tx_id in members}
         if not drop:
             return 0
-        kept = [tx for tx in self._queue if tx.tx_id not in drop]
-        removed = len(self._queue) - len(kept)
-        self._queue = deque(kept)
-        self._members = {tx.tx_id for tx in kept}
-        return removed
+        members -= drop
+        self._ghosts |= drop
+        self._maybe_compact()
+        return len(drop)
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._members)
 
     def __contains__(self, tx_id: str) -> bool:
         return tx_id in self._members
 
     def peek_all(self) -> list[Transaction]:
         """Copy of the queued transactions (oldest first), for inspection."""
-        return list(self._queue)
+        if not self._ghosts:
+            return list(self._queue)
+        return [tx for tx in self._queue if tx.tx_id not in self._ghosts]

@@ -12,8 +12,9 @@ execute.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
-from repro.crypto.digest import combine_digests
+from repro.crypto.digest import DigestAccumulator
 
 
 @dataclass(frozen=True)
@@ -25,12 +26,20 @@ class Checkpoint:
     state_digest: str
     block_digests: tuple[str, ...] = ()
 
-    @property
+    @cached_property
     def digest(self) -> str:
-        """Digest replicas compare when forming a stable checkpoint."""
-        return combine_digests(
-            [self.state_digest, str(self.epoch), *map(str, self.frontier)]
-        )
+        """Digest replicas compare when forming a stable checkpoint.
+
+        Built incrementally (every frontier entry feeds one running hash) and
+        cached — checkpoints are immutable and their digest is compared once
+        per vote received.
+        """
+        accumulator = DigestAccumulator()
+        accumulator.append(self.state_digest)
+        accumulator.append(str(self.epoch))
+        for entry in self.frontier:
+            accumulator.append(str(entry))
+        return accumulator.hexdigest()
 
 
 class EpochTracker:

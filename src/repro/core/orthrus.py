@@ -81,34 +81,38 @@ class OrthrusCore(ConsensusCore):
         that partial-path execution succeeds identically on every honest
         replica (Lemma 1).
 
-        Only a bounded window at the head of the bucket is scanned per call.
-        Transactions the scan skipped because the batch was already full go
-        back to the *front* (their turn is next); transactions skipped because
-        they are currently unaffordable are deferred to the *back* of the
-        bucket.  Re-queueing unaffordable transactions at the front would pin
-        the scan window on a persistently unaffordable prefix (payer drained
-        through another instance) and starve affordable transactions queued
-        behind it until epoch garbage collection.
+        Only a bounded window at the head of the bucket is scanned per call,
+        pulling one transaction at a time and stopping as soon as the batch
+        fills — transactions beyond that point are simply never pulled (same
+        effect as the former pull-everything-then-requeue round trip, without
+        touching O(scan window) entries per call).  Transactions skipped
+        because they are currently unaffordable are deferred to the *back* of
+        the bucket.  Re-queueing unaffordable transactions at the front would
+        pin the scan window on a persistently unaffordable prefix (payer
+        drained through another instance) and starve affordable transactions
+        queued behind it until epoch garbage collection.
         """
         limit = max_count if max_count is not None else self.config.batch_size
         bucket = self.buckets[instance]
         scan_limit = max(limit * 4, 16)
-        candidates = bucket.pull(min(scan_limit, len(bucket)))
         batch: list[Transaction] = []
-        overflow: list[Transaction] = []
         unaffordable: list[Transaction] = []
-        for tx in candidates:
-            if len(batch) >= limit:
-                overflow.append(tx)
-                continue
+        scanned = 0
+        while len(batch) < limit and scanned < scan_limit:
+            tx = bucket.pull_one()
+            if tx is None:
+                break
+            scanned += 1
             if self.status_of(tx.tx_id).terminal:
+                # Confirmed through another instance; drops out of the queue
+                # here (it stays in the in-flight map until garbage
+                # collection clears terminal ids, exactly as before).
                 continue
             if self._affordable(tx, instance):
                 self._reserve_inflight(tx, instance)
                 batch.append(tx)
             else:
                 unaffordable.append(tx)
-        bucket.requeue(overflow)
         bucket.defer(unaffordable)
         return batch
 

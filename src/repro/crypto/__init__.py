@@ -1,6 +1,12 @@
 """Simulated cryptography: digests, PKI, signatures, quorum certificates."""
 
-from repro.crypto.digest import canonical_bytes, combine_digests, digest, sha256_hex
+from repro.crypto.digest import (
+    DigestAccumulator,
+    canonical_bytes,
+    combine_digests,
+    digest,
+    sha256_hex,
+)
 from repro.crypto.keys import KeyPair, PublicKeyInfrastructure
 from repro.crypto.signatures import (
     CryptoCostModel,
@@ -12,6 +18,7 @@ from repro.crypto.signatures import (
 
 __all__ = [
     "CryptoCostModel",
+    "DigestAccumulator",
     "KeyPair",
     "PublicKeyInfrastructure",
     "QuorumCertificate",

@@ -3,29 +3,29 @@
 Blocks, transactions and checkpoint summaries are identified by SHA-256
 digests of a canonical rendering of their fields.  Digests are hex strings so
 they remain hashable, comparable and readable in logs and test failures.
+
+The canonical rendering is (and has always been) sorted-key JSON.  Because
+hashing sits on the hottest paths of both the simulator and the live runtime,
+there are two renderers that must stay byte-identical:
+
+* the *reference* renderer: ``json.dumps(digest_fields(), sort_keys=True)``
+  semantics via a precompiled :class:`json.JSONEncoder`;
+* optional *precompiled* per-class renderers: hot classes expose
+  ``canonical_render()`` returning the same bytes without building the
+  intermediate dict (keys are constants, already sorted, so only the values
+  are interpolated).
+
+``tests/crypto`` property-tests the two against each other; a class whose
+``canonical_render`` drifted from its ``digest_fields`` would change digests
+and fail there before it could corrupt checkpoint comparisons.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any
-
-
-def canonical_bytes(value: Any) -> bytes:
-    """Render ``value`` as canonical bytes for hashing.
-
-    Dataclass-like objects may expose ``digest_fields()`` returning a plain
-    structure; otherwise the object's ``repr`` is used.  Plain structures are
-    serialised as sorted-key JSON, which is stable across runs.
-    """
-    provider = getattr(value, "digest_fields", None)
-    if callable(provider):
-        value = provider()
-    try:
-        return json.dumps(value, sort_keys=True, default=_fallback).encode("utf-8")
-    except (TypeError, ValueError):
-        return repr(value).encode("utf-8")
+from json.encoder import encode_basestring_ascii
+from typing import Any, Iterable
 
 
 def _fallback(value: Any) -> Any:
@@ -33,6 +33,33 @@ def _fallback(value: Any) -> Any:
     if callable(provider):
         return provider()
     return repr(value)
+
+
+#: Precompiled reference encoder: ``json.dumps(..., sort_keys=True)``
+#: semantics without rebuilding the encoder object on every call.
+_ENCODER = json.JSONEncoder(sort_keys=True, default=_fallback)
+
+#: Escape a string exactly as the reference JSON encoder does (C-accelerated).
+escape_json_string = encode_basestring_ascii
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Render ``value`` as canonical bytes for hashing.
+
+    Objects may provide ``canonical_render()`` (precompiled fast path) or
+    ``digest_fields()`` (a plain structure rendered as sorted-key JSON);
+    anything JSON cannot represent falls back to ``repr``.
+    """
+    render = getattr(value, "canonical_render", None)
+    if render is not None:
+        return render()
+    provider = getattr(value, "digest_fields", None)
+    if callable(provider):
+        value = provider()
+    try:
+        return _ENCODER.encode(value).encode("utf-8")
+    except (TypeError, ValueError):
+        return repr(value).encode("utf-8")
 
 
 def sha256_hex(data: bytes) -> str:
@@ -45,7 +72,38 @@ def digest(value: Any) -> str:
     return sha256_hex(canonical_bytes(value))
 
 
-def combine_digests(digests: list[str]) -> str:
+def combine_digests(digests: Iterable[str]) -> str:
     """Digest of an ordered list of digests (used for checkpoint summaries)."""
-    joined = "|".join(digests).encode("utf-8")
-    return sha256_hex(joined)
+    accumulator = DigestAccumulator()
+    for entry in digests:
+        accumulator.append(entry)
+    return accumulator.hexdigest()
+
+
+class DigestAccumulator:
+    """Incremental :func:`combine_digests`.
+
+    Feeds each appended digest straight into one running SHA-256 (with the
+    same ``|`` separators the joined-string rendering used), so callers that
+    build checkpoint summaries over large stores never materialise the joined
+    list.  ``combine_digests(items)`` == appending ``items`` in order and
+    taking :meth:`hexdigest`.
+    """
+
+    __slots__ = ("_hash", "_empty")
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        self._empty = True
+
+    def append(self, digest_hex: str) -> None:
+        """Add the next digest in order."""
+        if self._empty:
+            self._empty = False
+        else:
+            self._hash.update(b"|")
+        self._hash.update(digest_hex.encode("utf-8"))
+
+    def hexdigest(self) -> str:
+        """Combined digest of everything appended so far."""
+        return self._hash.hexdigest()

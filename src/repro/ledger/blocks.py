@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
-from repro.crypto.digest import digest
+from repro.crypto.digest import escape_json_string, sha256_hex
 from repro.crypto.signatures import Signature
 from repro.ledger.transactions import Transaction
 
@@ -126,6 +126,10 @@ class Block:
         """(instance, sequence_number) pair identifying the block."""
         return (self.instance, self.sequence_number)
 
+    # Lazily memoized content digest (unannotated on purpose: a plain class
+    # attribute, not a dataclass field; shadowed per instance on first use).
+    _digest_memo = None
+
     def digest_fields(self) -> dict[str, Any]:
         """Canonical fields for hashing (signature excluded)."""
         return {
@@ -138,10 +142,39 @@ class Block:
             "txs": [tx.tx_id for tx in self.transactions],
         }
 
+    def canonical_render(self) -> bytes:
+        """Canonical bytes, byte-identical to sorted-key JSON of
+        :meth:`digest_fields` (property-tested in ``tests/crypto``)."""
+        txs = ", ".join(escape_json_string(tx.tx_id) for tx in self.transactions)
+        state = ", ".join(map(str, self.state.sequence_numbers))
+        rank = "null" if self.rank is None else str(self.rank)
+        return (
+            '{"epoch": %d, "instance": %d, "proposer": %d, "rank": %s, '
+            '"sn": %d, "state": [%s], "txs": [%s]}'
+            % (
+                self.epoch,
+                self.instance,
+                self.proposer,
+                rank,
+                self.sequence_number,
+                state,
+                txs,
+            )
+        ).encode("utf-8")
+
     @property
     def digest(self) -> str:
-        """Content digest of the block."""
-        return digest(self)
+        """Content digest of the block.
+
+        Memoized on first access: every digest-covered field is fixed at
+        construction (re-proposals after a view change reuse the same block
+        object, so the digest survives unchanged by design).
+        """
+        memo = self._digest_memo
+        if memo is None:
+            memo = sha256_hex(self.canonical_render())
+            self._digest_memo = memo
+        return memo
 
     def __len__(self) -> int:
         return len(self.transactions)

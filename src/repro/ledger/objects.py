@@ -17,6 +17,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.crypto.digest import escape_json_string
+
 
 class ObjectType(enum.Enum):
     """Whether an object is owned by a specific account or shared."""
@@ -134,6 +136,24 @@ class LedgerObject:
             "type": self.object_type.value,
             "condition": self.condition,
         }
+
+    def canonical_render(self) -> bytes:
+        """Canonical bytes, byte-identical to sorted-key JSON of
+        :meth:`digest_fields` (property-tested in ``tests/crypto``).
+
+        Unlike transactions and blocks, ledger objects are mutable, so their
+        digest is *not* memoized here — the state store caches it per
+        ``(key, version)`` instead.
+        """
+        return (
+            '{"condition": %d, "key": %s, "type": "%s", "value": %d}'
+            % (
+                self.condition,
+                escape_json_string(self.key),
+                self.object_type.value,
+                self.value,
+            )
+        ).encode("utf-8")
 
 
 def owned_account(key: str, balance: int = 0) -> LedgerObject:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
 
-from repro.crypto.digest import combine_digests, digest
+from repro.crypto.digest import DigestAccumulator, digest
 from repro.errors import InsufficientFundsError, UnknownObjectError
 from repro.ledger.objects import LedgerObject, ObjectType, owned_account, shared_record
 
@@ -21,20 +21,36 @@ class StateStore:
 
     def __init__(self) -> None:
         self._objects: dict[str, LedgerObject] = {}
+        # state_digest() memoization: per-object digests keyed by the
+        # object's mutation version (every mutation goes through
+        # credit/debit/assign, which bump it), plus the sorted key list,
+        # invalidated when membership changes.  Checkpoints and live status
+        # probes then only re-hash objects that actually changed.
+        self._digest_cache: dict[str, tuple[int, str]] = {}
+        self._sorted_keys: list[str] | None = None
 
     # -- population --------------------------------------------------------
 
     def create_account(self, key: str, balance: int = 0) -> LedgerObject:
         """Create (or reset) an owned account with the given balance."""
         obj = owned_account(key, balance)
+        self._note_membership_change(key)
         self._objects[key] = obj
         return obj
 
     def create_shared(self, key: str, value: int = 0) -> LedgerObject:
         """Create (or reset) a shared contract object."""
         obj = shared_record(key, value)
+        self._note_membership_change(key)
         self._objects[key] = obj
         return obj
+
+    def _note_membership_change(self, key: str) -> None:
+        # A created (or reset) object restarts at version 0, which could
+        # collide with a cached version — drop both caches conservatively.
+        self._digest_cache.pop(key, None)
+        if key not in self._objects:
+            self._sorted_keys = None
 
     def load_accounts(self, balances: Mapping[str, int]) -> None:
         """Bulk-create owned accounts from a mapping."""
@@ -131,9 +147,28 @@ class StateStore:
         return {key: obj.value for key, obj in sorted(selected.items())}
 
     def state_digest(self) -> str:
-        """Deterministic digest of the full store contents."""
-        digests = [digest(self._objects[key]) for key in sorted(self._objects)]
-        return combine_digests(digests)
+        """Deterministic digest of the full store contents.
+
+        Incremental: per-object digests are cached against the object's
+        mutation version, so successive calls only re-hash objects that
+        changed in between (checkpoints at every epoch boundary and live
+        status probes hit this with mostly-unchanged stores).
+        """
+        keys = self._sorted_keys
+        if keys is None:
+            keys = self._sorted_keys = sorted(self._objects)
+        cache = self._digest_cache
+        accumulator = DigestAccumulator()
+        for key in keys:
+            obj = self._objects[key]
+            cached = cache.get(key)
+            if cached is not None and cached[0] == obj.version:
+                entry = cached[1]
+            else:
+                entry = digest(obj)
+                cache[key] = (obj.version, entry)
+            accumulator.append(entry)
+        return accumulator.hexdigest()
 
     def copy(self) -> "StateStore":
         """Deep copy of the store (used by speculative validation)."""

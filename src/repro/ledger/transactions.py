@@ -14,7 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
-from repro.crypto.digest import digest
+from repro.crypto.digest import escape_json_string, sha256_hex
 from repro.crypto.signatures import Signature
 from repro.ledger.objects import ObjectOperation, ObjectType, OperationKind
 
@@ -124,6 +124,11 @@ class Transaction:
         """Wire size estimate used by the bandwidth model."""
         return self.payload_size
 
+    # Lazily memoized content digest: a class-level sentinel (deliberately
+    # unannotated so the dataclass machinery does not treat it as a field);
+    # the instance attribute shadows it after the first access.
+    _digest_memo = None
+
     def digest_fields(self) -> dict[str, Any]:
         """Canonical fields for hashing."""
         return {
@@ -132,10 +137,34 @@ class Transaction:
             "operations": [op.digest_fields() for op in self.operations],
         }
 
+    def canonical_render(self) -> bytes:
+        """Canonical bytes, byte-identical to sorted-key JSON of
+        :meth:`digest_fields` (keys are pre-sorted constants, so only the
+        values are interpolated; property-tested in ``tests/crypto``)."""
+        ops = ", ".join(
+            '{"amount": %d, "key": %s, "kind": "%s", "type": "%s"}'
+            % (op.amount, escape_json_string(op.key), op.kind.value, op.object_type.value)
+            for op in self.operations
+        )
+        return (
+            '{"operations": [%s], "tx_id": %s, "type": "%s"}'
+            % (ops, escape_json_string(self.tx_id), self.tx_type.value)
+        ).encode("utf-8")
+
     @property
     def digest(self) -> str:
-        """Content digest of the transaction."""
-        return digest(self)
+        """Content digest of the transaction.
+
+        Computed on first access and memoized: every field the digest covers
+        (``tx_id``, ``tx_type``, the ``operations`` tuple) is immutable after
+        construction, an invariant the digest property tests re-check by
+        comparing the memo against a fresh recomputation.
+        """
+        memo = self._digest_memo
+        if memo is None:
+            memo = sha256_hex(self.canonical_render())
+            self._digest_memo = memo
+        return memo
 
     def __hash__(self) -> int:
         return hash(self.tx_id)

@@ -60,18 +60,33 @@ class Network:
         self._conditions: dict[int, NodeCondition] = {}
         self._rng = sim.rng.fork("network")
         self._delivery_hooks: list[Callable[[Envelope], None]] = []
+        #: Membership caches maintained across register/unregister: the
+        #: sorted id list and the per-source broadcast destination lists
+        #: (broadcast storms dominate consensus traffic; rebuilding the
+        #: destination list per call was a measurable cost).
+        self._sorted_ids: list[int] = []
+        self._broadcast_destinations: dict[tuple[int, bool], list[int]] = {}
 
     # -- membership -------------------------------------------------------
 
     def register(self, process: Process) -> None:
         """Add a process to the network and attach it."""
+        if process.node_id not in self._processes:
+            self._sorted_ids = sorted([*self._processes, process.node_id])
+            self._broadcast_destinations.clear()
         self._processes[process.node_id] = process
         self._conditions.setdefault(process.node_id, NodeCondition())
         process.attach(self)
 
+    def unregister(self, node_id: int) -> None:
+        """Remove a process from the network (undelivered messages drop)."""
+        if self._processes.pop(node_id, None) is not None:
+            self._sorted_ids = sorted(self._processes)
+            self._broadcast_destinations.clear()
+
     def node_ids(self) -> list[int]:
         """All registered node ids in ascending order."""
-        return sorted(self._processes)
+        return list(self._sorted_ids)
 
     def process(self, node_id: int) -> Process:
         """Look up a registered process."""
@@ -155,17 +170,27 @@ class Network:
             sent_at=self.sim.now,
             deliver_at=self.sim.now + delay,
         )
-        self.sim.schedule(delay, lambda: self._deliver(envelope))
+        self.sim.schedule(delay, self._deliver, envelope)
+
+    def _destinations_from(self, source: int, include_self: bool) -> list[int]:
+        """Broadcast destination list for ``source`` (cached; the caches are
+        invalidated whenever membership changes)."""
+        key = (source, include_self)
+        destinations = self._broadcast_destinations.get(key)
+        if destinations is None:
+            destinations = [
+                node_id
+                for node_id in self._sorted_ids
+                if include_self or node_id != source
+            ]
+            self._broadcast_destinations[key] = destinations
+        return destinations
 
     def broadcast(
         self, source: int, payload: Any, *, include_self: bool = False
     ) -> None:
         """Send ``payload`` from ``source`` to every registered process."""
-        destinations = [
-            node_id
-            for node_id in self.node_ids()
-            if include_self or node_id != source
-        ]
+        destinations = self._destinations_from(source, include_self)
         fanout = max(1, len(destinations))
         for destination in destinations:
             self.send(source, destination, payload, fanout=fanout)

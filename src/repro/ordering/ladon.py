@@ -10,12 +10,24 @@ which is derived from the last delivered block of each instance.
 A straggler instance no longer blocks the log proportionally to its backlog —
 each block it finally delivers carries a recent (large) rank, which pushes the
 bar forward and releases everything the fast instances accumulated.
+
+Data-structure note: the waiting set is kept as one sorted run *per
+instance* (ranks within an instance are strictly increasing in the honest
+case, so appends are O(1)) plus a small "heads" heap over the per-instance
+minima.  Releasing a block then costs ``O(log m)`` in the number of
+*instances*, not ``O(log W)`` in the number of *waiting blocks* — the
+distinction that matters in exactly the straggler scenarios Ladon exists
+for, where W grows to thousands while m stays at 16.  The release order is
+identical to the previous single-heap implementation (``(rank, instance,
+sequence number, arrival)`` lexicographic) and is pinned by the brute-force
+reference comparison in ``tests/properties/test_ordering_properties.py``.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+import bisect
+from collections import deque
+from heapq import heappop, heappush
 
 from repro.ledger.blocks import Block
 from repro.ordering.base import GlobalOrderer, OrderingIndex
@@ -26,21 +38,29 @@ class LadonGlobalOrderer(GlobalOrderer):
 
     def __init__(self, num_instances: int) -> None:
         super().__init__(num_instances)
-        #: Waiting set ``W`` as a min-heap keyed by ordering index, so each
-        #: delivery releases blocks in ``O(released * log W)``.
-        self._waiting: list[tuple[OrderingIndex, int, int, Block]] = []
+        #: Waiting set ``W``: per-instance runs of ``(rank, sn, arrival,
+        #: block)`` entries kept in ascending order (O(1) append for the
+        #: honest strictly-increasing-rank case; rare out-of-order ranks —
+        #: view-change regressions — pay one sorted insert).
+        self._runs: list[deque[tuple[int, int, int, Block]]] = [
+            deque() for _ in range(num_instances)
+        ]
+        #: Heap of ``(rank, instance)`` over the current run heads.  Entries
+        #: may go stale when an out-of-order insert produces a new, smaller
+        #: head; stale entries are skipped on pop (a valid entry for the
+        #: actual head always coexists).
+        self._heads: list[tuple[int, int]] = []
+        self._pending = 0
+        self._arrivals = 0
         self._waiting_ids: set[tuple[int, int]] = set()
         self._ordered_ids: set[tuple[int, int]] = set()
-        self._tiebreak = itertools.count()
-        #: Ordering index of the last delivered block per instance (the
-        #: frontier ``P'``); instances that have not delivered yet sit at
-        #: rank 0, which is below any assigned rank (ranks start at 1).
-        self._frontier: list[OrderingIndex] = [
-            OrderingIndex(rank=0, instance=i) for i in range(num_instances)
-        ]
+        #: Rank of the last delivered block per instance (the frontier
+        #: ``P'``); instances that have not delivered yet sit at rank 0,
+        #: which is below any assigned rank (ranks start at 1).
+        self._frontier_ranks: list[int] = [0] * num_instances
 
     def pending_count(self) -> int:
-        return len(self._waiting)
+        return self._pending
 
     def current_bar(self) -> OrderingIndex:
         """The lowest ordering index a future block could still receive.
@@ -60,8 +80,9 @@ class LadonGlobalOrderer(GlobalOrderer):
         is property-tested against a brute-force reference orderer in
         ``tests/properties/test_ordering_properties.py``.
         """
-        lowest = min(self._frontier)
-        return OrderingIndex(rank=lowest.rank + 1, instance=lowest.instance)
+        ranks = self._frontier_ranks
+        low_rank = min(ranks)
+        return OrderingIndex(rank=low_rank + 1, instance=ranks.index(low_rank))
 
     def on_deliver(self, block: Block) -> list[Block]:
         self.stats.blocks_received += 1
@@ -69,8 +90,9 @@ class LadonGlobalOrderer(GlobalOrderer):
             self.stats.noop_blocks += 1
         if block.block_id in self._waiting_ids or block.block_id in self._ordered_ids:
             return []
-        index = OrderingIndex.of(block)
-        if index <= self._frontier[block.instance]:
+        instance = block.instance
+        rank = block.rank if block.rank is not None else 0
+        if rank <= self._frontier_ranks[instance]:
             # Rank regression: the safety precondition (strictly increasing
             # per-instance ranks) was violated upstream.  Count it so fault
             # tests and operators can detect the protocol violation — the
@@ -78,21 +100,51 @@ class LadonGlobalOrderer(GlobalOrderer):
             # point of view, but cross-replica agreement is no longer
             # guaranteed for it.
             self.stats.rank_regressions += 1
-        heapq.heappush(
-            self._waiting,
-            (index, block.sequence_number, next(self._tiebreak), block),
-        )
+        else:
+            self._frontier_ranks[instance] = rank
+        self._arrivals += 1
+        entry = (rank, block.sequence_number, self._arrivals, block)
+        run = self._runs[instance]
+        if not run:
+            run.append(entry)
+            heappush(self._heads, (rank, instance))
+        elif entry[:3] >= run[-1][:3]:
+            # Honest fast path: ranks arrive in increasing order.
+            run.append(entry)
+        else:
+            items = list(run)
+            position = bisect.bisect_left(items, entry)
+            items.insert(position, entry)
+            self._runs[instance] = deque(items)
+            if position == 0:
+                # New minimum for this instance: register a fresh head entry
+                # (the old, larger one is skipped lazily when popped).
+                heappush(self._heads, (rank, instance))
         self._waiting_ids.add(block.block_id)
-        self._frontier[block.instance] = max(self._frontier[block.instance], index)
-        self.stats.max_waiting = max(self.stats.max_waiting, len(self._waiting))
+        self._pending += 1
+        if self._pending > self.stats.max_waiting:
+            self.stats.max_waiting = self._pending
         return self._commit(self._release_below_bar())
 
     def _release_below_bar(self) -> list[Block]:
-        bar = self.current_bar()
+        ranks = self._frontier_ranks
+        low_rank = min(ranks)
+        bar = (low_rank + 1, ranks.index(low_rank))
+        heads = self._heads
+        runs = self._runs
         ready: list[Block] = []
-        while self._waiting and self._waiting[0][0] < bar:
-            _, _, _, block = heapq.heappop(self._waiting)
+        while heads and heads[0] < bar:
+            head_rank, instance = heappop(heads)
+            run = runs[instance]
+            if not run or run[0][0] != head_rank:
+                # Stale entry left behind by an out-of-order front insert;
+                # the valid (smaller) entry for this instance is also queued.
+                continue
+            _, _, _, block = run.popleft()
+            if run:
+                heappush(heads, (run[0][0], instance))
             self._waiting_ids.discard(block.block_id)
             self._ordered_ids.add(block.block_id)
+            self._pending -= 1
             ready.append(block)
         return ready

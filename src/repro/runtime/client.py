@@ -18,7 +18,14 @@ from dataclasses import dataclass
 from repro.cluster.messages import ClientRequest
 from repro.errors import NetworkError
 from repro.ledger.transactions import Transaction
-from repro.runtime.codec import WireCodecError, decode_envelope, encode_envelope
+from repro.runtime.codec import (
+    DEFAULT_WIRE_VERSION,
+    SUPPORTED_WIRE_VERSIONS,
+    WIRE_VERSION,
+    WireCodecError,
+    decode_envelope,
+    encode_envelope,
+)
 from repro.runtime.config import parse_endpoint
 from repro.runtime.control import Hello, ShutdownRequest, StatusReply, StatusRequest
 from repro.runtime.framing import FrameError, encode_frame, read_frame, write_frame
@@ -54,12 +61,18 @@ class ClientConfig:
         fanout: Replicas each transaction is submitted to (default: all).
         timeout: Seconds to wait for a reply quorum before retransmitting.
         retries: Retransmissions before a submission fails.
+        wire_version: Highest wire version to speak (``None`` = the codec
+            default, struct-packed binary).  Each replica connection is
+            negotiated down to ``min(ours, theirs)`` via the hello exchange;
+            requests sent before a replica's hello arrives use canonical
+            JSON, which every version decodes.
     """
 
     client_id: int = 1000
     fanout: int | None = None
     timeout: float = 5.0
     retries: int = 2
+    wire_version: int | None = None
 
 
 class _PendingTx:
@@ -96,6 +109,19 @@ class OrthrusClient:
             for entry in replicas
         ]
         self.config = config or ClientConfig()
+        self.wire_version = (
+            self.config.wire_version
+            if self.config.wire_version is not None
+            else DEFAULT_WIRE_VERSION
+        )
+        if self.wire_version not in SUPPORTED_WIRE_VERSIONS:
+            raise ClientError(
+                f"unsupported wire version {self.wire_version!r} "
+                f"(supported: {SUPPORTED_WIRE_VERSIONS})"
+            )
+        #: Wire version each replica advertised in its hello reply (replicas
+        #: that have not answered yet are addressed in canonical JSON).
+        self._replica_versions: dict[int, int] = {}
         self.fault_tolerance = (len(self.replicas) - 1) // 3
         self.reply_quorum = self.fault_tolerance + 1
         self.fanout = self.config.fanout or len(self.replicas)
@@ -122,8 +148,10 @@ class OrthrusClient:
         skipped as long as a reply quorum of ``f + 1`` remains reachable.
         """
         self._loop = asyncio.get_running_loop()
+        # The hello is always canonical JSON: it carries the negotiation.
         hello = encode_envelope(
-            self.config.client_id, Hello(self.config.client_id, role="client")
+            self.config.client_id,
+            Hello(self.config.client_id, role="client", wire_version=self.wire_version),
         )
         unreachable: list[int] = []
         for replica_id, (host, port) in enumerate(self.replicas):
@@ -200,13 +228,26 @@ class OrthrusClient:
         pending.watcher = self._loop.create_task(self._watch_timeout(tx))
         return future
 
+    def _version_for(self, replica_id: int) -> int:
+        return min(
+            self.wire_version, self._replica_versions.get(replica_id, WIRE_VERSION)
+        )
+
     def _transmit(self, tx: Transaction) -> None:
         request = ClientRequest(tx=tx, client_node=self.config.client_id)
-        frame = encode_envelope(self.config.client_id, request)
+        # One encoding per distinct negotiated version (normally exactly one).
+        frames: dict[int, bytes] = {}
         targets = list(self._writers.items())[: self.fanout]
-        for _, writer in targets:
-            if not writer.is_closing():
-                writer.write(encode_frame(frame))
+        for replica_id, writer in targets:
+            if writer.is_closing():
+                continue
+            version = self._version_for(replica_id)
+            frame = frames.get(version)
+            if frame is None:
+                frame = frames[version] = encode_envelope(
+                    self.config.client_id, request, version=version
+                )
+            writer.write(encode_frame(frame))
 
     async def _watch_timeout(self, tx: Transaction) -> None:
         """Retransmit on timeout; fail the future once retries are exhausted.
@@ -246,6 +287,11 @@ class OrthrusClient:
                     _, message = decode_envelope(frame)
                 except WireCodecError as exc:
                     logger.warning("client dropping frame from %d: %s", replica_id, exc)
+                    continue
+                if isinstance(message, Hello):
+                    # The replica's answering hello: upgrade this connection
+                    # to min(our version, theirs) for subsequent requests.
+                    self._replica_versions[replica_id] = message.wire_version
                     continue
                 if isinstance(message, StatusReply):
                     waiter = self._status_waiters.pop(message.nonce, None)
@@ -318,7 +364,11 @@ class OrthrusClient:
         self._status_waiters[nonce] = waiter
         await write_frame(
             writer,
-            encode_envelope(self.config.client_id, StatusRequest(nonce=nonce)),
+            encode_envelope(
+                self.config.client_id,
+                StatusRequest(nonce=nonce),
+                version=self._version_for(replica_id),
+            ),
         )
         try:
             return await asyncio.wait_for(waiter, timeout)
@@ -348,10 +398,17 @@ class OrthrusClient:
 
     async def shutdown_cluster(self, reason: str = "client request") -> None:
         """Ask every replica to stop serving (used by the supervisor)."""
-        message = encode_envelope(self.config.client_id, ShutdownRequest(reason))
-        for writer in self._writers.values():
+        request = ShutdownRequest(reason)
+        for replica_id, writer in self._writers.items():
             if not writer.is_closing():
-                await write_frame(writer, message)
+                await write_frame(
+                    writer,
+                    encode_envelope(
+                        self.config.client_id,
+                        request,
+                        version=self._version_for(replica_id),
+                    ),
+                )
 
     @property
     def pending_count(self) -> int:

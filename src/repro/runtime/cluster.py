@@ -58,6 +58,9 @@ class ClusterSpec:
     #: abstention configure the replica processes at spawn; crashes and
     #: restarts are executed by a :class:`~repro.runtime.chaos.ChaosController`.
     faults: FaultPlan = field(default_factory=FaultPlan.none)
+    #: Highest wire version the replicas speak (``None`` = codec default,
+    #: struct-packed binary; ``1`` pins the cluster to canonical JSON).
+    wire_version: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_replicas < 4:
@@ -99,6 +102,7 @@ class LocalCluster:
             send_delay=send_delay_for(self.spec.faults, replica_id),
             byzantine_abstain=replica_id
             in abstaining_replicas(self.spec.faults, self.spec.num_replicas),
+            wire_version=self.spec.wire_version,
         )
 
     def serve_command(self, replica_id: int) -> list[str]:
@@ -133,6 +137,8 @@ class LocalCluster:
             command += ["--send-delay", str(runtime.send_delay)]
         if runtime.byzantine_abstain:
             command += ["--byzantine-abstain"]
+        if spec.wire_version is not None:
+            command += ["--wire-version", str(spec.wire_version)]
         return command
 
     # -- lifecycle -----------------------------------------------------------

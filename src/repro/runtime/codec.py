@@ -1,7 +1,9 @@
-"""Versioned canonical-JSON wire codec for all cluster and PBFT messages.
+"""Versioned wire codec for all cluster and PBFT messages.
 
-Every message exchanged by the live runtime is serialised as a canonical JSON
-envelope::
+Two wire versions share one type registry:
+
+**v1 — canonical JSON** (the compatibility format).  Every message is a
+canonical JSON envelope::
 
     {"v": 1, "t": "<type tag>", "s": <sender node id>, "p": {...payload...}}
 
@@ -11,16 +13,32 @@ sorted keys and compact separators, so the byte rendering of a message is
 stable across processes and Python versions (the same property the digest
 layer relies on).
 
-Forward compatibility: decoders read the fields they know and **ignore
+Forward compatibility (v1): decoders read the fields they know and **ignore
 unknown fields** at every level (envelope and payload), so a newer peer can
 add fields without breaking older ones.  An unknown type tag or a different
 wire version is an error — those are protocol-level incompatibilities the
 caller must surface, not skate over silently.
+
+**v2 — struct-packed binary** (the performance format).  A fixed header
+``magic(0xB2) version(2) mode sender(i64)`` followed by either a *native*
+payload (one-byte type id, then positional struct-packed fields) or, for
+message types registered without a binary codec, the v1 canonical-JSON
+payload embedded verbatim (``mode`` distinguishes the two).  Binary frames
+decode to values **identical** to what the JSON codec would have produced
+(property-tested in ``tests/properties/test_wire_codec.py``).  The native
+layout is positional, so it is *not* field-extensible — incompatible changes
+bump the version and peers fall back to v1 through the ``hello`` handshake's
+``wire_version`` field (see :mod:`repro.runtime.transport`).
+
+Frames from either version are distinguishable from their first byte (JSON
+always starts with ``{``, binary with the 0xB2 magic), so
+:func:`decode_envelope` accepts both regardless of what this node sends.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 from typing import Any, Callable
 
 from repro.cluster.messages import ClientReply, ClientRequest
@@ -38,8 +56,17 @@ from repro.sb.pbft.messages import (
     ViewChange,
 )
 
-#: Current wire protocol version.  Bump on incompatible envelope changes.
+#: Canonical-JSON wire version (the compatibility fallback every node speaks).
 WIRE_VERSION = 1
+
+#: Struct-packed binary wire version.
+WIRE_VERSION_BINARY = 2
+
+#: Versions this node can decode.
+SUPPORTED_WIRE_VERSIONS = (WIRE_VERSION, WIRE_VERSION_BINARY)
+
+#: Version transports prefer when the peer advertises support for it.
+DEFAULT_WIRE_VERSION = WIRE_VERSION_BINARY
 
 
 class WireCodecError(NetworkError):
@@ -323,15 +350,598 @@ def register_wire_type(
     tag: str,
     encoder: Callable[[Any], dict[str, Any]],
     decoder: Callable[[dict[str, Any]], Any],
+    *,
+    binary: tuple[int, Callable[[list[bytes], Any], None], Callable[[bytes, int], tuple[Any, int]]]
+    | None = None,
 ) -> None:
-    """Register an additional message type (used by the control plane)."""
+    """Register an additional message type (used by the control plane).
+
+    ``binary`` optionally supplies ``(type_id, encode, decode)`` for a native
+    v2 layout; types registered without one still travel over v2 connections,
+    with their canonical-JSON payload embedded in the binary envelope.
+    """
     _ENCODERS[cls] = (tag, encoder)
     _DECODERS[tag] = decoder
+    if binary is not None:
+        type_id, binary_encoder, binary_decoder = binary
+        _register_binary(cls, type_id, binary_encoder, binary_decoder)
 
 
 def wire_tags() -> list[str]:
     """All registered type tags (sorted, for introspection and tests)."""
     return sorted(_DECODERS)
+
+
+# -- binary (v2) primitives ---------------------------------------------------
+
+#: First byte of every binary frame.  Can never collide with JSON frames,
+#: which always start with ``{`` (0x7B).
+_BINARY_MAGIC = 0xB2
+
+#: Binary payload modes.
+_MODE_EMBEDDED_JSON = 0
+_MODE_NATIVE = 1
+
+_HEADER = struct.Struct(">BBBq")  # magic, version, mode, sender
+_U8 = struct.Struct(">B")
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+_B_TX_FIXED = struct.Struct(">BI")  # tx_type index, payload_size
+_B_OPERATION = struct.Struct(">BqB")  # kind index, amount, object_type index
+_B_BLOCK_FIXED = struct.Struct(">qqqq")  # instance, sn, proposer, epoch
+_B_PBFT_HEADER = struct.Struct(">qqq")  # instance, view, sender
+
+# Stable enum orderings for the positional layout (indices are wire format —
+# append only, never reorder).  Encoders map members to indices with ``is``
+# chains rather than dict lookups: Enum hashing is Python-level and slow.
+_OP_KINDS = (
+    OperationKind.INCREMENT,
+    OperationKind.DECREMENT,
+    OperationKind.ASSIGN,
+    OperationKind.READ,
+    OperationKind.CONTRACT_CALL,
+)
+_OBJ_TYPES = (ObjectType.OWNED, ObjectType.SHARED)
+_TX_TYPES = (TransactionType.PAYMENT, TransactionType.CONTRACT)
+
+
+#: Decoder-private fast constructors: a frozen dataclass pays one
+#: ``object.__setattr__`` per field in ``__init__``; building the instance
+#: dict directly skips that at ~4x the speed.  Only the binary decoders use
+#: these, and the round-trip property tests pin the results field-for-field
+#: against the regular constructors.
+_new_operation = ObjectOperation.__new__
+_new_transaction = Transaction.__new__
+
+
+def _make_operation(
+    key: str, kind: OperationKind, amount: int, object_type: ObjectType
+) -> ObjectOperation:
+    op = _new_operation(ObjectOperation)
+    # In-place dict update: rebinding ``__dict__`` itself would be routed
+    # through the frozen dataclass ``__setattr__`` and refused.
+    op.__dict__.update(
+        key=key, kind=kind, amount=amount, object_type=object_type
+    )
+    return op
+
+
+def _make_transaction(
+    tx_id: str,
+    operations: tuple[ObjectOperation, ...],
+    tx_type: TransactionType,
+    payload_size: int,
+    client_id: str | None,
+    signatures: dict[str, Signature],
+    submitted_at: float | None,
+    metadata: dict[str, Any],
+) -> Transaction:
+    tx = _new_transaction(Transaction)
+    tx.__dict__ = {
+        "tx_id": tx_id,
+        "operations": operations,
+        "tx_type": tx_type,
+        "payload_size": payload_size,
+        "client_id": client_id,
+        "signatures": signatures,
+        "submitted_at": submitted_at,
+        "metadata": metadata,
+    }
+    return tx
+
+
+def _w_str(out: list[bytes], value: str) -> None:
+    data = value.encode("utf-8")
+    out.append(_U32.pack(len(data)))
+    out.append(data)
+
+
+def _r_str(buf: bytes, off: int) -> tuple[str, int]:
+    (length,) = _U32.unpack_from(buf, off)
+    off += 4
+    end = off + length
+    return buf[off:end].decode("utf-8"), end
+
+
+#: Pre-rendered empty dict — the overwhelmingly common case for metadata
+#: and stage-breakdown maps, fast-pathed on both sides.
+_EMPTY_JSON_DICT = _U32.pack(2) + b"{}"
+_U32_ZERO = _U32.pack(0)
+
+
+def _w_json(out: list[bytes], value: dict[str, Any]) -> None:
+    """Length-prefixed canonical JSON (used for free-form dict fields)."""
+    if not value:
+        out.append(_EMPTY_JSON_DICT)
+        return
+    data = json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    out.append(_U32.pack(len(data)))
+    out.append(data)
+
+
+def _r_json(buf: bytes, off: int) -> tuple[Any, int]:
+    (length,) = _U32.unpack_from(buf, off)
+    off += 4
+    end = off + length
+    if length == 2 and buf[off:end] == b"{}":
+        return {}, end
+    return json.loads(buf[off:end].decode("utf-8")), end
+
+
+def _w_signature(out: list[bytes], signature: Signature) -> None:
+    _w_str(out, signature.signer)
+    _w_str(out, signature.message_digest)
+    _w_str(out, signature.value)
+
+
+def _r_signature(buf: bytes, off: int) -> tuple[Signature, int]:
+    signer, off = _r_str(buf, off)
+    message_digest, off = _r_str(buf, off)
+    value, off = _r_str(buf, off)
+    return Signature(signer=signer, message_digest=message_digest, value=value), off
+
+
+def _b_enc_transaction(out: list[bytes], tx: Transaction) -> None:
+    # The single hottest encoder (every block carries dozens): string writes
+    # are inlined rather than routed through _w_str.
+    append = out.append
+    pack_u32 = _U32.pack
+    data = tx.tx_id.encode("utf-8")
+    append(pack_u32(len(data)))
+    append(data)
+    append(
+        _B_TX_FIXED.pack(
+            0 if tx.tx_type is TransactionType.PAYMENT else 1, tx.payload_size
+        )
+    )
+    if tx.client_id is None:
+        append(b"\x00")
+    else:
+        append(b"\x01")
+        data = tx.client_id.encode("utf-8")
+        append(pack_u32(len(data)))
+        append(data)
+    if tx.submitted_at is None:
+        append(b"\x00")
+    else:
+        append(b"\x01")
+        append(_F64.pack(tx.submitted_at))
+    append(pack_u32(len(tx.operations)))
+    pack_op = _B_OPERATION.pack
+    # Identity chains instead of dict lookups: Enum.__hash__ and the .value
+    # descriptor are Python-level and dominate tight encode loops, while
+    # ``is`` against the interned members is a pointer comparison (ordered
+    # by payment-path frequency).
+    kind_increment = OperationKind.INCREMENT
+    kind_decrement = OperationKind.DECREMENT
+    kind_assign = OperationKind.ASSIGN
+    kind_read = OperationKind.READ
+    type_owned = ObjectType.OWNED
+    for op in tx.operations:
+        data = op.key.encode("utf-8")
+        append(pack_u32(len(data)))
+        append(data)
+        kind = op.kind
+        kind_id = (
+            0
+            if kind is kind_increment
+            else 1
+            if kind is kind_decrement
+            else 2
+            if kind is kind_assign
+            else 3
+            if kind is kind_read
+            else 4
+        )
+        append(
+            pack_op(kind_id, op.amount, 0 if op.object_type is type_owned else 1)
+        )
+    if tx.signatures:
+        append(pack_u32(len(tx.signatures)))
+        for holder, signature in tx.signatures.items():
+            _w_str(out, holder)
+            _w_signature(out, signature)
+    else:
+        append(_U32_ZERO)
+    metadata = tx.metadata
+    if metadata:
+        _w_json(out, metadata)
+    else:
+        append(_EMPTY_JSON_DICT)
+
+
+def _b_dec_transaction(buf: bytes, off: int) -> tuple[Transaction, int]:
+    unpack_u32 = _U32.unpack_from
+    (length,) = unpack_u32(buf, off)
+    off += 4
+    end = off + length
+    tx_id = buf[off:end].decode("utf-8")
+    off = end
+    tx_type_index, payload_size = _B_TX_FIXED.unpack_from(buf, off)
+    off += _B_TX_FIXED.size
+    client_id: str | None = None
+    if buf[off]:
+        client_id, off = _r_str(buf, off + 1)
+    else:
+        off += 1
+    submitted_at: float | None = None
+    if buf[off]:
+        (submitted_at,) = _F64.unpack_from(buf, off + 1)
+        off += 1 + 8
+    else:
+        off += 1
+    (op_count,) = unpack_u32(buf, off)
+    off += 4
+    operations = []
+    add_operation = operations.append
+    unpack_op = _B_OPERATION.unpack_from
+    op_size = _B_OPERATION.size
+    for _ in range(op_count):
+        (length,) = unpack_u32(buf, off)
+        off += 4
+        end = off + length
+        key = buf[off:end].decode("utf-8")
+        off = end
+        kind_index, amount, type_index = unpack_op(buf, off)
+        off += op_size
+        add_operation(
+            _make_operation(key, _OP_KINDS[kind_index], amount, _OBJ_TYPES[type_index])
+        )
+    (sig_count,) = unpack_u32(buf, off)
+    off += 4
+    signatures: dict[str, Signature] = {}
+    for _ in range(sig_count):
+        holder, off = _r_str(buf, off)
+        signatures[holder], off = _r_signature(buf, off)
+    if buf[off : off + 6] == _EMPTY_JSON_DICT:
+        metadata: dict[str, Any] = {}
+        off += 6
+    else:
+        metadata, off = _r_json(buf, off)
+    return (
+        _make_transaction(
+            tx_id,
+            tuple(operations),
+            _TX_TYPES[tx_type_index],
+            payload_size,
+            client_id,
+            signatures,
+            submitted_at,
+            metadata,
+        ),
+        off,
+    )
+
+
+def _b_enc_block(out: list[bytes], block: Block) -> None:
+    out.append(
+        _B_BLOCK_FIXED.pack(
+            block.instance, block.sequence_number, block.proposer, block.epoch
+        )
+    )
+    if block.rank is None:
+        out.append(b"\x00")
+    else:
+        out.append(b"\x01")
+        out.append(_I64.pack(block.rank))
+    state = block.state.sequence_numbers
+    out.append(_U32.pack(len(state)))
+    out.append(struct.pack(f">{len(state)}q", *state))
+    if block.signature is None:
+        out.append(b"\x00")
+    else:
+        out.append(b"\x01")
+        _w_signature(out, block.signature)
+    _w_json(out, block.metadata)
+    out.append(_U32.pack(len(block.transactions)))
+    for tx in block.transactions:
+        _b_enc_transaction(out, tx)
+
+
+def _b_dec_block(buf: bytes, off: int) -> tuple[Block, int]:
+    instance, sequence_number, proposer, epoch = _B_BLOCK_FIXED.unpack_from(buf, off)
+    off += _B_BLOCK_FIXED.size
+    rank: int | None = None
+    if buf[off]:
+        (rank,) = _I64.unpack_from(buf, off + 1)
+        off += 1 + 8
+    else:
+        off += 1
+    (state_len,) = _U32.unpack_from(buf, off)
+    off += 4
+    state = struct.unpack_from(f">{state_len}q", buf, off)
+    off += 8 * state_len
+    signature: Signature | None = None
+    if buf[off]:
+        signature, off = _r_signature(buf, off + 1)
+    else:
+        off += 1
+    metadata, off = _r_json(buf, off)
+    (tx_count,) = _U32.unpack_from(buf, off)
+    off += 4
+    transactions = []
+    for _ in range(tx_count):
+        tx, off = _b_dec_transaction(buf, off)
+        transactions.append(tx)
+    return (
+        Block(
+            instance=instance,
+            sequence_number=sequence_number,
+            transactions=tuple(transactions),
+            state=SystemState(state),
+            proposer=proposer,
+            epoch=epoch,
+            rank=rank,
+            signature=signature,
+            metadata=metadata,
+        ),
+        off,
+    )
+
+
+def _w_opt_block(out: list[bytes], block: Block | None) -> None:
+    if block is None:
+        out.append(b"\x00")
+    else:
+        out.append(b"\x01")
+        _b_enc_block(out, block)
+
+
+def _r_opt_block(buf: bytes, off: int) -> tuple[Block | None, int]:
+    if buf[off]:
+        return _b_dec_block(buf, off + 1)
+    return None, off + 1
+
+
+def _w_block_pairs(out: list[bytes], pairs: tuple[tuple[int, Block], ...]) -> None:
+    out.append(_U32.pack(len(pairs)))
+    for sequence_number, block in pairs:
+        out.append(_I64.pack(sequence_number))
+        _b_enc_block(out, block)
+
+
+def _r_block_pairs(buf: bytes, off: int) -> tuple[tuple[tuple[int, Block], ...], int]:
+    (count,) = _U32.unpack_from(buf, off)
+    off += 4
+    pairs = []
+    for _ in range(count):
+        (sequence_number,) = _I64.unpack_from(buf, off)
+        block, off = _b_dec_block(buf, off + 8)
+        pairs.append((sequence_number, block))
+    return tuple(pairs), off
+
+
+# -- binary (v2) message layouts ----------------------------------------------
+
+
+def _b_enc_client_request(out: list[bytes], msg: ClientRequest) -> None:
+    out.append(_I64.pack(msg.client_node))
+    _b_enc_transaction(out, msg.tx)
+
+
+def _b_dec_client_request(buf: bytes, off: int) -> tuple[ClientRequest, int]:
+    (client_node,) = _I64.unpack_from(buf, off)
+    tx, off = _b_dec_transaction(buf, off + 8)
+    return ClientRequest(tx=tx, client_node=client_node), off
+
+
+def _b_enc_client_reply(out: list[bytes], msg: ClientReply) -> None:
+    _w_str(out, msg.tx_id)
+    out.append(_I64.pack(msg.replica))
+    out.append(b"\x01" if msg.committed else b"\x00")
+    if msg.confirmed_at is None:
+        out.append(b"\x00")
+    else:
+        out.append(b"\x01")
+        out.append(_F64.pack(msg.confirmed_at))
+
+
+def _b_dec_client_reply(buf: bytes, off: int) -> tuple[ClientReply, int]:
+    tx_id, off = _r_str(buf, off)
+    (replica,) = _I64.unpack_from(buf, off)
+    off += 8
+    committed = bool(buf[off])
+    off += 1
+    confirmed_at: float | None = None
+    if buf[off]:
+        (confirmed_at,) = _F64.unpack_from(buf, off + 1)
+        off += 1 + 8
+    else:
+        off += 1
+    return (
+        ClientReply(
+            tx_id=tx_id, replica=replica, committed=committed, confirmed_at=confirmed_at
+        ),
+        off,
+    )
+
+
+_B_PBFT_WITH_SN = struct.Struct(">qqqq")  # instance, view, sender, sequence_number
+
+
+def _b_enc_pre_prepare(out: list[bytes], msg: PrePrepare) -> None:
+    out.append(
+        _B_PBFT_WITH_SN.pack(msg.instance, msg.view, msg.sender, msg.sequence_number)
+    )
+    _w_opt_block(out, msg.block)
+    _w_str(out, msg.digest)
+
+
+def _b_dec_pre_prepare(buf: bytes, off: int) -> tuple[PrePrepare, int]:
+    instance, view, sender, sequence_number = _B_PBFT_WITH_SN.unpack_from(buf, off)
+    block, off = _r_opt_block(buf, off + _B_PBFT_WITH_SN.size)
+    digest, off = _r_str(buf, off)
+    return (
+        PrePrepare(
+            instance=instance,
+            view=view,
+            sender=sender,
+            sequence_number=sequence_number,
+            block=block,
+            digest=digest,
+        ),
+        off,
+    )
+
+
+def _b_enc_prepare(out: list[bytes], msg: Prepare) -> None:
+    out.append(
+        _B_PBFT_WITH_SN.pack(msg.instance, msg.view, msg.sender, msg.sequence_number)
+    )
+    _w_str(out, msg.digest)
+
+
+def _b_dec_prepare(buf: bytes, off: int) -> tuple[Prepare, int]:
+    instance, view, sender, sequence_number = _B_PBFT_WITH_SN.unpack_from(buf, off)
+    digest, off = _r_str(buf, off + _B_PBFT_WITH_SN.size)
+    return (
+        Prepare(
+            instance=instance,
+            view=view,
+            sender=sender,
+            sequence_number=sequence_number,
+            digest=digest,
+        ),
+        off,
+    )
+
+
+def _b_enc_commit(out: list[bytes], msg: Commit) -> None:
+    out.append(
+        _B_PBFT_WITH_SN.pack(msg.instance, msg.view, msg.sender, msg.sequence_number)
+    )
+    _w_str(out, msg.digest)
+
+
+def _b_dec_commit(buf: bytes, off: int) -> tuple[Commit, int]:
+    instance, view, sender, sequence_number = _B_PBFT_WITH_SN.unpack_from(buf, off)
+    digest, off = _r_str(buf, off + _B_PBFT_WITH_SN.size)
+    return (
+        Commit(
+            instance=instance,
+            view=view,
+            sender=sender,
+            sequence_number=sequence_number,
+            digest=digest,
+        ),
+        off,
+    )
+
+
+def _b_enc_view_change(out: list[bytes], msg: ViewChange) -> None:
+    out.append(
+        _B_PBFT_WITH_SN.pack(msg.instance, msg.view, msg.sender, msg.last_delivered)
+    )
+    _w_block_pairs(out, msg.pending)
+
+
+def _b_dec_view_change(buf: bytes, off: int) -> tuple[ViewChange, int]:
+    instance, view, sender, last_delivered = _B_PBFT_WITH_SN.unpack_from(buf, off)
+    pending, off = _r_block_pairs(buf, off + _B_PBFT_WITH_SN.size)
+    return (
+        ViewChange(
+            instance=instance,
+            view=view,
+            sender=sender,
+            last_delivered=last_delivered,
+            pending=pending,
+        ),
+        off,
+    )
+
+
+def _b_enc_new_view(out: list[bytes], msg: NewView) -> None:
+    out.append(_B_PBFT_HEADER.pack(msg.instance, msg.view, msg.sender))
+    _w_block_pairs(out, msg.reproposals)
+
+
+def _b_dec_new_view(buf: bytes, off: int) -> tuple[NewView, int]:
+    instance, view, sender = _B_PBFT_HEADER.unpack_from(buf, off)
+    reproposals, off = _r_block_pairs(buf, off + _B_PBFT_HEADER.size)
+    return (
+        NewView(instance=instance, view=view, sender=sender, reproposals=reproposals),
+        off,
+    )
+
+
+def _b_enc_checkpoint(out: list[bytes], msg: CheckpointMessage) -> None:
+    out.append(_B_PBFT_WITH_SN.pack(msg.instance, msg.view, msg.sender, msg.epoch))
+    _w_str(out, msg.state_digest)
+
+
+def _b_dec_checkpoint(buf: bytes, off: int) -> tuple[CheckpointMessage, int]:
+    instance, view, sender, epoch = _B_PBFT_WITH_SN.unpack_from(buf, off)
+    state_digest, off = _r_str(buf, off + _B_PBFT_WITH_SN.size)
+    return (
+        CheckpointMessage(
+            instance=instance,
+            view=view,
+            sender=sender,
+            epoch=epoch,
+            state_digest=state_digest,
+        ),
+        off,
+    )
+
+
+#: Binary type registry: class -> (type id, encoder) and type id -> decoder.
+#: Type ids are wire format — never reuse or renumber.  Ids 1-15 are reserved
+#: for consensus/client messages, 16+ for the control plane and extensions.
+_BINARY_ENCODERS: dict[
+    type, tuple[int, Callable[[list[bytes], Any], None]]
+] = {}
+_BINARY_DECODERS: dict[int, Callable[[bytes, int], tuple[Any, int]]] = {}
+
+
+def _register_binary(
+    cls: type,
+    type_id: int,
+    encoder: Callable[[list[bytes], Any], None],
+    decoder: Callable[[bytes, int], tuple[Any, int]],
+) -> None:
+    if not 0 < type_id < 256:
+        raise ValueError(f"binary type id {type_id} outside u8 range")
+    existing = _BINARY_DECODERS.get(type_id)
+    if existing is not None and _BINARY_ENCODERS.get(cls, (None,))[0] != type_id:
+        raise ValueError(f"binary type id {type_id} already registered")
+    _BINARY_ENCODERS[cls] = (type_id, encoder)
+    _BINARY_DECODERS[type_id] = decoder
+
+
+for _cls, _type_id, _enc, _dec in (
+    (ClientRequest, 1, _b_enc_client_request, _b_dec_client_request),
+    (ClientReply, 2, _b_enc_client_reply, _b_dec_client_reply),
+    (PrePrepare, 3, _b_enc_pre_prepare, _b_dec_pre_prepare),
+    (Prepare, 4, _b_enc_prepare, _b_dec_prepare),
+    (Commit, 5, _b_enc_commit, _b_dec_commit),
+    (ViewChange, 6, _b_enc_view_change, _b_dec_view_change),
+    (NewView, 7, _b_enc_new_view, _b_dec_new_view),
+    (CheckpointMessage, 8, _b_enc_checkpoint, _b_dec_checkpoint),
+):
+    _register_binary(_cls, _type_id, _enc, _dec)
 
 
 # -- envelope ----------------------------------------------------------------
@@ -360,8 +970,7 @@ def decode_payload(tag: str, payload: dict[str, Any]) -> Any:
         raise WireCodecError(f"malformed {tag} payload: {exc}") from exc
 
 
-def encode_envelope(sender: int, message: Any) -> bytes:
-    """Serialise ``message`` from ``sender`` as canonical JSON bytes."""
+def _encode_envelope_json(sender: int, message: Any) -> bytes:
     tag, payload = encode_payload(message)
     envelope = {"v": WIRE_VERSION, "t": tag, "s": sender, "p": payload}
     return json.dumps(
@@ -369,8 +978,86 @@ def encode_envelope(sender: int, message: Any) -> bytes:
     ).encode("utf-8")
 
 
+def _encode_envelope_binary(sender: int, message: Any) -> bytes:
+    entry = _BINARY_ENCODERS.get(type(message))
+    if entry is not None:
+        type_id, encoder = entry
+        out = [
+            _HEADER.pack(_BINARY_MAGIC, WIRE_VERSION_BINARY, _MODE_NATIVE, sender),
+            _U8.pack(type_id),
+        ]
+        encoder(out, message)
+        return b"".join(out)
+    # No native layout: embed the canonical-JSON payload in a v2 envelope.
+    tag, payload = encode_payload(message)
+    out = [
+        _HEADER.pack(_BINARY_MAGIC, WIRE_VERSION_BINARY, _MODE_EMBEDDED_JSON, sender)
+    ]
+    _w_str(out, tag)
+    _w_json(out, payload)
+    return b"".join(out)
+
+
+def encode_envelope(
+    sender: int, message: Any, *, version: int = WIRE_VERSION
+) -> bytes:
+    """Serialise ``message`` from ``sender`` at the requested wire version.
+
+    The default stays v1 (canonical JSON) — transports opt into v2 per peer
+    once the ``hello`` handshake has advertised support for it.
+    """
+    if version == WIRE_VERSION:
+        return _encode_envelope_json(sender, message)
+    if version == WIRE_VERSION_BINARY:
+        return _encode_envelope_binary(sender, message)
+    raise WireCodecError(
+        f"cannot encode wire version {version!r} "
+        f"(supported: {SUPPORTED_WIRE_VERSIONS})"
+    )
+
+
+def _decode_envelope_binary(data: bytes) -> tuple[int, Any]:
+    try:
+        magic, version, mode, sender = _HEADER.unpack_from(data, 0)
+        if version != WIRE_VERSION_BINARY:
+            raise WireCodecError(
+                f"unsupported wire version {version!r} "
+                f"(this node speaks {SUPPORTED_WIRE_VERSIONS})"
+            )
+        off = _HEADER.size
+        if mode == _MODE_NATIVE:
+            type_id = data[off]
+            decoder = _BINARY_DECODERS.get(type_id)
+            if decoder is None:
+                raise WireCodecError(f"unknown binary wire type id {type_id}")
+            message, end = decoder(data, off + 1)
+            if end != len(data):
+                raise WireCodecError(
+                    f"binary frame has {len(data) - end} trailing bytes"
+                )
+            return sender, message
+        if mode == _MODE_EMBEDDED_JSON:
+            tag, off = _r_str(data, off)
+            payload, end = _r_json(data, off)
+            if end != len(data):
+                raise WireCodecError(
+                    f"binary frame has {len(data) - end} trailing bytes"
+                )
+            return sender, decode_payload(tag, payload)
+        raise WireCodecError(f"unknown binary payload mode {mode}")
+    except WireCodecError:
+        raise
+    except (struct.error, IndexError, UnicodeDecodeError, ValueError, KeyError) as exc:
+        raise WireCodecError(f"malformed binary frame: {exc}") from exc
+
+
 def decode_envelope(data: bytes) -> tuple[int, Any]:
-    """Deserialise one envelope, returning ``(sender, message)``."""
+    """Deserialise one envelope (either wire version), returning
+    ``(sender, message)``."""
+    if not data:
+        raise WireCodecError("empty frame")
+    if data[0] == _BINARY_MAGIC:
+        return _decode_envelope_binary(data)
     try:
         envelope = json.loads(data.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:

@@ -61,6 +61,10 @@ class ReplicaRuntimeConfig:
             instances it currently leads and silently drops its consensus
             messages for every other instance (the paper's undetectable
             Byzantine abstention, Fig. 8).
+        wire_version: Highest wire version this replica speaks (``None`` =
+            the codec default, struct-packed binary; ``1`` pins the node to
+            the canonical-JSON fallback).  Actual per-peer encoding is
+            negotiated down through the ``hello`` handshake.
     """
 
     replica_id: int
@@ -76,6 +80,7 @@ class ReplicaRuntimeConfig:
     )
     send_delay: float = 0.0
     byzantine_abstain: bool = False
+    wire_version: int | None = None
 
     def __post_init__(self) -> None:
         if len(self.peers) < 4:

@@ -4,22 +4,40 @@ These never appear in the simulator: connection handshakes, status probes
 (used by the load generator and the cluster supervisor to read committed
 counts, state digests and the latency-stage breakdown) and graceful shutdown.
 They ride the same versioned wire codec as the consensus messages.
+
+The :class:`Hello` handshake doubles as the wire-version negotiation: every
+connection opens with a v1 (canonical JSON) hello advertising the highest
+wire version the sender speaks, and each side then encodes *to* that peer at
+``min(own version, advertised version)`` — so a v2 cluster runs struct-packed
+binary frames end to end, while any v1-only peer transparently keeps
+receiving canonical JSON.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.runtime.codec import register_wire_type
+from repro.runtime.codec import (
+    WIRE_VERSION_BINARY,
+    _I64,
+    _r_json,
+    _r_str,
+    _w_json,
+    _w_str,
+    register_wire_type,
+)
 
 
 @dataclass(frozen=True)
 class Hello:
-    """First frame on every connection: who is calling and in what role."""
+    """First frame on every connection: who is calling, in what role, and
+    the highest wire version the caller can decode."""
 
     node_id: int
     role: str = "replica"  # "replica" | "client"
+    wire_version: int = WIRE_VERSION_BINARY
 
 
 @dataclass(frozen=True)
@@ -51,7 +69,13 @@ class ShutdownRequest:
 
 
 def _decode_hello(data: dict[str, Any]) -> Hello:
-    return Hello(node_id=int(data["node_id"]), role=data.get("role", "replica"))
+    return Hello(
+        node_id=int(data["node_id"]),
+        role=data.get("role", "replica"),
+        # Peers predating the binary codec never sent the field; they speak
+        # canonical JSON (v1) only.
+        wire_version=int(data.get("wire_version", 1)),
+    )
 
 
 def _decode_status_request(data: dict[str, Any]) -> StatusRequest:
@@ -77,17 +101,92 @@ def _decode_shutdown(data: dict[str, Any]) -> ShutdownRequest:
     return ShutdownRequest(reason=data.get("reason", ""))
 
 
+# -- binary (v2) layouts -------------------------------------------------------
+
+_HELLO_FIXED = struct.Struct(">qB")  # node_id, wire_version
+
+
+def _b_enc_hello(out: list[bytes], msg: Hello) -> None:
+    out.append(_HELLO_FIXED.pack(msg.node_id, msg.wire_version))
+    _w_str(out, msg.role)
+
+
+def _b_dec_hello(buf: bytes, off: int) -> tuple[Hello, int]:
+    node_id, wire_version = _HELLO_FIXED.unpack_from(buf, off)
+    role, off = _r_str(buf, off + _HELLO_FIXED.size)
+    return Hello(node_id=node_id, role=role, wire_version=wire_version), off
+
+
+def _b_enc_status_request(out: list[bytes], msg: StatusRequest) -> None:
+    out.append(_I64.pack(msg.nonce))
+
+
+def _b_dec_status_request(buf: bytes, off: int) -> tuple[StatusRequest, int]:
+    (nonce,) = _I64.unpack_from(buf, off)
+    return StatusRequest(nonce=nonce), off + 8
+
+
+_STATUS_FIXED = struct.Struct(">qqqqq")  # nonce, replica, committed, rejected, view_changes
+
+
+def _b_enc_status_reply(out: list[bytes], msg: StatusReply) -> None:
+    out.append(
+        _STATUS_FIXED.pack(
+            msg.nonce, msg.replica, msg.committed, msg.rejected, msg.view_changes
+        )
+    )
+    _w_str(out, msg.state_digest)
+    frontier = msg.delivered_frontier
+    out.append(struct.pack(f">I{len(frontier)}q", len(frontier), *frontier))
+    _w_json(out, msg.stage_breakdown)
+
+
+def _b_dec_status_reply(buf: bytes, off: int) -> tuple[StatusReply, int]:
+    nonce, replica, committed, rejected, view_changes = _STATUS_FIXED.unpack_from(
+        buf, off
+    )
+    state_digest, off = _r_str(buf, off + _STATUS_FIXED.size)
+    (count,) = struct.unpack_from(">I", buf, off)
+    frontier = struct.unpack_from(f">{count}q", buf, off + 4)
+    off += 4 + 8 * count
+    breakdown, off = _r_json(buf, off)
+    return (
+        StatusReply(
+            nonce=nonce,
+            replica=replica,
+            committed=committed,
+            rejected=rejected,
+            state_digest=state_digest,
+            delivered_frontier=frontier,
+            view_changes=view_changes,
+            stage_breakdown={str(k): float(v) for k, v in breakdown.items()},
+        ),
+        off,
+    )
+
+
+def _b_enc_shutdown(out: list[bytes], msg: ShutdownRequest) -> None:
+    _w_str(out, msg.reason)
+
+
+def _b_dec_shutdown(buf: bytes, off: int) -> tuple[ShutdownRequest, int]:
+    reason, off = _r_str(buf, off)
+    return ShutdownRequest(reason=reason), off
+
+
 register_wire_type(
     Hello,
     "hello",
-    lambda m: {"node_id": m.node_id, "role": m.role},
+    lambda m: {"node_id": m.node_id, "role": m.role, "wire_version": m.wire_version},
     _decode_hello,
+    binary=(16, _b_enc_hello, _b_dec_hello),
 )
 register_wire_type(
     StatusRequest,
     "status_request",
     lambda m: {"nonce": m.nonce},
     _decode_status_request,
+    binary=(17, _b_enc_status_request, _b_dec_status_request),
 )
 register_wire_type(
     StatusReply,
@@ -103,10 +202,12 @@ register_wire_type(
         "stage_breakdown": m.stage_breakdown,
     },
     _decode_status_reply,
+    binary=(18, _b_enc_status_reply, _b_dec_status_reply),
 )
 register_wire_type(
     ShutdownRequest,
     "shutdown",
     lambda m: {"reason": m.reason},
     _decode_shutdown,
+    binary=(19, _b_enc_shutdown, _b_dec_shutdown),
 )

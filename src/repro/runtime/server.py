@@ -46,7 +46,10 @@ class ReplicaServer:
         """Build the replica, open the listen socket, start proposing."""
         peers = {index: endpoint for index, endpoint in enumerate(self.config.peers)}
         self.transport = AsyncioTransport(
-            self.config.replica_id, peers, send_delay=self.config.send_delay
+            self.config.replica_id,
+            peers,
+            send_delay=self.config.send_delay,
+            wire_version=self.config.wire_version,
         )
         self.replica = MultiBFTReplica(
             replica_id=self.config.replica_id,
@@ -122,12 +125,30 @@ class ReplicaServer:
                     )
                     continue
                 if isinstance(message, Hello):
+                    # Every hello advertises the sender's wire version; the
+                    # transport then encodes to that node at min(ours, theirs).
+                    self.transport.note_peer_version(
+                        message.node_id, message.wire_version
+                    )
                     if message.role == "client":
                         registered = message.node_id
                         self.transport.register_stream(registered, writer)
+                        # Answer with our own hello so the client can upgrade
+                        # its request encoding symmetrically.
+                        await write_frame(
+                            writer,
+                            encode_envelope(
+                                self.config.replica_id,
+                                Hello(
+                                    self.config.replica_id,
+                                    role="replica",
+                                    wire_version=self.transport.wire_version,
+                                ),
+                            ),
+                        )
                     continue
                 if isinstance(message, StatusRequest):
-                    await self._send_status(writer, message.nonce)
+                    await self._send_status(writer, message.nonce, sender)
                     continue
                 if isinstance(message, ShutdownRequest):
                     logger.info(
@@ -160,9 +181,19 @@ class ReplicaServer:
                 self.transport.unregister_stream(registered)
             writer.close()
 
-    async def _send_status(self, writer: asyncio.StreamWriter, nonce: int) -> None:
+    async def _send_status(
+        self, writer: asyncio.StreamWriter, nonce: int, requester: int
+    ) -> None:
+        assert self.transport is not None
         reply = self.status(nonce)
-        await write_frame(writer, encode_envelope(self.config.replica_id, reply))
+        await write_frame(
+            writer,
+            encode_envelope(
+                self.config.replica_id,
+                reply,
+                version=self.transport.version_for(requester),
+            ),
+        )
 
     # -- introspection ------------------------------------------------------
 

@@ -6,6 +6,17 @@ lazily, re-opened with backoff on failure — and a routing table of inbound
 client connections registered by the hosting server.  ``send`` and
 ``broadcast`` are synchronous (the consensus state machine calls them from
 message handlers); frames are queued and written by per-peer writer tasks.
+Each writer task drains its queue in batches: every frame that is already due
+is coalesced into one buffer and flushed with a single ``write`` + ``drain``,
+so a burst of consensus messages costs one syscall round, not one per frame.
+
+Wire-version negotiation: every connection opens with a v1 (canonical JSON)
+``hello`` advertising the sender's highest wire version.  The hosting server
+feeds advertised versions back via :meth:`note_peer_version`, and each
+destination is then encoded at ``min(own, advertised)`` — struct-packed
+binary (v2) between upgraded peers, canonical JSON for everyone else and for
+peers whose hello has not arrived yet.  ``broadcast`` encodes once per
+distinct negotiated version, not once per peer.
 
 Everything runs on a single event loop, so consensus callbacks are serialised
 exactly as they are under the discrete-event simulator — the state machine
@@ -18,7 +29,12 @@ import asyncio
 import logging
 from typing import Any, Callable
 
-from repro.runtime.codec import encode_envelope
+from repro.runtime.codec import (
+    DEFAULT_WIRE_VERSION,
+    SUPPORTED_WIRE_VERSIONS,
+    WIRE_VERSION,
+    encode_envelope,
+)
 from repro.runtime.control import Hello
 from repro.runtime.framing import encode_frame, write_frame
 
@@ -31,6 +47,10 @@ OUTBOUND_QUEUE_LIMIT = 10_000
 #: further frames to it are dropped — a stalled client must not balloon the
 #: replica's memory with unsent replies.
 STREAM_BUFFER_LIMIT = 4 * 1024 * 1024
+
+#: Frames coalesced into one write/drain round at most (bounds the burst a
+#: single flush may buffer in user space).
+WRITE_BATCH_LIMIT = 256
 
 #: Reconnect backoff bounds (seconds).
 RECONNECT_INITIAL = 0.05
@@ -59,7 +79,7 @@ class LiveTimer:
 
 
 class AsyncioTransport:
-    """Live NodeTransport: length-prefixed canonical-JSON frames over TCP.
+    """Live NodeTransport: length-prefixed framed messages over TCP.
 
     With ``send_delay`` set (straggler injection), every outbound
     replica-to-replica frame becomes *due* ``send_delay`` seconds after it is
@@ -76,10 +96,21 @@ class AsyncioTransport:
         *,
         role: str = "replica",
         send_delay: float = 0.0,
+        wire_version: int | None = None,
     ) -> None:
         self.node_id = node_id
         self.peers = dict(peers)
         self.role = role
+        #: Highest wire version this transport is willing to speak.  ``None``
+        #: resolves to the codec default (binary).
+        if wire_version is None:
+            wire_version = DEFAULT_WIRE_VERSION
+        if wire_version not in SUPPORTED_WIRE_VERSIONS:
+            raise ValueError(
+                f"unsupported wire version {wire_version!r} "
+                f"(supported: {SUPPORTED_WIRE_VERSIONS})"
+            )
+        self.wire_version = wire_version
         #: Chaos knob: seconds each outbound replica-to-replica frame is held
         #: before hitting the socket (straggler injection; 0.0 = healthy).
         self.send_delay = max(0.0, send_delay)
@@ -94,12 +125,18 @@ class AsyncioTransport:
         self._queues: dict[int, asyncio.Queue[tuple[float, bytes]]] = {}
         self._writer_tasks: dict[int, asyncio.Task[None]] = {}
         self._streams: dict[int, asyncio.StreamWriter] = {}
+        #: Highest wire version each peer advertised through its hello
+        #: (absent peers conservatively get v1 canonical JSON).
+        self._peer_versions: dict[int, int] = {}
         self._timers: list[LiveTimer] = []
         self._closed = False
         #: Counters for observability.
         self.frames_sent = 0
         self.frames_dropped = 0
         self.frames_filtered = 0
+        #: Envelope encodings performed (a broadcast encodes once per
+        #: distinct negotiated peer version, not once per destination).
+        self.frames_encoded = 0
 
     # -- clock --------------------------------------------------------------
 
@@ -114,6 +151,17 @@ class AsyncioTransport:
         clock synchronisation.
         """
         return self._loop.time()
+
+    # -- wire-version negotiation --------------------------------------------
+
+    def note_peer_version(self, node_id: int, version: int) -> None:
+        """Record the wire version ``node_id`` advertised in its hello."""
+        self._peer_versions[node_id] = max(1, int(version))
+
+    def version_for(self, destination: int) -> int:
+        """Wire version to encode with for ``destination`` (min of the two
+        sides; v1 until the peer's hello has been observed)."""
+        return min(self.wire_version, self._peer_versions.get(destination, WIRE_VERSION))
 
     # -- timers -------------------------------------------------------------
 
@@ -140,6 +188,10 @@ class AsyncioTransport:
 
     # -- sending ------------------------------------------------------------
 
+    def _encode(self, message: Any, version: int) -> bytes:
+        self.frames_encoded += 1
+        return encode_envelope(self.node_id, message, version=version)
+
     def send(self, destination: int, message: Any) -> None:
         """Queue ``message`` for ``destination`` (peer or registered stream)."""
         if self._closed:
@@ -147,9 +199,11 @@ class AsyncioTransport:
         if self.outbound_filter is not None and not self.outbound_filter(message):
             self.frames_filtered += 1
             return
-        frame = encode_envelope(self.node_id, message)
+        # Resolve the route before encoding: a dead destination or a closed
+        # transport must not pay for serialisation.
         if destination in self.peers:
             queue = self._ensure_peer(destination)
+            frame = self._encode(message, self.version_for(destination))
             if queue.full():
                 # Drop-oldest keeps the writer from wedging the state machine
                 # when a peer is down; PBFT tolerates message loss (retransmit
@@ -158,7 +212,9 @@ class AsyncioTransport:
                 self.frames_dropped += 1
             queue.put_nowait((self._due_time(), frame))
         elif destination in self._streams:
-            self._write_to_stream(destination, frame)
+            self._write_to_stream(
+                destination, self._encode(message, self.version_for(destination))
+            )
         else:
             self.frames_dropped += 1
 
@@ -175,11 +231,20 @@ class AsyncioTransport:
         if self.outbound_filter is not None and not self.outbound_filter(message):
             self.frames_filtered += 1
             return
-        frame = encode_envelope(self.node_id, message)
+        targets = [
+            peer_id
+            for peer_id in self.peers
+            if include_self or peer_id != self.node_id
+        ]
+        if not targets:
+            return
+        frames: dict[int, bytes] = {}
         due = self._due_time()
-        for peer_id in self.peers:
-            if peer_id == self.node_id and not include_self:
-                continue
+        for peer_id in targets:
+            version = self.version_for(peer_id)
+            frame = frames.get(version)
+            if frame is None:
+                frame = frames[version] = self._encode(message, version)
             queue = self._ensure_peer(peer_id)
             if queue.full():
                 queue.get_nowait()
@@ -209,6 +274,7 @@ class AsyncioTransport:
     def unregister_stream(self, node_id: int) -> None:
         if node_id in self._streams:
             del self._streams[node_id]
+        self._peer_versions.pop(node_id, None)
 
     # -- outbound connections ------------------------------------------------
 
@@ -225,9 +291,17 @@ class AsyncioTransport:
     async def _peer_writer(
         self, peer_id: int, queue: "asyncio.Queue[tuple[float, bytes]]"
     ) -> None:
-        """Connect to one peer (with backoff) and drain its frame queue."""
+        """Connect to one peer (with backoff) and drain its frame queue.
+
+        The drain is batched: after blocking for the first due frame, every
+        further frame that is already due is appended to the same buffer, and
+        the whole batch goes out with one ``write`` + ``drain``.  A frame
+        whose due time is still in the future is carried over to the next
+        round so straggler delays stay per-frame accurate.
+        """
         host, port = self.peers[peer_id]
         backoff = RECONNECT_INITIAL
+        carry: tuple[float, bytes] | None = None
         while not self._closed:
             try:
                 reader, writer = await asyncio.open_connection(host, port)
@@ -237,11 +311,22 @@ class AsyncioTransport:
                 continue
             backoff = RECONNECT_INITIAL
             try:
+                # The hello is always canonical JSON (v1): it is the frame
+                # that *carries* the version negotiation, so it must be
+                # decodable by any peer.
                 await write_frame(
-                    writer, encode_envelope(self.node_id, Hello(self.node_id, self.role))
+                    writer,
+                    encode_envelope(
+                        self.node_id,
+                        Hello(self.node_id, self.role, self.wire_version),
+                    ),
                 )
                 while not self._closed:
-                    due, frame = await queue.get()
+                    if carry is not None:
+                        due, frame = carry
+                        carry = None
+                    else:
+                        due, frame = await queue.get()
                     if due > 0.0:
                         # Straggler injection: honour the frame's due time.
                         # Frames queued while this one waited share the same
@@ -250,8 +335,19 @@ class AsyncioTransport:
                         remaining = due - self._loop.time()
                         if remaining > 0:
                             await asyncio.sleep(remaining)
-                    await write_frame(writer, frame)
-                    self.frames_sent += 1
+                    batch = [encode_frame(frame)]
+                    while len(batch) < WRITE_BATCH_LIMIT:
+                        try:
+                            next_due, next_frame = queue.get_nowait()
+                        except asyncio.QueueEmpty:
+                            break
+                        if next_due > 0.0 and next_due > self._loop.time():
+                            carry = (next_due, next_frame)
+                            break
+                        batch.append(encode_frame(next_frame))
+                    writer.write(b"".join(batch))
+                    self.frames_sent += len(batch)
+                    await writer.drain()
             except (OSError, ConnectionError, asyncio.CancelledError) as exc:
                 if isinstance(exc, asyncio.CancelledError):
                     raise

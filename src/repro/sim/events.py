@@ -3,12 +3,19 @@
 An :class:`Event` couples a firing time with a callback.  Events are totally
 ordered by ``(time, priority, sequence)`` so that simultaneous events fire in
 a deterministic order: first by explicit priority, then by scheduling order.
+
+``Event`` is a slotted plain class rather than a dataclass: simulations
+allocate and compare millions of them (every heap push/pop compares events),
+so the fixed slot layout and the hand-written ``(time, priority, sequence)``
+comparisons are a measurable win over generated dataclass ordering.  Events
+also carry optional positional ``args`` for their callback, which lets hot
+callers (the network's delivery path) schedule bound methods directly instead
+of allocating a closure per message.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 #: Monotonic counter used to break ties between events scheduled for the same
@@ -16,7 +23,6 @@ from typing import Any, Callable
 _sequence_counter = itertools.count()
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback in the simulation.
 
@@ -24,7 +30,8 @@ class Event:
         time: Absolute simulated time (seconds) at which the event fires.
         priority: Lower values fire first among events with equal ``time``.
         sequence: Tie-breaker assigned at scheduling time.
-        callback: Zero-argument callable invoked when the event fires.
+        callback: Callable invoked (with ``args``) when the event fires.
+        args: Positional arguments passed to ``callback``.
         cancelled: Set by :meth:`cancel`; cancelled events are skipped.
         finished: Set by the owning simulator once the event has left its
             queue (fired or discarded), so late cancellations are no-ops for
@@ -33,13 +40,73 @@ class Event:
             notify when a still-queued event is cancelled.
     """
 
-    time: float
-    priority: int = 0
-    sequence: int = field(default_factory=lambda: next(_sequence_counter))
-    callback: Callable[[], Any] | None = field(compare=False, default=None)
-    cancelled: bool = field(compare=False, default=False)
-    finished: bool = field(compare=False, default=False)
-    owner: Any = field(compare=False, default=None, repr=False)
+    __slots__ = (
+        "time",
+        "priority",
+        "sequence",
+        "callback",
+        "args",
+        "cancelled",
+        "finished",
+        "owner",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int = 0,
+        sequence: int | None = None,
+        callback: Callable[..., Any] | None = None,
+        args: tuple[Any, ...] = (),
+        owner: Any = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = next(_sequence_counter) if sequence is None else sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.finished = False
+        self.owner = owner
+
+    # Total order on (time, priority, sequence); the remaining attributes are
+    # deliberately excluded, matching the former dataclass(order=True) with
+    # compare=False fields.
+
+    def _key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.sequence)
+
+    def __lt__(self, other: "Event") -> bool:
+        # The heap's hot comparison: written out field by field to avoid
+        # allocating key tuples on every sift.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.sequence < other.sequence
+
+    def __le__(self, other: "Event") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "Event") -> bool:
+        return other.__lt__(self)
+
+    def __ge__(self, other: "Event") -> bool:
+        return other.__le__(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, priority={self.priority!r}, "
+            f"sequence={self.sequence!r}, cancelled={self.cancelled!r})"
+        )
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""

@@ -88,15 +88,18 @@ class Simulator:
     def schedule(
         self,
         delay: float,
-        callback: Callable[[], Any],
-        *,
+        callback: Callable[..., Any],
+        *args: Any,
         priority: int = 0,
     ) -> EventHandle:
-        """Schedule ``callback`` to run ``delay`` seconds from now.
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
 
         Args:
             delay: Non-negative offset from the current simulated time.
-            callback: Zero-argument callable to invoke.
+            callback: Callable to invoke.
+            *args: Positional arguments passed to ``callback`` when it fires
+                (lets hot callers schedule bound methods directly instead of
+                allocating a closure per message).
             priority: Lower priorities fire first among simultaneous events.
 
         Returns:
@@ -108,7 +111,11 @@ class Simulator:
         if delay < 0 or delay != delay or delay == float("inf"):
             raise SchedulingError(f"invalid delay: {delay!r}")
         event = Event(
-            time=self._now + delay, priority=priority, callback=callback, owner=self
+            time=self._now + delay,
+            priority=priority,
+            callback=callback,
+            args=args,
+            owner=self,
         )
         heapq.heappush(self._queue, event)
         return EventHandle(event)
@@ -116,16 +123,16 @@ class Simulator:
     def schedule_at(
         self,
         time: float,
-        callback: Callable[[], Any],
-        *,
+        callback: Callable[..., Any],
+        *args: Any,
         priority: int = 0,
     ) -> EventHandle:
-        """Schedule ``callback`` at an absolute simulated time (>= now)."""
+        """Schedule ``callback(*args)`` at an absolute simulated time (>= now)."""
         if time < self._now:
             raise SchedulingError(
                 f"cannot schedule at {time:.6f}, current time is {self._now:.6f}"
             )
-        return self.schedule(time - self._now, callback, priority=priority)
+        return self.schedule(time - self._now, callback, *args, priority=priority)
 
     def run(
         self,
@@ -164,9 +171,11 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 event.finished = True
-                self._now = max(self._now, event.time)
-                if event.callback is not None:
-                    event.callback()
+                if event.time > self._now:
+                    self._now = event.time
+                callback = event.callback
+                if callback is not None:
+                    callback(*event.args)
                 self._processed += 1
                 processed_this_run += 1
             if until is not None and self._now < until:

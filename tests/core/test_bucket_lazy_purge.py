@@ -1,0 +1,83 @@
+"""The bucket's lazy-purge (ghost) machinery and O(batch) pulls.
+
+Garbage collection purges by moving ids into a ghost set instead of
+rebuilding the queue; these tests cover the ghost lifecycle — skip on pull,
+eviction when a purged id is re-added, wholesale compaction — and the
+``pull_one`` path ``select_batch`` scans with.
+"""
+
+from __future__ import annotations
+
+from repro.core.buckets import Bucket, _COMPACT_MIN
+from repro.ledger.transactions import simple_transfer
+
+
+def _tx(index: int, amount: int = 1):
+    return simple_transfer(f"payer-{index}", f"payee-{index}", amount, tx_id=f"t{index}")
+
+
+class TestLazyPurge:
+    def test_purge_is_lazy_but_invisible(self):
+        bucket = Bucket(0)
+        txs = [_tx(i) for i in range(6)]
+        for tx in txs:
+            bucket.push(tx)
+        removed = bucket.purge(["t1", "t3", "missing"])
+        assert removed == 2
+        assert len(bucket) == 4
+        assert "t1" not in bucket and "t3" not in bucket
+        assert [tx.tx_id for tx in bucket.peek_all()] == ["t0", "t2", "t4", "t5"]
+        # Pulls skip the ghost entries in order.
+        assert [tx.tx_id for tx in bucket.pull(10)] == ["t0", "t2", "t4", "t5"]
+        assert len(bucket) == 0
+
+    def test_pull_one_skips_ghosts(self):
+        bucket = Bucket(0)
+        bucket.push(_tx(0))
+        bucket.push(_tx(1))
+        bucket.purge(["t0"])
+        pulled = bucket.pull_one()
+        assert pulled is not None and pulled.tx_id == "t1"
+        assert bucket.pull_one() is None
+
+    def test_repush_after_purge_appends_at_back(self):
+        bucket = Bucket(0)
+        for i in range(3):
+            bucket.push(_tx(i))
+        bucket.purge(["t0"])
+        # Re-adding a purged id must evict its ghost entry; the fresh copy
+        # queues at the back, exactly as with the old physical purge.
+        assert bucket.push(_tx(0))
+        assert [tx.tx_id for tx in bucket.peek_all()] == ["t1", "t2", "t0"]
+        assert [tx.tx_id for tx in bucket.pull(10)] == ["t1", "t2", "t0"]
+
+    def test_requeue_after_purge_goes_to_front(self):
+        bucket = Bucket(0)
+        for i in range(3):
+            bucket.push(_tx(i))
+        pulled = bucket.pull(1)  # t0 in flight
+        bucket.purge(["t1"])
+        # A view change hands the in-flight tx back while its id has no
+        # ghost, and a *different* purged id is re-queued by another path.
+        assert bucket.requeue(pulled) == 1
+        assert [tx.tx_id for tx in bucket.peek_all()] == ["t0", "t2"]
+
+    def test_compaction_drops_ghost_entries(self):
+        bucket = Bucket(0)
+        count = _COMPACT_MIN * 2 + 2
+        for i in range(count):
+            bucket.push(_tx(i))
+        bucket.purge([f"t{i}" for i in range(count - 1)])
+        # More ghosts than live entries: the queue must have been compacted.
+        assert len(bucket._queue) == 1
+        assert len(bucket) == 1
+        assert bucket.pull_one().tx_id == f"t{count - 1}"
+
+    def test_len_counts_live_entries_only(self):
+        bucket = Bucket(0)
+        for i in range(4):
+            bucket.push(_tx(i))
+        bucket.purge(["t0", "t1", "t2"])
+        assert len(bucket) == 1
+        # Physical queue still holds the ghosts (below compaction threshold).
+        assert len(bucket._queue) == 4

@@ -1,0 +1,185 @@
+"""The precompiled canonical renderers and digest memoization.
+
+Hot classes (``Transaction``, ``Block``, ``LedgerObject``) render their
+canonical bytes through hand-written templates instead of the generic
+sorted-key JSON encoder.  These tests pin the invariant everything depends
+on: the template output is byte-identical to the reference rendering of
+``digest_fields()``, and memoized digests always equal a fresh recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.digest import (
+    DigestAccumulator,
+    canonical_bytes,
+    combine_digests,
+    digest,
+    sha256_hex,
+)
+from repro.ledger.blocks import Block, SystemState
+from repro.ledger.objects import LedgerObject, ObjectOperation, ObjectType, OperationKind
+from repro.ledger.state import StateStore
+from repro.ledger.transactions import Transaction, TransactionType
+
+
+def reference_bytes(value) -> bytes:
+    """The pre-template rendering: sorted-key JSON of ``digest_fields()``."""
+    return json.dumps(value.digest_fields(), sort_keys=True).encode("utf-8")
+
+
+keys = st.text(max_size=16)  # includes quotes, backslashes, non-ASCII, empty
+
+operations = st.builds(
+    ObjectOperation,
+    key=keys,
+    kind=st.sampled_from(list(OperationKind)),
+    amount=st.integers(min_value=-(2**40), max_value=2**40),
+    object_type=st.sampled_from(list(ObjectType)),
+)
+
+transactions = st.builds(
+    Transaction,
+    tx_id=st.text(min_size=1, max_size=24),
+    operations=st.lists(operations, max_size=4).map(tuple),
+    tx_type=st.sampled_from(list(TransactionType)),
+)
+
+blocks = st.builds(
+    Block,
+    instance=st.integers(min_value=0, max_value=2**31),
+    sequence_number=st.integers(min_value=0, max_value=2**31),
+    transactions=st.lists(transactions, max_size=3).map(tuple),
+    state=st.builds(
+        SystemState,
+        sequence_numbers=st.lists(
+            st.integers(min_value=-1, max_value=2**31), min_size=1, max_size=6
+        ).map(tuple),
+    ),
+    proposer=st.integers(min_value=0, max_value=2**31),
+    epoch=st.integers(min_value=0, max_value=2**31),
+    rank=st.none() | st.integers(min_value=0, max_value=2**40),
+)
+
+ledger_objects = st.builds(
+    LedgerObject,
+    key=keys,
+    value=st.integers(min_value=-(2**62), max_value=2**62),
+    object_type=st.sampled_from(list(ObjectType)),
+    condition=st.integers(min_value=-(2**62), max_value=0),
+)
+
+
+class TestCanonicalRenderEquivalence:
+    @settings(max_examples=300, deadline=None)
+    @given(tx=transactions)
+    def test_transaction_render_matches_reference(self, tx):
+        assert tx.canonical_render() == reference_bytes(tx)
+        assert canonical_bytes(tx) == reference_bytes(tx)
+
+    @settings(max_examples=200, deadline=None)
+    @given(block=blocks)
+    def test_block_render_matches_reference(self, block):
+        assert block.canonical_render() == reference_bytes(block)
+        assert canonical_bytes(block) == reference_bytes(block)
+
+    @settings(max_examples=300, deadline=None)
+    @given(obj=ledger_objects)
+    def test_ledger_object_render_matches_reference(self, obj):
+        assert obj.canonical_render() == reference_bytes(obj)
+        assert canonical_bytes(obj) == reference_bytes(obj)
+
+
+class TestDigestMemoization:
+    @settings(max_examples=200, deadline=None)
+    @given(tx=transactions)
+    def test_transaction_digest_memo_equals_recomputation(self, tx):
+        memoized = tx.digest
+        assert memoized == tx.digest  # second access serves the memo
+        assert memoized == sha256_hex(reference_bytes(tx))
+
+    @settings(max_examples=100, deadline=None)
+    @given(block=blocks)
+    def test_block_digest_memo_equals_recomputation(self, block):
+        memoized = block.digest
+        assert memoized == block.digest
+        assert memoized == sha256_hex(reference_bytes(block))
+
+    def test_memo_is_per_instance(self):
+        from repro.ledger.transactions import simple_transfer
+
+        a = simple_transfer("x", "y", 1, tx_id="t1")
+        b = simple_transfer("x", "y", 2, tx_id="t1")  # same id, different amount
+        assert a.digest != b.digest  # content digests, not id digests
+
+    def test_memo_not_shared_through_class_attribute(self):
+        from repro.ledger.transactions import simple_transfer
+
+        first = simple_transfer("x", "y", 1, tx_id="ta")
+        _ = first.digest
+        second = simple_transfer("x", "y", 1, tx_id="tb")
+        assert second.digest != first.digest
+
+
+class TestDigestAccumulator:
+    @settings(max_examples=200, deadline=None)
+    @given(items=st.lists(st.text(max_size=12)))
+    def test_accumulator_matches_combine_digests(self, items):
+        accumulator = DigestAccumulator()
+        for item in items:
+            accumulator.append(item)
+        assert accumulator.hexdigest() == combine_digests(items)
+
+    def test_matches_legacy_joined_rendering(self):
+        # combine_digests has always hashed "|".join(items); pin that.
+        assert combine_digests(["a", "b", "c"]) == sha256_hex(b"a|b|c")
+        assert combine_digests([]) == sha256_hex(b"")
+
+
+class TestIncrementalStateDigest:
+    def _reference(self, store: StateStore) -> str:
+        return combine_digests(
+            [digest(store.get(key)) for key in sorted(store.keys())]
+        )
+
+    def test_matches_reference_through_mutations(self):
+        store = StateStore()
+        store.load_accounts({"alice": 10, "bob": 5})
+        assert store.state_digest() == self._reference(store)
+        store.credit("alice", 3)
+        assert store.state_digest() == self._reference(store)
+        store.debit("bob", 2)
+        assert store.state_digest() == self._reference(store)
+        store.create_shared("slot", 7)
+        assert store.state_digest() == self._reference(store)
+        store.assign("slot", 9)
+        assert store.state_digest() == self._reference(store)
+
+    def test_account_reset_invalidates_cached_digest(self):
+        store = StateStore()
+        store.create_account("alice", 10)
+        before = store.state_digest()
+        # Reset to a different balance: version restarts at 0, so a naive
+        # (version -> digest) cache would serve the stale entry.
+        store.create_account("alice", 99)
+        after = store.state_digest()
+        assert after != before
+        assert after == self._reference(store)
+
+    def test_digest_stable_when_unchanged(self):
+        store = StateStore()
+        store.load_accounts({"a": 1, "b": 2})
+        assert store.state_digest() == store.state_digest()
+
+    def test_copy_digests_independently(self):
+        store = StateStore()
+        store.load_accounts({"a": 1})
+        clone = store.copy()
+        assert clone.state_digest() == store.state_digest()
+        clone.credit("a", 5)
+        assert clone.state_digest() != store.state_digest()
+        assert store.state_digest() == self._reference(store)

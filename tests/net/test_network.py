@@ -138,3 +138,54 @@ class TestFaults:
         _, network, _ = build()
         network.set_slowdown(0, 0.1)
         assert network.condition(0).slowdown == 1.0
+
+
+class TestMembershipCaches:
+    def test_broadcast_destinations_follow_late_registration(self):
+        sim, network, nodes = build(3)
+        network.broadcast(0, "first")
+        late = Sink(7)
+        network.register(late)
+        network.broadcast(0, "second")
+        sim.run()
+        assert [m for _, m, _ in late.inbox] == ["second"]
+        assert [m for _, m, _ in nodes[1].inbox] == ["first", "second"]
+        assert network.node_ids() == [0, 1, 2, 7]
+
+    def test_unregister_removes_node_from_broadcasts(self):
+        sim, network, nodes = build(3)
+        network.broadcast(0, "first")
+        sim.run()
+        network.unregister(2)
+        network.broadcast(0, "second")
+        sim.run()
+        assert [m for _, m, _ in nodes[2].inbox] == ["first"]
+        assert [m for _, m, _ in nodes[1].inbox] == ["first", "second"]
+        assert network.node_ids() == [0, 1]
+
+    def test_messages_in_flight_to_unregistered_node_drop(self):
+        sim, network, nodes = build(3)
+        network.send(0, 2, "doomed")
+        network.unregister(2)
+        sim.run()
+        assert nodes[2].inbox == []
+        assert network.stats.messages_dropped == 1
+
+    def test_unregister_unknown_node_is_a_noop(self):
+        _, network, _ = build(3)
+        network.unregister(99)
+        assert network.node_ids() == [0, 1, 2]
+
+    def test_include_self_broadcast_cached_separately(self):
+        sim, network, nodes = build(2)
+        network.broadcast(0, "to-others")
+        network.broadcast(0, "to-all", include_self=True)
+        sim.run()
+        assert [m for _, m, _ in nodes[0].inbox] == ["to-all"]
+        assert [m for _, m, _ in nodes[1].inbox] == ["to-others", "to-all"]
+
+    def test_node_ids_copy_is_not_a_view(self):
+        _, network, _ = build(2)
+        ids = network.node_ids()
+        ids.append(42)
+        assert network.node_ids() == [0, 1]

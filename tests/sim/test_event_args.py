@@ -1,0 +1,57 @@
+"""Slotted events and argument-carrying callbacks."""
+
+from __future__ import annotations
+
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+
+
+class TestScheduleWithArgs:
+    def test_callback_receives_positional_args(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "payload")
+        sim.schedule(2.0, lambda: seen.append("closure"))
+        sim.run()
+        assert seen == ["payload", "closure"]
+
+    def test_schedule_at_forwards_args(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(3.0, lambda a, b: seen.append((a, b)), 1, 2)
+        sim.run()
+        assert seen == [(1, 2)]
+
+    def test_cancelled_args_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, seen.append, "x")
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_priority_still_keyword_only(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "late", priority=5)
+        sim.schedule(1.0, order.append, "early", priority=-5)
+        sim.run()
+        assert order == ["early", "late"]
+
+
+class TestEventOrdering:
+    def test_events_order_by_time_priority_sequence(self):
+        a = Event(time=1.0, priority=0, sequence=1)
+        b = Event(time=1.0, priority=0, sequence=2)
+        c = Event(time=1.0, priority=-1, sequence=3)
+        d = Event(time=0.5, priority=9, sequence=4)
+        assert d < c < a < b
+        assert a <= a and a >= a and a == Event(time=1.0, priority=0, sequence=1)
+
+    def test_events_are_slotted(self):
+        event = Event(time=0.0)
+        assert not hasattr(event, "__dict__")
+
+    def test_repr_mentions_schedule_key(self):
+        event = Event(time=2.5, priority=1, sequence=7)
+        assert "2.5" in repr(event) and "7" in repr(event)
