@@ -414,6 +414,135 @@ def bench_live_smoke(transactions: int = 600) -> BenchResult:
     )
 
 
+def bench_live_pipeline(transactions: int = 4000) -> BenchResult:
+    """Committed tx/s with the scale path on: UDS + super-frames + routing.
+
+    Same replica count as :func:`bench_live_smoke` but configured the way a
+    throughput-focused deployment would be — Unix domain sockets, leader-
+    routed submission (each transaction goes to the ``f + 1`` replicas that
+    will answer, not all of them), deep pipelining — so the benchmark tracks
+    the batched transport end to end rather than any single layer.
+    """
+    import asyncio
+
+    from repro.runtime.client import ClientConfig
+    from repro.runtime.cluster import ClusterSpec, LocalCluster
+    from repro.runtime.loadgen import LoadGenConfig, run_loadgen
+    from repro.workload.config import WorkloadConfig
+
+    spec = ClusterSpec(
+        num_replicas=4,
+        num_instances=2,
+        protocol="orthrus",
+        batch_size=256,
+        batch_interval=0.01,
+        transport="uds",
+        workload=WorkloadConfig(num_accounts=256, seed=42),
+    )
+    load = LoadGenConfig(
+        transactions=transactions,
+        mode="closed",
+        concurrency=512,
+        workload=WorkloadConfig(num_accounts=256, seed=42, payment_fraction=1.0),
+        client=ClientConfig(
+            client_id=1000, timeout=15.0, retries=3, route_instances=2
+        ),
+    )
+    cluster = LocalCluster(spec)
+    cluster.start()
+    try:
+        report = asyncio.run(run_loadgen(list(cluster.endpoints), load))
+    finally:
+        cluster.stop()
+    if report.failed or not report.digests_agree:
+        raise RuntimeError(
+            f"live pipeline failed: {report.failed} failures, "
+            f"digests_agree={report.digests_agree}"
+        )
+    return BenchResult(
+        name="live_pipeline_tps",
+        unit="tx/s",
+        value=report.metrics.throughput_tps,
+        higher_is_better=True,
+        meta={
+            "replicas": 4,
+            "instances": 2,
+            "transport": "uds",
+            "routed": True,
+            "transactions": transactions,
+            "concurrency": 512,
+            "digests_agree": report.digests_agree,
+        },
+    )
+
+
+def bench_scale_100replica(transactions: int = 64) -> BenchResult:
+    """Wall-clock to start, load and stop a 100-replica localhost cluster.
+
+    The value is the full lifecycle in seconds: spawn 100 replica processes
+    over UDS, commit a bounded transaction load with ``f + 1`` matching
+    digests, shut down cleanly.  Consensus traffic is quadratic in ``n``, so
+    this is the benchmark that catches any O(n²) cliff in the runtime layers
+    (port reservation, connection mesh, supervision, client fan-out).
+    """
+    import asyncio
+
+    from repro.runtime.client import ClientConfig
+    from repro.runtime.cluster import ClusterSpec, LocalCluster
+    from repro.runtime.loadgen import LoadGenConfig, run_loadgen
+    from repro.workload.config import WorkloadConfig
+
+    replicas = 100
+    spec = ClusterSpec(
+        num_replicas=replicas,
+        num_instances=2,
+        protocol="orthrus",
+        batch_size=64,
+        batch_interval=0.25,
+        view_change_timeout=60.0,
+        transport="uds",
+        workload=WorkloadConfig(num_accounts=256, seed=42),
+    )
+    # Submit the whole bounded load at once: with batch_size == transactions
+    # each instance cuts whole blocks instead of dribbling n² vote rounds.
+    load = LoadGenConfig(
+        transactions=transactions,
+        mode="closed",
+        concurrency=64,
+        workload=WorkloadConfig(num_accounts=256, seed=42, payment_fraction=1.0),
+        client=ClientConfig(client_id=1000, timeout=60.0, retries=2),
+    )
+    start = time.perf_counter()
+    cluster = LocalCluster(spec)
+    # 100 interpreters cold-start serially on a small host; the ready probe
+    # itself is parallel, so the timeout covers the slowest straggler.
+    cluster.start(ready_timeout=100.0)
+    try:
+        report = asyncio.run(run_loadgen(list(cluster.endpoints), load))
+    finally:
+        cluster.stop()
+    elapsed = time.perf_counter() - start
+    if report.failed or not report.digests_agree:
+        raise RuntimeError(
+            f"100-replica scale run failed: {report.failed} failures, "
+            f"digests_agree={report.digests_agree}"
+        )
+    return BenchResult(
+        name="scale_100replica",
+        unit="seconds",
+        value=elapsed,
+        higher_is_better=False,
+        meta={
+            "replicas": replicas,
+            "instances": 2,
+            "transport": "uds",
+            "transactions": transactions,
+            "throughput_tps": round(report.metrics.throughput_tps, 1),
+            "digests_agree": report.digests_agree,
+        },
+    )
+
+
 # -- suites -------------------------------------------------------------------
 
 #: The fast, deterministic-ish suite CI runs on every push.
@@ -428,6 +557,8 @@ _QUICK: tuple[Callable[[], BenchResult], ...] = (
 _FULL: tuple[Callable[[], BenchResult], ...] = _QUICK + (
     bench_fig3_small,
     bench_live_smoke,
+    bench_live_pipeline,
+    bench_scale_100replica,
 )
 
 

@@ -92,12 +92,28 @@ def _add_wire_version_argument(parser: argparse.ArgumentParser) -> None:
         "--wire-version",
         type=int,
         default=None,
-        choices=[1, 2],
+        choices=[1, 2, 3],
         help=(
-            "highest wire version to speak (default: 2, struct-packed binary; "
-            "1 pins canonical JSON); per-connection encoding is negotiated "
-            "down via the hello handshake"
+            "highest wire version to speak (default: 3, binary with batched "
+            "super-frames; 2 struct-packed binary without batching; 1 pins "
+            "canonical JSON); per-connection encoding is negotiated down via "
+            "the hello handshake"
         ),
+    )
+
+
+def _add_cluster_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--transport",
+        default="tcp",
+        choices=["tcp", "uds"],
+        help="peer sockets: tcp (default) or uds (Unix domain, localhost only)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="crypto/codec worker processes per replica (default: 0, inline)",
     )
 
 
@@ -214,6 +230,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="chaos: drop consensus messages for instances this replica does not lead",
     )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="crypto/codec worker processes (default: 0, decode inline)",
+    )
     _add_wire_version_argument(serve_parser)
 
     cluster_parser = subparsers.add_parser(
@@ -245,6 +267,7 @@ def _build_parser() -> argparse.ArgumentParser:
             '"restarts": {"0": 15}, "undetectable_faults": 1}'
         ),
     )
+    _add_cluster_scale_arguments(cluster_parser)
     _add_wire_version_argument(cluster_parser)
 
     chaos_parser = subparsers.add_parser(
@@ -301,6 +324,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON fault plan or @file (overrides the individual fault flags)",
     )
+    _add_cluster_scale_arguments(chaos_parser)
     _add_wire_version_argument(chaos_parser)
 
     loadgen_parser = subparsers.add_parser(
@@ -318,6 +342,17 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen_parser.add_argument("--workload-seed", type=int, default=42)
     loadgen_parser.add_argument("--client-id", type=int, default=1000)
     loadgen_parser.add_argument("--timeout", type=float, default=5.0)
+    loadgen_parser.add_argument(
+        "--route-instances",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "leader-route each transaction to the f+1 replicas responsible "
+            "for it (pass the cluster's instance count; default: submit to "
+            "every replica)"
+        ),
+    )
     _add_wire_version_argument(loadgen_parser)
 
     bench_parser = subparsers.add_parser(
@@ -341,8 +376,8 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--pr",
         type=int,
-        default=5,
-        help="PR number recorded in the report (default: 5)",
+        default=6,
+        help="PR number recorded in the report (default: 6)",
     )
     bench_parser.add_argument(
         "--baselines",
@@ -503,6 +538,7 @@ def _parse_peers(text: str) -> list[tuple[str, int]]:
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.runtime.config import ReplicaRuntimeConfig
     from repro.runtime.server import run_server
+    from repro.runtime.transport import install_uvloop
 
     peers = _parse_peers(args.peers)
     config = ReplicaRuntimeConfig(
@@ -517,7 +553,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         send_delay=args.send_delay,
         byzantine_abstain=args.byzantine_abstain,
         wire_version=args.wire_version,
+        workers=args.workers,
     )
+    install_uvloop()
     asyncio.run(run_server(config))
     return 0
 
@@ -561,6 +599,8 @@ def _command_cluster(args: argparse.Namespace) -> int:
         workload=WorkloadConfig(num_accounts=args.accounts, seed=args.workload_seed),
         faults=faults,
         wire_version=args.wire_version,
+        transport=args.transport,
+        workers=args.workers,
     )
     cluster = LocalCluster(spec)
     cluster.start()
@@ -586,7 +626,9 @@ def _command_cluster(args: argparse.Namespace) -> int:
     try:
         deadline = None if args.duration is None else started + args.duration
         while deadline is None or _time.monotonic() < deadline:
-            _time.sleep(0.25)
+            # Event-driven supervision: wakes immediately when a child exits
+            # instead of discovering it on the next poll tick.
+            cluster.wait_for_exit(0.25)
             for event in controller.poll(_time.monotonic() - started):
                 print(f"chaos: {event.action} replica {event.replica} @ {event.at:.2f}s")
             dead = controller.unexpected_exits()
@@ -657,6 +699,8 @@ def _command_chaos(args: argparse.Namespace) -> int:
         workload=WorkloadConfig(num_accounts=args.accounts, seed=args.workload_seed),
         faults=plan,
         wire_version=args.wire_version,
+        transport=args.transport,
+        workers=args.workers,
     )
     # Submissions routed through a crashed leader's instance must outlive the
     # view change, so the client's patience scales with the detector timeout.
@@ -716,6 +760,7 @@ def plan_summary(plan) -> str:
 def _command_loadgen(args: argparse.Namespace) -> int:
     from repro.runtime.client import ClientConfig
     from repro.runtime.loadgen import LoadGenConfig, run_loadgen
+    from repro.runtime.transport import install_uvloop
 
     peers = _parse_peers(args.peers)
     config = LoadGenConfig(
@@ -732,8 +777,10 @@ def _command_loadgen(args: argparse.Namespace) -> int:
             client_id=args.client_id,
             timeout=args.timeout,
             wire_version=args.wire_version,
+            route_instances=args.route_instances,
         ),
     )
+    install_uvloop()
     report = asyncio.run(run_loadgen(peers, config))
     print(f"# loadgen [{args.mode}] against {len(peers)} replicas")
     for line in report.lines():

@@ -30,10 +30,16 @@ class Partitioner:
         if num_instances <= 0:
             raise ValueError("num_instances must be positive")
         self.num_instances = num_instances
+        #: Account universes are small and hot (every escrow check re-asks
+        #: where a payer lives), so the SHA-256 per lookup is memoized.
+        self._assign_memo: dict[str, int] = {}
 
     def assign_object(self, key: str) -> int:
         """Bucket index of an owned object (the paper's ``assign`` function)."""
-        return stable_hash(key) % self.num_instances
+        bucket = self._assign_memo.get(key)
+        if bucket is None:
+            bucket = self._assign_memo[key] = stable_hash(key) % self.num_instances
+        return bucket
 
     def buckets_for(self, tx: Transaction) -> list[int]:
         """Bucket indices a transaction must be added to."""

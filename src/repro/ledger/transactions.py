@@ -104,8 +104,16 @@ class Transaction:
         return len(self.payers()) > 1
 
     def decrement_operations(self) -> list[ObjectOperation]:
-        """All owned decremental operations (the escrow targets)."""
-        return [op for op in self.operations if op.is_owned_decrement]
+        """All owned decremental operations (the escrow targets).
+
+        Memoized: escrow checks, partitioning and validation all re-ask this
+        on the hot path, and ``operations`` is immutable after construction.
+        """
+        memo = self._decrements_memo
+        if memo is None:
+            memo = [op for op in self.operations if op.is_owned_decrement]
+            self._decrements_memo = memo
+        return memo
 
     def increment_operations(self) -> list[ObjectOperation]:
         """All incremental operations."""
@@ -128,6 +136,8 @@ class Transaction:
     # unannotated so the dataclass machinery does not treat it as a field);
     # the instance attribute shadows it after the first access.
     _digest_memo = None
+    # Same pattern for the owned-decrement slice of ``operations``.
+    _decrements_memo = None
 
     def digest_fields(self) -> dict[str, Any]:
         """Canonical fields for hashing."""

@@ -5,11 +5,15 @@ This package hosts the same consensus code the simulator runs — the
 behind a real asyncio TCP transport, turning the reproduction into a system
 that serves actual network traffic:
 
-* :mod:`repro.runtime.codec` — versioned, canonical-JSON wire codec for every
-  cluster and PBFT message type;
-* :mod:`repro.runtime.framing` — length-prefixed frame I/O;
+* :mod:`repro.runtime.codec` — versioned wire codec (canonical JSON, binary,
+  batched super-frames) for every cluster and PBFT message type;
+* :mod:`repro.runtime.framing` — length-prefixed frame I/O, batched
+  :class:`FrameReader` and super-frame packing;
 * :mod:`repro.runtime.transport` — :class:`AsyncioTransport`, the live
-  implementation of :class:`~repro.net.transport.NodeTransport`;
+  implementation of :class:`~repro.net.transport.NodeTransport` (TCP or Unix
+  domain sockets, coalesced writes);
+* :mod:`repro.runtime.workers` — batched crypto/codec offload onto a worker
+  process pool, with a same-process fallback;
 * :mod:`repro.runtime.server` — :class:`ReplicaServer`, one OS process per
   replica;
 * :mod:`repro.runtime.client` — :class:`OrthrusClient`, an async client with
@@ -38,18 +42,29 @@ from repro.runtime.client import ClientConfig, OrthrusClient, TxResult
 from repro.runtime.cluster import ClusterSpec, LocalCluster
 from repro.runtime.codec import (
     WIRE_VERSION,
+    WIRE_VERSION_BATCH,
     WireCodecError,
     decode_envelope,
+    decode_envelopes,
     decode_payload,
     encode_envelope,
     encode_payload,
     wire_tags,
 )
 from repro.runtime.config import ReplicaRuntimeConfig
-from repro.runtime.framing import FrameError, read_frame, write_frame
+from repro.runtime.framing import (
+    FrameError,
+    FrameReader,
+    encode_super_frame,
+    is_super_frame,
+    read_frame,
+    split_super_frame,
+    write_frame,
+)
 from repro.runtime.loadgen import LoadGenConfig, LoadGenerator, LoadReport
 from repro.runtime.server import ReplicaServer
-from repro.runtime.transport import AsyncioTransport
+from repro.runtime.transport import AsyncioTransport, install_uvloop
+from repro.runtime.workers import InlineWorkers, WorkerPool, make_worker_pool
 
 __all__ = [
     "AsyncioTransport",
@@ -62,6 +77,8 @@ __all__ = [
     "fault_plan_to_json",
     "run_chaos",
     "FrameError",
+    "FrameReader",
+    "InlineWorkers",
     "LoadGenConfig",
     "LoadGenerator",
     "LoadReport",
@@ -71,12 +88,20 @@ __all__ = [
     "ReplicaServer",
     "TxResult",
     "WIRE_VERSION",
+    "WIRE_VERSION_BATCH",
     "WireCodecError",
+    "WorkerPool",
     "decode_envelope",
+    "decode_envelopes",
     "decode_payload",
     "encode_envelope",
     "encode_payload",
+    "encode_super_frame",
+    "install_uvloop",
+    "is_super_frame",
+    "make_worker_pool",
     "read_frame",
+    "split_super_frame",
     "wire_tags",
     "write_frame",
 ]

@@ -22,15 +22,29 @@ from repro.runtime.codec import (
     DEFAULT_WIRE_VERSION,
     SUPPORTED_WIRE_VERSIONS,
     WIRE_VERSION,
+    WIRE_VERSION_BATCH,
     WireCodecError,
-    decode_envelope,
+    decode_envelopes,
     encode_envelope,
 )
 from repro.runtime.config import parse_endpoint
 from repro.runtime.control import Hello, ShutdownRequest, StatusReply, StatusRequest
-from repro.runtime.framing import FrameError, encode_frame, read_frame, write_frame
+from repro.runtime.framing import (
+    FrameError,
+    FrameReader,
+    encode_frame,
+    encode_super_frame,
+    write_frame,
+)
+from repro.runtime.transport import connect_endpoint
 
 logger = logging.getLogger(__name__)
+
+#: Simultaneous connection attempts while dialling a cluster.
+CONNECT_CONCURRENCY = 64
+
+#: Simultaneous in-flight status probes per ``cluster_status`` call.
+STATUS_PROBE_CONCURRENCY = 16
 
 
 class ClientError(NetworkError):
@@ -66,6 +80,16 @@ class ClientConfig:
             negotiated down to ``min(ours, theirs)`` via the hello exchange;
             requests sent before a replica's hello arrives use canonical
             JSON, which every version decodes.
+        route_instances: Number of SB instances the cluster runs.  When set,
+            first transmissions are *leader-routed*: each transaction goes to
+            the view-0 leaders of its payer buckets (the same stable-hash
+            partitioning the replicas use), topped up to a reply quorum of
+            ``f + 1`` replicas — instead of to all ``fanout`` replicas.  Only
+            replicas that received the request directly answer the client, so
+            the quorum still forms while every other replica is spared the
+            request decode.  Retransmissions always fall back to the full
+            fanout, which keeps submissions live across view changes and
+            crashed leaders (at the cost of one timeout).  Default off.
     """
 
     client_id: int = 1000
@@ -73,10 +97,17 @@ class ClientConfig:
     timeout: float = 5.0
     retries: int = 2
     wire_version: int | None = None
+    route_instances: int | None = None
 
 
 class _PendingTx:
-    """Reply-matching state for one in-flight transaction."""
+    """Reply-matching state for one in-flight transaction.
+
+    Timeouts are enforced by one shared sweeper task scanning deadlines (see
+    :meth:`OrthrusClient._sweep_timeouts`), not a watcher task per
+    submission — at thousands of transactions in flight, per-tx tasks cost
+    more scheduler work than the submissions themselves.
+    """
 
     __slots__ = (
         "future",
@@ -84,16 +115,20 @@ class _PendingTx:
         "confirmed_at",
         "submitted_at",
         "retries",
-        "watcher",
+        "deadline",
+        "tx",
     )
 
-    def __init__(self, future: asyncio.Future, submitted_at: float) -> None:
+    def __init__(
+        self, future: asyncio.Future, tx: Transaction, deadline: float
+    ) -> None:
         self.future = future
         self.replies: dict[int, bool] = {}
         self.confirmed_at: dict[int, float | None] = {}
-        self.submitted_at = submitted_at
+        self.submitted_at = tx.submitted_at
         self.retries = 0
-        self.watcher: asyncio.Task[None] | None = None
+        self.deadline = deadline
+        self.tx = tx
 
 
 class OrthrusClient:
@@ -125,9 +160,19 @@ class OrthrusClient:
         self.fault_tolerance = (len(self.replicas) - 1) // 3
         self.reply_quorum = self.fault_tolerance + 1
         self.fanout = self.config.fanout or len(self.replicas)
+        self._partitioner = None
+        if self.config.route_instances:
+            from repro.core.partition import PayerPartitioner
+
+            self._partitioner = PayerPartitioner(self.config.route_instances)
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._readers: list[asyncio.Task[None]] = []
         self._pending: dict[str, _PendingTx] = {}
+        #: Request frames queued per replica, flushed once per loop iteration
+        #: (a pipelined burst coalesces into one write — and one super-frame
+        #: for v3 replicas).
+        self._out_pending: dict[int, list[bytes]] = {}
+        self._sweeper: asyncio.Task[None] | None = None
         self._status_waiters: dict[int, asyncio.Future[StatusReply]] = {}
         self._nonces = itertools.count(1)
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -143,6 +188,10 @@ class OrthrusClient:
     async def connect(self, *, require_all: bool = True) -> None:
         """Open a connection to every replica and start reader tasks.
 
+        Connections are dialled concurrently (bounded by
+        ``CONNECT_CONCURRENCY``) — serially, a 100-replica cluster would pay
+        one round-trip per replica before the first transaction could move.
+
         With ``require_all=False``, replicas that refuse the connection (for
         example crashed by a fault plan before the client arrived) are
         skipped as long as a reply quorum of ``f + 1`` remains reachable.
@@ -153,16 +202,33 @@ class OrthrusClient:
             self.config.client_id,
             Hello(self.config.client_id, role="client", wire_version=self.wire_version),
         )
+        semaphore = asyncio.Semaphore(CONNECT_CONCURRENCY)
+
+        async def dial(replica_id: int, endpoint: tuple[str, int]):
+            async with semaphore:
+                reader, writer = await connect_endpoint(endpoint)
+                await write_frame(writer, hello)
+                return replica_id, reader, writer
+
+        results = await asyncio.gather(
+            *(dial(i, endpoint) for i, endpoint in enumerate(self.replicas)),
+            return_exceptions=True,
+        )
         unreachable: list[int] = []
-        for replica_id, (host, port) in enumerate(self.replicas):
-            try:
-                reader, writer = await asyncio.open_connection(host, port)
-            except OSError:
-                if require_all:
-                    raise
+        opened: list[tuple[int, asyncio.StreamReader, asyncio.StreamWriter]] = []
+        for replica_id, result in enumerate(results):
+            if isinstance(result, BaseException):
+                if not isinstance(result, OSError):
+                    raise result
                 unreachable.append(replica_id)
-                continue
-            await write_frame(writer, hello)
+            else:
+                opened.append(result)
+        if unreachable and require_all:
+            for _, _, writer in opened:
+                writer.close()
+            # Preserve the serial-connect contract: the dial failure itself.
+            raise next(r for r in results if isinstance(r, OSError))
+        for replica_id, reader, writer in opened:
             self._writers[replica_id] = writer
             self._readers.append(
                 self._loop.create_task(self._read_replies(replica_id, reader))
@@ -176,24 +242,30 @@ class OrthrusClient:
             )
 
     async def close(self) -> None:
-        """Stop readers and watchdogs, fail in-flight futures, close sockets."""
+        """Stop readers and the timeout sweeper, fail in-flight futures,
+        close sockets."""
         self._closed = True
-        for task in self._readers:
+        tasks = list(self._readers)
+        if self._sweeper is not None:
+            tasks.append(self._sweeper)
+            self._sweeper = None
+        for task in tasks:
             task.cancel()
-        await asyncio.gather(*self._readers, return_exceptions=True)
+        await asyncio.gather(*tasks, return_exceptions=True)
         self._readers.clear()
         for pending in list(self._pending.values()):
-            if pending.watcher is not None:
-                pending.watcher.cancel()
             if not pending.future.done():
                 pending.future.set_exception(ClientError("client closed"))
         self._pending.clear()
+        self._out_pending.clear()
         for writer in self._writers.values():
             writer.close()
         self._writers.clear()
 
     async def flush(self) -> None:
         """Drain every connection's send buffer (flow control for bursts)."""
+        for replica_id in list(self._out_pending):
+            self._flush_out(replica_id)
         for writer in list(self._writers.values()):
             if not writer.is_closing():
                 try:
@@ -221,11 +293,11 @@ class OrthrusClient:
             raise ClientError(f"transaction {tx.tx_id} is already in flight")
         future: asyncio.Future[TxResult] = self._loop.create_future()
         tx.submitted_at = self._loop.time()
-        pending = _PendingTx(future, tx.submitted_at)
+        pending = _PendingTx(future, tx, tx.submitted_at + self.config.timeout)
         self._pending[tx.tx_id] = pending
         self.submitted += 1
         self._transmit(tx)
-        pending.watcher = self._loop.create_task(self._watch_timeout(tx))
+        self._ensure_sweeper()
         return future
 
     def _version_for(self, replica_id: int) -> int:
@@ -233,11 +305,40 @@ class OrthrusClient:
             self.wire_version, self._replica_versions.get(replica_id, WIRE_VERSION)
         )
 
-    def _transmit(self, tx: Transaction) -> None:
+    def _route_targets(self, tx: Transaction) -> list[tuple[int, object]] | None:
+        """Pick the view-0 bucket leaders for ``tx``, topped up to a quorum.
+
+        Returns ``None`` when routing cannot guarantee a reply quorum (a
+        routed leader is disconnected, or fewer than ``f + 1`` distinct
+        replicas are reachable) — the caller then broadcasts instead.
+        """
+        assert self._partitioner is not None
+        num_replicas = len(self.replicas)
+        targets = {bucket % num_replicas for bucket in self._partitioner.buckets_for(tx)}
+        # Top up with the replicas that follow the first leader so exactly
+        # f + 1 replicas see the request and answer — the smallest set that
+        # can still produce f + 1 matching replies.
+        cursor = (min(targets) + 1) % num_replicas
+        while len(targets) < self.reply_quorum:
+            targets.add(cursor)
+            cursor = (cursor + 1) % num_replicas
+        picked = []
+        for replica_id in sorted(targets):
+            writer = self._writers.get(replica_id)
+            if writer is None or writer.is_closing():
+                return None
+            picked.append((replica_id, writer))
+        return picked
+
+    def _transmit(self, tx: Transaction, *, broadcast: bool = False) -> None:
         request = ClientRequest(tx=tx, client_node=self.config.client_id)
         # One encoding per distinct negotiated version (normally exactly one).
         frames: dict[int, bytes] = {}
-        targets = list(self._writers.items())[: self.fanout]
+        targets = None
+        if self._partitioner is not None and not broadcast:
+            targets = self._route_targets(tx)
+        if targets is None:
+            targets = list(self._writers.items())[: self.fanout]
         for replica_id, writer in targets:
             if writer.is_closing():
                 continue
@@ -247,71 +348,120 @@ class OrthrusClient:
                 frame = frames[version] = encode_envelope(
                     self.config.client_id, request, version=version
                 )
-            writer.write(encode_frame(frame))
+            self._queue_frame(replica_id, frame)
 
-    async def _watch_timeout(self, tx: Transaction) -> None:
-        """Retransmit on timeout; fail the future once retries are exhausted.
+    def _queue_frame(self, replica_id: int, frame: bytes) -> None:
+        # Defer the write one loop iteration so a pipelined burst of
+        # submissions coalesces into one write per replica.
+        pending = self._out_pending.get(replica_id)
+        if pending is None:
+            self._out_pending[replica_id] = [frame]
+            assert self._loop is not None
+            self._loop.call_soon(self._flush_out, replica_id)
+        else:
+            pending.append(frame)
 
-        Cancelled by :meth:`_record_reply` as soon as the quorum resolves, so
-        finished submissions leave no sleeping task behind.
+    def _flush_out(self, replica_id: int) -> None:
+        frames = self._out_pending.pop(replica_id, None)
+        if not frames or self._closed:
+            return
+        writer = self._writers.get(replica_id)
+        if writer is None or writer.is_closing():
+            return
+        if len(frames) > 1 and self._version_for(replica_id) >= WIRE_VERSION_BATCH:
+            writer.write(encode_frame(encode_super_frame(frames)))
+        else:
+            writer.write(b"".join(map(encode_frame, frames)))
+
+    # -- timeouts -------------------------------------------------------------
+
+    def _ensure_sweeper(self) -> None:
+        if self._sweeper is None or self._sweeper.done():
+            assert self._loop is not None
+            self._sweeper = self._loop.create_task(self._sweep_timeouts())
+
+    async def _sweep_timeouts(self) -> None:
+        """Retransmit overdue submissions; fail them once retries run out.
+
+        One task scans every pending deadline a few times per timeout
+        period.  The scan is O(pending), but it replaces one sleeping task
+        per in-flight transaction; the sweeper exits when nothing is pending
+        and is re-created by the next submission.
         """
-        while True:
-            await asyncio.sleep(self.config.timeout)
-            pending = self._pending.get(tx.tx_id)
-            if pending is None or pending.future.done():
-                return
-            if pending.retries >= self.config.retries:
-                self._pending.pop(tx.tx_id, None)
-                self.failed += 1
-                if not pending.future.done():
-                    pending.future.set_exception(
-                        ClientError(
-                            f"no reply quorum for {tx.tx_id} after "
-                            f"{pending.retries} retries"
+        assert self._loop is not None
+        interval = max(0.02, min(0.25, self.config.timeout / 4))
+        try:
+            while not self._closed and self._pending:
+                await asyncio.sleep(interval)
+                now = self._loop.time()
+                for tx_id, pending in list(self._pending.items()):
+                    if pending.future.done() or pending.deadline > now:
+                        continue
+                    if pending.retries >= self.config.retries:
+                        self._pending.pop(tx_id, None)
+                        self.failed += 1
+                        pending.future.set_exception(
+                            ClientError(
+                                f"no reply quorum for {tx_id} after "
+                                f"{pending.retries} retries"
+                            )
                         )
-                    )
-                return
-            pending.retries += 1
-            self.retransmissions += 1
-            self._transmit(tx)
+                        continue
+                    pending.retries += 1
+                    pending.deadline = now + self.config.timeout
+                    self.retransmissions += 1
+                    # Retransmissions broadcast even when routing is on: the
+                    # routed leaders may have crashed or been demoted by a
+                    # view change since the first attempt.
+                    self._transmit(pending.tx, broadcast=True)
+        finally:
+            self._sweeper = None
 
     # -- replies --------------------------------------------------------------
 
     async def _read_replies(self, replica_id: int, reader: asyncio.StreamReader) -> None:
+        frames = FrameReader(reader)
         try:
             while True:
-                frame = await read_frame(reader)
-                if frame is None:
+                payloads = await frames.read_batch()
+                if payloads is None:
                     break
-                try:
-                    _, message = decode_envelope(frame)
-                except WireCodecError as exc:
-                    logger.warning("client dropping frame from %d: %s", replica_id, exc)
-                    continue
-                if isinstance(message, Hello):
-                    # The replica's answering hello: upgrade this connection
-                    # to min(our version, theirs) for subsequent requests.
-                    self._replica_versions[replica_id] = message.wire_version
-                    continue
-                if isinstance(message, StatusReply):
-                    waiter = self._status_waiters.pop(message.nonce, None)
-                    if waiter is not None and not waiter.done():
-                        waiter.set_result(message)
-                    continue
-                tx_id = getattr(message, "tx_id", None)
-                if tx_id is None:
-                    continue
-                self._record_reply(
-                    tx_id,
-                    message.replica,
-                    message.committed,
-                    getattr(message, "confirmed_at", None),
-                )
+                for payload in payloads:
+                    try:
+                        entries = decode_envelopes(payload)
+                    except WireCodecError as exc:
+                        logger.warning(
+                            "client dropping frame from %d: %s", replica_id, exc
+                        )
+                        continue
+                    for _, message in entries:
+                        self._handle_reply(replica_id, message)
         except (FrameError, ConnectionError, OSError, asyncio.CancelledError) as exc:
             if isinstance(exc, asyncio.CancelledError):
                 raise
             if not self._closed:
                 logger.debug("client lost replica %d: %s", replica_id, exc)
+
+    def _handle_reply(self, replica_id: int, message) -> None:
+        if isinstance(message, Hello):
+            # The replica's answering hello: upgrade this connection
+            # to min(our version, theirs) for subsequent requests.
+            self._replica_versions[replica_id] = message.wire_version
+            return
+        if isinstance(message, StatusReply):
+            waiter = self._status_waiters.pop(message.nonce, None)
+            if waiter is not None and not waiter.done():
+                waiter.set_result(message)
+            return
+        tx_id = getattr(message, "tx_id", None)
+        if tx_id is None:
+            return
+        self._record_reply(
+            tx_id,
+            message.replica,
+            message.committed,
+            getattr(message, "confirmed_at", None),
+        )
 
     def _record_reply(
         self,
@@ -332,8 +482,6 @@ class OrthrusClient:
                 assert self._loop is not None
                 del self._pending[tx_id]
                 self.completed += 1
-                if pending.watcher is not None:
-                    pending.watcher.cancel()
                 stamps = [
                     pending.confirmed_at[r]
                     for r in matching
@@ -376,16 +524,30 @@ class OrthrusClient:
             self._status_waiters.pop(nonce, None)
             raise ClientError(f"status request to replica {replica_id} timed out")
 
-    async def cluster_status(self, *, require_all: bool = False) -> list[StatusReply]:
-        """Query every connected replica.
+    async def cluster_status(
+        self,
+        *,
+        require_all: bool = False,
+        concurrency: int = STATUS_PROBE_CONCURRENCY,
+    ) -> list[StatusReply]:
+        """Query every connected replica (bounded-concurrency gather).
 
         By default replicas that died since connecting are skipped — during
         fault injection the interesting answer is the *survivors'* state.
         ``require_all=True`` restores the strict behaviour and raises on the
-        first unreachable replica.
+        first unreachable replica.  ``concurrency`` bounds the in-flight
+        probes: all replicas are always queried, but at most this many waits
+        are outstanding at once, so a 100-replica settle probe neither runs
+        serially nor bursts 100 simultaneous timers.
         """
+        semaphore = asyncio.Semaphore(max(1, concurrency))
+
+        async def probe(replica_id: int) -> StatusReply:
+            async with semaphore:
+                return await self.status(replica_id)
+
         results = await asyncio.gather(
-            *(self.status(replica_id) for replica_id in list(self._writers)),
+            *(probe(replica_id) for replica_id in list(self._writers)),
             return_exceptions=True,
         )
         statuses = [reply for reply in results if isinstance(reply, StatusReply)]

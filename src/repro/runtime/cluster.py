@@ -1,23 +1,36 @@
 """Spawn and supervise a local live cluster as real OS processes.
 
 :class:`LocalCluster` launches one ``repro serve`` subprocess per replica on
-localhost (free ports picked automatically), waits for every listen socket to
-accept, and supervises the fleet: a replica that exits unexpectedly is
-reported.  Shutdown is graceful-first (a control-plane shutdown frame), then
-SIGTERM, then SIGKILL.
+localhost, waits for every listen socket to accept, and supervises the
+fleet.  Scale-sensitive paths are engineered for ~100-replica runs:
 
-Configured with explicit hosts, the same ``repro serve`` flags deploy the
-cluster across machines; this class only automates the localhost case.
+* listen ports are reserved *in one batch* (all probe sockets held open
+  until just before each child binds), not picked one retry-looped probe at
+  a time — the one-port-at-a-time TOCTOU window thrashes at high counts;
+* readiness is probed in parallel across replicas instead of serially;
+* exits are observed by per-process watcher threads feeding one event, so a
+  supervisor blocks in :meth:`wait_for_exit` instead of polling every
+  process on a timer;
+* ``transport="uds"`` puts every endpoint on a Unix domain socket under a
+  private temp directory, skipping the TCP/IP stack for co-located replicas.
+
+Shutdown is graceful-first (a control-plane shutdown frame), then SIGTERM,
+then SIGKILL.  Configured with explicit hosts, the same ``repro serve``
+flags deploy the cluster across machines; this class only automates the
+localhost case.
 """
 
 from __future__ import annotations
 
 import os
+import shutil
 import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -28,7 +41,12 @@ from repro.runtime.chaos import (
     send_delay_for,
     validate_fault_plan,
 )
-from repro.runtime.config import ReplicaRuntimeConfig, format_endpoint
+from repro.runtime.config import (
+    ReplicaRuntimeConfig,
+    format_endpoint,
+    is_uds_endpoint,
+    uds_path,
+)
 from repro.workload.config import WorkloadConfig
 
 
@@ -37,6 +55,30 @@ def free_port(host: str = "127.0.0.1") -> int:
     with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
         probe.bind((host, 0))
         return probe.getsockname()[1]
+
+
+def reserve_free_ports(count: int, host: str = "127.0.0.1") -> list[socket.socket]:
+    """Reserve ``count`` distinct free ports, returning the bound sockets.
+
+    All sockets are held open simultaneously, so the OS cannot hand the same
+    port out twice; the caller closes each socket immediately before the
+    process that will reuse its port binds, shrinking the reuse race to
+    microseconds (vs. the whole startup window when ports are probed one at
+    a time).  ``SO_REUSEADDR`` lets the successor bind without waiting out
+    the probe socket's teardown.
+    """
+    sockets: list[socket.socket] = []
+    try:
+        for _ in range(count):
+            probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            probe.bind((host, 0))
+            sockets.append(probe)
+    except OSError:
+        for probe in sockets:
+            probe.close()
+        raise
+    return sockets
 
 
 @dataclass
@@ -59,15 +101,29 @@ class ClusterSpec:
     #: restarts are executed by a :class:`~repro.runtime.chaos.ChaosController`.
     faults: FaultPlan = field(default_factory=FaultPlan.none)
     #: Highest wire version the replicas speak (``None`` = codec default,
-    #: struct-packed binary; ``1`` pins the cluster to canonical JSON).
+    #: batched binary framing; ``1`` pins the cluster to canonical JSON).
     wire_version: int | None = None
+    #: ``"tcp"`` (default) or ``"uds"`` — Unix domain sockets under a
+    #: private temp directory, for co-located replicas.
+    transport: str = "tcp"
+    #: Crypto/codec worker processes per replica (0 = inline).
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.num_replicas < 4:
             raise ExperimentError("live clusters need at least 4 replicas")
+        if self.transport not in ("tcp", "uds"):
+            raise ExperimentError(f"unknown cluster transport {self.transport!r}")
+        if self.workers < 0:
+            raise ExperimentError("workers cannot be negative")
         validate_fault_plan(self.faults, self.num_replicas)
 
     def endpoints(self) -> tuple[tuple[str, int], ...]:
+        """TCP endpoints from ``base_port`` (or one-shot free-port picks).
+
+        :class:`LocalCluster` does not call this on the automatic-port path —
+        it batch-reserves instead (see :func:`reserve_free_ports`).
+        """
         if self.base_port is not None:
             return tuple(
                 (self.host, self.base_port + index)
@@ -81,10 +137,47 @@ class LocalCluster:
 
     def __init__(self, spec: ClusterSpec | None = None) -> None:
         self.spec = spec or ClusterSpec()
-        self.endpoints: tuple[tuple[str, int], ...] = self.spec.endpoints()
         self.processes: list[subprocess.Popen] = []
         self._stderr_logs: list[Path] = []
         self._retired_logs: list[Path] = []
+        self._socket_dir: Path | None = None
+        self._reserved: list[socket.socket | None] = []
+        #: Exit bookkeeping fed by one watcher thread per child process.
+        self._exit_lock = threading.Lock()
+        self._exits: dict[int, subprocess.Popen] = {}
+        self._exit_event = threading.Event()
+        self._watchers: list[threading.Thread] = []
+        self.endpoints: tuple[tuple[str, int], ...] = self._pick_endpoints()
+
+    # -- endpoint selection ---------------------------------------------------
+
+    def _pick_endpoints(self) -> tuple[tuple[str, int], ...]:
+        spec = self.spec
+        if spec.transport == "uds":
+            if self._socket_dir is None:
+                self._socket_dir = Path(tempfile.mkdtemp(prefix="repro-uds-"))
+            return tuple(
+                (f"unix:{self._socket_dir / f'replica-{index}.sock'}", 0)
+                for index in range(spec.num_replicas)
+            )
+        if spec.base_port is not None:
+            return spec.endpoints()
+        self._release_reserved()
+        self._reserved = list(reserve_free_ports(spec.num_replicas, spec.host))
+        return tuple(
+            (spec.host, probe.getsockname()[1]) for probe in self._reserved
+        )
+
+    def _release_reserved(self, index: int | None = None) -> None:
+        if index is not None:
+            if index < len(self._reserved) and self._reserved[index] is not None:
+                self._reserved[index].close()
+                self._reserved[index] = None
+            return
+        for probe in self._reserved:
+            if probe is not None:
+                probe.close()
+        self._reserved = []
 
     # -- configuration ------------------------------------------------------
 
@@ -103,6 +196,7 @@ class LocalCluster:
             byzantine_abstain=replica_id
             in abstaining_replicas(self.spec.faults, self.spec.num_replicas),
             wire_version=self.spec.wire_version,
+            workers=self.spec.workers,
         )
 
     def serve_command(self, replica_id: int) -> list[str]:
@@ -139,6 +233,8 @@ class LocalCluster:
             command += ["--byzantine-abstain"]
         if spec.wire_version is not None:
             command += ["--wire-version", str(spec.wire_version)]
+        if spec.workers > 0:
+            command += ["--workers", str(spec.workers)]
         return command
 
     # -- lifecycle -----------------------------------------------------------
@@ -146,16 +242,20 @@ class LocalCluster:
     def start(self, *, ready_timeout: float = 20.0, attempts: int = 3) -> None:
         """Spawn every replica and wait until all listen sockets accept.
 
-        Automatically chosen ports are inherently racy (the probe socket is
-        closed before the child binds), so startup failures are retried with
-        freshly picked ports up to ``attempts`` times.
+        Even batch-reserved ports leave a microscopic reuse window between
+        releasing a reservation and the child binding, so startup failures
+        are still retried with freshly reserved ports up to ``attempts``
+        times.
         """
         if self.processes:
             raise ExperimentError("cluster is already running")
+        if self.spec.transport == "uds" and self._socket_dir is None:
+            # A previous stop() removed the socket directory.
+            self.endpoints = self._pick_endpoints()
         last_error: Exception | None = None
         for attempt in range(max(1, attempts)):
-            if attempt > 0 and self.spec.base_port is None:
-                self.endpoints = self.spec.endpoints()
+            if attempt > 0:
+                self.endpoints = self._pick_endpoints()
             try:
                 self._spawn()
                 self._wait_ready(ready_timeout)
@@ -185,6 +285,8 @@ class LocalCluster:
         # the run, so a chatty replica would fill it and block inside a
         # logging write.  The file is read back for diagnostics.
         log = Path(tempfile.mkstemp(prefix=f"repro-replica-{replica_id}-")[1])
+        # Release this replica's port reservation at the last moment.
+        self._release_reserved(replica_id)
         with log.open("wb") as stderr_sink:
             process = subprocess.Popen(
                 self.serve_command(replica_id),
@@ -192,37 +294,102 @@ class LocalCluster:
                 stderr=stderr_sink,
                 env=env,
             )
+        self._watch(replica_id, process)
         return process, log
 
+    def _watch(self, replica_id: int, process: subprocess.Popen) -> None:
+        """Start a thread that records the process's exit and sets the event."""
+
+        def wait_for_process() -> None:
+            try:
+                process.wait()
+            except Exception:  # pragma: no cover - teardown races
+                return
+            with self._exit_lock:
+                self._exits[replica_id] = process
+            self._exit_event.set()
+
+        watcher = threading.Thread(
+            target=wait_for_process,
+            name=f"repro-exit-watch-{replica_id}",
+            daemon=True,
+        )
+        watcher.start()
+        self._watchers.append(watcher)
+
     def _wait_ready(self, timeout: float) -> None:
+        """Probe every replica's listen endpoint until all accept (parallel)."""
         deadline = time.monotonic() + timeout
-        for index, (host, port) in enumerate(self.endpoints):
-            while True:
-                process = self.processes[index]
-                if process.poll() is not None:
+        abort = threading.Event()
+        max_workers = min(32, max(1, self.spec.num_replicas))
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(self._wait_endpoint, index, deadline, abort)
+                for index in range(len(self.endpoints))
+            ]
+            try:
+                for future in as_completed(futures):
+                    future.result()
+            finally:
+                abort.set()
+
+    def _wait_endpoint(
+        self, index: int, deadline: float, abort: threading.Event
+    ) -> None:
+        endpoint = self.endpoints[index]
+        while not abort.is_set():
+            process = self.processes[index]
+            if process.poll() is not None:
+                raise ExperimentError(
+                    f"replica {index} exited during startup "
+                    f"(code {process.returncode}): "
+                    f"{self.replica_stderr(index).strip()[-2000:]}"
+                )
+            try:
+                if is_uds_endpoint(endpoint):
+                    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as probe:
+                        probe.settimeout(0.25)
+                        probe.connect(uds_path(endpoint))
+                else:
+                    with socket.create_connection(endpoint, timeout=0.25):
+                        pass
+                return
+            except OSError:
+                if time.monotonic() > deadline:
                     raise ExperimentError(
-                        f"replica {index} exited during startup "
-                        f"(code {process.returncode}): "
-                        f"{self.replica_stderr(index).strip()[-2000:]}"
-                    )
-                try:
-                    with socket.create_connection((host, port), timeout=0.25):
-                        break
-                except OSError:
-                    if time.monotonic() > deadline:
-                        raise ExperimentError(
-                            f"replica {index} did not open {host}:{port} "
-                            f"within {timeout}s"
-                        ) from None
-                    time.sleep(0.05)
+                        f"replica {index} did not open "
+                        f"{format_endpoint(endpoint)} within the ready timeout"
+                    ) from None
+                time.sleep(0.05)
 
     def check(self) -> list[int]:
         """Ids of replicas whose processes have exited (healthy: empty)."""
-        return [
+        with self._exit_lock:
+            recorded = {
+                replica_id
+                for replica_id, process in self._exits.items()
+                if replica_id < len(self.processes)
+                and self.processes[replica_id] is process
+            }
+        # Belt and braces: a watcher that has not run yet must not hide a
+        # death from a caller who asks right now.
+        recorded.update(
             index
             for index, process in enumerate(self.processes)
             if process.poll() is not None
-        ]
+        )
+        return sorted(recorded)
+
+    def wait_for_exit(self, timeout: float) -> list[int]:
+        """Block until some replica exits (or ``timeout`` passes).
+
+        Event-driven supervision: watcher threads flag exits the moment
+        ``waitpid`` returns, so a supervisor sleeps here instead of polling
+        every process on a timer.  Returns :meth:`check`.
+        """
+        self._exit_event.wait(timeout)
+        self._exit_event.clear()
+        return self.check()
 
     # -- fault injection -----------------------------------------------------
 
@@ -254,6 +421,8 @@ class LocalCluster:
         if self.processes[replica_id].poll() is None:
             raise ExperimentError(f"replica {replica_id} is still running")
         process, log = self._spawn_replica(replica_id)
+        with self._exit_lock:
+            self._exits.pop(replica_id, None)
         self.processes[replica_id] = process
         # Retire (but keep for cleanup) the pre-crash log; diagnostics now
         # read the restarted process's log at the replica's index.
@@ -281,6 +450,13 @@ class LocalCluster:
                 process.kill()
                 process.wait(timeout=5.0)
         self.processes.clear()
+        for watcher in self._watchers:
+            watcher.join(timeout=1.0)
+        self._watchers.clear()
+        with self._exit_lock:
+            self._exits.clear()
+        self._exit_event.clear()
+        self._release_reserved()
         for log in self._stderr_logs + self._retired_logs:
             try:
                 log.unlink()
@@ -288,6 +464,9 @@ class LocalCluster:
                 pass
         self._stderr_logs.clear()
         self._retired_logs.clear()
+        if self._socket_dir is not None:
+            shutil.rmtree(self._socket_dir, ignore_errors=True)
+            self._socket_dir = None
 
     def __enter__(self) -> "LocalCluster":
         self.start()

@@ -43,6 +43,7 @@ from typing import Any, Callable
 
 from repro.cluster.messages import ClientReply, ClientRequest
 from repro.errors import NetworkError
+from repro.runtime.framing import SUPER_FRAME_MAGIC, FrameError, split_super_frame
 from repro.ledger.blocks import Block, SystemState
 from repro.ledger.objects import ObjectOperation, ObjectType, OperationKind
 from repro.ledger.transactions import Transaction, TransactionType
@@ -62,11 +63,19 @@ WIRE_VERSION = 1
 #: Struct-packed binary wire version.
 WIRE_VERSION_BINARY = 2
 
+#: Batched-framing wire version.  A v3 envelope is byte-identical to a v2
+#: envelope; what v3 adds is the *framing-level* super-frame (see
+#: :mod:`repro.runtime.framing`), which packs many envelopes into one
+#: length-prefixed frame.  Negotiating v3 therefore only signals "you may
+#: coalesce frames to me" — the codec itself is unchanged, and a v3 node
+#: falls back to one-envelope-per-frame v2/v1 for older peers.
+WIRE_VERSION_BATCH = 3
+
 #: Versions this node can decode.
-SUPPORTED_WIRE_VERSIONS = (WIRE_VERSION, WIRE_VERSION_BINARY)
+SUPPORTED_WIRE_VERSIONS = (WIRE_VERSION, WIRE_VERSION_BINARY, WIRE_VERSION_BATCH)
 
 #: Version transports prefer when the peer advertises support for it.
-DEFAULT_WIRE_VERSION = WIRE_VERSION_BINARY
+DEFAULT_WIRE_VERSION = WIRE_VERSION_BATCH
 
 
 class WireCodecError(NetworkError):
@@ -1008,7 +1017,9 @@ def encode_envelope(
     """
     if version == WIRE_VERSION:
         return _encode_envelope_json(sender, message)
-    if version == WIRE_VERSION_BINARY:
+    if version in (WIRE_VERSION_BINARY, WIRE_VERSION_BATCH):
+        # v3 envelopes are v2 envelopes; batching happens at the framing
+        # layer, not here.
         return _encode_envelope_binary(sender, message)
     raise WireCodecError(
         f"cannot encode wire version {version!r} "
@@ -1076,3 +1087,20 @@ def decode_envelope(data: bytes) -> tuple[int, Any]:
     except (KeyError, TypeError, ValueError) as exc:
         raise WireCodecError(f"malformed envelope: {exc}") from exc
     return sender, decode_payload(tag, payload)
+
+
+def decode_envelopes(data: bytes) -> list[tuple[int, Any]]:
+    """Deserialise a frame payload into its ``(sender, message)`` pairs.
+
+    A plain envelope yields one pair; a super-frame (wire v3 framing) yields
+    one per packed envelope, in order.  Accepted regardless of this node's
+    advertised version — like v1/v2 sniffing, decoding is liberal even when
+    the local sender is pinned to an older version.
+    """
+    if data and data[0] == SUPER_FRAME_MAGIC:
+        try:
+            envelopes = split_super_frame(data)
+        except FrameError as exc:
+            raise WireCodecError(f"malformed super-frame: {exc}") from exc
+        return [decode_envelope(envelope) for envelope in envelopes]
+    return [decode_envelope(data)]

@@ -19,8 +19,21 @@ from repro.workload.accounts import AccountUniverse
 from repro.workload.config import WorkloadConfig
 
 
+#: Prefix marking a Unix-domain-socket endpoint (``unix:/path/to.sock``).
+UDS_PREFIX = "unix:"
+
+
 def parse_endpoint(text: str) -> tuple[str, int]:
-    """Parse ``host:port`` into a ``(host, port)`` pair."""
+    """Parse ``host:port`` — or ``unix:/path`` — into a ``(host, port)`` pair.
+
+    Unix-domain-socket endpoints keep the pair shape (port 0, path carried in
+    the host slot with its ``unix:`` prefix) so they flow through every
+    ``(host, port)`` signature unchanged.
+    """
+    if text.startswith(UDS_PREFIX):
+        if not text[len(UDS_PREFIX) :]:
+            raise ConfigurationError(f"endpoint {text!r} has an empty socket path")
+        return text, 0
     host, separator, port_text = text.rpartition(":")
     if not separator or not host:
         raise ConfigurationError(f"endpoint {text!r} is not host:port")
@@ -34,9 +47,21 @@ def parse_endpoint(text: str) -> tuple[str, int]:
 
 
 def format_endpoint(endpoint: tuple[str, int]) -> str:
-    """Render a ``(host, port)`` pair back to ``host:port``."""
+    """Render a ``(host, port)`` pair back to ``host:port`` (or ``unix:...``)."""
     host, port = endpoint
+    if host.startswith(UDS_PREFIX):
+        return host
     return f"{host}:{port}"
+
+
+def is_uds_endpoint(endpoint: tuple[str, int]) -> bool:
+    """Whether an endpoint pair names a Unix domain socket."""
+    return endpoint[0].startswith(UDS_PREFIX)
+
+
+def uds_path(endpoint: tuple[str, int]) -> str:
+    """The filesystem path of a Unix-domain-socket endpoint."""
+    return endpoint[0][len(UDS_PREFIX) :]
 
 
 @dataclass
@@ -62,9 +87,12 @@ class ReplicaRuntimeConfig:
             messages for every other instance (the paper's undetectable
             Byzantine abstention, Fig. 8).
         wire_version: Highest wire version this replica speaks (``None`` =
-            the codec default, struct-packed binary; ``1`` pins the node to
+            the codec default, batched binary framing; ``1`` pins the node to
             the canonical-JSON fallback).  Actual per-peer encoding is
             negotiated down through the ``hello`` handshake.
+        workers: Crypto/codec worker processes for this replica (0 = do all
+            work inline on the event loop; the right choice for small
+            clusters and single-core hosts).
     """
 
     replica_id: int
@@ -81,6 +109,7 @@ class ReplicaRuntimeConfig:
     send_delay: float = 0.0
     byzantine_abstain: bool = False
     wire_version: int | None = None
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if len(self.peers) < 4:
@@ -93,6 +122,8 @@ class ReplicaRuntimeConfig:
             raise ConfigurationError("batch_interval must be positive")
         if self.send_delay < 0:
             raise ConfigurationError("send_delay cannot be negative")
+        if self.workers < 0:
+            raise ConfigurationError("workers cannot be negative")
 
     @property
     def num_replicas(self) -> int:

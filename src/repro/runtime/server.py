@@ -3,8 +3,10 @@
 The server builds the exact consensus stack the simulator uses — a
 :class:`~repro.cluster.replica.MultiBFTReplica` wrapping an Orthrus (or
 baseline) core — and hosts it behind an
-:class:`~repro.runtime.transport.AsyncioTransport`.  Inbound TCP frames are
-decoded and fed to ``replica.receive``; the replica's own proposal loop and
+:class:`~repro.runtime.transport.AsyncioTransport`.  Inbound frames (TCP, or
+Unix domain sockets for ``unix:`` endpoints) are read in batches, decoded —
+inline, or on the configured crypto/codec worker pool for large batches —
+and fed to ``replica.receive``; the replica's own proposal loop and
 failure-detector timers run on the event loop through the transport's timer
 interface.  No consensus code is duplicated or forked for live operation.
 """
@@ -13,16 +15,24 @@ from __future__ import annotations
 
 import asyncio
 import logging
+from typing import Any
 
 from repro.cluster.messages import ClientRequest
 from repro.cluster.replica import MultiBFTReplica
 from repro.metrics.summary import MetricsCollector
 from repro.runtime.chaos import make_abstention_filter
-from repro.runtime.codec import WireCodecError, decode_envelope, encode_envelope
-from repro.runtime.config import ReplicaRuntimeConfig
+from repro.runtime.codec import WireCodecError, encode_envelope
+from repro.runtime.config import ReplicaRuntimeConfig, format_endpoint
 from repro.runtime.control import Hello, ShutdownRequest, StatusReply, StatusRequest
-from repro.runtime.framing import FrameError, read_frame, write_frame
-from repro.runtime.transport import AsyncioTransport
+from repro.runtime.framing import FrameError, FrameReader, write_frame
+from repro.runtime.transport import AsyncioTransport, start_endpoint_server
+from repro.runtime.workers import (
+    OFFLOAD_MIN_BYTES,
+    InlineWorkers,
+    WorkerPool,
+    decode_payloads,
+    make_worker_pool,
+)
 from repro.sb.pbft.endpoint import PBFTConfig
 
 logger = logging.getLogger(__name__)
@@ -36,6 +46,7 @@ class ReplicaServer:
         self.metrics = MetricsCollector()
         self.transport: AsyncioTransport | None = None
         self.replica: MultiBFTReplica | None = None
+        self.workers: WorkerPool | InlineWorkers | None = None
         self._server: asyncio.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         self._stopped = asyncio.Event()
@@ -66,16 +77,17 @@ class ReplicaServer:
             # proposing/voting in the instances it leads but silently drops
             # consensus messages for every other instance.
             self.transport.outbound_filter = make_abstention_filter(self.replica)
-        host, port = self.config.listen_endpoint
-        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        self.workers = make_worker_pool(self.config.workers)
+        endpoint = self.config.listen_endpoint
+        self._server = await start_endpoint_server(self._handle_connection, endpoint)
         self.replica.start()
         logger.info(
-            "replica %d serving on %s:%d (%s, %d instances)",
+            "replica %d serving on %s (%s, %d instances, %d workers)",
             self.config.replica_id,
-            host,
-            port,
+            format_endpoint(endpoint),
             self.config.protocol,
             self.config.instances,
+            self.workers.workers,
         )
 
     async def serve_forever(self) -> None:
@@ -102,77 +114,47 @@ class ReplicaServer:
         self._connections.clear()
         if self.transport is not None:
             await self.transport.close()
+        if self.workers is not None:
+            self.workers.close()
+            self.workers = None
 
     # -- inbound path -------------------------------------------------------
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """Read frames from one peer/client connection until EOF."""
+        """Read frames from one peer/client connection until EOF.
+
+        The read side is batched twice over: the :class:`FrameReader`
+        surfaces every frame a socket read delivered in one ``await``, and a
+        super-frame (wire v3) expands into its packed envelopes.  Large
+        batches are decoded on the worker pool, keeping the hashing/parsing
+        off the consensus event loop.
+        """
         assert self.transport is not None and self.replica is not None
         registered: int | None = None
         self._connections.add(writer)
+        frames = FrameReader(reader)
         try:
-            while True:
-                frame = await read_frame(reader)
-                if frame is None:
+            serving = True
+            while serving:
+                payloads = await frames.read_batch()
+                if payloads is None:
                     break
-                try:
-                    sender, message = decode_envelope(frame)
-                except WireCodecError as exc:
-                    logger.warning(
-                        "replica %d dropping frame: %s", self.config.replica_id, exc
-                    )
-                    continue
-                if isinstance(message, Hello):
-                    # Every hello advertises the sender's wire version; the
-                    # transport then encodes to that node at min(ours, theirs).
-                    self.transport.note_peer_version(
-                        message.node_id, message.wire_version
-                    )
-                    if message.role == "client":
-                        registered = message.node_id
-                        self.transport.register_stream(registered, writer)
-                        # Answer with our own hello so the client can upgrade
-                        # its request encoding symmetrically.
-                        await write_frame(
-                            writer,
-                            encode_envelope(
-                                self.config.replica_id,
-                                Hello(
-                                    self.config.replica_id,
-                                    role="replica",
-                                    wire_version=self.transport.wire_version,
-                                ),
-                            ),
+                for entry in await self._decode_batch(payloads):
+                    if isinstance(entry, WireCodecError):
+                        logger.warning(
+                            "replica %d dropping frame: %s",
+                            self.config.replica_id,
+                            entry,
                         )
-                    continue
-                if isinstance(message, StatusRequest):
-                    await self._send_status(writer, message.nonce, sender)
-                    continue
-                if isinstance(message, ShutdownRequest):
-                    logger.info(
-                        "replica %d shutting down: %s",
-                        self.config.replica_id,
-                        message.reason or "requested",
+                        continue
+                    sender, message = entry
+                    registered, serving = await self._dispatch(
+                        sender, message, writer, registered
                     )
-                    self.stop()
-                    break
-                # Route replies to clients over their inbound connection even
-                # without an explicit Hello (robustness for simple clients).
-                if registered is None and sender not in self.transport.peers:
-                    registered = sender
-                    self.transport.register_stream(sender, writer)
-                if (
-                    isinstance(message, ClientRequest)
-                    and message.tx.submitted_at is not None
-                ):
-                    # Client-stamped submission time (shared monotonic clock
-                    # on one host) opens the "send" stage of the breakdown.
-                    self.metrics.latency.record_submitted(
-                        message.tx.tx_id, message.tx.submitted_at
-                    )
-                self.replica.receive(sender, message)
+                    if not serving:
+                        break
         except (FrameError, ConnectionError, OSError) as exc:
             logger.debug("replica %d connection error: %s", self.config.replica_id, exc)
         finally:
@@ -180,6 +162,74 @@ class ReplicaServer:
             if registered is not None:
                 self.transport.unregister_stream(registered)
             writer.close()
+
+    async def _decode_batch(
+        self, payloads: list[bytes]
+    ) -> list[tuple[int, Any] | WireCodecError]:
+        """Decode one read's worth of frame payloads to (sender, message)."""
+        pool = self.workers
+        if (
+            pool is not None
+            and pool.workers
+            and sum(map(len, payloads)) >= OFFLOAD_MIN_BYTES
+        ):
+            return await pool.decode(payloads)
+        return decode_payloads(payloads)
+
+    async def _dispatch(
+        self,
+        sender: int,
+        message: Any,
+        writer: asyncio.StreamWriter,
+        registered: int | None,
+    ) -> tuple[int | None, bool]:
+        """Route one decoded message; returns (registered, keep serving)."""
+        assert self.transport is not None and self.replica is not None
+        if isinstance(message, Hello):
+            # Every hello advertises the sender's wire version; the
+            # transport then encodes to that node at min(ours, theirs).
+            self.transport.note_peer_version(message.node_id, message.wire_version)
+            if message.role == "client":
+                registered = message.node_id
+                self.transport.register_stream(registered, writer)
+                # Answer with our own hello so the client can upgrade
+                # its request encoding symmetrically.
+                await write_frame(
+                    writer,
+                    encode_envelope(
+                        self.config.replica_id,
+                        Hello(
+                            self.config.replica_id,
+                            role="replica",
+                            wire_version=self.transport.wire_version,
+                        ),
+                    ),
+                )
+            return registered, True
+        if isinstance(message, StatusRequest):
+            await self._send_status(writer, message.nonce, sender)
+            return registered, True
+        if isinstance(message, ShutdownRequest):
+            logger.info(
+                "replica %d shutting down: %s",
+                self.config.replica_id,
+                message.reason or "requested",
+            )
+            self.stop()
+            return registered, False
+        # Route replies to clients over their inbound connection even
+        # without an explicit Hello (robustness for simple clients).
+        if registered is None and sender not in self.transport.peers:
+            registered = sender
+            self.transport.register_stream(sender, writer)
+        if isinstance(message, ClientRequest) and message.tx.submitted_at is not None:
+            # Client-stamped submission time (shared monotonic clock
+            # on one host) opens the "send" stage of the breakdown.
+            self.metrics.latency.record_submitted(
+                message.tx.tx_id, message.tx.submitted_at
+            )
+        self.replica.receive(sender, message)
+        return registered, True
 
     async def _send_status(
         self, writer: asyncio.StreamWriter, nonce: int, requester: int

@@ -16,7 +16,13 @@ feeds advertised versions back via :meth:`note_peer_version`, and each
 destination is then encoded at ``min(own, advertised)`` — struct-packed
 binary (v2) between upgraded peers, canonical JSON for everyone else and for
 peers whose hello has not arrived yet.  ``broadcast`` encodes once per
-distinct negotiated version, not once per peer.
+distinct negotiated version, not once per peer.  Peers that negotiated v3
+additionally receive coalesced batches as *super-frames* (one length-prefixed
+frame packing many v2 envelopes, see :mod:`repro.runtime.framing`), so a
+burst costs the receiver one frame parse instead of one per message.
+
+Endpoints whose host is ``unix:<path>`` are dialled as Unix domain sockets —
+for co-located replicas this skips the TCP/IP stack entirely.
 
 Everything runs on a single event loop, so consensus callbacks are serialised
 exactly as they are under the discrete-event simulator — the state machine
@@ -27,16 +33,19 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import os
 from typing import Any, Callable
 
 from repro.runtime.codec import (
     DEFAULT_WIRE_VERSION,
     SUPPORTED_WIRE_VERSIONS,
     WIRE_VERSION,
+    WIRE_VERSION_BATCH,
     encode_envelope,
 )
+from repro.runtime.config import is_uds_endpoint, uds_path
 from repro.runtime.control import Hello
-from repro.runtime.framing import encode_frame, write_frame
+from repro.runtime.framing import encode_frame, encode_super_frame, write_frame
 
 logger = logging.getLogger(__name__)
 
@@ -55,6 +64,54 @@ WRITE_BATCH_LIMIT = 256
 #: Reconnect backoff bounds (seconds).
 RECONNECT_INITIAL = 0.05
 RECONNECT_MAX = 1.0
+
+#: Payload bytes coalesced into one super-frame at most.  Well under
+#: MAX_FRAME_BYTES so a batch of large blocks can never produce an
+#: over-length frame.
+SUPER_FRAME_BYTES_LIMIT = 8 * 1024 * 1024
+
+
+async def connect_endpoint(
+    endpoint: tuple[str, int],
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Open a stream to ``endpoint`` — TCP, or UDS for ``unix:`` hosts."""
+    if is_uds_endpoint(endpoint):
+        return await asyncio.open_unix_connection(uds_path(endpoint))
+    host, port = endpoint
+    return await asyncio.open_connection(host, port)
+
+
+async def start_endpoint_server(
+    client_connected_cb: Callable, endpoint: tuple[str, int]
+) -> asyncio.Server:
+    """Listen on ``endpoint`` — TCP, or UDS for ``unix:`` hosts."""
+    if is_uds_endpoint(endpoint):
+        path = uds_path(endpoint)
+        try:
+            os.unlink(path)  # a stale socket file would refuse the bind
+        except FileNotFoundError:
+            pass
+        return await asyncio.start_unix_server(client_connected_cb, path)
+    host, port = endpoint
+    return await asyncio.start_server(client_connected_cb, host, port)
+
+
+def install_uvloop() -> bool:
+    """Install uvloop's event-loop policy when available.
+
+    Opportunistic: the package is optional, so this is a silent no-op when it
+    is not importable.  ``REPRO_NO_UVLOOP=1`` disables it even when installed
+    (uvloop trades some debuggability and signal semantics for speed).
+    Call before ``asyncio.run``.
+    """
+    if os.environ.get("REPRO_NO_UVLOOP"):
+        return False
+    try:
+        import uvloop
+    except ImportError:
+        return False
+    uvloop.install()
+    return True
 
 
 class LiveTimer:
@@ -125,6 +182,9 @@ class AsyncioTransport:
         self._queues: dict[int, asyncio.Queue[tuple[float, bytes]]] = {}
         self._writer_tasks: dict[int, asyncio.Task[None]] = {}
         self._streams: dict[int, asyncio.StreamWriter] = {}
+        #: Frames queued towards registered (client) streams, flushed once
+        #: per loop iteration so a burst of replies coalesces.
+        self._stream_pending: dict[int, list[bytes]] = {}
         #: Highest wire version each peer advertised through its hello
         #: (absent peers conservatively get v1 canonical JSON).
         self._peer_versions: dict[int, int] = {}
@@ -137,6 +197,8 @@ class AsyncioTransport:
         #: Envelope encodings performed (a broadcast encodes once per
         #: distinct negotiated peer version, not once per destination).
         self.frames_encoded = 0
+        #: Super-frames written (each carries >= 2 logical frames).
+        self.super_frames_sent = 0
 
     # -- clock --------------------------------------------------------------
 
@@ -252,18 +314,40 @@ class AsyncioTransport:
             queue.put_nowait((due, frame))
 
     def _write_to_stream(self, destination: int, frame: bytes) -> None:
+        # Defer the actual write one loop iteration: every reply generated
+        # by the current callback burst lands in one flush (and, for v3
+        # clients, one super-frame) instead of one syscall per reply.
+        pending = self._stream_pending.get(destination)
+        if pending is None:
+            self._stream_pending[destination] = [frame]
+            self._loop.call_soon(self._flush_stream, destination)
+        else:
+            pending.append(frame)
+
+    def _flush_stream(self, destination: int) -> None:
+        frames = self._stream_pending.pop(destination, None)
+        if not frames or self._closed:
+            return
         writer = self._streams.get(destination)
         if writer is None or writer.is_closing():
             self._streams.pop(destination, None)
-            self.frames_dropped += 1
+            self.frames_dropped += len(frames)
             return
         if writer.transport.get_write_buffer_size() > STREAM_BUFFER_LIMIT:
             # The client stopped reading; drop rather than buffer without
             # bound (it can recover the result by retransmitting).
-            self.frames_dropped += 1
+            self.frames_dropped += len(frames)
             return
-        writer.write(encode_frame(frame))
-        self.frames_sent += 1
+        if (
+            len(frames) > 1
+            and self.version_for(destination) >= WIRE_VERSION_BATCH
+            and sum(map(len, frames)) <= SUPER_FRAME_BYTES_LIMIT
+        ):
+            writer.write(encode_frame(encode_super_frame(frames)))
+            self.super_frames_sent += 1
+        else:
+            writer.write(b"".join(map(encode_frame, frames)))
+        self.frames_sent += len(frames)
 
     # -- inbound stream registry (clients replying over their own socket) ----
 
@@ -274,6 +358,7 @@ class AsyncioTransport:
     def unregister_stream(self, node_id: int) -> None:
         if node_id in self._streams:
             del self._streams[node_id]
+        self._stream_pending.pop(node_id, None)
         self._peer_versions.pop(node_id, None)
 
     # -- outbound connections ------------------------------------------------
@@ -299,12 +384,12 @@ class AsyncioTransport:
         whose due time is still in the future is carried over to the next
         round so straggler delays stay per-frame accurate.
         """
-        host, port = self.peers[peer_id]
+        endpoint = self.peers[peer_id]
         backoff = RECONNECT_INITIAL
         carry: tuple[float, bytes] | None = None
         while not self._closed:
             try:
-                reader, writer = await asyncio.open_connection(host, port)
+                reader, writer = await connect_endpoint(endpoint)
             except OSError:
                 await asyncio.sleep(backoff)
                 backoff = min(backoff * 2, RECONNECT_MAX)
@@ -335,17 +420,30 @@ class AsyncioTransport:
                         remaining = due - self._loop.time()
                         if remaining > 0:
                             await asyncio.sleep(remaining)
-                    batch = [encode_frame(frame)]
+                    batch = [frame]
+                    batch_bytes = len(frame)
                     while len(batch) < WRITE_BATCH_LIMIT:
                         try:
                             next_due, next_frame = queue.get_nowait()
                         except asyncio.QueueEmpty:
                             break
-                        if next_due > 0.0 and next_due > self._loop.time():
+                        if (next_due > 0.0 and next_due > self._loop.time()) or (
+                            batch_bytes + len(next_frame) > SUPER_FRAME_BYTES_LIMIT
+                        ):
+                            # Not yet due (straggler delay) or the batch is
+                            # full by bytes: carry into the next round.
                             carry = (next_due, next_frame)
                             break
-                        batch.append(encode_frame(next_frame))
-                    writer.write(b"".join(batch))
+                        batch.append(next_frame)
+                        batch_bytes += len(next_frame)
+                    if (
+                        len(batch) > 1
+                        and self.version_for(peer_id) >= WIRE_VERSION_BATCH
+                    ):
+                        writer.write(encode_frame(encode_super_frame(batch)))
+                        self.super_frames_sent += 1
+                    else:
+                        writer.write(b"".join(map(encode_frame, batch)))
                     self.frames_sent += len(batch)
                     await writer.drain()
             except (OSError, ConnectionError, asyncio.CancelledError) as exc:
@@ -367,3 +465,4 @@ class AsyncioTransport:
         self._writer_tasks.clear()
         self._queues.clear()
         self._streams.clear()
+        self._stream_pending.clear()

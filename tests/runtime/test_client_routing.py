@@ -1,0 +1,143 @@
+"""Leader-routed submission: target selection units + an end-to-end check.
+
+With ``ClientConfig.route_instances`` set, first transmissions go to the
+view-0 leaders of a transaction's payer buckets, topped up to ``f + 1``
+replicas — the smallest set that can still produce a matching reply quorum.
+Retransmissions always broadcast, which is what keeps routed submissions
+live across crashed or demoted leaders.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.partition import PayerPartitioner
+from repro.ledger.transactions import reset_transaction_counter
+from repro.runtime.client import ClientConfig, OrthrusClient
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import EthereumStyleWorkload
+
+NUM_REPLICAS = 4
+WORKLOAD = WorkloadConfig(num_accounts=128, seed=5)
+PEERS = tuple(("127.0.0.1", 9000 + i) for i in range(NUM_REPLICAS))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_tx_ids():
+    reset_transaction_counter()
+
+
+class _StubWriter:
+    def is_closing(self) -> bool:
+        return False
+
+
+def routed_client(instances: int = 2) -> OrthrusClient:
+    client = OrthrusClient(
+        list(PEERS), ClientConfig(route_instances=instances)
+    )
+    client._writers = {i: _StubWriter() for i in range(NUM_REPLICAS)}
+    return client
+
+
+def expected_targets(tx, instances: int = 2) -> set[int]:
+    leaders = {
+        bucket % NUM_REPLICAS
+        for bucket in PayerPartitioner(instances).buckets_for(tx)
+    }
+    cursor = (min(leaders) + 1) % NUM_REPLICAS
+    while len(leaders) < 2:  # f + 1 for n = 4
+        leaders.add(cursor)
+        cursor = (cursor + 1) % NUM_REPLICAS
+    return leaders
+
+
+class TestRouteTargets:
+    def test_routes_to_bucket_leaders_topped_up_to_a_quorum(self):
+        client = routed_client()
+        generator = EthereumStyleWorkload(WORKLOAD)
+        for _ in range(50):
+            tx = generator.next_transaction()
+            targets = client._route_targets(tx)
+            assert targets is not None
+            picked = {replica_id for replica_id, _ in targets}
+            assert picked == expected_targets(tx)
+            assert len(picked) >= client.reply_quorum
+
+    def test_falls_back_when_a_routed_leader_is_disconnected(self):
+        client = routed_client()
+        generator = EthereumStyleWorkload(WORKLOAD)
+        tx = generator.next_transaction()
+        victim = min(expected_targets(tx))
+        del client._writers[victim]
+        assert client._route_targets(tx) is None
+
+    def test_routing_is_off_by_default(self):
+        client = OrthrusClient(list(PEERS), ClientConfig())
+        assert client._partitioner is None
+
+
+class TestTransmitTargeting:
+    def _recording_client(self):
+        client = routed_client()
+        sent: list[int] = []
+        client._queue_frame = lambda replica_id, frame: sent.append(replica_id)
+        return client, sent
+
+    def test_first_transmit_is_routed(self):
+        client, sent = self._recording_client()
+        tx = EthereumStyleWorkload(WORKLOAD).next_transaction()
+        client._transmit(tx)
+        assert set(sent) == expected_targets(tx)
+
+    def test_retransmit_broadcasts_to_every_replica(self):
+        client, sent = self._recording_client()
+        tx = EthereumStyleWorkload(WORKLOAD).next_transaction()
+        client._transmit(tx, broadcast=True)
+        assert set(sent) == set(range(NUM_REPLICAS))
+
+
+def test_routed_cluster_commits_with_replies_from_routed_replicas():
+    """End to end: routed submissions reach quorum; replies come only from
+    the targeted replicas (the others never saw the request directly)."""
+    from repro.runtime.config import ReplicaRuntimeConfig
+    from repro.runtime.server import ReplicaServer
+    from repro.runtime.cluster import free_port
+
+    async def scenario():
+        peers = tuple(("127.0.0.1", free_port()) for _ in range(NUM_REPLICAS))
+        servers = []
+        for replica_id in range(NUM_REPLICAS):
+            server = ReplicaServer(
+                ReplicaRuntimeConfig(
+                    replica_id=replica_id,
+                    peers=peers,
+                    num_instances=2,
+                    batch_size=32,
+                    batch_interval=0.02,
+                    workload=WORKLOAD,
+                )
+            )
+            await server.start()
+            servers.append(server)
+        try:
+            generator = EthereumStyleWorkload(WORKLOAD)
+            async with OrthrusClient(
+                list(peers), ClientConfig(timeout=5.0, route_instances=2)
+            ) as client:
+                txs = [generator.next_transaction() for _ in range(40)]
+                results = await asyncio.gather(
+                    *[client.submit_nowait(tx) for tx in txs]
+                )
+                assert all(result.committed for result in results)
+                assert client.retransmissions == 0
+                for tx, result in zip(txs, results):
+                    assert set(result.replicas) <= expected_targets(tx)
+        finally:
+            for server in servers:
+                server.stop()
+                await server._shutdown()
+
+    asyncio.run(scenario())

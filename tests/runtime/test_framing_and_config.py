@@ -10,11 +10,14 @@ from repro.errors import ConfigurationError
 from repro.runtime.config import (
     ReplicaRuntimeConfig,
     format_endpoint,
+    is_uds_endpoint,
     parse_endpoint,
+    uds_path,
 )
 from repro.runtime.framing import (
     MAX_FRAME_BYTES,
     FrameError,
+    FrameReader,
     encode_frame,
     read_frame,
 )
@@ -65,6 +68,52 @@ class TestFraming:
             encode_frame(b"\0" * (MAX_FRAME_BYTES + 1))
 
 
+def drain_batches(chunks: list[bytes]) -> list[list[bytes] | None]:
+    """Feed byte chunks through a FrameReader and collect read_batch calls."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        for chunk in chunks:
+            reader.feed_data(chunk)
+        reader.feed_eof()
+        frames = FrameReader(reader)
+        batches: list[list[bytes] | None] = []
+        while True:
+            batch = await frames.read_batch()
+            batches.append(batch)
+            if batch is None:
+                break
+        return batches
+
+    return asyncio.run(run())
+
+
+class TestFrameReader:
+    def test_burst_surfaces_in_one_batch(self):
+        payloads = [b"", b"x", b"hello" * 50, b"y"]
+        stream = b"".join(encode_frame(p) for p in payloads)
+        assert drain_batches([stream]) == [payloads, None]
+
+    def test_clean_eof_returns_none(self):
+        assert drain_batches([]) == [None]
+
+    def test_split_across_chunks_reassembles(self):
+        stream = encode_frame(b"abcdef" * 100)
+        # Feed in awkward slices: the frame spans every chunk boundary.
+        chunks = [stream[:3], stream[3:7], stream[7:]]
+        batches = drain_batches(chunks)
+        assert batches == [[b"abcdef" * 100], None]
+
+    def test_mid_frame_eof_raises(self):
+        with pytest.raises(FrameError, match="mid-frame"):
+            drain_batches([encode_frame(b"full")[:-2]])
+
+    def test_oversized_announcement_raises(self):
+        header = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(FrameError, match="max"):
+            drain_batches([header + b"x"])
+
+
 class TestEndpoints:
     def test_parse_and_format(self):
         assert parse_endpoint("10.0.0.1:7001") == ("10.0.0.1", 7001)
@@ -74,6 +123,20 @@ class TestEndpoints:
     def test_invalid_endpoints(self, bad):
         with pytest.raises(ConfigurationError):
             parse_endpoint(bad)
+
+    def test_uds_round_trip(self):
+        endpoint = parse_endpoint("unix:/tmp/replica-0.sock")
+        assert endpoint == ("unix:/tmp/replica-0.sock", 0)
+        assert is_uds_endpoint(endpoint)
+        assert uds_path(endpoint) == "/tmp/replica-0.sock"
+        assert format_endpoint(endpoint) == "unix:/tmp/replica-0.sock"
+
+    def test_tcp_endpoint_is_not_uds(self):
+        assert not is_uds_endpoint(("127.0.0.1", 7001))
+
+    def test_empty_uds_path_is_invalid(self):
+        with pytest.raises(ConfigurationError):
+            parse_endpoint("unix:")
 
 
 class TestReplicaRuntimeConfig:

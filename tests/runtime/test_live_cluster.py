@@ -160,11 +160,11 @@ def test_client_retransmits_after_timeout():
                 original_transmit = client._transmit
                 calls = {"n": 0}
 
-                def flaky_transmit(tx):
+                def flaky_transmit(tx, **kwargs):
                     calls["n"] += 1
                     if calls["n"] == 1:
                         return  # swallow the first attempt entirely
-                    original_transmit(tx)
+                    original_transmit(tx, **kwargs)
 
                 client._transmit = flaky_transmit
                 result = await client.submit(tx)

@@ -1,0 +1,266 @@
+"""Transport-level super-frame batching and interop with pinned peers.
+
+A v3↔v3 connection coalesces bursts into super-frames; a v3 node talking to
+a pinned v1 or v2 peer must keep sending plain sequential frames.  Straggler
+injection (``send_delay``) must survive coalescing: a frame is never written
+before its own due time, even when the writer batches around it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.runtime.codec import (
+    WIRE_VERSION,
+    WIRE_VERSION_BATCH,
+    WIRE_VERSION_BINARY,
+    decode_envelopes,
+)
+from repro.runtime.control import Hello, StatusRequest
+from repro.runtime.framing import FrameError, FrameReader, is_super_frame
+from repro.runtime.transport import AsyncioTransport
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class _Collector:
+    """TCP server recording (arrival_time, payload) for every frame."""
+
+    def __init__(self) -> None:
+        self.received: list[tuple[float, bytes]] = []
+        self.server: asyncio.Server | None = None
+        self.port: int = 0
+        self._got_frame = asyncio.Event()
+
+    async def start(self) -> None:
+        async def handle(reader, writer):
+            frames = FrameReader(reader)
+            loop = asyncio.get_running_loop()
+            while True:
+                try:
+                    batch = await frames.read_batch()
+                except FrameError:
+                    break
+                if batch is None:
+                    break
+                now = loop.time()
+                for payload in batch:
+                    self.received.append((now, payload))
+                self._got_frame.set()
+
+        self.server = await asyncio.start_server(handle, "127.0.0.1", 0)
+        self.port = self.server.sockets[0].getsockname()[1]
+
+    async def wait_for(self, count: int, timeout: float = 5.0) -> None:
+        deadline = asyncio.get_running_loop().time() + timeout
+        while len(self.received) < count:
+            remaining = deadline - asyncio.get_running_loop().time()
+            assert remaining > 0, (
+                f"timed out with {len(self.received)}/{count} frames"
+            )
+            self._got_frame.clear()
+            try:
+                await asyncio.wait_for(self._got_frame.wait(), remaining)
+            except asyncio.TimeoutError:
+                pass
+
+    async def close(self) -> None:
+        assert self.server is not None
+        self.server.close()
+        await self.server.wait_closed()
+
+    def payloads(self) -> list[bytes]:
+        return [payload for _, payload in self.received]
+
+    def messages(self) -> list[tuple[float, int, object]]:
+        """Flatten every frame (splitting super-frames) into messages."""
+        out = []
+        for arrival, payload in self.received:
+            for sender, message in decode_envelopes(payload):
+                out.append((arrival, sender, message))
+        return out
+
+
+async def _transport_to(
+    collector: _Collector, *, peer_version: int, **kwargs
+) -> AsyncioTransport:
+    transport = AsyncioTransport(
+        0, {0: ("127.0.0.1", 1), 1: ("127.0.0.1", collector.port)}, **kwargs
+    )
+    transport.note_peer_version(1, peer_version)
+    return transport
+
+
+class TestSuperFrameCoalescing:
+    def test_burst_to_v3_peer_arrives_as_one_super_frame(self):
+        async def scenario():
+            collector = _Collector()
+            await collector.start()
+            transport = await _transport_to(
+                collector, peer_version=WIRE_VERSION_BATCH
+            )
+            for nonce in range(10):
+                transport.send(1, StatusRequest(nonce=nonce))
+            # hello + the batch (all 10 were queued before the dial finished)
+            await collector.wait_for(2)
+            await transport.close()
+            await collector.close()
+
+            payloads = collector.payloads()
+            supers = [p for p in payloads if is_super_frame(p)]
+            assert len(supers) == 1
+            assert transport.super_frames_sent == 1
+            nonces = [
+                message.nonce
+                for _, _, message in collector.messages()
+                if isinstance(message, StatusRequest)
+            ]
+            assert nonces == list(range(10))
+
+        run(scenario())
+
+    def test_pinned_v2_peer_never_sees_super_frames(self):
+        async def scenario():
+            collector = _Collector()
+            await collector.start()
+            transport = await _transport_to(
+                collector, peer_version=WIRE_VERSION_BINARY
+            )
+            for nonce in range(10):
+                transport.send(1, StatusRequest(nonce=nonce))
+            await collector.wait_for(11)  # hello + 10 individual frames
+            await transport.close()
+            await collector.close()
+
+            assert transport.super_frames_sent == 0
+            assert not any(is_super_frame(p) for p in collector.payloads())
+            # The 10 requests still all arrive, as plain v2 envelopes.
+            v2 = [p for p in collector.payloads() if p and p[0] == 0xB2]
+            assert len(v2) == 10
+
+        run(scenario())
+
+    def test_pinned_v1_peer_gets_sequential_json_frames(self):
+        async def scenario():
+            collector = _Collector()
+            await collector.start()
+            transport = await _transport_to(collector, peer_version=WIRE_VERSION)
+            for nonce in range(5):
+                transport.send(1, StatusRequest(nonce=nonce))
+            await collector.wait_for(6)  # hello + 5
+            await transport.close()
+            await collector.close()
+
+            assert transport.super_frames_sent == 0
+            assert all(p[0:1] == b"{" for p in collector.payloads())
+
+        run(scenario())
+
+    def test_hello_itself_is_always_plain_v1(self):
+        async def scenario():
+            collector = _Collector()
+            await collector.start()
+            transport = await _transport_to(
+                collector, peer_version=WIRE_VERSION_BATCH
+            )
+            transport.send(1, StatusRequest(nonce=1))
+            await collector.wait_for(2)
+            await transport.close()
+            await collector.close()
+
+            first = collector.payloads()[0]
+            assert first[0:1] == b"{"
+            [(_, hello)] = decode_envelopes(first)
+            assert isinstance(hello, Hello)
+            assert hello.wire_version == WIRE_VERSION_BATCH
+
+        run(scenario())
+
+
+class TestSendDelayDueTimes:
+    def test_coalescing_never_writes_a_frame_before_its_due_time(self):
+        """Two frames with staggered due times under send_delay: the first
+        must not wait for the second, and the second must not ride the first
+        frame's flush early."""
+
+        async def scenario():
+            delay = 0.25
+            collector = _Collector()
+            await collector.start()
+            transport = await _transport_to(
+                collector, peer_version=WIRE_VERSION_BATCH, send_delay=delay
+            )
+            loop = asyncio.get_running_loop()
+            queued_first = loop.time()
+            transport.send(1, StatusRequest(nonce=1))
+            await asyncio.sleep(0.1)
+            queued_second = loop.time()
+            transport.send(1, StatusRequest(nonce=2))
+            await collector.wait_for(3)  # hello + two delayed frames
+            await transport.close()
+            await collector.close()
+
+            arrivals = {
+                message.nonce: arrival
+                for arrival, _, message in collector.messages()
+                if isinstance(message, StatusRequest)
+            }
+            assert set(arrivals) == {1, 2}
+            assert arrivals[1] >= queued_first + delay - 0.01
+            assert arrivals[2] >= queued_second + delay - 0.01
+            # Pipelined, not serialised: the second frame's extra wait is its
+            # own queue offset, not first-delay + second-delay.
+            assert arrivals[2] < queued_second + 2 * delay
+
+        run(scenario())
+
+    def test_frames_due_together_still_coalesce_under_delay(self):
+        async def scenario():
+            delay = 0.15
+            collector = _Collector()
+            await collector.start()
+            transport = await _transport_to(
+                collector, peer_version=WIRE_VERSION_BATCH, send_delay=delay
+            )
+            queued = asyncio.get_running_loop().time()
+            for nonce in range(6):
+                transport.send(1, StatusRequest(nonce=nonce))
+            await collector.wait_for(2)  # hello + one super-frame
+            await transport.close()
+            await collector.close()
+
+            supers = [p for p in collector.payloads() if is_super_frame(p)]
+            assert len(supers) == 1
+            for arrival, _, message in collector.messages():
+                if isinstance(message, StatusRequest):
+                    assert arrival >= queued + delay - 0.01
+
+        run(scenario())
+
+
+class TestBatchNegotiation:
+    def test_version_for_min_rule_covers_v3(self):
+        async def scenario():
+            transport = AsyncioTransport(
+                0, {1: ("127.0.0.1", 1)}, wire_version=WIRE_VERSION_BATCH
+            )
+            assert transport.version_for(1) == WIRE_VERSION  # no hello yet
+            for advertised, expected in ((1, 1), (2, 2), (3, 3), (9, 3)):
+                transport.note_peer_version(1, advertised)
+                assert transport.version_for(1) == expected
+            await transport.close()
+
+        run(scenario())
+
+    def test_v2_node_clamps_a_v3_peer_down(self):
+        async def scenario():
+            transport = AsyncioTransport(
+                0, {1: ("127.0.0.1", 1)}, wire_version=WIRE_VERSION_BINARY
+            )
+            transport.note_peer_version(1, WIRE_VERSION_BATCH)
+            assert transport.version_for(1) == WIRE_VERSION_BINARY
+            await transport.close()
+
+        run(scenario())
