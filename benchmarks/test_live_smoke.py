@@ -98,3 +98,25 @@ def test_live_cluster_serves_status_probes(live_cluster):
     statuses = asyncio.run(probe())
     assert {status.replica for status in statuses} == {0, 1, 2, 3}
     assert all(status.view_changes == 0 for status in statuses)
+
+
+def test_live_cluster_serves_metrics_probes(live_cluster):
+    """Every replica answers the ``metrics`` control message with a live,
+    nonzero instrument snapshot (the commit test above already drove load
+    through the module-scoped cluster)."""
+
+    async def probe():
+        async with OrthrusClient(
+            list(live_cluster.endpoints),
+            ClientConfig(client_id=1002, wire_version=live_cluster.spec.wire_version),
+        ) as client:
+            return await client.cluster_metrics(require_all=True)
+
+    replies = asyncio.run(probe())
+    assert {reply.replica for reply in replies} == {0, 1, 2, 3}
+    for reply in replies:
+        assert reply.uptime > 0
+        assert reply.metrics, f"replica {reply.replica} returned no instruments"
+        assert reply.metrics.get("transport.frames_sent", 0) > 0, reply.replica
+        assert reply.metrics.get("transport.bytes_in", 0) > 0, reply.replica
+        assert reply.metrics.get("server.committed", 0) > 0, reply.replica

@@ -25,7 +25,7 @@ from repro.ledger.transactions import Transaction, TransactionType
 from repro.ledger.objects import ObjectOperation, ObjectType, OperationKind
 
 #: Suite names accepted by ``repro bench --suite``.
-SUITE_NAMES: tuple[str, ...] = ("quick", "full")
+SUITE_NAMES: tuple[str, ...] = ("quick", "full", "obs_overhead")
 
 #: Minimum seconds one calibrated repeat of a micro benchmark must take.
 _MIN_REPEAT_SECONDS = 0.1
@@ -543,6 +543,151 @@ def bench_scale_100replica(transactions: int = 64) -> BenchResult:
     )
 
 
+# -- observability overhead ---------------------------------------------------
+
+
+def bench_obs_instruments() -> BenchResult:
+    """Hot-path cost of one counter increment plus one histogram observe.
+
+    These are the two instrument calls that sit on the live transport and
+    consensus paths (``frames_received.inc()``, ``bar_wait.observe()``); the
+    benchmark reports how many such instrument operations a core sustains,
+    which bounds the per-transaction bookkeeping cost.
+    """
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    counter = registry.counter("bench.counter")
+    histogram = registry.histogram("bench.histogram")
+    batch = 1_000
+
+    def work() -> None:
+        for _ in range(batch):
+            counter.inc()
+            histogram.observe(1.5e-4)
+
+    seconds = _best_seconds_per_op(work)
+    return BenchResult(
+        name="obs_instrument_ops",
+        unit="ops/s",
+        value=2 * batch / seconds,
+        higher_is_better=True,
+        meta={"instruments": ["counter.inc", "histogram.observe"]},
+    )
+
+
+def bench_obs_trace_emit() -> BenchResult:
+    """Per-transaction cost of the sampling gate plus sampled emission.
+
+    Mirrors the replica hot path at a 1% sample rate: every transaction pays
+    ``sampled()`` (a crc32 and a compare) and one in a hundred additionally
+    pays the buffered JSONL ``emit``.  The value is transactions per second
+    through that gate.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.obs.trace import TraceWriter
+
+    tx_ids = [f"client-1000-{n}" for n in range(2048)]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-obs-") as tmp:
+        writer = TraceWriter(
+            Path(tmp) / "trace.jsonl", node=0, sample_rate=0.01
+        )
+        sampled = sum(writer.sampled(tx_id) for tx_id in tx_ids)
+
+        def work() -> None:
+            for tx_id in tx_ids:
+                if writer.sampled(tx_id):
+                    writer.emit(tx_id, "received", 1.0)
+
+        seconds = _best_seconds_per_op(work)
+        writer.close()
+    return BenchResult(
+        name="obs_trace_gate_tx",
+        unit="tx/s",
+        value=len(tx_ids) / seconds,
+        higher_is_better=True,
+        meta={"sample_rate": 0.01, "sampled_of_2048": sampled},
+    )
+
+
+def bench_obs_live_overhead(transactions: int = 600) -> BenchResult:
+    """A/B live-cluster overhead of the registry + sampled tracing.
+
+    Runs the :func:`bench_live_smoke` shape twice — once with observability
+    disabled (``--no-obs``: NULL registry, no tracer, no snapshots) and once
+    with the registry, 1 s metrics snapshots and 1% tracing on — and reports
+    the committed-throughput cost as a percentage.  The acceptance budget is
+    5%; both absolute throughputs land in ``meta`` so a regression is
+    attributable.
+    """
+    import asyncio
+    import tempfile
+    from pathlib import Path
+
+    from repro.runtime.client import ClientConfig
+    from repro.runtime.cluster import ClusterSpec, LocalCluster
+    from repro.runtime.loadgen import LoadGenConfig, run_loadgen
+    from repro.workload.config import WorkloadConfig
+
+    def run_once(*, obs_enabled: bool, run_dir: str | None, trace_sample: float) -> float:
+        spec = ClusterSpec(
+            num_replicas=4,
+            num_instances=2,
+            protocol="orthrus",
+            batch_size=64,
+            batch_interval=0.02,
+            workload=WorkloadConfig(num_accounts=1024, seed=42),
+            obs_enabled=obs_enabled,
+            run_dir=run_dir,
+            trace_sample=trace_sample,
+        )
+        load = LoadGenConfig(
+            transactions=transactions,
+            mode="closed",
+            concurrency=32,
+            workload=WorkloadConfig(
+                num_accounts=1024, seed=42, payment_fraction=1.0
+            ),
+            client=ClientConfig(client_id=1000, timeout=10.0, retries=3),
+        )
+        cluster = LocalCluster(spec)
+        cluster.start()
+        try:
+            report = asyncio.run(run_loadgen(list(cluster.endpoints), load))
+        finally:
+            cluster.stop()
+        if report.failed or not report.digests_agree:
+            raise RuntimeError(
+                f"obs overhead run (obs={obs_enabled}) failed: "
+                f"{report.failed} failures, digests_agree={report.digests_agree}"
+            )
+        return report.metrics.throughput_tps
+
+    tps_off = run_once(obs_enabled=False, run_dir=None, trace_sample=0.0)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-obs-") as tmp:
+        tps_on = run_once(
+            obs_enabled=True,
+            run_dir=str(Path(tmp) / "run"),
+            trace_sample=0.01,
+        )
+    overhead_pct = max(0.0, (tps_off - tps_on) / tps_off * 100.0)
+    return BenchResult(
+        name="obs_live_overhead",
+        unit="percent",
+        value=overhead_pct,
+        higher_is_better=False,
+        meta={
+            "budget_percent": 5.0,
+            "tps_obs_off": round(tps_off, 1),
+            "tps_obs_on": round(tps_on, 1),
+            "trace_sample": 0.01,
+            "transactions": transactions,
+        },
+    )
+
+
 # -- suites -------------------------------------------------------------------
 
 #: The fast, deterministic-ish suite CI runs on every push.
@@ -561,6 +706,13 @@ _FULL: tuple[Callable[[], BenchResult], ...] = _QUICK + (
     bench_scale_100replica,
 )
 
+#: Observability cost: instrument microbenches plus the live A/B overhead run.
+_OBS_OVERHEAD: tuple[Callable[[], BenchResult], ...] = (
+    bench_obs_instruments,
+    bench_obs_trace_emit,
+    bench_obs_live_overhead,
+)
+
 
 def run_suite(
     suite: str, *, progress: Callable[[str], None] | None = None
@@ -570,6 +722,8 @@ def run_suite(
         benchmarks = _QUICK
     elif suite == "full":
         benchmarks = _FULL
+    elif suite == "obs_overhead":
+        benchmarks = _OBS_OVERHEAD
     else:
         raise ValueError(f"unknown benchmark suite {suite!r}")
     results: list[BenchResult] = []

@@ -15,6 +15,12 @@ Live cluster (real asyncio TCP processes, not the simulator)::
     python -m repro.cli serve --replica-id 0 --peers 127.0.0.1:7000,...
     python -m repro.cli loadgen --peers 127.0.0.1:7000,... --transactions 1000
 
+Observability (docs/observability.md)::
+
+    python -m repro.cli cluster --trace-sample 1.0 --duration 30
+    python -m repro.cli top --peers 127.0.0.1:7000,... --iterations 3
+    python -m repro.cli trace <tx-id-prefix> --dir /tmp/repro-run-...
+
 Live fault injection (the paper's degradation modes on real sockets)::
 
     python -m repro.cli chaos --crash 0:2 --view-change-timeout 2
@@ -100,6 +106,59 @@ def _add_wire_version_argument(parser: argparse.ArgumentParser) -> None:
             "the hello handshake"
         ),
     )
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by serve/cluster/chaos."""
+    parser.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="disable the metrics registry, tracing and snapshots entirely",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="stderr logging threshold (default: info)",
+    )
+    parser.add_argument(
+        "--log-format",
+        default="text",
+        choices=["text", "json"],
+        help="stderr log rendering: text (default) or json (one object per line)",
+    )
+
+
+def _add_cluster_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Run-directory observability flags shared by cluster/chaos."""
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "directory for run artifacts (replica-<i>/trace.jsonl, "
+            "metrics.jsonl, stderr.log); default: a repro-run-* temp dir "
+            "when tracing is on"
+        ),
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help=(
+            "fraction of transactions traced across every process "
+            "(deterministic by tx id; 0 disables tracing, 1.0 traces all)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between per-replica metrics snapshots (default: 1.0)",
+    )
+    _add_obs_arguments(parser)
 
 
 def _add_cluster_scale_arguments(parser: argparse.ArgumentParser) -> None:
@@ -236,6 +295,33 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0,
         help="crypto/codec worker processes (default: 0, decode inline)",
     )
+    serve_parser.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help="JSONL file sampled transaction span events are appended to",
+    )
+    serve_parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of transactions traced (deterministic by tx id)",
+    )
+    serve_parser.add_argument(
+        "--metrics-file",
+        default=None,
+        metavar="PATH",
+        help="JSONL file periodic metrics-registry snapshots are appended to",
+    )
+    serve_parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between metrics snapshots (default: 1.0)",
+    )
+    _add_obs_arguments(serve_parser)
     _add_wire_version_argument(serve_parser)
 
     cluster_parser = subparsers.add_parser(
@@ -268,6 +354,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_cluster_scale_arguments(cluster_parser)
+    _add_cluster_obs_arguments(cluster_parser)
     _add_wire_version_argument(cluster_parser)
 
     chaos_parser = subparsers.add_parser(
@@ -325,6 +412,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="JSON fault plan or @file (overrides the individual fault flags)",
     )
     _add_cluster_scale_arguments(chaos_parser)
+    _add_cluster_obs_arguments(chaos_parser)
     _add_wire_version_argument(chaos_parser)
 
     loadgen_parser = subparsers.add_parser(
@@ -353,7 +441,63 @@ def _build_parser() -> argparse.ArgumentParser:
             "every replica)"
         ),
     )
+    loadgen_parser.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSONL file the client's submitted/replied span events are "
+            "appended to (point it into the cluster's run dir so repro "
+            "trace can stitch the full timeline)"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of transactions traced (must match the replicas' rate)",
+    )
     _add_wire_version_argument(loadgen_parser)
+
+    top_parser = subparsers.add_parser(
+        "top",
+        help="live cluster state: poll status + metrics and render a table",
+    )
+    top_parser.add_argument(
+        "--peers", required=True, help="comma-separated replica host:port endpoints"
+    )
+    top_parser.add_argument("--client-id", type=int, default=998)
+    top_parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between refreshes (default: 1.0)",
+    )
+    top_parser.add_argument(
+        "--iterations",
+        type=_positive_int,
+        default=None,
+        help="refreshes before exiting (default: until Ctrl-C)",
+    )
+    _add_wire_version_argument(top_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="stitch one transaction's cross-process timeline from trace files",
+    )
+    trace_parser.add_argument(
+        "tx_id",
+        nargs="?",
+        default=None,
+        help="transaction id (a unique prefix works); omit to list traced ids",
+    )
+    trace_parser.add_argument(
+        "--dir",
+        required=True,
+        metavar="PATH",
+        help="run directory containing the trace JSONL files (searched recursively)",
+    )
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -536,10 +680,16 @@ def _parse_peers(text: str) -> list[tuple[str, int]]:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    from repro.obs.logging import setup_logging
     from repro.runtime.config import ReplicaRuntimeConfig
     from repro.runtime.server import run_server
     from repro.runtime.transport import install_uvloop
 
+    setup_logging(
+        args.log_level,
+        args.log_format,
+        context={"replica": args.replica_id},
+    )
     peers = _parse_peers(args.peers)
     config = ReplicaRuntimeConfig(
         replica_id=args.replica_id,
@@ -554,6 +704,13 @@ def _command_serve(args: argparse.Namespace) -> int:
         byzantine_abstain=args.byzantine_abstain,
         wire_version=args.wire_version,
         workers=args.workers,
+        obs_enabled=not args.no_obs,
+        trace_file=args.trace_file,
+        trace_sample=args.trace_sample,
+        metrics_file=args.metrics_file,
+        metrics_interval=args.metrics_interval,
+        log_level=args.log_level,
+        log_format=args.log_format,
     )
     install_uvloop()
     asyncio.run(run_server(config))
@@ -601,6 +758,12 @@ def _command_cluster(args: argparse.Namespace) -> int:
         wire_version=args.wire_version,
         transport=args.transport,
         workers=args.workers,
+        obs_enabled=not args.no_obs,
+        run_dir=args.run_dir,
+        trace_sample=args.trace_sample,
+        metrics_interval=args.metrics_interval,
+        log_level=args.log_level,
+        log_format=args.log_format,
     )
     cluster = LocalCluster(spec)
     cluster.start()
@@ -608,7 +771,17 @@ def _command_cluster(args: argparse.Namespace) -> int:
     peers = ",".join(format_endpoint(endpoint) for endpoint in cluster.endpoints)
     print(f"cluster up: {args.replicas} replicas, {spec.num_instances or args.replicas} instances")
     print(f"peers: {peers}")
-    print(f"loadgen: repro loadgen --peers {peers} --transactions 1000")
+    if cluster.run_dir is not None:
+        print(f"run dir: {cluster.run_dir}")
+        if spec.trace_sample > 0:
+            print(
+                f"loadgen: repro loadgen --peers {peers} "
+                f"--trace-file {cluster.run_dir / 'client' / 'trace.jsonl'} "
+                f"--trace-sample {spec.trace_sample}"
+            )
+            print(f"trace:   repro trace <tx-id> --dir {cluster.run_dir}")
+    else:
+        print(f"loadgen: repro loadgen --peers {peers} --transactions 1000")
 
     async def final_status():
         client = OrthrusClient(list(cluster.endpoints), ClientConfig(client_id=999))
@@ -701,6 +874,12 @@ def _command_chaos(args: argparse.Namespace) -> int:
         wire_version=args.wire_version,
         transport=args.transport,
         workers=args.workers,
+        obs_enabled=not args.no_obs,
+        run_dir=args.run_dir,
+        trace_sample=args.trace_sample,
+        metrics_interval=args.metrics_interval,
+        log_level=args.log_level,
+        log_format=args.log_format,
     )
     # Submissions routed through a crashed leader's instance must outlive the
     # view change, so the client's patience scales with the detector timeout.
@@ -779,6 +958,8 @@ def _command_loadgen(args: argparse.Namespace) -> int:
             wire_version=args.wire_version,
             route_instances=args.route_instances,
         ),
+        trace_file=args.trace_file,
+        trace_sample=args.trace_sample,
     )
     install_uvloop()
     report = asyncio.run(run_loadgen(peers, config))
@@ -786,6 +967,125 @@ def _command_loadgen(args: argparse.Namespace) -> int:
     for line in report.lines():
         print(line)
     return 0 if report.failed == 0 and report.digests_agree else 1
+
+
+def _human_bytes(value: float) -> str:
+    """Render a byte count with a binary suffix (metrics tables)."""
+    amount = float(value)
+    for suffix in ("B", "KiB", "MiB", "GiB"):
+        if amount < 1024 or suffix == "GiB":
+            return f"{amount:.0f}{suffix}" if suffix == "B" else f"{amount:.1f}{suffix}"
+        amount /= 1024
+    return f"{amount:.1f}GiB"  # pragma: no cover - unreachable
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_table
+    from repro.runtime.client import ClientConfig, ClientError, OrthrusClient
+    from repro.runtime.transport import install_uvloop
+
+    peers = _parse_peers(args.peers)
+
+    async def watch() -> int:
+        client = OrthrusClient(
+            peers,
+            ClientConfig(client_id=args.client_id, wire_version=args.wire_version),
+        )
+        await client.connect(require_all=False)
+        iteration = 0
+        try:
+            while args.iterations is None or iteration < args.iterations:
+                if iteration:
+                    await asyncio.sleep(args.interval)
+                iteration += 1
+                try:
+                    statuses = {s.replica: s for s in await client.cluster_status()}
+                except ClientError as error:
+                    print(f"warning: {error}", file=sys.stderr)
+                    continue
+                metric_replies = {}
+                try:
+                    metric_replies = {
+                        m.replica: m for m in await client.cluster_metrics()
+                    }
+                except ClientError:
+                    # Metrics disabled (--no-obs) or no answers: the status
+                    # columns still render.
+                    pass
+                rows = []
+                for replica_id in sorted(statuses):
+                    status = statuses[replica_id]
+                    reply = metric_replies.get(replica_id)
+                    values = reply.metrics if reply is not None else {}
+                    rows.append(
+                        (
+                            replica_id,
+                            f"{reply.uptime:.0f}s" if reply is not None else "-",
+                            status.committed,
+                            status.rejected,
+                            status.view_changes,
+                            int(values.get("consensus.global_pending", 0)),
+                            int(values.get("transport.queue_depth", 0)),
+                            _human_bytes(values.get("transport.bytes_in", 0.0)),
+                            _human_bytes(values.get("transport.bytes_out", 0.0)),
+                            int(values.get("replica.reply_cache_size", 0)),
+                        )
+                    )
+                print(f"# refresh {iteration}: {len(statuses)} replicas answering")
+                print(
+                    format_table(
+                        [
+                            "replica",
+                            "up",
+                            "committed",
+                            "rejected",
+                            "views",
+                            "pending",
+                            "queue",
+                            "bytes in",
+                            "bytes out",
+                            "reply cache",
+                        ],
+                        rows,
+                    )
+                )
+        finally:
+            await client.close()
+        return 0
+
+    install_uvloop()
+    return asyncio.run(watch())
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import load_trace_events, stitch, trace_tx_ids
+
+    events = load_trace_events(args.dir)
+    if not events:
+        print(f"error: no trace events under {args.dir}", file=sys.stderr)
+        return 2
+    if args.tx_id is None:
+        tx_ids = trace_tx_ids(events)
+        print(f"# {len(tx_ids)} traced transactions under {args.dir}")
+        for tx_id in tx_ids[:50]:
+            print(tx_id)
+        if len(tx_ids) > 50:
+            print(f"# ... and {len(tx_ids) - 50} more")
+        return 0
+    try:
+        stitched = stitch(events, args.tx_id)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if stitched is None:
+        print(
+            f"error: no events for tx {args.tx_id!r} under {args.dir}",
+            file=sys.stderr,
+        )
+        return 2
+    for line in stitched.lines():
+        print(line)
+    return 0
 
 
 def _command_bench(args: argparse.Namespace) -> int:
@@ -861,6 +1161,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "cluster": _command_cluster,
         "chaos": _command_chaos,
         "loadgen": _command_loadgen,
+        "top": _command_top,
+        "trace": _command_trace,
     }
     try:
         return handlers[args.command](args)
@@ -869,6 +1171,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         # with the conventional SIGINT code instead of spewing a traceback.
         print("\ninterrupted", file=sys.stderr)
         return 130
+    except BrokenPipeError:
+        # Output piped into `head`/`less` that closed early (listing traced
+        # tx ids is the common case); swallow the shutdown-flush error too.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE, the shell convention
     except ReproError as error:
         # Library-level configuration/runtime errors (bad peer lists, replica
         # counts, workload ranges, ...) are user errors, not tracebacks.

@@ -27,6 +27,8 @@ from repro.core.outcomes import ConfirmationPath, TxOutcome, TxStatus
 from repro.ledger.blocks import Block
 from repro.metrics.summary import MetricsCollector
 from repro.net.transport import NodeTransport
+from repro.obs.registry import NULL_REGISTRY
+from repro.obs.trace import TraceWriter
 from repro.sb.pbft.endpoint import PBFTConfig, PBFTEndpoint
 from repro.sb.pbft.messages import CheckpointMessage, PBFTMessage
 from repro.sim.process import Process
@@ -54,6 +56,8 @@ class MultiBFTReplica(Process):
         metrics: MetricsCollector | None = None,
         transport: NodeTransport | None = None,
         reply_cache_limit: int = REPLY_CACHE_LIMIT,
+        registry: Any = None,
+        tracer: TraceWriter | None = None,
     ) -> None:
         super().__init__(replica_id)
         #: Host transport for all I/O.  Defaults to the replica itself, which
@@ -89,6 +93,52 @@ class MultiBFTReplica(Process):
         self._crashed = False
         #: Confirmations produced by this replica (inspected by tests).
         self.outcomes: list[TxOutcome] = []
+        #: Observability.  The sim path passes neither registry nor tracer,
+        #: so every instrument below is an inert singleton and the replica's
+        #: behaviour (and the simulator's determinism) is untouched.
+        self.obs = registry if registry is not None else NULL_REGISTRY
+        self.tracer = tracer
+        self._obs_on = bool(self.obs.enabled) or tracer is not None
+        self._c_reply_cache_hits = self.obs.counter("replica.reply_cache_hits")
+        self._c_reply_cache_evictions = self.obs.counter(
+            "replica.reply_cache_evictions"
+        )
+        self._h_bar_wait = self.obs.histogram("consensus.bar_wait_seconds")
+        self.obs.gauge_fn(
+            "consensus.view_changes",
+            lambda: sum(e.view_changes_completed for e in self.endpoints.values()),
+        )
+        self.obs.gauge_fn(
+            "consensus.rank_regressions",
+            lambda: self.core.global_orderer.stats.rank_regressions,
+        )
+        self.obs.gauge_fn(
+            "consensus.global_pending",
+            lambda: self.core.global_orderer.pending_count(),
+        )
+        self.obs.gauge_fn(
+            "consensus.max_waiting",
+            lambda: self.core.global_orderer.stats.max_waiting,
+        )
+        self.obs.gauge_fn(
+            "consensus.bucket_depth",
+            lambda: sum(len(bucket) for bucket in self.core.buckets),
+        )
+        self.obs.gauge_fn(
+            "consensus.escrow_conflicts",
+            lambda: getattr(getattr(self.core, "escrow", None), "escrows_failed", 0),
+        )
+        self.obs.gauge_fn(
+            "ledger.digest_cache_hits", lambda: self.core.store.digest_cache_hits
+        )
+        self.obs.gauge_fn(
+            "ledger.digest_cache_misses", lambda: self.core.store.digest_cache_misses
+        )
+        self.obs.gauge_fn("replica.reply_cache_size", lambda: len(self._reply_of_tx))
+        #: SB delivery time per (instance, sequence) block still waiting on
+        #: the bar — feeds the bar-wait histogram and ``bar_released`` trace
+        #: events; only populated when observability is on.
+        self._sb_delivered_at: dict[tuple[int, int], float] = {}
 
         for instance in range(core.config.num_instances):
             endpoint = PBFTEndpoint(
@@ -102,6 +152,8 @@ class MultiBFTReplica(Process):
             endpoint.on_leader_change(
                 lambda view, leader, inst=instance: self._on_leader_change(inst, leader)
             )
+            if tracer is not None:
+                endpoint.on_prepared(self._on_prepared)
             endpoint.pending_work_probe = (
                 lambda inst=instance: self._has_pending_work(inst)
             )
@@ -156,6 +208,7 @@ class MultiBFTReplica(Process):
         if cached_reply is not None:
             # Already executed: the original reply may have been lost in
             # transit, so answer the retransmission from the cache.
+            self._c_reply_cache_hits.inc()
             self.transport.send(request.client_node, cached_reply)
             return
         status = self.core.status_of(tx.tx_id)
@@ -175,8 +228,12 @@ class MultiBFTReplica(Process):
             self.transport.send(request.client_node, reply)
             return
         self._client_of_tx[tx.tx_id] = request.client_node
-        if self.metrics is not None:
-            self.metrics.latency.record_received(tx.tx_id, self.transport.now())
+        if self.metrics is not None or self.tracer is not None:
+            now = self.transport.now()
+            if self.metrics is not None:
+                self.metrics.latency.record_received(tx.tx_id, now)
+            if self.tracer is not None and self.tracer.sampled(tx.tx_id):
+                self.tracer.emit(tx.tx_id, "received", now)
         try:
             buckets = self.core.submit(tx)
         except Exception:
@@ -242,10 +299,19 @@ class MultiBFTReplica(Process):
             rank=rank,
         )
         self._next_sequence[instance] += 1
-        self._last_proposal_at[instance] = self.transport.now()
+        now = self.transport.now()
+        self._last_proposal_at[instance] = now
         if self.metrics is not None:
             for tx in batch:
-                self.metrics.latency.record_proposed(tx.tx_id, self.transport.now())
+                self.metrics.latency.record_proposed(tx.tx_id, now)
+        tracer = self.tracer
+        if tracer is not None:
+            view = self.endpoints[instance].view
+            for tx in batch:
+                if tracer.sampled(tx.tx_id):
+                    tracer.emit(
+                        tx.tx_id, "proposed", now, instance=instance, view=view
+                    )
         self.endpoints[instance].broadcast_block(block)
 
     def _should_propose_noop(self, instance: int) -> bool:
@@ -293,33 +359,82 @@ class MultiBFTReplica(Process):
 
     # -- delivery path --------------------------------------------------------------------
 
+    def _on_prepared(self, block: Block, view: int) -> None:
+        """Tracing hook: a slot reached the prepared state on this replica."""
+        tracer = self.tracer
+        if tracer is None or self._crashed:
+            return
+        now = self.transport.now()
+        for tx in block.transactions:
+            if tracer.sampled(tx.tx_id):
+                tracer.emit(
+                    tx.tx_id, "prepared", now, instance=block.instance, view=view
+                )
+
     def _on_deliver(self, block: Block) -> None:
         if self._crashed:
             return
+        now = self.transport.now()
+        tracer = self.tracer
         if self.metrics is not None:
             for tx in block.transactions:
-                self.metrics.latency.record_delivered(tx.tx_id, self.transport.now())
+                self.metrics.latency.record_delivered(tx.tx_id, now)
+        if tracer is not None:
+            view = self.endpoints[block.instance].view
+            for tx in block.transactions:
+                if tracer.sampled(tx.tx_id):
+                    tracer.emit(
+                        tx.tx_id, "committed", now, instance=block.instance, view=view
+                    )
+        if self._obs_on:
+            self._sb_delivered_at[(block.instance, block.sequence_number)] = now
+        ordered_before = self.core.global_orderer.ordered_count
         outcomes = self.core.on_block_delivered(block)
+        if self._obs_on:
+            self._note_bar_released(ordered_before, now)
         self.outcomes.extend(outcomes)
         for outcome in outcomes:
             if self.metrics is not None:
                 self.metrics.record_outcome(
                     outcome.tx.tx_id,
-                    self.transport.now(),
+                    now,
                     committed=outcome.committed,
                     partial_path=outcome.path is ConfirmationPath.PARTIAL,
                 )
+            if tracer is not None and tracer.sampled(outcome.tx.tx_id):
+                tracer.emit(outcome.tx.tx_id, "executed", now)
             client_node = self._client_of_tx.get(outcome.tx.tx_id)
             if client_node is not None:
                 reply = ClientReply(
                     tx_id=outcome.tx.tx_id,
                     replica=self.node_id,
                     committed=outcome.committed,
-                    confirmed_at=self.transport.now(),
+                    confirmed_at=now,
                 )
                 self._cache_reply(reply)
                 self.transport.send(client_node, reply)
         self._broadcast_checkpoints()
+
+    def _note_bar_released(self, ordered_before: int, now: float) -> None:
+        """Record bar-wait time and trace ``bar_released`` for every block
+        the last delivery pushed past the global-ordering bar."""
+        released = self.core.global_orderer.global_log[ordered_before:]
+        tracer = self.tracer
+        for ordered_block in released:
+            key = (ordered_block.instance, ordered_block.sequence_number)
+            delivered_at = self._sb_delivered_at.pop(key, None)
+            if delivered_at is not None:
+                self._h_bar_wait.observe(now - delivered_at)
+            if tracer is None:
+                continue
+            for tx in ordered_block.transactions:
+                if tracer.sampled(tx.tx_id):
+                    tracer.emit(
+                        tx.tx_id,
+                        "bar_released",
+                        now,
+                        instance=ordered_block.instance,
+                    )
 
     def _cache_reply(self, reply: ClientReply) -> None:
         """Insert a reply into the bounded retransmission cache.
@@ -332,8 +447,10 @@ class MultiBFTReplica(Process):
         """
         self._reply_of_tx[reply.tx_id] = reply
         if len(self._reply_of_tx) > self.reply_cache_limit:
-            for stale in list(self._reply_of_tx)[: self.reply_cache_limit // 2]:
+            stale_keys = list(self._reply_of_tx)[: self.reply_cache_limit // 2]
+            for stale in stale_keys:
                 del self._reply_of_tx[stale]
+            self._c_reply_cache_evictions.inc(len(stale_keys))
 
     def _broadcast_checkpoints(self) -> None:
         pending = getattr(self.core, "pending_checkpoints", None)

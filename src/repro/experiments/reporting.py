@@ -161,6 +161,44 @@ def engine_summary(engine: ExperimentEngine) -> str:
     )
 
 
+def phase_slo_table(phases: Sequence) -> str:
+    """Per-fault-phase SLO table (pre/during/post latency + availability).
+
+    ``phases`` is a sequence of :class:`repro.obs.slo.PhaseSLO`.
+    """
+    rows = []
+    for slo in phases:
+        rows.append(
+            (
+                slo.phase,
+                f"{slo.duration:.1f}",
+                slo.submitted,
+                slo.completed,
+                slo.committed,
+                f"{slo.p50 * 1000:.1f}",
+                f"{slo.p99 * 1000:.1f}",
+                f"{slo.p999 * 1000:.1f}",
+                f"{slo.availability * 100:.1f}%",
+                "-" if slo.view_changes is None else slo.view_changes,
+            )
+        )
+    return format_table(
+        [
+            "phase",
+            "secs",
+            "submitted",
+            "completed",
+            "committed",
+            "p50 (ms)",
+            "p99 (ms)",
+            "p999 (ms)",
+            "availability",
+            "view changes",
+        ],
+        rows,
+    )
+
+
 def relative_change(baseline: float, value: float) -> float:
     """Relative change of ``value`` with respect to ``baseline`` (fraction)."""
     if baseline == 0:

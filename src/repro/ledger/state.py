@@ -28,6 +28,11 @@ class StateStore:
         # probes then only re-hash objects that actually changed.
         self._digest_cache: dict[str, tuple[int, str]] = {}
         self._sorted_keys: list[str] | None = None
+        #: Digest-memo effectiveness counters (plain ints: cheap enough for
+        #: the simulator hot path, surfaced by the live metrics registry via
+        #: callback gauges).
+        self.digest_cache_hits = 0
+        self.digest_cache_misses = 0
 
     # -- population --------------------------------------------------------
 
@@ -159,15 +164,20 @@ class StateStore:
             keys = self._sorted_keys = sorted(self._objects)
         cache = self._digest_cache
         accumulator = DigestAccumulator()
+        hits = misses = 0
         for key in keys:
             obj = self._objects[key]
             cached = cache.get(key)
             if cached is not None and cached[0] == obj.version:
                 entry = cached[1]
+                hits += 1
             else:
                 entry = digest(obj)
                 cache[key] = (obj.version, entry)
+                misses += 1
             accumulator.append(entry)
+        self.digest_cache_hits += hits
+        self.digest_cache_misses += misses
         return accumulator.hexdigest()
 
     def copy(self) -> "StateStore":

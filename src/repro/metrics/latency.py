@@ -155,6 +155,10 @@ class LatencyTracker:
 
     # -- aggregation ------------------------------------------------------------
 
+    def timelines(self) -> list[TransactionTimeline]:
+        """All recorded timelines (phase-windowed SLO reports iterate these)."""
+        return list(self._timelines.values())
+
     def confirmed_timelines(self) -> list[TransactionTimeline]:
         """Timelines of transactions that reached confirmation."""
         return [t for t in self._timelines.values() if t.confirmed_at is not None]

@@ -45,19 +45,32 @@ class ThroughputTracker:
     def series(
         self, start: float, end: float, window: float = 0.5
     ) -> list[ThroughputPoint]:
-        """Windowed throughput series (the paper uses 0.5 s windows)."""
+        """Windowed throughput series (the paper uses 0.5 s windows).
+
+        Window boundaries are computed as ``start + i * window`` rather than
+        by accumulating ``window_start += window``: over the thousands of
+        windows a long run produces, accumulation drifts (each addition
+        rounds), shifting late windows off the grid the latency series uses
+        and miscounting confirmations near the drifted edges.
+        """
         if end <= start or window <= 0:
             return []
-        points: list[ThroughputPoint] = []
         sorted_times = sorted(self._confirmations)
         index = 0
-        window_start = start
-        while window_start < end:
-            window_end = min(window_start + window, end)
+        # Confirmations before the series begins are skipped once, not
+        # re-scanned per window.
+        while index < len(sorted_times) and sorted_times[index] < start:
+            index += 1
+        num_windows = max(1, -int(-(end - start) // window))
+        points: list[ThroughputPoint] = []
+        for position in range(num_windows):
+            window_start = start + position * window
+            if window_start >= end:
+                break
+            window_end = min(start + (position + 1) * window, end)
             count = 0
             while index < len(sorted_times) and sorted_times[index] < window_end:
-                if sorted_times[index] >= window_start:
-                    count += 1
+                count += 1
                 index += 1
             points.append(
                 ThroughputPoint(
@@ -66,5 +79,4 @@ class ThroughputTracker:
                     transactions=count,
                 )
             )
-            window_start = window_end
         return points

@@ -1,0 +1,48 @@
+"""Observability: metrics registry, cross-process tracing, structured logs.
+
+The live runtime is instrumented through three cooperating pieces:
+
+* :mod:`repro.obs.registry` — named counters/gauges/histograms collected in a
+  per-process :class:`MetricsRegistry`; a shared inert :data:`NULL_REGISTRY`
+  makes every instrument a no-op so the deterministic simulator pays nothing
+  and stays bit-identical.
+* :mod:`repro.obs.trace` — sampled per-transaction span events appended to
+  JSONL files, one per process, stitched back into a cross-process timeline
+  on the shared monotonic clock.
+* :mod:`repro.obs.logging` — one-call structured (JSON-lines) or text logging
+  setup shared by ``repro serve``/``repro cluster``.
+* :mod:`repro.obs.slo` — per-fault-phase (pre/during/post) latency and
+  availability windows computed from client-side timelines.
+"""
+
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    TRACE_EVENTS,
+    StitchedTrace,
+    TraceEvent,
+    TraceWriter,
+    load_trace_events,
+    sample_tx,
+    stitch,
+)
+
+__all__ = [
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TRACE_EVENTS",
+    "StitchedTrace",
+    "TraceEvent",
+    "TraceWriter",
+    "load_trace_events",
+    "sample_tx",
+    "stitch",
+]

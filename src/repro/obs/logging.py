@@ -1,0 +1,86 @@
+"""Shared logging setup for the live runtime CLIs.
+
+``repro serve`` (and therefore every ``repro cluster`` child) routes its
+stderr into per-replica log files; this module controls what lands there:
+a ``--log-level`` threshold and either the classic text format or JSON
+lines, one object per record, machine-greppable across a whole run
+directory (``{"t": ..., "level": ..., "logger": ..., "msg": ..., ...}``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Any
+
+#: Accepted ``--log-level`` values, mapped onto the stdlib levels.
+LOG_LEVELS: dict[str, int] = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: Accepted ``--log-format`` values.
+LOG_FORMATS: tuple[str, ...] = ("text", "json")
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Render each record as one JSON object per line.
+
+    ``context`` fields (e.g. ``{"replica": 3}``) are merged into every
+    record so one grep over a run directory can filter by process.
+    """
+
+    def __init__(self, context: dict[str, Any] | None = None) -> None:
+        super().__init__()
+        self.context = dict(context or {})
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: dict[str, Any] = {
+            "t": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        entry.update(self.context)
+        if record.exc_info and record.exc_info[0] is not None:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry, separators=(",", ":"), default=str)
+
+
+def setup_logging(
+    level: str = "info",
+    fmt: str = "text",
+    *,
+    stream: IO[str] | None = None,
+    context: dict[str, Any] | None = None,
+) -> logging.Handler:
+    """Configure the root logger once for a CLI process.
+
+    Idempotent: previous handlers installed by this function are replaced,
+    so re-invocation (tests, in-process drivers) never duplicates output.
+    Returns the installed handler.
+    """
+    level_value = LOG_LEVELS.get(level.lower())
+    if level_value is None:
+        raise ValueError(f"unknown log level {level!r} (choose from {sorted(LOG_LEVELS)})")
+    if fmt not in LOG_FORMATS:
+        raise ValueError(f"unknown log format {fmt!r} (choose from {LOG_FORMATS})")
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if fmt == "json":
+        handler.set_name("repro-obs-json")
+        handler.setFormatter(JsonLineFormatter(context))
+    else:
+        handler.set_name("repro-obs-text")
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+    root = logging.getLogger()
+    for existing in list(root.handlers):
+        if (existing.get_name() or "").startswith("repro-obs-"):
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    root.setLevel(level_value)
+    return handler

@@ -1,0 +1,250 @@
+"""Named-instrument metrics registry for the live runtime.
+
+One :class:`MetricsRegistry` lives inside each live process (replica server,
+benchmark harness).  Instruments are created once by name and then mutated on
+hot paths with plain attribute arithmetic — no locks are needed because every
+producer runs on the single consensus event loop, and the control-plane
+reader snapshots from that same loop.
+
+The simulator must stay bit-identical and pay nothing for instrumentation,
+so the registry has an inert twin: :data:`NULL_REGISTRY` hands out shared
+no-op instruments whose mutators discard their arguments.  Code holds an
+instrument reference either way and never branches on "is observability on"
+in a hot path.
+
+Instrument naming convention: ``<layer>.<metric>`` with the layer one of
+``transport``, ``server``, ``replica``, ``consensus``, ``ledger`` or
+``workers`` (see ``docs/observability.md`` for the full catalogue).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable
+
+#: Histogram bucket ladder: powers of two from 1 µs up to ~17 minutes (also
+#: covers dimensionless sizes 1..2^30).  44 buckets keeps ``observe`` a
+#: single bisect over a small tuple.
+_BUCKET_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2.0**k for k in range(44))
+
+
+class Counter:
+    """Monotonic counter (``inc``); read through :attr:`value`."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value: ``set`` explicitly, or computed by a callback.
+
+    Callback gauges (see :meth:`MetricsRegistry.gauge_fn`) are evaluated
+    lazily at snapshot time, so tracking a queue depth or a bucket backlog
+    costs nothing between control-plane reads.
+    """
+
+    __slots__ = ("name", "value", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], float] | None = None) -> None:
+        self.name = name
+        self.value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def read(self) -> float:
+        if self.fn is not None:
+            try:
+                return float(self.fn())
+            except Exception:
+                # A dying callback (e.g. probing a torn-down replica) must
+                # never break a metrics snapshot.
+                return 0.0
+        return self.value
+
+
+class Histogram:
+    """Fixed-ladder exponential histogram (count/sum/max + quantiles).
+
+    ``observe`` is O(log buckets); quantiles are estimated as the geometric
+    midpoint of the bucket holding the requested rank, which is accurate to
+    the 2x bucket width — plenty for latency reporting.
+    """
+
+    __slots__ = ("name", "count", "total", "maximum", "_buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.maximum = 0.0
+        # One overflow slot past the ladder for values beyond the last bound.
+        self._buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+        self._buckets[bisect_right(_BUCKET_BOUNDS, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) of observed values."""
+        if self.count == 0:
+            return 0.0
+        rank = q * (self.count - 1)
+        seen = 0
+        for index, bucket_count in enumerate(self._buckets):
+            if not bucket_count:
+                continue
+            seen += bucket_count
+            if seen > rank:
+                if index == 0:
+                    return _BUCKET_BOUNDS[0] / 2.0
+                if index >= len(_BUCKET_BOUNDS):
+                    return self.maximum
+                low = _BUCKET_BOUNDS[index - 1]
+                high = min(_BUCKET_BOUNDS[index], self.maximum or _BUCKET_BOUNDS[index])
+                return (low + high) / 2.0
+        return self.maximum
+
+
+class MetricsRegistry:
+    """Create-by-name instrument registry with a flat snapshot view."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def gauge_fn(self, name: str, fn: Callable[[], float]) -> Gauge:
+        """Register (or re-bind) a callback gauge evaluated at snapshot time."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name, fn)
+        else:
+            instrument.fn = fn
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``{name: value}`` view of every instrument.
+
+        Histograms expand into ``<name>.count/.mean/.p50/.p99/.max`` so the
+        snapshot stays a JSON-friendly flat float map on the control plane.
+        """
+        out: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = float(counter.value)
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.read()
+        for name, histogram in self._histograms.items():
+            out[f"{name}.count"] = float(histogram.count)
+            out[f"{name}.mean"] = histogram.mean
+            out[f"{name}.p50"] = histogram.quantile(0.50)
+            out[f"{name}.p99"] = histogram.quantile(0.99)
+            out[f"{name}.max"] = histogram.maximum
+        return dict(sorted(out.items()))
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+    fn = None
+
+    def set(self, value: float) -> None:
+        pass
+
+    def read(self) -> float:
+        return 0.0
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    count = 0
+    total = 0.0
+    maximum = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """Inert registry: every instrument is a shared do-nothing singleton.
+
+    This is what the simulator (and ``--no-obs`` live replicas) hold, so
+    instrumented code never branches: ``self._hits.inc()`` is simply a no-op
+    method call.  ``snapshot`` is empty, signalling "not instrumented" to
+    the control plane.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def gauge_fn(self, name: str, fn: Callable[[], float]) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> dict[str, float]:
+        return {}
+
+
+#: Process-wide inert registry; the simulator's default.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,211 @@
+"""Phase-aware SLO windows: pre/during/post-fault latency and availability.
+
+A chaos run is three experiments in one: the healthy warm-up before the
+first fault fires, the degraded window while faults are active (plus the
+detection/view-change settle time), and the recovered tail.  One end-of-run
+aggregate blurs them together; this module splits the client-observed
+timelines into those windows and computes, per phase:
+
+* p50/p99/p999 **committed latency** (submit → f+1 replies, committed txs
+  whose reply landed inside the phase);
+* **time-windowed availability** — the fraction of fixed-size sub-windows
+  (0.5 s, the paper's Fig. 7 resolution) in which at least one transaction
+  completed, over the sub-windows where completions were in demand;
+* **view changes** attributed to the phase from mid-run control-plane
+  samples.
+
+All timestamps live on the shared monotonic clock (``loop.time()``), the
+same axis the trace files and ``LatencyTracker`` use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+#: Availability sub-window width in seconds (matches the throughput series).
+AVAILABILITY_WINDOW = 0.5
+
+#: Phase names in order.
+PHASE_NAMES: tuple[str, ...] = ("pre", "during", "post")
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of ``samples`` (0 for an empty sequence)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+@dataclass(frozen=True)
+class PhaseWindow:
+    """One named half-open time window ``[start, end)`` on the run clock."""
+
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def fault_phase_windows(
+    run_start: float,
+    run_end: float,
+    event_times: Iterable[float],
+    *,
+    settle: float = 0.0,
+) -> list[PhaseWindow]:
+    """Split ``[run_start, run_end)`` around fault events.
+
+    ``pre`` ends at the first event, ``during`` spans first event → last
+    event + ``settle`` (the failure-detector/view-change window — a crash's
+    damage outlives the SIGKILL instant), ``post`` is the rest.  Events
+    outside the run and empty windows are dropped; with no events the whole
+    run is a single ``pre`` window.
+    """
+    times = sorted(t for t in event_times if run_start <= t <= run_end)
+    if run_end <= run_start:
+        return []
+    if not times:
+        return [PhaseWindow("pre", run_start, run_end)]
+    during_start = times[0]
+    during_end = min(run_end, times[-1] + max(0.0, settle))
+    windows = [
+        PhaseWindow("pre", run_start, during_start),
+        PhaseWindow("during", during_start, during_end),
+        PhaseWindow("post", during_end, run_end),
+    ]
+    return [w for w in windows if w.duration > 1e-9]
+
+
+@dataclass
+class PhaseSLO:
+    """Client-observed service levels within one phase window."""
+
+    phase: str
+    start: float
+    end: float
+    submitted: int = 0
+    completed: int = 0
+    committed: int = 0
+    p50: float = 0.0
+    p99: float = 0.0
+    p999: float = 0.0
+    #: Fraction of in-demand availability sub-windows with >= 1 completion.
+    availability: float = 1.0
+    #: View changes attributed to this phase (None: no mid-run samples).
+    view_changes: int | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def _counter_at(samples: Sequence[tuple[float, int]], when: float) -> int:
+    """Value of a sampled monotonic counter at time ``when`` (0 before the
+    first sample; last sample at or before ``when`` otherwise)."""
+    value = 0
+    for t, count in samples:
+        if t > when:
+            break
+        value = count
+    return value
+
+
+def compute_phase_slos(
+    windows: Sequence[PhaseWindow],
+    timelines: Iterable,
+    *,
+    availability_window: float = AVAILABILITY_WINDOW,
+    view_change_samples: Sequence[tuple[float, int]] | None = None,
+) -> list[PhaseSLO]:
+    """Compute per-phase SLOs from client-side transaction timelines.
+
+    ``timelines`` is an iterable of
+    :class:`~repro.metrics.latency.TransactionTimeline` (only
+    ``submitted_at``/``replied_at``/``committed`` are consulted).
+    ``view_change_samples`` is an optional sorted list of
+    ``(time, cumulative view changes)`` pairs from mid-run status polls.
+    """
+    records = [
+        (t.submitted_at, t.replied_at, t.committed)
+        for t in timelines
+        if t.submitted_at is not None
+    ]
+    samples = sorted(view_change_samples or [])
+    out: list[PhaseSLO] = []
+    for window in windows:
+        latencies: list[float] = []
+        submitted = completed = committed = 0
+        completions: list[float] = []
+        for submitted_at, replied_at, was_committed in records:
+            if window.start <= submitted_at < window.end:
+                submitted += 1
+            if replied_at is None or not window.start <= replied_at < window.end:
+                continue
+            completed += 1
+            completions.append(replied_at)
+            if was_committed:
+                committed += 1
+                latencies.append(replied_at - submitted_at)
+        slo = PhaseSLO(
+            phase=window.name,
+            start=window.start,
+            end=window.end,
+            submitted=submitted,
+            completed=completed,
+            committed=committed,
+            p50=quantile(latencies, 0.50),
+            p99=quantile(latencies, 0.99),
+            p999=quantile(latencies, 0.999),
+        )
+        slo.availability = _availability(
+            window, records, completions, availability_window
+        )
+        if samples:
+            slo.view_changes = max(
+                0, _counter_at(samples, window.end) - _counter_at(samples, window.start)
+            )
+        out.append(slo)
+    return out
+
+
+def _availability(
+    window: PhaseWindow,
+    records: list[tuple[float, float | None, bool]],
+    completions: list[float],
+    sub_window: float,
+) -> float:
+    """Fraction of in-demand sub-windows in which something completed.
+
+    A sub-window is *in demand* when at least one transaction was submitted
+    at or before its end and had not completed before it began — i.e. a
+    client was actually waiting.  Idle sub-windows (nothing outstanding)
+    don't count against availability; a phase with no demand at all is
+    vacuously 100% available.
+    """
+    if sub_window <= 0 or window.duration <= 0:
+        return 1.0
+    count = int(window.duration / sub_window + 0.999999)
+    completed_sorted = sorted(completions)
+    available = 0
+    in_demand = 0
+    for index in range(count):
+        sub_start = window.start + index * sub_window
+        sub_end = min(window.start + (index + 1) * sub_window, window.end)
+        demand = any(
+            submitted_at <= sub_end and (replied_at is None or replied_at >= sub_start)
+            for submitted_at, replied_at, _ in records
+        )
+        if not demand:
+            continue
+        in_demand += 1
+        if any(sub_start <= t < sub_end for t in completed_sorted):
+            available += 1
+    if in_demand == 0:
+        return 1.0
+    return available / in_demand

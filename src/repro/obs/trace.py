@@ -1,0 +1,294 @@
+"""Cross-process transaction tracing: sampled span events + stitching.
+
+Every traced process (client, each replica) appends one JSON line per span
+event to its own trace file.  Events carry the *shared monotonic clock*
+timestamp (``loop.time()``; see ``AsyncioTransport.now``), so events written
+by different processes on one host are directly comparable and a
+transaction's journey can be stitched back together after the run:
+
+``submitted`` (client) → ``received`` → ``proposed`` → ``prepared`` →
+``committed`` (SB delivery) → ``bar_released`` (global order) →
+``executed`` → ``replied`` (client holds f+1).
+
+Sampling is **deterministic by transaction id** (:func:`sample_tx`): every
+process independently hashes the tx id against the same rate and reaches the
+same keep/drop decision, so a sampled transaction is sampled *everywhere*
+and its stitched timeline is never missing a process.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterable
+
+#: Span events in pipeline order (used to order rendering and map stages).
+TRACE_EVENTS: tuple[str, ...] = (
+    "submitted",
+    "received",
+    "proposed",
+    "prepared",
+    "committed",
+    "bar_released",
+    "executed",
+    "replied",
+)
+
+#: (stage, start event, end event): the five-stage breakdown of Fig. 6
+#: expressed over trace events.  ``committed`` is the SB delivery and
+#: ``executed`` the confirmation, matching ``delivered_at``/``confirmed_at``
+#: in :mod:`repro.metrics.latency`.
+TRACE_STAGE_BOUNDARIES: tuple[tuple[str, str, str], ...] = (
+    ("send", "submitted", "received"),
+    ("preprocessing", "received", "proposed"),
+    ("partial_ordering", "proposed", "committed"),
+    ("global_ordering", "committed", "executed"),
+    ("reply", "executed", "replied"),
+)
+
+_SAMPLE_BUCKETS = 1 << 16
+
+
+def sample_tx(tx_id: str, rate: float) -> bool:
+    """Deterministic keep/drop decision for one transaction at ``rate``.
+
+    Hash-based, not random: every process computes the same answer for the
+    same tx id, so cross-process stitching never sees partial transactions.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    bucket = zlib.crc32(tx_id.encode("utf-8")) % _SAMPLE_BUCKETS
+    return bucket < rate * _SAMPLE_BUCKETS
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One span event of one transaction, as written by one process."""
+
+    tx_id: str
+    event: str
+    t: float
+    node: int
+    instance: int | None = None
+    view: int | None = None
+
+    def to_json(self) -> str:
+        record: dict = {"tx": self.tx_id, "event": self.event, "t": self.t, "node": self.node}
+        if self.instance is not None:
+            record["instance"] = self.instance
+        if self.view is not None:
+            record["view"] = self.view
+        return json.dumps(record, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        data = json.loads(line)
+        return cls(
+            tx_id=str(data["tx"]),
+            event=str(data["event"]),
+            t=float(data["t"]),
+            node=int(data.get("node", -1)),
+            instance=None if data.get("instance") is None else int(data["instance"]),
+            view=None if data.get("view") is None else int(data["view"]),
+        )
+
+
+#: Events buffered before an implicit flush (bounds loss on a hard kill
+#: without paying one write syscall per event).
+FLUSH_EVERY = 64
+
+
+class TraceWriter:
+    """Append-only JSONL trace sink for one process.
+
+    ``emit`` is the hot-path call: the caller is expected to check
+    :meth:`sampled` once per transaction and skip event construction
+    entirely for unsampled ids.  Writes are buffered and flushed every
+    :data:`FLUSH_EVERY` events, on :meth:`flush` (the server's periodic
+    metrics timer calls it) and on :meth:`close`.
+    """
+
+    def __init__(self, path: str | Path, *, node: int, sample_rate: float = 1.0) -> None:
+        self.path = Path(path)
+        self.node = node
+        self.sample_rate = max(0.0, min(1.0, sample_rate))
+        self.events_written = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file: IO[str] | None = self.path.open("a", encoding="utf-8")
+        self._unflushed = 0
+
+    def sampled(self, tx_id: str) -> bool:
+        """Whether ``tx_id`` is traced at this writer's sample rate."""
+        return sample_tx(tx_id, self.sample_rate)
+
+    def emit(
+        self,
+        tx_id: str,
+        event: str,
+        t: float,
+        *,
+        instance: int | None = None,
+        view: int | None = None,
+    ) -> None:
+        """Append one span event (caller has already checked :meth:`sampled`)."""
+        if self._file is None:
+            return
+        self._file.write(
+            TraceEvent(
+                tx_id=tx_id, event=event, t=t, node=self.node, instance=instance, view=view
+            ).to_json()
+            + "\n"
+        )
+        self.events_written += 1
+        self._unflushed += 1
+        if self._unflushed >= FLUSH_EVERY:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            self._unflushed = 0
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            self._file.close()
+            self._file = None
+
+
+# -- reading + stitching -------------------------------------------------------
+
+
+def read_trace_file(path: str | Path) -> list[TraceEvent]:
+    """Parse one JSONL trace file, skipping unparseable (torn) lines."""
+    events: list[TraceEvent] = []
+    try:
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(TraceEvent.from_json(line))
+                except (ValueError, KeyError):
+                    # A process killed mid-write leaves a torn final line;
+                    # everything before it is still good.
+                    continue
+    except OSError:
+        return []
+    return events
+
+
+def trace_files_under(root: str | Path) -> list[Path]:
+    """Trace files under a run directory (``**/trace*.jsonl``)."""
+    return sorted(Path(root).glob("**/trace*.jsonl"))
+
+
+def load_trace_events(
+    root: str | Path | None = None, files: Iterable[str | Path] = ()
+) -> list[TraceEvent]:
+    """Load every event from a run directory and/or explicit files."""
+    events: list[TraceEvent] = []
+    paths: list[Path] = list(map(Path, files))
+    if root is not None:
+        paths.extend(trace_files_under(root))
+    for path in paths:
+        events.extend(read_trace_file(path))
+    return events
+
+
+@dataclass
+class StitchedTrace:
+    """One transaction's events merged across every process that saw it."""
+
+    tx_id: str
+    events: list[TraceEvent]
+
+    @property
+    def start(self) -> float:
+        return min(event.t for event in self.events)
+
+    def first(self, event_name: str) -> TraceEvent | None:
+        """Earliest occurrence of one event type (first receipt wins,
+        matching :class:`~repro.metrics.latency.LatencyTracker` semantics)."""
+        best: TraceEvent | None = None
+        for event in self.events:
+            if event.event == event_name and (best is None or event.t < best.t):
+                best = event
+        return best
+
+    def stage_durations(self) -> dict[str, float]:
+        """Five-stage durations from the earliest event of each boundary.
+
+        Only stages whose two boundary events are both present appear, so the
+        result is directly comparable to
+        :meth:`~repro.metrics.latency.LatencyTracker.stage_breakdown_partial`.
+        """
+        durations: dict[str, float] = {}
+        for stage, start_name, end_name in TRACE_STAGE_BOUNDARIES:
+            start = self.first(start_name)
+            end = self.first(end_name)
+            if start is not None and end is not None:
+                durations[stage] = end.t - start.t
+        return durations
+
+    def lines(self) -> list[str]:
+        """Human-readable stitched timeline."""
+        origin = self.start
+        nodes = sorted({event.node for event in self.events})
+        out = [
+            f"tx {self.tx_id}: {len(self.events)} events across "
+            f"{len(nodes)} nodes (origin t={origin:.6f})"
+        ]
+        order = {name: index for index, name in enumerate(TRACE_EVENTS)}
+        for event in sorted(
+            self.events, key=lambda e: (e.t, order.get(e.event, len(order)), e.node)
+        ):
+            extra = ""
+            if event.instance is not None:
+                extra += f" instance={event.instance}"
+            if event.view is not None:
+                extra += f" view={event.view}"
+            out.append(
+                f"  +{(event.t - origin) * 1000:9.3f} ms  "
+                f"{event.event:<13} node={event.node}{extra}"
+            )
+        durations = self.stage_durations()
+        if durations:
+            rendered = "  |  ".join(
+                f"{stage} {duration * 1000:.3f} ms" for stage, duration in durations.items()
+            )
+            out.append(f"  stages: {rendered}")
+        return out
+
+
+def stitch(events: Iterable[TraceEvent], tx_id: str) -> StitchedTrace | None:
+    """Collect one transaction's events into a stitched timeline.
+
+    ``tx_id`` may be a unique prefix of the full id (CLI convenience);
+    ``None`` is returned when nothing matches, and a ``ValueError`` raised
+    when a prefix is ambiguous.
+    """
+    exact = [event for event in events if event.tx_id == tx_id]
+    if exact:
+        return StitchedTrace(tx_id=tx_id, events=exact)
+    matches: dict[str, list[TraceEvent]] = {}
+    for event in events:
+        if event.tx_id.startswith(tx_id):
+            matches.setdefault(event.tx_id, []).append(event)
+    if not matches:
+        return None
+    if len(matches) > 1:
+        sample = ", ".join(sorted(matches)[:4])
+        raise ValueError(f"tx id prefix {tx_id!r} is ambiguous ({sample}, ...)")
+    full_id, found = matches.popitem()
+    return StitchedTrace(tx_id=full_id, events=found)
+
+
+def trace_tx_ids(events: Iterable[TraceEvent]) -> list[str]:
+    """Distinct transaction ids present in ``events`` (sorted)."""
+    return sorted({event.tx_id for event in events})

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable
 
@@ -234,6 +234,10 @@ class ChaosController:
         self.cluster = cluster
         self.plan = plan
         self.events: list[ChaosEvent] = []
+        #: Loop time :meth:`run` started polling at (``None`` until then);
+        #: ``started_at + event.at`` places events on the shared clock, the
+        #: axis the phase-window SLO split uses.
+        self.started_at: float | None = None
         #: Replicas intentionally down right now (``cluster.check()`` hygiene:
         #: a chaos-killed process is not an unexpected exit).
         self.down: set[int] = set()
@@ -290,7 +294,7 @@ class ChaosController:
         generator.
         """
         loop = asyncio.get_running_loop()
-        started = loop.time()
+        started = self.started_at = loop.time()
         while self._pending:
             await asyncio.sleep(poll_interval)
             elapsed = loop.time() - started
@@ -362,16 +366,80 @@ async def run_chaos(cluster_spec, load_config) -> ChaosRunResult:
     executes scheduled crashes/restarts concurrently with the load generator,
     and returns the combined result.  The cluster is always torn down.
     """
+    from repro.obs.slo import compute_phase_slos, fault_phase_windows
+    from repro.runtime.client import ClientConfig, ClientError, OrthrusClient
     from repro.runtime.cluster import LocalCluster
     from repro.runtime.loadgen import LoadGenerator
 
     cluster = LocalCluster(cluster_spec)
+    if (
+        cluster.run_dir is not None
+        and cluster_spec.trace_sample > 0
+        and cluster_spec.obs_enabled
+        and load_config.trace_file is None
+    ):
+        # The replicas trace into the run directory; give the client's span
+        # events a home there too so stitched timelines are complete.
+        load_config = replace(
+            load_config,
+            trace_file=str(cluster.run_dir / "client" / "trace.jsonl"),
+            trace_sample=cluster_spec.trace_sample,
+        )
     await asyncio.to_thread(cluster.start)
     controller = ChaosController(cluster, cluster_spec.faults)
     chaos_task = asyncio.create_task(controller.run())
+    loop = asyncio.get_running_loop()
+    #: Mid-run (time, cumulative view changes) samples for per-phase deltas.
+    view_change_samples: list[tuple[float, int]] = []
+    poll_stop = asyncio.Event()
+
+    async def poll_view_changes() -> None:
+        probe = OrthrusClient(
+            list(cluster.endpoints),
+            ClientConfig(client_id=load_config.client.client_id + 1, timeout=2.0),
+        )
+        try:
+            await probe.connect(require_all=False)
+        except (ClientError, OSError):
+            return
+        try:
+            while not poll_stop.is_set():
+                try:
+                    statuses = await probe.cluster_status()
+                    view_change_samples.append(
+                        (loop.time(), sum(s.view_changes for s in statuses))
+                    )
+                except (ClientError, OSError):
+                    pass
+                try:
+                    await asyncio.wait_for(poll_stop.wait(), timeout=0.5)
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            await probe.close()
+
+    poll_task = asyncio.create_task(poll_view_changes())
     try:
         generator = LoadGenerator(list(cluster.endpoints), load_config)
         report = await generator.run()
+        poll_stop.set()
+        await poll_task
+        # Split the run into pre/during/post-fault phases.  Event times are
+        # relative to the controller's start; the settle margin keeps the
+        # failure-detector/view-change aftermath inside "during".
+        if controller.started_at is not None and controller.events:
+            event_times = [controller.started_at + e.at for e in controller.events]
+            windows = fault_phase_windows(
+                report.started_at,
+                report.ended_at,
+                event_times,
+                settle=cluster_spec.view_change_timeout,
+            )
+            report.phases = compute_phase_slos(
+                windows,
+                generator.collector.latency.timelines(),
+                view_change_samples=view_change_samples,
+            )
         return ChaosRunResult(
             report=report,
             events=list(controller.events),
@@ -379,9 +447,11 @@ async def run_chaos(cluster_spec, load_config) -> ChaosRunResult:
             unfired_actions=controller.unfired_actions(),
         )
     finally:
-        chaos_task.cancel()
-        try:
-            await chaos_task
-        except asyncio.CancelledError:
-            pass
+        poll_stop.set()
+        for task in (poll_task, chaos_task):
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
         await asyncio.to_thread(cluster.stop)

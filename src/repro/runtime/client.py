@@ -28,7 +28,14 @@ from repro.runtime.codec import (
     encode_envelope,
 )
 from repro.runtime.config import parse_endpoint
-from repro.runtime.control import Hello, ShutdownRequest, StatusReply, StatusRequest
+from repro.runtime.control import (
+    Hello,
+    MetricsReply,
+    MetricsRequest,
+    ShutdownRequest,
+    StatusReply,
+    StatusRequest,
+)
 from repro.runtime.framing import (
     FrameError,
     FrameReader,
@@ -174,6 +181,7 @@ class OrthrusClient:
         self._out_pending: dict[int, list[bytes]] = {}
         self._sweeper: asyncio.Task[None] | None = None
         self._status_waiters: dict[int, asyncio.Future[StatusReply]] = {}
+        self._metrics_waiters: dict[int, asyncio.Future[MetricsReply]] = {}
         self._nonces = itertools.count(1)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._closed = False
@@ -453,6 +461,11 @@ class OrthrusClient:
             if waiter is not None and not waiter.done():
                 waiter.set_result(message)
             return
+        if isinstance(message, MetricsReply):
+            metrics_waiter = self._metrics_waiters.pop(message.nonce, None)
+            if metrics_waiter is not None and not metrics_waiter.done():
+                metrics_waiter.set_result(message)
+            return
         tx_id = getattr(message, "tx_id", None)
         if tx_id is None:
             return
@@ -557,6 +570,58 @@ class OrthrusClient:
         if not statuses:
             raise ClientError("no replica answered a status probe")
         return statuses
+
+    async def metrics(self, replica_id: int, *, timeout: float = 5.0) -> MetricsReply:
+        """Query one replica's metrics-registry snapshot."""
+        assert self._loop is not None, "connect() first"
+        writer = self._writers.get(replica_id)
+        if writer is None or writer.is_closing():
+            raise ClientError(f"no connection to replica {replica_id}")
+        nonce = next(self._nonces)
+        waiter: asyncio.Future[MetricsReply] = self._loop.create_future()
+        self._metrics_waiters[nonce] = waiter
+        await write_frame(
+            writer,
+            encode_envelope(
+                self.config.client_id,
+                MetricsRequest(nonce=nonce),
+                version=self._version_for(replica_id),
+            ),
+        )
+        try:
+            return await asyncio.wait_for(waiter, timeout)
+        except asyncio.TimeoutError:
+            self._metrics_waiters.pop(nonce, None)
+            raise ClientError(f"metrics request to replica {replica_id} timed out")
+
+    async def cluster_metrics(
+        self,
+        *,
+        require_all: bool = False,
+        concurrency: int = STATUS_PROBE_CONCURRENCY,
+    ) -> list[MetricsReply]:
+        """Query every connected replica's metrics snapshot.
+
+        Mirrors :meth:`cluster_status`: dead replicas are skipped unless
+        ``require_all`` is set, probes run with bounded concurrency.
+        """
+        semaphore = asyncio.Semaphore(max(1, concurrency))
+
+        async def probe(replica_id: int) -> MetricsReply:
+            async with semaphore:
+                return await self.metrics(replica_id)
+
+        results = await asyncio.gather(
+            *(probe(replica_id) for replica_id in list(self._writers)),
+            return_exceptions=True,
+        )
+        replies = [reply for reply in results if isinstance(reply, MetricsReply)]
+        if require_all and len(replies) < len(results):
+            errors = [r for r in results if not isinstance(r, MetricsReply)]
+            raise ClientError(f"metrics probe failed: {errors[0]}")
+        if not replies:
+            raise ClientError("no replica answered a metrics probe")
+        return replies
 
     async def shutdown_cluster(self, reason: str = "client request") -> None:
         """Ask every replica to stop serving (used by the supervisor)."""

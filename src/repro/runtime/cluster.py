@@ -108,6 +108,24 @@ class ClusterSpec:
     transport: str = "tcp"
     #: Crypto/codec worker processes per replica (0 = inline).
     workers: int = 0
+    #: Observability master switch: ``False`` runs every replica with the
+    #: inert no-op registry (the A/B arm of the ``obs_overhead`` benchmark).
+    obs_enabled: bool = True
+    #: Directory run artifacts live under (``replica-<i>/trace.jsonl``,
+    #: ``replica-<i>/metrics.jsonl``, ``replica-<i>/stderr.log``).  ``None``
+    #: auto-creates a ``repro-run-*`` temp directory when tracing is
+    #: requested; artifacts under a run directory survive :meth:`stop` so
+    #: ``repro trace`` can stitch them afterwards.
+    run_dir: str | None = None
+    #: Fraction of transactions traced (0.0 = tracing off); the same
+    #: deterministic tx-id hash decides sampling in every process.
+    trace_sample: float = 0.0
+    #: Seconds between metrics-registry snapshots appended to each
+    #: replica's ``metrics.jsonl`` (written only when a run dir exists).
+    metrics_interval: float = 1.0
+    #: Stderr logging threshold and format for the replica processes.
+    log_level: str = "info"
+    log_format: str = "text"
 
     def __post_init__(self) -> None:
         if self.num_replicas < 4:
@@ -116,6 +134,10 @@ class ClusterSpec:
             raise ExperimentError(f"unknown cluster transport {self.transport!r}")
         if self.workers < 0:
             raise ExperimentError("workers cannot be negative")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ExperimentError("trace_sample must be within [0, 1]")
+        if self.metrics_interval <= 0:
+            raise ExperimentError("metrics_interval must be positive")
         validate_fault_plan(self.faults, self.num_replicas)
 
     def endpoints(self) -> tuple[tuple[str, int], ...]:
@@ -147,7 +169,23 @@ class LocalCluster:
         self._exits: dict[int, subprocess.Popen] = {}
         self._exit_event = threading.Event()
         self._watchers: list[threading.Thread] = []
+        #: Run-artifact directory: explicit, or a temp dir when tracing was
+        #: requested without one.  Artifacts under it are kept on stop().
+        self.run_dir: Path | None = None
+        if self.spec.run_dir is not None:
+            self.run_dir = Path(self.spec.run_dir)
+        elif self.spec.trace_sample > 0 and self.spec.obs_enabled:
+            self.run_dir = Path(tempfile.mkdtemp(prefix="repro-run-"))
+        if self.run_dir is not None:
+            self.run_dir.mkdir(parents=True, exist_ok=True)
         self.endpoints: tuple[tuple[str, int], ...] = self._pick_endpoints()
+
+    def replica_dir(self, replica_id: int) -> Path:
+        """Per-replica artifact directory under the run dir (created lazily)."""
+        assert self.run_dir is not None, "cluster has no run directory"
+        directory = self.run_dir / f"replica-{replica_id}"
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory
 
     # -- endpoint selection ---------------------------------------------------
 
@@ -183,6 +221,13 @@ class LocalCluster:
 
     def runtime_config(self, replica_id: int) -> ReplicaRuntimeConfig:
         """The :class:`ReplicaRuntimeConfig` replica ``replica_id`` runs with."""
+        trace_file = None
+        metrics_file = None
+        if self.run_dir is not None and self.spec.obs_enabled:
+            replica_dir = self.replica_dir(replica_id)
+            if self.spec.trace_sample > 0:
+                trace_file = str(replica_dir / "trace.jsonl")
+            metrics_file = str(replica_dir / "metrics.jsonl")
         return ReplicaRuntimeConfig(
             replica_id=replica_id,
             peers=self.endpoints,
@@ -197,6 +242,13 @@ class LocalCluster:
             in abstaining_replicas(self.spec.faults, self.spec.num_replicas),
             wire_version=self.spec.wire_version,
             workers=self.spec.workers,
+            obs_enabled=self.spec.obs_enabled,
+            trace_file=trace_file,
+            trace_sample=self.spec.trace_sample,
+            metrics_file=metrics_file,
+            metrics_interval=self.spec.metrics_interval,
+            log_level=self.spec.log_level,
+            log_format=self.spec.log_format,
         )
 
     def serve_command(self, replica_id: int) -> list[str]:
@@ -235,6 +287,26 @@ class LocalCluster:
             command += ["--wire-version", str(spec.wire_version)]
         if spec.workers > 0:
             command += ["--workers", str(spec.workers)]
+        if not spec.obs_enabled:
+            command += ["--no-obs"]
+        if runtime.trace_file is not None:
+            command += [
+                "--trace-file",
+                runtime.trace_file,
+                "--trace-sample",
+                str(runtime.trace_sample),
+            ]
+        if runtime.metrics_file is not None:
+            command += [
+                "--metrics-file",
+                runtime.metrics_file,
+                "--metrics-interval",
+                str(runtime.metrics_interval),
+            ]
+        if spec.log_level != "info":
+            command += ["--log-level", spec.log_level]
+        if spec.log_format != "text":
+            command += ["--log-format", spec.log_format]
         return command
 
     # -- lifecycle -----------------------------------------------------------
@@ -283,11 +355,16 @@ class LocalCluster:
         env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
         # stderr goes to a file, not a pipe: nobody reads a pipe during
         # the run, so a chatty replica would fill it and block inside a
-        # logging write.  The file is read back for diagnostics.
-        log = Path(tempfile.mkstemp(prefix=f"repro-replica-{replica_id}-")[1])
+        # logging write.  The file is read back for diagnostics.  With a run
+        # directory it lives there (append mode, so a restart keeps the
+        # pre-crash tail) and survives stop().
+        if self.run_dir is not None:
+            log = self.replica_dir(replica_id) / "stderr.log"
+        else:
+            log = Path(tempfile.mkstemp(prefix=f"repro-replica-{replica_id}-")[1])
         # Release this replica's port reservation at the last moment.
         self._release_reserved(replica_id)
-        with log.open("wb") as stderr_sink:
+        with log.open("ab") as stderr_sink:
             process = subprocess.Popen(
                 self.serve_command(replica_id),
                 stdout=subprocess.DEVNULL,
@@ -457,11 +534,14 @@ class LocalCluster:
             self._exits.clear()
         self._exit_event.clear()
         self._release_reserved()
-        for log in self._stderr_logs + self._retired_logs:
-            try:
-                log.unlink()
-            except OSError:
-                pass
+        # Run-directory artifacts (traces, metrics, stderr) outlive the
+        # cluster; only the anonymous temp logs are cleaned up.
+        if self.run_dir is None:
+            for log in self._stderr_logs + self._retired_logs:
+                try:
+                    log.unlink()
+                except OSError:
+                    pass
         self._stderr_logs.clear()
         self._retired_logs.clear()
         if self._socket_dir is not None:

@@ -93,6 +93,20 @@ class ReplicaRuntimeConfig:
         workers: Crypto/codec worker processes for this replica (0 = do all
             work inline on the event loop; the right choice for small
             clusters and single-core hosts).
+        obs_enabled: Observability master switch.  ``False`` swaps the
+            metrics registry for the inert no-op registry and disables
+            tracing/snapshots (the A/B arm of the ``obs_overhead``
+            benchmark).
+        trace_file: JSONL file this replica appends sampled transaction
+            span events to (``None`` = no tracing).
+        trace_sample: Fraction of transactions traced, decided
+            deterministically by tx id so every process samples the same
+            transactions (see :func:`repro.obs.trace.sample_tx`).
+        metrics_file: JSONL file periodic registry snapshots are appended
+            to (``None`` = no snapshots).
+        metrics_interval: Seconds between metrics snapshots.
+        log_level: Stderr logging threshold (debug/info/warning/error).
+        log_format: ``"text"`` or ``"json"`` (one JSON object per line).
     """
 
     replica_id: int
@@ -110,6 +124,13 @@ class ReplicaRuntimeConfig:
     byzantine_abstain: bool = False
     wire_version: int | None = None
     workers: int = 0
+    obs_enabled: bool = True
+    trace_file: str | None = None
+    trace_sample: float = 1.0
+    metrics_file: str | None = None
+    metrics_interval: float = 1.0
+    log_level: str = "info"
+    log_format: str = "text"
 
     def __post_init__(self) -> None:
         if len(self.peers) < 4:
@@ -124,6 +145,10 @@ class ReplicaRuntimeConfig:
             raise ConfigurationError("send_delay cannot be negative")
         if self.workers < 0:
             raise ConfigurationError("workers cannot be negative")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ConfigurationError("trace_sample must be within [0, 1]")
+        if self.metrics_interval <= 0:
+            raise ConfigurationError("metrics_interval must be positive")
 
     @property
     def num_replicas(self) -> int:

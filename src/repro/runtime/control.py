@@ -62,6 +62,27 @@ class StatusReply:
 
 
 @dataclass(frozen=True)
+class MetricsRequest:
+    """Probe a replica for its metrics-registry snapshot (mid-run polling)."""
+
+    nonce: int = 0
+
+
+@dataclass(frozen=True)
+class MetricsReply:
+    """A replica's registry snapshot: flat ``{instrument name: value}``.
+
+    Histograms appear expanded (``<name>.count/.mean/.p50/.p99/.max``); an
+    empty map means the replica runs with observability disabled.
+    """
+
+    nonce: int
+    replica: int
+    uptime: float = 0.0
+    metrics: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
 class ShutdownRequest:
     """Ask a replica server to stop serving and exit cleanly."""
 
@@ -94,6 +115,19 @@ def _decode_status_reply(data: dict[str, Any]) -> StatusReply:
         stage_breakdown={
             str(k): float(v) for k, v in data.get("stage_breakdown", {}).items()
         },
+    )
+
+
+def _decode_metrics_request(data: dict[str, Any]) -> MetricsRequest:
+    return MetricsRequest(nonce=int(data.get("nonce", 0)))
+
+
+def _decode_metrics_reply(data: dict[str, Any]) -> MetricsReply:
+    return MetricsReply(
+        nonce=int(data.get("nonce", 0)),
+        replica=int(data["replica"]),
+        uptime=float(data.get("uptime", 0.0)),
+        metrics={str(k): float(v) for k, v in data.get("metrics", {}).items()},
     )
 
 
@@ -174,6 +208,37 @@ def _b_dec_shutdown(buf: bytes, off: int) -> tuple[ShutdownRequest, int]:
     return ShutdownRequest(reason=reason), off
 
 
+def _b_enc_metrics_request(out: list[bytes], msg: MetricsRequest) -> None:
+    out.append(_I64.pack(msg.nonce))
+
+
+def _b_dec_metrics_request(buf: bytes, off: int) -> tuple[MetricsRequest, int]:
+    (nonce,) = _I64.unpack_from(buf, off)
+    return MetricsRequest(nonce=nonce), off + 8
+
+
+_METRICS_FIXED = struct.Struct(">qqd")  # nonce, replica, uptime
+
+
+def _b_enc_metrics_reply(out: list[bytes], msg: MetricsReply) -> None:
+    out.append(_METRICS_FIXED.pack(msg.nonce, msg.replica, msg.uptime))
+    _w_json(out, msg.metrics)
+
+
+def _b_dec_metrics_reply(buf: bytes, off: int) -> tuple[MetricsReply, int]:
+    nonce, replica, uptime = _METRICS_FIXED.unpack_from(buf, off)
+    metrics, off = _r_json(buf, off + _METRICS_FIXED.size)
+    return (
+        MetricsReply(
+            nonce=nonce,
+            replica=replica,
+            uptime=uptime,
+            metrics={str(k): float(v) for k, v in metrics.items()},
+        ),
+        off,
+    )
+
+
 register_wire_type(
     Hello,
     "hello",
@@ -210,4 +275,23 @@ register_wire_type(
     lambda m: {"reason": m.reason},
     _decode_shutdown,
     binary=(19, _b_enc_shutdown, _b_dec_shutdown),
+)
+register_wire_type(
+    MetricsRequest,
+    "metrics_request",
+    lambda m: {"nonce": m.nonce},
+    _decode_metrics_request,
+    binary=(20, _b_enc_metrics_request, _b_dec_metrics_request),
+)
+register_wire_type(
+    MetricsReply,
+    "metrics_reply",
+    lambda m: {
+        "nonce": m.nonce,
+        "replica": m.replica,
+        "uptime": m.uptime,
+        "metrics": m.metrics,
+    },
+    _decode_metrics_reply,
+    binary=(21, _b_enc_metrics_reply, _b_dec_metrics_reply),
 )

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError
 from repro.metrics.latency import STAGE_NAMES
 from repro.metrics.summary import MetricsCollector, RunMetrics
+from repro.obs.trace import TraceWriter
 from repro.runtime.client import ClientConfig, ClientError, OrthrusClient
 from repro.workload.config import WorkloadConfig
 from repro.workload.generator import EthereumStyleWorkload
@@ -42,6 +43,11 @@ class LoadGenConfig:
         rate_tps: Target submission rate for open-loop runs.
         workload: Trace parameters (must match the cluster's genesis universe).
         client: Client tunables (id, fanout, timeout, retries).
+        trace_file: JSONL file the client's span events (``submitted`` /
+            ``replied``) are appended to (``None`` = no client tracing).
+        trace_sample: Fraction of transactions traced — must match the
+            replicas' rate so stitched timelines are never missing the
+            client's events (deterministic tx-id sampling).
     """
 
     transactions: int = 1000
@@ -52,6 +58,8 @@ class LoadGenConfig:
         default_factory=lambda: WorkloadConfig(num_accounts=1024)
     )
     client: ClientConfig = field(default_factory=ClientConfig)
+    trace_file: str | None = None
+    trace_sample: float = 1.0
 
     def __post_init__(self) -> None:
         if self.mode not in ("closed", "open"):
@@ -62,6 +70,8 @@ class LoadGenConfig:
             raise ConfigurationError("concurrency must be at least 1")
         if self.rate_tps <= 0:
             raise ConfigurationError("rate_tps must be positive")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ConfigurationError("trace_sample must be within [0, 1]")
 
 
 @dataclass
@@ -80,6 +90,13 @@ class LoadReport:
     #: only replicas that answered the settlement probe appear, so during
     #: fault injection this covers exactly the survivors.
     view_changes: dict[int, int] = field(default_factory=dict)
+    #: Run window on the shared monotonic clock (phase windows and trace
+    #: timestamps live on the same axis).
+    started_at: float = 0.0
+    ended_at: float = 0.0
+    #: Per-fault-phase SLOs (:class:`repro.obs.slo.PhaseSLO`); populated by
+    #: chaos runs, empty for plain load runs.
+    phases: list = field(default_factory=list)
 
     @property
     def digests_agree(self) -> bool:
@@ -109,6 +126,11 @@ class LoadReport:
         if self.state_digests:
             agree = "yes" if self.digests_agree else "NO — replicas diverged!"
             out.append(f"replica digests agree: {agree}")
+        if self.phases:
+            from repro.experiments.reporting import phase_slo_table
+
+            out.append("per-fault-phase SLOs:")
+            out.extend("  " + line for line in phase_slo_table(self.phases).splitlines())
         return out
 
 
@@ -132,6 +154,13 @@ class LoadGenerator:
         client = OrthrusClient(self.replicas, config.client)
         self._client = client
         loop = asyncio.get_running_loop()
+        tracer: TraceWriter | None = None
+        if config.trace_file is not None and config.trace_sample > 0:
+            tracer = TraceWriter(
+                config.trace_file,
+                node=config.client.client_id,
+                sample_rate=config.trace_sample,
+            )
         await client.connect()
         start = loop.time()
         reply_stage_samples: list[float] = []
@@ -142,8 +171,13 @@ class LoadGenerator:
             try:
                 result = await client.submit(tx)
             except ClientError:
+                if tracer is not None and tracer.sampled(tx.tx_id):
+                    tracer.emit(tx.tx_id, "submitted", tx.submitted_at)
                 return
             now = loop.time()
+            if tracer is not None and tracer.sampled(tx.tx_id):
+                tracer.emit(tx.tx_id, "submitted", tx.submitted_at)
+                tracer.emit(tx.tx_id, "replied", now)
             latency = self.collector.latency
             latency.record_submitted(tx.tx_id, tx.submitted_at)
             latency.record_replied(tx.tx_id, now)
@@ -189,9 +223,13 @@ class LoadGenerator:
                 stage_breakdown=breakdown,
                 state_digests=digests,
                 view_changes=view_changes,
+                started_at=start,
+                ended_at=end,
             )
         finally:
             self._client = None
+            if tracer is not None:
+                tracer.close()
             await client.close()
 
     # -- loop shapes ---------------------------------------------------------

@@ -14,16 +14,26 @@ interface.  No consensus code is duplicated or forked for live operation.
 from __future__ import annotations
 
 import asyncio
+import json
 import logging
 from typing import Any
 
 from repro.cluster.messages import ClientRequest
 from repro.cluster.replica import MultiBFTReplica
 from repro.metrics.summary import MetricsCollector
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.trace import TraceWriter
 from repro.runtime.chaos import make_abstention_filter
 from repro.runtime.codec import WireCodecError, encode_envelope
 from repro.runtime.config import ReplicaRuntimeConfig, format_endpoint
-from repro.runtime.control import Hello, ShutdownRequest, StatusReply, StatusRequest
+from repro.runtime.control import (
+    Hello,
+    MetricsReply,
+    MetricsRequest,
+    ShutdownRequest,
+    StatusReply,
+    StatusRequest,
+)
 from repro.runtime.framing import FrameError, FrameReader, write_frame
 from repro.runtime.transport import AsyncioTransport, start_endpoint_server
 from repro.runtime.workers import (
@@ -44,12 +54,30 @@ class ReplicaServer:
     def __init__(self, config: ReplicaRuntimeConfig) -> None:
         self.config = config
         self.metrics = MetricsCollector()
+        #: Named-instrument registry shared by the transport, the replica and
+        #: the server's own inbound-path counters; inert under ``--no-obs``.
+        self.registry = MetricsRegistry() if config.obs_enabled else NULL_REGISTRY
+        self.tracer: TraceWriter | None = None
+        if config.obs_enabled and config.trace_file and config.trace_sample > 0.0:
+            self.tracer = TraceWriter(
+                config.trace_file,
+                node=config.replica_id,
+                sample_rate=config.trace_sample,
+            )
+        self._c_bytes_in = self.registry.counter("transport.bytes_in")
+        self._c_decode_inline = self.registry.counter("server.decode_batches_inline")
+        self._c_decode_offloaded = self.registry.counter(
+            "server.decode_batches_offloaded"
+        )
+        self._h_decode_batch = self.registry.histogram("server.decode_batch_size")
         self.transport: AsyncioTransport | None = None
         self.replica: MultiBFTReplica | None = None
         self.workers: WorkerPool | InlineWorkers | None = None
+        self.started_at: float | None = None
         self._server: asyncio.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         self._stopped = asyncio.Event()
+        self._metrics_sink = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -61,6 +89,7 @@ class ReplicaServer:
             peers,
             send_delay=self.config.send_delay,
             wire_version=self.config.wire_version,
+            registry=self.registry,
         )
         self.replica = MultiBFTReplica(
             replica_id=self.config.replica_id,
@@ -71,16 +100,33 @@ class ReplicaServer:
             batch_interval=self.config.batch_interval,
             metrics=self.metrics,
             transport=self.transport,
+            registry=self.registry,
+            tracer=self.tracer,
         )
+        self.registry.gauge_fn("server.connections", lambda: len(self._connections))
+        self.registry.gauge_fn("server.committed", lambda: self.metrics.committed)
+        self.registry.gauge_fn("server.rejected", lambda: self.metrics.rejected)
         if self.config.byzantine_abstain:
             # Undetectable Byzantine abstention (Fig. 8): this replica keeps
             # proposing/voting in the instances it leads but silently drops
             # consensus messages for every other instance.
             self.transport.outbound_filter = make_abstention_filter(self.replica)
         self.workers = make_worker_pool(self.config.workers)
+        if self.workers is not None:
+            self.registry.gauge_fn(
+                "workers.batches_submitted",
+                lambda: getattr(self.workers, "batches_submitted", 0),
+            )
+            self.registry.gauge_fn(
+                "workers.items_submitted",
+                lambda: getattr(self.workers, "items_submitted", 0),
+            )
         endpoint = self.config.listen_endpoint
         self._server = await start_endpoint_server(self._handle_connection, endpoint)
         self.replica.start()
+        self.started_at = self.transport.now()
+        if self.config.obs_enabled and self.config.metrics_file:
+            self._arm_metrics_snapshot()
         logger.info(
             "replica %d serving on %s (%s, %d instances, %d workers)",
             self.config.replica_id,
@@ -117,6 +163,51 @@ class ReplicaServer:
         if self.workers is not None:
             self.workers.close()
             self.workers = None
+        if self.config.obs_enabled and self.config.metrics_file:
+            # One final snapshot so post-mortem analysis sees the end state.
+            self._write_metrics_snapshot()
+        if self._metrics_sink is not None:
+            self._metrics_sink.close()
+            self._metrics_sink = None
+        if self.tracer is not None:
+            self.tracer.close()
+
+    # -- periodic metrics snapshots -----------------------------------------
+
+    def _arm_metrics_snapshot(self) -> None:
+        assert self.transport is not None
+
+        def tick() -> None:
+            if self._stopped.is_set():
+                return
+            self._write_metrics_snapshot()
+            if self.tracer is not None:
+                # Piggyback the trace flush on the snapshot cadence so trace
+                # files stay readable mid-run without per-event syscalls.
+                self.tracer.flush()
+            self._arm_metrics_snapshot()
+
+        self.transport.set_timer(self.config.metrics_interval, tick)
+
+    def _write_metrics_snapshot(self) -> None:
+        if not self.config.metrics_file or self.transport is None:
+            return
+        try:
+            if self._metrics_sink is None:
+                self._metrics_sink = open(
+                    self.config.metrics_file, "a", encoding="utf-8"
+                )
+            record = {
+                "t": self.transport.now(),
+                "replica": self.config.replica_id,
+            }
+            record.update(self.registry.snapshot())
+            self._metrics_sink.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._metrics_sink.flush()
+        except OSError as exc:  # a full disk must not kill the replica
+            logger.warning(
+                "replica %d metrics snapshot failed: %s", self.config.replica_id, exc
+            )
 
     # -- inbound path -------------------------------------------------------
 
@@ -141,6 +232,7 @@ class ReplicaServer:
                 payloads = await frames.read_batch()
                 if payloads is None:
                     break
+                self._c_bytes_in.inc(sum(map(len, payloads)))
                 for entry in await self._decode_batch(payloads):
                     if isinstance(entry, WireCodecError):
                         logger.warning(
@@ -167,13 +259,16 @@ class ReplicaServer:
         self, payloads: list[bytes]
     ) -> list[tuple[int, Any] | WireCodecError]:
         """Decode one read's worth of frame payloads to (sender, message)."""
+        self._h_decode_batch.observe(len(payloads))
         pool = self.workers
         if (
             pool is not None
             and pool.workers
             and sum(map(len, payloads)) >= OFFLOAD_MIN_BYTES
         ):
+            self._c_decode_offloaded.inc()
             return await pool.decode(payloads)
+        self._c_decode_inline.inc()
         return decode_payloads(payloads)
 
     async def _dispatch(
@@ -208,6 +303,9 @@ class ReplicaServer:
             return registered, True
         if isinstance(message, StatusRequest):
             await self._send_status(writer, message.nonce, sender)
+            return registered, True
+        if isinstance(message, MetricsRequest):
+            await self._send_metrics(writer, message.nonce, sender)
             return registered, True
         if isinstance(message, ShutdownRequest):
             logger.info(
@@ -245,7 +343,32 @@ class ReplicaServer:
             ),
         )
 
+    async def _send_metrics(
+        self, writer: asyncio.StreamWriter, nonce: int, requester: int
+    ) -> None:
+        assert self.transport is not None
+        await write_frame(
+            writer,
+            encode_envelope(
+                self.config.replica_id,
+                self.metrics_reply(nonce),
+                version=self.transport.version_for(requester),
+            ),
+        )
+
     # -- introspection ------------------------------------------------------
+
+    def metrics_reply(self, nonce: int = 0) -> MetricsReply:
+        """Registry snapshot as a control-plane reply (empty = obs off)."""
+        uptime = 0.0
+        if self.transport is not None and self.started_at is not None:
+            uptime = self.transport.now() - self.started_at
+        return MetricsReply(
+            nonce=nonce,
+            replica=self.config.replica_id,
+            uptime=uptime,
+            metrics=self.registry.snapshot(),
+        )
 
     def status(self, nonce: int = 0) -> StatusReply:
         """Snapshot of this replica's progress (control plane)."""

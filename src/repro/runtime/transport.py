@@ -36,6 +36,7 @@ import logging
 import os
 from typing import Any, Callable
 
+from repro.obs.registry import MetricsRegistry, NullRegistry
 from repro.runtime.codec import (
     DEFAULT_WIRE_VERSION,
     SUPPORTED_WIRE_VERSIONS,
@@ -154,6 +155,7 @@ class AsyncioTransport:
         role: str = "replica",
         send_delay: float = 0.0,
         wire_version: int | None = None,
+        registry: MetricsRegistry | NullRegistry | None = None,
     ) -> None:
         self.node_id = node_id
         self.peers = dict(peers)
@@ -190,15 +192,64 @@ class AsyncioTransport:
         self._peer_versions: dict[int, int] = {}
         self._timers: list[LiveTimer] = []
         self._closed = False
-        #: Counters for observability.
-        self.frames_sent = 0
-        self.frames_dropped = 0
-        self.frames_filtered = 0
-        #: Envelope encodings performed (a broadcast encodes once per
-        #: distinct negotiated peer version, not once per destination).
-        self.frames_encoded = 0
-        #: Super-frames written (each carries >= 2 logical frames).
-        self.super_frames_sent = 0
+        #: Observability: named registry instruments.  Transports are
+        #: live-only objects, so the default is a private *real* registry —
+        #: counters always count; the hosting server passes its own registry
+        #: so transport instruments land in the process-wide snapshot (or the
+        #: inert registry under ``--no-obs``).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._c_frames_sent = self.registry.counter("transport.frames_sent")
+        self._c_frames_dropped = self.registry.counter("transport.frames_dropped")
+        self._c_frames_filtered = self.registry.counter("transport.frames_filtered")
+        self._c_frames_encoded = self.registry.counter("transport.frames_encoded")
+        self._c_super_frames_sent = self.registry.counter("transport.super_frames_sent")
+        self._c_bytes_out = self.registry.counter("transport.bytes_out")
+        self._c_reconnects = self.registry.counter("transport.reconnects")
+        self.registry.gauge_fn(
+            "transport.queue_depth",
+            lambda: sum(queue.qsize() for queue in self._queues.values()),
+        )
+        self.registry.gauge_fn(
+            "transport.queue_depth_max",
+            lambda: max(
+                (queue.qsize() for queue in self._queues.values()), default=0
+            ),
+        )
+
+    # -- legacy counter attributes (read by tests and reports) ---------------
+
+    @property
+    def frames_sent(self) -> int:
+        return self._c_frames_sent.value
+
+    @property
+    def frames_dropped(self) -> int:
+        return self._c_frames_dropped.value
+
+    @property
+    def frames_filtered(self) -> int:
+        return self._c_frames_filtered.value
+
+    @property
+    def frames_encoded(self) -> int:
+        """Envelope encodings performed (a broadcast encodes once per
+        distinct negotiated peer version, not once per destination)."""
+        return self._c_frames_encoded.value
+
+    @property
+    def super_frames_sent(self) -> int:
+        """Super-frames written (each carries >= 2 logical frames)."""
+        return self._c_super_frames_sent.value
+
+    @property
+    def bytes_out(self) -> int:
+        """Framed bytes handed to sockets (peers and client streams)."""
+        return self._c_bytes_out.value
+
+    @property
+    def reconnects(self) -> int:
+        """Peer connections re-established after a loss."""
+        return self._c_reconnects.value
 
     # -- clock --------------------------------------------------------------
 
@@ -251,7 +302,7 @@ class AsyncioTransport:
     # -- sending ------------------------------------------------------------
 
     def _encode(self, message: Any, version: int) -> bytes:
-        self.frames_encoded += 1
+        self._c_frames_encoded.inc()
         return encode_envelope(self.node_id, message, version=version)
 
     def send(self, destination: int, message: Any) -> None:
@@ -259,7 +310,7 @@ class AsyncioTransport:
         if self._closed:
             return
         if self.outbound_filter is not None and not self.outbound_filter(message):
-            self.frames_filtered += 1
+            self._c_frames_filtered.inc()
             return
         # Resolve the route before encoding: a dead destination or a closed
         # transport must not pay for serialisation.
@@ -271,14 +322,14 @@ class AsyncioTransport:
                 # when a peer is down; PBFT tolerates message loss (retransmit
                 # comes from view change / re-proposal).
                 queue.get_nowait()
-                self.frames_dropped += 1
+                self._c_frames_dropped.inc()
             queue.put_nowait((self._due_time(), frame))
         elif destination in self._streams:
             self._write_to_stream(
                 destination, self._encode(message, self.version_for(destination))
             )
         else:
-            self.frames_dropped += 1
+            self._c_frames_dropped.inc()
 
     def _due_time(self) -> float:
         """Earliest write time for a frame queued now (0.0 = immediately)."""
@@ -291,7 +342,7 @@ class AsyncioTransport:
         if self._closed:
             return
         if self.outbound_filter is not None and not self.outbound_filter(message):
-            self.frames_filtered += 1
+            self._c_frames_filtered.inc()
             return
         targets = [
             peer_id
@@ -310,7 +361,7 @@ class AsyncioTransport:
             queue = self._ensure_peer(peer_id)
             if queue.full():
                 queue.get_nowait()
-                self.frames_dropped += 1
+                self._c_frames_dropped.inc()
             queue.put_nowait((due, frame))
 
     def _write_to_stream(self, destination: int, frame: bytes) -> None:
@@ -331,23 +382,26 @@ class AsyncioTransport:
         writer = self._streams.get(destination)
         if writer is None or writer.is_closing():
             self._streams.pop(destination, None)
-            self.frames_dropped += len(frames)
+            self._c_frames_dropped.inc(len(frames))
             return
         if writer.transport.get_write_buffer_size() > STREAM_BUFFER_LIMIT:
             # The client stopped reading; drop rather than buffer without
             # bound (it can recover the result by retransmitting).
-            self.frames_dropped += len(frames)
+            self._c_frames_dropped.inc(len(frames))
             return
         if (
             len(frames) > 1
             and self.version_for(destination) >= WIRE_VERSION_BATCH
             and sum(map(len, frames)) <= SUPER_FRAME_BYTES_LIMIT
         ):
-            writer.write(encode_frame(encode_super_frame(frames)))
-            self.super_frames_sent += 1
+            buffer = encode_frame(encode_super_frame(frames))
+            writer.write(buffer)
+            self._c_super_frames_sent.inc()
         else:
-            writer.write(b"".join(map(encode_frame, frames)))
-        self.frames_sent += len(frames)
+            buffer = b"".join(map(encode_frame, frames))
+            writer.write(buffer)
+        self._c_frames_sent.inc(len(frames))
+        self._c_bytes_out.inc(len(buffer))
 
     # -- inbound stream registry (clients replying over their own socket) ----
 
@@ -387,6 +441,7 @@ class AsyncioTransport:
         endpoint = self.peers[peer_id]
         backoff = RECONNECT_INITIAL
         carry: tuple[float, bytes] | None = None
+        connected_before = False
         while not self._closed:
             try:
                 reader, writer = await connect_endpoint(endpoint)
@@ -395,6 +450,9 @@ class AsyncioTransport:
                 backoff = min(backoff * 2, RECONNECT_MAX)
                 continue
             backoff = RECONNECT_INITIAL
+            if connected_before:
+                self._c_reconnects.inc()
+            connected_before = True
             try:
                 # The hello is always canonical JSON (v1): it is the frame
                 # that *carries* the version negotiation, so it must be
@@ -440,11 +498,13 @@ class AsyncioTransport:
                         len(batch) > 1
                         and self.version_for(peer_id) >= WIRE_VERSION_BATCH
                     ):
-                        writer.write(encode_frame(encode_super_frame(batch)))
-                        self.super_frames_sent += 1
+                        buffer = encode_frame(encode_super_frame(batch))
+                        self._c_super_frames_sent.inc()
                     else:
-                        writer.write(b"".join(map(encode_frame, batch)))
-                    self.frames_sent += len(batch)
+                        buffer = b"".join(map(encode_frame, batch))
+                    writer.write(buffer)
+                    self._c_frames_sent.inc(len(batch))
+                    self._c_bytes_out.inc(len(buffer))
                     await writer.drain()
             except (OSError, ConnectionError, asyncio.CancelledError) as exc:
                 if isinstance(exc, asyncio.CancelledError):

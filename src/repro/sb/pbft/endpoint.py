@@ -81,6 +81,9 @@ class PBFTEndpoint(SequencedBroadcastEndpoint):
         #: detector after each delivery, so a leader that crashes *mid-run*
         #: is still detected even if no further client request arrives.
         self.pending_work_probe: Callable[[], bool] | None = None
+        #: Optional hook fired when a slot first reaches the prepared state
+        #: (tracing); receives ``(block, view)``.  ``None`` costs nothing.
+        self._prepared_callback: Callable[[Block, int], None] | None = None
         #: Counters exposed for tests and metrics.
         self.view_changes_completed = 0
         self.blocks_delivered = 0
@@ -102,6 +105,11 @@ class PBFTEndpoint(SequencedBroadcastEndpoint):
     def on_leader_change(self, callback: Callable[[int, int], None]) -> None:
         """Register a callback invoked as ``callback(view, leader)``."""
         self._leader_change_callback = callback
+
+    def on_prepared(self, callback: Callable[[Block, int], None]) -> None:
+        """Register a callback invoked as ``callback(block, view)`` when a
+        slot first reaches the prepared state (2f + 1 matching prepares)."""
+        self._prepared_callback = callback
 
     def start(self) -> None:
         """Nothing to arm until work is pending (see :meth:`notify_pending_work`)."""
@@ -184,6 +192,8 @@ class PBFTEndpoint(SequencedBroadcastEndpoint):
         count = slot.record_prepare(sender)
         if slot.pre_prepared and not slot.prepared and count >= self.quorum:
             slot.prepared = True
+            if self._prepared_callback is not None and slot.block is not None:
+                self._prepared_callback(slot.block, self.view)
             commit = Commit(
                 instance=self.instance_id,
                 view=self.view,

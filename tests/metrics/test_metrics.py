@@ -131,6 +131,59 @@ class TestThroughputTracker:
     def test_empty_series_for_bad_bounds(self):
         assert ThroughputTracker().series(1.0, 0.5) == []
 
+    def test_empty_and_degenerate_windows(self):
+        tracker = ThroughputTracker()
+        assert tracker.rate_over(0.0, 1.0) == 0.0
+        assert tracker.rate_over(1.0, 1.0) == 0.0
+        assert tracker.rate_over(2.0, 1.0) == 0.0
+        assert tracker.series(0.0, 0.0) == []
+        assert tracker.series(0.0, 1.0, window=0.0) == []
+        assert tracker.series(0.0, 1.0, window=-1.0) == []
+        # An empty tracker still produces zero-count windows over the span.
+        series = tracker.series(0.0, 1.0, window=0.5)
+        assert [point.transactions for point in series] == [0, 0]
+        assert all(point.rate == 0.0 for point in series)
+
+    def test_zero_duration_point_has_zero_rate(self):
+        from repro.metrics.throughput import ThroughputPoint
+
+        assert ThroughputPoint(1.0, 1.0, transactions=5).rate == 0.0
+
+    def test_confirmations_outside_bounds_are_excluded(self):
+        tracker = ThroughputTracker()
+        for time in (-1.0, 0.0, 0.49, 0.5, 0.99, 1.0, 5.0):
+            tracker.record_confirmation(time)
+        series = tracker.series(0.0, 1.0, window=0.5)
+        # [0, 0.5) holds {0.0, 0.49}; [0.5, 1.0) holds {0.5, 0.99};
+        # -1.0, 1.0 and 5.0 fall outside the series bounds.
+        assert [point.transactions for point in series] == [2, 2]
+        assert sum(point.transactions for point in series) == 4
+
+    def test_series_windows_do_not_drift(self):
+        tracker = ThroughputTracker()
+        # 0.1 is not exactly representable in binary floating point, so the
+        # old accumulating window_start += window drifted over many windows;
+        # index-based boundaries must stay on the start + i*window grid.
+        count = 10_000
+        series = tracker.series(0.0, count * 0.1, window=0.1)
+        assert len(series) == count
+        for index in (0, 1, 4_999, 9_999):
+            point = series[index]
+            assert point.window_start == pytest.approx(index * 0.1, abs=1e-9)
+        # Windows tile the span exactly: each ends where the next begins.
+        for left, right in zip(series, series[1:]):
+            assert left.window_end == right.window_start
+
+    def test_final_partial_window_is_clamped(self):
+        tracker = ThroughputTracker()
+        tracker.record_confirmation(1.1)
+        series = tracker.series(0.0, 1.2, window=0.5)
+        assert len(series) == 3
+        assert series[-1].window_end == pytest.approx(1.2)
+        assert series[-1].transactions == 1
+        # The clamped window's rate uses its true (shorter) duration.
+        assert series[-1].rate == pytest.approx(1 / (1.2 - 1.0))
+
 
 class TestMetricsCollector:
     def test_record_outcome_and_finalize(self):

@@ -1,0 +1,81 @@
+"""Tests for structured (text / JSON-lines) logging setup."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import setup_logging
+
+
+@pytest.fixture(autouse=True)
+def _clean_root_handlers():
+    """Remove any repro-obs handlers this test installs on the root logger."""
+    root = logging.getLogger()
+    before_level = root.level
+    yield
+    for handler in list(root.handlers):
+        if (handler.get_name() or "").startswith("repro-obs-"):
+            root.removeHandler(handler)
+    root.setLevel(before_level)
+
+
+class TestSetupLogging:
+    def test_rejects_unknown_level_and_format(self):
+        with pytest.raises(ValueError):
+            setup_logging("loud")
+        with pytest.raises(ValueError):
+            setup_logging("info", "yaml")
+
+    def test_text_format_installs_single_handler(self):
+        stream = io.StringIO()
+        setup_logging("info", "text", stream=stream)
+        setup_logging("info", "text", stream=stream)  # idempotent
+        root = logging.getLogger()
+        ours = [
+            h for h in root.handlers if (h.get_name() or "").startswith("repro-obs-")
+        ]
+        assert len(ours) == 1
+
+    def test_switching_format_replaces_handler(self):
+        stream = io.StringIO()
+        setup_logging("info", "text", stream=stream)
+        setup_logging("info", "json", stream=stream)
+        root = logging.getLogger()
+        ours = [
+            h for h in root.handlers if (h.get_name() or "").startswith("repro-obs-")
+        ]
+        assert len(ours) == 1
+        assert ours[0].get_name() == "repro-obs-json"
+
+    def test_json_lines_parse_and_merge_context(self):
+        stream = io.StringIO()
+        setup_logging("info", "json", stream=stream, context={"replica": 2})
+        logging.getLogger("repro.test").info("replica %d started", 2)
+        record = json.loads(stream.getvalue().strip())
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.test"
+        assert record["msg"] == "replica 2 started"
+        assert record["replica"] == 2
+        assert isinstance(record["t"], float)
+
+    def test_level_threshold_filters(self):
+        stream = io.StringIO()
+        setup_logging("warning", "json", stream=stream)
+        logging.getLogger("repro.test").info("suppressed")
+        logging.getLogger("repro.test").warning("kept")
+        lines = [line for line in stream.getvalue().splitlines() if line]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["msg"] == "kept"
+
+    def test_exception_rendered_in_json(self):
+        stream = io.StringIO()
+        setup_logging("info", "json", stream=stream)
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            logging.getLogger("repro.test").exception("failed")
+        record = json.loads(stream.getvalue().strip())
+        assert record["level"] == "error"
+        assert "RuntimeError: boom" in record["exc"]

@@ -1,0 +1,127 @@
+"""Tests for the named-instrument metrics registry and its inert twin."""
+
+import pytest
+
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        gauge = Gauge("g")
+        assert gauge.read() == 0.0
+        gauge.set(3.5)
+        assert gauge.read() == 3.5
+
+    def test_callback_evaluated_at_read(self):
+        backing = {"depth": 0}
+        gauge = Gauge("g", fn=lambda: backing["depth"])
+        backing["depth"] = 7
+        assert gauge.read() == 7.0
+
+    def test_failing_callback_reads_zero(self):
+        def explode():
+            raise RuntimeError("torn down")
+
+        assert Gauge("g", fn=explode).read() == 0.0
+
+
+class TestHistogram:
+    def test_count_mean_max(self):
+        histogram = Histogram("h")
+        assert histogram.mean == 0.0
+        for value in (0.001, 0.002, 0.003):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(0.002)
+        assert histogram.maximum == pytest.approx(0.003)
+
+    def test_quantiles_bracket_the_data(self):
+        histogram = Histogram("h")
+        for _ in range(100):
+            histogram.observe(0.010)
+        # Bucket-midpoint estimation: within the 2x ladder of the true value.
+        assert 0.005 <= histogram.quantile(0.5) <= 0.020
+        assert 0.005 <= histogram.quantile(0.99) <= 0.020
+        assert histogram.quantile(1.0) <= histogram.maximum + 1e-12
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("h").quantile(0.99) == 0.0
+
+    def test_quantile_orders_mixed_values(self):
+        histogram = Histogram("h")
+        for _ in range(99):
+            histogram.observe(0.001)
+        histogram.observe(10.0)
+        assert histogram.quantile(0.5) < 0.01
+        # The topmost rank lives in the outlier's bucket — orders above the
+        # bulk, even though mid-quantiles stay with the 99 fast samples.
+        assert histogram.quantile(1.0) > 1.0
+        assert histogram.quantile(0.9) < 0.01
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert registry.enabled
+
+    def test_gauge_fn_rebinds(self):
+        registry = MetricsRegistry()
+        registry.gauge_fn("depth", lambda: 1)
+        registry.gauge_fn("depth", lambda: 2)
+        assert registry.snapshot()["depth"] == 2.0
+
+    def test_snapshot_is_flat_sorted_and_expands_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("transport.frames_sent").inc(4)
+        registry.gauge("replica.reply_cache_size").set(9)
+        histogram = registry.histogram("consensus.bar_wait_seconds")
+        histogram.observe(0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["transport.frames_sent"] == 4.0
+        assert snapshot["replica.reply_cache_size"] == 9.0
+        assert snapshot["consensus.bar_wait_seconds.count"] == 1.0
+        assert snapshot["consensus.bar_wait_seconds.mean"] == pytest.approx(0.25)
+        assert snapshot["consensus.bar_wait_seconds.max"] == pytest.approx(0.25)
+        assert "consensus.bar_wait_seconds.p50" in snapshot
+        assert "consensus.bar_wait_seconds.p99" in snapshot
+        assert list(snapshot) == sorted(snapshot)
+
+
+class TestNullRegistry:
+    def test_disabled_and_empty(self):
+        assert not NULL_REGISTRY.enabled
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_instruments_are_shared_noops(self):
+        registry = NullRegistry()
+        counter = registry.counter("anything")
+        assert counter is registry.counter("something else")
+        counter.inc(100)
+        assert counter.value == 0
+        gauge = registry.gauge_fn("g", lambda: 42)
+        gauge.set(5.0)
+        assert gauge.read() == 0.0
+        histogram = registry.histogram("h")
+        histogram.observe(1.0)
+        assert histogram.count == 0
+        assert histogram.quantile(0.5) == 0.0
+        assert registry.snapshot() == {}

@@ -1,0 +1,127 @@
+"""Tests for phase windows and per-phase SLO computation."""
+
+import pytest
+
+from repro.metrics.latency import TransactionTimeline
+from repro.obs.slo import (
+    PhaseWindow,
+    compute_phase_slos,
+    fault_phase_windows,
+    quantile,
+)
+
+
+class TestQuantile:
+    def test_empty_is_zero(self):
+        assert quantile([], 0.99) == 0.0
+
+    def test_nearest_rank(self):
+        samples = [float(n) for n in range(1, 101)]
+        assert quantile(samples, 0.0) == 1.0
+        assert quantile(samples, 0.5) == 51.0
+        assert quantile(samples, 1.0) == 100.0
+
+
+class TestFaultPhaseWindows:
+    def test_no_events_is_single_pre_window(self):
+        windows = fault_phase_windows(0.0, 10.0, [])
+        assert [(w.name, w.start, w.end) for w in windows] == [("pre", 0.0, 10.0)]
+
+    def test_empty_run_is_empty(self):
+        assert fault_phase_windows(5.0, 5.0, [2.0]) == []
+
+    def test_three_phases_with_settle(self):
+        windows = fault_phase_windows(0.0, 30.0, [10.0, 12.0], settle=5.0)
+        assert [(w.name, w.start, w.end) for w in windows] == [
+            ("pre", 0.0, 10.0),
+            ("during", 10.0, 17.0),
+            ("post", 17.0, 30.0),
+        ]
+
+    def test_settle_clamped_to_run_end(self):
+        windows = fault_phase_windows(0.0, 15.0, [10.0], settle=100.0)
+        assert [w.name for w in windows] == ["pre", "during"]
+        assert windows[-1].end == 15.0
+
+    def test_event_at_run_start_drops_pre(self):
+        windows = fault_phase_windows(0.0, 10.0, [0.0], settle=2.0)
+        assert [w.name for w in windows] == ["during", "post"]
+
+    def test_events_outside_run_ignored(self):
+        windows = fault_phase_windows(0.0, 10.0, [-5.0, 50.0])
+        assert [w.name for w in windows] == ["pre"]
+
+
+def _timeline(tx_id, submitted_at, replied_at, committed=True):
+    return TransactionTimeline(
+        tx_id=tx_id, submitted_at=submitted_at, replied_at=replied_at, committed=committed
+    )
+
+
+class TestComputePhaseSLOs:
+    def test_latencies_split_by_reply_phase(self):
+        windows = [PhaseWindow("pre", 0.0, 10.0), PhaseWindow("during", 10.0, 20.0)]
+        timelines = [
+            # Fast during pre, 10x slower during the fault.
+            *[_timeline(f"a{n}", 1.0 + n, 1.1 + n) for n in range(5)],
+            *[_timeline(f"b{n}", 11.0 + n, 12.0 + n) for n in range(5)],
+        ]
+        pre, during = compute_phase_slos(windows, timelines)
+        assert pre.submitted == 5 and pre.completed == 5 and pre.committed == 5
+        assert during.completed == 5
+        assert pre.p50 == pytest.approx(0.1)
+        assert during.p50 == pytest.approx(1.0)
+        assert during.p99 >= during.p50
+
+    def test_uncommitted_counts_completed_but_not_latency(self):
+        windows = [PhaseWindow("pre", 0.0, 10.0)]
+        timelines = [
+            _timeline("ok", 1.0, 1.5, committed=True),
+            _timeline("rej", 2.0, 2.2, committed=False),
+        ]
+        (slo,) = compute_phase_slos(windows, timelines)
+        assert slo.completed == 2
+        assert slo.committed == 1
+        assert slo.p50 == pytest.approx(0.5)
+
+    def test_unreplied_counts_submitted_only(self):
+        windows = [PhaseWindow("pre", 0.0, 10.0)]
+        timelines = [_timeline("hung", 1.0, None)]
+        (slo,) = compute_phase_slos(windows, timelines)
+        assert slo.submitted == 1
+        assert slo.completed == 0
+
+    def test_availability_penalises_stalled_demand(self):
+        # Demand throughout 0-4s, but completions only land in the first 2s:
+        # the last four 0.5s sub-windows are in demand yet serve nothing.
+        windows = [PhaseWindow("during", 0.0, 4.0)]
+        timelines = [
+            *[_timeline(f"ok{n}", 0.1 + 0.5 * n, 0.3 + 0.5 * n) for n in range(4)],
+            _timeline("stuck", 0.2, None),
+        ]
+        (slo,) = compute_phase_slos(windows, timelines)
+        assert slo.availability == pytest.approx(4 / 8)
+
+    def test_no_demand_is_vacuously_available(self):
+        windows = [PhaseWindow("post", 100.0, 110.0)]
+        timelines = [_timeline("old", 1.0, 2.0)]
+        (slo,) = compute_phase_slos(windows, timelines)
+        assert slo.availability == 1.0
+
+    def test_view_changes_attributed_by_samples(self):
+        windows = [
+            PhaseWindow("pre", 0.0, 10.0),
+            PhaseWindow("during", 10.0, 20.0),
+            PhaseWindow("post", 20.0, 30.0),
+        ]
+        samples = [(5.0, 0), (12.0, 1), (15.0, 3), (25.0, 3)]
+        pre, during, post = compute_phase_slos(
+            windows, [], view_change_samples=samples
+        )
+        assert pre.view_changes == 0
+        assert during.view_changes == 3
+        assert post.view_changes == 0
+
+    def test_no_samples_leaves_view_changes_unknown(self):
+        (slo,) = compute_phase_slos([PhaseWindow("pre", 0.0, 1.0)], [])
+        assert slo.view_changes is None

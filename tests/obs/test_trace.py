@@ -1,0 +1,212 @@
+"""Tests for deterministic sampling, trace files, and cross-process stitching."""
+
+import pytest
+
+from repro.obs.trace import (
+    FLUSH_EVERY,
+    TRACE_EVENTS,
+    TRACE_STAGE_BOUNDARIES,
+    TraceEvent,
+    TraceWriter,
+    load_trace_events,
+    read_trace_file,
+    sample_tx,
+    stitch,
+    trace_files_under,
+    trace_tx_ids,
+)
+
+
+class TestSampling:
+    def test_extremes(self):
+        assert sample_tx("any", 1.0)
+        assert sample_tx("any", 2.0)
+        assert not sample_tx("any", 0.0)
+        assert not sample_tx("any", -1.0)
+
+    def test_deterministic_across_calls(self):
+        ids = [f"tx-{n}" for n in range(200)]
+        first = [sample_tx(tx, 0.25) for tx in ids]
+        second = [sample_tx(tx, 0.25) for tx in ids]
+        assert first == second
+
+    def test_rate_roughly_respected(self):
+        ids = [f"tx-{n}" for n in range(2000)]
+        kept = sum(sample_tx(tx, 0.25) for tx in ids)
+        assert 0.15 * len(ids) < kept < 0.35 * len(ids)
+
+    def test_higher_rate_is_superset(self):
+        # A tx sampled at a low rate must also be sampled at any higher rate,
+        # so mixed-rate deployments still stitch complete timelines.
+        ids = [f"tx-{n}" for n in range(500)]
+        for tx in ids:
+            if sample_tx(tx, 0.1):
+                assert sample_tx(tx, 0.5)
+
+
+class TestTraceEvent:
+    def test_json_roundtrip_full(self):
+        event = TraceEvent(
+            tx_id="client-1-7", event="committed", t=12.5, node=3, instance=2, view=1
+        )
+        assert TraceEvent.from_json(event.to_json()) == event
+
+    def test_json_roundtrip_omits_optional(self):
+        event = TraceEvent(tx_id="a", event="submitted", t=1.0, node=999)
+        line = event.to_json()
+        assert "instance" not in line and "view" not in line
+        assert TraceEvent.from_json(line) == event
+
+
+class TestTraceWriter:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path, node=1, sample_rate=1.0)
+        writer.emit("tx-a", "received", 1.0, instance=0)
+        writer.emit("tx-a", "committed", 2.0, instance=0, view=0)
+        writer.close()
+        events = read_trace_file(path)
+        assert [e.event for e in events] == ["received", "committed"]
+        assert all(e.node == 1 for e in events)
+        assert writer.events_written == 2
+
+    def test_append_mode_preserves_existing(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for round_ in range(2):
+            writer = TraceWriter(path, node=round_, sample_rate=1.0)
+            writer.emit("tx", "received", float(round_))
+            writer.close()
+        assert len(read_trace_file(path)) == 2
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "replica-2" / "trace.jsonl"
+        writer = TraceWriter(path, node=2)
+        writer.close()
+        assert path.exists()
+
+    def test_implicit_flush_after_batch(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path, node=0)
+        for n in range(FLUSH_EVERY):
+            writer.emit(f"tx-{n}", "received", float(n))
+        # Buffer hit FLUSH_EVERY: events are on disk without close().
+        assert len(read_trace_file(path)) == FLUSH_EVERY
+        writer.close()
+
+    def test_emit_after_close_is_noop(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path, node=0)
+        writer.close()
+        writer.emit("tx", "received", 1.0)
+        writer.close()
+        assert read_trace_file(path) == []
+
+
+class TestReading:
+    def test_torn_final_line_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = TraceEvent(tx_id="tx", event="received", t=1.0, node=0).to_json()
+        path.write_text(good + "\n" + '{"tx": "tx", "event": "comm')
+        events = read_trace_file(path)
+        assert len(events) == 1
+        assert events[0].event == "received"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_trace_file(tmp_path / "nope.jsonl") == []
+
+    def test_trace_files_under_globs_recursively(self, tmp_path):
+        (tmp_path / "replica-0").mkdir()
+        (tmp_path / "client").mkdir()
+        (tmp_path / "replica-0" / "trace.jsonl").write_text("")
+        (tmp_path / "client" / "trace.jsonl").write_text("")
+        (tmp_path / "replica-0" / "metrics.jsonl").write_text("")
+        found = trace_files_under(tmp_path)
+        assert len(found) == 2
+        assert all(p.name == "trace.jsonl" for p in found)
+
+    def test_load_trace_events_merges_directory(self, tmp_path):
+        for node in range(2):
+            directory = tmp_path / f"replica-{node}"
+            writer = TraceWriter(directory / "trace.jsonl", node=node)
+            writer.emit("tx", "received", float(node))
+            writer.close()
+        events = load_trace_events(tmp_path)
+        assert sorted(e.node for e in events) == [0, 1]
+
+
+def _pipeline_events() -> list[TraceEvent]:
+    """A full eight-event journey spread over client + three replicas."""
+    times = {name: 1.0 + 0.1 * index for index, name in enumerate(TRACE_EVENTS)}
+    events = [TraceEvent(tx_id="client-1-1", event="submitted", t=times["submitted"], node=999)]
+    for node in range(3):
+        for name in TRACE_EVENTS[1:-1]:
+            # Replica 0 is fastest; later receipts must not win stitching.
+            events.append(
+                TraceEvent(
+                    tx_id="client-1-1", event=name, t=times[name] + 0.01 * node, node=node
+                )
+            )
+    events.append(TraceEvent(tx_id="client-1-1", event="replied", t=times["replied"], node=999))
+    return events
+
+
+class TestStitching:
+    def test_first_receipt_wins(self):
+        stitched = stitch(_pipeline_events(), "client-1-1")
+        assert stitched is not None
+        received = stitched.first("received")
+        assert received is not None and received.node == 0
+        assert stitched.start == pytest.approx(1.0)
+
+    def test_stage_durations_cover_all_five_stages(self):
+        stitched = stitch(_pipeline_events(), "client-1-1")
+        assert stitched is not None
+        durations = stitched.stage_durations()
+        assert set(durations) == {stage for stage, _, _ in TRACE_STAGE_BOUNDARIES}
+        # Events are 0.1 s apart; a stage spans one step per intermediate
+        # event between its boundaries (prepared / bar_released).
+        index = {name: position for position, name in enumerate(TRACE_EVENTS)}
+        for stage, start_name, end_name in TRACE_STAGE_BOUNDARIES:
+            expected = 0.1 * (index[end_name] - index[start_name])
+            assert durations[stage] == pytest.approx(expected, abs=1e-9)
+
+    def test_partial_journey_reports_partial_stages(self):
+        events = [
+            TraceEvent(tx_id="t", event="submitted", t=1.0, node=999),
+            TraceEvent(tx_id="t", event="received", t=1.2, node=0),
+        ]
+        stitched = stitch(events, "t")
+        assert stitched is not None
+        assert stitched.stage_durations() == {"send": pytest.approx(0.2)}
+
+    def test_prefix_match(self):
+        stitched = stitch(_pipeline_events(), "client-1")
+        assert stitched is not None
+        assert stitched.tx_id == "client-1-1"
+
+    def test_ambiguous_prefix_raises(self):
+        events = [
+            TraceEvent(tx_id="client-1-1", event="submitted", t=1.0, node=999),
+            TraceEvent(tx_id="client-1-2", event="submitted", t=2.0, node=999),
+        ]
+        with pytest.raises(ValueError, match="ambiguous"):
+            stitch(events, "client-1")
+
+    def test_no_match_returns_none(self):
+        assert stitch(_pipeline_events(), "zzz") is None
+
+    def test_lines_render_events_and_stages(self):
+        stitched = stitch(_pipeline_events(), "client-1-1")
+        assert stitched is not None
+        rendered = "\n".join(stitched.lines())
+        for name in TRACE_EVENTS:
+            assert name in rendered
+        assert "stages:" in rendered
+
+    def test_trace_tx_ids_sorted_distinct(self):
+        events = [
+            TraceEvent(tx_id="b", event="submitted", t=1.0, node=0),
+            TraceEvent(tx_id="a", event="submitted", t=1.0, node=0),
+            TraceEvent(tx_id="b", event="received", t=2.0, node=1),
+        ]
+        assert trace_tx_ids(events) == ["a", "b"]
