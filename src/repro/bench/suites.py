@@ -288,6 +288,51 @@ def bench_ladon_release() -> BenchResult:
     )
 
 
+def bench_dependency_release() -> BenchResult:
+    """Dependency global ordering under the same 10k-block straggler backlog.
+
+    Delivers the exact block sequence ``ladon_release_10k`` times, with
+    :data:`~repro.ordering.base.UNKNOWN_CONFLICTS` metadata so every block is
+    barred: the conflict graph holds the full 10k backlog and the final
+    deliveries trigger the same mass release.  The blocks/s figure is
+    directly comparable to ``ladon_release_10k`` — the gap is the price of
+    the per-key heaps and blocked-predecessor checks at matched behaviour.
+    """
+    from repro.ordering.base import UNKNOWN_CONFLICTS
+    from repro.ordering.dependency import DependencyGlobalOrderer
+
+    num_instances = 16
+    waiting, releasers = _straggler_blocks(num_instances, pending=10_000)
+    delivered = len(waiting) + len(releasers)
+
+    def deliver_all() -> int:
+        orderer = DependencyGlobalOrderer(num_instances)
+        for block in waiting:
+            orderer.on_deliver(block, UNKNOWN_CONFLICTS)
+        for block in releasers:
+            orderer.on_deliver(block, UNKNOWN_CONFLICTS)
+        return orderer.ordered_count
+
+    expected = deliver_all()
+    assert expected > len(waiting) * 0.99, expected
+
+    def work() -> None:
+        assert deliver_all() == expected
+
+    seconds = _best_seconds_per_op(work)
+    return BenchResult(
+        name="dependency_release_10k",
+        unit="blocks/s",
+        value=delivered / seconds,
+        higher_is_better=True,
+        meta={
+            "instances": num_instances,
+            "pending_blocks": len(waiting),
+            "released_blocks": expected,
+        },
+    )
+
+
 def bench_sim_events() -> BenchResult:
     """Raw simulator event dispatch, including timer-churn cancellations."""
     from repro.sim.simulator import Simulator
@@ -695,6 +740,7 @@ _QUICK: tuple[Callable[[], BenchResult], ...] = (
     bench_digest,
     bench_codec_roundtrip,
     bench_ladon_release,
+    bench_dependency_release,
     bench_sim_events,
 )
 

@@ -78,7 +78,7 @@ from repro.experiments.scenarios import (
     undetectable_fault_sweep,
 )
 from repro.protocols.registry import PROTOCOL_NAMES, available_protocols
-from repro.workload.config import WorkloadConfig
+from repro.workload.config import DEFAULT_ZIPF_EXPONENT, WorkloadConfig
 from repro.workload.generator import EthereumStyleWorkload
 
 #: Default workload seed of ad-hoc ``run``/``compare`` invocations (the
@@ -216,6 +216,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--warmup", type=float, default=8.0)
     run_parser.add_argument("--straggler", action="store_true")
     run_parser.add_argument("--payment-fraction", type=float, default=0.46)
+    run_parser.add_argument(
+        "--zipf-s",
+        type=float,
+        default=None,
+        help="Zipf skew of account activity (default: 0.8; higher = hotter keys)",
+    )
     run_parser.add_argument("--seed", type=int, default=1)
     run_parser.add_argument("--csv", action="store_true", help="emit CSV instead of text")
     _add_engine_arguments(run_parser)
@@ -258,6 +264,12 @@ def _build_parser() -> argparse.ArgumentParser:
     workload_parser.add_argument("--transactions", type=int, default=1000)
     workload_parser.add_argument("--accounts", type=int, default=18_000)
     workload_parser.add_argument("--payment-fraction", type=float, default=0.46)
+    workload_parser.add_argument(
+        "--zipf-s",
+        type=float,
+        default=DEFAULT_ZIPF_EXPONENT,
+        help="Zipf skew of account activity (0 = uniform)",
+    )
     workload_parser.add_argument("--seed", type=int, default=42)
 
     serve_parser = subparsers.add_parser(
@@ -278,6 +290,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--view-change-timeout", type=float, default=10.0)
     serve_parser.add_argument("--accounts", type=int, default=1024)
     serve_parser.add_argument("--workload-seed", type=int, default=42)
+    serve_parser.add_argument(
+        "--zipf-s",
+        type=float,
+        default=DEFAULT_ZIPF_EXPONENT,
+        help="Zipf skew of the genesis/workload account universe",
+    )
     serve_parser.add_argument(
         "--send-delay",
         type=float,
@@ -339,6 +357,12 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--accounts", type=int, default=1024)
     cluster_parser.add_argument("--workload-seed", type=int, default=42)
     cluster_parser.add_argument(
+        "--zipf-s",
+        type=float,
+        default=DEFAULT_ZIPF_EXPONENT,
+        help="Zipf skew of the genesis/workload account universe",
+    )
+    cluster_parser.add_argument(
         "--duration",
         type=float,
         default=None,
@@ -372,6 +396,12 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--view-change-timeout", type=float, default=2.0)
     chaos_parser.add_argument("--accounts", type=int, default=1024)
     chaos_parser.add_argument("--workload-seed", type=int, default=42)
+    chaos_parser.add_argument(
+        "--zipf-s",
+        type=float,
+        default=DEFAULT_ZIPF_EXPONENT,
+        help="Zipf skew of the workload (sweep to vary contention)",
+    )
     chaos_parser.add_argument("--transactions", type=_positive_int, default=1000)
     chaos_parser.add_argument("--mode", choices=["closed", "open"], default="closed")
     chaos_parser.add_argument("--concurrency", type=_positive_int, default=32)
@@ -428,6 +458,12 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen_parser.add_argument("--payment-fraction", type=float, default=1.0)
     loadgen_parser.add_argument("--accounts", type=int, default=1024)
     loadgen_parser.add_argument("--workload-seed", type=int, default=42)
+    loadgen_parser.add_argument(
+        "--zipf-s",
+        type=float,
+        default=DEFAULT_ZIPF_EXPONENT,
+        help="Zipf skew of the workload (sweep to vary contention)",
+    )
     loadgen_parser.add_argument("--client-id", type=int, default=1000)
     loadgen_parser.add_argument("--timeout", type=float, default=5.0)
     loadgen_parser.add_argument(
@@ -569,6 +605,7 @@ def _spec_from_args(args: argparse.Namespace, protocol: str) -> ScenarioSpec:
         seed=args.seed,
         workload_seed=_CLI_WORKLOAD_SEED,
         payment_fraction=getattr(args, "payment_fraction", None),
+        zipf_s=getattr(args, "zipf_s", None),
         faults=faults,
         backend=getattr(args, "backend", "sim"),
     )
@@ -699,7 +736,11 @@ def _command_serve(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         batch_interval=args.batch_interval,
         view_change_timeout=args.view_change_timeout,
-        workload=WorkloadConfig(num_accounts=args.accounts, seed=args.workload_seed),
+        workload=WorkloadConfig(
+            num_accounts=args.accounts,
+            seed=args.workload_seed,
+            zipf_exponent=args.zipf_s,
+        ),
         send_delay=args.send_delay,
         byzantine_abstain=args.byzantine_abstain,
         wire_version=args.wire_version,
@@ -753,7 +794,11 @@ def _command_cluster(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         batch_interval=args.batch_interval,
         view_change_timeout=faults.view_change_timeout,
-        workload=WorkloadConfig(num_accounts=args.accounts, seed=args.workload_seed),
+        workload=WorkloadConfig(
+            num_accounts=args.accounts,
+            seed=args.workload_seed,
+            zipf_exponent=args.zipf_s,
+        ),
         faults=faults,
         wire_version=args.wire_version,
         transport=args.transport,
@@ -869,7 +914,11 @@ def _command_chaos(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         batch_interval=args.batch_interval,
         view_change_timeout=plan.view_change_timeout,
-        workload=WorkloadConfig(num_accounts=args.accounts, seed=args.workload_seed),
+        workload=WorkloadConfig(
+            num_accounts=args.accounts,
+            seed=args.workload_seed,
+            zipf_exponent=args.zipf_s,
+        ),
         faults=plan,
         wire_version=args.wire_version,
         transport=args.transport,
@@ -897,6 +946,7 @@ def _command_chaos(args: argparse.Namespace) -> int:
             num_accounts=args.accounts,
             seed=args.workload_seed,
             payment_fraction=args.payment_fraction,
+            zipf_exponent=args.zipf_s,
         ),
         client=ClientConfig(
             client_id=1000,
@@ -951,6 +1001,7 @@ def _command_loadgen(args: argparse.Namespace) -> int:
             num_accounts=args.accounts,
             seed=args.workload_seed,
             payment_fraction=args.payment_fraction,
+            zipf_exponent=args.zipf_s,
         ),
         client=ClientConfig(
             client_id=args.client_id,
@@ -1134,6 +1185,7 @@ def _command_workload(args: argparse.Namespace) -> int:
         num_accounts=args.accounts,
         num_transactions=args.transactions,
         payment_fraction=args.payment_fraction,
+        zipf_exponent=args.zipf_s,
         seed=args.seed,
     )
     trace = EthereumStyleWorkload(config).generate()

@@ -104,9 +104,17 @@ class MultiBFTReplica(Process):
             "replica.reply_cache_evictions"
         )
         self._h_bar_wait = self.obs.histogram("consensus.bar_wait_seconds")
+        #: Uniform across orderer families: time from SB delivery to release
+        #: into the global log, whatever mechanism (bar, pre-determined slot,
+        #: sequencer decision, conflict graph) gated the release.
+        self._h_release_wait = self.obs.histogram("consensus.release_wait_seconds")
         self.obs.gauge_fn(
             "consensus.view_changes",
             lambda: sum(e.view_changes_completed for e in self.endpoints.values()),
+        )
+        self.obs.gauge_fn(
+            "consensus.conflict_graph_size",
+            lambda: self._conflict_graph_size(),
         )
         self.obs.gauge_fn(
             "consensus.rank_regressions",
@@ -415,9 +423,14 @@ class MultiBFTReplica(Process):
                 self.transport.send(client_node, reply)
         self._broadcast_checkpoints()
 
+    def _conflict_graph_size(self) -> int:
+        """Edges tracked by a dependency-aware orderer (0 for the others)."""
+        probe = getattr(self.core.global_orderer, "conflict_graph_size", None)
+        return probe() if probe is not None else 0
+
     def _note_bar_released(self, ordered_before: int, now: float) -> None:
-        """Record bar-wait time and trace ``bar_released`` for every block
-        the last delivery pushed past the global-ordering bar."""
+        """Record release-wait time and trace ``bar_released`` for every block
+        the last delivery pushed past the global-ordering gate."""
         released = self.core.global_orderer.global_log[ordered_before:]
         tracer = self.tracer
         for ordered_block in released:
@@ -425,6 +438,7 @@ class MultiBFTReplica(Process):
             delivered_at = self._sb_delivered_at.pop(key, None)
             if delivered_at is not None:
                 self._h_bar_wait.observe(now - delivered_at)
+                self._h_release_wait.observe(now - delivered_at)
             if tracer is None:
                 continue
             for tx in ordered_block.transactions:

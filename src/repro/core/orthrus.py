@@ -30,12 +30,14 @@ from collections import deque
 from repro.core.config import CoreConfig
 from repro.core.interfaces import ConsensusCore
 from repro.core.outcomes import ConfirmationPath, TxOutcome, TxStatus
-from repro.core.partition import PayerPartitioner
+from repro.core.partition import PayerPartitioner, Partitioner
 from repro.ledger.blocks import Block
 from repro.ledger.escrow import EscrowLog
 from repro.ledger.objects import ObjectType, OperationKind
 from repro.ledger.state import StateStore
 from repro.ledger.transactions import Transaction
+from repro.ordering.base import GlobalOrderer, derive_conflicts
+from repro.ordering.dependency import DependencyGlobalOrderer
 from repro.ordering.ladon import LadonGlobalOrderer
 
 
@@ -45,13 +47,20 @@ class OrthrusCore(ConsensusCore):
     name = "orthrus"
     uses_ranks = True
 
-    def __init__(self, config: CoreConfig, store: StateStore | None = None) -> None:
+    def __init__(
+        self,
+        config: CoreConfig,
+        store: StateStore | None = None,
+        *,
+        global_orderer: GlobalOrderer | None = None,
+        partitioner: Partitioner | None = None,
+    ) -> None:
         store = store if store is not None else StateStore()
         super().__init__(
             config=config,
             store=store,
-            partitioner=PayerPartitioner(config.num_instances),
-            global_orderer=LadonGlobalOrderer(config.num_instances),
+            partitioner=partitioner or PayerPartitioner(config.num_instances),
+            global_orderer=global_orderer or LadonGlobalOrderer(config.num_instances),
         )
         self.escrow = EscrowLog(store)
         #: Globally ordered blocks awaiting execution of their contract txs.
@@ -171,7 +180,11 @@ class OrthrusCore(ConsensusCore):
         self._record_delivery(block)
         if not self.plogs[block.instance].add(block):
             return []
-        newly_ordered = self.global_orderer.on_deliver(block)
+        if self.global_orderer.wants_conflicts:
+            conflicts = derive_conflicts(block, self.partitioner.assign_object)
+            newly_ordered = self.global_orderer.on_deliver(block, conflicts)
+        else:
+            newly_ordered = self.global_orderer.on_deliver(block)
         self._global_queue.extend(newly_ordered)
 
         outcomes: list[TxOutcome] = []
@@ -335,3 +348,30 @@ class OrthrusCore(ConsensusCore):
                 # deterministic (order-dependent) way.
                 current = self.store.balance_of(operation.key)
                 self.store.assign(operation.key, current * 31 + operation.amount)
+
+
+class DependencyOrthrusCore(OrthrusCore):
+    """Orthrus with the dependency-aware global orderer (``orthrus-dep``).
+
+    Identical partial path and escrow machinery; only the global-ordering
+    layer changes.  Non-conflicting blocks release into the global log without
+    waiting for the bar, while blocks carrying cross-instance conflict keys
+    (shared contract objects, cross-instance payers) keep Ladon's bar
+    semantics — which is exactly what keeps replica state stores convergent:
+    execution order can only differ across replicas for blocks whose effects
+    commute.  The orderer derives conflicts from the payer partitioner's
+    bucket assignment, so conflict classification agrees with escrow routing.
+    """
+
+    name = "orthrus-dep"
+
+    def __init__(self, config: CoreConfig, store: StateStore | None = None) -> None:
+        partitioner = PayerPartitioner(config.num_instances)
+        super().__init__(
+            config,
+            store,
+            partitioner=partitioner,
+            global_orderer=DependencyGlobalOrderer(
+                config.num_instances, key_instance=partitioner.assign_object
+            ),
+        )

@@ -40,7 +40,11 @@ from repro.cluster.pipeline import PipelineConfig, run_pipeline_experiment
 from repro.metrics.latency import LatencySummary
 from repro.metrics.summary import RunMetrics
 from repro.metrics.throughput import ThroughputPoint
-from repro.workload.config import PAPER_PAYMENT_FRACTION, WorkloadConfig
+from repro.workload.config import (
+    DEFAULT_ZIPF_EXPONENT,
+    PAPER_PAYMENT_FRACTION,
+    WorkloadConfig,
+)
 
 #: Bumped whenever the cache file format changes.
 ENGINE_VERSION = 1
@@ -191,6 +195,7 @@ class ScenarioSpec:
     seed: int = 1
     workload_seed: int | None = None
     payment_fraction: float | None = None
+    zipf_s: float | None = None
     epoch_blocks: int | None = None
     faults: FaultSpec = FaultSpec()
     backend: str = "sim"
@@ -204,6 +209,8 @@ class ScenarioSpec:
             object.__setattr__(self, "workload_seed", self.seed + 41)
         if self.payment_fraction is None:
             object.__setattr__(self, "payment_fraction", PAPER_PAYMENT_FRACTION)
+        if self.zipf_s is None:
+            object.__setattr__(self, "zipf_s", DEFAULT_ZIPF_EXPONENT)
         if self.backend not in ("sim", "live"):
             raise ValueError(f"unknown backend {self.backend!r} (sim or live)")
 
@@ -217,7 +224,9 @@ class ScenarioSpec:
     def workload_config(self) -> WorkloadConfig:
         """The workload configuration this spec describes."""
         return WorkloadConfig(
-            seed=self.workload_seed, payment_fraction=self.payment_fraction
+            seed=self.workload_seed,
+            payment_fraction=self.payment_fraction,
+            zipf_exponent=self.zipf_s,
         )
 
     def pipeline_config(self) -> PipelineConfig:
@@ -242,6 +251,8 @@ class ScenarioSpec:
             parts.append(self.backend)
         if self.payment_fraction != PAPER_PAYMENT_FRACTION:
             parts.append(f"pay{self.payment_fraction:.0%}")
+        if self.zipf_s != DEFAULT_ZIPF_EXPONENT:
+            parts.append(f"zipf{self.zipf_s:g}")
         faults = self.faults.summary()
         if faults != "none":
             parts.append(faults)

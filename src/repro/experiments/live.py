@@ -55,6 +55,7 @@ def live_cluster_spec(spec: ScenarioSpec) -> ClusterSpec:
             num_accounts=LIVE_NUM_ACCOUNTS,
             seed=spec.resolved_workload_seed,
             payment_fraction=spec.payment_fraction,
+            zipf_exponent=spec.zipf_s,
         ),
         faults=plan,
     )
@@ -71,6 +72,7 @@ def live_load_config(spec: ScenarioSpec) -> LoadGenConfig:
             num_accounts=LIVE_NUM_ACCOUNTS,
             seed=spec.resolved_workload_seed,
             payment_fraction=spec.payment_fraction,
+            zipf_exponent=spec.zipf_s,
         ),
         client=ClientConfig(
             client_id=1000,

@@ -23,6 +23,12 @@ from repro.protocols.registry import PROTOCOL_NAMES
 
 # -- spec builders (shared by the scenario library and the named grids) -----------
 
+#: Protocols covered by the head-to-head grids.  The paper's six baselines
+#: plus the dependency-ordered Orthrus variant; figure rendering keeps using
+#: the plain ``PROTOCOL_NAMES`` defaults so published figure data is
+#: unaffected by the extra series.
+GRID_PROTOCOLS: tuple[str, ...] = (*PROTOCOL_NAMES, "orthrus-dep")
+
 
 def scalability_specs(
     environment: str,
@@ -246,25 +252,66 @@ def expand_grid(name: str, scale: str = "ci") -> list[ScenarioSpec]:
     return grid(name).expand(scale)
 
 
-def _both_straggler_panels(build: Callable[..., list[ScenarioSpec]], *args):
+def _both_straggler_panels(build: Callable[..., list[ScenarioSpec]], *args, **kwargs):
     def expand(scale: str) -> list[ScenarioSpec]:
         specs: list[ScenarioSpec] = []
         for stragglers in (0, 1):
-            specs.extend(build(*args, stragglers=stragglers, scale=scale))
+            specs.extend(build(*args, stragglers=stragglers, scale=scale, **kwargs))
         return specs
 
     return expand
 
 
+def bar_cost_specs(
+    *,
+    stragglers: int = 0,
+    protocols: Sequence[str] = ("ladon", "orthrus", "orthrus-dep"),
+    zipf_exponents: Sequence[float | None] = (None, 1.2),
+    num_replicas: int = 16,
+    scale: str = "ci",
+    seed: int = 7,
+) -> list[ScenarioSpec]:
+    """Head-to-head cells isolating the cost of Ladon's global bar.
+
+    Compares bar-gated global ordering (``ladon``, ``orthrus``) against
+    dependency-gated release (``orthrus-dep``) at a fixed cluster size,
+    across account-skew levels: higher Zipf ``s`` concentrates conflicts on
+    hot keys, which is exactly where bar waits and dependency waits diverge.
+    """
+    scale_params = ScenarioScale.named(scale)
+    faults = FaultSpec.with_straggler(instance=1) if stragglers else FaultSpec.none()
+    duration, warmup = scale_params.window_for(faults.straggler_count)
+    return [
+        ScenarioSpec(
+            protocol=protocol,
+            num_replicas=num_replicas,
+            environment="wan",
+            duration=duration,
+            warmup=warmup,
+            samples_per_block=scale_params.samples_per_block,
+            seed=seed,
+            zipf_s=zipf_s,
+            faults=faults,
+        )
+        for zipf_s in zipf_exponents
+        for protocol in protocols
+    ]
+
+
 register_grid(
     "fig3",
     "WAN scalability: protocol x replicas, with and without a straggler",
-    _both_straggler_panels(scalability_specs, "wan"),
+    _both_straggler_panels(scalability_specs, "wan", protocols=GRID_PROTOCOLS),
 )
 register_grid(
     "fig4",
     "LAN scalability: protocol x replicas, with and without a straggler",
-    _both_straggler_panels(scalability_specs, "lan"),
+    _both_straggler_panels(scalability_specs, "lan", protocols=GRID_PROTOCOLS),
+)
+register_grid(
+    "barcost",
+    "Bar vs dependency release: ladon/orthrus/orthrus-dep x Zipf skew, both panels",
+    _both_straggler_panels(bar_cost_specs),
 )
 register_grid(
     "fig5",

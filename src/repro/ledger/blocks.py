@@ -121,10 +121,17 @@ class Block:
         """Wire size used by the bandwidth model."""
         return BLOCK_HEADER_BYTES + sum(tx.payload_size for tx in self.transactions)
 
+    # Memoized like the digest below: the ordering hot path reads the id
+    # several times per delivery.
+    _block_id_memo = None
+
     @property
     def block_id(self) -> tuple[int, int]:
         """(instance, sequence_number) pair identifying the block."""
-        return (self.instance, self.sequence_number)
+        memo = self._block_id_memo
+        if memo is None:
+            memo = self._block_id_memo = (self.instance, self.sequence_number)
+        return memo
 
     # Lazily memoized content digest (unannotated on purpose: a plain class
     # attribute, not a dataclass field; shadowed per instance on first use).

@@ -1,16 +1,33 @@
-"""Global-ordering engines: pre-determined, sequencer-based, and rank-based."""
+"""Global-ordering engines: pre-determined, sequencer, rank and dependency."""
 
-from repro.ordering.base import GlobalOrderer, OrderingIndex, OrderingStats, RankTracker
+from repro.ordering.base import (
+    CROSS_INSTANCE_PREFIX,
+    NO_CONFLICTS,
+    UNKNOWN_CONFLICTS,
+    BlockConflicts,
+    GlobalOrderer,
+    OrderingIndex,
+    OrderingStats,
+    RankTracker,
+    derive_conflicts,
+)
+from repro.ordering.dependency import DependencyGlobalOrderer
 from repro.ordering.dqbft import DQBFTGlobalOrderer
 from repro.ordering.ladon import LadonGlobalOrderer
 from repro.ordering.predetermined import PredeterminedGlobalOrderer
 
 __all__ = [
+    "CROSS_INSTANCE_PREFIX",
+    "NO_CONFLICTS",
+    "UNKNOWN_CONFLICTS",
+    "BlockConflicts",
     "DQBFTGlobalOrderer",
+    "DependencyGlobalOrderer",
     "GlobalOrderer",
     "LadonGlobalOrderer",
     "OrderingIndex",
     "OrderingStats",
     "PredeterminedGlobalOrderer",
     "RankTracker",
+    "derive_conflicts",
 ]

@@ -16,9 +16,83 @@ and return the blocks that just became globally ordered, in global order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.ledger.blocks import Block
+
+
+@dataclass(frozen=True)
+class BlockConflicts:
+    """Conflict metadata for one delivered block.
+
+    ``local_keys`` are owned objects the block decrements that are assigned to
+    the block's own instance — conflicts on them are same-instance only,
+    because every transaction spending from such an object serialises through
+    that single SB instance.  ``global_keys`` are keys a *future block of
+    another instance* could also touch: shared contract objects plus owned
+    decrements assigned to a different instance (the cross-instance escrow
+    case).  A block with any global key must fall back to bar semantics —
+    no orderer can know whether an undelivered block with a smaller ordering
+    index conflicts on such a key until the bar has passed it.
+    """
+
+    local_keys: frozenset[str]
+    global_keys: frozenset[str]
+
+    @property
+    def barred(self) -> bool:
+        """True when the block must wait for the global-ordering bar."""
+        return bool(self.global_keys)
+
+    @property
+    def keys(self) -> frozenset[str]:
+        """Every key the block conflicts on."""
+        return self.local_keys | self.global_keys
+
+
+#: A block that conflicts with nothing (no-ops, pure reads).
+NO_CONFLICTS = BlockConflicts(frozenset(), frozenset())
+
+#: Conservative fallback when no conflict metadata is available: an opaque
+#: global key forces bar semantics, which is always safe (Ladon behaviour).
+UNKNOWN_CONFLICTS = BlockConflicts(frozenset(), frozenset(("\x00unknown",)))
+
+#: Namespace prefix for cross-instance decrement keys.  A payer key assigned
+#: to another instance still *bars* the block carrying it, but it must not
+#: string-collide with the owner instance's local key: a local holder may
+#: release without the bar, so an untagged edge between the two would be
+#: ordered differently on replicas that deliver the pair in opposite orders.
+#: The pair commutes in the global log anyway — payments commit through the
+#: partial path and the global path skips them — so the edge is dropped,
+#: while escrow blocks of *different* instances touching the same foreign key
+#: still share the tagged key (both barred, hence bar-ordered).
+CROSS_INSTANCE_PREFIX = "\x00xi:"
+
+
+def derive_conflicts(block: Block, assign_instance: Callable[[str], int]) -> BlockConflicts:
+    """Conflict keys of a block under a bucket-assignment function.
+
+    Owned *decrements* (payers) conflict: two debits of one account do not
+    commute with the affordability check.  Owned *increments* (credits) are
+    commutative and excluded.  Shared-object operations conflict on their key
+    and are always global.  ``assign_instance`` is the partitioner's
+    ``assign_object`` — a payer key assigned to the block's own instance can
+    only conflict with blocks of that same instance, while one assigned
+    elsewhere is recorded under :data:`CROSS_INSTANCE_PREFIX` (global, but
+    disjoint from the owner's local-key namespace).
+    """
+    local: set[str] = set()
+    global_: set[str] = set()
+    for tx in block.transactions:
+        for operation in tx.decrement_operations():
+            if assign_instance(operation.key) == block.instance:
+                local.add(operation.key)
+            else:
+                global_.add(CROSS_INSTANCE_PREFIX + operation.key)
+        global_.update(tx.shared_keys())
+    if not local and not global_:
+        return NO_CONFLICTS
+    return BlockConflicts(frozenset(local), frozenset(global_))
 
 
 @dataclass
@@ -35,10 +109,28 @@ class OrderingStats:
     #: assigning ranks below a re-proposed block's rank) can diverge the
     #: global log across replicas, so it is counted for detection.
     rank_regressions: int = 0
+    #: Release-wait accounting, reported uniformly by every orderer: how many
+    #: *deliveries* elapsed between a block's arrival and its release into
+    #: the global log.  Logical ticks rather than wall time keep the counters
+    #: deterministic on the simulated path.
+    total_release_wait: int = 0
+    max_release_wait: int = 0
+
+    @property
+    def mean_release_wait(self) -> float:
+        """Mean deliveries a block waited before release."""
+        if not self.blocks_ordered:
+            return 0.0
+        return self.total_release_wait / self.blocks_ordered
 
 
 class GlobalOrderer:
     """Interface every global-ordering strategy implements."""
+
+    #: Orderers that consume :class:`BlockConflicts` set this to True; the
+    #: consensus core then derives conflict metadata per delivered block and
+    #: passes it to :meth:`on_deliver`.
+    wants_conflicts = False
 
     def __init__(self, num_instances: int) -> None:
         if num_instances <= 0:
@@ -46,6 +138,9 @@ class GlobalOrderer:
         self.num_instances = num_instances
         self.stats = OrderingStats()
         self._global_log: list[Block] = []
+        #: Logical clock: one tick per delivery (shared release-wait basis).
+        self._delivery_tick = 0
+        self._arrival_tick: dict[tuple[int, int], int] = {}
 
     @property
     def global_log(self) -> list[Block]:
@@ -61,15 +156,49 @@ class GlobalOrderer:
         """Blocks delivered but not yet globally ordered."""
         raise NotImplementedError
 
-    def on_deliver(self, block: Block) -> list[Block]:
-        """Feed a delivered block; return blocks that just became ordered."""
+    def on_deliver(self, block: Block, conflicts: BlockConflicts | None = None) -> list[Block]:
+        """Feed a delivered block; return blocks that just became ordered.
+
+        ``conflicts`` carries the block's conflict metadata for orderers that
+        declare :attr:`wants_conflicts`; orderers that do not are free to
+        ignore it (the default call sites pass ``None``).
+        """
         raise NotImplementedError
+
+    def _record_arrival(self, block: Block) -> None:
+        """Shared per-delivery bookkeeping (call once per ``on_deliver``).
+
+        Counts the delivery, classifies no-ops, and timestamps the block's
+        arrival on the logical delivery clock so :meth:`_commit` can report
+        release waits uniformly across orderer families.
+        """
+        stats = self.stats
+        stats.blocks_received += 1
+        if not block.transactions:
+            stats.noop_blocks += 1
+        tick = self._delivery_tick + 1
+        self._delivery_tick = tick
+        self._arrival_tick.setdefault(block.block_id, tick)
 
     def _commit(self, blocks: Iterable[Block]) -> list[Block]:
         """Append newly ordered blocks to the global log and update stats."""
         committed = list(blocks)
+        if not committed:
+            return committed
         self._global_log.extend(committed)
-        self.stats.blocks_ordered += len(committed)
+        stats = self.stats
+        stats.blocks_ordered += len(committed)
+        now = self._delivery_tick
+        arrival_pop = self._arrival_tick.pop
+        total = 0
+        max_wait = stats.max_release_wait
+        for block in committed:
+            waited = now - arrival_pop(block.block_id, now)
+            total += waited
+            if waited > max_wait:
+                max_wait = waited
+        stats.total_release_wait += total
+        stats.max_release_wait = max_wait
         return committed
 
 

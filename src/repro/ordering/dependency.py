@@ -1,0 +1,223 @@
+"""Dependency-aware global ordering: escape the bar for independent blocks.
+
+Ladon's bar couples every instance's release rate to the globally slowest
+rank: a straggling instance holds *every* other instance's blocks hostage,
+even blocks whose transactions touch completely disjoint state.  HYDRA
+(arxiv 2511.05843) identifies this global-ordering coupling as Multi-BFT's
+next bottleneck; this orderer implements the obvious escape hatch: track a
+conflict graph over the pending blocks and release a block as soon as every
+*conflicting* predecessor (by :class:`OrderingIndex`) has been released.
+
+Safety argument
+---------------
+Cross-replica correctness requires that any two *conflicting* blocks appear
+in the same relative order in every replica's global log (non-conflicting
+blocks commute, so their order is free).  Conflict keys split into two
+classes (see :class:`~repro.ordering.base.BlockConflicts`):
+
+* **Local keys** — owned objects decremented by the block and assigned to the
+  block's own instance.  Every transaction spending such an object serialises
+  through that one SB instance, so conflicts on local keys are same-instance
+  only.  SB delivers each instance's blocks in sequence-number order on every
+  replica, so a block's same-instance conflicting predecessors have always
+  been delivered (and can be waited on) before it — no bar required.
+
+* **Global keys** — shared contract objects plus owned decrements assigned to
+  a *different* instance (the cross-instance escrow case, tagged with
+  :data:`~repro.ordering.base.CROSS_INSTANCE_PREFIX` so they stay disjoint
+  from the owner instance's local-key namespace).  A not-yet delivered block
+  of another instance could still conflict on such a key with a smaller
+  ordering index; releasing early would let two replicas execute a
+  conflicting pair in opposite orders.  Blocks carrying any global key
+  therefore fall back to bar semantics: they release only once their index is
+  strictly below the bar, exactly like Ladon.  (Below the bar no future block
+  can precede them, so waiting on the *delivered* conflicting predecessors is
+  then sufficient.)
+
+The invariant this buys — pinned by the property suite — is that any two
+blocks sharing a conflict key release in the same relative order on every
+replica, whatever the cross-instance delivery interleaving: same-key holders
+are either same-instance (SB sequence order, which every replica observes
+identically) or both barred (bar order is replica-independent).
+
+On a fully conflicting workload every block is barred and the release order
+degenerates to Ladon's ``(rank, instance, sn, arrival)`` order — pinned by
+the equivalence property in ``tests/properties/test_ordering_properties.py``.
+
+When no conflict metadata is supplied (and no ``key_instance`` assignment
+function was given to self-derive it), a block is treated as conflicting with
+everything (:data:`~repro.ordering.base.UNKNOWN_CONFLICTS`), which degrades
+to plain Ladon behaviour instead of risking divergence.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Callable, NamedTuple
+
+from repro.ledger.blocks import Block
+from repro.ordering.base import (
+    NO_CONFLICTS,
+    UNKNOWN_CONFLICTS,
+    BlockConflicts,
+    GlobalOrderer,
+    OrderingIndex,
+    derive_conflicts,
+)
+
+#: Full release-order key: ``(rank, instance, sn, arrival)``.  The prefix is
+#: the paper's ordering index; ``sn`` and the local arrival counter only break
+#: ties *within* one block identity, so the order of two distinct blocks is
+#: always decided by replica-independent fields.
+_OrderKey = tuple[int, int, int, int]
+
+
+class _Pending(NamedTuple):
+    order_key: _OrderKey
+    block: Block
+    keys: frozenset[str]
+    barred: bool
+
+
+class DependencyGlobalOrderer(GlobalOrderer):
+    """Conflict-graph global ordering with bar fallback for global keys."""
+
+    wants_conflicts = True
+
+    def __init__(
+        self,
+        num_instances: int,
+        key_instance: Callable[[str], int] | None = None,
+    ) -> None:
+        super().__init__(num_instances)
+        #: Bucket-assignment function used to self-derive conflicts when the
+        #: caller does not pass metadata (the partitioner's ``assign_object``).
+        self._key_instance = key_instance
+        self._pending: dict[tuple[int, int], _Pending] = {}
+        self._ordered_ids: set[tuple[int, int]] = set()
+        #: One min-heap of ``(order_key, block_id)`` per conflict key, over
+        #: the pending holders of that key (lazy deletion on release).
+        self._key_heaps: dict[str, list[tuple[_OrderKey, tuple[int, int]]]] = {}
+        #: Barred blocks waiting for the bar, ordered by release key.
+        self._barred_heap: list[tuple[_OrderKey, tuple[int, int]]] = []
+        #: Live (key, pending block) edges in the conflict graph (gauge).
+        self._edges = 0
+        self._arrivals = 0
+        self._frontier_ranks: list[int] = [0] * num_instances
+
+    # -- introspection ---------------------------------------------------------
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def conflict_graph_size(self) -> int:
+        """Number of live (key, pending block) edges being tracked."""
+        return self._edges
+
+    def current_bar(self) -> OrderingIndex:
+        """Same bar as Ladon's: the smallest index a future block can take."""
+        ranks = self._frontier_ranks
+        low_rank = min(ranks)
+        return OrderingIndex(rank=low_rank + 1, instance=ranks.index(low_rank))
+
+    # -- delivery --------------------------------------------------------------
+
+    def on_deliver(self, block: Block, conflicts: BlockConflicts | None = None) -> list[Block]:
+        self._record_arrival(block)
+        block_id = block.block_id
+        if block_id in self._pending or block_id in self._ordered_ids:
+            return []
+        if conflicts is None:
+            if block.is_noop:
+                conflicts = NO_CONFLICTS
+            elif self._key_instance is not None:
+                conflicts = derive_conflicts(block, self._key_instance)
+            else:
+                conflicts = UNKNOWN_CONFLICTS
+        instance = block.instance
+        rank = block.rank if block.rank is not None else 0
+        if rank <= self._frontier_ranks[instance]:
+            # Same protocol violation Ladon counts: per-instance ranks must be
+            # strictly increasing for rank-based ordering to be safe.
+            self.stats.rank_regressions += 1
+        else:
+            self._frontier_ranks[instance] = rank
+        self._arrivals += 1
+        order_key: _OrderKey = (rank, instance, block.sequence_number, self._arrivals)
+        entry = _Pending(order_key, block, conflicts.keys, conflicts.barred)
+        self._pending[block_id] = entry
+        for key in entry.keys:
+            self._key_heaps.setdefault(key, [])
+            heappush(self._key_heaps[key], (order_key, block_id))
+        self._edges += len(entry.keys)
+        if len(self._pending) > self.stats.max_waiting:
+            self.stats.max_waiting = len(self._pending)
+
+        candidates: list[tuple[_OrderKey, tuple[int, int]]] = []
+        if entry.barred:
+            heappush(self._barred_heap, (order_key, block_id))
+        else:
+            candidates.append((order_key, block_id))
+        return self._commit(self._drain(candidates))
+
+    # -- release machinery -----------------------------------------------------
+
+    def _drain(self, candidates: list[tuple[_OrderKey, tuple[int, int]]]) -> list[Block]:
+        """Release every block whose conflicting predecessors have released.
+
+        ``candidates`` seeds the worklist; barred blocks below the (possibly
+        just advanced) bar are merged in, and each release re-queues the new
+        minimum holder of every key the released block held.  A candidate
+        that is still blocked is simply dropped — it is re-queued the moment
+        one of its keys gets a new minimum, i.e. when a blocking predecessor
+        releases.
+        """
+        heapify(candidates)
+        ranks = self._frontier_ranks
+        low_rank = min(ranks)
+        bar = (low_rank + 1, ranks.index(low_rank))
+        barred = self._barred_heap
+        while barred and barred[0][0][:2] < bar:
+            heappush(candidates, heappop(barred))
+        released: list[Block] = []
+        pending = self._pending
+        while candidates:
+            order_key, block_id = heappop(candidates)
+            entry = pending.get(block_id)
+            if entry is None or entry.order_key != order_key:
+                continue  # stale: already released (duplicate candidate)
+            if entry.barred and not order_key[:2] < bar:
+                # Pushed early through a key neighbourhood; still waiting for
+                # the bar, and still queued in the barred heap.
+                continue
+            if self._blocked(block_id, entry):
+                continue
+            del pending[block_id]
+            self._ordered_ids.add(block_id)
+            self._edges -= len(entry.keys)
+            for key in entry.keys:
+                successor = self._min_holder(key)
+                if successor is not None:
+                    heappush(candidates, successor)
+            released.append(entry.block)
+        return released
+
+    def _blocked(self, block_id: tuple[int, int], entry: _Pending) -> bool:
+        """True while a conflicting predecessor of the block is pending."""
+        for key in entry.keys:
+            head = self._min_holder(key)
+            if head is not None and head[1] != block_id:
+                return True
+        return False
+
+    def _min_holder(self, key: str) -> tuple[_OrderKey, tuple[int, int]] | None:
+        """Smallest pending holder of ``key`` (lazily pruning released ones)."""
+        heap = self._key_heaps.get(key)
+        if heap is None:
+            return None
+        while heap and heap[0][1] not in self._pending:
+            heappop(heap)
+        if not heap:
+            del self._key_heaps[key]
+            return None
+        return heap[0]

@@ -12,7 +12,7 @@ unrelated blocks: the sequencer simply orders whatever has been delivered.
 from __future__ import annotations
 
 from repro.ledger.blocks import Block
-from repro.ordering.base import GlobalOrderer
+from repro.ordering.base import BlockConflicts, GlobalOrderer
 
 
 class DQBFTGlobalOrderer(GlobalOrderer):
@@ -28,9 +28,9 @@ class DQBFTGlobalOrderer(GlobalOrderer):
     def pending_count(self) -> int:
         return len(self._delivered) + len(self._decision_queue)
 
-    def on_deliver(self, block: Block) -> list[Block]:
+    def on_deliver(self, block: Block, conflicts: BlockConflicts | None = None) -> list[Block]:
         """A worker instance delivered ``block``; hold it until decided."""
-        self.stats.blocks_received += 1
+        self._record_arrival(block)
         self._delivered[block.block_id] = block
         return self._drain()
 

@@ -30,7 +30,7 @@ from collections import deque
 from heapq import heappop, heappush
 
 from repro.ledger.blocks import Block
-from repro.ordering.base import GlobalOrderer, OrderingIndex
+from repro.ordering.base import BlockConflicts, GlobalOrderer, OrderingIndex
 
 
 class LadonGlobalOrderer(GlobalOrderer):
@@ -84,10 +84,8 @@ class LadonGlobalOrderer(GlobalOrderer):
         low_rank = min(ranks)
         return OrderingIndex(rank=low_rank + 1, instance=ranks.index(low_rank))
 
-    def on_deliver(self, block: Block) -> list[Block]:
-        self.stats.blocks_received += 1
-        if block.is_noop:
-            self.stats.noop_blocks += 1
+    def on_deliver(self, block: Block, conflicts: BlockConflicts | None = None) -> list[Block]:
+        self._record_arrival(block)
         if block.block_id in self._waiting_ids or block.block_id in self._ordered_ids:
             return []
         instance = block.instance

@@ -16,7 +16,7 @@ here simply as the delivery of an empty block for the gap position.
 from __future__ import annotations
 
 from repro.ledger.blocks import Block
-from repro.ordering.base import GlobalOrderer
+from repro.ordering.base import BlockConflicts, GlobalOrderer
 
 
 class PredeterminedGlobalOrderer(GlobalOrderer):
@@ -40,10 +40,8 @@ class PredeterminedGlobalOrderer(GlobalOrderer):
         sequence_number = self._next_position // self.num_instances
         return instance, sequence_number
 
-    def on_deliver(self, block: Block) -> list[Block]:
-        self.stats.blocks_received += 1
-        if block.is_noop:
-            self.stats.noop_blocks += 1
+    def on_deliver(self, block: Block, conflicts: BlockConflicts | None = None) -> list[Block]:
+        self._record_arrival(block)
         position = self.global_position(block)
         if position < self._next_position:
             # Duplicate or stale delivery (possible after view changes).

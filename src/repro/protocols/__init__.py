@@ -1,6 +1,6 @@
 """Baseline Multi-BFT protocol cores and the protocol registry."""
 
-from repro.protocols.base import GlobalExecutionCore
+from repro.protocols.base import GlobalExecutionCore, PredeterminedExecutionCore
 from repro.protocols.dqbft import DQBFTCore
 from repro.protocols.iss import ISSCore
 from repro.protocols.ladon import LadonCore
@@ -15,6 +15,7 @@ __all__ = [
     "LadonCore",
     "MirBFTCore",
     "PROTOCOL_NAMES",
+    "PredeterminedExecutionCore",
     "RCCCore",
     "available_protocols",
     "build_core",

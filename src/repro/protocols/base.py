@@ -21,7 +21,8 @@ from repro.ledger.blocks import Block
 from repro.ledger.objects import ObjectType, OperationKind
 from repro.ledger.state import StateStore
 from repro.ledger.transactions import Transaction
-from repro.ordering.base import GlobalOrderer
+from repro.ordering.base import GlobalOrderer, derive_conflicts
+from repro.ordering.predetermined import PredeterminedGlobalOrderer
 
 
 class GlobalExecutionCore(ConsensusCore):
@@ -61,7 +62,11 @@ class GlobalExecutionCore(ConsensusCore):
         self.plogs[block.instance].advance()
         self.frontier.advance(block.instance, block.sequence_number)
         self.epochs.record_processed(block.instance, block.sequence_number)
-        newly_ordered = self.global_orderer.on_deliver(block)
+        if self.global_orderer.wants_conflicts:
+            conflicts = derive_conflicts(block, self.partitioner.assign_object)
+            newly_ordered = self.global_orderer.on_deliver(block, conflicts)
+        else:
+            newly_ordered = self.global_orderer.on_deliver(block)
         self._execution_queue.extend(newly_ordered)
         outcomes = self._drain_execution_queue()
         self.pending_checkpoints.extend(self._maybe_complete_epochs())
@@ -116,3 +121,22 @@ class GlobalExecutionCore(ConsensusCore):
         elif operation.kind is OperationKind.CONTRACT_CALL:
             current = self.store.balance_of(operation.key)
             self.store.assign(operation.key, current * 31 + operation.amount)
+
+
+class PredeterminedExecutionCore(GlobalExecutionCore):
+    """Shared wiring for the pre-determined-position protocols.
+
+    ISS, Mir-BFT and RCC all interleave blocks into the round-robin global
+    sequence; they differ only in fault-handling traits.  Subclasses set the
+    trait flags and inherit the orderer wiring from here instead of each
+    re-instantiating :class:`PredeterminedGlobalOrderer`.
+    """
+
+    predetermined_ordering = True
+
+    def __init__(self, config: CoreConfig, store: StateStore | None = None) -> None:
+        super().__init__(
+            config,
+            store,
+            global_orderer=PredeterminedGlobalOrderer(config.num_instances),
+        )

@@ -10,23 +10,12 @@ instead of forcing a full epoch change.
 
 from __future__ import annotations
 
-from repro.core.config import CoreConfig
-from repro.ledger.state import StateStore
-from repro.ordering.predetermined import PredeterminedGlobalOrderer
-from repro.protocols.base import GlobalExecutionCore
+from repro.protocols.base import PredeterminedExecutionCore
 
 
-class ISSCore(GlobalExecutionCore):
+class ISSCore(PredeterminedExecutionCore):
     """ISS: pre-determined global ordering with no-op gap filling."""
 
     name = "iss"
-    predetermined_ordering = True
     epoch_change_on_fault = False
     fills_gaps_with_noops = True
-
-    def __init__(self, config: CoreConfig, store: StateStore | None = None) -> None:
-        super().__init__(
-            config,
-            store,
-            global_orderer=PredeterminedGlobalOrderer(config.num_instances),
-        )

@@ -9,23 +9,12 @@ straggler is present.
 
 from __future__ import annotations
 
-from repro.core.config import CoreConfig
-from repro.ledger.state import StateStore
-from repro.ordering.predetermined import PredeterminedGlobalOrderer
-from repro.protocols.base import GlobalExecutionCore
+from repro.protocols.base import PredeterminedExecutionCore
 
 
-class MirBFTCore(GlobalExecutionCore):
+class MirBFTCore(PredeterminedExecutionCore):
     """Mir-BFT: pre-determined ordering, epoch change on detected faults."""
 
     name = "mir"
-    predetermined_ordering = True
     epoch_change_on_fault = True
     fills_gaps_with_noops = False
-
-    def __init__(self, config: CoreConfig, store: StateStore | None = None) -> None:
-        super().__init__(
-            config,
-            store,
-            global_orderer=PredeterminedGlobalOrderer(config.num_instances),
-        )

@@ -10,24 +10,13 @@ RCC and Mir almost coincide.
 
 from __future__ import annotations
 
-from repro.core.config import CoreConfig
-from repro.ledger.state import StateStore
-from repro.ordering.predetermined import PredeterminedGlobalOrderer
-from repro.protocols.base import GlobalExecutionCore
+from repro.protocols.base import PredeterminedExecutionCore
 
 
-class RCCCore(GlobalExecutionCore):
+class RCCCore(PredeterminedExecutionCore):
     """RCC: pre-determined ordering with optimised recovery."""
 
     name = "rcc"
-    predetermined_ordering = True
     epoch_change_on_fault = False
     fills_gaps_with_noops = True
     fast_recovery = True
-
-    def __init__(self, config: CoreConfig, store: StateStore | None = None) -> None:
-        super().__init__(
-            config,
-            store,
-            global_orderer=PredeterminedGlobalOrderer(config.num_instances),
-        )

@@ -18,6 +18,9 @@ from repro.errors import WorkloadError
 PAPER_NUM_ACCOUNTS = 18_000
 PAPER_NUM_TRANSACTIONS = 200_000
 PAPER_PAYMENT_FRACTION = 0.46
+#: Default Zipf skew of account activity (the ``--zipf-s`` CLI knob; the
+#: contention A/B sweeps this — higher s concentrates spends on hot keys).
+DEFAULT_ZIPF_EXPONENT = 0.8
 
 
 @dataclass
@@ -51,7 +54,7 @@ class WorkloadConfig:
     multi_payer_fraction: float = 0.02
     contract_multi_caller_fraction: float = 0.05
     num_shared_objects: int = 512
-    zipf_exponent: float = 0.8
+    zipf_exponent: float = DEFAULT_ZIPF_EXPONENT
     initial_balance: int = 1_000_000
     min_amount: int = 1
     max_amount: int = 1_000
@@ -69,6 +72,8 @@ class WorkloadConfig:
             raise WorkloadError("multi_payer_fraction must be within [0, 1]")
         if self.num_shared_objects <= 0:
             raise WorkloadError("num_shared_objects must be positive")
+        if self.zipf_exponent < 0.0:
+            raise WorkloadError("zipf_exponent must be non-negative")
         if self.min_amount <= 0 or self.max_amount < self.min_amount:
             raise WorkloadError("amount range is invalid")
         if self.initial_balance < 0:

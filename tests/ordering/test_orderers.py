@@ -1,9 +1,16 @@
-"""Tests for the three global-ordering engines and the rank tracker."""
+"""Tests for the four global-ordering engines and the rank tracker."""
 
 
 from repro.ledger.blocks import Block, SystemState
 from repro.ledger.transactions import simple_transfer
-from repro.ordering.base import OrderingIndex, RankTracker
+from repro.ordering.base import (
+    NO_CONFLICTS,
+    UNKNOWN_CONFLICTS,
+    BlockConflicts,
+    OrderingIndex,
+    RankTracker,
+)
+from repro.ordering.dependency import DependencyGlobalOrderer
 from repro.ordering.dqbft import DQBFTGlobalOrderer
 from repro.ordering.ladon import LadonGlobalOrderer
 from repro.ordering.predetermined import PredeterminedGlobalOrderer
@@ -19,6 +26,10 @@ def make_block(instance, sn, rank=None, empty=False):
         proposer=instance,
         rank=rank,
     )
+
+
+def conflicts(local=(), global_=()):
+    return BlockConflicts(frozenset(local), frozenset(global_))
 
 
 class TestOrderingIndex:
@@ -161,6 +172,132 @@ class TestLadonOrdering:
     def test_bar_initial_value(self):
         orderer = LadonGlobalOrderer(3)
         assert orderer.current_bar() == OrderingIndex(1, 0)
+
+
+class TestDependencyOrdering:
+    def test_independent_block_escapes_the_bar(self):
+        orderer = DependencyGlobalOrderer(2)
+        # Under Ladon instance 1's block would wait for the bar; with no
+        # conflicting predecessor it is released on the spot.
+        released = orderer.on_deliver(make_block(1, 0, rank=1), NO_CONFLICTS)
+        assert [b.block_id for b in released] == [(1, 0)]
+        assert orderer.pending_count() == 0
+
+    def test_barred_block_waits_for_the_bar_like_ladon(self):
+        orderer = DependencyGlobalOrderer(2)
+        assert orderer.on_deliver(make_block(1, 0, rank=1), conflicts(global_={"obj"})) == []
+        assert orderer.pending_count() == 1
+        # Instance 0 advances past rank 1 -> the bar passes the barred block.
+        released = orderer.on_deliver(make_block(0, 0, rank=2), NO_CONFLICTS)
+        assert [b.block_id for b in released] == [(1, 0), (0, 0)]
+
+    def test_local_conflict_waits_behind_barred_predecessor(self):
+        orderer = DependencyGlobalOrderer(2)
+        # sn 0 spends "a" and touches a shared object -> barred (instance 1
+        # loses the rank tie-break, so rank 1 is not yet below the bar).
+        assert (
+            orderer.on_deliver(make_block(1, 0, rank=1), conflicts(local={"a"}, global_={"obj"}))
+            == []
+        )
+        # sn 1 spends "a" only; it must not overtake its conflicting
+        # predecessor even though it carries no global key itself.
+        assert orderer.on_deliver(make_block(1, 1, rank=2), conflicts(local={"a"})) == []
+        # A disjoint spend of the same instance is free to release.
+        released = orderer.on_deliver(make_block(1, 2, rank=3), conflicts(local={"b"}))
+        assert [b.block_id for b in released] == [(1, 2)]
+        # The bar passes rank 1 and the "a" chain flushes in index order.
+        released = orderer.on_deliver(make_block(0, 0, rank=2), NO_CONFLICTS)
+        assert [b.block_id for b in released] == [(1, 0), (0, 0), (1, 1)]
+
+    def test_local_chain_releases_in_delivery_order(self):
+        orderer = DependencyGlobalOrderer(2)
+        for sn in range(3):
+            released = orderer.on_deliver(make_block(0, sn, rank=sn + 1), conflicts(local={"a"}))
+            assert [b.block_id for b in released] == [(0, sn)]
+
+    def test_unknown_conflicts_degrade_to_ladon(self):
+        dep = DependencyGlobalOrderer(2)
+        ladon = LadonGlobalOrderer(2)
+        blocks = [
+            make_block(1, 0, rank=1),
+            make_block(1, 1, rank=2),
+            make_block(0, 0, rank=3),
+        ]
+        for block in blocks:
+            expected = [b.block_id for b in ladon.on_deliver(block)]
+            got = [b.block_id for b in dep.on_deliver(block, UNKNOWN_CONFLICTS)]
+            assert got == expected
+        assert [b.block_id for b in dep.global_log] == [b.block_id for b in ladon.global_log]
+
+    def test_noop_without_metadata_is_conflict_free(self):
+        orderer = DependencyGlobalOrderer(2)
+        released = orderer.on_deliver(make_block(1, 0, rank=1, empty=True))
+        assert [b.block_id for b in released] == [(1, 0)]
+        assert orderer.stats.noop_blocks == 1
+
+    def test_missing_metadata_without_assignment_is_conservative(self):
+        orderer = DependencyGlobalOrderer(2)
+        # No conflicts passed and no key_instance function: treated as
+        # conflicting with everything, so it waits for the bar.
+        assert orderer.on_deliver(make_block(1, 0, rank=1)) == []
+        released = orderer.on_deliver(make_block(0, 0, rank=2))
+        assert [b.block_id for b in released] == [(1, 0), (0, 0)]
+
+    def test_key_instance_function_self_derives_conflicts(self):
+        # All payers hash to some bucket; with every key assigned to the
+        # block's own instance the transfer block is local-only and releases
+        # immediately even though the bar has not moved.
+        orderer = DependencyGlobalOrderer(2, key_instance=lambda key: 1)
+        released = orderer.on_deliver(make_block(1, 0, rank=1))
+        assert [b.block_id for b in released] == [(1, 0)]
+
+    def test_conflict_graph_size_tracks_live_edges(self):
+        orderer = DependencyGlobalOrderer(2)
+        assert orderer.conflict_graph_size() == 0
+        orderer.on_deliver(make_block(1, 0, rank=1), conflicts(local={"a"}, global_={"obj"}))
+        assert orderer.conflict_graph_size() == 2
+        orderer.on_deliver(make_block(1, 1, rank=2), conflicts(local={"a", "b"}))
+        assert orderer.conflict_graph_size() == 4
+        # Bar passes rank 2 -> everything releases, the graph empties.
+        orderer.on_deliver(make_block(0, 0, rank=3), NO_CONFLICTS)
+        assert orderer.conflict_graph_size() == 0
+        assert orderer.pending_count() == 0
+
+    def test_duplicate_delivery_ignored(self):
+        orderer = DependencyGlobalOrderer(2)
+        block = make_block(1, 0, rank=1)
+        assert orderer.on_deliver(block, NO_CONFLICTS) == [block]
+        assert orderer.on_deliver(block, NO_CONFLICTS) == []
+        assert orderer.on_deliver(make_block(1, 0, rank=1), conflicts(global_={"obj"})) == []
+
+    def test_release_wait_stats_count_deliveries(self):
+        orderer = DependencyGlobalOrderer(2)
+        orderer.on_deliver(make_block(1, 0, rank=1), conflicts(global_={"obj"}))
+        orderer.on_deliver(make_block(1, 1, rank=2), conflicts(global_={"obj"}))
+        orderer.on_deliver(make_block(0, 0, rank=3), NO_CONFLICTS)
+        # Block (1, 0) waited two deliveries, (1, 1) one, (0, 0) zero.
+        assert orderer.stats.blocks_ordered == 3
+        assert orderer.stats.max_release_wait == 2
+        assert orderer.stats.total_release_wait == 3
+        assert orderer.stats.mean_release_wait == 1.0
+
+    def test_global_log_orders_conflicting_blocks_by_index(self):
+        orderer = DependencyGlobalOrderer(3)
+        shared = conflicts(global_={"obj"})
+        orderer.on_deliver(make_block(2, 0, rank=1), shared)
+        orderer.on_deliver(make_block(1, 0, rank=2), shared)
+        orderer.on_deliver(make_block(0, 0, rank=3), shared)
+        # Instance 2's frontier (rank 1) holds the bar at (2, 2): the first
+        # two barred blocks pass it, the rank-3 one still waits.
+        barred = [b.block_id for b in orderer.global_log]
+        assert barred == [(2, 0), (1, 0)]
+        orderer.on_deliver(make_block(1, 1, rank=4), NO_CONFLICTS)
+        # Instance 2 advances past rank 3 -> the last barred block flushes,
+        # ordered before the higher-indexed independent block.
+        released = orderer.on_deliver(make_block(2, 1, rank=5), NO_CONFLICTS)
+        assert [b.block_id for b in released] == [(0, 0), (2, 1)]
+        indices = [OrderingIndex.of(b) for b in orderer.global_log if b.block_id[1] == 0]
+        assert indices == sorted(indices)
 
 
 class TestDQBFTOrdering:

@@ -10,7 +10,14 @@ twice or dropped (integrity).
 from hypothesis import given, settings, strategies as st
 
 from repro.ledger.blocks import Block, SystemState
-from repro.ordering.base import OrderingIndex
+from repro.ordering.base import (
+    CROSS_INSTANCE_PREFIX,
+    NO_CONFLICTS,
+    UNKNOWN_CONFLICTS,
+    BlockConflicts,
+    OrderingIndex,
+)
+from repro.ordering.dependency import DependencyGlobalOrderer
 from repro.ordering.dqbft import DQBFTGlobalOrderer
 from repro.ordering.ladon import LadonGlobalOrderer
 from repro.ordering.predetermined import PredeterminedGlobalOrderer
@@ -275,3 +282,158 @@ class TestLadonBarBoundary:
         orderer.on_deliver(make_block(0, 0, rank=10))
         orderer.on_deliver(make_block(0, 1, rank=3))
         assert orderer.stats.rank_regressions == 1
+
+
+# -- dependency orderer: conflict-modelled workloads --------------------------------
+
+#: Owned-object universe; ``acct-n`` is assigned to instance ``n % m``, the
+#: same deterministic shape a hash partitioner produces.
+OWNED_KEYS = tuple(f"acct-{n}" for n in range(6))
+#: Shared contract objects: global for every instance.
+SHARED_KEYS = ("obj-0", "obj-1")
+
+
+def key_owner(key):
+    return int(key.rsplit("-", 1)[1]) % NUM_INSTANCES
+
+
+def build_conflicts(instance, owned, shared):
+    """Conflict metadata exactly as ``derive_conflicts`` would classify it."""
+    local = frozenset(k for k in owned if key_owner(k) == instance)
+    cross = frozenset(
+        CROSS_INSTANCE_PREFIX + k for k in owned if key_owner(k) != instance
+    )
+    return BlockConflicts(local, cross | frozenset(shared))
+
+
+@st.composite
+def conflicted_block_sets(draw):
+    """Tied-rank block sets with per-block modelled conflict metadata."""
+    blocks = draw(tied_rank_block_sets())
+    conflicts = {}
+    for block in blocks:
+        owned = draw(st.frozensets(st.sampled_from(OWNED_KEYS), max_size=3))
+        shared = draw(st.frozensets(st.sampled_from(SHARED_KEYS), max_size=1))
+        conflicts[block.block_id] = build_conflicts(block.instance, owned, shared)
+    return blocks, conflicts
+
+
+def random_interleaving(blocks, rng):
+    """Arbitrary cross-instance interleaving respecting per-instance order."""
+    queues = {
+        i: sorted(
+            (b for b in blocks if b.instance == i), key=lambda b: b.sequence_number
+        )
+        for i in range(NUM_INSTANCES)
+    }
+    order = []
+    while any(queues.values()):
+        instance = rng.choice([i for i in range(NUM_INSTANCES) if queues[i]])
+        order.append(queues[instance].pop(0))
+    return order
+
+
+def run_dependency(delivery_order, conflicts):
+    orderer = DependencyGlobalOrderer(NUM_INSTANCES)
+    for block in delivery_order:
+        orderer.on_deliver(block, conflicts[block.block_id])
+    return orderer
+
+
+class TestDependencyEquivalence:
+    """On fully conflicting input the dependency orderer *is* Ladon.
+
+    Every block carries a global key, so nothing escapes the bar and the
+    release sequence must match Ladon's delivery-for-delivery — the
+    degeneration the safety argument in ``ordering/dependency.py`` leans on.
+    """
+
+    def _assert_stepwise_equal(self, delivery_order, conflicts_for):
+        dep = DependencyGlobalOrderer(NUM_INSTANCES)
+        ladon = LadonGlobalOrderer(NUM_INSTANCES)
+        for block in delivery_order:
+            got = [b.block_id for b in dep.on_deliver(block, conflicts_for(block))]
+            want = [b.block_id for b in ladon.on_deliver(block)]
+            assert got == want
+        assert dep.pending_count() == ladon.pending_count()
+
+    @given(tied_rank_block_sets(), st.randoms(use_true_random=False))
+    @settings(max_examples=120, deadline=None)
+    def test_hot_key_workload_matches_ladon(self, blocks, rng):
+        hot = BlockConflicts(frozenset(), frozenset(("obj-hot",)))
+        order = random_interleaving(blocks, rng)
+        self._assert_stepwise_equal(order, lambda block: hot)
+
+    @given(
+        tied_rank_block_sets(),
+        st.integers(min_value=0, max_value=NUM_INSTANCES - 1),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_unknown_conflicts_match_ladon_under_straggler(self, blocks, straggler):
+        order = straggler_interleaving(blocks, straggler)
+        self._assert_stepwise_equal(order, lambda block: UNKNOWN_CONFLICTS)
+
+
+class TestDependencyConsistency:
+    """Replica-independent ordering of conflicting blocks.
+
+    Two replicas see the same per-instance SB sequences but arbitrary
+    cross-instance interleavings; any two blocks sharing a conflict key must
+    appear in the same relative order in both global logs (non-conflicting
+    blocks commute, so their order is free to differ).
+    """
+
+    @given(
+        conflicted_block_sets(),
+        st.randoms(use_true_random=False),
+        st.integers(min_value=0, max_value=NUM_INSTANCES - 1),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_conflicting_pairs_agree_across_interleavings(self, data, rng, straggler):
+        blocks, conflicts = data
+        log_a = run_dependency(random_interleaving(blocks, rng), conflicts).global_log
+        log_b = run_dependency(
+            straggler_interleaving(blocks, straggler), conflicts
+        ).global_log
+        pos_a = {b.block_id: i for i, b in enumerate(log_a)}
+        pos_b = {b.block_id: i for i, b in enumerate(log_b)}
+        for i, first in enumerate(blocks):
+            for second in blocks[i + 1 :]:
+                if not conflicts[first.block_id].keys & conflicts[second.block_id].keys:
+                    continue
+                x, y = first.block_id, second.block_id
+                if x in pos_a and y in pos_a and x in pos_b and y in pos_b:
+                    assert (pos_a[x] < pos_a[y]) == (pos_b[x] < pos_b[y])
+
+    @given(conflicted_block_sets(), st.randoms(use_true_random=False))
+    @settings(max_examples=120, deadline=None)
+    def test_per_key_release_order_follows_ordering_index(self, data, rng):
+        blocks, conflicts = data
+        orderer = run_dependency(random_interleaving(blocks, rng), conflicts)
+        per_key = {}
+        for block in orderer.global_log:
+            for key in conflicts[block.block_id].keys:
+                per_key.setdefault(key, []).append(OrderingIndex.of(block))
+        for indices in per_key.values():
+            assert indices == sorted(indices)
+
+    @given(conflicted_block_sets(), st.randoms(use_true_random=False))
+    @settings(max_examples=120, deadline=None)
+    def test_integrity_and_flush_when_every_instance_advances(self, data, rng):
+        blocks, conflicts = data
+        orderer = run_dependency(random_interleaving(blocks, rng), conflicts)
+        assert orderer.ordered_count + orderer.pending_count() == len(blocks)
+        # Every instance advances past the highest rank with an independent
+        # block: the bar passes everything pending and the backlog drains.
+        top = max((b.rank for b in blocks), default=0)
+        next_sn = {
+            i: sum(1 for b in blocks if b.instance == i) for i in range(NUM_INSTANCES)
+        }
+        for instance in range(NUM_INSTANCES):
+            orderer.on_deliver(
+                make_block(instance, next_sn[instance], rank=top + 1 + instance),
+                NO_CONFLICTS,
+            )
+        assert orderer.pending_count() == 0
+        ordered_ids = [b.block_id for b in orderer.global_log]
+        assert len(ordered_ids) == len(set(ordered_ids)) == len(blocks) + NUM_INSTANCES

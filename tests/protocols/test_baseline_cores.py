@@ -46,7 +46,10 @@ class TestRegistry:
             "mir",
             "dqbft",
             "ladon",
+            "orthrus-dep",
         }
+        # Figures and reports keep iterating the paper's six only.
+        assert set(PROTOCOL_NAMES) == {"orthrus", "iss", "rcc", "mir", "dqbft", "ladon"}
 
     def test_build_core_returns_expected_types(self):
         config = CoreConfig(num_instances=4)
@@ -69,8 +72,16 @@ class TestRegistry:
             build_core("pbft-classic", CoreConfig(num_instances=2))
 
     def test_names_are_unique(self):
-        names = [build_core(n, CoreConfig(num_instances=2)).name for n in PROTOCOL_NAMES]
+        names = [
+            build_core(n, CoreConfig(num_instances=2)).name for n in available_protocols()
+        ]
         assert len(set(names)) == len(names)
+
+    def test_orthrus_dep_core_uses_dependency_orderer(self):
+        core = build_core("orthrus-dep", CoreConfig(num_instances=2))
+        assert core.name == "orthrus-dep"
+        assert core.global_orderer.wants_conflicts
+        assert core.global_orderer.conflict_graph_size() == 0
 
 
 class TestPredeterminedCores:

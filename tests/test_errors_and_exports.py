@@ -74,4 +74,5 @@ class TestPublicAPI:
             "mir",
             "dqbft",
             "ladon",
+            "orthrus-dep",
         }
