@@ -161,6 +161,32 @@ def _add_cluster_obs_arguments(parser: argparse.ArgumentParser) -> None:
     _add_obs_arguments(parser)
 
 
+def _add_durability_arguments(parser: argparse.ArgumentParser) -> None:
+    """Durability flags shared by cluster/chaos."""
+    parser.add_argument(
+        "--durability",
+        action="store_true",
+        help=(
+            "give every replica a WAL + snapshots under its run directory so "
+            "crashed replicas rejoin at full strength after a restart"
+        ),
+    )
+    parser.add_argument(
+        "--epoch-length",
+        type=_positive_int,
+        default=1_000_000,
+        metavar="BLOCKS",
+        help="blocks per epoch (checkpoint/snapshot cadence; default: 1000000)",
+    )
+    parser.add_argument(
+        "--snapshot-every-epochs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="cut a snapshot at most every N completed epochs (default: 1)",
+    )
+
+
 def _add_cluster_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--transport",
@@ -287,6 +313,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--instances", type=int, default=None)
     serve_parser.add_argument("--batch-size", type=int, default=64)
     serve_parser.add_argument("--batch-interval", type=float, default=0.05)
+    serve_parser.add_argument(
+        "--epoch-length",
+        type=_positive_int,
+        default=1_000_000,
+        metavar="BLOCKS",
+        help="blocks per epoch (checkpoint/snapshot cadence; default: 1000000)",
+    )
     serve_parser.add_argument("--view-change-timeout", type=float, default=10.0)
     serve_parser.add_argument("--accounts", type=int, default=1024)
     serve_parser.add_argument("--workload-seed", type=int, default=42)
@@ -339,6 +372,31 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="seconds between metrics snapshots (default: 1.0)",
     )
+    serve_parser.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "directory for this replica's durable state (wal.jsonl, "
+            "snapshot-*.json); enables WAL + snapshots + crash recovery"
+        ),
+    )
+    serve_parser.add_argument(
+        "--recovery",
+        default="snapshot",
+        choices=["snapshot", "genesis"],
+        help=(
+            "what a restart does with durable state: recover from the newest "
+            "snapshot + WAL (default) or wipe it and rejoin from genesis"
+        ),
+    )
+    serve_parser.add_argument(
+        "--snapshot-every-epochs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="cut a snapshot at most every N completed epochs (default: 1)",
+    )
     _add_obs_arguments(serve_parser)
     _add_wire_version_argument(serve_parser)
 
@@ -374,9 +432,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "JSON fault plan or @file: "
             '{"stragglers": {"1": 10}, "crashes": {"0": 5}, '
-            '"restarts": {"0": 15}, "undetectable_faults": 1}'
+            '"restarts": {"0": 15}, "churn": [[5, 0, 3]], '
+            '"undetectable_faults": 1}'
         ),
     )
+    _add_durability_arguments(cluster_parser)
     _add_cluster_scale_arguments(cluster_parser)
     _add_cluster_obs_arguments(cluster_parser)
     _add_wire_version_argument(cluster_parser)
@@ -430,6 +490,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="restart a crashed replica at a time offset; repeatable",
     )
     chaos_parser.add_argument(
+        "--churn",
+        action="append",
+        default=[],
+        metavar="AT:REPLICA:DOWNTIME",
+        help=(
+            "crash a replica at AT seconds and restart it DOWNTIME seconds "
+            "later (combine with --durability for full rejoin); repeatable"
+        ),
+    )
+    chaos_parser.add_argument(
         "--byzantine",
         type=int,
         default=0,
@@ -441,6 +511,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON fault plan or @file (overrides the individual fault flags)",
     )
+    _add_durability_arguments(chaos_parser)
     _add_cluster_scale_arguments(chaos_parser)
     _add_cluster_obs_arguments(chaos_parser)
     _add_wire_version_argument(chaos_parser)
@@ -735,6 +806,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         num_instances=args.instances,
         batch_size=args.batch_size,
         batch_interval=args.batch_interval,
+        epoch_length=args.epoch_length,
         view_change_timeout=args.view_change_timeout,
         workload=WorkloadConfig(
             num_accounts=args.accounts,
@@ -752,6 +824,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         metrics_interval=args.metrics_interval,
         log_level=args.log_level,
         log_format=args.log_format,
+        run_dir=args.run_dir,
+        recovery=args.recovery,
+        snapshot_every_epochs=args.snapshot_every_epochs,
     )
     install_uvloop()
     asyncio.run(run_server(config))
@@ -793,6 +868,7 @@ def _command_cluster(args: argparse.Namespace) -> int:
         base_port=args.base_port,
         batch_size=args.batch_size,
         batch_interval=args.batch_interval,
+        epoch_length=args.epoch_length,
         view_change_timeout=faults.view_change_timeout,
         workload=WorkloadConfig(
             num_accounts=args.accounts,
@@ -805,6 +881,8 @@ def _command_cluster(args: argparse.Namespace) -> int:
         workers=args.workers,
         obs_enabled=not args.no_obs,
         run_dir=args.run_dir,
+        durability=args.durability,
+        snapshot_every_epochs=args.snapshot_every_epochs,
         trace_sample=args.trace_sample,
         metrics_interval=args.metrics_interval,
         log_level=args.log_level,
@@ -882,6 +960,23 @@ def _parse_fault_pairs(entries: list[str], flag: str) -> dict[int, float]:
     return pairs
 
 
+def _parse_churn(entries: list[str]) -> tuple[tuple[float, int, float], ...]:
+    cycles: list[tuple[float, int, float]] = []
+    for entry in entries:
+        parts = entry.split(":")
+        if len(parts) != 3:
+            raise ConfigurationError(
+                f"--churn expects AT:REPLICA:DOWNTIME, got {entry!r}"
+            )
+        try:
+            cycles.append((float(parts[0]), int(parts[1]), float(parts[2])))
+        except ValueError:
+            raise ConfigurationError(
+                f"--churn expects numeric AT:REPLICA:DOWNTIME, got {entry!r}"
+            ) from None
+    return tuple(cycles)
+
+
 def _command_chaos(args: argparse.Namespace) -> int:
     from repro.cluster.faults import FaultPlan
     from repro.runtime.chaos import (
@@ -902,6 +997,7 @@ def _command_chaos(args: argparse.Namespace) -> int:
             stragglers=_parse_fault_pairs(args.straggle, "straggle"),
             crashes=_parse_fault_pairs(args.crash, "crash"),
             restarts=_parse_fault_pairs(args.restart, "restart"),
+            churn=_parse_churn(args.churn),
             view_change_timeout=args.view_change_timeout,
             undetectable_faults=args.byzantine,
         )
@@ -925,6 +1021,8 @@ def _command_chaos(args: argparse.Namespace) -> int:
         workers=args.workers,
         obs_enabled=not args.no_obs,
         run_dir=args.run_dir,
+        durability=args.durability,
+        snapshot_every_epochs=args.snapshot_every_epochs,
         trace_sample=args.trace_sample,
         metrics_interval=args.metrics_interval,
         log_level=args.log_level,
@@ -980,6 +1078,14 @@ def plan_summary(plan) -> str:
     if plan.restarts:
         parts.append(
             "restart " + ",".join(f"{r}@{t:g}s" for r, t in sorted(plan.restarts.items()))
+        )
+    if plan.churn:
+        parts.append(
+            "churn "
+            + ",".join(
+                f"{replica}@{at:g}s+{downtime:g}s"
+                for at, replica, downtime in sorted(plan.churn)
+            )
         )
     if plan.undetectable_faults:
         parts.append(f"byzantine x{plan.undetectable_faults}")

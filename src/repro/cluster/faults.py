@@ -28,9 +28,17 @@ class FaultPlan:
         stragglers: Mapping of replica/instance id to slowdown factor.
         crashes: Mapping of replica id to the simulated time it crashes.
         restarts: Mapping of replica id to the time its process is restarted
-            after a crash (live runtime only: the restarted replica rejoins
-            from genesis and can only passively observe; the simulator
-            ignores restarts).
+            after a crash (live runtime only; the simulator ignores
+            restarts).  Whether the restarted replica rejoins fully depends
+            on the cluster: with durability enabled it recovers from its
+            snapshot + WAL and peer state transfer and resumes leading and
+            voting; without durability it rebuilds from genesis and can
+            only passively observe.
+        churn: Repeated crash/restart cycles, as ``(at, replica,
+            downtime)`` triples: the replica is killed at ``at`` and
+            restarted ``downtime`` seconds later (live runtime only;
+            requires durability for the replica to rejoin at full
+            strength).
         view_change_timeout: Seconds before a crashed leader is replaced.
         recovery_delay: Extra seconds for the new leader to take over after
             the timeout expires (view-change message exchange).
@@ -44,6 +52,7 @@ class FaultPlan:
     stragglers: dict[int, float] = field(default_factory=dict)
     crashes: dict[int, float] = field(default_factory=dict)
     restarts: dict[int, float] = field(default_factory=dict)
+    churn: tuple[tuple[float, int, float], ...] = ()
     view_change_timeout: float = PAPER_VIEW_CHANGE_TIMEOUT
     recovery_delay: float = 0.5
     undetectable_faults: int = 0
@@ -72,6 +81,22 @@ class FaultPlan:
         """Crash ``replicas`` simultaneously at ``at_time`` (Fig. 7)."""
         return cls(
             crashes={replica: at_time for replica in replicas},
+            view_change_timeout=view_change_timeout,
+        )
+
+    @classmethod
+    def with_churn(
+        cls,
+        cycles: list[tuple[float, int, float]],
+        *,
+        view_change_timeout: float = PAPER_VIEW_CHANGE_TIMEOUT,
+    ) -> "FaultPlan":
+        """Repeated crash/restart cycles: ``(at, replica, downtime)`` each."""
+        return cls(
+            churn=tuple(
+                (float(at), int(replica), float(downtime))
+                for at, replica, downtime in cycles
+            ),
             view_change_timeout=view_change_timeout,
         )
 

@@ -58,6 +58,7 @@ class MultiBFTReplica(Process):
         reply_cache_limit: int = REPLY_CACHE_LIMIT,
         registry: Any = None,
         tracer: TraceWriter | None = None,
+        durability: Any = None,
     ) -> None:
         super().__init__(replica_id)
         #: Host transport for all I/O.  Defaults to the replica itself, which
@@ -98,7 +99,12 @@ class MultiBFTReplica(Process):
         #: behaviour (and the simulator's determinism) is untouched.
         self.obs = registry if registry is not None else NULL_REGISTRY
         self.tracer = tracer
+        #: Durability hooks (live runtime only — ``None`` on the sim path,
+        #: where the replica's behaviour must stay bit-identical).  Duck-typed
+        #: to :class:`repro.runtime.durability.ReplicaDurability`.
+        self.durability = durability
         self._obs_on = bool(self.obs.enabled) or tracer is not None
+        self._c_blocks_proposed = self.obs.counter("consensus.blocks_proposed")
         self._c_reply_cache_hits = self.obs.counter("replica.reply_cache_hits")
         self._c_reply_cache_evictions = self.obs.counter(
             "replica.reply_cache_evictions"
@@ -307,6 +313,7 @@ class MultiBFTReplica(Process):
             rank=rank,
         )
         self._next_sequence[instance] += 1
+        self._c_blocks_proposed.inc()
         now = self.transport.now()
         self._last_proposal_at[instance] = now
         if self.metrics is not None:
@@ -346,6 +353,8 @@ class MultiBFTReplica(Process):
         # across replicas.
         for _, block in endpoint.slots.undelivered_proposals():
             self.core.rank_tracker.observe(block)
+        if self.durability is not None:
+            self.durability.on_view_installed(instance, endpoint.view)
         was_leader = instance in self._led
         if leader != self.node_id:
             self._led.discard(instance)
@@ -382,6 +391,15 @@ class MultiBFTReplica(Process):
     def _on_deliver(self, block: Block) -> None:
         if self._crashed:
             return
+        if (
+            block.sequence_number
+            <= self.core.delivered_state().sequence_numbers[block.instance]
+        ):
+            # A live state transfer already applied this sequence number
+            # while the slot's commit quorum was still completing; endpoints
+            # deliver in order, so anything at or below the frontier is a
+            # replay the core must not see twice.
+            return
         now = self.transport.now()
         tracer = self.tracer
         if self.metrics is not None:
@@ -398,6 +416,8 @@ class MultiBFTReplica(Process):
             self._sb_delivered_at[(block.instance, block.sequence_number)] = now
         ordered_before = self.core.global_orderer.ordered_count
         outcomes = self.core.on_block_delivered(block)
+        if self.durability is not None:
+            self.durability.on_block_delivered(block)
         if self._obs_on:
             self._note_bar_released(ordered_before, now)
         self.outcomes.extend(outcomes)
@@ -422,6 +442,8 @@ class MultiBFTReplica(Process):
                 self._cache_reply(reply)
                 self.transport.send(client_node, reply)
         self._broadcast_checkpoints()
+        if self.durability is not None:
+            self.durability.maybe_cut_deferred_snapshot(self.core)
 
     def _conflict_graph_size(self) -> int:
         """Edges tracked by a dependency-aware orderer (0 for the others)."""
@@ -472,6 +494,10 @@ class MultiBFTReplica(Process):
             return
         while pending:
             checkpoint = pending.pop(0)
+            if self.durability is not None:
+                self.durability.on_epoch_completed(
+                    self.core, checkpoint.epoch, checkpoint.digest
+                )
             message = CheckpointMessage(
                 instance=0,
                 view=0,
@@ -482,8 +508,41 @@ class MultiBFTReplica(Process):
             self.transport.broadcast(message)
             self._checkpoints.add_vote(checkpoint.epoch, checkpoint.digest, self.node_id)
 
+    # -- recovery -------------------------------------------------------------------------------
+
+    def fast_forward(self, views: list[int] | None = None) -> None:
+        """Re-align PBFT machinery with recovered core state (before
+        :meth:`start`).
+
+        Advances every endpoint's slot table past the recovered delivered
+        frontier (those sequence numbers were agreed by the pre-crash
+        incarnation and replayed from the WAL or fetched via state transfer),
+        installs at least the given per-instance views, and resumes leader
+        sequence numbering above the frontier.  Without this, a recovered
+        leader would re-propose sequence number 0 and wedge on slots its
+        peers already delivered.
+        """
+        delivered = self.core.delivered_state().sequence_numbers
+        for instance, endpoint in self.endpoints.items():
+            next_sequence = delivered[instance] + 1
+            endpoint.slots.fast_forward(next_sequence)
+            if views is not None and views[instance] > endpoint.view:
+                endpoint.fast_forward_view(views[instance])
+            self._next_sequence[instance] = max(
+                self._next_sequence[instance], next_sequence
+            )
+
     # -- introspection ------------------------------------------------------------------------
 
     def stable_checkpoint(self, epoch: int) -> bool:
         """Whether this replica holds a stable checkpoint for ``epoch``."""
         return self._checkpoints.is_stable(epoch)
+
+    def stable_checkpoint_digest(self, epoch: int) -> str | None:
+        """Quorum-stable checkpoint digest for ``epoch``, if one formed."""
+        return self._checkpoints.stable_digest(epoch)
+
+    def latest_stable_epoch(self) -> int:
+        """Highest epoch with a quorum-stable checkpoint (-1 when none)."""
+        stable = self._checkpoints._stable
+        return max(stable) if stable else -1

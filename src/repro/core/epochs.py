@@ -79,6 +79,13 @@ class EpochTracker:
         """Number of epochs fully completed so far."""
         return self._completed_epochs
 
+    def restore(self, processed: list[int], completed_epochs: int) -> None:
+        """Overwrite progress tracking (snapshot restore)."""
+        if len(processed) != self.num_instances:
+            raise ValueError("processed width mismatch")
+        self._processed = [int(v) for v in processed]
+        self._completed_epochs = int(completed_epochs)
+
     def first_sequence_of(self, epoch: int) -> int:
         """First sequence number belonging to ``epoch``."""
         return epoch * self.epoch_length

@@ -51,6 +51,16 @@ class PartialLog:
         """Mark the current head position as processed."""
         self._next_to_process += 1
 
+    def fast_forward(self, next_to_process: int) -> None:
+        """Resume after a snapshot restore: everything below
+        ``next_to_process`` is already processed (the blocks themselves are
+        not re-materialised — they live in the WAL, not the snapshot)."""
+        if next_to_process > self._next_to_process:
+            self._next_to_process = next_to_process
+            self._highest_delivered = max(
+                self._highest_delivered, next_to_process - 1
+            )
+
     def prune_below(self, sequence_number: int) -> int:
         """Garbage-collect processed blocks below ``sequence_number``."""
         stale = [
@@ -75,6 +85,12 @@ class ProcessedFrontier:
     def advance(self, instance: int, sequence_number: int) -> None:
         """Record that ``(instance, sequence_number)`` has been processed."""
         self._frontier[instance] = max(self._frontier[instance], sequence_number)
+
+    def restore(self, values: list[int]) -> None:
+        """Overwrite the frontier (snapshot restore)."""
+        if len(values) != len(self._frontier):
+            raise ValueError("frontier width mismatch")
+        self._frontier = [int(v) for v in values]
 
     def covers(self, state: SystemState) -> bool:
         """Whether every reference in ``state`` has been processed locally."""

@@ -17,7 +17,7 @@ between pending contract transactions and subsequent payments (Solution-II).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.errors import EscrowError
 from repro.ledger.objects import ObjectOperation
@@ -143,6 +143,25 @@ class EscrowLog:
     def total_reserved(self) -> int:
         """Total amount reserved across all objects (for conservation checks)."""
         return sum(entry.amount for entry in self._entries.values())
+
+    def dump_entries(self) -> list[list]:
+        """Serialise live reservations as ``[key, tx_id, amount]`` rows
+        (sorted, for the durable snapshot format)."""
+        return [
+            [entry.key, entry.tx_id, entry.amount]
+            for _, entry in sorted(self._entries.items())
+        ]
+
+    def load_entries(self, rows: Iterable[list]) -> None:
+        """Replace the log's reservations with rows from :meth:`dump_entries`.
+
+        The store balances are *not* touched: a snapshot's object values
+        already reflect the debits these reservations applied.
+        """
+        self._entries = {
+            (key, tx_id): EscrowEntry(key=key, tx_id=tx_id, amount=int(amount))
+            for key, tx_id, amount in rows
+        }
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -180,6 +180,37 @@ class StateStore:
         self.digest_cache_misses += misses
         return accumulator.hexdigest()
 
+    def dump_objects(self) -> list[list]:
+        """Serialise every object as ``[key, value, type, condition, version]``.
+
+        The row format is the durable-snapshot wire form (see
+        ``docs/durability.md``); rows are sorted by key so the dump is
+        deterministic across replicas holding equal state.
+        """
+        return [
+            [obj.key, obj.value, obj.object_type.value, obj.condition, obj.version]
+            for _, obj in sorted(self._objects.items())
+        ]
+
+    def load_objects(self, rows: Iterable[list]) -> None:
+        """Replace the store's contents with rows from :meth:`dump_objects`.
+
+        Mutates this instance in place (references held by escrow logs and
+        execution engines stay valid) and drops every digest cache.
+        """
+        self._objects = {
+            key: LedgerObject(
+                key=key,
+                value=int(value),
+                object_type=ObjectType(object_type),
+                condition=int(condition),
+                version=int(version),
+            )
+            for key, value, object_type, condition, version in rows
+        }
+        self._digest_cache = {}
+        self._sorted_keys = None
+
     def copy(self) -> "StateStore":
         """Deep copy of the store (used by speculative validation)."""
         clone = StateStore()

@@ -156,6 +156,20 @@ class GlobalOrderer:
         """Blocks delivered but not yet globally ordered."""
         raise NotImplementedError
 
+    def snapshot_state(self) -> dict | None:
+        """Quiescent-point state a restarted replica needs to resume ordering.
+
+        Called by the durability layer only when :meth:`pending_count` is
+        zero (snapshots are cut at quiescent epoch boundaries).  Returns
+        ``None`` when the orderer does not support snapshot resume — the
+        recovery path then falls back to a full WAL replay from genesis.
+        """
+        return None
+
+    def restore_state(self, state: dict) -> None:
+        """Resume from :meth:`snapshot_state` output (fresh instance only)."""
+        raise NotImplementedError(f"{type(self).__name__} cannot restore snapshots")
+
     def on_deliver(self, block: Block, conflicts: BlockConflicts | None = None) -> list[Block]:
         """Feed a delivered block; return blocks that just became ordered.
 

@@ -114,6 +114,20 @@ class DependencyGlobalOrderer(GlobalOrderer):
         """Number of live (key, pending block) edges being tracked."""
         return self._edges
 
+    def snapshot_state(self) -> dict | None:
+        """Same quiescent-state argument as Ladon's: with no pending blocks
+        the conflict graph is empty and release decisions reduce to the rank
+        frontier."""
+        if self._pending:
+            return None
+        return {"frontier_ranks": list(self._frontier_ranks)}
+
+    def restore_state(self, state: dict) -> None:
+        ranks = [int(v) for v in state["frontier_ranks"]]
+        if len(ranks) != self.num_instances:
+            raise ValueError("frontier_ranks width mismatch")
+        self._frontier_ranks = ranks
+
     def current_bar(self) -> OrderingIndex:
         """Same bar as Ladon's: the smallest index a future block can take."""
         ranks = self._frontier_ranks

@@ -62,6 +62,23 @@ class LadonGlobalOrderer(GlobalOrderer):
     def pending_count(self) -> int:
         return self._pending
 
+    def snapshot_state(self) -> dict | None:
+        """Rank frontier is the only cross-delivery state at quiescence.
+
+        With an empty waiting set the runs, heads heap and arrival ticks are
+        all vacuous; the bar — hence every future release decision — is a
+        pure function of ``_frontier_ranks``.
+        """
+        if self._pending:
+            return None
+        return {"frontier_ranks": list(self._frontier_ranks)}
+
+    def restore_state(self, state: dict) -> None:
+        ranks = [int(v) for v in state["frontier_ranks"]]
+        if len(ranks) != self.num_instances:
+            raise ValueError("frontier_ranks width mismatch")
+        self._frontier_ranks = ranks
+
     def current_bar(self) -> OrderingIndex:
         """The lowest ordering index a future block could still receive.
 

@@ -102,6 +102,7 @@ def fault_plan_to_json(plan: FaultPlan) -> str:
             "stragglers": {str(k): v for k, v in sorted(plan.stragglers.items())},
             "crashes": {str(k): v for k, v in sorted(plan.crashes.items())},
             "restarts": {str(k): v for k, v in sorted(plan.restarts.items())},
+            "churn": [list(cycle) for cycle in plan.churn],
             "view_change_timeout": plan.view_change_timeout,
             "undetectable_faults": plan.undetectable_faults,
         },
@@ -116,6 +117,7 @@ def fault_plan_from_json(
 
     Accepted keys (all optional): ``stragglers`` (replica -> slowdown),
     ``crashes`` (replica -> seconds), ``restarts`` (replica -> seconds),
+    ``churn`` (list of ``[at, replica, downtime]`` crash/restart cycles),
     ``view_change_timeout``, ``undetectable_faults``.  Unknown keys are an
     error — a typo silently producing a fault-free plan would invalidate an
     entire experiment.  ``default_view_change_timeout`` applies when the JSON
@@ -137,6 +139,7 @@ def fault_plan_from_json(
         "stragglers",
         "crashes",
         "restarts",
+        "churn",
         "view_change_timeout",
         "undetectable_faults",
     }
@@ -155,6 +158,20 @@ def fault_plan_from_json(
         except (TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed fault plan {key!r}: {exc}") from exc
 
+    raw_churn = data.get("churn", [])
+    if not isinstance(raw_churn, list):
+        raise ConfigurationError("fault plan 'churn' must be a list")
+    churn: list[tuple[float, int, float]] = []
+    for entry in raw_churn:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+            raise ConfigurationError(
+                "each churn entry must be [at, replica, downtime]"
+            )
+        try:
+            churn.append((float(entry[0]), int(entry[1]), float(entry[2])))
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed churn entry {entry!r}: {exc}") from exc
+
     fallback_timeout = (
         default_view_change_timeout
         if default_view_change_timeout is not None
@@ -164,6 +181,7 @@ def fault_plan_from_json(
         stragglers=id_map("stragglers"),
         crashes=id_map("crashes"),
         restarts=id_map("restarts"),
+        churn=tuple(churn),
         view_change_timeout=float(data.get("view_change_timeout", fallback_timeout)),
         undetectable_faults=int(data.get("undetectable_faults", 0)),
     )
@@ -192,6 +210,25 @@ def validate_fault_plan(plan: FaultPlan, num_replicas: int | None = None) -> Non
                 f"replica {replica} restarts at {at_time}s, "
                 f"before its crash at {crash_at}s"
             )
+    per_replica_cycles: dict[int, list[tuple[float, float]]] = {}
+    for at_time, replica, downtime in plan.churn:
+        if at_time < 0:
+            raise ConfigurationError(
+                f"churn crash time for replica {replica} is negative"
+            )
+        if downtime <= 0:
+            raise ConfigurationError(
+                f"churn downtime for replica {replica} must be positive"
+            )
+        per_replica_cycles.setdefault(replica, []).append((at_time, downtime))
+    for replica, cycles in per_replica_cycles.items():
+        cycles.sort()
+        for (at_a, down_a), (at_b, _) in zip(cycles, cycles[1:]):
+            if at_b <= at_a + down_a:
+                raise ConfigurationError(
+                    f"churn cycles for replica {replica} overlap: crash at "
+                    f"{at_b}s falls before the restart at {at_a + down_a}s"
+                )
     if num_replicas is not None:
         faulty = set(plan.crashes) | abstaining_replicas(plan, num_replicas)
         limit = (num_replicas - 1) // 3
@@ -200,7 +237,24 @@ def validate_fault_plan(plan: FaultPlan, num_replicas: int | None = None) -> Non
                 f"plan makes {len(faulty)} replicas faulty but n = {num_replicas} "
                 f"only tolerates f = {limit}"
             )
-        for replica in list(plan.stragglers) + list(plan.crashes):
+        # Churn replicas are only transiently down; what must stay within f
+        # is the *concurrently* faulty count at any instant.
+        if plan.churn:
+            edges = []
+            for at_time, _, downtime in plan.churn:
+                edges.append((at_time, 1))
+                edges.append((at_time + downtime, -1))
+            concurrent = peak = 0
+            for _, delta in sorted(edges):
+                concurrent += delta
+                peak = max(peak, concurrent)
+            if len(faulty) + peak > limit:
+                raise ConfigurationError(
+                    f"plan takes {len(faulty) + peak} replicas down at once "
+                    f"but n = {num_replicas} only tolerates f = {limit}"
+                )
+        churn_replicas = [replica for _, replica, _ in plan.churn]
+        for replica in list(plan.stragglers) + list(plan.crashes) + churn_replicas:
             if not 0 <= replica < num_replicas:
                 raise ConfigurationError(
                     f"fault plan names replica {replica} but the cluster has "
@@ -243,6 +297,10 @@ class ChaosController:
         self.down: set[int] = set()
         actions = [(at, "crash", replica) for replica, at in plan.crashes.items()]
         actions += [(at, "restart", replica) for replica, at in plan.restarts.items()]
+        # Churn cycles expand into the same crash/restart action stream.
+        for at, replica, downtime in plan.churn:
+            actions.append((at, "crash", replica))
+            actions.append((at + downtime, "restart", replica))
         # Sort by time; at equal times crashes execute before restarts only
         # if scheduled earlier, which validate_fault_plan already guarantees.
         self._pending = sorted(actions)

@@ -92,6 +92,10 @@ class ClusterSpec:
     base_port: int | None = None  # None: pick free ports automatically
     batch_size: int = 64
     batch_interval: float = 0.05
+    #: Blocks per epoch (checkpoint cadence).  The default matches
+    #: :class:`ReplicaRuntimeConfig`; durability runs want a small value so
+    #: snapshots actually get cut at test/chaos time scales.
+    epoch_length: int = 1_000_000
     view_change_timeout: float = 10.0
     workload: WorkloadConfig = field(
         default_factory=lambda: WorkloadConfig(num_accounts=1024)
@@ -117,6 +121,14 @@ class ClusterSpec:
     #: requested; artifacts under a run directory survive :meth:`stop` so
     #: ``repro trace`` can stitch them afterwards.
     run_dir: str | None = None
+    #: Give every replica a WAL + snapshots under its run directory
+    #: (``replica-<i>/wal.jsonl``, ``replica-<i>/snapshot-*.json``) so a
+    #: killed replica can be restarted with full crash recovery (snapshot +
+    #: WAL replay + peer state transfer).  Auto-creates a temp run dir when
+    #: none was configured.
+    durability: bool = False
+    #: Cut a snapshot at most every N completed epochs (durability only).
+    snapshot_every_epochs: int = 1
     #: Fraction of transactions traced (0.0 = tracing off); the same
     #: deterministic tx-id hash decides sampling in every process.
     trace_sample: float = 0.0
@@ -138,6 +150,10 @@ class ClusterSpec:
             raise ExperimentError("trace_sample must be within [0, 1]")
         if self.metrics_interval <= 0:
             raise ExperimentError("metrics_interval must be positive")
+        if self.epoch_length < 1:
+            raise ExperimentError("epoch_length must be at least 1")
+        if self.snapshot_every_epochs < 1:
+            raise ExperimentError("snapshot_every_epochs must be at least 1")
         validate_fault_plan(self.faults, self.num_replicas)
 
     def endpoints(self) -> tuple[tuple[str, int], ...]:
@@ -174,7 +190,9 @@ class LocalCluster:
         self.run_dir: Path | None = None
         if self.spec.run_dir is not None:
             self.run_dir = Path(self.spec.run_dir)
-        elif self.spec.trace_sample > 0 and self.spec.obs_enabled:
+        elif self.spec.durability or (
+            self.spec.trace_sample > 0 and self.spec.obs_enabled
+        ):
             self.run_dir = Path(tempfile.mkdtemp(prefix="repro-run-"))
         if self.run_dir is not None:
             self.run_dir.mkdir(parents=True, exist_ok=True)
@@ -219,7 +237,9 @@ class LocalCluster:
 
     # -- configuration ------------------------------------------------------
 
-    def runtime_config(self, replica_id: int) -> ReplicaRuntimeConfig:
+    def runtime_config(
+        self, replica_id: int, *, recovery: str = "snapshot"
+    ) -> ReplicaRuntimeConfig:
         """The :class:`ReplicaRuntimeConfig` replica ``replica_id`` runs with."""
         trace_file = None
         metrics_file = None
@@ -228,6 +248,9 @@ class LocalCluster:
             if self.spec.trace_sample > 0:
                 trace_file = str(replica_dir / "trace.jsonl")
             metrics_file = str(replica_dir / "metrics.jsonl")
+        run_dir = None
+        if self.spec.durability:
+            run_dir = str(self.replica_dir(replica_id))
         return ReplicaRuntimeConfig(
             replica_id=replica_id,
             peers=self.endpoints,
@@ -235,6 +258,7 @@ class LocalCluster:
             num_instances=self.spec.num_instances,
             batch_size=self.spec.batch_size,
             batch_interval=self.spec.batch_interval,
+            epoch_length=self.spec.epoch_length,
             view_change_timeout=self.spec.view_change_timeout,
             workload=self.spec.workload,
             send_delay=send_delay_for(self.spec.faults, replica_id),
@@ -249,9 +273,14 @@ class LocalCluster:
             metrics_interval=self.spec.metrics_interval,
             log_level=self.spec.log_level,
             log_format=self.spec.log_format,
+            run_dir=run_dir,
+            recovery=recovery,
+            snapshot_every_epochs=self.spec.snapshot_every_epochs,
         )
 
-    def serve_command(self, replica_id: int) -> list[str]:
+    def serve_command(
+        self, replica_id: int, *, recovery: str = "snapshot"
+    ) -> list[str]:
         """The ``repro serve`` argv for one replica."""
         spec = self.spec
         command = [
@@ -278,7 +307,15 @@ class LocalCluster:
         ]
         if spec.num_instances is not None:
             command += ["--instances", str(spec.num_instances)]
-        runtime = self.runtime_config(replica_id)
+        if spec.epoch_length != 1_000_000:
+            command += ["--epoch-length", str(spec.epoch_length)]
+        runtime = self.runtime_config(replica_id, recovery=recovery)
+        if runtime.run_dir is not None:
+            command += ["--run-dir", runtime.run_dir]
+            if recovery != "snapshot":
+                command += ["--recovery", recovery]
+            if spec.snapshot_every_epochs != 1:
+                command += ["--snapshot-every-epochs", str(spec.snapshot_every_epochs)]
         if runtime.send_delay > 0:
             command += ["--send-delay", str(runtime.send_delay)]
         if runtime.byzantine_abstain:
@@ -345,7 +382,9 @@ class LocalCluster:
             self.processes.append(process)
             self._stderr_logs.append(log)
 
-    def _spawn_replica(self, replica_id: int) -> tuple[subprocess.Popen, Path]:
+    def _spawn_replica(
+        self, replica_id: int, *, recovery: str = "snapshot"
+    ) -> tuple[subprocess.Popen, Path]:
         # Children must import the same ``repro`` this supervisor runs,
         # whether it came from an installed package or a PYTHONPATH checkout.
         import repro
@@ -366,7 +405,7 @@ class LocalCluster:
         self._release_reserved(replica_id)
         with log.open("ab") as stderr_sink:
             process = subprocess.Popen(
-                self.serve_command(replica_id),
+                self.serve_command(replica_id, recovery=recovery),
                 stdout=subprocess.DEVNULL,
                 stderr=stderr_sink,
                 env=env,
@@ -484,20 +523,45 @@ class LocalCluster:
             process.kill()
             process.wait(timeout=10.0)
 
-    def restart_replica(self, replica_id: int) -> None:
+    def restart_replica(
+        self,
+        replica_id: int,
+        *,
+        recovery: str = "snapshot",
+        ready_timeout: float = 20.0,
+    ) -> None:
         """Respawn a previously killed replica on its original endpoint.
 
-        The restarted process rebuilds from genesis — there is no state
-        transfer yet — so it rejoins as a passive participant: it serves its
-        listen socket and answers the control plane but cannot catch up with
-        slots delivered while it was down.  Quorums must still come from the
-        replicas that stayed up.
+        Blocks until the restarted process accepts on its listen socket
+        (bounded by ``ready_timeout``), mirroring :meth:`start`'s contract —
+        callers can dial it the moment this returns.  The socket opens
+        *before* WAL replay and state transfer finish, so acceptance does
+        not mean the replica has caught up yet.
+
+        Recovery modes:
+
+        * ``"snapshot"`` (default) — with durability on, the restarted
+          process recovers from its newest valid snapshot plus the WAL
+          suffix, pulls whatever it still misses from peers, and rejoins as
+          a *full* participant (it leads its instances and votes).
+        * ``"genesis"`` — durable state is wiped first; the replica rebuilds
+          from the genesis state and catches up through state transfer
+          alone.
+
+        Without durability (``ClusterSpec.durability=False``) there is no
+        WAL, no snapshots and no state transfer: either mode rebuilds from
+        genesis and rejoins passively — it serves its listen socket and
+        answers the control plane but cannot catch up with slots delivered
+        while it was down, so quorums must come from the replicas that
+        stayed up.
         """
+        if recovery not in ("snapshot", "genesis"):
+            raise ExperimentError(f"unknown recovery mode {recovery!r}")
         if not 0 <= replica_id < len(self.processes):
             raise ExperimentError(f"no replica {replica_id} to restart")
         if self.processes[replica_id].poll() is None:
             raise ExperimentError(f"replica {replica_id} is still running")
-        process, log = self._spawn_replica(replica_id)
+        process, log = self._spawn_replica(replica_id, recovery=recovery)
         with self._exit_lock:
             self._exits.pop(replica_id, None)
         self.processes[replica_id] = process
@@ -505,6 +569,9 @@ class LocalCluster:
         # read the restarted process's log at the replica's index.
         self._retired_logs.append(self._stderr_logs[replica_id])
         self._stderr_logs[replica_id] = log
+        self._wait_endpoint(
+            replica_id, time.monotonic() + ready_timeout, threading.Event()
+        )
 
     def replica_stderr(self, replica_id: int) -> str:
         """Contents of one replica's stderr log (diagnostics)."""

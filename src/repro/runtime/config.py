@@ -107,6 +107,16 @@ class ReplicaRuntimeConfig:
         metrics_interval: Seconds between metrics snapshots.
         log_level: Stderr logging threshold (debug/info/warning/error).
         log_format: ``"text"`` or ``"json"`` (one JSON object per line).
+        run_dir: Directory for this replica's durable state (WAL +
+            snapshots).  ``None`` — the default, and the only mode the
+            simulator ever sees — disables durability entirely.
+        recovery: What a restart does with durable state found in
+            ``run_dir``: ``"snapshot"`` recovers from the newest valid
+            snapshot plus the WAL suffix (falling back to full WAL replay,
+            then to peers); ``"genesis"`` wipes the durable state and
+            rejoins from the genesis state via state transfer alone.
+        snapshot_every_epochs: Cut a snapshot at most every N completed
+            epoch checkpoints (durability only).
     """
 
     replica_id: int
@@ -131,6 +141,9 @@ class ReplicaRuntimeConfig:
     metrics_interval: float = 1.0
     log_level: str = "info"
     log_format: str = "text"
+    run_dir: str | None = None
+    recovery: str = "snapshot"
+    snapshot_every_epochs: int = 1
 
     def __post_init__(self) -> None:
         if len(self.peers) < 4:
@@ -149,6 +162,12 @@ class ReplicaRuntimeConfig:
             raise ConfigurationError("trace_sample must be within [0, 1]")
         if self.metrics_interval <= 0:
             raise ConfigurationError("metrics_interval must be positive")
+        if self.recovery not in ("snapshot", "genesis"):
+            raise ConfigurationError(
+                f"recovery mode {self.recovery!r} is not 'snapshot' or 'genesis'"
+            )
+        if self.snapshot_every_epochs < 1:
+            raise ConfigurationError("snapshot_every_epochs must be at least 1")
 
     @property
     def num_replicas(self) -> int:

@@ -83,6 +83,49 @@ class MetricsReply:
 
 
 @dataclass(frozen=True)
+class RecoveryRequest:
+    """Ask a peer for the state a restarted replica is missing.
+
+    ``frontier`` is the requestor's delivered frontier after local WAL
+    replay; the peer answers with its snapshot (when the requestor is too
+    far behind) plus a batch of committed blocks above that frontier.
+    """
+
+    nonce: int
+    replica: int
+    frontier: tuple[int, ...] = ()
+
+
+#: Committed blocks per :class:`RecoveryReply`; the requestor loops with
+#: fresh requests until a reply comes back empty-handed.
+RECOVERY_BLOCK_BATCH = 512
+
+
+@dataclass(frozen=True)
+class RecoveryReply:
+    """A peer's answer to a :class:`RecoveryRequest`.
+
+    ``snapshot`` is the peer's latest durable snapshot as canonical JSON
+    (empty string when the requestor's frontier already covers it, or the
+    peer has none); ``blocks`` are wire-encoded committed blocks above the
+    requestor's frontier, capped at :data:`RECOVERY_BLOCK_BATCH` per reply.
+    ``views`` carries the peer's installed view per instance so the
+    requestor can fast-forward instead of re-running view changes, and
+    ``checkpoint_epoch``/``checkpoint_digest`` pin the latest quorum-stable
+    checkpoint for cross-verification after replay.
+    """
+
+    nonce: int
+    replica: int
+    frontier: tuple[int, ...] = ()
+    views: tuple[int, ...] = ()
+    checkpoint_epoch: int = -1
+    checkpoint_digest: str = ""
+    snapshot: str = ""
+    blocks: tuple[dict, ...] = ()
+
+
+@dataclass(frozen=True)
 class ShutdownRequest:
     """Ask a replica server to stop serving and exit cleanly."""
 
@@ -128,6 +171,27 @@ def _decode_metrics_reply(data: dict[str, Any]) -> MetricsReply:
         replica=int(data["replica"]),
         uptime=float(data.get("uptime", 0.0)),
         metrics={str(k): float(v) for k, v in data.get("metrics", {}).items()},
+    )
+
+
+def _decode_recovery_request(data: dict[str, Any]) -> RecoveryRequest:
+    return RecoveryRequest(
+        nonce=int(data.get("nonce", 0)),
+        replica=int(data["replica"]),
+        frontier=tuple(int(v) for v in data.get("frontier", [])),
+    )
+
+
+def _decode_recovery_reply(data: dict[str, Any]) -> RecoveryReply:
+    return RecoveryReply(
+        nonce=int(data.get("nonce", 0)),
+        replica=int(data["replica"]),
+        frontier=tuple(int(v) for v in data.get("frontier", [])),
+        views=tuple(int(v) for v in data.get("views", [])),
+        checkpoint_epoch=int(data.get("checkpoint_epoch", -1)),
+        checkpoint_digest=data.get("checkpoint_digest", ""),
+        snapshot=data.get("snapshot", ""),
+        blocks=tuple(data.get("blocks", [])),
     )
 
 
@@ -194,6 +258,66 @@ def _b_dec_status_reply(buf: bytes, off: int) -> tuple[StatusReply, int]:
             delivered_frontier=frontier,
             view_changes=view_changes,
             stage_breakdown={str(k): float(v) for k, v in breakdown.items()},
+        ),
+        off,
+    )
+
+
+def _w_i64_seq(out: list[bytes], values: tuple[int, ...]) -> None:
+    out.append(struct.pack(f">I{len(values)}q", len(values), *values))
+
+
+def _r_i64_seq(buf: bytes, off: int) -> tuple[tuple[int, ...], int]:
+    (count,) = struct.unpack_from(">I", buf, off)
+    values = struct.unpack_from(f">{count}q", buf, off + 4)
+    return values, off + 4 + 8 * count
+
+
+_RECOVERY_REQ_FIXED = struct.Struct(">qq")  # nonce, replica
+
+
+def _b_enc_recovery_request(out: list[bytes], msg: RecoveryRequest) -> None:
+    out.append(_RECOVERY_REQ_FIXED.pack(msg.nonce, msg.replica))
+    _w_i64_seq(out, msg.frontier)
+
+
+def _b_dec_recovery_request(buf: bytes, off: int) -> tuple[RecoveryRequest, int]:
+    nonce, replica = _RECOVERY_REQ_FIXED.unpack_from(buf, off)
+    frontier, off = _r_i64_seq(buf, off + _RECOVERY_REQ_FIXED.size)
+    return RecoveryRequest(nonce=nonce, replica=replica, frontier=frontier), off
+
+
+_RECOVERY_REPLY_FIXED = struct.Struct(">qqq")  # nonce, replica, checkpoint_epoch
+
+
+def _b_enc_recovery_reply(out: list[bytes], msg: RecoveryReply) -> None:
+    out.append(_RECOVERY_REPLY_FIXED.pack(msg.nonce, msg.replica, msg.checkpoint_epoch))
+    _w_i64_seq(out, msg.frontier)
+    _w_i64_seq(out, msg.views)
+    _w_str(out, msg.checkpoint_digest)
+    _w_str(out, msg.snapshot)
+    # Control-plane one-shot transfer, not the consensus hot path — length-
+    # prefixed JSON for the block batch keeps the layout trivially stable.
+    _w_json(out, {"blocks": list(msg.blocks)})
+
+
+def _b_dec_recovery_reply(buf: bytes, off: int) -> tuple[RecoveryReply, int]:
+    nonce, replica, checkpoint_epoch = _RECOVERY_REPLY_FIXED.unpack_from(buf, off)
+    frontier, off = _r_i64_seq(buf, off + _RECOVERY_REPLY_FIXED.size)
+    views, off = _r_i64_seq(buf, off)
+    checkpoint_digest, off = _r_str(buf, off)
+    snapshot, off = _r_str(buf, off)
+    wrapped, off = _r_json(buf, off)
+    return (
+        RecoveryReply(
+            nonce=nonce,
+            replica=replica,
+            frontier=frontier,
+            views=views,
+            checkpoint_epoch=checkpoint_epoch,
+            checkpoint_digest=checkpoint_digest,
+            snapshot=snapshot,
+            blocks=tuple(wrapped.get("blocks", [])),
         ),
         off,
     )
@@ -282,6 +406,33 @@ register_wire_type(
     lambda m: {"nonce": m.nonce},
     _decode_metrics_request,
     binary=(20, _b_enc_metrics_request, _b_dec_metrics_request),
+)
+register_wire_type(
+    RecoveryRequest,
+    "recovery_request",
+    lambda m: {
+        "nonce": m.nonce,
+        "replica": m.replica,
+        "frontier": list(m.frontier),
+    },
+    _decode_recovery_request,
+    binary=(22, _b_enc_recovery_request, _b_dec_recovery_request),
+)
+register_wire_type(
+    RecoveryReply,
+    "recovery_reply",
+    lambda m: {
+        "nonce": m.nonce,
+        "replica": m.replica,
+        "frontier": list(m.frontier),
+        "views": list(m.views),
+        "checkpoint_epoch": m.checkpoint_epoch,
+        "checkpoint_digest": m.checkpoint_digest,
+        "snapshot": m.snapshot,
+        "blocks": list(m.blocks),
+    },
+    _decode_recovery_reply,
+    binary=(23, _b_enc_recovery_reply, _b_dec_recovery_reply),
 )
 register_wire_type(
     MetricsReply,

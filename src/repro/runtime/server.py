@@ -16,26 +16,42 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import signal
+import time
 from typing import Any
 
 from repro.cluster.messages import ClientRequest
 from repro.cluster.replica import MultiBFTReplica
+from repro.ledger.blocks import Block
 from repro.metrics.summary import MetricsCollector
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.trace import TraceWriter
 from repro.runtime.chaos import make_abstention_filter
-from repro.runtime.codec import WireCodecError, encode_envelope
+from repro.runtime.codec import (
+    WireCodecError,
+    _decode_block,
+    _encode_block,
+    encode_envelope,
+)
 from repro.runtime.config import ReplicaRuntimeConfig, format_endpoint
 from repro.runtime.control import (
+    RECOVERY_BLOCK_BATCH,
     Hello,
     MetricsReply,
     MetricsRequest,
+    RecoveryReply,
+    RecoveryRequest,
     ShutdownRequest,
     StatusReply,
     StatusRequest,
 )
+from repro.runtime.durability import ReplicaDurability, SnapshotError, restore_core
 from repro.runtime.framing import FrameError, FrameReader, write_frame
-from repro.runtime.transport import AsyncioTransport, start_endpoint_server
+from repro.runtime.transport import (
+    AsyncioTransport,
+    connect_endpoint,
+    start_endpoint_server,
+)
 from repro.runtime.workers import (
     OFFLOAD_MIN_BYTES,
     InlineWorkers,
@@ -46,6 +62,21 @@ from repro.runtime.workers import (
 from repro.sb.pbft.endpoint import PBFTConfig
 
 logger = logging.getLogger(__name__)
+
+#: How often a durable replica checks for a wedged delivery frontier.  The
+#: reconnection window after a peer restart can lose broadcast frames (there
+#: is no per-message retransmission), so a replica that sees slots started
+#: beyond its frontier while the frontier itself is stuck re-runs state
+#: transfer to fill the gap.
+CATCH_UP_INTERVAL = 0.5
+
+#: Wall-clock window after start during which catch-up sweeps run on every
+#: tick, wedged or not.  A block that commits cluster-side while the peers'
+#: writers are still redialling us leaves *no* local trace — no started
+#: slot, no pending bar work — so for as long as that loss window can be
+#: open (failure detection plus reconnect backoff, well under a second) the
+#: only way to learn about the tip is to ask.
+CATCH_UP_SETTLE_SECONDS = 3.0
 
 
 class ReplicaServer:
@@ -73,6 +104,15 @@ class ReplicaServer:
         self.transport: AsyncioTransport | None = None
         self.replica: MultiBFTReplica | None = None
         self.workers: WorkerPool | InlineWorkers | None = None
+        self.durability: ReplicaDurability | None = None
+        #: Wall-clock seconds the last (re)start spent recovering durable
+        #: state — local snapshot + WAL replay plus peer state transfer.
+        self.recovery_seconds: float = 0.0
+        #: Live state transfers run after startup because the delivery
+        #: frontier wedged on a lost frame (see :data:`CATCH_UP_INTERVAL`).
+        self.catch_ups = 0
+        self._catch_up_frontier: tuple[int, ...] | None = None
+        self._catch_up_task: asyncio.Task[None] | None = None
         self.started_at: float | None = None
         self._server: asyncio.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
@@ -82,7 +122,16 @@ class ReplicaServer:
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self) -> None:
-        """Build the replica, open the listen socket, start proposing."""
+        """Build the replica, open the listen socket, start proposing.
+
+        With durability enabled (``run_dir``) a restart first recovers
+        locally — newest valid snapshot, then the WAL suffix — and then,
+        with the listen socket already open (so live consensus traffic and
+        the transfer window overlap and no slot can fall in between), pulls
+        whatever is still missing from peers before fast-forwarding the
+        PBFT endpoints and starting to propose.
+        """
+        recovery_started = time.monotonic()
         peers = {index: endpoint for index, endpoint in enumerate(self.config.peers)}
         self.transport = AsyncioTransport(
             self.config.replica_id,
@@ -91,10 +140,29 @@ class ReplicaServer:
             wire_version=self.config.wire_version,
             registry=self.registry,
         )
+        core = self.config.build_core()
+        recovered_views: list[int] = [0] * core.config.num_instances
+        if self.config.run_dir:
+            self.durability = ReplicaDurability(
+                self.config.run_dir,
+                snapshot_every_epochs=self.config.snapshot_every_epochs,
+                clock=self.transport.now,
+            )
+            if self.config.recovery == "genesis":
+                self.durability.wipe()
+            core, local = self.durability.recover(core, self.config.build_core)
+            recovered_views = local.views
+            if local.recovered_anything:
+                logger.info(
+                    "replica %d local recovery: snapshot epoch %s, %d WAL blocks",
+                    self.config.replica_id,
+                    local.snapshot_epoch,
+                    local.blocks_replayed,
+                )
         self.replica = MultiBFTReplica(
             replica_id=self.config.replica_id,
             num_replicas=self.config.num_replicas,
-            core=self.config.build_core(),
+            core=core,
             pbft_config=PBFTConfig(view_change_timeout=self.config.view_change_timeout),
             batch_size=self.config.batch_size,
             batch_interval=self.config.batch_interval,
@@ -102,10 +170,18 @@ class ReplicaServer:
             transport=self.transport,
             registry=self.registry,
             tracer=self.tracer,
+            durability=self.durability,
         )
         self.registry.gauge_fn("server.connections", lambda: len(self._connections))
         self.registry.gauge_fn("server.committed", lambda: self.metrics.committed)
         self.registry.gauge_fn("server.rejected", lambda: self.metrics.rejected)
+        if self.durability is not None:
+            durability = self.durability
+            self.registry.gauge_fn("durability.wal_bytes", lambda: durability.wal_bytes)
+            self.registry.gauge_fn("durability.snapshot_age", durability.snapshot_age)
+            self.registry.gauge_fn(
+                "durability.recovery_seconds", lambda: self.recovery_seconds
+            )
         if self.config.byzantine_abstain:
             # Undetectable Byzantine abstention (Fig. 8): this replica keeps
             # proposing/voting in the instances it leads but silently drops
@@ -123,7 +199,23 @@ class ReplicaServer:
             )
         endpoint = self.config.listen_endpoint
         self._server = await start_endpoint_server(self._handle_connection, endpoint)
+        if self.durability is not None:
+            transferred, peer_views = await self._state_transfer()
+            views = [max(own, peer) for own, peer in zip(recovered_views, peer_views)]
+            self.replica.fast_forward(views)
+            self.recovery_seconds = time.monotonic() - recovery_started
+            if transferred or any(views):
+                logger.info(
+                    "replica %d state transfer: %d blocks, views %s, %.3fs recovery",
+                    self.config.replica_id,
+                    transferred,
+                    views,
+                    self.recovery_seconds,
+                )
         self.replica.start()
+        if self.durability is not None:
+            self.registry.gauge_fn("durability.catch_ups", lambda: self.catch_ups)
+            self._arm_catch_up()
         self.started_at = self.transport.now()
         if self.config.obs_enabled and self.config.metrics_file:
             self._arm_metrics_snapshot()
@@ -148,6 +240,13 @@ class ReplicaServer:
         self._stopped.set()
 
     async def _shutdown(self) -> None:
+        if self._catch_up_task is not None:
+            self._catch_up_task.cancel()
+            try:
+                await self._catch_up_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._catch_up_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -169,6 +268,12 @@ class ReplicaServer:
         if self._metrics_sink is not None:
             self._metrics_sink.close()
             self._metrics_sink = None
+        if self.durability is not None:
+            # A graceful stop is a quiescent point: settle any snapshot owed
+            # from an epoch that completed mid-burst before closing the WAL.
+            if self.replica is not None:
+                self.durability.maybe_cut_deferred_snapshot(self.replica.core)
+            self.durability.close()
         if self.tracer is not None:
             self.tracer.close()
 
@@ -307,6 +412,9 @@ class ReplicaServer:
         if isinstance(message, MetricsRequest):
             await self._send_metrics(writer, message.nonce, sender)
             return registered, True
+        if isinstance(message, RecoveryRequest):
+            await self._send_recovery(writer, message, sender)
+            return registered, True
         if isinstance(message, ShutdownRequest):
             logger.info(
                 "replica %d shutting down: %s",
@@ -356,6 +464,349 @@ class ReplicaServer:
             ),
         )
 
+    # -- crash recovery / state transfer ------------------------------------
+
+    async def _state_transfer(self) -> tuple[int, list[int]]:
+        """Pull the committed state this replica is missing from its peers.
+
+        Runs with the listen socket already open, so the transfer window and
+        live consensus traffic overlap: everything committed up to the last
+        fetch arrives here, everything after arrives as ordinary consensus
+        messages.  A block that commits cluster-side right inside the
+        hand-off (its pre-prepare predates our socket, its commit postdates
+        the last fetch) is recovered by the normal view-change path — the
+        new-view message re-carries undelivered proposals.  Returns the
+        number of transferred blocks and the highest installed view seen
+        per instance.
+        """
+        assert self.replica is not None
+        views = [0] * self.replica.core.config.num_instances
+        transferred = 0
+        for peer_id, endpoint in enumerate(self.config.peers):
+            if peer_id == self.config.replica_id:
+                continue
+            try:
+                fetched, peer_views = await asyncio.wait_for(
+                    self._fetch_from_peer(endpoint), timeout=30.0
+                )
+            except (OSError, ConnectionError, asyncio.TimeoutError,
+                    FrameError, WireCodecError) as exc:
+                logger.debug(
+                    "replica %d state transfer from peer %d failed: %s",
+                    self.config.replica_id,
+                    peer_id,
+                    exc,
+                )
+                continue
+            transferred += fetched
+            for instance, view in enumerate(peer_views[: len(views)]):
+                views[instance] = max(views[instance], view)
+        return transferred, views
+
+    async def _fetch_from_peer(
+        self, endpoint: tuple[str, int]
+    ) -> tuple[int, tuple[int, ...]]:
+        """Request snapshot + block batches from one peer until caught up."""
+        assert self.replica is not None
+        reader, writer = await connect_endpoint(endpoint)
+        fetched = 0
+        views: tuple[int, ...] = ()
+        try:
+            frames = FrameReader(reader)
+            # Recovery is a one-shot control exchange, not the hot path: pin
+            # the connection to canonical JSON (v1) so it works against any
+            # peer without waiting for version negotiation.
+            await write_frame(
+                writer,
+                encode_envelope(
+                    self.config.replica_id,
+                    Hello(self.config.replica_id, role="replica", wire_version=1),
+                    version=1,
+                ),
+            )
+            nonce = 0
+            while True:
+                nonce += 1
+                request = RecoveryRequest(
+                    nonce=nonce,
+                    replica=self.config.replica_id,
+                    frontier=tuple(
+                        self.replica.core.delivered_state().sequence_numbers
+                    ),
+                )
+                await write_frame(
+                    writer,
+                    encode_envelope(self.config.replica_id, request, version=1),
+                )
+                reply = await self._read_recovery_reply(frames, nonce)
+                if reply is None:
+                    break
+                views = reply.views
+                progressed = self._apply_recovery_reply(reply)
+                fetched += progressed
+                if progressed == 0:
+                    break
+        finally:
+            writer.close()
+        return fetched, views
+
+    async def _read_recovery_reply(
+        self, frames: FrameReader, nonce: int
+    ) -> RecoveryReply | None:
+        """Next :class:`RecoveryReply` matching ``nonce`` on the connection."""
+        while True:
+            payloads = await asyncio.wait_for(frames.read_batch(), timeout=10.0)
+            if payloads is None:
+                return None
+            for entry in decode_payloads(payloads):
+                if isinstance(entry, WireCodecError):
+                    continue
+                _, message = entry
+                if isinstance(message, RecoveryReply) and message.nonce == nonce:
+                    return message
+
+    def _apply_recovery_reply(self, reply: RecoveryReply) -> int:
+        """Apply one transfer reply; returns a progress count (0 = done)."""
+        assert self.replica is not None
+        snapshot_restored = False
+        if reply.snapshot:
+            try:
+                snapshot = json.loads(reply.snapshot)
+            except ValueError:
+                snapshot = None
+            if isinstance(snapshot, dict):
+                snapshot_restored = self._maybe_restore_snapshot(snapshot, reply)
+        core = self.replica.core
+        delivered = list(core.delivered_state().sequence_numbers)
+        applied = 0
+        for data in reply.blocks:
+            try:
+                block = _decode_block(data)
+            except (KeyError, ValueError, TypeError):
+                continue
+            if block.instance >= len(delivered):
+                continue
+            if block.sequence_number <= delivered[block.instance]:
+                continue
+            core.on_block_delivered(block)
+            delivered[block.instance] = max(
+                delivered[block.instance], block.sequence_number
+            )
+            if self.durability is not None:
+                self.durability.record_transferred_block(block)
+            applied += 1
+        if applied or snapshot_restored:
+            # Epochs completed during transfer replay are already quorum-
+            # stable cluster-side; don't re-broadcast votes for them.
+            pending = getattr(core, "pending_checkpoints", None)
+            if pending:
+                pending.clear()
+        return applied + (1 if snapshot_restored and applied == 0 else 0)
+
+    def _maybe_restore_snapshot(
+        self, snapshot: dict[str, Any], reply: RecoveryReply
+    ) -> bool:
+        """Adopt a transferred snapshot when it strictly extends our state.
+
+        Restoring is a wholesale overwrite onto a freshly built core, so it
+        is only safe when the snapshot's delivered frontier covers every
+        block this replica already replayed.  The snapshot self-verifies
+        against its recorded state digest and is cross-checked against the
+        quorum-stable checkpoint digest the peer pinned in the reply.
+        """
+        assert self.replica is not None
+        delivered = list(self.replica.core.delivered_state().sequence_numbers)
+        try:
+            snap_delivered = [int(v) for v in snapshot.get("delivered", [])]
+        except (ValueError, TypeError):
+            return False
+        if len(snap_delivered) != len(delivered):
+            return False
+        if not all(s >= d for s, d in zip(snap_delivered, delivered)):
+            return False
+        if snap_delivered == delivered:
+            return False
+        if (
+            reply.checkpoint_digest
+            and int(snapshot.get("epoch", -2)) == reply.checkpoint_epoch
+            and snapshot.get("checkpoint_digest") != reply.checkpoint_digest
+        ):
+            logger.warning(
+                "replica %d rejecting transferred snapshot: checkpoint digest "
+                "does not match the quorum-stable digest for epoch %d",
+                self.config.replica_id,
+                reply.checkpoint_epoch,
+            )
+            return False
+        fresh = self.config.build_core()
+        try:
+            restore_core(fresh, snapshot)
+        except SnapshotError as exc:
+            logger.warning(
+                "replica %d rejecting transferred snapshot: %s",
+                self.config.replica_id,
+                exc,
+            )
+            return False
+        self.replica.core = fresh
+        logger.info(
+            "replica %d restored peer snapshot at epoch %s",
+            self.config.replica_id,
+            snapshot.get("epoch"),
+        )
+        return True
+
+    # -- post-start catch-up --------------------------------------------------
+
+    def _arm_catch_up(self) -> None:
+        """Watch for a wedged delivery frontier and heal it by state transfer.
+
+        PBFT delivers strictly in order and this transport does not
+        retransmit lost frames: a pre-prepare or commit broadcast while a
+        peer's writer was still reconnecting after our restart is gone for
+        good, and every later slot of that instance then piles up behind the
+        hole.  The watchdog fires when the frontier made no progress over a
+        whole interval while some slot beyond it has already started — live
+        evidence the cluster moved on without us — and re-runs the same
+        state transfer the startup path uses, then re-aligns the endpoints.
+        A healthy replica never triggers it (either the frontier moves, or
+        nothing beyond it has started), so the steady-state cost is one
+        frontier comparison per interval.
+        """
+        assert self.transport is not None
+        settle_until = self.transport.now() + CATCH_UP_SETTLE_SECONDS
+
+        def tick() -> None:
+            if self._stopped.is_set() or self.replica is None:
+                return
+            wedged = self._delivery_wedged()
+            settling = (
+                self.transport is not None and self.transport.now() < settle_until
+            )
+            if (self._catch_up_task is None or self._catch_up_task.done()) and (
+                wedged or settling
+            ):
+                self._catch_up_task = asyncio.get_running_loop().create_task(
+                    self._catch_up()
+                )
+            if self.transport is not None:
+                self.transport.set_timer(CATCH_UP_INTERVAL, tick)
+
+        self.transport.set_timer(CATCH_UP_INTERVAL, tick)
+
+    def _delivery_wedged(self) -> bool:
+        """True when some instance stalled behind slots the cluster started.
+
+        Per-instance on purpose: a replica wedged on one instance keeps
+        proposing no-ops on the instances it leads (the global orderer has
+        blocks waiting on the bar), so the frontier as a whole never stops
+        moving — only the wedged instance's component does.
+        """
+        assert self.replica is not None
+        delivered = tuple(self.replica.core.delivered_state().sequence_numbers)
+        previous = self._catch_up_frontier
+        self._catch_up_frontier = delivered
+        if previous is None or len(previous) != len(delivered):
+            return False
+        return any(
+            delivered[instance] == previous[instance]
+            and endpoint.slots.highest_started() > delivered[instance]
+            for instance, endpoint in self.replica.endpoints.items()
+        )
+
+    async def _catch_up(self) -> None:
+        transferred, views = await self._state_transfer()
+        if self.replica is None or self._stopped.is_set():
+            return
+        if transferred:
+            # Same re-alignment as startup: drop slots below the new
+            # frontier (their sequence numbers are spoken for) and install
+            # any views the cluster moved to while we were deaf.
+            self.replica.fast_forward(views)
+            self.catch_ups += 1
+            logger.info(
+                "replica %d caught up: %d blocks via live state transfer",
+                self.config.replica_id,
+                transferred,
+            )
+
+    async def _send_recovery(
+        self, writer: asyncio.StreamWriter, request: RecoveryRequest, requester: int
+    ) -> None:
+        """Answer a recovering peer with our snapshot and missing blocks."""
+        assert self.replica is not None and self.transport is not None
+        core = self.replica.core
+        width = core.config.num_instances
+        requestor_frontier = list(request.frontier)
+        if len(requestor_frontier) != width:
+            requestor_frontier = (requestor_frontier + [-1] * width)[:width]
+        if self.durability is not None:
+            blocks = self.durability.wal_blocks_above(requestor_frontier)
+        else:
+            blocks = self._blocks_above(requestor_frontier)
+        # A global prefix of delivery-ordered blocks keeps every instance's
+        # subsequence a prefix too, so the requestor can apply it directly.
+        blocks = blocks[:RECOVERY_BLOCK_BATCH]
+        checkpoint_epoch = self.replica.latest_stable_epoch()
+        checkpoint_digest = (
+            self.replica.stable_checkpoint_digest(checkpoint_epoch) or ""
+            if checkpoint_epoch >= 0
+            else ""
+        )
+        snapshot_text = ""
+        if self.durability is not None:
+            snapshot = self.durability.latest_snapshot()
+            if snapshot is not None:
+                snap_delivered = snapshot.get("delivered", [])
+                if any(
+                    int(s) > r
+                    for s, r in zip(snap_delivered, requestor_frontier)
+                ):
+                    snapshot_text = json.dumps(
+                        snapshot, sort_keys=True, separators=(",", ":")
+                    )
+        reply = RecoveryReply(
+            nonce=request.nonce,
+            replica=self.config.replica_id,
+            frontier=tuple(core.delivered_state().sequence_numbers),
+            views=tuple(
+                self.replica.endpoints[instance].view for instance in range(width)
+            ),
+            checkpoint_epoch=checkpoint_epoch,
+            checkpoint_digest=checkpoint_digest,
+            snapshot=snapshot_text,
+            blocks=tuple(_encode_block(block) for block in blocks),
+        )
+        await write_frame(
+            writer,
+            encode_envelope(
+                self.config.replica_id,
+                reply,
+                version=self.transport.version_for(requester),
+            ),
+        )
+
+    def _blocks_above(self, frontier: list[int]) -> list[Block]:
+        """Missing blocks served from the in-memory partial logs.
+
+        Fallback for peers running without durability; epoch garbage
+        collection may have pruned old blocks here, in which case a durable
+        peer (or its snapshot) has to cover the gap.
+        """
+        assert self.replica is not None
+        core = self.replica.core
+        delivered = core.delivered_state().sequence_numbers
+        blocks: list[Block] = []
+        for instance, plog in enumerate(core.plogs):
+            if instance >= len(frontier):
+                break
+            for sequence in range(frontier[instance] + 1, delivered[instance] + 1):
+                block = plog.get(sequence)
+                if block is None:
+                    break
+                blocks.append(block)
+        return blocks
+
     # -- introspection ------------------------------------------------------
 
     def metrics_reply(self, nonce: int = 0) -> MetricsReply:
@@ -393,4 +844,18 @@ async def run_server(config: ReplicaRuntimeConfig) -> None:
     """Entry point used by ``repro serve``."""
     server = ReplicaServer(config)
     await server.start()
-    await server.serve_forever()
+    # SIGTERM (the supervisor's polite stop) must run the full shutdown
+    # path: it flushes the WAL tail past the last fsync batch and writes
+    # the final metrics snapshot.  Only SIGKILL should look like a crash.
+    loop = asyncio.get_running_loop()
+    try:
+        loop.add_signal_handler(signal.SIGTERM, server.stop)
+    except (NotImplementedError, RuntimeError):  # non-Unix loops
+        pass
+    try:
+        await server.serve_forever()
+    finally:
+        try:
+            loop.remove_signal_handler(signal.SIGTERM)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass

@@ -1,0 +1,149 @@
+"""Per-replica write-ahead log for the live runtime (durability layer).
+
+The WAL is an append-mode JSONL file under the replica's run directory: one
+record per line, each line carrying a CRC32 of its payload so a torn tail
+(the classic crash-during-append artifact) is detected and dropped without
+corrupting the replayed prefix — the same tolerance discipline as
+``obs/trace.py``'s reader, hardened with an explicit checksum because the WAL
+is replayed into consensus state rather than merely inspected.
+
+Line format::
+
+    <8-hex crc32> <compact JSON record>\n
+
+Records are opaque dicts to this module; the durability layer writes three
+kinds (committed blocks, view installs, executed-epoch marks — see
+``docs/durability.md``).  ``json.dumps`` with ``ensure_ascii`` guarantees the
+payload never contains a raw newline, so the line framing is unambiguous.
+
+Writes are fsync-batched: the file is flushed and fsynced every
+``fsync_every`` appends (and on ``flush``/``close``), bounding both the
+per-record syscall cost and the number of records an OS crash can lose.  A
+SIGKILL loses at most the unflushed tail — which state transfer from a peer
+then fills in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any
+
+#: Default number of appends between fsyncs.
+DEFAULT_FSYNC_EVERY = 16
+
+#: WAL file name under a replica's run directory.
+WAL_FILE_NAME = "wal.jsonl"
+
+
+def encode_record(record: dict[str, Any]) -> bytes:
+    """Render one record as a checksummed, newline-terminated WAL line."""
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return b"%08x " % crc + payload + b"\n"
+
+
+def decode_record(line: bytes) -> dict[str, Any] | None:
+    """Parse one WAL line (without its newline); ``None`` if corrupt."""
+    if len(line) < 10 or line[8:9] != b" ":
+        return None
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    payload = line[9:]
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict):
+        return None
+    return record
+
+
+def read_wal(path: str | Path) -> list[dict[str, Any]]:
+    """Replay every intact record from a WAL file.
+
+    Torn-tail tolerant: the final line is dropped when it is incomplete
+    (no terminating newline — an append cut short by a crash) or fails its
+    checksum.  A corrupt record *before* the tail stops the replay there:
+    records after a mid-file corruption can no longer be trusted to be a
+    prefix of what was logged, so the intact prefix is returned instead.
+    """
+    try:
+        data = Path(path).read_bytes()
+    except OSError:
+        return []
+    chunks = data.split(b"\n")
+    # Bytes after the last newline are a torn append (the terminating newline
+    # is the last byte written), so an unterminated tail is always dropped —
+    # even when its record bytes happen to be complete.
+    chunks.pop()
+    records: list[dict[str, Any]] = []
+    for chunk in chunks:
+        if not chunk:
+            continue
+        record = decode_record(chunk)
+        if record is None:
+            break
+        records.append(record)
+    return records
+
+
+class WalWriter:
+    """Append-mode, fsync-batched writer for one replica's WAL."""
+
+    def __init__(self, path: str | Path, *, fsync_every: int = DEFAULT_FSYNC_EVERY) -> None:
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be at least 1")
+        self.path = Path(path)
+        self.fsync_every = fsync_every
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+        #: Total size of the log including records from previous incarnations
+        #: (the file is opened in append mode across restarts).
+        self.bytes_written = self.path.stat().st_size
+        self.records_appended = 0
+        self._unsynced = 0
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Append one record, fsyncing every ``fsync_every`` appends."""
+        line = encode_record(record)
+        self._file.write(line)
+        self.bytes_written += len(line)
+        self.records_appended += 1
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Flush buffered records and fsync the file."""
+        if self._file.closed:
+            return
+        self._file.flush()
+        try:
+            os.fsync(self._file.fileno())
+        except OSError:
+            # Filesystems without fsync (some tmpfs/CI setups) still get the
+            # stream flush; durability degrades to the OS page cache there.
+            pass
+        self._unsynced = 0
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._file.closed:
+            return
+        self.flush()
+        self._file.close()
+
+    def __enter__(self) -> "WalWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -114,6 +114,26 @@ class PBFTEndpoint(SequencedBroadcastEndpoint):
     def start(self) -> None:
         """Nothing to arm until work is pending (see :meth:`notify_pending_work`)."""
 
+    def fast_forward_view(self, view: int) -> None:
+        """Install ``view`` without running the view-change protocol.
+
+        Used by crash recovery: the pre-crash incarnation (or a peer's state
+        transfer) proved this view was installed cluster-wide, so a restarted
+        replica adopts it directly instead of voting its way up from view 0.
+        Only moves forward; the endpoint must not be mid view change.
+        """
+        if view <= self.view:
+            return
+        self.view = view
+        self._view_changing = False
+        self._voted_view = max(self._voted_view, view)
+        self._cancel_view_change_timer()
+        self._view_change_votes = {
+            pending_view: votes
+            for pending_view, votes in self._view_change_votes.items()
+            if pending_view > view
+        }
+
     # -- leader path ----------------------------------------------------------
 
     def broadcast_block(self, block: Block) -> None:

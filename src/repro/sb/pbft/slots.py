@@ -71,6 +71,16 @@ class SlotTable:
             self._next_to_deliver += 1
         return ready
 
+    def fast_forward(self, sequence_number: int) -> None:
+        """Advance the delivery pointer past externally-recovered slots.
+
+        Crash recovery replays delivered blocks straight into the core (from
+        the WAL or a peer's state transfer) without running agreement, so the
+        slots below ``sequence_number`` must never be re-proposed or
+        re-delivered by this endpoint.  Only moves forward.
+        """
+        self._next_to_deliver = max(self._next_to_deliver, sequence_number)
+
     def undelivered_proposals(self) -> list[tuple[int, Block]]:
         """Pre-prepared blocks that were never delivered (for view changes)."""
         pending: list[tuple[int, Block]] = []

@@ -76,6 +76,15 @@ class TestPlanTranslation:
         assert parsed.view_change_timeout == plan.view_change_timeout
         assert parsed.undetectable_faults == plan.undetectable_faults
 
+    def test_fault_plan_churn_round_trip(self):
+        plan = FaultPlan(churn=((1.0, 0, 2.0), (4.0, 1, 1.5)))
+        parsed = fault_plan_from_json(fault_plan_to_json(plan))
+        assert parsed.churn == ((1.0, 0, 2.0), (4.0, 1, 1.5))
+
+    def test_with_churn_coerces_cycle_fields(self):
+        plan = FaultPlan.with_churn([(1, 0, 2), ("3.5", "1", "1.5")])
+        assert plan.churn == ((1.0, 0, 2.0), (3.5, 1, 1.5))
+
     def test_fault_plan_from_file(self, tmp_path):
         path = tmp_path / "plan.json"
         path.write_text(json.dumps({"crashes": {"0": 5}}))
@@ -92,6 +101,10 @@ class TestPlanTranslation:
             '{"stragglers": {"1": 0.5}}',  # slowdown below 1.0
             '{"restarts": {"0": 5}}',  # restart without a crash
             '{"crashes": {"0": 5}, "restarts": {"0": 4}}',  # restart before crash
+            '{"churn": [[1, 0]]}',  # cycle missing its downtime
+            '{"churn": [[1, 0, 0]]}',  # downtime must be positive
+            '{"churn": [[-1, 0, 2]]}',  # crash time before the run starts
+            '{"churn": [[1, 0, 5], [3, 0, 2]]}',  # same replica, cycles overlap
         ],
     )
     def test_malformed_plans_rejected(self, text):
@@ -106,6 +119,24 @@ class TestPlanTranslation:
     def test_validate_rejects_out_of_range_replica(self):
         with pytest.raises(ConfigurationError):
             validate_fault_plan(FaultPlan(crashes={9: 1.0}), num_replicas=4)
+
+    def test_validate_rejects_concurrent_churn_beyond_f(self):
+        # Both replicas are down during [2.0, 6.0): two faulty at once
+        # against f = 1.
+        plan = FaultPlan(churn=((1.0, 0, 5.0), (2.0, 1, 5.0)))
+        with pytest.raises(ConfigurationError):
+            validate_fault_plan(plan, num_replicas=4)
+
+    def test_validate_counts_churn_against_permanent_crashes(self):
+        plan = FaultPlan(crashes={0: 1.0}, churn=((2.0, 1, 1.0),))
+        with pytest.raises(ConfigurationError):
+            validate_fault_plan(plan, num_replicas=4)
+
+    def test_validate_allows_back_to_back_churn_on_different_replicas(self):
+        # Replica 0 is back exactly when replica 1 goes down: never more
+        # than one faulty at a time, so f = 1 suffices.
+        plan = FaultPlan(churn=((1.0, 0, 2.0), (3.0, 1, 2.0)))
+        validate_fault_plan(plan, num_replicas=4)
 
 
 class FakeCluster:
@@ -149,6 +180,26 @@ class TestChaosController:
         controller.poll(0.1)
         cluster.dead.add(3)  # died on its own
         assert controller.unexpected_exits() == [3]
+
+    def test_churn_expands_into_crash_restart_cycles(self):
+        cluster = FakeCluster()
+        plan = FaultPlan(churn=((1.0, 0, 1.0), (3.0, 0, 1.0)))
+        controller = ChaosController(cluster, plan)
+        controller.poll(2.5)
+        assert [(e.action, e.replica) for e in controller.events] == [
+            ("crash", 0),
+            ("restart", 0),
+        ]
+        assert controller.down == set()
+        controller.poll(10.0)
+        assert [(e.action, e.replica) for e in controller.events] == [
+            ("crash", 0),
+            ("restart", 0),
+            ("crash", 0),
+            ("restart", 0),
+        ]
+        assert controller.exhausted
+        assert cluster.killed == [0, 0] and cluster.restarted == [0, 0]
 
 
 # -- in-process degradation scenarios ----------------------------------------

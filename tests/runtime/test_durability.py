@@ -1,0 +1,241 @@
+"""Durability units: snapshot round-trips, WAL-bounded recovery, wipe.
+
+A consensus core is a pure state machine over its delivered-block sequence,
+so these tests drive cores directly — one leader delivering blocks in order
+— and check the two recovery invariants the live path relies on:
+
+* a snapshot cut at a quiescent point restores onto a fresh core with the
+  exact state digest *and* the restored core keeps executing future blocks
+  identically to the original;
+* :class:`ReplicaDurability.recover` rebuilds the same state from the run
+  directory alone, preferring the newest valid snapshot and replaying only
+  the WAL suffix above it, falling back to a full replay when the snapshot
+  is corrupt.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ledger.blocks import Block
+from repro.ledger.transactions import reset_transaction_counter
+from repro.runtime.config import ReplicaRuntimeConfig
+from repro.runtime.durability import (
+    ReplicaDurability,
+    SnapshotError,
+    core_is_quiescent,
+    list_snapshots,
+    load_snapshot,
+    restore_core,
+    snapshot_core,
+)
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import EthereumStyleWorkload
+
+WORKLOAD = WorkloadConfig(num_accounts=64, seed=11, payment_fraction=1.0)
+
+PEERS = tuple(("127.0.0.1", 9100 + index) for index in range(4))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_tx_ids():
+    reset_transaction_counter()
+
+
+def make_config(epoch_length: int = 4) -> ReplicaRuntimeConfig:
+    return ReplicaRuntimeConfig(
+        replica_id=0,
+        peers=PEERS,
+        num_instances=2,
+        batch_size=4,
+        epoch_length=epoch_length,
+        workload=WORKLOAD,
+    )
+
+
+def next_block(core, instance: int, sequence: int, transactions) -> Block:
+    return Block.create(
+        instance=instance,
+        sequence_number=sequence,
+        transactions=transactions,
+        state=core.delivered_state(),
+        proposer=0,
+        epoch=sequence // core.config.epoch_length,
+        rank=core.next_rank() if core.uses_ranks else None,
+    )
+
+
+def drive(core, workload, rounds: int, *, batch_size: int = 3, sink=None):
+    """Deliver ``rounds`` of single-leader blocks, ending quiescent.
+
+    Returns the delivered blocks in delivery order so equivalence tests can
+    feed the identical sequence to a second core.  ``sink`` (e.g. a WAL
+    hook) sees every block right after delivery.
+    """
+    blocks: list[Block] = []
+    next_seq = [d + 1 for d in core.delivered_state().sequence_numbers]
+
+    def deliver(instance: int, transactions) -> None:
+        block = next_block(core, instance, next_seq[instance], transactions)
+        next_seq[instance] += 1
+        core.on_block_delivered(block)
+        if sink is not None:
+            sink(block)
+        blocks.append(block)
+
+    for _ in range(rounds):
+        for instance in range(core.config.num_instances):
+            for _ in range(batch_size):
+                core.submit(workload.next_transaction())
+            deliver(instance, core.select_batch(instance, batch_size))
+    # Ladon's bar keeps the highest-ranked block waiting until every other
+    # instance shows a rank above it; empty flush blocks drain the orderer
+    # to a quiescent point (exactly what live no-op proposals do).
+    for step in range(4 * core.config.num_instances):
+        if core_is_quiescent(core):
+            break
+        deliver(step % core.config.num_instances, [])
+    assert core_is_quiescent(core), "driver failed to reach a quiescent point"
+    return blocks
+
+
+# -- snapshot round trips -----------------------------------------------------
+
+
+class TestSnapshots:
+    def test_round_trip_preserves_state_and_future_execution(self):
+        config = make_config()
+        workload = EthereumStyleWorkload(WORKLOAD)
+        core = config.build_core()
+        drive(core, workload, rounds=6)
+
+        snapshot = snapshot_core(core, epoch=2, checkpoint_digest="cp")
+        assert snapshot is not None
+        restored = config.build_core()
+        restore_core(restored, snapshot)
+
+        assert restored.store.state_digest() == core.store.state_digest()
+        assert list(restored.delivered_state().sequence_numbers) == list(
+            core.delivered_state().sequence_numbers
+        )
+        # The restored core is not just a byte copy of the store: it must
+        # keep executing future blocks identically to the original.
+        for block in drive(core, workload, rounds=4):
+            restored.on_block_delivered(block)
+        assert restored.store.state_digest() == core.store.state_digest()
+        assert restored.confirmed_count == core.confirmed_count
+
+    def test_snapshot_refused_while_blocks_wait_on_the_bar(self):
+        config = make_config()
+        workload = EthereumStyleWorkload(WORKLOAD)
+        core = config.build_core()
+        # One block per instance: the second carries the highest rank and
+        # stays waiting on the bar, so the core is not quiescent.
+        for instance in range(core.config.num_instances):
+            core.submit(workload.next_transaction())
+            core.on_block_delivered(
+                next_block(core, instance, 0, core.select_batch(instance, 1))
+            )
+        assert not core_is_quiescent(core)
+        assert snapshot_core(core, epoch=0, checkpoint_digest="") is None
+
+    def test_restore_rejects_tampered_state(self):
+        config = make_config()
+        core = config.build_core()
+        drive(core, EthereumStyleWorkload(WORKLOAD), rounds=3)
+        snapshot = snapshot_core(core, epoch=1, checkpoint_digest="cp")
+        assert snapshot is not None
+        snapshot["state_digest"] = "0" * 64
+        with pytest.raises(SnapshotError):
+            restore_core(config.build_core(), snapshot)
+
+    def test_restore_rejects_configuration_mismatch(self):
+        core = make_config(epoch_length=4).build_core()
+        drive(core, EthereumStyleWorkload(WORKLOAD), rounds=3)
+        snapshot = snapshot_core(core, epoch=1, checkpoint_digest="cp")
+        assert snapshot is not None
+        with pytest.raises(SnapshotError):
+            restore_core(make_config(epoch_length=8).build_core(), snapshot)
+
+
+# -- run-directory recovery ---------------------------------------------------
+
+
+class TestReplicaDurability:
+    def test_recover_replays_wal_from_genesis(self, tmp_path):
+        config = make_config()
+        workload = EthereumStyleWorkload(WORKLOAD)
+        durability = ReplicaDurability(tmp_path)
+        core = config.build_core()
+        blocks = drive(core, workload, 5, sink=durability.on_block_delivered)
+        durability.on_view_installed(0, 3)
+        durability.close()
+
+        successor = ReplicaDurability(tmp_path)
+        recovered, local = successor.recover(config.build_core(), config.build_core)
+        assert local.snapshot_epoch is None
+        assert local.blocks_replayed == len(blocks)
+        assert local.views == [3, 0]
+        assert recovered.store.state_digest() == core.store.state_digest()
+        successor.close()
+
+    def test_recover_prefers_snapshot_and_replays_the_wal_suffix(self, tmp_path):
+        config = make_config()
+        workload = EthereumStyleWorkload(WORKLOAD)
+        durability = ReplicaDurability(tmp_path)
+        core = config.build_core()
+        drive(core, workload, 4, sink=durability.on_block_delivered)
+        durability.on_epoch_completed(core, 1, "cp-digest")
+        assert durability.snapshots_written == 1
+        suffix = drive(core, workload, 3, sink=durability.on_block_delivered)
+        durability.close()
+
+        successor = ReplicaDurability(tmp_path)
+        recovered, local = successor.recover(config.build_core(), config.build_core)
+        assert local.snapshot_epoch == 1
+        assert local.blocks_replayed == len(suffix)
+        assert local.executed_epochs == [1]
+        assert recovered.store.state_digest() == core.store.state_digest()
+        successor.close()
+
+    def test_corrupt_snapshot_falls_back_to_full_wal_replay(self, tmp_path):
+        config = make_config()
+        workload = EthereumStyleWorkload(WORKLOAD)
+        durability = ReplicaDurability(tmp_path)
+        core = config.build_core()
+        prefix = drive(core, workload, 4, sink=durability.on_block_delivered)
+        durability.on_epoch_completed(core, 1, "cp-digest")
+        suffix = drive(core, workload, 3, sink=durability.on_block_delivered)
+        durability.close()
+
+        # Flip the recorded digest: the snapshot now fails verification and
+        # must be discarded in favour of replaying the whole WAL.
+        path = list_snapshots(tmp_path)[0]
+        snapshot = load_snapshot(path)
+        snapshot["state_digest"] = "f" * 64
+        path.write_text(json.dumps(snapshot), encoding="utf-8")
+
+        successor = ReplicaDurability(tmp_path)
+        recovered, local = successor.recover(config.build_core(), config.build_core)
+        assert local.snapshot_epoch is None
+        assert local.blocks_replayed == len(prefix) + len(suffix)
+        assert recovered.store.state_digest() == core.store.state_digest()
+        successor.close()
+
+    def test_wipe_discards_wal_and_snapshots(self, tmp_path):
+        config = make_config()
+        workload = EthereumStyleWorkload(WORKLOAD)
+        durability = ReplicaDurability(tmp_path)
+        core = config.build_core()
+        drive(core, workload, 4, sink=durability.on_block_delivered)
+        durability.on_epoch_completed(core, 1, "cp-digest")
+        assert list_snapshots(tmp_path)
+
+        durability.wipe()
+        assert not list_snapshots(tmp_path)
+        recovered, local = durability.recover(config.build_core(), config.build_core)
+        assert not local.recovered_anything
+        assert recovered.store.state_digest() == config.genesis_digest()
+        durability.close()
