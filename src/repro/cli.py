@@ -336,6 +336,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="chaos: delay every outbound replica frame by SECONDS (straggler)",
     )
     serve_parser.add_argument(
+        "--wan",
+        default=None,
+        metavar="MODEL|MATRIX",
+        help=(
+            "chaos: WAN emulation — 'wan'/'lan', a JSON square delay matrix "
+            "in seconds, or @file.json (per-destination due-time delays)"
+        ),
+    )
+    serve_parser.add_argument(
         "--byzantine-abstain",
         action="store_true",
         help="chaos: drop consensus messages for instances this replica does not lead",
@@ -433,7 +442,17 @@ def _build_parser() -> argparse.ArgumentParser:
             "JSON fault plan or @file: "
             '{"stragglers": {"1": 10}, "crashes": {"0": 5}, '
             '"restarts": {"0": 15}, "churn": [[5, 0, 3]], '
+            '"partitions": [[5, [[3]], 3]], "wan": "wan", '
             '"undetectable_faults": 1}'
+        ),
+    )
+    cluster_parser.add_argument(
+        "--wan",
+        default=None,
+        metavar="MODEL|MATRIX",
+        help=(
+            "WAN emulation for every replica — 'wan'/'lan', a JSON square "
+            "delay matrix in seconds, or @file.json"
         ),
     )
     _add_durability_arguments(cluster_parser)
@@ -497,6 +516,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "crash a replica at AT seconds and restart it DOWNTIME seconds "
             "later (combine with --durability for full rejoin); repeatable"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--partition",
+        action="append",
+        default=[],
+        metavar="AT:DURATION:GROUPS",
+        help=(
+            "split the cluster at AT seconds for DURATION seconds; GROUPS is "
+            "pipe-separated comma lists of replica ids (e.g. '3' isolates "
+            "replica 3, '0,1|2,3' splits in half); repeatable"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--wan",
+        default=None,
+        metavar="MODEL|MATRIX",
+        help=(
+            "WAN emulation for every replica — 'wan'/'lan', a JSON square "
+            "delay matrix in seconds, or @file.json"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--expect-stall",
+        action="store_true",
+        help=(
+            "acknowledge that a partition denies some quorum (required to "
+            "run plans isolating more than f replicas from every group)"
         ),
     )
     chaos_parser.add_argument(
@@ -814,6 +861,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             zipf_exponent=args.zipf_s,
         ),
         send_delay=args.send_delay,
+        wan=args.wan,
         byzantine_abstain=args.byzantine_abstain,
         wire_version=args.wire_version,
         workers=args.workers,
@@ -861,6 +909,8 @@ def _command_cluster(args: argparse.Namespace) -> int:
     else:
         faults = FaultPlan.none()
         faults.view_change_timeout = args.view_change_timeout
+    if args.wan is not None:
+        faults.wan = args.wan
     spec = ClusterSpec(
         num_replicas=args.replicas,
         num_instances=args.instances,
@@ -926,12 +976,22 @@ def _command_cluster(args: argparse.Namespace) -> int:
             # instead of discovering it on the next poll tick.
             cluster.wait_for_exit(0.25)
             for event in controller.poll(_time.monotonic() - started):
-                print(f"chaos: {event.action} replica {event.replica} @ {event.at:.2f}s")
+                print(f"chaos: {event.describe()} @ {event.at:.2f}s")
             dead = controller.unexpected_exits()
             if dead:
                 print(f"error: replicas exited unexpectedly: {dead}", file=sys.stderr)
                 exit_code = 1
                 break
+        if exit_code == 0:
+            # A scheduled fault that never fired means the run did not cover
+            # the requested plan — that is a failed measurement, not a note.
+            for at, action, target in controller.unfired_actions():
+                print(
+                    f"error: {action} ({target}) scheduled at {at:.2f}s "
+                    f"never fired — extend --duration to cover the plan",
+                    file=sys.stderr,
+                )
+                exit_code = 1
     except KeyboardInterrupt:
         print("\ninterrupted — shutting down cluster")
     if exit_code == 0:
@@ -977,6 +1037,37 @@ def _parse_churn(entries: list[str]) -> tuple[tuple[float, int, float], ...]:
     return tuple(cycles)
 
 
+def _parse_partitions(
+    entries: list[str],
+) -> tuple[tuple[float, tuple[tuple[int, ...], ...], float], ...]:
+    rules: list[tuple[float, tuple[tuple[int, ...], ...], float]] = []
+    for entry in entries:
+        parts = entry.split(":", 2)
+        if len(parts) != 3:
+            raise ConfigurationError(
+                f"--partition expects AT:DURATION:GROUPS, got {entry!r}"
+            )
+        at_text, duration_text, groups_text = parts
+        try:
+            at_time = float(at_text)
+            duration = float(duration_text)
+            groups = tuple(
+                tuple(int(r) for r in group.split(",") if r.strip())
+                for group in groups_text.split("|")
+            )
+        except ValueError:
+            raise ConfigurationError(
+                f"--partition expects numeric AT:DURATION:GROUPS "
+                f"(groups like '3' or '0,1|2,3'), got {entry!r}"
+            ) from None
+        if not groups or any(not group for group in groups):
+            raise ConfigurationError(
+                f"--partition needs at least one non-empty group, got {entry!r}"
+            )
+        rules.append((at_time, groups, duration))
+    return tuple(rules)
+
+
 def _command_chaos(args: argparse.Namespace) -> int:
     from repro.cluster.faults import FaultPlan
     from repro.runtime.chaos import (
@@ -998,6 +1089,9 @@ def _command_chaos(args: argparse.Namespace) -> int:
             crashes=_parse_fault_pairs(args.crash, "crash"),
             restarts=_parse_fault_pairs(args.restart, "restart"),
             churn=_parse_churn(args.churn),
+            partitions=_parse_partitions(args.partition),
+            wan=args.wan,
+            expect_stall=args.expect_stall,
             view_change_timeout=args.view_change_timeout,
             undetectable_faults=args.byzantine,
         )
@@ -1086,6 +1180,27 @@ def plan_summary(plan) -> str:
                 f"{replica}@{at:g}s+{downtime:g}s"
                 for at, replica, downtime in sorted(plan.churn)
             )
+        )
+    if plan.partitions:
+        parts.append(
+            "partition "
+            + ",".join(
+                "|".join("{" + ",".join(map(str, group)) + "}" for group in groups)
+                + f"@{at:g}s+{duration:g}s"
+                for at, groups, duration in plan.partitions
+            )
+        )
+    if plan.oneway_drops:
+        parts.append(
+            "drop "
+            + ",".join(
+                f"{source}->{destination}@{at:g}s+{duration:g}s"
+                for at, source, destination, duration in plan.oneway_drops
+            )
+        )
+    if plan.wan is not None:
+        parts.append(
+            f"wan {plan.wan}" if isinstance(plan.wan, str) else "wan matrix"
         )
     if plan.undetectable_faults:
         parts.append(f"byzantine x{plan.undetectable_faults}")

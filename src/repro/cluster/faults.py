@@ -47,12 +47,34 @@ class FaultPlan:
         retransmit_penalty_per_fault: Extra per-round latency charged for each
             abstaining replica (timeout-driven retransmissions to silent
             peers); used by the quorum-fidelity model only.
+        partitions: Symmetric network partitions, as ``(at, groups,
+            duration)`` entries: at ``at`` the cluster splits into the
+            listed ``groups`` (tuples of replica ids; replicas named in no
+            group form one implicit remainder group) and heals ``duration``
+            seconds later.  Live runtime only — frames between groups are
+            dropped at the sender, the sim ignores partitions.
+        oneway_drops: Asymmetric losses, as ``(at, source, destination,
+            duration)`` entries: ``source``'s frames to ``destination`` are
+            dropped for ``duration`` seconds while the reverse direction
+            keeps flowing (live runtime only).
+        wan: Optional WAN emulation: the named model ``"wan"`` (the sim's
+            ``DEFAULT_WAN_MATRIX`` with round-robin region assignment) or an
+            explicit square one-way delay matrix in seconds.  Applied as
+            real per-destination due-time delays on the live path.
+        expect_stall: Acknowledge that a partition in this plan denies some
+            quorum (more than f replicas cut off from every group of
+            ``n - f``); without it such plans are rejected by
+            ``validate_fault_plan``.
     """
 
     stragglers: dict[int, float] = field(default_factory=dict)
     crashes: dict[int, float] = field(default_factory=dict)
     restarts: dict[int, float] = field(default_factory=dict)
     churn: tuple[tuple[float, int, float], ...] = ()
+    partitions: tuple[tuple[float, tuple[tuple[int, ...], ...], float], ...] = ()
+    oneway_drops: tuple[tuple[float, int, int, float], ...] = ()
+    wan: str | tuple[tuple[float, ...], ...] | None = None
+    expect_stall: bool = False
     view_change_timeout: float = PAPER_VIEW_CHANGE_TIMEOUT
     recovery_delay: float = 0.5
     undetectable_faults: int = 0
@@ -97,6 +119,32 @@ class FaultPlan:
                 (float(at), int(replica), float(downtime))
                 for at, replica, downtime in cycles
             ),
+            view_change_timeout=view_change_timeout,
+        )
+
+    @classmethod
+    def with_partition(
+        cls,
+        at: float,
+        groups: list[list[int]] | tuple[tuple[int, ...], ...],
+        duration: float,
+        *,
+        wan: str | tuple[tuple[float, ...], ...] | None = None,
+        expect_stall: bool = False,
+        view_change_timeout: float = PAPER_VIEW_CHANGE_TIMEOUT,
+    ) -> "FaultPlan":
+        """One symmetric partition into ``groups`` at ``at``, healed
+        ``duration`` seconds later."""
+        return cls(
+            partitions=(
+                (
+                    float(at),
+                    tuple(tuple(int(r) for r in group) for group in groups),
+                    float(duration),
+                ),
+            ),
+            wan=wan,
+            expect_stall=expect_stall,
             view_change_timeout=view_change_timeout,
         )
 

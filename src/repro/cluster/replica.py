@@ -531,6 +531,11 @@ class MultiBFTReplica(Process):
             self._next_sequence[instance] = max(
                 self._next_sequence[instance], next_sequence
             )
+        # Slots committed while delivery waited on a hole the transfer just
+        # filled become deliverable only now; with no further PBFT traffic
+        # guaranteed (e.g. post-load), they must drain here or strand.
+        for endpoint in self.endpoints.values():
+            endpoint.drain_deliverable()
 
     # -- introspection ------------------------------------------------------------------------
 

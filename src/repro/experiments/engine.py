@@ -78,6 +78,10 @@ class FaultSpec:
     stragglers: tuple[tuple[int, float], ...] = ()
     crashes: tuple[tuple[int, float], ...] = ()
     restarts: tuple[tuple[int, float], ...] = ()
+    partitions: tuple[tuple[float, tuple[tuple[int, ...], ...], float], ...] = ()
+    oneway_drops: tuple[tuple[float, int, int, float], ...] = ()
+    wan: str | tuple[tuple[float, ...], ...] | None = None
+    expect_stall: bool = False
     view_change_timeout: float = PAPER_VIEW_CHANGE_TIMEOUT
     recovery_delay: float = 0.5
     undetectable_faults: int = 0
@@ -115,12 +119,41 @@ class FaultSpec:
         return cls(undetectable_faults=count)
 
     @classmethod
+    def with_partition(
+        cls,
+        at: float,
+        groups: Sequence[Sequence[int]],
+        duration: float,
+        *,
+        wan: str | tuple[tuple[float, ...], ...] | None = None,
+        expect_stall: bool = False,
+        view_change_timeout: float = PAPER_VIEW_CHANGE_TIMEOUT,
+    ) -> "FaultSpec":
+        """One symmetric partition healed after ``duration`` (live only)."""
+        return cls(
+            partitions=(
+                (
+                    float(at),
+                    tuple(tuple(int(r) for r in group) for group in groups),
+                    float(duration),
+                ),
+            ),
+            wan=wan,
+            expect_stall=expect_stall,
+            view_change_timeout=view_change_timeout,
+        )
+
+    @classmethod
     def from_plan(cls, plan: FaultPlan) -> "FaultSpec":
         """Convert a runtime :class:`FaultPlan` into a declarative spec."""
         return cls(
             stragglers=tuple(sorted(plan.stragglers.items())),
             crashes=tuple(sorted(plan.crashes.items())),
             restarts=tuple(sorted(plan.restarts.items())),
+            partitions=plan.partitions,
+            oneway_drops=plan.oneway_drops,
+            wan=plan.wan,
+            expect_stall=plan.expect_stall,
             view_change_timeout=plan.view_change_timeout,
             recovery_delay=plan.recovery_delay,
             undetectable_faults=plan.undetectable_faults,
@@ -133,6 +166,10 @@ class FaultSpec:
             stragglers=dict(self.stragglers),
             crashes=dict(self.crashes),
             restarts=dict(self.restarts),
+            partitions=self.partitions,
+            oneway_drops=self.oneway_drops,
+            wan=self.wan,
+            expect_stall=self.expect_stall,
             view_change_timeout=self.view_change_timeout,
             recovery_delay=self.recovery_delay,
             undetectable_faults=self.undetectable_faults,
@@ -158,6 +195,12 @@ class FaultSpec:
             parts.append(f"crash x{len(self.crashes)}")
         if self.restarts:
             parts.append(f"restart x{len(self.restarts)}")
+        if self.partitions:
+            parts.append(f"partition x{len(self.partitions)}")
+        if self.oneway_drops:
+            parts.append(f"drop x{len(self.oneway_drops)}")
+        if self.wan is not None:
+            parts.append("wan" if isinstance(self.wan, str) else "wan-matrix")
         if self.undetectable_faults:
             parts.append(f"byzantine x{self.undetectable_faults}")
         return "+".join(parts) if parts else "none"

@@ -169,6 +169,52 @@ def undetectable_fault_specs(
     ]
 
 
+def partition_specs(
+    *,
+    protocols: Sequence[str] = ("ladon", "orthrus-dep"),
+    durations: Sequence[float] = (2.0, 4.0),
+    wans: Sequence[str | None] = (None, "wan"),
+    num_replicas: int = 4,
+    partition_at: float = 3.0,
+    scale: str = "ci",
+    seed: int = 19,
+) -> list[ScenarioSpec]:
+    """Fig. 7-style live cells: minority partition duration x WAN matrix.
+
+    Live backend only — the simulator has no partition semantics.  Each
+    cell isolates the last replica (a minority, so quorums survive) for
+    ``duration`` seconds starting at ``partition_at``, optionally under WAN
+    per-destination delays, and measures availability and client-observed
+    consistency through the partition and the heal.
+    """
+    scale_params = ScenarioScale.named(scale)
+    return [
+        ScenarioSpec(
+            protocol=protocol,
+            num_replicas=num_replicas,
+            environment="wan",
+            backend="live",
+            # The run must outlive the heal plus the catch-up settle window,
+            # or the heal-side assertions measure a truncated episode.
+            duration=partition_at + duration + 6.0,
+            warmup=0.0,
+            samples_per_block=scale_params.samples_per_block,
+            seed=seed,
+            workload_seed=seed + 17,
+            faults=FaultSpec.with_partition(
+                partition_at,
+                ((num_replicas - 1,),),
+                duration,
+                wan=wan,
+                view_change_timeout=2.0,
+            ),
+        )
+        for duration in durations
+        for wan in wans
+        for protocol in protocols
+    ]
+
+
 def comparison_specs(
     *,
     num_replicas: int = 16,
@@ -332,6 +378,11 @@ register_grid(
     "fig8",
     "Undetectable Byzantine abstention: 0-5 faulty replicas",
     lambda scale: undetectable_fault_specs(scale=scale),
+)
+register_grid(
+    "partition",
+    "Live minority partitions: duration x WAN emulation, ladon vs orthrus-dep",
+    lambda scale: partition_specs(scale=scale),
 )
 register_grid(
     "compare",

@@ -180,6 +180,9 @@ def phase_slo_table(phases: Sequence) -> str:
                 f"{slo.p999 * 1000:.1f}",
                 f"{slo.availability * 100:.1f}%",
                 "-" if slo.view_changes is None else slo.view_changes,
+                "-"
+                if getattr(slo, "regressions", None) is None
+                else slo.regressions,
             )
         )
     return format_table(
@@ -194,6 +197,7 @@ def phase_slo_table(phases: Sequence) -> str:
             "p999 (ms)",
             "availability",
             "view changes",
+            "regressions",
         ],
         rows,
     )

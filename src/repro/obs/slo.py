@@ -82,6 +82,55 @@ def fault_phase_windows(
     return [w for w in windows if w.duration > 1e-9]
 
 
+def fault_episode_windows(
+    run_start: float,
+    run_end: float,
+    episodes: Iterable[tuple[float, float, str]],
+    *,
+    settle: float = 0.0,
+) -> list[PhaseWindow]:
+    """Split ``[run_start, run_end)`` around *each* fault episode.
+
+    Where :func:`fault_phase_windows` folds every event into one global
+    pre/during/post split, this keeps episodes apart: ``pre`` runs up to the
+    first episode, then each episode contributes a ``during:<label>`` window
+    (its ``[start, end + settle)`` interval) and a ``post:<label>`` window
+    covering the recovered stretch up to the next episode (or the run end).
+    Overlapping episodes — a crash inside a partition window, say — merge
+    into one ``during`` window with their labels joined by `` + ``.
+
+    ``episodes`` is an iterable of ``(start, end, label)`` on the run clock;
+    with no episodes inside the run the whole thing is a single ``pre``
+    window, mirroring :func:`fault_phase_windows`.
+    """
+    if run_end <= run_start:
+        return []
+    margin = max(0.0, settle)
+    clamped: list[tuple[float, float, str]] = []
+    for start, end, label in episodes:
+        start = max(start, run_start)
+        end = min(max(end, start) + margin, run_end)
+        if start >= run_end or end <= run_start or end <= start:
+            continue
+        clamped.append((start, end, label))
+    if not clamped:
+        return [PhaseWindow("pre", run_start, run_end)]
+    clamped.sort()
+    merged: list[tuple[float, float, str]] = [clamped[0]]
+    for start, end, label in clamped[1:]:
+        last_start, last_end, last_label = merged[-1]
+        if start < last_end:
+            merged[-1] = (last_start, max(last_end, end), f"{last_label} + {label}")
+        else:
+            merged.append((start, end, label))
+    windows = [PhaseWindow("pre", run_start, merged[0][0])]
+    for index, (start, end, label) in enumerate(merged):
+        next_start = merged[index + 1][0] if index + 1 < len(merged) else run_end
+        windows.append(PhaseWindow(f"during:{label}", start, end))
+        windows.append(PhaseWindow(f"post:{label}", end, next_start))
+    return [w for w in windows if w.duration > 1e-9]
+
+
 @dataclass
 class PhaseSLO:
     """Client-observed service levels within one phase window."""
@@ -99,10 +148,149 @@ class PhaseSLO:
     availability: float = 1.0
     #: View changes attributed to this phase (None: no mid-run samples).
     view_changes: int | None = None
+    #: Client-observed monotonicity violations (committed counter or
+    #: delivered frontier regressing) inside this phase (None: no run log).
+    regressions: int | None = None
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+
+@dataclass(frozen=True)
+class StatusSample:
+    """One replica's control-plane status at one poll instant.
+
+    The chaos driver polls every replica ~twice a second; the resulting
+    sample stream is the *run log* the client-side staleness and
+    monotonicity checkers read.
+    """
+
+    at: float
+    replica: int
+    committed: int
+    frontier: tuple[int, ...]
+    digest: int
+
+
+@dataclass
+class ConsistencyReport:
+    """Client-side consistency verdict over a run's status-sample log.
+
+    *Monotonicity*: a client polling one replica must never watch its
+    committed counter or delivered frontier move backwards (a planned
+    process restart is an allowed reset — the fresh process legitimately
+    starts from zero and catches back up).  *Convergence*: once the run
+    settles, every replica must report one state digest.  *Staleness* is
+    informational: how far (in seconds) the laggiest replica's committed
+    state trailed the cluster head at the worst moment — a partitioned
+    minority's staleness grows for the length of the partition and should
+    collapse after heal + catch-up.
+    """
+
+    samples: int = 0
+    replicas: int = 0
+    committed_regressions: int = 0
+    frontier_regressions: int = 0
+    digest_forks: int = 0
+    max_staleness: float = 0.0
+    #: Times at which regressions were observed (feeds per-phase counts).
+    regression_times: tuple[float, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """No client-observed regression and no settled digest fork."""
+        return (
+            self.committed_regressions == 0
+            and self.frontier_regressions == 0
+            and self.digest_forks == 0
+        )
+
+    def lines(self) -> list[str]:
+        verdict = "ok" if self.ok else "VIOLATED"
+        return [
+            f"consistency          : {verdict} "
+            f"({self.samples} samples, {self.replicas} replicas)",
+            f"  committed regress  : {self.committed_regressions}",
+            f"  frontier regress   : {self.frontier_regressions}",
+            f"  settled digest forks: {self.digest_forks}",
+            f"  max staleness      : {self.max_staleness:.2f}s",
+        ]
+
+
+def check_consistency(
+    samples: Iterable[StatusSample],
+    *,
+    final_digests: dict[int, int] | None = None,
+    resets: Iterable[tuple[float, int]] | None = None,
+) -> ConsistencyReport:
+    """Run the staleness/monotonicity checkers over a status-sample log.
+
+    ``resets`` lists ``(time, replica)`` planned restarts: the first sample
+    from a replica at or after one of its reset times re-baselines its
+    monotonicity state instead of counting as a regression.  ``final_digests``
+    (replica → settled state digest, e.g. ``LoadReport.state_digests``)
+    feeds the settled-fork check; mid-run digest divergence is *not* a fork —
+    replicas legitimately execute at different speeds.
+    """
+    ordered = sorted(samples, key=lambda s: (s.at, s.replica))
+    per_replica_resets: dict[int, list[float]] = {}
+    for at, replica in resets or ():
+        per_replica_resets.setdefault(replica, []).append(at)
+    for times in per_replica_resets.values():
+        times.sort()
+
+    report = ConsistencyReport(samples=len(ordered))
+    report.replicas = len({s.replica for s in ordered})
+    regression_times: list[float] = []
+
+    previous: dict[int, StatusSample] = {}
+    for sample in ordered:
+        pending = per_replica_resets.get(sample.replica, [])
+        if pending and sample.at >= pending[0]:
+            # Consume every reset time this sample has passed; the sample
+            # itself becomes the replica's new baseline.
+            while pending and sample.at >= pending[0]:
+                pending.pop(0)
+            previous[sample.replica] = sample
+            continue
+        prev = previous.get(sample.replica)
+        if prev is not None:
+            if sample.committed < prev.committed:
+                report.committed_regressions += 1
+                regression_times.append(sample.at)
+            length = min(len(sample.frontier), len(prev.frontier))
+            if any(
+                sample.frontier[i] < prev.frontier[i] for i in range(length)
+            ):
+                report.frontier_regressions += 1
+                regression_times.append(sample.at)
+        previous[sample.replica] = sample
+
+    # Staleness: how long ago the cluster head was at this replica's
+    # committed count.  The head history is the running max over all
+    # replicas' committed counters.
+    head: list[tuple[float, int]] = []
+    running = 0
+    for sample in ordered:
+        if sample.committed > running:
+            running = sample.committed
+            head.append((sample.at, running))
+    for sample in ordered:
+        overtaken_at: float | None = None
+        for at, value in head:
+            if at > sample.at:
+                break
+            if value > sample.committed:
+                overtaken_at = at
+                break
+        if overtaken_at is not None:
+            report.max_staleness = max(report.max_staleness, sample.at - overtaken_at)
+
+    if final_digests:
+        report.digest_forks = max(0, len(set(final_digests.values())) - 1)
+    report.regression_times = tuple(regression_times)
+    return report
 
 
 def _counter_at(samples: Sequence[tuple[float, int]], when: float) -> int:
@@ -122,6 +310,7 @@ def compute_phase_slos(
     *,
     availability_window: float = AVAILABILITY_WINDOW,
     view_change_samples: Sequence[tuple[float, int]] | None = None,
+    regression_times: Sequence[float] | None = None,
 ) -> list[PhaseSLO]:
     """Compute per-phase SLOs from client-side transaction timelines.
 
@@ -129,7 +318,9 @@ def compute_phase_slos(
     :class:`~repro.metrics.latency.TransactionTimeline` (only
     ``submitted_at``/``replied_at``/``committed`` are consulted).
     ``view_change_samples`` is an optional sorted list of
-    ``(time, cumulative view changes)`` pairs from mid-run status polls.
+    ``(time, cumulative view changes)`` pairs from mid-run status polls;
+    ``regression_times`` the monotonicity-violation instants from
+    :func:`check_consistency`, attributed to phases by time.
     """
     records = [
         (t.submitted_at, t.replied_at, t.committed)
@@ -169,6 +360,10 @@ def compute_phase_slos(
         if samples:
             slo.view_changes = max(
                 0, _counter_at(samples, window.end) - _counter_at(samples, window.start)
+            )
+        if regression_times is not None:
+            slo.regressions = sum(
+                1 for t in regression_times if window.start <= t < window.end
             )
         out.append(slo)
     return out

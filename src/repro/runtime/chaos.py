@@ -92,6 +92,103 @@ def make_abstention_filter(replica: Any) -> Callable[[Any], bool]:
     return keep
 
 
+# -- WAN emulation specs ------------------------------------------------------
+
+#: Named latency models ``FaultPlan.wan`` accepts (see ``net/latency.py``).
+WAN_MODEL_NAMES = ("wan", "lan")
+
+
+def parse_wan_spec(
+    value: Any,
+) -> str | tuple[tuple[float, ...], ...] | None:
+    """Canonicalise a WAN spec: a model name, a delay matrix, or ``None``.
+
+    Accepts the named models from ``net/latency.py`` (``"wan"``/``"lan"``),
+    an explicit square one-way delay matrix (list/tuple of rows, JSON text,
+    or an ``@file`` reference to JSON), or ``None``.  Returns the canonical
+    hashable form: the name string or a tuple-of-tuples matrix.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        text = value.strip()
+        if text in WAN_MODEL_NAMES:
+            return text
+        if text.startswith("@"):
+            try:
+                text = Path(text[1:]).read_text(encoding="utf-8")
+            except OSError as exc:
+                raise ConfigurationError(f"cannot read WAN matrix file: {exc}") from exc
+        try:
+            value = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"WAN spec must be one of {WAN_MODEL_NAMES} or a JSON delay "
+                f"matrix: {exc}"
+            ) from exc
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ConfigurationError("WAN matrix must be a non-empty list of rows")
+    matrix: list[tuple[float, ...]] = []
+    for row in value:
+        if not isinstance(row, (list, tuple)) or len(row) != len(value):
+            raise ConfigurationError("WAN matrix must be square")
+        try:
+            cells = tuple(float(cell) for cell in row)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed WAN matrix row {row!r}: {exc}") from exc
+        if any(cell < 0 for cell in cells):
+            raise ConfigurationError("WAN matrix delays must be non-negative")
+        matrix.append(cells)
+    return tuple(matrix)
+
+
+def wan_to_text(wan: str | tuple[tuple[float, ...], ...] | None) -> str | None:
+    """Render a canonical WAN spec back to flag/JSON text (``None`` passes)."""
+    if wan is None:
+        return None
+    if isinstance(wan, str):
+        return wan
+    return json.dumps([list(row) for row in wan])
+
+
+def wan_delay_map(
+    wan: str | tuple[tuple[float, ...], ...] | None,
+    replica_id: int,
+    num_replicas: int,
+) -> dict[int, float]:
+    """Per-destination one-way delays for one replica under a WAN spec.
+
+    ``None`` (no emulation) maps to no delays.  Named models use the sim's
+    region matrices with the same round-robin region assignment
+    (``node_id % regions``); an explicit matrix is used verbatim with
+    ``len(matrix)`` synthetic regions.  The self-delay (the matrix
+    diagonal) is omitted: a replica does not talk to itself over the
+    transport.
+    """
+    from repro.net.latency import LANLatencyModel, WANLatencyModel
+
+    spec = parse_wan_spec(wan)
+    if spec is None:
+        return {}
+    if spec == "lan":
+        flat = LANLatencyModel().base_delay
+        return {
+            destination: flat
+            for destination in range(num_replicas)
+            if destination != replica_id
+        }
+    if isinstance(spec, str):
+        model = WANLatencyModel()
+    else:
+        regions = tuple(f"region-{n}" for n in range(len(spec)))
+        model = WANLatencyModel(regions=regions, matrix=spec)
+    return {
+        destination: model.base_delay(replica_id, destination)
+        for destination in range(num_replicas)
+        if destination != replica_id
+    }
+
+
 # -- fault plan (de)serialisation --------------------------------------------
 
 
@@ -103,6 +200,13 @@ def fault_plan_to_json(plan: FaultPlan) -> str:
             "crashes": {str(k): v for k, v in sorted(plan.crashes.items())},
             "restarts": {str(k): v for k, v in sorted(plan.restarts.items())},
             "churn": [list(cycle) for cycle in plan.churn],
+            "partitions": [
+                [at, [list(group) for group in groups], duration]
+                for at, groups, duration in plan.partitions
+            ],
+            "oneway_drops": [list(entry) for entry in plan.oneway_drops],
+            "wan": wan_to_text(plan.wan),
+            "expect_stall": plan.expect_stall,
             "view_change_timeout": plan.view_change_timeout,
             "undetectable_faults": plan.undetectable_faults,
         },
@@ -140,6 +244,10 @@ def fault_plan_from_json(
         "crashes",
         "restarts",
         "churn",
+        "partitions",
+        "oneway_drops",
+        "wan",
+        "expect_stall",
         "view_change_timeout",
         "undetectable_faults",
     }
@@ -172,6 +280,48 @@ def fault_plan_from_json(
         except (TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed churn entry {entry!r}: {exc}") from exc
 
+    raw_partitions = data.get("partitions", [])
+    if not isinstance(raw_partitions, list):
+        raise ConfigurationError("fault plan 'partitions' must be a list")
+    partitions: list[tuple[float, tuple[tuple[int, ...], ...], float]] = []
+    for entry in raw_partitions:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+            raise ConfigurationError(
+                "each partition entry must be [at, [groups...], duration]"
+            )
+        at_raw, groups_raw, duration_raw = entry
+        if not isinstance(groups_raw, (list, tuple)):
+            raise ConfigurationError(
+                "partition groups must be a list of replica-id lists"
+            )
+        try:
+            groups = tuple(
+                tuple(int(replica) for replica in group) for group in groups_raw
+            )
+            partitions.append((float(at_raw), groups, float(duration_raw)))
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed partition entry {entry!r}: {exc}"
+            ) from exc
+
+    raw_oneway = data.get("oneway_drops", [])
+    if not isinstance(raw_oneway, list):
+        raise ConfigurationError("fault plan 'oneway_drops' must be a list")
+    oneway_drops: list[tuple[float, int, int, float]] = []
+    for entry in raw_oneway:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 4:
+            raise ConfigurationError(
+                "each oneway_drops entry must be [at, source, destination, duration]"
+            )
+        try:
+            oneway_drops.append(
+                (float(entry[0]), int(entry[1]), int(entry[2]), float(entry[3]))
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed oneway_drops entry {entry!r}: {exc}"
+            ) from exc
+
     fallback_timeout = (
         default_view_change_timeout
         if default_view_change_timeout is not None
@@ -182,6 +332,10 @@ def fault_plan_from_json(
         crashes=id_map("crashes"),
         restarts=id_map("restarts"),
         churn=tuple(churn),
+        partitions=tuple(partitions),
+        oneway_drops=tuple(oneway_drops),
+        wan=parse_wan_spec(data.get("wan")),
+        expect_stall=bool(data.get("expect_stall", False)),
         view_change_timeout=float(data.get("view_change_timeout", fallback_timeout)),
         undetectable_faults=int(data.get("undetectable_faults", 0)),
     )
@@ -189,8 +343,91 @@ def fault_plan_from_json(
     return plan
 
 
+def partition_components(
+    groups: tuple[tuple[int, ...], ...], num_replicas: int
+) -> list[set[int]]:
+    """Expand a partition's groups into the full component list.
+
+    Replicas named in no explicit group form one implicit remainder
+    component — ``groups=((3,),)`` at ``n = 4`` means "isolate replica 3
+    from {0, 1, 2}".
+    """
+    components = [set(group) for group in groups]
+    named = set().union(*components) if components else set()
+    remainder = set(range(num_replicas)) - named
+    if remainder:
+        components.append(remainder)
+    return components
+
+
+def blocked_peers_for(
+    replica_id: int,
+    *,
+    active_partitions: list[tuple[tuple[int, ...], ...]],
+    active_oneways: set[tuple[int, int]],
+    num_replicas: int,
+) -> tuple[int, ...]:
+    """Peer ids ``replica_id`` must not send to under the active rules.
+
+    Symmetric partitions block both directions (each side computes the
+    other as blocked); a one-way drop blocks only the source's sends, so
+    the destination keeps talking back — the classic asymmetric-loss case.
+    """
+    blocked: set[int] = set()
+    for groups in active_partitions:
+        for component in partition_components(groups, num_replicas):
+            if replica_id in component:
+                blocked |= set(range(num_replicas)) - component
+                break
+    for source, destination in active_oneways:
+        if source == replica_id:
+            blocked.add(destination)
+    blocked.discard(replica_id)
+    return tuple(sorted(blocked))
+
+
 def validate_fault_plan(plan: FaultPlan, num_replicas: int | None = None) -> None:
     """Reject plans the live runtime cannot execute coherently."""
+    parse_wan_spec(plan.wan)
+    for at_time, groups, duration in plan.partitions:
+        if at_time < 0:
+            raise ConfigurationError("partition start time is negative")
+        if duration <= 0:
+            raise ConfigurationError(
+                f"partition at {at_time}s must heal after a positive duration"
+            )
+        if not groups or any(not group for group in groups):
+            raise ConfigurationError(
+                f"partition at {at_time}s needs at least one non-empty group"
+            )
+        seen: set[int] = set()
+        for group in groups:
+            overlap = seen & set(group)
+            if overlap:
+                raise ConfigurationError(
+                    f"partition at {at_time}s lists replica "
+                    f"{sorted(overlap)[0]} in more than one group"
+                )
+            seen |= set(group)
+    ordered = sorted((at, at + duration) for at, _, duration in plan.partitions)
+    for (start_a, end_a), (start_b, _) in zip(ordered, ordered[1:]):
+        if start_b < end_a:
+            raise ConfigurationError(
+                f"partitions overlap: one starting at {start_b}s begins before "
+                f"the heal at {end_a}s — merge them into a single rule"
+            )
+    for at_time, source, destination, duration in plan.oneway_drops:
+        if at_time < 0:
+            raise ConfigurationError("one-way drop start time is negative")
+        if duration <= 0:
+            raise ConfigurationError(
+                f"one-way drop at {at_time}s must heal after a positive duration"
+            )
+        if source == destination:
+            raise ConfigurationError(
+                f"one-way drop at {at_time}s names replica {source} as both "
+                f"source and destination"
+            )
     for replica, slowdown in plan.stragglers.items():
         if slowdown < 1.0:
             raise ConfigurationError(
@@ -237,13 +474,34 @@ def validate_fault_plan(plan: FaultPlan, num_replicas: int | None = None) -> Non
                 f"plan makes {len(faulty)} replicas faulty but n = {num_replicas} "
                 f"only tolerates f = {limit}"
             )
-        # Churn replicas are only transiently down; what must stay within f
-        # is the *concurrently* faulty count at any instant.
-        if plan.churn:
-            edges = []
-            for at_time, _, downtime in plan.churn:
-                edges.append((at_time, 1))
-                edges.append((at_time + downtime, -1))
+        # A partition must leave some component able to form quorums: at
+        # most f replicas cut off from the largest side.  Plans that
+        # deliberately deny every quorum must say so with expect_stall.
+        for at_time, groups, duration in plan.partitions:
+            components = partition_components(groups, num_replicas)
+            isolated = num_replicas - max(len(c) for c in components)
+            if isolated > limit and not plan.expect_stall:
+                raise ConfigurationError(
+                    f"partition at {at_time}s cuts {isolated} replicas off the "
+                    f"largest component but n = {num_replicas} only tolerates "
+                    f"f = {limit}; mark the plan expect_stall to run it anyway"
+                )
+        # Churn and partition victims are only transiently unavailable; what
+        # must stay within f is the *concurrently* unavailable count at any
+        # instant — a partition minority composing with a churn downtime can
+        # deny quorums even when each alone would not.
+        edges: list[tuple[float, int]] = []
+        for at_time, _, downtime in plan.churn:
+            edges.append((at_time, 1))
+            edges.append((at_time + downtime, -1))
+        if not plan.expect_stall:
+            for at_time, groups, duration in plan.partitions:
+                components = partition_components(groups, num_replicas)
+                isolated = num_replicas - max(len(c) for c in components)
+                if isolated > 0:
+                    edges.append((at_time, isolated))
+                    edges.append((at_time + duration, -isolated))
+        if edges:
             concurrent = peak = 0
             for _, delta in sorted(edges):
                 concurrent += delta
@@ -254,7 +512,22 @@ def validate_fault_plan(plan: FaultPlan, num_replicas: int | None = None) -> Non
                     f"but n = {num_replicas} only tolerates f = {limit}"
                 )
         churn_replicas = [replica for _, replica, _ in plan.churn]
-        for replica in list(plan.stragglers) + list(plan.crashes) + churn_replicas:
+        partition_replicas = [
+            replica for _, groups, _ in plan.partitions for group in groups
+            for replica in group
+        ]
+        oneway_replicas = [
+            replica for _, source, destination, _ in plan.oneway_drops
+            for replica in (source, destination)
+        ]
+        named = (
+            list(plan.stragglers)
+            + list(plan.crashes)
+            + churn_replicas
+            + partition_replicas
+            + oneway_replicas
+        )
+        for replica in named:
             if not 0 <= replica < num_replicas:
                 raise ConfigurationError(
                     f"fault plan names replica {replica} but the cluster has "
@@ -270,8 +543,17 @@ class ChaosEvent:
     """One executed fault action (for reports and assertions)."""
 
     at: float
-    action: str  # "crash" | "restart"
+    action: str  # "crash" | "restart" | "partition" | "heal" | "drop" | "undrop"
+    #: Replica id for process actions; the plan-rule index for link actions.
     replica: int
+    #: Human-readable description for link actions (empty for process ones).
+    label: str = ""
+
+    def describe(self) -> str:
+        """Render the event for logs and console output."""
+        if self.label:
+            return self.label
+        return f"{self.action} replica {self.replica}"
 
 
 class ChaosController:
@@ -295,12 +577,24 @@ class ChaosController:
         #: Replicas intentionally down right now (``cluster.check()`` hygiene:
         #: a chaos-killed process is not an unexpected exit).
         self.down: set[int] = set()
+        #: Groups of currently-active symmetric partitions (indexed rules).
+        self._active_partitions: dict[int, tuple[tuple[int, ...], ...]] = {}
+        #: Currently-active one-way ``(source, destination)`` drops.
+        self._active_oneways: set[tuple[int, int]] = set()
         actions = [(at, "crash", replica) for replica, at in plan.crashes.items()]
         actions += [(at, "restart", replica) for replica, at in plan.restarts.items()]
         # Churn cycles expand into the same crash/restart action stream.
         for at, replica, downtime in plan.churn:
             actions.append((at, "crash", replica))
             actions.append((at + downtime, "restart", replica))
+        # Partition/one-way rules expand into apply + heal pairs; the third
+        # tuple slot carries the rule index instead of a replica id.
+        for index, (at, _, duration) in enumerate(plan.partitions):
+            actions.append((at, "partition", index))
+            actions.append((at + duration, "heal", index))
+        for index, (at, _, _, duration) in enumerate(plan.oneway_drops):
+            actions.append((at, "drop", index))
+            actions.append((at + duration, "undrop", index))
         # Sort by time; at equal times crashes execute before restarts only
         # if scheduled earlier, which validate_fault_plan already guarantees.
         self._pending = sorted(actions)
@@ -310,6 +604,51 @@ class ChaosController:
         """Whether every scheduled action has been executed."""
         return not self._pending
 
+    def _num_replicas(self) -> int:
+        """Cluster size, for expanding partition groups into blocked sets."""
+        spec = getattr(self.cluster, "spec", None)
+        if spec is not None:
+            return int(spec.num_replicas)
+        endpoints = getattr(self.cluster, "endpoints", None)
+        if endpoints:
+            return len(endpoints)
+        named = [0]
+        for _, groups, _ in self.plan.partitions:
+            named.extend(replica for group in groups for replica in group)
+        for _, source, destination, _ in self.plan.oneway_drops:
+            named.extend((source, destination))
+        return max(named) + 1
+
+    def _push_link_updates(self) -> None:
+        """Retarget every live replica's blocked-peer set from active rules.
+
+        Each replica receives the *absolute* set it must not send to, so
+        overlapping rules and heals compose idempotently: applying the same
+        set twice is harmless and a heal simply shrinks the set.  Down
+        replicas are skipped (nothing to configure); a restarted replica
+        comes back with an empty blocked set, which matches the semantics —
+        its outbound frames were dropped at the senders all along.
+        """
+        from repro.runtime.control import LinkUpdate
+
+        num_replicas = self._num_replicas()
+        active_partitions = list(self._active_partitions.values())
+        for replica in range(num_replicas):
+            if replica in self.down:
+                continue
+            blocked = blocked_peers_for(
+                replica,
+                active_partitions=active_partitions,
+                active_oneways=self._active_oneways,
+                num_replicas=num_replicas,
+            )
+            try:
+                self.cluster.send_control(replica, LinkUpdate(blocked=blocked))
+            except OSError:
+                # A replica that died between check() and here; its outbound
+                # rules become moot and unexpected_exits() will report it.
+                continue
+
     def _execute_action(self, elapsed: float, action: str, replica: int) -> ChaosEvent:
         """Execute one due action (shared by the sync and async drivers).
 
@@ -318,13 +657,43 @@ class ChaosController:
         runs kills in a worker thread) must already see the exit as
         intentional, or a planned crash would be misreported as unexpected.
         """
+        label = ""
         if action == "crash":
             self.down.add(replica)
             self.cluster.kill_replica(replica)
-        else:
+        elif action == "restart":
             self.cluster.restart_replica(replica)
             self.down.discard(replica)
-        event = ChaosEvent(at=elapsed, action=action, replica=replica)
+            if self._active_partitions or self._active_oneways:
+                # The fresh process starts with an empty blocked set; re-push
+                # so a restart inside a partition window stays partitioned.
+                self._push_link_updates()
+        elif action == "partition":
+            at, groups, duration = self.plan.partitions[replica]
+            self._active_partitions[replica] = groups
+            self._push_link_updates()
+            sides = " | ".join(
+                "{%s}" % ",".join(str(r) for r in sorted(component))
+                for component in partition_components(groups, self._num_replicas())
+            )
+            label = f"partition {sides}"
+        elif action == "heal":
+            self._active_partitions.pop(replica, None)
+            self._push_link_updates()
+            label = f"heal partition #{replica}"
+        elif action == "drop":
+            _, source, destination, _ = self.plan.oneway_drops[replica]
+            self._active_oneways.add((source, destination))
+            self._push_link_updates()
+            label = f"drop {source}->{destination}"
+        elif action == "undrop":
+            _, source, destination, _ = self.plan.oneway_drops[replica]
+            self._active_oneways.discard((source, destination))
+            self._push_link_updates()
+            label = f"undrop {source}->{destination}"
+        else:  # pragma: no cover - construction guarantees known actions
+            raise ValueError(f"unknown chaos action: {action!r}")
+        event = ChaosEvent(at=elapsed, action=action, replica=replica, label=label)
         self.events.append(event)
         return event
 
@@ -343,6 +712,31 @@ class ChaosController:
     def unfired_actions(self) -> list[tuple[float, str, int]]:
         """Scheduled ``(at, action, replica)`` actions that never executed."""
         return list(self._pending)
+
+    def episodes(self) -> list[tuple[float, float | None, str]]:
+        """Executed fault episodes as ``(start, end, label)`` intervals.
+
+        Times are relative to the controller start (the same axis as
+        :attr:`ChaosEvent.at`).  Point faults pair up with their closing
+        action — crash with restart, partition with heal, drop with undrop;
+        an episode whose closing action never fired gets ``end=None`` (still
+        open when the run finished).  Feeds the per-fault-event phase
+        windows (:func:`repro.obs.slo.fault_episode_windows`).
+        """
+        episodes: list[tuple[float, float | None, str]] = []
+        open_index: dict[tuple[str, int], int] = {}
+        closers = {"restart": "crash", "heal": "partition", "undrop": "drop"}
+        for event in self.events:
+            if event.action in ("crash", "partition", "drop"):
+                open_index[(event.action, event.replica)] = len(episodes)
+                episodes.append((event.at, None, event.describe()))
+            elif event.action in closers:
+                key = (closers[event.action], event.replica)
+                index = open_index.pop(key, None)
+                if index is not None:
+                    start, _, label = episodes[index]
+                    episodes[index] = (start, event.at, label)
+        return episodes
 
     async def run(self, *, poll_interval: float = 0.05) -> None:
         """Poll on the event loop until every scheduled action has run.
@@ -386,22 +780,25 @@ class ChaosRunResult:
     @property
     def ok(self) -> bool:
         """Liveness and safety summary: progress, agreement, no surprises."""
+        consistency = getattr(self.report, "consistency", None)
         return (
             self.report.metrics.committed > 0
             and self.report.digests_agree
             and not self.unexpected_exits
             and not self.unfired_actions
+            and (consistency is None or consistency.ok)
         )
 
     def lines(self) -> list[str]:
         out = []
         for event in self.events:
-            out.append(f"chaos: {event.action} replica {event.replica} @ {event.at:.2f}s")
-        for at, action, replica in self.unfired_actions:
+            out.append(f"chaos: {event.describe()} @ {event.at:.2f}s")
+        for at, action, target in self.unfired_actions:
             out.append(
-                f"chaos: WARNING {action} replica {replica} scheduled at "
-                f"{at:.2f}s never fired — the run ended first; extend the "
-                f"load (more transactions / lower rate) to cover the plan"
+                f"chaos: ERROR {action} ({target}) scheduled at "
+                f"{at:.2f}s never fired — the run ended first, so the "
+                f"measurement does not cover the requested plan (run fails); "
+                f"extend the load (more transactions / lower rate)"
             )
         out.extend(self.report.lines())
         if self.report.view_changes:
@@ -424,7 +821,12 @@ async def run_chaos(cluster_spec, load_config) -> ChaosRunResult:
     executes scheduled crashes/restarts concurrently with the load generator,
     and returns the combined result.  The cluster is always torn down.
     """
-    from repro.obs.slo import compute_phase_slos, fault_phase_windows
+    from repro.obs.slo import (
+        StatusSample,
+        check_consistency,
+        compute_phase_slos,
+        fault_episode_windows,
+    )
     from repro.runtime.client import ClientConfig, ClientError, OrthrusClient
     from repro.runtime.cluster import LocalCluster
     from repro.runtime.loadgen import LoadGenerator
@@ -449,6 +851,9 @@ async def run_chaos(cluster_spec, load_config) -> ChaosRunResult:
     loop = asyncio.get_running_loop()
     #: Mid-run (time, cumulative view changes) samples for per-phase deltas.
     view_change_samples: list[tuple[float, int]] = []
+    #: Per-replica (time, committed, frontier, digest) samples: the run log
+    #: the client-side staleness and monotonicity checkers read.
+    status_samples: list[StatusSample] = []
     poll_stop = asyncio.Event()
 
     async def poll_view_changes() -> None:
@@ -464,8 +869,19 @@ async def run_chaos(cluster_spec, load_config) -> ChaosRunResult:
             while not poll_stop.is_set():
                 try:
                     statuses = await probe.cluster_status()
+                    now = loop.time()
                     view_change_samples.append(
-                        (loop.time(), sum(s.view_changes for s in statuses))
+                        (now, sum(s.view_changes for s in statuses))
+                    )
+                    status_samples.extend(
+                        StatusSample(
+                            at=now,
+                            replica=s.replica,
+                            committed=s.committed,
+                            frontier=tuple(s.delivered_frontier),
+                            digest=s.state_digest,
+                        )
+                        for s in statuses
                     )
                 except (ClientError, OSError):
                     pass
@@ -482,21 +898,45 @@ async def run_chaos(cluster_spec, load_config) -> ChaosRunResult:
         report = await generator.run()
         poll_stop.set()
         await poll_task
-        # Split the run into pre/during/post-fault phases.  Event times are
+        # Monotonicity + staleness over the run log: a planned restart is an
+        # allowed committed-counter reset (a fresh process starts at zero),
+        # everything else must be monotone; settled digests come from the
+        # load generator's final settlement probe.
+        restarts_at = [
+            (controller.started_at + e.at, e.replica)
+            for e in controller.events
+            if e.action == "restart" and controller.started_at is not None
+        ]
+        report.consistency = check_consistency(
+            status_samples,
+            final_digests=report.state_digests,
+            resets=restarts_at,
+        )
+        # Split the run into per-fault-event phases (pre, then during/post
+        # around *each* episode, not one global window).  Episode times are
         # relative to the controller's start; the settle margin keeps the
         # failure-detector/view-change aftermath inside "during".
         if controller.started_at is not None and controller.events:
-            event_times = [controller.started_at + e.at for e in controller.events]
-            windows = fault_phase_windows(
+            base = controller.started_at
+            episodes = [
+                (
+                    base + start,
+                    report.ended_at if end is None else base + end,
+                    label,
+                )
+                for start, end, label in controller.episodes()
+            ]
+            windows = fault_episode_windows(
                 report.started_at,
                 report.ended_at,
-                event_times,
+                episodes,
                 settle=cluster_spec.view_change_timeout,
             )
             report.phases = compute_phase_slos(
                 windows,
                 generator.collector.latency.timelines(),
                 view_change_samples=view_change_samples,
+                regression_times=report.consistency.regression_times,
             )
         return ChaosRunResult(
             report=report,

@@ -40,6 +40,7 @@ from repro.runtime.chaos import (
     abstaining_replicas,
     send_delay_for,
     validate_fault_plan,
+    wan_to_text,
 )
 from repro.runtime.config import (
     ReplicaRuntimeConfig,
@@ -262,6 +263,7 @@ class LocalCluster:
             view_change_timeout=self.spec.view_change_timeout,
             workload=self.spec.workload,
             send_delay=send_delay_for(self.spec.faults, replica_id),
+            wan=wan_to_text(self.spec.faults.wan),
             byzantine_abstain=replica_id
             in abstaining_replicas(self.spec.faults, self.spec.num_replicas),
             wire_version=self.spec.wire_version,
@@ -318,6 +320,8 @@ class LocalCluster:
                 command += ["--snapshot-every-epochs", str(spec.snapshot_every_epochs)]
         if runtime.send_delay > 0:
             command += ["--send-delay", str(runtime.send_delay)]
+        if runtime.wan is not None:
+            command += ["--wan", runtime.wan]
         if runtime.byzantine_abstain:
             command += ["--byzantine-abstain"]
         if spec.wire_version is not None:
@@ -508,6 +512,35 @@ class LocalCluster:
         return self.check()
 
     # -- fault injection -----------------------------------------------------
+
+    def send_control(self, replica_id: int, message) -> None:
+        """Fire one control-plane frame at a replica over a throwaway socket.
+
+        Used by the chaos controller to push partition link updates
+        (:class:`~repro.runtime.control.LinkUpdate`).  Synchronous and
+        fire-and-forget: the frame is canonical JSON (v1) so it decodes
+        without version negotiation, and no reply is awaited — link updates
+        are absolute sets, so a lost one is corrected by the next push.
+        Raises ``OSError`` when the replica's socket refuses (e.g. it is
+        down); callers decide whether that matters.
+        """
+        from repro.runtime.codec import encode_envelope
+        from repro.runtime.framing import encode_frame
+
+        if not 0 <= replica_id < len(self.endpoints):
+            raise ExperimentError(f"no replica {replica_id} to control")
+        endpoint = self.endpoints[replica_id]
+        frame = encode_frame(
+            encode_envelope(self.spec.num_replicas, message, version=1)
+        )
+        if is_uds_endpoint(endpoint):
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(2.0)
+                sock.connect(uds_path(endpoint))
+                sock.sendall(frame)
+        else:
+            with socket.create_connection(endpoint, timeout=2.0) as sock:
+                sock.sendall(frame)
 
     def kill_replica(self, replica_id: int) -> None:
         """Crash one replica process (SIGKILL: a crash, not a clean exit).

@@ -82,6 +82,11 @@ class ReplicaRuntimeConfig:
             from the same universe.
         send_delay: Chaos: seconds every outbound replica-to-replica frame is
             held before sending (straggler injection; 0.0 = healthy).
+        wan: WAN emulation spec: ``None`` (no emulation), a model name
+            (``"wan"``/``"lan"``), a JSON square delay matrix, or
+            ``@file.json`` holding one.  Expanded per replica into
+            per-destination due-time delays composing with ``send_delay``
+            (see :func:`repro.runtime.chaos.wan_delay_map`).
         byzantine_abstain: Chaos: this replica proposes and votes only in
             instances it currently leads and silently drops its consensus
             messages for every other instance (the paper's undetectable
@@ -131,6 +136,7 @@ class ReplicaRuntimeConfig:
         default_factory=lambda: WorkloadConfig(num_accounts=1024)
     )
     send_delay: float = 0.0
+    wan: str | None = None
     byzantine_abstain: bool = False
     wire_version: int | None = None
     workers: int = 0
@@ -156,6 +162,12 @@ class ReplicaRuntimeConfig:
             raise ConfigurationError("batch_interval must be positive")
         if self.send_delay < 0:
             raise ConfigurationError("send_delay cannot be negative")
+        if self.wan is not None:
+            # Deferred import: chaos pulls in fault-plan machinery this
+            # low-level module must not depend on at import time.
+            from repro.runtime.chaos import parse_wan_spec
+
+            parse_wan_spec(self.wan)
         if self.workers < 0:
             raise ConfigurationError("workers cannot be negative")
         if not 0.0 <= self.trace_sample <= 1.0:

@@ -132,6 +132,21 @@ class ShutdownRequest:
     reason: str = ""
 
 
+@dataclass(frozen=True)
+class LinkUpdate:
+    """Retarget a replica's blocked-peer set (partition fault injection).
+
+    ``blocked`` is the *absolute* set of peer ids the receiving replica must
+    not send frames to — not a delta — so overlapping partition rules and
+    heals compose idempotently: the chaos controller recomputes the full set
+    from every active rule and pushes it after each change.  An empty set
+    heals everything.
+    """
+
+    nonce: int = 0
+    blocked: tuple[int, ...] = ()
+
+
 def _decode_hello(data: dict[str, Any]) -> Hello:
     return Hello(
         node_id=int(data["node_id"]),
@@ -197,6 +212,13 @@ def _decode_recovery_reply(data: dict[str, Any]) -> RecoveryReply:
 
 def _decode_shutdown(data: dict[str, Any]) -> ShutdownRequest:
     return ShutdownRequest(reason=data.get("reason", ""))
+
+
+def _decode_link_update(data: dict[str, Any]) -> LinkUpdate:
+    return LinkUpdate(
+        nonce=int(data.get("nonce", 0)),
+        blocked=tuple(int(v) for v in data.get("blocked", [])),
+    )
 
 
 # -- binary (v2) layouts -------------------------------------------------------
@@ -332,6 +354,17 @@ def _b_dec_shutdown(buf: bytes, off: int) -> tuple[ShutdownRequest, int]:
     return ShutdownRequest(reason=reason), off
 
 
+def _b_enc_link_update(out: list[bytes], msg: LinkUpdate) -> None:
+    out.append(_I64.pack(msg.nonce))
+    _w_i64_seq(out, msg.blocked)
+
+
+def _b_dec_link_update(buf: bytes, off: int) -> tuple[LinkUpdate, int]:
+    (nonce,) = _I64.unpack_from(buf, off)
+    blocked, off = _r_i64_seq(buf, off + 8)
+    return LinkUpdate(nonce=nonce, blocked=blocked), off
+
+
 def _b_enc_metrics_request(out: list[bytes], msg: MetricsRequest) -> None:
     out.append(_I64.pack(msg.nonce))
 
@@ -433,6 +466,13 @@ register_wire_type(
     },
     _decode_recovery_reply,
     binary=(23, _b_enc_recovery_reply, _b_dec_recovery_reply),
+)
+register_wire_type(
+    LinkUpdate,
+    "link_update",
+    lambda m: {"nonce": m.nonce, "blocked": list(m.blocked)},
+    _decode_link_update,
+    binary=(24, _b_enc_link_update, _b_dec_link_update),
 )
 register_wire_type(
     MetricsReply,

@@ -38,7 +38,7 @@ from repro.core.interfaces import ConsensusCore
 from repro.core.outcomes import TxStatus
 from repro.ledger.blocks import Block
 from repro.runtime.codec import _decode_block, _encode_block
-from repro.runtime.wal import WAL_FILE_NAME, WalWriter, read_wal
+from repro.runtime.wal import WAL_FILE_NAME, WalWriter, encode_record, read_wal
 
 logger = logging.getLogger(__name__)
 
@@ -256,6 +256,76 @@ def load_snapshot(path: str | Path) -> dict[str, Any] | None:
     return data
 
 
+def compact_wal(
+    path: str | Path,
+    *,
+    frontier: list[int] | tuple[int, ...],
+    epoch: int,
+) -> tuple[int, int]:
+    """Drop WAL records a verified snapshot at ``frontier``/``epoch`` covers.
+
+    Keeps exactly the replayable suffix a recovery starting from that
+    snapshot needs:
+
+    * ``b`` block records above the snapshot's delivered frontier;
+    * one ``v`` record per instance carrying the highest installed view
+      (snapshots do not record views, so the maximum must survive every
+      compaction or a restart would rejoin in a stale view);
+    * ``e`` epoch marks above the snapshot's epoch.
+
+    The rewrite is atomic (tmp + fsync + rename); on any error the original
+    WAL is left untouched.  Returns ``(kept, dropped)`` record counts.
+    """
+    path = Path(path)
+    best_views: dict[int, int] = {}
+    kept_records: list[dict[str, Any]] = []
+    total = 0
+    for record in read_wal(path):
+        total += 1
+        kind = record.get("k")
+        if kind == "b":
+            block = decode_block_record(record)
+            if block is None:
+                continue
+            if (
+                block.instance < len(frontier)
+                and block.sequence_number <= frontier[block.instance]
+            ):
+                continue
+            kept_records.append(record)
+        elif kind == "v":
+            try:
+                instance, view = int(record["i"]), int(record["v"])
+            except (KeyError, ValueError, TypeError):
+                continue
+            if view > best_views.get(instance, -1):
+                best_views[instance] = view
+        elif kind == "e":
+            try:
+                if int(record["e"]) <= epoch:
+                    continue
+            except (KeyError, ValueError, TypeError):
+                continue
+            kept_records.append(record)
+        else:
+            kept_records.append(record)
+    view_records = [
+        view_record(instance, view) for instance, view in sorted(best_views.items())
+    ]
+    out = view_records + kept_records
+    tmp = path.with_suffix(".compact.tmp")
+    with open(tmp, "wb") as handle:
+        for record in out:
+            handle.write(encode_record(record))
+        handle.flush()
+        try:
+            os.fsync(handle.fileno())
+        except OSError:
+            pass
+    os.replace(tmp, path)
+    return len(out), max(0, total - len(out))
+
+
 # -- per-replica durability driver -------------------------------------------
 
 
@@ -373,7 +443,40 @@ class ReplicaDurability:
         if self._clock is not None:
             self.last_snapshot_at = self._clock()
         self.snapshots_written += 1
+        self._compact_wal_below(snapshot)
         return True
+
+    def _compact_wal_below(self, snapshot: dict[str, Any]) -> None:
+        """Truncate the WAL below the snapshot just written.
+
+        Safe because recovery (local and peer-serving state transfer) always
+        consults the newest snapshot first: everything at or below its
+        delivered frontier replays from the snapshot, never from the WAL.
+        The writer is closed around the rewrite so no buffered tail is lost,
+        and reopened on the (possibly replaced) file; the ``wal_bytes``
+        gauge drops to the compacted size.  A failed rewrite keeps the
+        original WAL — compaction is an optimisation, never a correctness
+        requirement.
+        """
+        try:
+            frontier = [int(v) for v in snapshot.get("delivered", [])]
+            epoch = int(snapshot["epoch"])
+        except (KeyError, ValueError, TypeError):
+            return
+        self.wal.close()
+        try:
+            kept, dropped = compact_wal(self.wal.path, frontier=frontier, epoch=epoch)
+            if dropped:
+                logger.debug(
+                    "compacted WAL %s: kept %d records, dropped %d",
+                    self.wal.path.name,
+                    kept,
+                    dropped,
+                )
+        except OSError as exc:
+            logger.warning("WAL compaction failed (keeping full log): %s", exc)
+        finally:
+            self.wal = WalWriter(self.wal.path, fsync_every=self.wal.fsync_every)
 
     def record_transferred_block(self, block: Block) -> None:
         """Persist a block learned through state transfer (so a second crash
@@ -416,12 +519,17 @@ class ReplicaDurability:
                 block = decode_block_record(record)
                 if block is None or block.instance >= len(delivered):
                     continue
-                if block.sequence_number <= delivered[block.instance]:
+                if block.sequence_number != delivered[block.instance] + 1:
+                    # Already covered by the restored snapshot, or a hole:
+                    # the WAL is compacted at the *newest* snapshot's
+                    # frontier, so when that snapshot is corrupt and an
+                    # older base was restored, the log no longer reaches
+                    # down to it.  Replaying across the gap would execute
+                    # a divergent state — leave the rest to peer state
+                    # transfer instead.
                     continue
                 core.on_block_delivered(block)
-                delivered[block.instance] = max(
-                    delivered[block.instance], block.sequence_number
-                )
+                delivered[block.instance] = block.sequence_number
                 recovery.blocks_replayed += 1
             elif kind == "v":
                 try:

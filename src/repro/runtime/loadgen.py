@@ -97,6 +97,10 @@ class LoadReport:
     #: Per-fault-phase SLOs (:class:`repro.obs.slo.PhaseSLO`); populated by
     #: chaos runs, empty for plain load runs.
     phases: list = field(default_factory=list)
+    #: Client-observed consistency verdict
+    #: (:class:`repro.obs.slo.ConsistencyReport`); populated by chaos runs
+    #: that polled the cluster status during the load, ``None`` otherwise.
+    consistency: object | None = None
 
     @property
     def digests_agree(self) -> bool:
@@ -126,6 +130,9 @@ class LoadReport:
         if self.state_digests:
             agree = "yes" if self.digests_agree else "NO — replicas diverged!"
             out.append(f"replica digests agree: {agree}")
+        if self.consistency is not None:
+            out.append("client-observed consistency:")
+            out.extend("  " + line for line in self.consistency.lines())
         if self.phases:
             from repro.experiments.reporting import phase_slo_table
 

@@ -26,7 +26,7 @@ from repro.ledger.blocks import Block
 from repro.metrics.summary import MetricsCollector
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.trace import TraceWriter
-from repro.runtime.chaos import make_abstention_filter
+from repro.runtime.chaos import make_abstention_filter, wan_delay_map
 from repro.runtime.codec import (
     WireCodecError,
     _decode_block,
@@ -37,6 +37,7 @@ from repro.runtime.config import ReplicaRuntimeConfig, format_endpoint
 from repro.runtime.control import (
     RECOVERY_BLOCK_BATCH,
     Hello,
+    LinkUpdate,
     MetricsReply,
     MetricsRequest,
     RecoveryReply,
@@ -113,6 +114,10 @@ class ReplicaServer:
         self.catch_ups = 0
         self._catch_up_frontier: tuple[int, ...] | None = None
         self._catch_up_task: asyncio.Task[None] | None = None
+        #: Transport-clock deadline until which the watchdog sweeps state
+        #: transfer unconditionally (post-start restart window, and bumped
+        #: by a partition heal).
+        self._sweep_until = 0.0
         self.started_at: float | None = None
         self._server: asyncio.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
@@ -137,6 +142,9 @@ class ReplicaServer:
             self.config.replica_id,
             peers,
             send_delay=self.config.send_delay,
+            peer_delay=wan_delay_map(
+                self.config.wan, self.config.replica_id, self.config.num_replicas
+            ),
             wire_version=self.config.wire_version,
             registry=self.registry,
         )
@@ -215,7 +223,12 @@ class ReplicaServer:
         self.replica.start()
         if self.durability is not None:
             self.registry.gauge_fn("durability.catch_ups", lambda: self.catch_ups)
-            self._arm_catch_up()
+        # The catch-up watchdog runs regardless of durability: a partition
+        # heal leaves the same frontier wedge as a restart's reconnection
+        # window, and the live state transfer it triggers can serve from
+        # peers' in-memory logs.  Only the post-start settle sweeps are
+        # durability-specific (they cover the restart loss window).
+        self._arm_catch_up()
         self.started_at = self.transport.now()
         if self.config.obs_enabled and self.config.metrics_file:
             self._arm_metrics_snapshot()
@@ -415,6 +428,27 @@ class ReplicaServer:
         if isinstance(message, RecoveryRequest):
             await self._send_recovery(writer, message, sender)
             return registered, True
+        if isinstance(message, LinkUpdate):
+            # Chaos control plane: replace the partition-blocked peer set.
+            # The set is absolute (not a delta), so replayed or reordered
+            # updates are idempotent.
+            healed = self.transport.blocked - frozenset(message.blocked)
+            self.transport.set_blocked_peers(message.blocked)
+            logger.info(
+                "replica %d link update: blocked peers %s",
+                self.config.replica_id,
+                list(message.blocked) or "none",
+            )
+            if healed:
+                # A heal: every frame dropped during the partition is gone
+                # for good, and with no post-heal traffic the wedge detector
+                # has nothing to compare against.  Sweep state transfer for
+                # a settle window — a caught-up replica transfers nothing.
+                self._sweep_until = max(
+                    self._sweep_until,
+                    self.transport.now() + CATCH_UP_SETTLE_SECONDS,
+                )
+            return registered, True
         if isinstance(message, ShutdownRequest):
             logger.info(
                 "replica %d shutting down: %s",
@@ -484,6 +518,11 @@ class ReplicaServer:
         transferred = 0
         for peer_id, endpoint in enumerate(self.config.peers):
             if peer_id == self.config.replica_id:
+                continue
+            if self.transport is not None and peer_id in self.transport.blocked:
+                # Recovery dials fresh sockets, which would tunnel straight
+                # through an active partition rule; an unreachable peer must
+                # stay unreachable for state transfer too.
                 continue
             try:
                 fetched, peer_views = await asyncio.wait_for(
@@ -586,12 +625,16 @@ class ReplicaServer:
                 continue
             if block.instance >= len(delivered):
                 continue
-            if block.sequence_number <= delivered[block.instance]:
+            if block.sequence_number != delivered[block.instance] + 1:
+                # Either already delivered, or a hole: a compacted peer WAL
+                # starts at that peer's own snapshot frontier, so when its
+                # snapshot was not adoptable the served blocks may skip
+                # sequences we still need.  Executing across a gap would
+                # silently diverge the state machine — stop at the hole and
+                # let the watchdog retry against another (or a fresher) peer.
                 continue
             core.on_block_delivered(block)
-            delivered[block.instance] = max(
-                delivered[block.instance], block.sequence_number
-            )
+            delivered[block.instance] = block.sequence_number
             if self.durability is not None:
                 self.durability.record_transferred_block(block)
             applied += 1
@@ -674,14 +717,19 @@ class ReplicaServer:
         frontier comparison per interval.
         """
         assert self.transport is not None
-        settle_until = self.transport.now() + CATCH_UP_SETTLE_SECONDS
+        # Settle sweeps exist to cover the restart loss window, which only
+        # durable replicas recover through; without durability the watchdog
+        # is wedge-triggered only (until a heal bumps the sweep deadline).
+        if self.durability is not None:
+            self._sweep_until = self.transport.now() + CATCH_UP_SETTLE_SECONDS
 
         def tick() -> None:
             if self._stopped.is_set() or self.replica is None:
                 return
             wedged = self._delivery_wedged()
             settling = (
-                self.transport is not None and self.transport.now() < settle_until
+                self.transport is not None
+                and self.transport.now() < self._sweep_until
             )
             if (self._catch_up_task is None or self._catch_up_task.done()) and (
                 wedged or settling
@@ -728,6 +776,21 @@ class ReplicaServer:
                 "replica %d caught up: %d blocks via live state transfer",
                 self.config.replica_id,
                 transferred,
+            )
+            # Progress extends the sweep: a round that still moved blocks
+            # means we are chasing a head that advanced while we fetched,
+            # so a fixed heal+settle deadline can expire mid-chase.  The
+            # first round that transfers nothing lets the deadline stand —
+            # we are converged (or wedge detection takes over).
+            if self.transport is not None:
+                self._sweep_until = max(
+                    self._sweep_until,
+                    self.transport.now() + CATCH_UP_SETTLE_SECONDS,
+                )
+        else:
+            logger.debug(
+                "replica %d catch-up round transferred nothing",
+                self.config.replica_id,
             )
 
     async def _send_recovery(

@@ -34,7 +34,8 @@ from __future__ import annotations
 import asyncio
 import logging
 import os
-from typing import Any, Callable
+import random
+from typing import Any, Callable, Iterable
 
 from repro.obs.registry import MetricsRegistry, NullRegistry
 from repro.runtime.codec import (
@@ -62,9 +63,16 @@ STREAM_BUFFER_LIMIT = 4 * 1024 * 1024
 #: single flush may buffer in user space).
 WRITE_BATCH_LIMIT = 256
 
-#: Reconnect backoff bounds (seconds).
+#: Reconnect backoff bounds (seconds).  Sleeps are jittered (+-50%) so the
+#: heal of a partition or a mass restart does not synchronise every peer's
+#: redial into one thundering herd.
 RECONNECT_INITIAL = 0.05
 RECONNECT_MAX = 1.0
+
+#: Redial pause while the destination is blocked by a partition rule: there
+#: is no point dialling a peer whose frames would be dropped anyway, so the
+#: writer idles at this (jittered) cadence until the rule heals.
+PARTITION_RETRY = 0.5
 
 #: Payload bytes coalesced into one super-frame at most.  Well under
 #: MAX_FRAME_BYTES so a batch of large blocks can never produce an
@@ -154,6 +162,7 @@ class AsyncioTransport:
         *,
         role: str = "replica",
         send_delay: float = 0.0,
+        peer_delay: dict[int, float] | None = None,
         wire_version: int | None = None,
         registry: MetricsRegistry | NullRegistry | None = None,
     ) -> None:
@@ -173,6 +182,18 @@ class AsyncioTransport:
         #: Chaos knob: seconds each outbound replica-to-replica frame is held
         #: before hitting the socket (straggler injection; 0.0 = healthy).
         self.send_delay = max(0.0, send_delay)
+        #: WAN emulation: additional per-destination one-way delay (seconds),
+        #: composing additively with ``send_delay`` on the same due-time
+        #: mechanism — a straggler in a far region is late for both reasons.
+        self.peer_delay: dict[int, float] = {
+            peer: max(0.0, float(delay))
+            for peer, delay in (peer_delay or {}).items()
+        }
+        #: Partition fault injection: peer ids this node must not send to.
+        #: Frames towards a blocked peer are dropped — at enqueue time for
+        #: new sends and at drain time for frames queued before the rule
+        #: landed, so a heal never replays a stale pre-partition view.
+        self.blocked: frozenset[int] = frozenset()
         #: Chaos knob: optional predicate deciding whether an outbound
         #: message may leave this node at all (Byzantine abstention drops
         #: consensus messages for instances the replica does not lead).
@@ -205,6 +226,7 @@ class AsyncioTransport:
         self._c_super_frames_sent = self.registry.counter("transport.super_frames_sent")
         self._c_bytes_out = self.registry.counter("transport.bytes_out")
         self._c_reconnects = self.registry.counter("transport.reconnects")
+        self._c_partition_drops = self.registry.counter("transport.partition_drops")
         self.registry.gauge_fn(
             "transport.queue_depth",
             lambda: sum(queue.qsize() for queue in self._queues.values()),
@@ -250,6 +272,35 @@ class AsyncioTransport:
     def reconnects(self) -> int:
         """Peer connections re-established after a loss."""
         return self._c_reconnects.value
+
+    @property
+    def partition_drops(self) -> int:
+        """Frames dropped because their destination was partition-blocked."""
+        return self._c_partition_drops.value
+
+    # -- partition fault injection -------------------------------------------
+
+    def set_blocked_peers(self, blocked: Iterable[int]) -> None:
+        """Replace the blocked-peer set (absolute, not a delta).
+
+        Frames already queued towards a newly blocked peer are purged on the
+        spot: the partition semantics are "the network dropped it", so a
+        heal must not flush a backlog of stale pre-partition traffic (old
+        views, superseded proposals) into the reconnected peer.
+        """
+        new_blocked = frozenset(int(peer) for peer in blocked)
+        for peer_id in new_blocked - self.blocked:
+            queue = self._queues.get(peer_id)
+            purged = 0
+            while queue is not None:
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                purged += 1
+            if purged:
+                self._c_partition_drops.inc(purged)
+        self.blocked = new_blocked
 
     # -- clock --------------------------------------------------------------
 
@@ -315,6 +366,10 @@ class AsyncioTransport:
         # Resolve the route before encoding: a dead destination or a closed
         # transport must not pay for serialisation.
         if destination in self.peers:
+            if destination in self.blocked:
+                # Partitioned link: the frame is what the network dropped.
+                self._c_partition_drops.inc()
+                return
             queue = self._ensure_peer(destination)
             frame = self._encode(message, self.version_for(destination))
             if queue.full():
@@ -323,7 +378,7 @@ class AsyncioTransport:
                 # comes from view change / re-proposal).
                 queue.get_nowait()
                 self._c_frames_dropped.inc()
-            queue.put_nowait((self._due_time(), frame))
+            queue.put_nowait((self._due_time(destination), frame))
         elif destination in self._streams:
             self._write_to_stream(
                 destination, self._encode(message, self.version_for(destination))
@@ -331,11 +386,14 @@ class AsyncioTransport:
         else:
             self._c_frames_dropped.inc()
 
-    def _due_time(self) -> float:
-        """Earliest write time for a frame queued now (0.0 = immediately)."""
-        if self.send_delay <= 0.0:
+    def _due_time(self, destination: int) -> float:
+        """Earliest write time for a frame queued now for ``destination``
+        (0.0 = immediately).  Straggler delay and the destination's WAN
+        delay compose additively on the same mechanism."""
+        delay = self.send_delay + self.peer_delay.get(destination, 0.0)
+        if delay <= 0.0:
             return 0.0
-        return self._loop.time() + self.send_delay
+        return self._loop.time() + delay
 
     def broadcast(self, message: Any, include_self: bool = False) -> None:
         """Send ``message`` to every replica peer (not to client streams)."""
@@ -352,8 +410,10 @@ class AsyncioTransport:
         if not targets:
             return
         frames: dict[int, bytes] = {}
-        due = self._due_time()
         for peer_id in targets:
+            if peer_id in self.blocked:
+                self._c_partition_drops.inc()
+                continue
             version = self.version_for(peer_id)
             frame = frames.get(version)
             if frame is None:
@@ -362,7 +422,9 @@ class AsyncioTransport:
             if queue.full():
                 queue.get_nowait()
                 self._c_frames_dropped.inc()
-            queue.put_nowait((due, frame))
+            # Due times are per destination: under WAN emulation one
+            # broadcast lands at different regions at different times.
+            queue.put_nowait((self._due_time(peer_id), frame))
 
     def _write_to_stream(self, destination: int, frame: bytes) -> None:
         # Defer the actual write one loop iteration: every reply generated
@@ -443,10 +505,32 @@ class AsyncioTransport:
         carry: tuple[float, bytes] | None = None
         connected_before = False
         while not self._closed:
+            if peer_id in self.blocked:
+                # An active partition rule covers this link: do not redial a
+                # peer whose frames would be dropped anyway (a tight dial
+                # loop here is exactly the heal-time reconnect storm), just
+                # purge whatever queued meanwhile and idle with jitter.
+                purged = 0
+                while True:
+                    try:
+                        queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    purged += 1
+                if carry is not None:
+                    carry = None
+                    purged += 1
+                if purged:
+                    self._c_partition_drops.inc(purged)
+                await asyncio.sleep(PARTITION_RETRY * (0.5 + random.random()))
+                continue
             try:
                 reader, writer = await connect_endpoint(endpoint)
             except OSError:
-                await asyncio.sleep(backoff)
+                # Jittered exponential backoff: after a heal or mass restart
+                # every writer in the mesh wakes at once; the jitter spreads
+                # the redials so the listener is not stampeded.
+                await asyncio.sleep(backoff * (0.5 + random.random()))
                 backoff = min(backoff * 2, RECONNECT_MAX)
                 continue
             backoff = RECONNECT_INITIAL
@@ -470,6 +554,12 @@ class AsyncioTransport:
                         carry = None
                     else:
                         due, frame = await queue.get()
+                    if peer_id in self.blocked:
+                        # The partition rule landed mid-connection: drop the
+                        # frame and sever the link; the outer loop idles until
+                        # the rule heals.
+                        self._c_partition_drops.inc()
+                        break
                     if due > 0.0:
                         # Straggler injection: honour the frame's due time.
                         # Frames queued while this one waited share the same

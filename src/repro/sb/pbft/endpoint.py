@@ -243,6 +243,18 @@ class PBFTEndpoint(SequencedBroadcastEndpoint):
             self._record_progress()
             self._emit_delivery(slot.block)
 
+    def drain_deliverable(self) -> None:
+        """Deliver committed slots now contiguous with the frontier.
+
+        Delivery is normally driven by incoming commits, so a slot that
+        was committed while delivery waited on a lower hole only drains
+        when the *next* message arrives.  A recovery fast-forward fills
+        the hole from state transfer instead — with no further traffic
+        guaranteed, the host must drain explicitly or the committed
+        suffix strands above the new frontier.
+        """
+        self._deliver_ready()
+
     # -- failure detection / view change ---------------------------------------
 
     def notify_pending_work(self) -> None:

@@ -5,7 +5,10 @@ import pytest
 from repro.metrics.latency import TransactionTimeline
 from repro.obs.slo import (
     PhaseWindow,
+    StatusSample,
+    check_consistency,
     compute_phase_slos,
+    fault_episode_windows,
     fault_phase_windows,
     quantile,
 )
@@ -50,6 +53,164 @@ class TestFaultPhaseWindows:
     def test_events_outside_run_ignored(self):
         windows = fault_phase_windows(0.0, 10.0, [-5.0, 50.0])
         assert [w.name for w in windows] == ["pre"]
+
+
+class TestFaultEpisodeWindows:
+    def test_no_episodes_is_single_pre_window(self):
+        windows = fault_episode_windows(0.0, 10.0, [])
+        assert [(w.name, w.start, w.end) for w in windows] == [("pre", 0.0, 10.0)]
+
+    def test_empty_run_is_empty(self):
+        assert fault_episode_windows(5.0, 5.0, [(1.0, 2.0, "x")]) == []
+
+    def test_single_episode_with_settle(self):
+        windows = fault_episode_windows(
+            0.0, 30.0, [(10.0, 13.0, "partition {3} | {0,1,2}")], settle=2.0
+        )
+        assert [(w.name, w.start, w.end) for w in windows] == [
+            ("pre", 0.0, 10.0),
+            ("during:partition {3} | {0,1,2}", 10.0, 15.0),
+            ("post:partition {3} | {0,1,2}", 15.0, 30.0),
+        ]
+
+    def test_two_episodes_each_get_their_own_windows(self):
+        windows = fault_episode_windows(
+            0.0, 30.0, [(5.0, 7.0, "crash replica 0"), (15.0, 18.0, "partition")]
+        )
+        assert [w.name for w in windows] == [
+            "pre",
+            "during:crash replica 0",
+            "post:crash replica 0",
+            "during:partition",
+            "post:partition",
+        ]
+        # The post window of the first episode runs up to the next episode.
+        assert windows[2].end == 15.0
+        assert windows[4].end == 30.0
+
+    def test_overlapping_episodes_merge_labels(self):
+        # A crash inside the partition window: one merged during window.
+        windows = fault_episode_windows(
+            0.0, 20.0, [(5.0, 10.0, "partition"), (7.0, 8.0, "crash replica 0")]
+        )
+        assert [w.name for w in windows] == [
+            "pre",
+            "during:partition + crash replica 0",
+            "post:partition + crash replica 0",
+        ]
+        assert windows[1].start == 5.0 and windows[1].end == 10.0
+
+    def test_settle_can_cause_merge(self):
+        windows = fault_episode_windows(
+            0.0, 20.0, [(2.0, 4.0, "a"), (5.0, 6.0, "b")], settle=3.0
+        )
+        assert [w.name for w in windows] == ["pre", "during:a + b", "post:a + b"]
+
+    def test_open_ended_episode_clamped_to_run_end(self):
+        windows = fault_episode_windows(0.0, 10.0, [(6.0, 50.0, "stall")])
+        assert [w.name for w in windows] == ["pre", "during:stall"]
+        assert windows[-1].end == 10.0
+
+    def test_episode_at_run_start_drops_pre(self):
+        windows = fault_episode_windows(0.0, 10.0, [(0.0, 2.0, "x")])
+        assert [w.name for w in windows] == ["during:x", "post:x"]
+
+
+def _sample(at, replica, committed, frontier=(0, 0), digest=1):
+    return StatusSample(
+        at=at, replica=replica, committed=committed, frontier=frontier, digest=digest
+    )
+
+
+class TestCheckConsistency:
+    def test_monotonic_log_is_ok(self):
+        samples = [
+            _sample(t, r, committed=10 * int(t) + r)
+            for t in (1.0, 2.0, 3.0)
+            for r in (0, 1)
+        ]
+        report = check_consistency(samples)
+        assert report.ok
+        assert report.samples == 6 and report.replicas == 2
+        assert report.committed_regressions == 0
+        assert report.regression_times == ()
+
+    def test_committed_regression_detected_with_time(self):
+        samples = [
+            _sample(1.0, 0, committed=50),
+            _sample(2.0, 0, committed=40),  # went backwards
+            _sample(3.0, 0, committed=60),
+        ]
+        report = check_consistency(samples)
+        assert not report.ok
+        assert report.committed_regressions == 1
+        assert report.regression_times == (2.0,)
+
+    def test_planned_reset_rebaselines_instead_of_regressing(self):
+        samples = [
+            _sample(1.0, 0, committed=50),
+            _sample(3.0, 0, committed=0),  # fresh process after planned restart
+            _sample(4.0, 0, committed=20),
+        ]
+        report = check_consistency(samples, resets=[(2.5, 0)])
+        assert report.committed_regressions == 0
+        assert report.ok
+
+    def test_reset_on_other_replica_does_not_excuse_regression(self):
+        samples = [_sample(1.0, 0, committed=50), _sample(3.0, 0, committed=0)]
+        report = check_consistency(samples, resets=[(2.5, 1)])
+        assert report.committed_regressions == 1
+
+    def test_frontier_regression_detected(self):
+        samples = [
+            _sample(1.0, 0, committed=10, frontier=(5, 7)),
+            _sample(2.0, 0, committed=11, frontier=(5, 6)),  # instance 1 regressed
+        ]
+        report = check_consistency(samples)
+        assert report.frontier_regressions == 1
+        assert not report.ok
+
+    def test_staleness_tracks_partitioned_laggard(self):
+        # Replica 1 wedges at 10 while replica 0's head keeps advancing:
+        # by t=6 replica 1 has been behind the t=2 head for 4 seconds.
+        samples = [
+            _sample(1.0, 0, committed=10),
+            _sample(1.0, 1, committed=10),
+            _sample(2.0, 0, committed=20),
+            _sample(4.0, 0, committed=40),
+            _sample(6.0, 1, committed=10),
+        ]
+        report = check_consistency(samples)
+        assert report.max_staleness == pytest.approx(4.0)
+        assert report.ok  # stale, not inconsistent
+
+    def test_settled_digest_fork_counted(self):
+        report = check_consistency([], final_digests={0: 7, 1: 7, 2: 9})
+        assert report.digest_forks == 1
+        assert not report.ok
+
+    def test_agreeing_final_digests_are_not_a_fork(self):
+        report = check_consistency([], final_digests={0: 7, 1: 7})
+        assert report.digest_forks == 0
+
+
+class TestPhaseRegressions:
+    def test_regressions_attributed_to_windows_by_time(self):
+        windows = [
+            PhaseWindow("pre", 0.0, 10.0),
+            PhaseWindow("during:partition", 10.0, 20.0),
+            PhaseWindow("post:partition", 20.0, 30.0),
+        ]
+        pre, during, post = compute_phase_slos(
+            windows, [], regression_times=[12.0, 15.0, 25.0]
+        )
+        assert pre.regressions == 0
+        assert during.regressions == 2
+        assert post.regressions == 1
+
+    def test_no_run_log_leaves_regressions_unknown(self):
+        (slo,) = compute_phase_slos([PhaseWindow("pre", 0.0, 1.0)], [])
+        assert slo.regressions is None
 
 
 def _timeline(tx_id, submitted_at, replied_at, committed=True):

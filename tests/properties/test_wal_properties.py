@@ -14,6 +14,14 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.ledger.blocks import Block, SystemState
+from repro.runtime.durability import (
+    block_record,
+    compact_wal,
+    decode_block_record,
+    epoch_record,
+    view_record,
+)
 from repro.runtime.wal import WalWriter, decode_record, encode_record, read_wal
 
 # JSON-safe scalar and container values, including non-ASCII text and the
@@ -126,3 +134,107 @@ def test_bit_flip_in_payload_fails_checksum(tmp_path):
 
 def test_missing_file_replays_empty():
     assert read_wal("/nonexistent/wal.jsonl") == []
+
+
+# -- compaction ---------------------------------------------------------------
+
+
+def _block(instance: int, sequence: int) -> Block:
+    return Block.create(
+        instance=instance,
+        sequence_number=sequence,
+        transactions=[],
+        state=SystemState.initial(2),
+        proposer=0,
+        epoch=sequence // 4,
+    )
+
+
+def _replay_state(path):
+    """What a recovery reads from a WAL: blocks, max view per instance,
+    epoch marks — the replayable content, independent of record order."""
+    blocks = []
+    views: dict[int, int] = {}
+    epochs = []
+    for record in read_wal(path):
+        kind = record.get("k")
+        if kind == "b":
+            block = decode_block_record(record)
+            blocks.append((block.instance, block.sequence_number))
+        elif kind == "v":
+            instance, view = int(record["i"]), int(record["v"])
+            views[instance] = max(views.get(instance, -1), view)
+        elif kind == "e":
+            epochs.append(int(record["e"]))
+    return sorted(blocks), views, sorted(epochs)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=11), max_size=24),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1), st.integers(min_value=0, max_value=5)
+        ),
+        max_size=6,
+    ),
+    st.lists(st.integers(min_value=0, max_value=5), max_size=4),
+    st.data(),
+)
+@settings(max_examples=60)
+def test_compaction_never_loses_the_replayable_suffix(
+    tmp_path_factory, deliveries, view_installs, epoch_marks, data
+):
+    """After compacting below a snapshot frontier, replaying snapshot +
+    compacted WAL must see exactly what snapshot + full WAL would: every
+    block above the frontier, the maximum installed view per instance, and
+    every epoch mark above the snapshot epoch."""
+    path = tmp_path_factory.mktemp("wal") / "wal.jsonl"
+    next_seq = [0, 0]
+    with WalWriter(path, fsync_every=1) as wal:
+        for choice in deliveries:
+            instance = choice % 2
+            wal.append(block_record(_block(instance, next_seq[instance])))
+            next_seq[instance] += 1
+        for instance, view in view_installs:
+            wal.append(view_record(instance, view))
+        for epoch in epoch_marks:
+            wal.append(epoch_record(epoch, "cp", "sd"))
+
+    # A snapshot covers a per-instance prefix of the delivered blocks.
+    frontier = [
+        data.draw(st.integers(min_value=-1, max_value=next_seq[i] - 1), label=f"f{i}")
+        for i in range(2)
+    ]
+    epoch_cut = data.draw(st.integers(min_value=0, max_value=6), label="epoch")
+
+    full_blocks, full_views, full_epochs = _replay_state(path)
+    before = path.stat().st_size
+    kept, dropped = compact_wal(path, frontier=frontier, epoch=epoch_cut)
+    blocks, views, epochs = _replay_state(path)
+
+    assert blocks == sorted(
+        (i, s) for i, s in full_blocks if s > frontier[i]
+    ), "compaction lost or invented a block above the frontier"
+    assert views == full_views, "compaction lost an installed view"
+    assert epochs == sorted(e for e in full_epochs if e > epoch_cut)
+    assert kept == len(read_wal(path))
+    assert path.stat().st_size <= before
+
+    # Compaction at the same cut is idempotent.
+    compact_wal(path, frontier=frontier, epoch=epoch_cut)
+    assert _replay_state(path) == (blocks, views, epochs)
+
+
+def test_compaction_preserves_max_view_even_below_frontier(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    with WalWriter(path, fsync_every=1) as wal:
+        wal.append(view_record(0, 3))
+        wal.append(view_record(0, 1))  # stale re-install survives as the max
+        wal.append(view_record(1, 2))
+        wal.append(block_record(_block(0, 0)))
+    kept, dropped = compact_wal(path, frontier=[0, -1], epoch=0)
+    # The block is covered by the frontier, the views collapse to one per
+    # instance at their maximum.
+    assert dropped == 2
+    _, views, _ = _replay_state(path)
+    assert views == {0: 3, 1: 2}

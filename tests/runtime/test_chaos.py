@@ -22,11 +22,16 @@ from repro.runtime.chaos import (
     STRAGGLER_UNIT_DELAY,
     ChaosController,
     abstaining_replicas,
+    blocked_peers_for,
     fault_plan_from_json,
     fault_plan_to_json,
+    parse_wan_spec,
+    partition_components,
     send_delay_for,
     validate_fault_plan,
+    wan_delay_map,
 )
+from repro.runtime.control import LinkUpdate
 from repro.runtime.client import ClientConfig, ClientError, OrthrusClient
 from repro.runtime.cluster import free_port
 from repro.runtime.config import ReplicaRuntimeConfig
@@ -139,6 +144,198 @@ class TestPlanTranslation:
         validate_fault_plan(plan, num_replicas=4)
 
 
+class TestPartitionPlans:
+    def test_partition_round_trip(self):
+        plan = FaultPlan(
+            partitions=((5.0, ((3,),), 3.0),),
+            oneway_drops=((2.0, 0, 1, 4.0),),
+            wan="wan",
+        )
+        parsed = fault_plan_from_json(fault_plan_to_json(plan))
+        assert parsed.partitions == ((5.0, ((3,),), 3.0),)
+        assert parsed.oneway_drops == ((2.0, 0, 1, 4.0),)
+        assert parsed.wan == "wan"
+        assert parsed.expect_stall is False
+
+    def test_expect_stall_round_trip(self):
+        plan = FaultPlan(partitions=((1.0, ((0, 1), (2, 3)), 2.0),), expect_stall=True)
+        parsed = fault_plan_from_json(fault_plan_to_json(plan))
+        assert parsed.expect_stall is True
+        assert parsed.partitions == plan.partitions
+
+    def test_wan_matrix_round_trip(self):
+        matrix = ((0.0, 0.05), (0.05, 0.0))
+        parsed = fault_plan_from_json(fault_plan_to_json(FaultPlan(wan=matrix)))
+        assert parsed.wan == matrix
+
+    def test_with_partition_coerces_groups(self):
+        plan = FaultPlan.with_partition("5", [[3], ("1", 2)], "3")
+        assert plan.partitions == ((5.0, ((3,), (1, 2)), 3.0),)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            '{"partitions": [[5, [[3]]]]}',  # missing duration
+            '{"partitions": [[5, 3, 3]]}',  # groups not a list of lists
+            '{"partitions": [["x", [[3]], 3]]}',  # non-numeric time
+            '{"oneway_drops": [[1, 0, 1]]}',  # missing duration
+            '{"oneway_drops": [[1, 0, 0, 3]]}',  # source == destination
+            '{"wan": "metro"}',  # unknown model name / not a matrix
+            '{"wan": [[0, 1], [1]]}',  # not square
+            '{"wan": [[0, -1], [1, 0]]}',  # negative delay
+        ],
+    )
+    def test_malformed_partition_plans_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            fault_plan_from_json(text)
+
+
+class TestPartitionValidation:
+    def test_minority_partition_accepted(self):
+        validate_fault_plan(
+            FaultPlan(partitions=((3.0, ((3,),), 3.0),)), num_replicas=4
+        )
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_fault_plan(FaultPlan(partitions=((-1.0, ((3,),), 3.0),)))
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_fault_plan(FaultPlan(partitions=((1.0, ((3,),), 0.0),)))
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_fault_plan(FaultPlan(partitions=((1.0, ((),), 3.0),)))
+
+    def test_replica_in_two_groups_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_fault_plan(FaultPlan(partitions=((1.0, ((0, 1), (1, 2)), 3.0),)))
+
+    def test_overlapping_partitions_rejected(self):
+        plan = FaultPlan(partitions=((1.0, ((3,),), 5.0), (4.0, ((2,),), 5.0)))
+        with pytest.raises(ConfigurationError, match="merge them into a single rule"):
+            validate_fault_plan(plan)
+
+    def test_back_to_back_partitions_accepted(self):
+        plan = FaultPlan(partitions=((1.0, ((3,),), 2.0), (3.0, ((2,),), 2.0)))
+        validate_fault_plan(plan, num_replicas=4)
+
+    def test_half_split_needs_expect_stall(self):
+        # {0,1} | {2,3}: every component is below n - f = 3, nobody forms
+        # quorums.  Without the explicit acknowledgement this is an error.
+        plan = FaultPlan(partitions=((1.0, ((0, 1), (2, 3)), 2.0),))
+        with pytest.raises(ConfigurationError, match="expect_stall"):
+            validate_fault_plan(plan, num_replicas=4)
+        validate_fault_plan(
+            FaultPlan(partitions=plan.partitions, expect_stall=True), num_replicas=4
+        )
+
+    def test_partition_composes_with_churn_downtime(self):
+        # The minority partition alone is fine and the churn alone is fine,
+        # but replica 0 is down while replica 3 is isolated: two unavailable
+        # at once against f = 1.
+        plan = FaultPlan(
+            churn=((2.0, 0, 3.0),),
+            partitions=((3.0, ((3,),), 1.0),),
+        )
+        with pytest.raises(ConfigurationError):
+            validate_fault_plan(plan, num_replicas=4)
+
+    def test_partition_after_churn_heals_is_fine(self):
+        plan = FaultPlan(
+            churn=((1.0, 0, 1.0),),
+            partitions=((3.0, ((3,),), 1.0),),
+        )
+        validate_fault_plan(plan, num_replicas=4)
+
+    def test_out_of_range_partition_replica_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_fault_plan(
+                FaultPlan(partitions=((1.0, ((7,),), 2.0),)), num_replicas=4
+            )
+
+    def test_out_of_range_oneway_replica_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_fault_plan(
+                FaultPlan(oneway_drops=((1.0, 0, 9, 2.0),)), num_replicas=4
+            )
+
+
+class TestBlockedPeers:
+    def test_remainder_forms_implicit_component(self):
+        components = partition_components(((3,),), 4)
+        assert components == [{3}, {0, 1, 2}]
+
+    def test_full_groups_leave_no_remainder(self):
+        assert partition_components(((0, 1), (2, 3)), 4) == [{0, 1}, {2, 3}]
+
+    def test_symmetric_partition_blocks_both_directions(self):
+        kwargs = dict(
+            active_partitions=[((3,),)], active_oneways=set(), num_replicas=4
+        )
+        assert blocked_peers_for(3, **kwargs) == (0, 1, 2)
+        assert blocked_peers_for(0, **kwargs) == (3,)
+        assert blocked_peers_for(1, **kwargs) == (3,)
+
+    def test_oneway_blocks_only_the_source(self):
+        kwargs = dict(
+            active_partitions=[], active_oneways={(0, 2)}, num_replicas=4
+        )
+        assert blocked_peers_for(0, **kwargs) == (2,)
+        assert blocked_peers_for(2, **kwargs) == ()
+
+    def test_rules_compose(self):
+        blocked = blocked_peers_for(
+            0,
+            active_partitions=[((3,),)],
+            active_oneways={(0, 1)},
+            num_replicas=4,
+        )
+        assert blocked == (1, 3)
+
+
+class TestWanSpecs:
+    def test_none_passes_through(self):
+        assert parse_wan_spec(None) is None
+        assert wan_delay_map(None, 0, 4) == {}
+
+    def test_named_models_accepted(self):
+        assert parse_wan_spec("wan") == "wan"
+        assert parse_wan_spec("lan") == "lan"
+
+    def test_json_matrix_parsed(self):
+        assert parse_wan_spec("[[0, 0.05], [0.05, 0]]") == (
+            (0.0, 0.05),
+            (0.05, 0.0),
+        )
+
+    def test_matrix_file_reference(self, tmp_path):
+        path = tmp_path / "wan.json"
+        path.write_text("[[0, 0.1], [0.1, 0]]")
+        assert parse_wan_spec(f"@{path}") == ((0.0, 0.1), (0.1, 0.0))
+
+    def test_lan_is_flat(self):
+        delays = wan_delay_map("lan", 0, 4)
+        assert set(delays) == {1, 2, 3}
+        assert len(set(delays.values())) == 1
+
+    def test_wan_model_round_robin_regions(self):
+        # Replicas 0 and 4 share a region under node_id % regions, so their
+        # delays towards replica 1 agree; intra-region beats cross-region.
+        d0 = wan_delay_map("wan", 0, 8)
+        d4 = wan_delay_map("wan", 4, 8)
+        assert d0[1] == d4[1]
+        assert d0[4] < d0[1]  # same region vs different region
+
+    def test_explicit_matrix_delays(self):
+        matrix = ((0.0, 0.2), (0.3, 0.0))
+        delays = wan_delay_map(matrix, 0, 4)
+        # Replicas 0 and 2 are region 0, replicas 1 and 3 region 1.
+        assert delays == {1: 0.2, 2: 0.0, 3: 0.2}
+        assert wan_delay_map(matrix, 1, 4) == {0: 0.3, 2: 0.3, 3: 0.0}
+
+
 class FakeCluster:
     def __init__(self):
         self.killed = []
@@ -200,6 +397,115 @@ class TestChaosController:
         ]
         assert controller.exhausted
         assert cluster.killed == [0, 0] and cluster.restarted == [0, 0]
+
+
+class PartitionFakeCluster(FakeCluster):
+    """Fake with the link-control surface the partition actions need."""
+
+    class _Spec:
+        num_replicas = 4
+
+    spec = _Spec()
+
+    def __init__(self):
+        super().__init__()
+        self.link_updates = []  # (replica, blocked tuple)
+
+    def send_control(self, replica_id, message):
+        assert isinstance(message, LinkUpdate)
+        if replica_id in self.dead:
+            raise ConnectionRefusedError("replica is down")
+        self.link_updates.append((replica_id, message.blocked))
+
+
+class TestPartitionController:
+    def test_partition_pushes_absolute_blocked_sets_then_heals(self):
+        cluster = PartitionFakeCluster()
+        plan = FaultPlan.with_partition(1.0, ((3,),), 2.0)
+        controller = ChaosController(cluster, plan)
+
+        assert controller.poll(0.5) == []
+        assert cluster.link_updates == []
+
+        events = controller.poll(1.5)
+        assert [(e.action, e.replica) for e in events] == [("partition", 0)]
+        assert events[0].describe() == "partition {3} | {0,1,2}"
+        # Every replica got the absolute set it must not send to.
+        assert dict(cluster.link_updates) == {0: (3,), 1: (3,), 2: (3,), 3: (0, 1, 2)}
+
+        cluster.link_updates.clear()
+        events = controller.poll(3.5)
+        assert [(e.action, e.replica) for e in events] == [("heal", 0)]
+        # The heal clears every blocked set.
+        assert dict(cluster.link_updates) == {0: (), 1: (), 2: (), 3: ()}
+        assert controller.exhausted
+        assert controller.unfired_actions() == []
+
+    def test_oneway_drop_blocks_only_the_source(self):
+        cluster = PartitionFakeCluster()
+        plan = FaultPlan(oneway_drops=((1.0, 0, 2, 2.0),))
+        controller = ChaosController(cluster, plan)
+        events = controller.poll(1.5)
+        assert [(e.action, e.describe()) for e in events] == [("drop", "drop 0->2")]
+        assert dict(cluster.link_updates) == {0: (2,), 1: (), 2: (), 3: ()}
+        controller.poll(10.0)
+        assert controller.events[-1].action == "undrop"
+
+    def test_restart_inside_partition_window_repushes_rules(self):
+        # Replica 0 churns while replica 3 is... no: that composition is
+        # rejected.  Churn the *partitioned* replica itself: its fresh
+        # process starts with an empty blocked set and must be re-isolated.
+        cluster = PartitionFakeCluster()
+        plan = FaultPlan(
+            churn=((1.5, 3, 1.0),),
+            partitions=((1.0, ((3,),), 3.0),),
+        )
+        controller = ChaosController(cluster, plan)
+        controller.poll(2.0)  # partition fired, replica 3 crashed
+        cluster.link_updates.clear()
+        controller.poll(2.6)  # replica 3 restarted inside the window
+        assert cluster.restarted == [3]
+        # The re-push re-isolated the restarted replica.
+        assert (3, (0, 1, 2)) in cluster.link_updates
+
+    def test_down_replica_is_skipped_not_fatal(self):
+        cluster = PartitionFakeCluster()
+        plan = FaultPlan(
+            crashes={0: 0.5},
+            partitions=((1.0, ((3,),), 1.0),),
+        )
+        controller = ChaosController(cluster, plan)
+        controller.poll(1.5)
+        # Replica 0 is down: no update sent to it, everyone else configured.
+        assert all(replica != 0 for replica, _ in cluster.link_updates)
+        assert (3, (0, 1, 2)) in cluster.link_updates
+
+    def test_episodes_pair_partition_with_heal(self):
+        cluster = PartitionFakeCluster()
+        plan = FaultPlan(
+            crashes={0: 0.5},
+            restarts={0: 4.0},
+            partitions=((1.0, ((3,),), 1.0),),
+        )
+        controller = ChaosController(cluster, plan)
+        controller.poll(10.0)
+        episodes = controller.episodes()
+        assert len(episodes) == 2
+        (crash_start, crash_end, crash_label) = episodes[0]
+        (part_start, part_end, part_label) = episodes[1]
+        assert crash_label == "crash replica 0"
+        assert crash_end is not None
+        assert part_label == "partition {3} | {0,1,2}"
+        assert part_end is not None
+
+    def test_open_episode_when_heal_never_fires(self):
+        cluster = PartitionFakeCluster()
+        plan = FaultPlan.with_partition(1.0, ((3,),), 100.0)
+        controller = ChaosController(cluster, plan)
+        controller.poll(2.0)
+        ((start, end, label),) = controller.episodes()
+        assert end is None
+        assert controller.unfired_actions() == [(101.0, "heal", 0)]
 
 
 # -- in-process degradation scenarios ----------------------------------------

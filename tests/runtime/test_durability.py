@@ -9,8 +9,9 @@ so these tests drive cores directly — one leader delivering blocks in order
   identically to the original;
 * :class:`ReplicaDurability.recover` rebuilds the same state from the run
   directory alone, preferring the newest valid snapshot and replaying only
-  the WAL suffix above it, falling back to a full replay when the snapshot
-  is corrupt.
+  the WAL suffix above it; a corrupt snapshot means the compacted log no
+  longer applies contiguously, so recovery restarts clean rather than
+  execute across the hole.
 """
 
 from __future__ import annotations
@@ -196,22 +197,46 @@ class TestReplicaDurability:
         recovered, local = successor.recover(config.build_core(), config.build_core)
         assert local.snapshot_epoch == 1
         assert local.blocks_replayed == len(suffix)
-        assert local.executed_epochs == [1]
+        # The snapshot cut compacted the WAL: the covered prefix (and the
+        # epoch mark the snapshot itself records) no longer replays from it.
+        assert local.executed_epochs == []
         assert recovered.store.state_digest() == core.store.state_digest()
         successor.close()
 
-    def test_corrupt_snapshot_falls_back_to_full_wal_replay(self, tmp_path):
+    def test_snapshot_cut_compacts_the_wal(self, tmp_path):
         config = make_config()
         workload = EthereumStyleWorkload(WORKLOAD)
         durability = ReplicaDurability(tmp_path)
         core = config.build_core()
-        prefix = drive(core, workload, 4, sink=durability.on_block_delivered)
+        drive(core, workload, 4, sink=durability.on_block_delivered)
+        before = durability.wal_bytes
+        durability.on_epoch_completed(core, 1, "cp-digest")
+        assert durability.snapshots_written == 1
+        # The covered prefix left the log: the wal_bytes gauge dropped.
+        assert durability.wal_bytes < before
+        # And the writer reopened cleanly: later deliveries keep appending.
+        suffix = drive(core, workload, 1, sink=durability.on_block_delivered)
+        assert suffix
+        assert durability.wal_bytes > 0
+        durability.close()
+
+    def test_corrupt_snapshot_leaves_the_compacted_suffix_unreplayed(self, tmp_path):
+        config = make_config()
+        workload = EthereumStyleWorkload(WORKLOAD)
+        durability = ReplicaDurability(tmp_path)
+        core = config.build_core()
+        drive(core, workload, 4, sink=durability.on_block_delivered)
         durability.on_epoch_completed(core, 1, "cp-digest")
         suffix = drive(core, workload, 3, sink=durability.on_block_delivered)
+        assert suffix
         durability.close()
 
         # Flip the recorded digest: the snapshot now fails verification and
-        # must be discarded in favour of replaying the whole WAL.
+        # is discarded.  The snapshot cut compacted the WAL, so the log no
+        # longer reaches down to genesis — replaying the suffix onto a
+        # genesis core would execute across the hole and diverge.  Recovery
+        # must refuse it and restart clean; peer state transfer (which can
+        # adopt any snapshot over genesis) rebuilds the state instead.
         path = list_snapshots(tmp_path)[0]
         snapshot = load_snapshot(path)
         snapshot["state_digest"] = "f" * 64
@@ -220,8 +245,8 @@ class TestReplicaDurability:
         successor = ReplicaDurability(tmp_path)
         recovered, local = successor.recover(config.build_core(), config.build_core)
         assert local.snapshot_epoch is None
-        assert local.blocks_replayed == len(prefix) + len(suffix)
-        assert recovered.store.state_digest() == core.store.state_digest()
+        assert local.blocks_replayed == 0
+        assert recovered.store.state_digest() == config.genesis_digest()
         successor.close()
 
     def test_wipe_discards_wal_and_snapshots(self, tmp_path):

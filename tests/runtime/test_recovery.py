@@ -421,3 +421,51 @@ def test_serve_command_carries_durability_flags(tmp_path):
         assert "--recovery" not in cluster.serve_command(0)
     finally:
         cluster.stop()
+
+
+def test_state_transfer_refuses_gapped_block_batches(tmp_path):
+    """A compacted peer WAL can under-serve: when the peer's snapshot was
+    not adoptable, the block batch may skip sequences below the peer's own
+    WAL floor.  Executing across such a hole silently diverges the state
+    machine, so the transfer must stop at the gap (and resume once a later
+    reply fills it in) rather than apply whatever decodes."""
+    from types import SimpleNamespace
+
+    from repro.ledger.blocks import Block
+    from repro.runtime.codec import _encode_block
+    from repro.runtime.control import RecoveryReply
+
+    config = cluster_configs(tmp_path)[0]
+    core = config.build_core()
+    blocks = []
+    for sequence in range(4):
+        blocks.append(
+            Block.create(
+                instance=0,
+                sequence_number=sequence,
+                transactions=[],
+                state=core.delivered_state(),
+                proposer=0,
+                epoch=0,
+                rank=core.next_rank() if core.uses_ranks else None,
+            )
+        )
+        if sequence < 2:
+            core.on_block_delivered(blocks[-1])
+
+    server = ReplicaServer(config)
+    server.replica = SimpleNamespace(core=core)
+
+    def reply(*sequences):
+        return RecoveryReply(
+            nonce=1,
+            replica=1,
+            blocks=tuple(_encode_block(blocks[s]) for s in sequences),
+        )
+
+    # Sequences 0 and 1 are already delivered; 3 would leave a hole at 2.
+    assert server._apply_recovery_reply(reply(0, 1, 3)) == 0
+    assert list(core.delivered_state().sequence_numbers)[0] == 1
+    # A later batch that fills the hole applies contiguously to the tip.
+    assert server._apply_recovery_reply(reply(2, 3)) == 2
+    assert list(core.delivered_state().sequence_numbers)[0] == 3
